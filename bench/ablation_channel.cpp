@@ -1,0 +1,76 @@
+// Ablation study of the design constraints the paper calls out in §5.6:
+//   (a) the paging channel moves one page at a time and is non-preemptible
+//       — an idealized parallel channel shows how much that costs DFP;
+//   (b) demand faults flush queued (not-started) preloads — disabling the
+//       flush shows the value of demand priority;
+//   (c) the preload worker's per-page dispatch overhead — the reason
+//       preloading cannot pipeline at the raw ELDU rate;
+//   (d) backward-stream detection in Algorithm 1's direction field.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace sgxpl;
+
+namespace {
+
+double dfp_improvement(const std::string& workload, const core::SimConfig& cfg,
+                       const core::ExperimentOptions& opts) {
+  const auto c =
+      core::compare_schemes(workload, {core::Scheme::kDfp}, cfg, opts);
+  return c.find(core::Scheme::kDfp)->improvement;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("ablation_channel",
+                      "§5.6 design-constraint ablations on DFP (improvement "
+                      "over no-preloading baseline)");
+
+  const auto opts = bench::bench_options();
+  const std::vector<std::string> workloads = {"microbenchmark", "lbm",
+                                              "deepsjeng", "roms"};
+
+  TextTable tbl({"workload", "DFP (paper policy)", "parallel channel",
+                 "flush-all", "fifo (no priority)", "no dispatch cost",
+                 "forward-only"});
+  for (const auto& name : workloads) {
+    auto base_cfg = bench::bench_platform(core::Scheme::kDfp);
+    const double real = dfp_improvement(name, base_cfg, opts);
+
+    auto parallel = base_cfg;
+    parallel.enclave.serial_channel = false;
+    const double par = dfp_improvement(name, parallel, opts);
+
+    auto flush_all = base_cfg;
+    flush_all.enclave.demand_policy = sgxsim::DemandPolicy::kPreemptAndFlush;
+    const double flush = dfp_improvement(name, flush_all, opts);
+
+    auto fifo = base_cfg;
+    fifo.enclave.demand_policy = sgxsim::DemandPolicy::kFifo;
+    const double ff = dfp_improvement(name, fifo, opts);
+
+    auto no_dispatch = base_cfg;
+    no_dispatch.costs.preload_dispatch = 0;
+    const double nodis = dfp_improvement(name, no_dispatch, opts);
+
+    auto forward = base_cfg;
+    forward.dfp.predictor.detect_backward = false;
+    const double fwd = dfp_improvement(name, forward, opts);
+
+    tbl.add_row({name, TextTable::pct(real), TextTable::pct(par),
+                 TextTable::pct(flush), TextTable::pct(ff),
+                 TextTable::pct(nodis), TextTable::pct(fwd)});
+  }
+  std::cout << tbl.render();
+  std::cout
+      << "\nReading: an idealized parallel channel lifts the regular "
+         "workloads far beyond what the real\nserialized, non-preemptible "
+         "load path allows (the paper's §5.6 point). FIFO (no demand\n"
+         "priority, nothing flushed) is the worst case on irregular "
+         "workloads: mispredicted batches sit\nin front of every demand "
+         "fault. Flushing on every fault (flush-all) over-cancels useful\n"
+         "preloads on regular workloads.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// EPC-size sensitivity (related work: VAULT and Morphable Counters argue
+// for enlarging the EPC through cheaper integrity structures; the paper
+// positions preloading as the complementary latency-hiding attack). This
+// sweep shows both effects: the baseline's fault burden melts as the EPC
+// grows past the working set, and DFP-stop's gain shrinks with it.
+#include <iostream>
+
+#include "bench_common.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+int main() {
+  bench::print_header("ablation_epcsize",
+                      "related-work extension: enclave slowdown and "
+                      "DFP-stop gain vs usable EPC size");
+
+  // EPC sizes in MiB (paper hardware: ~96 usable).
+  const std::vector<std::uint64_t> sizes_mib = {48, 96, 192, 384, 768};
+  const std::vector<std::string> workloads = {"microbenchmark", "lbm",
+                                              "deepsjeng"};
+  const double scale = bench::bench_scale();
+
+  std::vector<std::string> header = {"workload", "metric"};
+  for (const auto s : sizes_mib) {
+    header.push_back(std::to_string(s) + " MiB");
+  }
+  TextTable tbl(header);
+
+  for (const auto& name : workloads) {
+    const auto* w = trace::find_workload(name);
+    const auto t = w->make(trace::ref_params(scale));
+
+    std::vector<std::string> slow_row = {name, "slowdown vs native"};
+    std::vector<std::string> gain_row = {name, "DFP-stop gain"};
+    for (const auto mib : sizes_mib) {
+      auto cfg = core::paper_platform();
+      cfg.enclave.epc_pages = static_cast<PageNum>(
+          static_cast<double>(bytes_to_pages(mib << 20)) * scale);
+
+      auto native_cfg = cfg;
+      native_cfg.scheme = core::Scheme::kNative;
+      const auto native = core::simulate(t, native_cfg);
+      const auto base = core::simulate(t, cfg);
+      auto dfp_cfg = cfg;
+      dfp_cfg.scheme = core::Scheme::kDfpStop;
+      const auto dfp = core::simulate(t, dfp_cfg);
+
+      slow_row.push_back(
+          TextTable::fmt(static_cast<double>(base.total_cycles) /
+                             static_cast<double>(native.total_cycles),
+                         1) +
+          "x");
+      gain_row.push_back(TextTable::pct(dfp.improvement_over(base)));
+    }
+    tbl.add_row(std::move(slow_row));
+    tbl.add_row(std::move(gain_row));
+  }
+  std::cout << tbl.render();
+  std::cout << "\nOnce the EPC swallows the working set only cold faults "
+               "remain: the enclave tax collapses\nand preloading has "
+               "nothing left to hide — quantifying how a bigger EPC "
+               "(VAULT-style) and\npreloading attack the same cycles from "
+               "opposite ends.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Per-thread fault histories (paper §3.1): the OS records the faulted-page
+// stream *per thread*. This ablation shows why: with a pooled history, one
+// thread's irregular faults keep replacing the LRU stream-list entries the
+// other threads' streams live in, and interleaved faults from different
+// threads never look sequential.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/multi_thread.h"
+#include "trace/generators.h"
+
+using namespace sgxpl;
+
+namespace {
+
+trace::Trace scan_thread(PageNum lo, PageNum pages, PageNum elrange,
+                         std::uint64_t seed) {
+  trace::Trace t("scan", elrange);
+  Rng rng(seed);
+  trace::seq_scan(t, rng, trace::Region{lo, pages}, 1,
+                  trace::GapModel{.mean = 42'000, .jitter_pct = 0.2});
+  return t;
+}
+
+trace::Trace noise_thread(PageNum elrange, std::uint64_t accesses,
+                          std::uint64_t seed) {
+  trace::Trace t("noise", elrange);
+  Rng rng(seed);
+  trace::random_access(t, rng, trace::Region{0, elrange - 1}, accesses, 9, 4,
+                       trace::GapModel{.mean = 21'000, .jitter_pct = 0.2});
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("ablation_threads",
+                      "§3.1: per-thread vs pooled fault histories in a "
+                      "multi-threaded enclave");
+
+  const double scale = bench::bench_scale();
+  const auto pages = static_cast<PageNum>(40'000 * scale);
+  const PageNum elrange = 4 * pages + 64;
+
+  // Compute-heavy streaming scans interleaved with a fault-happy random
+  // prober (each prober access has half the scan gap, so its faults arrive
+  // between every pair of scan faults).
+  const auto t0 = scan_thread(0, pages, elrange, 1);
+  const auto t1 = scan_thread(pages, pages, elrange, 2);
+  const auto t3 = noise_thread(elrange, 2 * pages, 4);
+  const std::vector<const trace::Trace*> threads = {&t0, &t1, &t3};
+
+  TextTable tbl({"stream_list length", "history", "scan thread 0",
+                 "scan thread 1", "prober thread", "preloads used"});
+
+  auto base_cfg = bench::bench_platform(core::Scheme::kBaseline);
+  const auto baseline = core::run_threads(base_cfg, threads);
+  auto gain = [&](const core::ThreadedRunResult& r, std::size_t i) {
+    return TextTable::pct(
+        1.0 - static_cast<double>(r.per_thread[i].total_cycles) /
+                  static_cast<double>(baseline.per_thread[i].total_cycles));
+  };
+
+  for (const std::size_t len : {2u, 4u, 30u}) {
+    for (const bool per_thread : {true, false}) {
+      auto cfg = bench::bench_platform(core::Scheme::kDfpStop);
+      cfg.dfp.predictor.stream_list_len = len;
+      const auto r = core::run_threads(cfg, threads, per_thread);
+      tbl.add_row({std::to_string(len),
+                   per_thread ? "per-thread (paper)" : "pooled", gain(r, 0),
+                   gain(r, 1), gain(r, 2),
+                   std::to_string(r.driver.preloads_used)});
+    }
+  }
+  std::cout << tbl.render();
+  std::cout << "\nThe scanning threads are the beneficiaries; the random "
+               "prober mostly pays (its demand faults\nqueue behind "
+               "preloads). With a pooled history and a short list, the "
+               "prober's fault churn evicts\nthe scans' stream tails and "
+               "the gains vanish — the paper keys the history per thread "
+               "so that a\nnoisy neighbour thread cannot blind the "
+               "predictor.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sgxsim/epc.h"
+
+namespace sgxpl::bench {
+
+double bench_scale() {
+  if (const char* env = std::getenv("SGXPL_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) {
+      return s;
+    }
+  }
+  return 1.0;
+}
+
+core::SimConfig bench_platform(core::Scheme scheme) {
+  core::SimConfig cfg = core::paper_platform(scheme);
+  const double s = bench_scale();
+  if (s != 1.0) {
+    cfg.enclave.epc_pages = static_cast<PageNum>(
+        static_cast<double>(sgxsim::kDefaultEpcPages) * s);
+  }
+  return cfg;
+}
+
+core::ExperimentOptions bench_options() {
+  const double s = bench_scale();
+  return core::ExperimentOptions{.scale = s, .train_scale = 0.35 * s};
+}
+
+void print_header(const std::string& bench, const std::string& reproduces) {
+  std::cout << "=== " << bench << " ===\n"
+            << "Reproduces: " << reproduces << "\n"
+            << "Scale: " << bench_scale()
+            << " (EPC " << bench_platform().enclave.epc_pages << " pages; "
+            << "set SGXPL_SCALE to change)\n\n";
+}
+
+std::string fmt_improvement(std::optional<double> v) {
+  return v.has_value() ? TextTable::pct(*v) : std::string("-");
+}
+
+std::string fmt_normalized(double v) { return TextTable::fmt(v, 3); }
+
+}  // namespace sgxpl::bench

@@ -1,0 +1,43 @@
+// Shared harness for the paper-reproduction benchmark binaries.
+//
+// Every bench regenerates one table or figure of the paper and prints the
+// same rows/series the paper reports, next to the paper's published value
+// where one exists. Absolute numbers come from the simulator (virtual
+// cycles), so the *shape* — who wins, by roughly what factor, where the
+// crossovers fall — is the comparison target, not wall-clock equality.
+//
+// Environment:
+//   SGXPL_SCALE  scale factor for workload footprints/lengths (default 1.0,
+//                the paper-sized runs; use e.g. 0.2 for a quick pass).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "core/scheme.h"
+
+namespace sgxpl::bench {
+
+/// Scale from SGXPL_SCALE (default 1.0).
+double bench_scale();
+
+/// paper_platform() with the EPC scaled alongside the workload footprints,
+/// so footprint:EPC ratios match the paper at any scale.
+core::SimConfig bench_platform(core::Scheme scheme = core::Scheme::kBaseline);
+
+/// Experiment options matching bench_scale().
+core::ExperimentOptions bench_options();
+
+/// Prints the standard bench header (name, what it reproduces, scale).
+void print_header(const std::string& bench, const std::string& reproduces);
+
+/// Formats "+11.4%" or "-" for a missing value.
+std::string fmt_improvement(std::optional<double> v);
+
+/// Formats a normalized-time value like the paper's figures (1.00 = baseline).
+std::string fmt_normalized(double v);
+
+}  // namespace sgxpl::bench

@@ -1,0 +1,59 @@
+// Fig. 10: performance improvement of SIP over the baseline for the C/C++
+// benchmarks (Fortran sources and omnetpp are excluded, exactly as the
+// paper's tool limitation dictates). Paper headlines: deepsjeng +9.0%,
+// mcf.2006 +4.9%, mcf a wash, lbm and the micro-benchmark unchanged
+// (no instrumentation points). Profiling uses the train input; the
+// measurement run uses the ref input.
+#include <iostream>
+#include <optional>
+
+#include "bench_common.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+namespace {
+
+std::optional<double> paper_value(const std::string& name) {
+  if (name == "deepsjeng") return 0.090;
+  if (name == "mcf.2006") return 0.049;
+  if (name == "mcf") return 0.0;       // "the end result is a wash"
+  if (name == "lbm") return 0.0;       // no instrumentation points
+  if (name == "microbenchmark") return 0.0;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("fig10_sip",
+                      "Fig. 10: SIP improvement per C/C++ benchmark "
+                      "(train-input profile, ref-input run)");
+
+  const auto cfg = bench::bench_platform();
+  const auto opts = bench::bench_options();
+
+  TextTable tbl({"workload", "instr. points", "faults base", "faults SIP",
+                 "fault reduction", "SIP", "paper"});
+  for (const auto& name : trace::sip_benchmarks()) {
+    const auto c =
+        core::compare_schemes(name, {core::Scheme::kSip}, cfg, opts);
+    const auto* sip = c.find(core::Scheme::kSip);
+    const double fault_red =
+        c.baseline.enclave_faults == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(sip->metrics.enclave_faults) /
+                        static_cast<double>(c.baseline.enclave_faults);
+    tbl.add_row({name, std::to_string(c.sip_points),
+                 std::to_string(c.baseline.enclave_faults),
+                 std::to_string(sip->metrics.enclave_faults),
+                 TextTable::pct(fault_red), TextTable::pct(sip->improvement),
+                 bench::fmt_improvement(paper_value(name))});
+  }
+  std::cout << tbl.render();
+  std::cout << "\nPaper: deepsjeng/mcf.2006 cut page faults by >70% after "
+               "SIP; mcf's gains on Class-3 accesses\nare offset by check "
+               "overhead on Class-1 hits (train->ref drift), lbm/micro have "
+               "nothing to instrument.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig. 3: representative page-level access patterns of bwaves, deepsjeng
+// and lbm. The paper plots page number vs time; this bench prints the
+// summary features that distinguish the three patterns (a textual stand-in
+// for the scatter plots) plus a coarse page-vs-time sketch.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+namespace {
+
+void sketch(const trace::Trace& t) {
+  // 16 time buckets x 8 page bands; '#' marks visited bands per bucket.
+  constexpr int kCols = 48;
+  constexpr int kRows = 12;
+  const auto& acc = t.accesses();
+  PageNum max_page = 1;
+  for (const auto& a : acc) {
+    max_page = std::max(max_page, a.page + 1);
+  }
+  std::vector<std::vector<char>> grid(
+      kRows, std::vector<char>(kCols, '.'));
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const std::size_t col = i * kCols / acc.size();
+    const auto row = static_cast<std::size_t>(
+        acc[i].page * kRows / max_page);
+    grid[kRows - 1 - row][col] = '#';
+  }
+  std::cout << "  page\n";
+  for (const auto& row : grid) {
+    std::cout << "  |";
+    for (char c : row) {
+      std::cout << c;
+    }
+    std::cout << "|\n";
+  }
+  std::cout << "   " << std::string(kCols, '-') << "> time\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("fig3_patterns",
+                      "Fig. 3: page access patterns of bwaves (a), deepsjeng "
+                      "(b), lbm (c)");
+
+  TextTable tbl({"workload", "accesses", "footprint (pages)",
+                 "sequential fraction", "recent-reuse fraction",
+                 "paper pattern"});
+  const double scale = bench::bench_scale();
+  struct Row {
+    const char* name;
+    const char* paper;
+  };
+  for (const Row& r : {Row{"bwaves", "block-sequential streams"},
+                       Row{"deepsjeng", "near-random scatter"},
+                       Row{"lbm", "clean diagonal streams"}}) {
+    const auto* w = trace::find_workload(r.name);
+    const auto t = w->make(trace::ref_params(scale));
+    const auto s = t.stats();
+    tbl.add_row({r.name, std::to_string(s.accesses),
+                 std::to_string(s.footprint_pages),
+                 TextTable::fmt(s.sequential_fraction, 3),
+                 TextTable::fmt(s.recent_reuse_fraction, 3), r.paper});
+  }
+  std::cout << tbl.render() << '\n';
+
+  for (const char* name : {"bwaves", "deepsjeng", "lbm"}) {
+    const auto* w = trace::find_workload(name);
+    std::cout << name << ":\n";
+    sketch(w->make(trace::ref_params(std::min(scale, 0.2))));
+    std::cout << '\n';
+  }
+  return 0;
+}

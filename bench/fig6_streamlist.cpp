@@ -1,0 +1,60 @@
+// Fig. 6: execution time of lbm and bwaves under DFP as a function of the
+// stream_list length. The paper finds the combined execution time is
+// shortest around length 30, which became DFP's default.
+#include <array>
+#include <iostream>
+#include <limits>
+
+#include "bench_common.h"
+
+using namespace sgxpl;
+
+int main() {
+  bench::print_header("fig6_streamlist",
+                      "Fig. 6: lbm + bwaves execution time vs stream_list "
+                      "length (paper optimum ~30)");
+
+  const auto opts = bench::bench_options();
+  TextTable tbl({"stream_list length", "lbm cycles", "bwaves cycles",
+                 "combined", "combined normalized"});
+
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_len = 0;
+  std::vector<std::array<std::uint64_t, 3>> rows;
+  std::vector<std::size_t> lengths = {2, 4, 8, 16, 24, 30, 40, 50, 64};
+  for (const std::size_t len : lengths) {
+    auto cfg = bench::bench_platform(core::Scheme::kDfp);
+    cfg.dfp.predictor.stream_list_len = len;
+    const auto lbm =
+        core::compare_schemes("lbm", {core::Scheme::kDfp}, cfg, opts);
+    const auto bwaves =
+        core::compare_schemes("bwaves", {core::Scheme::kDfp}, cfg, opts);
+    const auto lbm_cycles = lbm.find(core::Scheme::kDfp)->metrics.total_cycles;
+    const auto bwaves_cycles =
+        bwaves.find(core::Scheme::kDfp)->metrics.total_cycles;
+    rows.push_back({lbm_cycles, bwaves_cycles, lbm_cycles + bwaves_cycles});
+    if (static_cast<double>(lbm_cycles + bwaves_cycles) < best) {
+      best = static_cast<double>(lbm_cycles + bwaves_cycles);
+      best_len = len;
+    }
+  }
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    tbl.add_row({std::to_string(lengths[i]), std::to_string(rows[i][0]),
+                 std::to_string(rows[i][1]), std::to_string(rows[i][2]),
+                 TextTable::fmt(static_cast<double>(rows[i][2]) / best, 4)});
+  }
+  std::cout << tbl.render();
+
+  // The knee: the smallest length within 0.05% of the best combined time
+  // (longer lists buy nothing; shorter ones lose streams to LRU churn).
+  std::size_t knee = best_len;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    if (static_cast<double>(rows[i][2]) <= best * 1.0005) {
+      knee = lengths[i];
+      break;
+    }
+  }
+  std::cout << "\nCombined curve flattens from length " << knee
+            << " (paper: ~30; DFP default 30).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 8: performance improvement of DFP and DFP-stop over the vanilla
+// baseline for all large-working-set benchmarks. Paper headlines:
+//   microbenchmark +18.6%, lbm +13.3%, regular average +11.4%;
+//   deepsjeng/roms overhead 34%/42% without the stop valve, recovered to
+//   ~0%/0.1% with it; average irregular overhead 38.52% -> 2.82%.
+#include <iostream>
+#include <optional>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+namespace {
+
+std::optional<double> paper_value(const std::string& name) {
+  if (name == "microbenchmark") return 0.186;
+  if (name == "lbm") return 0.133;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "fig8_dfp",
+      "Fig. 8: DFP / DFP-stop improvement per benchmark (positive = faster)");
+
+  const auto cfg = bench::bench_platform();
+  const auto opts = bench::bench_options();
+
+  TextTable tbl({"workload", "category", "DFP", "DFP-stop", "stopped?",
+                 "paper (DFP)"});
+  std::vector<double> regular_improvements;
+  std::vector<double> irregular_dfp;
+  std::vector<double> irregular_stop;
+
+  for (const auto& name : trace::large_ws_benchmarks()) {
+    const auto* w = trace::find_workload(name);
+    const auto c = core::compare_schemes(
+        name, {core::Scheme::kDfp, core::Scheme::kDfpStop}, cfg, opts);
+    const auto* dfp = c.find(core::Scheme::kDfp);
+    const auto* stop = c.find(core::Scheme::kDfpStop);
+    tbl.add_row({name, trace::to_string(w->info.category),
+                 TextTable::pct(dfp->improvement),
+                 TextTable::pct(stop->improvement),
+                 stop->metrics.dfp_stopped ? "yes" : "no",
+                 bench::fmt_improvement(paper_value(name))});
+    if (w->info.category == trace::Category::kLargeRegular) {
+      regular_improvements.push_back(dfp->improvement);
+    } else if (dfp->improvement < 0.0) {
+      irregular_dfp.push_back(-dfp->improvement);
+      irregular_stop.push_back(
+          stop->improvement < 0.0 ? -stop->improvement : 0.0);
+    }
+  }
+  std::cout << tbl.render();
+
+  std::cout << "\nRegular-benchmark average improvement: "
+            << TextTable::pct(arithmetic_mean(regular_improvements))
+            << "  (paper: +11.4%)\n";
+  if (!irregular_dfp.empty()) {
+    std::cout << "Irregular-benchmark average overhead: DFP "
+              << TextTable::pct(arithmetic_mean(irregular_dfp))
+              << " -> DFP-stop "
+              << TextTable::pct(arithmetic_mean(irregular_stop))
+              << "  (paper: 38.52% -> 2.82%)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// google-benchmark micro-benchmarks of the building blocks on the hot
+// paths: Algorithm 1's predictor update, the presence-bitmap check
+// (BIT_MAP_CHECK's cost on our side of the simulation), the driver fault
+// path, and end-to-end simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/simulator.h"
+#include "dfp/stream_predictor.h"
+#include "sgxsim/bitmap.h"
+#include "sgxsim/driver.h"
+#include "sip/site_classifier.h"
+#include "trace/workloads.h"
+
+namespace sgxpl {
+namespace {
+
+void BM_PredictorSequentialFaults(benchmark::State& state) {
+  dfp::StreamPredictor sp(dfp::StreamPredictorParams{
+      .stream_list_len = static_cast<std::size_t>(state.range(0))});
+  PageNum page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sp.on_fault(ProcessId{0}, page++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorSequentialFaults)->Arg(8)->Arg(30)->Arg(128);
+
+void BM_PredictorRandomFaults(benchmark::State& state) {
+  dfp::StreamPredictor sp(dfp::StreamPredictorParams{
+      .stream_list_len = static_cast<std::size_t>(state.range(0))});
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sp.on_fault(ProcessId{0}, rng.bounded(1 << 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorRandomFaults)->Arg(8)->Arg(30)->Arg(128);
+
+void BM_BitmapCheck(benchmark::State& state) {
+  sgxsim::PresenceBitmap bm(1 << 18);
+  Rng rng(2);
+  for (PageNum p = 0; p < (1 << 18); p += 3) {
+    bm.set(p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm.test(rng.bounded(1 << 18)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapCheck);
+
+void BM_SiteClassifier(benchmark::State& state) {
+  sip::SiteClassifier classifier;
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        classifier.classify(ProcessId{0}, rng.bounded(1 << 16)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SiteClassifier);
+
+void BM_DriverFaultPath(benchmark::State& state) {
+  sgxsim::EnclaveConfig cfg;
+  cfg.elrange_pages = 1 << 20;
+  cfg.epc_pages = 1 << 12;
+  sgxsim::CostModel costs;
+  sgxsim::Driver driver(cfg, costs);
+  Rng rng(4);
+  Cycles now = 0;
+  for (auto _ : state) {
+    now = driver.access(rng.bounded(1 << 20), now).completion + 1'000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DriverFaultPath);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const auto* w = trace::find_workload("deepsjeng");
+  const auto t = w->make(trace::WorkloadParams{.scale = 0.05, .seed = 9});
+  auto cfg = core::paper_platform(core::Scheme::kHybrid);
+  cfg.enclave.epc_pages = 1'200;
+  sip::InstrumentationPlan plan;
+  for (SiteId s = 100; s < 135; ++s) {
+    plan.add_site(s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::simulate(t, cfg, &plan));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+}  // namespace
+}  // namespace sgxpl
+
+BENCHMARK_MAIN();

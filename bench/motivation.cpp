@@ -1,0 +1,65 @@
+// Motivation study (paper §1-§2): the cost of running a memory-hungry
+// program inside an SGX enclave.
+//   - The 1 GiB sequential micro-benchmark slows down ~46x when moved into
+//     an enclave whose working set exceeds the EPC.
+//   - An enclave page fault costs ~60,000-64,000 cycles
+//     (AEX ~10k + ELDU ~44k + ERESUME ~10k), vs ~2,000 outside.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/simulator.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+int main() {
+  bench::print_header(
+      "motivation",
+      "paper §1/§2: in-enclave slowdown of the 1 GiB scan + fault cost"
+      " decomposition");
+
+  const auto cfg = bench::bench_platform();
+  const auto& costs = cfg.costs;
+
+  TextTable decomp({"event", "cycles", "paper"});
+  decomp.add_row({"AEX (enclave exit on fault)", std::to_string(costs.aex),
+                  "~10,000"});
+  decomp.add_row({"ELDU/ELDB (page load)", std::to_string(costs.epc_load),
+                  "~44,000"});
+  decomp.add_row({"ERESUME (enclave re-entry)", std::to_string(costs.eresume),
+                  "~10,000"});
+  decomp.add_row({"EWB share (eviction)", std::to_string(costs.epc_evict),
+                  "(60k-64k total)"});
+  decomp.add_row({"enclave fault, EPC not full",
+                  std::to_string(costs.fault_cost_min()), "~60,000"});
+  decomp.add_row({"enclave fault, EPC full",
+                  std::to_string(costs.fault_cost_max()), "~64,000"});
+  decomp.add_row({"native page fault", std::to_string(costs.native_fault),
+                  "~2,000"});
+  std::cout << decomp.render() << '\n';
+
+  const auto* micro = trace::find_workload("microbenchmark");
+  const auto t = micro->make(trace::ref_params(bench::bench_scale()));
+
+  auto native_cfg = cfg;
+  native_cfg.scheme = core::Scheme::kNative;
+  const auto native = core::simulate(t, native_cfg);
+
+  auto enclave_cfg = cfg;
+  enclave_cfg.scheme = core::Scheme::kBaseline;
+  const auto enclave = core::simulate(t, enclave_cfg);
+
+  const double slowdown = static_cast<double>(enclave.total_cycles) /
+                          static_cast<double>(native.total_cycles);
+
+  TextTable tbl({"run", "cycles", "page faults", "slowdown"});
+  tbl.add_row({"native (outside enclave)", std::to_string(native.total_cycles),
+               std::to_string(native.enclave_faults), "1.0x"});
+  tbl.add_row({"SGX enclave (96 MiB EPC)", std::to_string(enclave.total_cycles),
+               std::to_string(enclave.enclave_faults),
+               TextTable::fmt(slowdown, 1) + "x"});
+  std::cout << tbl.render();
+  std::cout << "\nPaper reports ~46x for this scan; the gap is dominated by\n"
+               "the fault-handling cycles the table above decomposes.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Multi-enclave EPC sharing (paper §5.6 discussion): several enclaves split
+// the same 96 MiB EPC and the same paging channel. The paper predicts (a)
+// contention degrades everyone — like sharing an LLC, and (b) each enclave
+// can still run its preloading independently and benefit.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/multi_enclave.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+int main() {
+  bench::print_header("multi_enclave",
+                      "§5.6: two enclaves sharing one EPC + paging channel "
+                      "(per-enclave preloading still pays)");
+
+  const double scale = bench::bench_scale();
+  const auto cfg = bench::bench_platform();
+
+  struct Pair {
+    const char* a;
+    const char* b;
+  };
+  TextTable tbl({"pair", "enclave", "solo cycles", "shared cycles",
+                 "contention slowdown", "shared DFP-stop", "DFP gain"});
+
+  for (const Pair& pair : {Pair{"lbm", "deepsjeng"}, Pair{"SIFT", "MSER"}}) {
+    const auto ta = trace::find_workload(pair.a)->make(trace::ref_params(scale));
+    const auto tb = trace::find_workload(pair.b)->make(trace::ref_params(scale));
+
+    const auto solo_a = core::simulate(ta, cfg);
+    const auto solo_b = core::simulate(tb, cfg);
+
+    core::MultiEnclaveSimulator multi(cfg);
+    const auto base =
+        multi.run({core::EnclaveApp{&ta, core::Scheme::kBaseline, nullptr},
+                   core::EnclaveApp{&tb, core::Scheme::kBaseline, nullptr}});
+    const auto dfp =
+        multi.run({core::EnclaveApp{&ta, core::Scheme::kDfpStop, nullptr},
+                   core::EnclaveApp{&tb, core::Scheme::kDfpStop, nullptr}});
+
+    const std::string pname = std::string(pair.a) + "+" + pair.b;
+    for (int i = 0; i < 2; ++i) {
+      const auto& solo = i == 0 ? solo_a : solo_b;
+      const auto& sh = base.per_enclave[static_cast<std::size_t>(i)];
+      const auto& shd = dfp.per_enclave[static_cast<std::size_t>(i)];
+      const double slowdown = static_cast<double>(sh.total_cycles) /
+                              static_cast<double>(solo.total_cycles);
+      const double gain = 1.0 - static_cast<double>(shd.total_cycles) /
+                                    static_cast<double>(sh.total_cycles);
+      tbl.add_row({pname, i == 0 ? pair.a : pair.b,
+                   std::to_string(solo.total_cycles),
+                   std::to_string(sh.total_cycles),
+                   TextTable::fmt(slowdown, 2) + "x",
+                   std::to_string(shd.total_cycles), TextTable::pct(gain)});
+    }
+  }
+  std::cout << tbl.render();
+  std::cout << "\n\"DFP gain\" compares shared-EPC DFP-stop against the "
+               "shared-EPC baseline: preloading keeps\npaying under "
+               "contention, as §5.6 argues, while the contention itself "
+               "(solo -> shared slowdown)\nis the unsolved fairness problem "
+               "the paper defers to cache-partitioning work.\n";
+  return 0;
+}

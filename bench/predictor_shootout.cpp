@@ -1,0 +1,52 @@
+// Predictor shootout: the paper's §4.1 notes DFP accommodates arbitrary
+// prediction strategies and ships the multiple-stream predictor "without
+// losing generality and simplicity". This bench runs the whole predictor
+// library through the same DFP engine (stop valve on) across representative
+// workloads — showing where Algorithm 1 wins, where a stride or Markov
+// predictor would win, and what the adaptive tournament recovers.
+#include <iostream>
+
+#include "bench_common.h"
+#include "dfp/dfp_engine.h"
+
+using namespace sgxpl;
+
+int main() {
+  bench::print_header("predictor_shootout",
+                      "§4.1 extension: DFP improvement per predictor "
+                      "(stop valve enabled; positive = faster)");
+
+  const std::vector<dfp::PredictorKind> kinds = {
+      dfp::PredictorKind::kMultiStream, dfp::PredictorKind::kNextN,
+      dfp::PredictorKind::kStride, dfp::PredictorKind::kMarkov,
+      dfp::PredictorKind::kTournament};
+  const std::vector<std::string> workloads = {
+      "microbenchmark", "lbm", "wrf", "deepsjeng", "omnetpp", "SIFT"};
+
+  std::vector<std::string> header = {"workload"};
+  for (const auto k : kinds) {
+    header.emplace_back(dfp::to_string(k));
+  }
+  TextTable tbl(header);
+
+  const auto opts = bench::bench_options();
+  for (const auto& name : workloads) {
+    std::vector<std::string> row = {name};
+    for (const auto k : kinds) {
+      auto cfg = bench::bench_platform(core::Scheme::kDfpStop);
+      cfg.dfp.kind = k;
+      const auto c =
+          core::compare_schemes(name, {core::Scheme::kDfpStop}, cfg, opts);
+      row.push_back(TextTable::pct(c.find(core::Scheme::kDfpStop)->improvement));
+    }
+    tbl.add_row(std::move(row));
+  }
+  std::cout << tbl.render();
+  std::cout << "\nReading: the paper's multi-stream predictor leads on "
+               "sequential workloads; wrf's strided\nsweeps belong to the "
+               "stride predictor; next-n pays for its unconditional "
+               "aggression on\nirregular workloads until the stop valve "
+               "kills it; the tournament tracks the per-workload\nwinner "
+               "without knowing it in advance.\n";
+  return 0;
+}

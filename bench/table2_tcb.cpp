@@ -1,0 +1,54 @@
+// Table 2: number of SIP instrumentation points per benchmark — the TCB
+// growth study (§5.5). The preloading notification itself is 23 lines of C;
+// the per-application cost is the number of inserted call sites, which this
+// bench regenerates by running the SIP compile pipeline (train-input
+// profile, 5% threshold).
+#include <iostream>
+#include <optional>
+
+#include "bench_common.h"
+#include "sip/pipeline.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+namespace {
+
+std::optional<int> paper_points(const std::string& name) {
+  if (name == "mcf.2006") return 114;
+  if (name == "mcf") return 99;
+  if (name == "xz") return 46;
+  if (name == "deepsjeng") return 35;
+  if (name == "lbm") return 0;
+  if (name == "MSER") return 54;
+  if (name == "SIFT") return 0;
+  if (name == "microbenchmark") return 0;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("table2_tcb",
+                      "Table 2: SIP instrumentation points per benchmark "
+                      "(TCB growth)");
+
+  const auto cfg = bench::bench_platform();
+  const auto opts = bench::bench_options();
+
+  TextTable tbl({"benchmark", "instrumentation points", "paper"});
+  for (const char* name : {"mcf.2006", "mcf", "xz", "deepsjeng", "lbm",
+                           "MSER", "SIFT", "microbenchmark"}) {
+    const auto* w = trace::find_workload(name);
+    const auto compiled = sip::compile_workload(
+        *w, cfg.sip, trace::train_params(opts.train_scale));
+    const auto paper = paper_points(name);
+    tbl.add_row({name, std::to_string(compiled.plan.points()),
+                 paper ? std::to_string(*paper) : "-"});
+  }
+  std::cout << tbl.render();
+  std::cout << "\nThe notification function itself is a fixed ~23 lines of "
+               "C; TCB growth is bounded by these site counts.\nDFP adds "
+               "nothing to the TCB (it runs entirely in the untrusted OS).\n";
+  return 0;
+}

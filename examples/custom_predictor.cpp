@@ -1,0 +1,115 @@
+// Plugging a custom page-access predictor into the SGX driver model.
+//
+// The paper notes (§4.1) that DFP's mechanism accommodates arbitrarily
+// sophisticated predictors — heuristics or even learned models — and ships
+// a multiple-stream predictor as the demonstration. This example implements
+// a *strided* predictor on the raw sgxsim::PreloadPolicy interface (the
+// same hook DfpEngine uses), replays a strided workload through the driver
+// by hand, and compares it against the built-in stream predictor, which is
+// blind to strides.
+//
+//   $ ./custom_predictor
+#include <iostream>
+#include <map>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "dfp/dfp_engine.h"
+#include "sgxsim/driver.h"
+#include "trace/generators.h"
+
+using namespace sgxpl;
+
+namespace {
+
+/// Detects per-process constant page strides from the fault history and
+/// preloads the next few pages along the detected stride.
+class StridePredictor final : public sgxsim::PreloadPolicy {
+ public:
+  explicit StridePredictor(std::uint64_t depth) : depth_(depth) {}
+
+  std::vector<PageNum> on_fault(ProcessId pid, PageNum page,
+                                Cycles /*now*/) override {
+    auto& st = state_[pid];
+    std::vector<PageNum> out;
+    if (st.last != kInvalidPage && page > st.last) {
+      const PageNum stride = page - st.last;
+      if (stride == st.stride && stride > 0) {
+        for (std::uint64_t i = 1; i <= depth_; ++i) {
+          out.push_back(page + i * stride);
+        }
+      }
+      st.stride = stride;
+    }
+    st.last = page;
+    return out;
+  }
+  void on_preload_completed(PageNum, Cycles) override {}
+  void on_preloads_aborted(const std::vector<PageNum>&, Cycles) override {}
+  void on_preloaded_page_evicted(PageNum, bool, Cycles) override {}
+  void on_scan(const sgxsim::PageTable&, Cycles) override {}
+
+ private:
+  struct State {
+    PageNum last = kInvalidPage;
+    PageNum stride = 0;
+  };
+  std::uint64_t depth_;
+  std::map<ProcessId, State> state_;
+};
+
+/// Replay a trace through a driver, returning the finishing time.
+Cycles replay(const trace::Trace& t, sgxsim::PreloadPolicy* policy,
+              std::uint64_t* faults) {
+  sgxsim::EnclaveConfig cfg;
+  cfg.elrange_pages = t.elrange_pages();
+  cfg.epc_pages = 2'048;
+  sgxsim::Driver driver(cfg, sgxsim::CostModel{}, policy);
+  Cycles now = 0;
+  for (const auto& a : t.accesses()) {
+    now = driver.access(a.page, now + a.gap).completion;
+  }
+  driver.check_invariants();
+  *faults = driver.stats().faults;
+  return now;
+}
+
+}  // namespace
+
+int main() {
+  // A stride-3 grid sweep: invisible to the sequential stream predictor,
+  // trivial for the stride predictor.
+  trace::Trace t("strided", 12'000);
+  Rng rng(7);
+  trace::strided_sweep(t, rng, trace::Region{0, 9'000}, /*stride=*/3,
+                       /*site=*/1, trace::GapModel{.mean = 6'000,
+                                                   .jitter_pct = 0.1});
+
+  std::uint64_t base_faults = 0;
+  const Cycles baseline = replay(t, nullptr, &base_faults);
+
+  dfp::DfpEngine stream_engine{dfp::DfpParams{}};
+  std::uint64_t stream_faults = 0;
+  const Cycles stream = replay(t, &stream_engine, &stream_faults);
+
+  StridePredictor stride_engine{/*depth=*/4};
+  std::uint64_t stride_faults = 0;
+  const Cycles stride = replay(t, &stride_engine, &stride_faults);
+
+  TextTable tbl({"predictor", "cycles", "faults", "improvement"});
+  auto pct = [&](Cycles c) {
+    return TextTable::pct(1.0 - static_cast<double>(c) /
+                                    static_cast<double>(baseline));
+  };
+  tbl.add_row({"none (baseline)", std::to_string(baseline),
+               std::to_string(base_faults), "-"});
+  tbl.add_row({"multiple-stream (paper)", std::to_string(stream),
+               std::to_string(stream_faults), pct(stream)});
+  tbl.add_row({"stride (custom)", std::to_string(stride),
+               std::to_string(stride_faults), pct(stride)});
+  std::cout << tbl.render();
+  std::cout << "\nThe stream predictor never fires on a stride-3 sweep; the "
+               "custom predictor hides most\nfaults. Implementing "
+               "sgxsim::PreloadPolicy is all it takes to swap predictors.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// The paper's Fig. 5, end to end: a function whose two memory accesses —
+// `array[st]` (data-dependent index) and `result_map[key]` (hash map) —
+// fault constantly, get discovered by profiling, instrumented with
+// BIT_MAP_CHECK + page_loadin_function, and sped up.
+//
+// Here the "program" is its page-access trace: site 1 = the sequential
+// walk over `case_`, site 2 = `array[st]`, site 3 = `result_map[key]`.
+//
+//   $ ./instrumented_app
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/simulator.h"
+#include "sip/instrumenter.h"
+#include "sip/profiler.h"
+#include "trace/generators.h"
+
+using namespace sgxpl;
+
+namespace {
+
+/// Build the trace of Fig. 5's solution(): for each loop iteration, one
+/// sequential read of case_[i], one data-dependent read of array[st], one
+/// hash-distributed update of result_map[key].
+trace::Trace make_solution_trace(std::uint64_t iterations, std::uint64_t seed) {
+  const PageNum case_pages = 2'000;    // case_: scanned sequentially
+  const PageNum array_pages = 30'000;  // array: indexed by tempsum+case_[i]
+  const PageNum map_pages = 30'000;    // result_map: hash-distributed
+  trace::Trace t("fig5-solution", case_pages + array_pages + map_pages + 8);
+  Rng rng(seed);
+  const trace::GapModel gap{.mean = 6'000, .jitter_pct = 0.2};
+  PageNum case_cursor = 0;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    // case_[i]: sequential (Class 2 — left to DFP).
+    t.append({.page = case_cursor / 512 % case_pages,
+              .site = 1,
+              .gap = gap.sample(rng)});
+    ++case_cursor;
+    // array[st]: the index mixes loop state with input data — irregular.
+    t.append({.page = case_pages + rng.bounded(array_pages),
+              .site = 2,
+              .gap = gap.sample(rng)});
+    // result_map[key]: hash of a data value — irregular.
+    t.append({.page = case_pages + array_pages + rng.bounded(map_pages),
+              .site = 3,
+              .gap = gap.sample(rng)});
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  // --- Profiling run (the PGO step, smaller input). ---
+  const auto profile_trace = make_solution_trace(30'000, /*seed=*/7);
+  const auto profile = sip::profile_trace(profile_trace);
+
+  TextTable prof({"site", "expression", "class1", "class2", "class3",
+                  "irregular ratio", "instrumented?"});
+  const char* exprs[] = {"", "case_[i]", "array[st]", "result_map[key]"};
+  const auto plan = sip::build_plan(profile);
+  for (SiteId site = 1; site <= 3; ++site) {
+    const auto* c = profile.find(site);
+    prof.add_row({std::to_string(site), exprs[site], std::to_string(c->class1),
+                  std::to_string(c->class2), std::to_string(c->class3),
+                  TextTable::pct(c->irregular_ratio()),
+                  plan.instrumented(site) ? "yes" : "no"});
+  }
+  std::cout << "Profiling (paper Fig. 5: the two irregular accesses are "
+               "found, the sequential one is left to DFP):\n"
+            << prof.render() << '\n';
+
+  // --- Performance run on a different input. ---
+  const auto run_trace = make_solution_trace(100'000, /*seed=*/42);
+  core::SimConfig cfg = core::paper_platform();
+  cfg.enclave.epc_pages = 12'288;  // 48 MiB: the maps overflow it
+
+  const auto baseline = core::simulate(run_trace, cfg);
+  cfg.scheme = core::Scheme::kSip;
+  const auto sip = core::simulate(run_trace, cfg, &plan);
+  cfg.scheme = core::Scheme::kHybrid;
+  const auto hybrid = core::simulate(run_trace, cfg, &plan);
+
+  TextTable res({"scheme", "cycles", "faults", "improvement"});
+  res.add_row({"baseline", std::to_string(baseline.total_cycles),
+               std::to_string(baseline.enclave_faults), "-"});
+  res.add_row({"SIP", std::to_string(sip.total_cycles),
+               std::to_string(sip.enclave_faults),
+               TextTable::pct(sip.improvement_over(baseline))});
+  res.add_row({"SIP+DFP", std::to_string(hybrid.total_cycles),
+               std::to_string(hybrid.enclave_faults),
+               TextTable::pct(hybrid.improvement_over(baseline))});
+  std::cout << res.render();
+  std::cout << "\nThe notifications convert the array/map faults "
+               "(page_loadin instead of AEX+ELDU+ERESUME);\nDFP covers the "
+               "sequential case_[i] walk in the hybrid.\n";
+  return 0;
+}

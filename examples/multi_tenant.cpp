@@ -1,0 +1,101 @@
+// Multi-tenant cloud host: several enclaves (a vision service and a chess
+// engine) share the machine's single EPC and paging channel — the scenario
+// the paper's §5.6 discussion sketches for SGX-capable cloud platforms
+// (Azure Confidential Computing, IBM Cloud).
+//
+//   $ ./multi_tenant [scale]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/multi_enclave.h"
+#include "core/multi_thread.h"
+#include "core/simulator.h"
+#include "trace/generators.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.35;
+
+  const auto sift = trace::find_workload("SIFT")->make(trace::ref_params(scale));
+  const auto sjeng =
+      trace::find_workload("deepsjeng")->make(trace::ref_params(scale));
+  const auto lbm = trace::find_workload("lbm")->make(trace::ref_params(scale));
+
+  auto cfg = core::paper_platform();
+  cfg.enclave.epc_pages = static_cast<PageNum>(
+      static_cast<double>(cfg.enclave.epc_pages) * scale);
+
+  std::cout << "Three tenants on one SGX host ("
+            << cfg.enclave.epc_pages << " shared EPC pages):\n"
+            << "  tenant 0: SIFT       (vision service, streaming)\n"
+            << "  tenant 1: deepsjeng  (chess engine, irregular)\n"
+            << "  tenant 2: lbm        (simulation batch job, streaming)\n\n";
+
+  core::MultiEnclaveSimulator multi(cfg);
+  const auto baseline =
+      multi.run({core::EnclaveApp{&sift, core::Scheme::kBaseline, nullptr},
+                 core::EnclaveApp{&sjeng, core::Scheme::kBaseline, nullptr},
+                 core::EnclaveApp{&lbm, core::Scheme::kBaseline, nullptr}});
+  const auto preloaded =
+      multi.run({core::EnclaveApp{&sift, core::Scheme::kDfpStop, nullptr},
+                 core::EnclaveApp{&sjeng, core::Scheme::kDfpStop, nullptr},
+                 core::EnclaveApp{&lbm, core::Scheme::kDfpStop, nullptr}});
+
+  TextTable tbl({"tenant", "baseline cycles", "DFP-stop cycles", "gain",
+                 "faults", "preloads used", "stopped?"});
+  const char* names[] = {"SIFT", "deepsjeng", "lbm"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& b = baseline.per_enclave[i];
+    const auto& p = preloaded.per_enclave[i];
+    tbl.add_row({names[i], std::to_string(b.total_cycles),
+                 std::to_string(p.total_cycles),
+                 TextTable::pct(1.0 - static_cast<double>(p.total_cycles) /
+                                          static_cast<double>(b.total_cycles)),
+                 std::to_string(p.enclave_faults),
+                 std::to_string(p.dfp_acc_preload_counter),
+                 p.dfp_stopped ? "yes" : "no"});
+  }
+  std::cout << tbl.render();
+  std::cout << "\nmakespan: " << baseline.makespan << " -> "
+            << preloaded.makespan << " cycles ("
+            << TextTable::pct(1.0 -
+                              static_cast<double>(preloaded.makespan) /
+                                  static_cast<double>(baseline.makespan))
+            << ")\n"
+            << "Each tenant runs its own DFP engine against the shared "
+               "driver; the irregular tenant's\nengine stops itself (the "
+               "per-enclave safety valve), the streaming tenants keep "
+               "their gains.\n";
+
+  // --- Bonus: threads inside ONE enclave (paper §3.1 keys the fault
+  // history per thread). A worker scan plus a random-probing helper share
+  // the ELRANGE; the per-thread history keeps the worker's streams alive.
+  std::cout << "\nThreads within one enclave (per-thread fault history):\n";
+  const auto worker_pages = static_cast<PageNum>(30'000 * scale);
+  const PageNum elrange = 3 * worker_pages + 64;
+  trace::Trace worker("worker", elrange);
+  trace::Trace helper("helper", elrange);
+  Rng rng(5);
+  trace::seq_scan(worker, rng, trace::Region{0, worker_pages}, 1,
+                  trace::GapModel{.mean = 45'000, .jitter_pct = 0.2});
+  trace::random_access(helper, rng,
+                       trace::Region{worker_pages, 2 * worker_pages},
+                       worker_pages, 9, 4,
+                       trace::GapModel{.mean = 9'000, .jitter_pct = 0.2});
+
+  const auto tb = core::run_threads(cfg, {&worker, &helper});
+  auto dfp_cfg = cfg;
+  dfp_cfg.scheme = core::Scheme::kDfpStop;
+  const auto td = core::run_threads(dfp_cfg, {&worker, &helper});
+  std::cout << "  worker thread: " << tb.per_thread[0].total_cycles << " -> "
+            << td.per_thread[0].total_cycles << " cycles ("
+            << TextTable::pct(
+                   1.0 - static_cast<double>(td.per_thread[0].total_cycles) /
+                             static_cast<double>(tb.per_thread[0].total_cycles))
+            << " with DFP-stop, despite the noisy helper thread)\n";
+  return 0;
+}

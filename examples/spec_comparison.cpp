@@ -1,0 +1,70 @@
+// Compare every preloading scheme on one of the built-in workload models.
+//
+//   $ ./spec_comparison deepsjeng [scale]
+//   $ ./spec_comparison --list
+//
+// This is the command-line face of the experiment harness: it compiles the
+// SIP plan from the workload's train input (when the workload supports
+// SIP), runs baseline / DFP / DFP-stop / SIP / hybrid on the ref input,
+// and prints the paper-style normalized comparison.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "deepsjeng";
+  if (name == "--list") {
+    std::cout << "available workloads:\n";
+    for (const auto& w : trace::all_workloads()) {
+      std::cout << "  " << w.info.name << " — " << w.info.description << '\n';
+    }
+    return 0;
+  }
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+  const auto* w = trace::find_workload(name);
+  if (w == nullptr) {
+    std::cerr << "unknown workload '" << name
+              << "' (try --list for the registry)\n";
+    return 1;
+  }
+
+  auto cfg = core::paper_platform();
+  cfg.enclave.epc_pages = static_cast<PageNum>(
+      static_cast<double>(cfg.enclave.epc_pages) * scale);
+  const core::ExperimentOptions opts{.scale = scale,
+                                     .train_scale = 0.35 * scale};
+  const auto c = core::compare_schemes(
+      *w,
+      {core::Scheme::kDfp, core::Scheme::kDfpStop, core::Scheme::kSip,
+       core::Scheme::kHybrid},
+      cfg, opts);
+
+  std::cout << name << " (" << trace::to_string(w->info.category) << ", "
+            << trace::to_string(w->info.language) << ")\n"
+            << "baseline: " << c.baseline.total_cycles << " cycles, "
+            << c.baseline.enclave_faults << " faults";
+  if (c.sip_points > 0) {
+    std::cout << "; SIP instrumented " << c.sip_points << " sites";
+  }
+  std::cout << "\n\n";
+
+  TextTable tbl({"scheme", "normalized time", "improvement", "faults",
+                 "preloads used/total"});
+  for (const auto& r : c.schemes) {
+    const auto& m = r.metrics;
+    tbl.add_row({core::to_string(r.scheme), TextTable::fmt(r.normalized, 3),
+                 TextTable::pct(r.improvement),
+                 std::to_string(m.enclave_faults),
+                 std::to_string(m.driver.preloads_used) + "/" +
+                     std::to_string(m.driver.preloads_completed +
+                                    m.driver.sip_loads)});
+  }
+  std::cout << tbl.render();
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+namespace sgxpl::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream oss;
+  oss << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw CheckFailure(oss.str());
+}
+
+}  // namespace sgxpl::detail

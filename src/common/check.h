@@ -1,0 +1,50 @@
+// Invariant checking.
+//
+// SGXPL_CHECK is always on and throws sgxpl::CheckFailure (derived from
+// std::logic_error) so tests can assert on violated invariants rather than
+// aborting the process. SGXPL_DCHECK compiles away in NDEBUG builds and is
+// meant for hot paths (per-access checks in the simulator inner loop).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sgxpl {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace sgxpl
+
+#define SGXPL_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      ::sgxpl::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+    }                                                                      \
+  } while (false)
+
+#define SGXPL_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      std::ostringstream sgxpl_oss_;                                       \
+      sgxpl_oss_ << msg;                                                   \
+      ::sgxpl::detail::check_failed(#expr, __FILE__, __LINE__,             \
+                                    sgxpl_oss_.str());                     \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define SGXPL_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define SGXPL_DCHECK(expr) SGXPL_CHECK(expr)
+#endif

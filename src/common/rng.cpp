@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace sgxpl {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& w : state_) {
+    w = splitmix64(s);
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::bounded(std::uint64_t bound) noexcept {
+  SGXPL_DCHECK(bound != 0);
+  // Lemire's nearly-divisionless bounded draw.
+  __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  SGXPL_DCHECK(lo <= hi);
+  return lo + bounded(hi - lo + 1);
+}
+
+double Rng::real() noexcept {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real() < p;
+}
+
+std::uint64_t Rng::burst(double p, std::uint64_t cap) noexcept {
+  std::uint64_t len = 1;
+  while (len < cap && chance(p)) {
+    ++len;
+  }
+  return len;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  SGXPL_CHECK(n >= 1);
+  SGXPL_CHECK_MSG(alpha > 0.0 && alpha != 1.0,
+                  "alpha=1 needs the harmonic special case; use e.g. 0.99");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -alpha_));
+}
+
+double ZipfSampler::h(double x) const noexcept {
+  return std::pow(x, 1.0 - alpha_) / (1.0 - alpha_);
+}
+
+double ZipfSampler::h_inv(double x) const noexcept {
+  return std::pow((1.0 - alpha_) * x, 1.0 / (1.0 - alpha_));
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) noexcept {
+  // Hörmann & Derflinger rejection-inversion; returns ranks in [1, n],
+  // mapped to [0, n-1].
+  for (;;) {
+    const double u = h_n_ + rng.real() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    const auto k = static_cast<std::uint64_t>(x + 0.5);
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_) {
+      return (k == 0 ? 1 : k) - 1;
+    }
+    if (u >= h(kd + 0.5) - std::pow(kd, -alpha_)) {
+      return (k == 0 ? 1 : k) - 1;
+    }
+  }
+}
+
+}  // namespace sgxpl

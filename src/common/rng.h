@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Every workload generator in this repository is seeded explicitly so traces
+// are bit-reproducible across runs and platforms; std::mt19937 would also
+// work but xoshiro256** is smaller, faster, and its output sequence is
+// pinned here (libstdc++ distributions are not portable across
+// implementations, so we implement our own bounded/real draws too).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace sgxpl {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded via splitmix64 so that any 64-bit seed gives a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound) via Lemire's multiply-shift rejection.
+  /// bound must be nonzero.
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double real() noexcept;
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Geometric-ish burst length: 1 + number of successes with prob p.
+  /// Used to synthesize run lengths in mixed access patterns.
+  std::uint64_t burst(double p, std::uint64_t cap) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// A Zipf(alpha) sampler over {0, .., n-1} using the rejection-inversion
+/// method of Hörmann & Derflinger — O(1) per sample, no O(n) table, suitable
+/// for the multi-gigabyte page ranges modeled by irregular workloads.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  std::uint64_t operator()(Rng& rng) noexcept;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double h(double x) const noexcept;
+  double h_inv(double x) const noexcept;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace sgxpl

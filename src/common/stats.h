@@ -1,0 +1,78 @@
+// Streaming summary statistics and fixed-bucket histograms used by metrics
+// reporting and the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sgxpl {
+
+/// Welford streaming mean/variance with min/max. O(1) memory; suitable for
+/// per-access latencies over multi-million-record traces.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another RunningStat into this one (parallel-friendly).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over [lo, hi) with uniform buckets plus underflow/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Value below which the given fraction of samples fall (linear
+  /// interpolation within the winning bucket). q in [0, 1].
+  double quantile(double q) const;
+
+  std::string to_string(std::size_t max_rows = 16) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Geometric mean of ratios — the conventional aggregate for normalized
+/// execution times across a benchmark suite.
+double geometric_mean(const std::vector<double>& xs);
+
+/// Arithmetic mean (the paper aggregates improvements arithmetically).
+double arithmetic_mean(const std::vector<double>& xs);
+
+}  // namespace sgxpl

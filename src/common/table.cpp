@@ -1,0 +1,72 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sgxpl {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SGXPL_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  SGXPL_CHECK_MSG(row.size() == header_.size(),
+                  "row arity " << row.size() << " != header arity "
+                               << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string TextTable::pct(double ratio, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << std::showpos
+      << ratio * 100.0 << '%';
+  return oss.str();
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    oss << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c] << " |";
+    }
+    oss << '\n';
+  };
+  auto emit_rule = [&] {
+    oss << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      oss << std::string(widths[c] + 2, '-') << '+';
+    }
+    oss << '\n';
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return oss.str();
+}
+
+}  // namespace sgxpl

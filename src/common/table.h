@@ -1,0 +1,33 @@
+// Plain-text table rendering for benchmark harness output. Every bench
+// binary prints the rows of the paper table/figure it regenerates through
+// this formatter so outputs are uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sgxpl {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  /// Formats a ratio as a signed percentage, e.g. +11.4%.
+  static std::string pct(double ratio, int precision = 1);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sgxpl

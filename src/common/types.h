@@ -1,0 +1,63 @@
+// Fundamental value types shared by every sgx-preload module.
+//
+// The simulator measures everything in *cycles* (virtual time) and *pages*
+// (4 KiB enclave pages, the granularity at which SGX's EPC is managed and the
+// only granularity visible to the untrusted OS: the bottom 12 bits of a
+// faulting address are cleared by the hardware before the OS sees it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace sgxpl {
+
+/// Virtual time / durations, in CPU cycles.
+using Cycles = std::uint64_t;
+
+/// Enclave virtual page number (address >> 12 within ELRANGE, zero-based).
+using PageNum = std::uint64_t;
+
+/// Index of a physical EPC slot.
+using SlotIndex = std::uint32_t;
+
+/// Static source-code site identifier (a load/store instruction after the
+/// compiler front-end; what the SIP instrumenter decides about).
+using SiteId = std::uint32_t;
+
+/// Process identifier, used by DFP to keep per-process stream lists.
+using ProcessId = std::uint32_t;
+
+inline constexpr std::size_t kPageSize = 4096;
+inline constexpr unsigned kPageShift = 12;
+
+/// Sentinel for "no page".
+inline constexpr PageNum kInvalidPage = std::numeric_limits<PageNum>::max();
+
+/// Sentinel for "no slot".
+inline constexpr SlotIndex kInvalidSlot = std::numeric_limits<SlotIndex>::max();
+
+/// Sentinel for "no site" (accesses synthesized without source attribution).
+inline constexpr SiteId kInvalidSite = std::numeric_limits<SiteId>::max();
+
+/// Convert a byte count to the number of 4 KiB pages needed to hold it.
+constexpr PageNum bytes_to_pages(std::uint64_t bytes) noexcept {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+/// Convert a page count to bytes.
+constexpr std::uint64_t pages_to_bytes(PageNum pages) noexcept {
+  return pages * kPageSize;
+}
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) noexcept {
+  return v * 1024ull;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v) noexcept {
+  return v * 1024ull * 1024ull;
+}
+constexpr std::uint64_t operator""_GiB(unsigned long long v) noexcept {
+  return v * 1024ull * 1024ull * 1024ull;
+}
+
+}  // namespace sgxpl

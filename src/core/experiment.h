@@ -1,0 +1,77 @@
+// Experiment harness shared by the benchmark binaries: runs a workload
+// under several schemes (compiling the SIP plan from the train input when a
+// scheme needs it) and reports normalized execution times the way the
+// paper's figures do.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/scheme.h"
+#include "core/simulator.h"
+#include "sip/pipeline.h"
+#include "trace/workloads.h"
+
+namespace sgxpl::core {
+
+struct SchemeResult {
+  Scheme scheme = Scheme::kBaseline;
+  Metrics metrics;
+  /// Execution time normalized to this comparison's baseline run.
+  double normalized = 1.0;
+  /// 1 - normalized; positive = faster than baseline.
+  double improvement = 0.0;
+};
+
+struct WorkloadComparison {
+  std::string workload;
+  Metrics baseline;
+  std::vector<SchemeResult> schemes;
+  /// Instrumentation points of the compiled SIP plan (0 if SIP unused).
+  std::size_t sip_points = 0;
+
+  const SchemeResult* find(Scheme s) const noexcept;
+};
+
+struct ExperimentOptions {
+  /// Scale applied to the ref (measurement) input.
+  double scale = 1.0;
+  /// Scale applied to the train (profiling) input.
+  double train_scale = 0.35;
+};
+
+/// Run `workload` under the baseline and each scheme in `schemes`, using
+/// `base_cfg` for the platform (its `scheme` field is overridden per run).
+/// SIP-using schemes get a plan compiled from the workload's train input
+/// with base_cfg.sip parameters; workloads SIP cannot instrument run those
+/// schemes with an empty plan (checks nothing, loads nothing).
+WorkloadComparison compare_schemes(const trace::Workload& workload,
+                                   const std::vector<Scheme>& schemes,
+                                   const SimConfig& base_cfg,
+                                   const ExperimentOptions& opts = {});
+
+/// compare_schemes by workload name (must exist in the registry).
+WorkloadComparison compare_schemes(const std::string& workload_name,
+                                   const std::vector<Scheme>& schemes,
+                                   const SimConfig& base_cfg,
+                                   const ExperimentOptions& opts = {});
+
+/// Replicated measurement, mirroring the paper's methodology ("each
+/// application is executed 5 times and their arithmetic means are used"):
+/// run the comparison on `replicas` different ref inputs (seeds) and report
+/// the mean and standard deviation of each scheme's improvement.
+struct ReplicatedResult {
+  Scheme scheme = Scheme::kBaseline;
+  double mean_improvement = 0.0;
+  double stddev = 0.0;
+  std::vector<double> samples;
+};
+
+std::vector<ReplicatedResult> compare_schemes_replicated(
+    const std::string& workload_name, const std::vector<Scheme>& schemes,
+    const SimConfig& base_cfg, const ExperimentOptions& opts = {},
+    int replicas = 5);
+
+}  // namespace sgxpl::core

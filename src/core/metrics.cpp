@@ -1,0 +1,35 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace sgxpl::core {
+
+double Metrics::improvement_over(const Metrics& baseline) const noexcept {
+  if (baseline.total_cycles == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(total_cycles) /
+                   static_cast<double>(baseline.total_cycles);
+}
+
+double Metrics::normalized_to(const Metrics& baseline) const noexcept {
+  if (baseline.total_cycles == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_cycles) /
+         static_cast<double>(baseline.total_cycles);
+}
+
+std::string Metrics::describe() const {
+  std::ostringstream oss;
+  oss << "Metrics{total=" << total_cycles << ", compute=" << compute_cycles
+      << ", contention=" << contention_cycles << ", accesses=" << accesses
+      << ", faults=" << enclave_faults << ", sip_checks=" << sip_checks
+      << ", sip_requests=" << sip_requests
+      << ", dfp{preloaded=" << dfp_preload_counter
+      << ", used=" << dfp_acc_preload_counter
+      << ", stopped=" << (dfp_stopped ? "yes" : "no") << "}}";
+  return oss.str();
+}
+
+}  // namespace sgxpl::core

@@ -1,0 +1,50 @@
+// Run metrics reported by the enclave simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "sgxsim/driver.h"
+
+namespace sgxpl::core {
+
+struct Metrics {
+  /// Virtual time at which the application finished the trace.
+  Cycles total_cycles = 0;
+  /// Pure compute portion (sum of trace gaps after contention inflation).
+  Cycles compute_cycles = 0;
+  /// Extra compute cycles caused by channel/memory contention.
+  Cycles contention_cycles = 0;
+
+  std::uint64_t accesses = 0;
+  std::uint64_t enclave_faults = 0;
+
+  // SIP runtime activity.
+  std::uint64_t sip_checks = 0;
+  std::uint64_t sip_requests = 0;  // notifications (bitmap said absent)
+  Cycles sip_check_cycles = 0;
+  Cycles sip_notification_cycles = 0;
+
+  // DFP engine outcome (zero/false when no DFP ran).
+  bool dfp_stopped = false;
+  Cycles dfp_stopped_at = 0;
+  std::uint64_t dfp_preload_counter = 0;
+  std::uint64_t dfp_acc_preload_counter = 0;
+  std::uint64_t dfp_predictor_hits = 0;
+  std::uint64_t dfp_predictor_misses = 0;
+
+  /// Final driver-side statistics (faults, loads, preload accounting, ...).
+  sgxsim::DriverStats driver;
+
+  /// Fractional improvement of this run over `baseline`
+  /// (positive = faster), the paper's headline metric.
+  double improvement_over(const Metrics& baseline) const noexcept;
+
+  /// Execution time normalized to `baseline` (the paper's figures).
+  double normalized_to(const Metrics& baseline) const noexcept;
+
+  std::string describe() const;
+};
+
+}  // namespace sgxpl::core

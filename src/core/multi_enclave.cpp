@@ -1,0 +1,214 @@
+#include "core/multi_enclave.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "dfp/dfp_engine.h"
+#include "sgxsim/driver.h"
+
+namespace sgxpl::core {
+
+namespace {
+
+/// Routes driver callbacks to per-enclave DFP engines: faults by ProcessId,
+/// page-scoped events (completion/abort/eviction) by ELRANGE offset.
+class PerEnclavePolicy final : public sgxsim::PreloadPolicy {
+ public:
+  struct Slot {
+    std::unique_ptr<dfp::DfpEngine> engine;  // null = no DFP for this app
+    PageNum lo = 0;
+    PageNum hi = 0;
+  };
+
+  explicit PerEnclavePolicy(std::vector<Slot> slots)
+      : slots_(std::move(slots)) {}
+
+  std::vector<PageNum> on_fault(ProcessId pid, PageNum page,
+                                Cycles now) override {
+    auto& slot = slots_.at(pid);
+    if (slot.engine == nullptr) {
+      return {};
+    }
+    // Predictions are already in the combined address space (the engine
+    // sees combined page numbers); clamp to the owner's ELRANGE so one
+    // enclave never preloads into another's range.
+    auto pages = slot.engine->on_fault(pid, page, now);
+    std::erase_if(pages, [&slot](PageNum p) {
+      return p < slot.lo || p >= slot.hi;
+    });
+    return pages;
+  }
+
+  void on_preload_completed(PageNum page, Cycles now) override {
+    if (auto* s = owner(page); s != nullptr && s->engine != nullptr) {
+      s->engine->on_preload_completed(page, now);
+    }
+  }
+
+  void on_preloads_aborted(const std::vector<PageNum>& pages,
+                           Cycles now) override {
+    for (const PageNum p : pages) {
+      if (auto* s = owner(p); s != nullptr && s->engine != nullptr) {
+        s->engine->on_preloads_aborted({p}, now);
+      }
+    }
+  }
+
+  void on_preloaded_page_evicted(PageNum page, bool was_accessed,
+                                 Cycles now) override {
+    if (auto* s = owner(page); s != nullptr && s->engine != nullptr) {
+      s->engine->on_preloaded_page_evicted(page, was_accessed, now);
+    }
+  }
+
+  void on_scan(const sgxsim::PageTable& pt, Cycles now) override {
+    for (auto& s : slots_) {
+      if (s.engine != nullptr) {
+        s.engine->on_scan(pt, now);
+      }
+    }
+  }
+
+  const dfp::DfpEngine* engine(std::size_t i) const {
+    return slots_.at(i).engine.get();
+  }
+
+ private:
+  Slot* owner(PageNum page) {
+    for (auto& s : slots_) {
+      if (page >= s.lo && page < s.hi) {
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace
+
+MultiEnclaveSimulator::MultiEnclaveSimulator(const SimConfig& config)
+    : config_(config) {}
+
+MultiEnclaveResult MultiEnclaveSimulator::run(
+    const std::vector<EnclaveApp>& apps) {
+  SGXPL_CHECK_MSG(!apps.empty(), "no enclaves to run");
+
+  // Lay the enclaves out at disjoint offsets in the combined space.
+  std::vector<PageNum> offset(apps.size());
+  PageNum total_pages = 0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    SGXPL_CHECK(apps[i].trace != nullptr && !apps[i].trace->empty());
+    offset[i] = total_pages;
+    total_pages += apps[i].trace->elrange_pages();
+  }
+
+  // Per-enclave scheme state.
+  std::vector<PerEnclavePolicy::Slot> slots;
+  slots.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    SimConfig probe = config_;
+    probe.scheme = apps[i].scheme;
+    PerEnclavePolicy::Slot slot;
+    slot.lo = offset[i];
+    slot.hi = offset[i] + apps[i].trace->elrange_pages();
+    if (probe.uses_dfp()) {
+      dfp::DfpParams params = config_.dfp;
+      if (probe.dfp_stop_forced()) {
+        params.stop_enabled = true;
+      }
+      slot.engine = std::make_unique<dfp::DfpEngine>(params);
+    }
+    if (probe.uses_sip()) {
+      SGXPL_CHECK_MSG(apps[i].plan != nullptr,
+                      "SIP scheme needs a plan (enclave " << i << ")");
+    }
+    slots.push_back(std::move(slot));
+  }
+  PerEnclavePolicy policy(std::move(slots));
+
+  sgxsim::EnclaveConfig ecfg = config_.enclave;
+  ecfg.elrange_pages = total_pages;
+  sgxsim::Driver driver(ecfg, config_.costs, &policy);
+
+  // Co-simulation: each enclave has its own clock and cursor; always step
+  // the one furthest behind.
+  struct AppState {
+    std::size_t cursor = 0;
+    Cycles now = 0;
+    bool done = false;
+    Metrics metrics;
+  };
+  std::vector<AppState> state(apps.size());
+
+  for (;;) {
+    std::size_t next = apps.size();
+    Cycles min_clock = std::numeric_limits<Cycles>::max();
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      if (!state[i].done && state[i].now < min_clock) {
+        min_clock = state[i].now;
+        next = i;
+      }
+    }
+    if (next == apps.size()) {
+      break;  // all done
+    }
+    AppState& st = state[next];
+    const EnclaveApp& app = apps[next];
+    const auto& a = app.trace->accesses()[st.cursor];
+    const PageNum page = offset[next] + a.page;
+
+    st.now += a.gap;
+    st.metrics.compute_cycles += a.gap;
+    ++st.metrics.accesses;
+
+    SimConfig probe = config_;
+    probe.scheme = app.scheme;
+    if (probe.uses_sip() && app.plan->instrumented(a.site)) {
+      st.now += config_.costs.bitmap_check;
+      st.metrics.sip_check_cycles += config_.costs.bitmap_check;
+      ++st.metrics.sip_checks;
+      if (!driver.bitmap().test(page)) {
+        const Cycles loaded = driver.sip_load(page, st.now);
+        st.now = loaded + config_.costs.sip_notification;
+        st.metrics.sip_notification_cycles += config_.costs.sip_notification;
+        ++st.metrics.sip_requests;
+      }
+    }
+
+    const auto outcome =
+        driver.access(page, st.now, ProcessId{static_cast<std::uint32_t>(next)});
+    st.now = outcome.completion;
+    if (outcome.faulted) {
+      ++st.metrics.enclave_faults;
+    }
+
+    if (++st.cursor >= app.trace->size()) {
+      st.done = true;
+      st.metrics.total_cycles = st.now;
+    }
+  }
+
+  MultiEnclaveResult result;
+  result.per_enclave.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    Metrics m = state[i].metrics;
+    if (const auto* engine = policy.engine(i)) {
+      m.dfp_stopped = engine->stopped();
+      m.dfp_stopped_at = engine->stopped_at();
+      m.dfp_preload_counter = engine->preloaded_pages().preload_counter();
+      m.dfp_acc_preload_counter =
+          engine->preloaded_pages().acc_preload_counter();
+      m.dfp_predictor_hits = engine->predictor().hits();
+      m.dfp_predictor_misses = engine->predictor().misses();
+    }
+    result.makespan = std::max(result.makespan, m.total_cycles);
+    result.per_enclave.push_back(std::move(m));
+  }
+  result.driver = driver.stats();
+  return result;
+}
+
+}  // namespace sgxpl::core

@@ -1,0 +1,88 @@
+#include "core/multi_thread.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "common/check.h"
+#include "dfp/dfp_engine.h"
+#include "sgxsim/driver.h"
+
+namespace sgxpl::core {
+
+ThreadedRunResult run_threads(const SimConfig& config,
+                              const std::vector<const trace::Trace*>& threads,
+                              bool per_thread_streams) {
+  SGXPL_CHECK_MSG(!threads.empty(), "no threads to run");
+  SGXPL_CHECK_MSG(!config.uses_sip(),
+                  "run_threads supports baseline/DFP schemes only");
+
+  PageNum elrange = 0;
+  for (const auto* t : threads) {
+    SGXPL_CHECK(t != nullptr && !t->empty());
+    elrange = std::max(elrange, t->elrange_pages());
+  }
+
+  std::unique_ptr<dfp::DfpEngine> engine;
+  if (config.uses_dfp()) {
+    dfp::DfpParams params = config.dfp;
+    if (config.dfp_stop_forced()) {
+      params.stop_enabled = true;
+    }
+    engine = std::make_unique<dfp::DfpEngine>(params);
+  }
+
+  sgxsim::EnclaveConfig ecfg = config.enclave;
+  ecfg.elrange_pages = elrange;
+  sgxsim::Driver driver(ecfg, config.costs, engine.get());
+
+  struct ThreadState {
+    std::size_t cursor = 0;
+    Cycles now = 0;
+    bool done = false;
+    Metrics metrics;
+  };
+  std::vector<ThreadState> state(threads.size());
+
+  for (;;) {
+    std::size_t next = threads.size();
+    Cycles min_clock = std::numeric_limits<Cycles>::max();
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      if (!state[i].done && state[i].now < min_clock) {
+        min_clock = state[i].now;
+        next = i;
+      }
+    }
+    if (next == threads.size()) {
+      break;
+    }
+    ThreadState& st = state[next];
+    const auto& a = threads[next]->accesses()[st.cursor];
+    st.now += a.gap;
+    st.metrics.compute_cycles += a.gap;
+    ++st.metrics.accesses;
+
+    const ProcessId pid{
+        per_thread_streams ? static_cast<std::uint32_t>(next) : 0u};
+    const auto outcome = driver.access(a.page, st.now, pid);
+    st.now = outcome.completion;
+    if (outcome.faulted) {
+      ++st.metrics.enclave_faults;
+    }
+    if (++st.cursor >= threads[next]->size()) {
+      st.done = true;
+      st.metrics.total_cycles = st.now;
+    }
+  }
+
+  ThreadedRunResult result;
+  for (auto& st : state) {
+    result.makespan = std::max(result.makespan, st.metrics.total_cycles);
+    result.per_thread.push_back(std::move(st.metrics));
+  }
+  result.driver = driver.stats();
+  result.dfp_stopped = engine != nullptr && engine->stopped();
+  return result;
+}
+
+}  // namespace sgxpl::core

@@ -1,0 +1,36 @@
+// Multi-threaded enclaves (paper §3.1: "we collect the history of faulted
+// pages in each thread through the operating system").
+//
+// K threads of one enclave share the ELRANGE, the EPC, and the paging
+// channel; their accesses interleave in virtual time (smallest-clock-first,
+// as in the multi-enclave co-simulator). The single DFP engine serves all
+// of them — and the `per_thread_streams` switch decides whether the fault
+// history is keyed by thread (the paper's design) or pooled globally, the
+// ablation that shows why the paper keys per thread: pooled histories let
+// one thread's faults churn the LRU stream list out from under another's
+// streams.
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/scheme.h"
+#include "trace/access.h"
+
+namespace sgxpl::core {
+
+struct ThreadedRunResult {
+  std::vector<Metrics> per_thread;
+  Cycles makespan = 0;
+  sgxsim::DriverStats driver;
+  bool dfp_stopped = false;
+};
+
+/// Run `threads` (each a per-thread access trace over the SAME ELRANGE)
+/// under `config`. Only DFP-family schemes are supported (SIP plans are
+/// per-binary, not per-thread; pass kBaseline/kDfp/kDfpStop).
+ThreadedRunResult run_threads(const SimConfig& config,
+                              const std::vector<const trace::Trace*>& threads,
+                              bool per_thread_streams = true);
+
+}  // namespace sgxpl::core

@@ -1,0 +1,50 @@
+#include "core/scheme.h"
+
+#include <sstream>
+
+namespace sgxpl::core {
+
+const char* to_string(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::kNative:
+      return "native";
+    case Scheme::kBaseline:
+      return "baseline";
+    case Scheme::kDfp:
+      return "DFP";
+    case Scheme::kDfpStop:
+      return "DFP-stop";
+    case Scheme::kSip:
+      return "SIP";
+    case Scheme::kHybrid:
+      return "SIP+DFP";
+  }
+  return "?";
+}
+
+std::string SimConfig::describe() const {
+  std::ostringstream oss;
+  oss << "SimConfig{scheme=" << to_string(scheme)
+      << ", epc_pages=" << enclave.epc_pages
+      << ", streams=" << dfp.predictor.stream_list_len
+      << ", load_length=" << dfp.predictor.load_length
+      << ", sip_threshold=" << sip.irregular_threshold
+      << ", contention=" << channel_contention << "}";
+  return oss.str();
+}
+
+SimConfig paper_platform(Scheme scheme) {
+  SimConfig cfg;
+  cfg.scheme = scheme;
+  cfg.enclave.epc_pages = sgxsim::kDefaultEpcPages;
+  cfg.dfp.predictor.stream_list_len = 30;
+  cfg.dfp.predictor.load_length = 4;
+  cfg.sip.irregular_threshold = 0.05;
+  // The preload_dispatch cost (CostModel) already bounds DFP's pipeline
+  // gain the way the real kernel worker does; extra memory-bandwidth
+  // contention is left off here and explored by the ablation bench.
+  cfg.channel_contention = 0.0;
+  return cfg;
+}
+
+}  // namespace sgxpl::core

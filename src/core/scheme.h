@@ -1,0 +1,68 @@
+// Execution schemes evaluated by the paper and the simulator configuration
+// bundling the platform model with scheme parameters.
+#pragma once
+
+#include <string>
+
+#include "dfp/dfp_engine.h"
+#include "sgxsim/cost_model.h"
+#include "sgxsim/driver.h"
+#include "sip/instrumenter.h"
+
+namespace sgxpl::core {
+
+enum class Scheme {
+  kNative,    // outside any enclave (motivation study only)
+  kBaseline,  // in-enclave, vanilla driver, no preloading
+  kDfp,       // dynamic fault-history preloading, no stop valve
+  kDfpStop,   // DFP with the misprediction stop mechanism (paper default)
+  kSip,       // source-instrumentation preloading only
+  kHybrid,    // SIP + DFP-stop combined (paper §5.4)
+};
+
+const char* to_string(Scheme s) noexcept;
+
+struct SimConfig {
+  sgxsim::EnclaveConfig enclave;  // elrange_pages 0 = take from the trace
+  sgxsim::CostModel costs;
+  Scheme scheme = Scheme::kBaseline;
+  dfp::DfpParams dfp;
+  sip::InstrumenterParams sip;
+  /// SIP notification placement: 0 = the paper's conservative mode (notify
+  /// immediately before the access, blocking until loaded). N > 0 = the
+  /// hoisted mode of §3.2/Fig. 4: the compiler moves the check+notify N
+  /// accesses ahead, so the load overlaps the intervening compute and the
+  /// access itself runs unmodified (faulting only if the load is late).
+  std::uint32_t sip_lookahead = 0;
+  /// Run the driver's structural invariant check (page table / EPC /
+  /// bitmap agreement) after the trace completes. O(ELRANGE); meant for
+  /// tests.
+  bool validate = false;
+  /// Fraction of channel-busy time added to overlapping enclave compute:
+  /// the encrypted page copies of ELDU/EWB contend with the application for
+  /// memory bandwidth, which is one reason preloading gains saturate well
+  /// below the AEX+ERESUME bound on real hardware (paper §5.6).
+  double channel_contention = 0.0;
+
+  /// Whether this scheme runs a DFP engine, and with the stop valve.
+  bool uses_dfp() const noexcept {
+    return scheme == Scheme::kDfp || scheme == Scheme::kDfpStop ||
+           scheme == Scheme::kHybrid;
+  }
+  bool dfp_stop_forced() const noexcept {
+    return scheme == Scheme::kDfpStop || scheme == Scheme::kHybrid;
+  }
+  bool uses_sip() const noexcept {
+    return scheme == Scheme::kSip || scheme == Scheme::kHybrid;
+  }
+
+  std::string describe() const;
+};
+
+/// The configuration used for all paper-reproduction experiments: 96 MiB
+/// EPC, the paper's cycle constants, paper-default DFP parameters
+/// (stream_list 30, LOADLENGTH 4), 5% SIP threshold, and the calibrated
+/// memory-bandwidth contention factor.
+SimConfig paper_platform(Scheme scheme = Scheme::kBaseline);
+
+}  // namespace sgxpl::core

@@ -1,0 +1,166 @@
+#include "core/simulator.h"
+
+#include <memory>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "dfp/dfp_engine.h"
+#include "sgxsim/driver.h"
+
+namespace sgxpl::core {
+
+EnclaveSimulator::EnclaveSimulator(const SimConfig& config)
+    : config_(config) {}
+
+Metrics EnclaveSimulator::run(const trace::Trace& t,
+                              const sip::InstrumentationPlan* plan) {
+  SGXPL_CHECK_MSG(!t.empty(), "empty trace");
+  if (config_.scheme == Scheme::kNative) {
+    return run_native(t);
+  }
+  SGXPL_CHECK_MSG(!config_.uses_sip() || plan != nullptr,
+                  "SIP scheme needs an instrumentation plan");
+
+  SimConfig cfg = config_;
+  if (cfg.enclave.elrange_pages == 0) {
+    cfg.enclave.elrange_pages = t.elrange_pages();
+  }
+  SGXPL_CHECK_MSG(cfg.enclave.elrange_pages > 0,
+                  "trace declares no ELRANGE size");
+
+  std::unique_ptr<dfp::DfpEngine> engine;
+  if (cfg.uses_dfp()) {
+    dfp::DfpParams params = cfg.dfp;
+    if (cfg.dfp_stop_forced()) {
+      params.stop_enabled = true;
+    }
+    engine = std::make_unique<dfp::DfpEngine>(params);
+  }
+  sgxsim::Driver driver(cfg.enclave, cfg.costs, engine.get());
+
+  const bool sip_on = cfg.uses_sip() && plan != nullptr && !plan->empty();
+  const double contention = cfg.channel_contention;
+
+  const std::uint32_t lookahead = cfg.sip_lookahead;
+  const auto& accesses = t.accesses();
+
+  // Hoisted mode: the check+notify for each instrumented access runs
+  // `lookahead` accesses early; issue the first window up front (the
+  // compiler hoists them to the enclave's entry).
+  auto hoist = [&](std::size_t idx, Cycles& now, Metrics& m) {
+    const auto& target = accesses[idx];
+    if (!plan->instrumented(target.site)) {
+      return;
+    }
+    now += cfg.costs.bitmap_check;
+    m.sip_check_cycles += cfg.costs.bitmap_check;
+    ++m.sip_checks;
+    if (!driver.bitmap().test(target.page)) {
+      now += cfg.costs.sip_notification;
+      m.sip_notification_cycles += cfg.costs.sip_notification;
+      ++m.sip_requests;
+      driver.sip_prefetch(target.page, now);
+    }
+  };
+
+  Metrics m;
+  Cycles now = 0;
+  if (sip_on && lookahead > 0) {
+    for (std::size_t j = 0; j < std::min<std::size_t>(lookahead, accesses.size());
+         ++j) {
+      hoist(j, now, m);
+    }
+  }
+
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    const auto& a = accesses[i];
+    ++m.accesses;
+
+    Cycles gap = a.gap;
+    if (contention > 0.0 && gap > 0) {
+      // Enclave compute overlapping page copies runs slower: inflate the
+      // gap by the contention share of the overlapped busy time. One
+      // fixpoint step is enough at realistic factors.
+      const Cycles busy = driver.channel().busy_overlap(now, now + gap);
+      if (busy > 0) {
+        const auto extra = static_cast<Cycles>(
+            static_cast<double>(busy) * contention);
+        gap += extra;
+        m.contention_cycles += extra;
+      }
+    }
+    now += gap;
+    m.compute_cycles += gap;
+
+    if (sip_on) {
+      if (lookahead == 0) {
+        if (plan->instrumented(a.site)) {
+          // Conservative mode: BIT_MAP_CHECK right before the access, then
+          // a blocking page_loadin_function on a miss.
+          now += cfg.costs.bitmap_check;
+          m.sip_check_cycles += cfg.costs.bitmap_check;
+          ++m.sip_checks;
+          if (!driver.bitmap().test(a.page)) {
+            const Cycles loaded = driver.sip_load(a.page, now);
+            now = loaded + cfg.costs.sip_notification;
+            m.sip_notification_cycles += cfg.costs.sip_notification;
+            ++m.sip_requests;
+          }
+        }
+      } else if (i + lookahead < accesses.size()) {
+        hoist(i + lookahead, now, m);
+      }
+    }
+
+    const auto outcome = driver.access(a.page, now);
+    now = outcome.completion;
+    if (outcome.faulted) {
+      ++m.enclave_faults;
+    }
+  }
+
+  m.total_cycles = now;
+  if (cfg.validate) {
+    driver.drain();
+    driver.check_invariants();
+  }
+  m.driver = driver.stats();
+  if (engine != nullptr) {
+    m.dfp_stopped = engine->stopped();
+    m.dfp_stopped_at = engine->stopped_at();
+    m.dfp_preload_counter = engine->preloaded_pages().preload_counter();
+    m.dfp_acc_preload_counter =
+        engine->preloaded_pages().acc_preload_counter();
+    m.dfp_predictor_hits = engine->predictor().hits();
+    m.dfp_predictor_misses = engine->predictor().misses();
+  }
+  return m;
+}
+
+Metrics EnclaveSimulator::run_native(const trace::Trace& t) const {
+  // Outside an enclave the 32 GiB host holds the whole footprint: only the
+  // first touch of each page faults, at the native fault cost.
+  Metrics m;
+  std::unordered_set<PageNum> touched;
+  touched.reserve(t.size() / 4);
+  Cycles now = 0;
+  for (const auto& a : t.accesses()) {
+    ++m.accesses;
+    now += a.gap;
+    m.compute_cycles += a.gap;
+    if (touched.insert(a.page).second) {
+      now += config_.costs.native_fault;
+      ++m.enclave_faults;  // reported as plain page faults here
+    }
+  }
+  m.total_cycles = now;
+  return m;
+}
+
+Metrics simulate(const trace::Trace& t, const SimConfig& config,
+                 const sip::InstrumentationPlan* plan) {
+  EnclaveSimulator sim(config);
+  return sim.run(t, plan);
+}
+
+}  // namespace sgxpl::core

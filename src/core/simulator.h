@@ -1,0 +1,41 @@
+// The enclave simulator: replays an application trace under a scheme on the
+// sgxsim substrate and reports Metrics.
+//
+// Virtual time is the application's clock in cycles. Each trace access
+// advances time by its compute gap (inflated by memory-bandwidth contention
+// while page copies are in flight), then goes through:
+//   - the SIP path when the scheme instruments the access's site:
+//     BIT_MAP_CHECK against the shared presence bitmap, and on a miss a
+//     synchronous page_loadin request (no AEX/ERESUME);
+//   - the regular access path in the driver: residency hit, or the full
+//     fault sequence (AEX -> demand load with CLOCK eviction -> DFP
+//     prediction -> ERESUME).
+#pragma once
+
+#include "core/metrics.h"
+#include "core/scheme.h"
+#include "sip/instrumenter.h"
+#include "trace/access.h"
+
+namespace sgxpl::core {
+
+class EnclaveSimulator {
+ public:
+  explicit EnclaveSimulator(const SimConfig& config);
+
+  /// Run `t` to completion. `plan` is required by SIP-using schemes and
+  /// ignored otherwise. The ELRANGE defaults to the trace's declared range.
+  Metrics run(const trace::Trace& t,
+              const sip::InstrumentationPlan* plan = nullptr);
+
+ private:
+  Metrics run_native(const trace::Trace& t) const;
+
+  SimConfig config_;
+};
+
+/// One-call convenience: simulate `t` under `config`.
+Metrics simulate(const trace::Trace& t, const SimConfig& config,
+                 const sip::InstrumentationPlan* plan = nullptr);
+
+}  // namespace sgxpl::core

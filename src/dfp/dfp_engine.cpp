@@ -1,0 +1,164 @@
+#include "dfp/dfp_engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "dfp/predictors.h"
+
+namespace sgxpl::dfp {
+
+const char* to_string(PredictorKind k) noexcept {
+  switch (k) {
+    case PredictorKind::kMultiStream:
+      return "multi-stream";
+    case PredictorKind::kNextN:
+      return "next-n";
+    case PredictorKind::kStride:
+      return "stride";
+    case PredictorKind::kMarkov:
+      return "markov";
+    case PredictorKind::kTournament:
+      return "tournament";
+  }
+  return "?";
+}
+
+std::unique_ptr<PagePredictor> make_predictor(const DfpParams& params) {
+  const std::uint64_t depth = params.predictor.load_length;
+  switch (params.kind) {
+    case PredictorKind::kMultiStream:
+      return std::make_unique<StreamPredictor>(params.predictor);
+    case PredictorKind::kNextN:
+      return std::make_unique<NextNPredictor>(depth);
+    case PredictorKind::kStride:
+      return std::make_unique<StridePredictor>(depth);
+    case PredictorKind::kMarkov:
+      return std::make_unique<MarkovPredictor>(depth);
+    case PredictorKind::kTournament:
+      return make_default_tournament(depth);
+  }
+  SGXPL_CHECK_MSG(false, "unknown predictor kind");
+  return nullptr;
+}
+
+namespace {
+
+/// With adaptive depth the predictor must be able to produce up to
+/// adaptive_max_depth pages; the engine truncates to the current depth.
+DfpParams predictor_params(DfpParams p) {
+  if (p.adaptive_load_length) {
+    p.predictor.load_length =
+        std::max(p.predictor.load_length, p.adaptive_max_depth);
+  }
+  return p;
+}
+
+}  // namespace
+
+DfpEngine::DfpEngine(const DfpParams& params)
+    : DfpEngine(params, make_predictor(predictor_params(params))) {}
+
+DfpEngine::DfpEngine(const DfpParams& params,
+                     std::unique_ptr<PagePredictor> predictor)
+    : params_(params),
+      predictor_(std::move(predictor)),
+      depth_(params.predictor.load_length) {
+  SGXPL_CHECK(predictor_ != nullptr);
+  SGXPL_CHECK(depth_ > 0);
+  SGXPL_CHECK(!params_.adaptive_load_length || params_.adaptive_max_depth > 0);
+}
+
+std::vector<PageNum> DfpEngine::on_fault(ProcessId pid, PageNum page,
+                                         Cycles /*now*/) {
+  if (stopped_) {
+    return {};
+  }
+  auto pages = predictor_->on_fault(pid, page);
+  if (params_.adaptive_load_length && pages.size() > depth_) {
+    pages.resize(depth_);
+  }
+  return pages;
+}
+
+void DfpEngine::on_preload_completed(PageNum page, Cycles /*now*/) {
+  list_.on_loaded(page);
+}
+
+void DfpEngine::on_preloads_aborted(const std::vector<PageNum>& pages,
+                                    Cycles /*now*/) {
+  aborted_ += pages.size();
+}
+
+void DfpEngine::on_preloaded_page_evicted(PageNum page, bool /*was_accessed*/,
+                                          Cycles /*now*/) {
+  list_.on_evicted(page);
+}
+
+void DfpEngine::on_scan(const sgxsim::PageTable& pt, Cycles now) {
+  list_.scan(pt);
+  if (params_.adaptive_load_length) {
+    adapt_depth();
+  }
+  maybe_stop(now);
+}
+
+void DfpEngine::adapt_depth() {
+  // Window since the last scan: how many preloads landed and how many of
+  // them were observed used. AIMD on the depth: deepen while they pay,
+  // back off sharply when they are wasted.
+  const std::uint64_t loaded = list_.preload_counter() - last_preload_counter_;
+  const std::uint64_t used = list_.acc_preload_counter() - last_acc_counter_;
+  last_preload_counter_ = list_.preload_counter();
+  last_acc_counter_ = list_.acc_preload_counter();
+  if (loaded < 4) {
+    return;  // not enough evidence this window
+  }
+  const double ratio = static_cast<double>(used) / static_cast<double>(loaded);
+  if (ratio >= 0.75) {
+    depth_ = std::min<std::uint64_t>(depth_ + 1, params_.adaptive_max_depth);
+  } else if (ratio < 0.5) {
+    depth_ = std::max<std::uint64_t>(depth_ / 2, 1);
+  }
+}
+
+void DfpEngine::maybe_stop(Cycles now) {
+  if (!params_.stop_enabled || stopped_) {
+    return;
+  }
+  // Paper §4.2: stop when AccPreloadCounter + slack < PreloadCounter/2,
+  // i.e. too many preloaded pages were never accessed.
+  const double used = static_cast<double>(list_.acc_preload_counter());
+  const double total = static_cast<double>(list_.preload_counter());
+  if (used + static_cast<double>(params_.stop_slack) <
+      total * params_.stop_used_fraction) {
+    stopped_ = true;
+    stopped_at_ = now;
+  }
+}
+
+std::string DfpEngine::describe() const {
+  std::ostringstream oss;
+  oss << "DfpEngine{predictor=" << predictor_->name()
+      << ", load_length=" << params_.predictor.load_length
+      << ", stop=" << (params_.stop_enabled ? "on" : "off")
+      << ", hits=" << predictor_->hits()
+      << ", misses=" << predictor_->misses()
+      << ", PreloadCounter=" << list_.preload_counter()
+      << ", AccPreloadCounter=" << list_.acc_preload_counter()
+      << ", stopped=" << (stopped_ ? "yes" : "no") << "}";
+  return oss.str();
+}
+
+void DfpEngine::reset() {
+  predictor_->reset();
+  list_.reset();
+  stopped_ = false;
+  stopped_at_ = 0;
+  aborted_ = 0;
+  depth_ = params_.predictor.load_length;
+  last_preload_counter_ = 0;
+  last_acc_counter_ = 0;
+}
+
+}  // namespace sgxpl::dfp

@@ -1,0 +1,33 @@
+// The page-access predictor interface behind DFP.
+//
+// The paper ships Algorithm 1 (the multiple-stream predictor) but is
+// explicit that the DFP mechanism accommodates arbitrary strategies —
+// "heuristic schemes or even machine learning based schemes" (§4.1). Every
+// predictor here consumes the same signal the OS actually has (the fault
+// stream, page-granular, per process) and emits pages to preload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgxpl::dfp {
+
+class PagePredictor {
+ public:
+  virtual ~PagePredictor() = default;
+
+  /// Feed one fault; return the pages to preload, nearest first.
+  virtual std::vector<PageNum> on_fault(ProcessId pid, PageNum page) = 0;
+
+  /// Faults that produced a prediction / produced none.
+  virtual std::uint64_t hits() const noexcept = 0;
+  virtual std::uint64_t misses() const noexcept = 0;
+
+  virtual const char* name() const noexcept = 0;
+
+  virtual void reset() = 0;
+};
+
+}  // namespace sgxpl::dfp

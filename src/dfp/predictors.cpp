@@ -1,0 +1,253 @@
+#include "dfp/predictors.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "dfp/stream_predictor.h"
+
+namespace sgxpl::dfp {
+
+// --- NextNPredictor --------------------------------------------------------
+
+NextNPredictor::NextNPredictor(std::uint64_t depth) : depth_(depth) {
+  SGXPL_CHECK(depth > 0);
+}
+
+std::vector<PageNum> NextNPredictor::on_fault(ProcessId /*pid*/,
+                                              PageNum page) {
+  ++hits_;
+  std::vector<PageNum> out;
+  out.reserve(depth_);
+  for (std::uint64_t i = 1; i <= depth_; ++i) {
+    out.push_back(page + i);
+  }
+  return out;
+}
+
+// --- StridePredictor -------------------------------------------------------
+
+StridePredictor::StridePredictor(std::uint64_t depth, std::uint32_t confidence)
+    : depth_(depth), confidence_(confidence) {
+  SGXPL_CHECK(depth > 0);
+  SGXPL_CHECK(confidence > 0);
+}
+
+std::vector<PageNum> StridePredictor::on_fault(ProcessId pid, PageNum page) {
+  auto& st = state_[pid];
+  std::vector<PageNum> out;
+  if (st.last != kInvalidPage) {
+    const auto stride = static_cast<std::int64_t>(page) -
+                        static_cast<std::int64_t>(st.last);
+    if (stride != 0 && stride == st.stride) {
+      st.streak = st.streak < confidence_ ? st.streak + 1 : st.streak;
+    } else {
+      st.stride = stride;
+      st.streak = 1;
+    }
+    if (st.stride != 0 && st.streak >= confidence_) {
+      out.reserve(depth_);
+      std::int64_t p = static_cast<std::int64_t>(page);
+      for (std::uint64_t i = 0; i < depth_; ++i) {
+        p += st.stride;
+        if (p < 0) {
+          break;
+        }
+        out.push_back(static_cast<PageNum>(p));
+      }
+    }
+  }
+  st.last = page;
+  if (out.empty()) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return out;
+}
+
+void StridePredictor::reset() {
+  state_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+// --- MarkovPredictor -------------------------------------------------------
+
+MarkovPredictor::MarkovPredictor(std::uint64_t depth, std::size_t capacity)
+    : depth_(depth), capacity_(capacity) {
+  SGXPL_CHECK(depth > 0);
+  SGXPL_CHECK(capacity > 0);
+}
+
+void MarkovPredictor::record(PageNum from, PageNum to) {
+  auto it = table_.find(from);
+  if (it == table_.end()) {
+    if (table_.size() >= capacity_) {
+      return;  // table full: stop learning new sources (bounded memory)
+    }
+    it = table_.emplace(from, Successors{}).first;
+  }
+  auto& s = it->second;
+  // Bump an existing successor, fill a free slot, or displace the weakest.
+  std::size_t weakest = 0;
+  for (std::size_t i = 0; i < kFanout; ++i) {
+    if (s.page[i] == to) {
+      ++s.count[i];
+      return;
+    }
+    if (s.page[i] == kInvalidPage) {
+      s.page[i] = to;
+      s.count[i] = 1;
+      return;
+    }
+    if (s.count[i] < s.count[weakest]) {
+      weakest = i;
+    }
+  }
+  if (s.count[weakest] <= 1) {
+    s.page[weakest] = to;
+    s.count[weakest] = 1;
+  } else {
+    --s.count[weakest];  // age out slowly rather than thrash
+  }
+}
+
+PageNum MarkovPredictor::best_successor(PageNum from) const {
+  const auto it = table_.find(from);
+  if (it == table_.end()) {
+    return kInvalidPage;
+  }
+  const auto& s = it->second;
+  PageNum best = kInvalidPage;
+  std::uint32_t best_count = 1;  // require count >= 2: one sighting is noise
+  for (std::size_t i = 0; i < kFanout; ++i) {
+    if (s.page[i] != kInvalidPage && s.count[i] > best_count) {
+      best = s.page[i];
+      best_count = s.count[i];
+    }
+  }
+  return best;
+}
+
+std::vector<PageNum> MarkovPredictor::on_fault(ProcessId pid, PageNum page) {
+  const auto it = last_fault_.find(pid);
+  if (it != last_fault_.end()) {
+    record(it->second, page);
+    it->second = page;
+  } else {
+    last_fault_.emplace(pid, page);
+  }
+
+  std::vector<PageNum> out;
+  PageNum cur = page;
+  for (std::uint64_t i = 0; i < depth_; ++i) {
+    const PageNum next = best_successor(cur);
+    if (next == kInvalidPage) {
+      break;
+    }
+    if (std::find(out.begin(), out.end(), next) != out.end()) {
+      break;  // cycle in the chain
+    }
+    out.push_back(next);
+    cur = next;
+  }
+  if (out.empty()) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return out;
+}
+
+void MarkovPredictor::reset() {
+  table_.clear();
+  last_fault_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+// --- TournamentPredictor ---------------------------------------------------
+
+TournamentPredictor::TournamentPredictor(
+    std::vector<std::unique_ptr<PagePredictor>> subs, std::size_t score_window)
+    : score_window_(score_window) {
+  SGXPL_CHECK_MSG(!subs.empty(), "tournament needs at least one predictor");
+  entries_.reserve(subs.size());
+  for (auto& s : subs) {
+    Entry e;
+    e.sub = std::move(s);
+    entries_.push_back(std::move(e));
+  }
+}
+
+void TournamentPredictor::remember(Entry& e,
+                                   const std::vector<PageNum>& pages) {
+  for (const PageNum p : pages) {
+    if (e.predicted.insert(p).second) {
+      e.order.push_back(p);
+      if (e.order.size() > score_window_) {
+        e.predicted.erase(e.order.front());
+        e.order.pop_front();
+      }
+    }
+  }
+}
+
+std::size_t TournamentPredictor::leader() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].score > entries_[best].score) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<PageNum> TournamentPredictor::on_fault(ProcessId pid,
+                                                   PageNum page) {
+  // Score first: did anyone predict this fault recently?
+  constexpr double kDecay = 0.995;
+  for (auto& e : entries_) {
+    e.score = e.score * kDecay + (e.predicted.count(page) ? 1.0 : 0.0);
+  }
+  // Every sub keeps learning; the leader's picks are emitted.
+  const std::size_t lead = leader();
+  std::vector<PageNum> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    auto picks = entries_[i].sub->on_fault(pid, page);
+    remember(entries_[i], picks);
+    if (i == lead) {
+      out = std::move(picks);
+    }
+  }
+  if (out.empty()) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return out;
+}
+
+void TournamentPredictor::reset() {
+  for (auto& e : entries_) {
+    e.sub->reset();
+    e.predicted.clear();
+    e.order.clear();
+    e.score = 0.0;
+  }
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::unique_ptr<TournamentPredictor> make_default_tournament(
+    std::uint64_t load_length) {
+  std::vector<std::unique_ptr<PagePredictor>> subs;
+  StreamPredictorParams sp;
+  sp.load_length = load_length;
+  subs.push_back(std::make_unique<StreamPredictor>(sp));
+  subs.push_back(std::make_unique<StridePredictor>(load_length));
+  subs.push_back(std::make_unique<MarkovPredictor>(load_length));
+  return std::make_unique<TournamentPredictor>(std::move(subs));
+}
+
+}  // namespace sgxpl::dfp

@@ -1,0 +1,147 @@
+// Alternative page-access predictors for DFP (§4.1: "many complex
+// strategies can be implemented").
+//
+//   NextNPredictor    unconditional readahead: always preload the next N
+//                     pages after any fault (the Linux readahead baseline).
+//   StridePredictor   detects constant page strides per process with a
+//                     confidence counter; catches the wrong-dimension grid
+//                     sweeps Algorithm 1 is blind to.
+//   MarkovPredictor   first-order fault-transition table: learns which
+//                     page tends to fault after which, capturing repeated
+//                     pointer chains and loop orders.
+//   TournamentPredictor  runs several sub-predictors, scores them online by
+//                     whether later faults land in their recent
+//                     predictions, and emits the current leader's picks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "dfp/predictor.h"
+
+namespace sgxpl::dfp {
+
+class NextNPredictor final : public PagePredictor {
+ public:
+  explicit NextNPredictor(std::uint64_t depth);
+
+  std::vector<PageNum> on_fault(ProcessId pid, PageNum page) override;
+  std::uint64_t hits() const noexcept override { return hits_; }
+  std::uint64_t misses() const noexcept override { return 0; }
+  const char* name() const noexcept override { return "next-n"; }
+  void reset() override { hits_ = 0; }
+
+ private:
+  std::uint64_t depth_;
+  std::uint64_t hits_ = 0;
+};
+
+class StridePredictor final : public PagePredictor {
+ public:
+  /// Predict `depth` pages along the detected stride once the same stride
+  /// has been observed `confidence` times in a row.
+  StridePredictor(std::uint64_t depth, std::uint32_t confidence = 2);
+
+  std::vector<PageNum> on_fault(ProcessId pid, PageNum page) override;
+  std::uint64_t hits() const noexcept override { return hits_; }
+  std::uint64_t misses() const noexcept override { return misses_; }
+  const char* name() const noexcept override { return "stride"; }
+  void reset() override;
+
+ private:
+  struct State {
+    PageNum last = kInvalidPage;
+    std::int64_t stride = 0;
+    std::uint32_t streak = 0;
+  };
+  std::uint64_t depth_;
+  std::uint32_t confidence_;
+  std::unordered_map<ProcessId, State> state_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class MarkovPredictor final : public PagePredictor {
+ public:
+  /// Remember up to `capacity` source pages; per source keep the top
+  /// successors (up to kFanout) by count; predict a greedy chain of up to
+  /// `depth` pages from the strongest successors.
+  MarkovPredictor(std::uint64_t depth, std::size_t capacity = 1 << 20);
+
+  std::vector<PageNum> on_fault(ProcessId pid, PageNum page) override;
+  std::uint64_t hits() const noexcept override { return hits_; }
+  std::uint64_t misses() const noexcept override { return misses_; }
+  const char* name() const noexcept override { return "markov"; }
+  void reset() override;
+
+  std::size_t table_size() const noexcept { return table_.size(); }
+
+ private:
+  static constexpr std::size_t kFanout = 4;
+  struct Successors {
+    std::array<PageNum, kFanout> page;
+    std::array<std::uint32_t, kFanout> count;
+    Successors() {
+      page.fill(kInvalidPage);
+      count.fill(0);
+    }
+  };
+
+  void record(PageNum from, PageNum to);
+  PageNum best_successor(PageNum from) const;
+
+  std::uint64_t depth_;
+  std::size_t capacity_;
+  std::unordered_map<ProcessId, PageNum> last_fault_;
+  std::unordered_map<PageNum, Successors> table_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+class TournamentPredictor final : public PagePredictor {
+ public:
+  /// Owns the sub-predictors. `score_window` bounds the per-sub set of
+  /// recently predicted pages used for scoring.
+  explicit TournamentPredictor(
+      std::vector<std::unique_ptr<PagePredictor>> subs,
+      std::size_t score_window = 256);
+
+  std::vector<PageNum> on_fault(ProcessId pid, PageNum page) override;
+  std::uint64_t hits() const noexcept override { return hits_; }
+  std::uint64_t misses() const noexcept override { return misses_; }
+  const char* name() const noexcept override { return "tournament"; }
+  void reset() override;
+
+  /// Index of the currently leading sub-predictor.
+  std::size_t leader() const noexcept;
+  const PagePredictor& sub(std::size_t i) const { return *entries_[i].sub; }
+  std::size_t subs() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::unique_ptr<PagePredictor> sub;
+    // Recent predictions, as both a set (membership) and queue (aging).
+    std::unordered_set<PageNum> predicted;
+    std::deque<PageNum> order;
+    double score = 0.0;  // exponentially decayed accuracy
+  };
+
+  void remember(Entry& e, const std::vector<PageNum>& pages);
+
+  std::vector<Entry> entries_;
+  std::size_t score_window_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// The default tournament: multi-stream + stride + markov.
+std::unique_ptr<TournamentPredictor> make_default_tournament(
+    std::uint64_t load_length);
+
+}  // namespace sgxpl::dfp

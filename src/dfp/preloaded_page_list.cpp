@@ -1,0 +1,48 @@
+#include "dfp/preloaded_page_list.h"
+
+namespace sgxpl::dfp {
+
+void PreloadedPageList::on_loaded(PageNum page) {
+  pages_.insert(page);
+  ++preload_counter_;
+}
+
+void PreloadedPageList::on_evicted(PageNum page) {
+  if (pages_.erase(page) > 0) {
+    ++evicted_unused_;
+  }
+}
+
+std::uint64_t PreloadedPageList::scan(const sgxsim::PageTable& pt) {
+  std::uint64_t credited = 0;
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    const PageNum page = *it;
+    if (page >= pt.elrange_pages() || !pt.present(page)) {
+      // Evicted between notifications; treat as unused (conservative).
+      it = pages_.erase(it);
+      ++evicted_unused_;
+      continue;
+    }
+    const auto& entry = pt.entry(page);
+    if (entry.accessed || !entry.preloaded) {
+      // The access bit is set, or the hardware already cleared the
+      // preloaded flag on first touch (the bit may have been consumed by a
+      // CLOCK sweep since): the preload paid off.
+      ++acc_preload_counter_;
+      ++credited;
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return credited;
+}
+
+void PreloadedPageList::reset() {
+  pages_.clear();
+  preload_counter_ = 0;
+  acc_preload_counter_ = 0;
+  evicted_unused_ = 0;
+}
+
+}  // namespace sgxpl::dfp

@@ -1,0 +1,46 @@
+// The PreloadedPageList of paper §4.2: tracks every page brought in by DFP
+// preloading until it is either observed accessed (credited to
+// AccPreloadCounter by the service-thread scan) or evicted unused.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/types.h"
+#include "sgxsim/page_table.h"
+
+namespace sgxpl::dfp {
+
+class PreloadedPageList {
+ public:
+  /// A DFP preload for `page` completed (loaded into the EPC).
+  void on_loaded(PageNum page);
+
+  /// `page` was evicted; if it is still on the list it was never accessed.
+  void on_evicted(PageNum page);
+
+  /// Service-thread scan: credit pages whose access bit is set, drop pages
+  /// no longer resident. Returns the number of pages credited this scan.
+  std::uint64_t scan(const sgxsim::PageTable& pt);
+
+  /// PreloadCounter: total pages DFP loaded (used + unused).
+  std::uint64_t preload_counter() const noexcept { return preload_counter_; }
+  /// AccPreloadCounter: preloaded pages observed accessed by the scan.
+  std::uint64_t acc_preload_counter() const noexcept {
+    return acc_preload_counter_;
+  }
+  /// Preloaded pages evicted without ever being credited.
+  std::uint64_t evicted_unused() const noexcept { return evicted_unused_; }
+
+  std::size_t tracked() const noexcept { return pages_.size(); }
+
+  void reset();
+
+ private:
+  std::unordered_set<PageNum> pages_;
+  std::uint64_t preload_counter_ = 0;
+  std::uint64_t acc_preload_counter_ = 0;
+  std::uint64_t evicted_unused_ = 0;
+};
+
+}  // namespace sgxpl::dfp

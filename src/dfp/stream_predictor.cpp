@@ -1,0 +1,100 @@
+#include "dfp/stream_predictor.h"
+
+#include "common/check.h"
+
+namespace sgxpl::dfp {
+
+StreamPredictor::StreamPredictor(StreamPredictorParams params)
+    : params_(params) {
+  SGXPL_CHECK_MSG(params_.stream_list_len > 0, "stream_list must be nonempty");
+}
+
+StreamPredictor::StreamList& StreamPredictor::list_for(ProcessId pid) {
+  return lists_[pid];
+}
+
+std::vector<PageNum> StreamPredictor::on_fault(ProcessId pid, PageNum npn) {
+  StreamList& list = list_for(pid);
+
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    const bool forward = npn == it->stpn + 1;
+    const bool backward =
+        params_.detect_backward && it->stpn > 0 && npn == it->stpn - 1;
+    if (!forward && !backward) {
+      continue;
+    }
+    // Stream hit: extend, promote to MRU, predict the next LOADLENGTH pages.
+    ++hits_;
+    it->direction = forward ? +1 : -1;
+    it->stpn = npn;
+    list.splice(list.begin(), list, it);
+
+    std::vector<PageNum> to_load;
+    to_load.reserve(params_.load_length);
+    PageNum p = npn;
+    for (std::uint64_t i = 0; i < params_.load_length; ++i) {
+      if (it->direction > 0) {
+        ++p;
+      } else {
+        if (p == 0) break;
+        --p;
+      }
+      to_load.push_back(p);
+    }
+    return to_load;
+  }
+
+  // Miss: replace the LRU tail (or grow until the fixed length is reached)
+  // and promote the new stream seed to MRU.
+  ++misses_;
+  if (list.size() >= params_.stream_list_len) {
+    list.back().stpn = npn;
+    list.back().direction = +1;
+    list.splice(list.begin(), list, std::prev(list.end()));
+  } else {
+    list.push_front(StreamEntry{.stpn = npn, .direction = +1});
+  }
+  return {};
+}
+
+bool StreamPredictor::on_stream_list(ProcessId pid, PageNum page) const {
+  const auto it = lists_.find(pid);
+  if (it == lists_.end()) {
+    return false;
+  }
+  for (const auto& e : it->second) {
+    if (e.stpn == page) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StreamPredictor::follows_stream(ProcessId pid, PageNum page) const {
+  const auto it = lists_.find(pid);
+  if (it == lists_.end()) {
+    return false;
+  }
+  for (const auto& e : it->second) {
+    if (page == e.stpn + 1) {
+      return true;
+    }
+    if (params_.detect_backward && e.stpn > 0 && page == e.stpn - 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t StreamPredictor::stream_count(ProcessId pid) const {
+  const auto it = lists_.find(pid);
+  return it == lists_.end() ? 0 : it->second.size();
+}
+
+void StreamPredictor::reset() {
+  lists_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace sgxpl::dfp

@@ -1,0 +1,74 @@
+// Algorithm 1 of the paper: the multiple-stream predictor.
+//
+// The driver records the stream of faulted page numbers per process. A
+// fixed-length LRU list of stream tails (stpn = stream tail page number) is
+// kept; when a new fault's page number (npn) directly follows one of the
+// tails, that stream is extended, moved to the MRU position, and the next
+// LOADLENGTH pages in the stream's direction are predicted for preloading.
+// Otherwise the LRU entry is replaced, seeding a new potential stream.
+// This mirrors the read-ahead design of the Linux VFS the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "dfp/predictor.h"
+
+namespace sgxpl::dfp {
+
+struct StreamPredictorParams {
+  /// Fixed length of stream_list (Fig. 6 sweeps this; paper default 30).
+  std::size_t stream_list_len = 30;
+  /// LOADLENGTH: pages preloaded per stream hit (Fig. 7; paper default 4).
+  std::uint64_t load_length = 4;
+  /// Recognize descending streams too (the `direction` field of
+  /// Algorithm 1's add_to_list). Off = forward-only, for ablation.
+  bool detect_backward = true;
+};
+
+class StreamPredictor final : public PagePredictor {
+ public:
+  explicit StreamPredictor(StreamPredictorParams params);
+
+  /// Feed one fault; returns the pages to preload (possibly empty), nearest
+  /// first. The same routine classifies accesses for SIP profiling, where it
+  /// is fed every access rather than only faults (§4.4).
+  std::vector<PageNum> on_fault(ProcessId pid, PageNum npn) override;
+
+  /// True if `page` is currently one of the stream tails for `pid`
+  /// (SIP profiling Class 1: "the page is on stream_list").
+  bool on_stream_list(ProcessId pid, PageNum page) const;
+
+  /// True if `page` directly follows one of the tails (Class 2).
+  bool follows_stream(ProcessId pid, PageNum page) const;
+
+  std::size_t stream_count(ProcessId pid) const;
+  const StreamPredictorParams& params() const noexcept { return params_; }
+
+  std::uint64_t hits() const noexcept override { return hits_; }
+  std::uint64_t misses() const noexcept override { return misses_; }
+  const char* name() const noexcept override { return "multi-stream"; }
+
+  void reset() override;
+
+ private:
+  struct StreamEntry {
+    PageNum stpn = kInvalidPage;
+    int direction = +1;  // +1 ascending, -1 descending
+  };
+  // MRU at the front. stream_list_len is ~30, so linear scans beat any
+  // index structure.
+  using StreamList = std::list<StreamEntry>;
+
+  StreamList& list_for(ProcessId pid);
+
+  StreamPredictorParams params_;
+  std::unordered_map<ProcessId, StreamList> lists_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sgxpl::dfp

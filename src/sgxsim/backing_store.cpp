@@ -1,0 +1,23 @@
+#include "sgxsim/backing_store.h"
+
+namespace sgxpl::sgxsim {
+
+std::uint64_t BackingStore::evict(PageNum page) {
+  auto& slot = slots_[page];
+  ++slot.version;
+  ++total_evictions_;
+  return slot.version;
+}
+
+std::uint64_t BackingStore::load(PageNum page) const {
+  ++total_loads_;
+  const auto it = slots_.find(page);
+  return it == slots_.end() ? 0 : it->second.version;
+}
+
+std::uint64_t BackingStore::eviction_count(PageNum page) const {
+  const auto it = slots_.find(page);
+  return it == slots_.end() ? 0 : it->second.version;
+}
+
+}  // namespace sgxpl::sgxsim

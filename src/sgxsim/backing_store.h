@@ -1,0 +1,41 @@
+// The untrusted (non-EPC) side of the EPC paging mechanism.
+//
+// When the driver evicts an EPC page it executes EWB, which encrypts the
+// page, MACs it, and bumps its anti-replay version counter in the VA slot;
+// ELDU/ELDB verify that counter on the way back in. We model the counter
+// explicitly so tests can assert the freshness property: every load observes
+// exactly the version produced by the most recent eviction of that page.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace sgxpl::sgxsim {
+
+class BackingStore {
+ public:
+  /// EWB: write the page out, bumping its version. Returns the new version.
+  std::uint64_t evict(PageNum page);
+
+  /// ELDU/ELDB: read the page back. Returns the version that must match the
+  /// VA slot (0 for a page never evicted, i.e. first touch after EADD).
+  std::uint64_t load(PageNum page) const;
+
+  /// Number of EWB executions for `page`.
+  std::uint64_t eviction_count(PageNum page) const;
+
+  std::uint64_t total_evictions() const noexcept { return total_evictions_; }
+  std::uint64_t total_loads() const noexcept { return total_loads_; }
+
+ private:
+  struct Slot {
+    std::uint64_t version = 0;
+  };
+  std::unordered_map<PageNum, Slot> slots_;
+  std::uint64_t total_evictions_ = 0;
+  mutable std::uint64_t total_loads_ = 0;
+};
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,20 @@
+#include "sgxsim/bitmap.h"
+
+#include <bit>
+
+namespace sgxpl::sgxsim {
+
+PresenceBitmap::PresenceBitmap(PageNum pages)
+    : pages_(pages), words_((pages + 63) / 64, 0) {
+  SGXPL_CHECK(pages > 0);
+}
+
+std::uint64_t PresenceBitmap::popcount() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto w : words_) {
+    n += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return n;
+}
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,46 @@
+// The presence bitmap shared between the enclave and the untrusted OS
+// (paper §4.3): one bit per ELRANGE page, set while the page is resident in
+// the EPC. The kernel updates it on every load/evict; the enclave's SIP
+// instrumentation reads it (BIT_MAP_CHECK) before issuing a preload
+// notification. Residency is public information (the OS services the
+// faults), so exposing it leaks nothing beyond what SGX already reveals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace sgxpl::sgxsim {
+
+class PresenceBitmap {
+ public:
+  explicit PresenceBitmap(PageNum pages);
+
+  PageNum pages() const noexcept { return pages_; }
+
+  bool test(PageNum page) const {
+    SGXPL_DCHECK(page < pages_);
+    return (words_[page >> 6] >> (page & 63)) & 1u;
+  }
+
+  void set(PageNum page) {
+    SGXPL_DCHECK(page < pages_);
+    words_[page >> 6] |= (1ull << (page & 63));
+  }
+
+  void clear(PageNum page) {
+    SGXPL_DCHECK(page < pages_);
+    words_[page >> 6] &= ~(1ull << (page & 63));
+  }
+
+  /// Number of set bits (for invariant checks against the page table).
+  std::uint64_t popcount() const noexcept;
+
+ private:
+  PageNum pages_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sgxpl::sgxsim

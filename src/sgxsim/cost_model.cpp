@@ -1,0 +1,19 @@
+#include "sgxsim/cost_model.h"
+
+#include <sstream>
+
+namespace sgxpl::sgxsim {
+
+std::string CostModel::describe() const {
+  std::ostringstream oss;
+  oss << "CostModel{aex=" << aex << ", eresume=" << eresume
+      << ", epc_load=" << epc_load << ", epc_evict=" << epc_evict
+      << ", preload_dispatch=" << preload_dispatch
+      << ", native_fault=" << native_fault
+      << ", bitmap_check=" << bitmap_check
+      << ", sip_notification=" << sip_notification
+      << ", scan_period=" << scan_period << "}";
+  return oss.str();
+}
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,62 @@
+// Cycle costs of the SGX paging events modeled by the simulator.
+//
+// Defaults follow the measurements cited in the paper (Weisse et al.
+// "HotCalls" numbers after the CVE-2019-0117 micro-code update, plus the
+// paper's own statements in §2 and Fig. 4):
+//   AEX              ~10,000 cycles   (asynchronous enclave exit on fault)
+//   ELDU/ELDB        ~44,000 cycles   (swap one EPC page back in)
+//   ERESUME          ~10,000 cycles   (re-enter the enclave)
+//   total fault      ~60,000-64,000 cycles
+//   native fault     ~2,000 cycles    (page fault outside an enclave)
+// The EWB share (evicting a victim when the EPC is full) is the remainder
+// of the paper's 60k-64k span above AEX+ELDU+ERESUME.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace sgxpl::sgxsim {
+
+struct CostModel {
+  /// Asynchronous enclave exit taken when an enclave access faults.
+  Cycles aex = 10'000;
+  /// Re-entering the enclave after the OS serviced the fault.
+  Cycles eresume = 10'000;
+  /// Loading one page into the EPC (ELDU/ELDB), channel-occupying.
+  Cycles epc_load = 44'000;
+  /// Evicting one EPC page (EWB) when the EPC is full, channel-occupying.
+  Cycles epc_evict = 4'000;
+  /// Per-page overhead of the asynchronous preload path (kernel worker
+  /// wakeup, request dequeue, page-table locking) on top of the ELDU cost.
+  /// Demand faults and synchronous SIP loads do not pay it: the fault
+  /// handler / notification handler performs those loads directly. This is
+  /// why preloading cannot simply pipeline pages at the raw ELDU rate
+  /// (paper §5.6: load-ins issued between close faults delay accesses).
+  Cycles preload_dispatch = 9'000;
+  /// Servicing a page fault outside an enclave (for the motivation study).
+  Cycles native_fault = 2'000;
+  /// In-enclave check of the shared presence bitmap (SIP, BIT_MAP_CHECK).
+  /// A read of untrusted shared memory plus a branch; it is the recurring
+  /// cost SIP pays on every instrumented access.
+  Cycles bitmap_check = 220;
+  /// Posting a preload request to the kernel thread and blocking until the
+  /// load completes (SIP's page_loadin_function), *excluding* the load
+  /// itself: shared-memory write, kernel-worker wakeup, completion poll.
+  /// Replaces AEX+ERESUME on the instrumented path.
+  Cycles sip_notification = 8'000;
+  /// Period of the driver's service thread that scans access bits
+  /// (CLOCK-style) and feeds the DFP abort counters.
+  Cycles scan_period = 500'000;
+
+  /// Cost of a demand fault when no eviction is needed (AEX+load+resume).
+  Cycles fault_cost_min() const noexcept { return aex + epc_load + eresume; }
+  /// Cost of a demand fault including an EWB eviction.
+  Cycles fault_cost_max() const noexcept {
+    return aex + epc_evict + epc_load + eresume;
+  }
+
+  std::string describe() const;
+};
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,403 @@
+#include "sgxsim/driver.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sgxpl::sgxsim {
+
+const char* to_string(DemandPolicy p) noexcept {
+  switch (p) {
+    case DemandPolicy::kPreempt:
+      return "preempt";
+    case DemandPolicy::kPreemptAndFlush:
+      return "preempt+flush";
+    case DemandPolicy::kFifo:
+      return "fifo";
+  }
+  return "?";
+}
+
+std::string DriverStats::describe() const {
+  std::ostringstream oss;
+  oss << "accesses=" << accesses << " faults=" << faults
+      << " demand_loads=" << demand_loads
+      << " fault_wait_hits=" << fault_wait_hits
+      << " preloads{issued=" << preloads_issued
+      << ", completed=" << preloads_completed
+      << ", aborted=" << preloads_aborted << ", used=" << preloads_used
+      << ", evicted_unused=" << preloads_evicted_unused << "}"
+      << " sip{loads=" << sip_loads << ", inflight_waits=" << sip_inflight_waits
+      << ", prefetches=" << sip_prefetches
+      << "} evictions=" << evictions << " scans=" << scans
+      << " fault_stall=" << fault_stall_cycles
+      << " sip_stall=" << sip_stall_cycles;
+  return oss.str();
+}
+
+Driver::Driver(const EnclaveConfig& config, const CostModel& costs,
+               PreloadPolicy* policy)
+    : config_(config),
+      costs_(costs),
+      policy_(policy),
+      page_table_(config.elrange_pages),
+      epc_(config.epc_pages),
+      channel_(config.serial_channel),
+      bitmap_(config.elrange_pages),
+      eviction_(make_eviction_policy(config.eviction, epc_)),
+      next_scan_(costs.scan_period) {
+  SGXPL_CHECK_MSG(config.elrange_pages > 0, "empty ELRANGE");
+  SGXPL_CHECK_MSG(config.epc_pages > 0, "empty EPC");
+}
+
+AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
+  SGXPL_CHECK_MSG(page < config_.elrange_pages,
+                  "access outside ELRANGE: page " << page);
+  advance_to(now);
+  ++stats_.accesses;
+
+  if (page_table_.present(page)) {
+    if (page_table_.touch(page)) {
+      ++stats_.preloads_used;
+    }
+    eviction_->on_access(page);
+    return AccessOutcome{.completion = now, .faulted = false,
+                         .hit_inflight = false};
+  }
+
+  // --- Enclave page fault: AEX out of the enclave. ---
+  ++stats_.faults;
+  if (log_ != nullptr) {
+    log_->record({.at = now, .type = EventType::kFault, .page = page});
+  }
+  const Cycles after_aex = now + costs_.aex;
+  advance_to(after_aex);
+
+  // A preload may have landed during the AEX window.
+  if (page_table_.present(page)) {
+    ++stats_.fault_wait_hits;
+    if (page_table_.touch(page)) {
+      ++stats_.preloads_used;
+    }
+    eviction_->on_access(page);
+    const Cycles done = after_aex + costs_.eresume;
+    advance_to(done);
+    if (log_ != nullptr) {
+      log_->record({.at = done, .type = EventType::kResume, .page = page});
+    }
+    stats_.fault_stall_cycles += done - now;
+    return AccessOutcome{.completion = done, .faulted = true,
+                         .hit_inflight = true};
+  }
+
+  Cycles load_end = 0;
+  bool hit_inflight = false;
+  const auto pending = channel_.find(page);
+  const DemandPolicy dp = config_.demand_policy;
+  if (pending.has_value() &&
+      (pending->start <= after_aex || dp == DemandPolicy::kFifo)) {
+    // The page is already being loaded (or is queued and FIFO mode keeps
+    // queues intact): a load in progress cannot be preempted, so the
+    // handler simply waits for it.
+    load_end = pending->end;
+    hit_inflight = true;
+    ++stats_.fault_wait_hits;
+  } else {
+    // The §4.1 in-stream abort: if the faulted page was queued for DFP
+    // preloading (the app outran the preloader within a stream), the whole
+    // queued batch is flushed and the page is demand-loaded instead.
+    // Under kPreemptAndFlush every demand fault flushes the queue. A
+    // queued SIP prefetch for the page is simply promoted (cancelled and
+    // re-issued as the demand load).
+    const bool flush =
+        (pending.has_value() && pending->kind == OpKind::kDfpPreload) ||
+        dp == DemandPolicy::kPreemptAndFlush;
+    if (flush) {
+      flush_queued_preloads(after_aex);
+    }
+    if (pending.has_value() && pending->kind == OpKind::kSipLoad) {
+      const bool cancelled = channel_.cancel_not_started(page, after_aex);
+      SGXPL_CHECK_MSG(cancelled, "queued SIP op for page " << page
+                                     << " could not be promoted");
+    }
+    if (dp == DemandPolicy::kFifo) {
+      load_end = schedule_load(page, after_aex, OpKind::kDemandLoad).end;
+    } else {
+      load_end =
+          schedule_load_priority(page, after_aex, OpKind::kDemandLoad).end;
+    }
+    ++stats_.demand_loads;
+  }
+
+  // Consult the preload policy while the fault is being serviced; its
+  // predictions queue up behind the demand load.
+  if (policy_ != nullptr) {
+    const auto predicted = policy_->on_fault(pid, page, after_aex);
+    for (const PageNum p : predicted) {
+      if (p >= config_.elrange_pages || page_table_.present(p) ||
+          channel_.find(p).has_value()) {
+        continue;
+      }
+      schedule_load(p, after_aex, OpKind::kDfpPreload);
+      ++stats_.preloads_issued;
+    }
+  }
+
+  Cycles done = 0;
+  int attempts = 0;
+  for (;;) {
+    done = load_end + costs_.eresume;
+    advance_to(done);
+    if (page_table_.present(page)) {
+      break;
+    }
+    // Pathological: other loads committing in the same window evicted the
+    // page before the enclave re-entered (possible under heavy preload
+    // pressure, and routinely under the idealized parallel-channel
+    // ablation). The access simply faults again.
+    SGXPL_CHECK_MSG(++attempts <= 8,
+                    "page " << page << " evicted "
+                            << attempts << " times before first use");
+    ++stats_.faults;
+    const Cycles retry_at = done + costs_.aex;
+    advance_to(retry_at);
+    if (const auto op = channel_.find(page)) {
+      load_end = op->end;
+      ++stats_.fault_wait_hits;
+    } else if (dp == DemandPolicy::kFifo) {
+      load_end = schedule_load(page, retry_at, OpKind::kDemandLoad).end;
+      ++stats_.demand_loads;
+    } else {
+      load_end =
+          schedule_load_priority(page, retry_at, OpKind::kDemandLoad).end;
+      ++stats_.demand_loads;
+    }
+  }
+  if (page_table_.touch(page)) {
+    ++stats_.preloads_used;
+  }
+  eviction_->on_access(page);
+  if (log_ != nullptr) {
+    log_->record({.at = done, .type = EventType::kResume, .page = page});
+  }
+  stats_.fault_stall_cycles += done - now;
+  return AccessOutcome{.completion = done, .faulted = true,
+                       .hit_inflight = hit_inflight};
+}
+
+Cycles Driver::sip_load(PageNum page, Cycles now) {
+  SGXPL_CHECK_MSG(page < config_.elrange_pages,
+                  "sip_load outside ELRANGE: page " << page);
+  if (log_ != nullptr) {
+    log_->record({.at = now, .type = EventType::kSipRequest, .page = page});
+  }
+  advance_to(now);
+  if (page_table_.present(page)) {
+    // The shared bitmap was stale (page arrived between check and request).
+    return now;
+  }
+  Cycles end = 0;
+  if (const auto pending = channel_.find(page)) {
+    end = pending->end;
+    ++stats_.sip_inflight_waits;
+  } else if (config_.demand_policy == DemandPolicy::kFifo) {
+    end = schedule_load(page, now, OpKind::kSipLoad).end;
+    ++stats_.sip_loads;
+  } else {
+    // The blocking notification overtakes queued asynchronous preloads.
+    end = schedule_load_priority(page, now, OpKind::kSipLoad).end;
+    ++stats_.sip_loads;
+  }
+  int attempts = 0;
+  for (;;) {
+    advance_to(end);
+    if (page_table_.present(page)) {
+      break;
+    }
+    // Evicted by a racing commit before the requester could use it; the
+    // kernel worker retries the load.
+    SGXPL_CHECK_MSG(++attempts <= 8,
+                    "sip page " << page << " evicted " << attempts
+                                << " times before first use");
+    if (const auto op = channel_.find(page)) {
+      end = op->end;
+    } else {
+      end = schedule_load(page, end, OpKind::kSipLoad).end;
+      ++stats_.sip_loads;
+    }
+  }
+  stats_.sip_stall_cycles += end - now;
+  return end;
+}
+
+void Driver::sip_prefetch(PageNum page, Cycles now) {
+  SGXPL_CHECK_MSG(page < config_.elrange_pages,
+                  "sip_prefetch outside ELRANGE: page " << page);
+  advance_to(now);
+  if (page_table_.present(page) || channel_.find(page).has_value()) {
+    return;
+  }
+  // Prefetches queue like preloads (no demand priority); demand faults
+  // never flush them — the app explicitly asked for the page.
+  if (log_ != nullptr) {
+    log_->record({.at = now, .type = EventType::kSipPrefetch, .page = page});
+  }
+  schedule_load(page, now, OpKind::kSipLoad);
+  ++stats_.sip_prefetches;
+}
+
+void Driver::advance_to(Cycles now) {
+  if (now < bookkept_until_) {
+    now = bookkept_until_;
+  }
+  while (next_scan_ <= now) {
+    for (const auto& op : channel_.collect_completed(next_scan_)) {
+      commit_load(op);
+    }
+    ++stats_.scans;
+    if (log_ != nullptr) {
+      log_->record({.at = next_scan_, .type = EventType::kScan});
+    }
+    if (policy_ != nullptr) {
+      policy_->on_scan(page_table_, next_scan_);
+    }
+    next_scan_ += costs_.scan_period;
+  }
+  for (const auto& op : channel_.collect_completed(now)) {
+    commit_load(op);
+  }
+  bookkept_until_ = now;
+}
+
+Cycles Driver::drain() {
+  const Cycles end = std::max(bookkept_until_, channel_.completion_time());
+  advance_to(end);
+  return end;
+}
+
+Cycles Driver::load_duration(OpKind kind) const {
+  // Whether this load will need to evict first: every queued op is itself a
+  // load that will consume a slot before this one runs.
+  const bool needs_evict =
+      page_table_.resident_count() + channel_.queued() >= epc_.capacity();
+  return costs_.epc_load + (needs_evict ? costs_.epc_evict : 0) +
+         (kind == OpKind::kDfpPreload ? costs_.preload_dispatch : 0);
+}
+
+const ChannelOp& Driver::schedule_load(PageNum page, Cycles earliest,
+                                       OpKind kind) {
+  // Never schedule into the already-bookkept past (callers may legally
+  // pass clocks that lag the driver's horizon, e.g. multi-enclave apps).
+  earliest = std::max(earliest, bookkept_until_);
+  const auto& op = channel_.schedule(earliest, load_duration(kind), page, kind);
+  if (log_ != nullptr) {
+    log_->record({.at = op.start, .type = EventType::kLoadScheduled,
+                  .page = page, .aux = op.end, .detail = to_string(kind)});
+  }
+  return op;
+}
+
+const ChannelOp& Driver::schedule_load_priority(PageNum page, Cycles earliest,
+                                                OpKind kind) {
+  earliest = std::max(earliest, bookkept_until_);
+  const auto& op =
+      channel_.schedule_priority(earliest, load_duration(kind), page, kind);
+  if (log_ != nullptr) {
+    log_->record({.at = op.start, .type = EventType::kLoadScheduled,
+                  .page = page, .aux = op.end, .detail = to_string(kind)});
+  }
+  return op;
+}
+
+void Driver::flush_queued_preloads(Cycles now) {
+  auto aborted = channel_.abort_not_started(now, OpKind::kDfpPreload);
+  if (aborted.empty()) {
+    return;
+  }
+  stats_.preloads_aborted += aborted.size();
+  if (log_ != nullptr) {
+    log_->record({.at = now, .type = EventType::kLoadsAborted,
+                  .page = aborted.size()});
+  }
+  if (policy_ != nullptr) {
+    std::vector<PageNum> pages;
+    pages.reserve(aborted.size());
+    for (const auto& op : aborted) {
+      pages.push_back(op.page);
+    }
+    policy_->on_preloads_aborted(pages, now);
+  }
+}
+
+void Driver::commit_load(const ChannelOp& op) {
+  SGXPL_CHECK_MSG(!page_table_.present(op.page),
+                  "load committed for already-resident page " << op.page);
+  if (epc_.full()) {
+    evict_one(op.page);
+  }
+  const SlotIndex slot = epc_.allocate(op.page);
+  page_table_.map(op.page, slot, /*via_preload=*/op.kind != OpKind::kDemandLoad);
+  if (op.kind == OpKind::kDemandLoad) {
+    // The faulting access completes as soon as the page lands, so the
+    // hardware sets its access bit immediately — giving the page a CLOCK
+    // second chance against evictions committed in the same window.
+    page_table_.touch(op.page);
+  }
+  eviction_->on_load(op.page);
+  // ELDU: verify against the anti-replay version from the last EWB.
+  (void)backing_.load(op.page);
+  bitmap_.set(op.page);
+  if (log_ != nullptr) {
+    log_->record({.at = op.end, .type = EventType::kLoadCommitted,
+                  .page = op.page, .detail = to_string(op.kind)});
+  }
+  if (op.kind == OpKind::kDfpPreload) {
+    ++stats_.preloads_completed;
+    if (policy_ != nullptr) {
+      policy_->on_preload_completed(op.page, op.end);
+    }
+  }
+}
+
+void Driver::evict_one(PageNum pinned) {
+  const PageNum victim = eviction_->victim(page_table_, pinned);
+  eviction_->on_unload(victim);
+  const PageTableEntry prior = page_table_.unmap(victim);
+  epc_.release(prior.slot);
+  backing_.evict(victim);
+  bitmap_.clear(victim);
+  ++stats_.evictions;
+  if (log_ != nullptr) {
+    log_->record({.at = bookkept_until_, .type = EventType::kEviction,
+                  .page = victim});
+  }
+  if (prior.preloaded) {
+    ++stats_.preloads_evicted_unused;
+    if (policy_ != nullptr) {
+      policy_->on_preloaded_page_evicted(victim, /*was_accessed=*/false,
+                                         bookkept_until_);
+    }
+  }
+}
+
+void Driver::check_invariants() const {
+  SGXPL_CHECK(page_table_.resident_count() == epc_.used());
+  SGXPL_CHECK(bitmap_.popcount() == epc_.used());
+  std::uint64_t present = 0;
+  for (PageNum p = 0; p < config_.elrange_pages; ++p) {
+    const auto& e = page_table_.entry(p);
+    if (e.present) {
+      ++present;
+      SGXPL_CHECK(e.slot != kInvalidSlot);
+      SGXPL_CHECK_MSG(epc_.page_at(e.slot) == p,
+                      "slot " << e.slot << " does not hold page " << p);
+      SGXPL_CHECK(bitmap_.test(p));
+    } else {
+      SGXPL_CHECK(!bitmap_.test(p));
+    }
+  }
+  SGXPL_CHECK(present == epc_.used());
+}
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,183 @@
+// The SGX driver model: the untrusted OS component that owns the EPC,
+// services enclave page faults, evicts with CLOCK, runs the service thread,
+// maintains the shared presence bitmap, and hosts the preload machinery.
+//
+// This reproduces the responsibilities the paper adds to the Intel Linux
+// SGX driver (§4): the fault handler calls the preload policy (DFP), a
+// kernel worker performs asynchronous preloads over the paging channel, and
+// SIP notifications are serviced synchronously without AEX/ERESUME.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <memory>
+
+#include "common/types.h"
+#include "sgxsim/backing_store.h"
+#include "sgxsim/bitmap.h"
+#include "sgxsim/cost_model.h"
+#include "sgxsim/epc.h"
+#include "sgxsim/event_log.h"
+#include "sgxsim/eviction.h"
+#include "sgxsim/page_table.h"
+#include "sgxsim/paging_channel.h"
+#include "sgxsim/preload_policy.h"
+
+namespace sgxpl::sgxsim {
+
+/// How a demand fault interacts with queued (not-yet-started) preloads.
+enum class DemandPolicy : std::uint8_t {
+  /// The fault handler's load is inserted right after the in-flight op,
+  /// ahead of queued preloads, which are kept. If the faulted page is
+  /// itself among the queued preloads, the whole queued batch is flushed
+  /// and the stream restarts (the paper's §4.1 in-stream abort). Default.
+  kPreempt,
+  /// As kPreempt, but any demand fault flushes all queued preloads
+  /// (strictest demand priority; ablation).
+  kPreemptAndFlush,
+  /// No priority at all: the demand load queues behind submitted preloads
+  /// and nothing is ever flushed (ablation; the §5.6 worst case).
+  kFifo,
+};
+
+const char* to_string(DemandPolicy p) noexcept;
+
+struct EnclaveConfig {
+  /// Size of the enclave linear address range, in pages.
+  PageNum elrange_pages = 0;
+  /// Usable EPC capacity, in pages (default ~96 MiB).
+  PageNum epc_pages = kDefaultEpcPages;
+  /// Serialize the paging channel (true = real hardware; false only for the
+  /// contention ablation).
+  bool serial_channel = true;
+  /// Demand-fault priority over queued preloads (see DemandPolicy).
+  DemandPolicy demand_policy = DemandPolicy::kPreempt;
+  /// EPC reclaim policy (the Intel driver uses a CLOCK-like sweep).
+  EvictionKind eviction = EvictionKind::kClock;
+};
+
+struct DriverStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t faults = 0;           // enclave page faults (AEX taken)
+  std::uint64_t demand_loads = 0;     // loads scheduled by the fault handler
+  std::uint64_t fault_wait_hits = 0;  // faults satisfied by an in-flight load
+  std::uint64_t preloads_issued = 0;
+  std::uint64_t preloads_completed = 0;
+  std::uint64_t preloads_aborted = 0;
+  std::uint64_t preloads_used = 0;      // preloaded pages later accessed
+  std::uint64_t preloads_evicted_unused = 0;
+  std::uint64_t sip_loads = 0;          // synchronous SIP loads performed
+  std::uint64_t sip_inflight_waits = 0; // SIP requests that hit an in-flight op
+  std::uint64_t sip_prefetches = 0;     // asynchronous (hoisted) SIP loads
+  std::uint64_t evictions = 0;
+  std::uint64_t scans = 0;
+  /// Cycles the app spent stalled on fault handling (AEX+wait+ERESUME).
+  Cycles fault_stall_cycles = 0;
+  /// Cycles the app spent stalled inside SIP page_loadin calls.
+  Cycles sip_stall_cycles = 0;
+
+  std::string describe() const;
+};
+
+/// What the fault handler / SIP path did for one access.
+struct AccessOutcome {
+  /// Virtual time at which the application proceeds past the access.
+  Cycles completion = 0;
+  bool faulted = false;
+  /// Fault was satisfied by a load already in flight (preload hit-in-flight).
+  bool hit_inflight = false;
+};
+
+class Driver {
+ public:
+  Driver(const EnclaveConfig& config, const CostModel& costs,
+         PreloadPolicy* policy = nullptr);
+
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  /// Regular (uninstrumented) enclave access to `page` at time `now`.
+  /// Resident: sets the access bit, returns immediately. Otherwise runs the
+  /// full fault path: AEX, demand load (with CLOCK eviction if the EPC is
+  /// full), DFP prediction, ERESUME. `pid` identifies the faulting process
+  /// to the preload policy (per-process stream lists; multi-enclave runs
+  /// use one pid per enclave).
+  AccessOutcome access(PageNum page, Cycles now, ProcessId pid = ProcessId{0});
+
+  /// SIP page_loadin_function: synchronously bring `page` into the EPC
+  /// without an AEX/ERESUME round trip. Returns the time at which the app
+  /// resumes (load end + notification cost). If the page is resident by the
+  /// time the request is serviced, only the notification cost is paid.
+  Cycles sip_load(PageNum page, Cycles now);
+
+  /// Fire-and-forget variant: post the load request and return immediately
+  /// (the hoisted-notification mode of §3.2/Fig. 4 — issued early enough,
+  /// the load overlaps the compute between notify and access). No-op if
+  /// the page is resident or already queued.
+  void sip_prefetch(PageNum page, Cycles now);
+
+  /// Advance bookkeeping to `now`: commit completed channel ops and run any
+  /// due service-thread scans. access()/sip_load() call this themselves;
+  /// exposed for tests and for end-of-run settling.
+  void advance_to(Cycles now);
+
+  /// Drain the channel: advance to the end of the last queued op.
+  Cycles drain();
+
+  const DriverStats& stats() const noexcept { return stats_; }
+  const PageTable& page_table() const noexcept { return page_table_; }
+  const Epc& epc() const noexcept { return epc_; }
+  const PresenceBitmap& bitmap() const noexcept { return bitmap_; }
+  const BackingStore& backing_store() const noexcept { return backing_; }
+  const PagingChannel& channel() const noexcept { return channel_; }
+  const EnclaveConfig& config() const noexcept { return config_; }
+  const CostModel& costs() const noexcept { return costs_; }
+
+  /// Invariant: page table residency, EPC occupancy, and bitmap population
+  /// all agree. Throws CheckFailure on violation; used by tests.
+  void check_invariants() const;
+
+  /// Attach an event log (not owned; pass nullptr to detach). Every fault,
+  /// load, eviction, abort, SIP request, and scan is recorded with its
+  /// virtual timestamp — the raw material of Fig. 2 / Fig. 4 timelines.
+  void set_event_log(EventLog* log) noexcept { log_ = log; }
+
+ private:
+  /// Duration of one load: ELDU + EWB share when the EPC will be full +
+  /// the preload worker's dispatch overhead for asynchronous preloads.
+  Cycles load_duration(OpKind kind) const;
+
+  /// Schedule a load of `page` on the channel no earlier than `earliest`.
+  const ChannelOp& schedule_load(PageNum page, Cycles earliest, OpKind kind);
+
+  /// Schedule with priority over queued preloads (demand/SIP loads).
+  const ChannelOp& schedule_load_priority(PageNum page, Cycles earliest,
+                                          OpKind kind);
+
+  /// Flush queued (not-started) DFP preloads, notifying the policy.
+  void flush_queued_preloads(Cycles now);
+
+  /// Apply a completed channel op: evict a victim if needed, map the page.
+  void commit_load(const ChannelOp& op);
+
+  void evict_one(PageNum pinned);
+
+  EnclaveConfig config_;
+  CostModel costs_;
+  PreloadPolicy* policy_;  // not owned; may be null (no preloading)
+
+  PageTable page_table_;
+  Epc epc_;
+  BackingStore backing_;
+  PagingChannel channel_;
+  PresenceBitmap bitmap_;
+  std::unique_ptr<EvictionPolicy> eviction_;
+
+  DriverStats stats_;
+  EventLog* log_ = nullptr;  // not owned; may be null
+  Cycles next_scan_ = 0;
+  Cycles bookkept_until_ = 0;
+};
+
+}  // namespace sgxpl::sgxsim

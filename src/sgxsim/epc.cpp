@@ -1,0 +1,64 @@
+#include "sgxsim/epc.h"
+
+#include "common/check.h"
+
+namespace sgxpl::sgxsim {
+
+Epc::Epc(PageNum capacity_pages)
+    : capacity_(capacity_pages),
+      slot_to_page_(capacity_pages, kInvalidPage) {
+  SGXPL_CHECK_MSG(capacity_pages > 0, "EPC must have at least one page");
+  free_list_.reserve(capacity_pages);
+  // Populate so that slot 0 is handed out first (pop from the back).
+  for (PageNum i = capacity_pages; i > 0; --i) {
+    free_list_.push_back(static_cast<SlotIndex>(i - 1));
+  }
+}
+
+SlotIndex Epc::allocate(PageNum page) {
+  SGXPL_CHECK_MSG(!full(), "allocate on a full EPC; evict first");
+  const SlotIndex slot = free_list_.back();
+  free_list_.pop_back();
+  SGXPL_DCHECK(slot_to_page_[slot] == kInvalidPage);
+  slot_to_page_[slot] = page;
+  ++used_;
+  return slot;
+}
+
+void Epc::release(SlotIndex slot) {
+  SGXPL_CHECK(slot < capacity_);
+  SGXPL_CHECK_MSG(slot_to_page_[slot] != kInvalidPage,
+                  "release of free slot " << slot);
+  slot_to_page_[slot] = kInvalidPage;
+  free_list_.push_back(slot);
+  SGXPL_CHECK(used_ > 0);
+  --used_;
+}
+
+PageNum Epc::page_at(SlotIndex slot) const {
+  SGXPL_CHECK(slot < capacity_);
+  return slot_to_page_[slot];
+}
+
+PageNum Epc::choose_victim(PageTable& pt, PageNum pinned) {
+  SGXPL_CHECK_MSG(used_ > 0, "no occupied EPC slot to evict");
+  // At most two full sweeps: the first may clear every access bit, the
+  // second must then find a victim (all bits clear). The +1 covers the
+  // pinned page being the only clear candidate on the boundary.
+  const std::uint64_t limit = 2 * capacity_ + 1;
+  for (std::uint64_t step = 0; step < limit; ++step) {
+    const SlotIndex slot = clock_hand_;
+    clock_hand_ = static_cast<SlotIndex>((clock_hand_ + 1) % capacity_);
+    const PageNum page = slot_to_page_[slot];
+    if (page == kInvalidPage || page == pinned) {
+      continue;
+    }
+    if (!pt.test_and_clear_accessed(page)) {
+      return page;
+    }
+  }
+  SGXPL_CHECK_MSG(false, "CLOCK sweep found no victim");
+  return kInvalidPage;  // unreachable
+}
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,54 @@
+// The Enclave Page Cache: the fixed pool of protected physical page slots.
+//
+// SGX reserves ~128 MiB of physical memory for the EPC, of which ~96 MiB is
+// usable by applications (the rest holds enclave metadata). The driver
+// manages it at page granularity; when it is full a victim is chosen with a
+// CLOCK second-chance sweep over the access bits (the Intel driver's
+// reclaim heuristic the paper piggybacks on in §4.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sgxsim/page_table.h"
+
+namespace sgxpl::sgxsim {
+
+/// Default usable EPC: 96 MiB of 4 KiB pages.
+inline constexpr PageNum kDefaultEpcPages = bytes_to_pages(96ull << 20);
+
+class Epc {
+ public:
+  explicit Epc(PageNum capacity_pages);
+
+  PageNum capacity() const noexcept { return capacity_; }
+  PageNum used() const noexcept { return used_; }
+  bool full() const noexcept { return used_ == capacity_; }
+  PageNum free_slots() const noexcept { return capacity_ - used_; }
+
+  /// Allocate a free slot for `page`. Requires !full().
+  SlotIndex allocate(PageNum page);
+
+  /// Release the slot holding `page_in_slot` (after the page table unmapped
+  /// it).
+  void release(SlotIndex slot);
+
+  /// Page currently held by a slot (kInvalidPage if free).
+  PageNum page_at(SlotIndex slot) const;
+
+  /// CLOCK second-chance victim selection: sweep from the hand, clearing
+  /// access bits of occupied slots via the page table; the first occupied
+  /// slot with a clear access bit wins. Requires at least one occupied slot.
+  /// Never selects `pinned` (the page a load is being performed for).
+  PageNum choose_victim(PageTable& pt, PageNum pinned = kInvalidPage);
+
+ private:
+  PageNum capacity_;
+  PageNum used_ = 0;
+  std::vector<PageNum> slot_to_page_;
+  std::vector<SlotIndex> free_list_;
+  SlotIndex clock_hand_ = 0;
+};
+
+}  // namespace sgxpl::sgxsim

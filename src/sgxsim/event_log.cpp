@@ -1,0 +1,72 @@
+#include "sgxsim/event_log.h"
+
+#include <sstream>
+
+namespace sgxpl::sgxsim {
+
+const char* to_string(EventType t) noexcept {
+  switch (t) {
+    case EventType::kFault:
+      return "FAULT(AEX)";
+    case EventType::kLoadScheduled:
+      return "LOAD-SCHED";
+    case EventType::kLoadCommitted:
+      return "LOAD-DONE";
+    case EventType::kLoadsAborted:
+      return "ABORT";
+    case EventType::kEviction:
+      return "EVICT(EWB)";
+    case EventType::kResume:
+      return "ERESUME";
+    case EventType::kSipRequest:
+      return "SIP-NOTIFY";
+    case EventType::kSipPrefetch:
+      return "SIP-PREFETCH";
+    case EventType::kScan:
+      return "SCAN";
+  }
+  return "?";
+}
+
+std::string Event::describe() const {
+  std::ostringstream oss;
+  oss << "t=" << at << "  " << to_string(type);
+  if (type == EventType::kLoadsAborted) {
+    oss << "  count=" << page;
+  } else if (page != kInvalidPage) {
+    oss << "  page=" << page;
+  }
+  if (detail != nullptr && detail[0] != '\0') {
+    oss << "  [" << detail << ']';
+  }
+  if (aux != 0) {
+    oss << "  (until t=" << aux << ')';
+  }
+  return oss.str();
+}
+
+void EventLog::record(Event e) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(e);
+}
+
+void EventLog::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string EventLog::render() const {
+  std::ostringstream oss;
+  for (const auto& e : events_) {
+    oss << "  " << e.describe() << '\n';
+  }
+  if (dropped_ > 0) {
+    oss << "  ... (" << dropped_ << " events dropped)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,145 @@
+#include "sgxsim/eviction.h"
+
+#include "common/check.h"
+
+namespace sgxpl::sgxsim {
+
+const char* to_string(EvictionKind k) noexcept {
+  switch (k) {
+    case EvictionKind::kClock:
+      return "clock";
+    case EvictionKind::kFifo:
+      return "fifo";
+    case EvictionKind::kRandom:
+      return "random";
+    case EvictionKind::kLru:
+      return "lru";
+  }
+  return "?";
+}
+
+// --- FifoPolicy -------------------------------------------------------------
+
+void FifoPolicy::on_load(PageNum page) {
+  order_.push_back(page);
+  resident_[page] = 1;
+}
+
+void FifoPolicy::on_unload(PageNum page) {
+  resident_.erase(page);
+  // Lazy removal: stale queue entries are skipped in victim().
+}
+
+PageNum FifoPolicy::victim(PageTable& /*pt*/, PageNum pinned) {
+  std::size_t rotated = 0;
+  while (!order_.empty()) {
+    const PageNum page = order_.front();
+    order_.pop_front();
+    if (resident_.find(page) == resident_.end()) {
+      continue;  // stale entry (already evicted)
+    }
+    if (page == pinned) {
+      order_.push_back(page);
+      SGXPL_CHECK_MSG(++rotated <= 1, "only the pinned page is resident");
+      continue;
+    }
+    return page;
+  }
+  SGXPL_CHECK_MSG(false, "FIFO: no evictable page");
+  return kInvalidPage;
+}
+
+// --- RandomPolicy -----------------------------------------------------------
+
+RandomPolicy::RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+void RandomPolicy::on_load(PageNum page) {
+  index_[page] = pages_.size();
+  pages_.push_back(page);
+}
+
+void RandomPolicy::on_unload(PageNum page) {
+  const auto it = index_.find(page);
+  if (it == index_.end()) {
+    return;
+  }
+  const std::size_t i = it->second;
+  const PageNum last = pages_.back();
+  pages_[i] = last;
+  index_[last] = i;
+  pages_.pop_back();
+  index_.erase(it);
+}
+
+PageNum RandomPolicy::victim(PageTable& /*pt*/, PageNum pinned) {
+  SGXPL_CHECK_MSG(!pages_.empty(), "random: no evictable page");
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const PageNum page = pages_[rng_.bounded(pages_.size())];
+    if (page != pinned) {
+      return page;
+    }
+  }
+  // Pathological: pinned keeps being drawn; scan for any other page.
+  for (const PageNum page : pages_) {
+    if (page != pinned) {
+      return page;
+    }
+  }
+  SGXPL_CHECK_MSG(false, "random: only the pinned page is resident");
+  return kInvalidPage;
+}
+
+// --- LruPolicy --------------------------------------------------------------
+
+void LruPolicy::on_load(PageNum page) {
+  order_.push_front(page);
+  where_[page] = order_.begin();
+}
+
+void LruPolicy::on_unload(PageNum page) {
+  const auto it = where_.find(page);
+  if (it == where_.end()) {
+    return;
+  }
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+void LruPolicy::on_access(PageNum page) {
+  const auto it = where_.find(page);
+  if (it == where_.end()) {
+    return;
+  }
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+PageNum LruPolicy::victim(PageTable& /*pt*/, PageNum pinned) {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (*it != pinned) {
+      return *it;
+    }
+  }
+  SGXPL_CHECK_MSG(false, "lru: no evictable page");
+  return kInvalidPage;
+}
+
+// --- factory ----------------------------------------------------------------
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(EvictionKind kind,
+                                                     Epc& epc,
+                                                     std::uint64_t seed) {
+  switch (kind) {
+    case EvictionKind::kClock:
+      return std::make_unique<ClockPolicy>(epc);
+    case EvictionKind::kFifo:
+      return std::make_unique<FifoPolicy>();
+    case EvictionKind::kRandom:
+      return std::make_unique<RandomPolicy>(seed);
+    case EvictionKind::kLru:
+      return std::make_unique<LruPolicy>();
+  }
+  SGXPL_CHECK_MSG(false, "unknown eviction kind");
+  return nullptr;
+}
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,110 @@
+// EPC eviction policies.
+//
+// The Intel SGX driver reclaims EPC pages with a CLOCK-style second-chance
+// sweep over the page-table access bits (what the paper's §4.2 service
+// thread piggybacks on). That is the default here; FIFO, random, and exact
+// LRU variants exist for the eviction ablation bench — the choice interacts
+// with preloading, since preloaded-but-unused pages carry clear access bits
+// and are the first to go under CLOCK.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sgxsim/epc.h"
+#include "sgxsim/page_table.h"
+
+namespace sgxpl::sgxsim {
+
+enum class EvictionKind : std::uint8_t { kClock, kFifo, kRandom, kLru };
+
+const char* to_string(EvictionKind k) noexcept;
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// `page` became resident.
+  virtual void on_load(PageNum page) = 0;
+  /// `page` was evicted (or otherwise removed).
+  virtual void on_unload(PageNum page) = 0;
+  /// `page` was accessed (LRU recency; others ignore it).
+  virtual void on_access(PageNum page) = 0;
+  /// Pick a victim among resident pages, never `pinned`.
+  virtual PageNum victim(PageTable& pt, PageNum pinned) = 0;
+
+  virtual const char* name() const noexcept = 0;
+};
+
+/// Second-chance CLOCK over the EPC slots (delegates to Epc's hand).
+class ClockPolicy final : public EvictionPolicy {
+ public:
+  explicit ClockPolicy(Epc& epc) : epc_(&epc) {}
+  void on_load(PageNum) override {}
+  void on_unload(PageNum) override {}
+  void on_access(PageNum) override {}
+  PageNum victim(PageTable& pt, PageNum pinned) override {
+    return epc_->choose_victim(pt, pinned);
+  }
+  const char* name() const noexcept override { return "clock"; }
+
+ private:
+  Epc* epc_;
+};
+
+/// Evict in load order, ignoring use.
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  void on_load(PageNum page) override;
+  void on_unload(PageNum page) override;
+  void on_access(PageNum) override {}
+  PageNum victim(PageTable& pt, PageNum pinned) override;
+  const char* name() const noexcept override { return "fifo"; }
+
+ private:
+  std::deque<PageNum> order_;
+  std::unordered_map<PageNum, std::uint32_t> resident_;  // page -> count==1
+};
+
+/// Evict a uniformly random resident page.
+class RandomPolicy final : public EvictionPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 0x5eed);
+  void on_load(PageNum page) override;
+  void on_unload(PageNum page) override;
+  void on_access(PageNum) override {}
+  PageNum victim(PageTable& pt, PageNum pinned) override;
+  const char* name() const noexcept override { return "random"; }
+
+ private:
+  Rng rng_;
+  std::vector<PageNum> pages_;
+  std::unordered_map<PageNum, std::size_t> index_;
+};
+
+/// Exact least-recently-used (the upper bound CLOCK approximates).
+class LruPolicy final : public EvictionPolicy {
+ public:
+  void on_load(PageNum page) override;
+  void on_unload(PageNum page) override;
+  void on_access(PageNum page) override;
+  PageNum victim(PageTable& pt, PageNum pinned) override;
+  const char* name() const noexcept override { return "lru"; }
+
+ private:
+  std::list<PageNum> order_;  // MRU at front
+  std::unordered_map<PageNum, std::list<PageNum>::iterator> where_;
+};
+
+/// Factory. `epc` is needed by the CLOCK policy; `seed` by random.
+std::unique_ptr<EvictionPolicy> make_eviction_policy(EvictionKind kind,
+                                                     Epc& epc,
+                                                     std::uint64_t seed = 0x5eed);
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,46 @@
+#include "sgxsim/page_table.h"
+
+namespace sgxpl::sgxsim {
+
+PageTable::PageTable(PageNum elrange_pages)
+    : size_(elrange_pages), entries_(elrange_pages) {
+  SGXPL_CHECK_MSG(elrange_pages > 0, "ELRANGE must contain at least one page");
+}
+
+void PageTable::map(PageNum page, SlotIndex slot, bool via_preload) {
+  auto& e = mutable_entry(page);
+  SGXPL_CHECK_MSG(!e.present, "double map of page " << page);
+  e.slot = slot;
+  e.present = true;
+  e.accessed = false;
+  e.preloaded = via_preload;
+  ++resident_;
+}
+
+PageTableEntry PageTable::unmap(PageNum page) {
+  auto& e = mutable_entry(page);
+  SGXPL_CHECK_MSG(e.present, "unmap of non-resident page " << page);
+  const PageTableEntry prior = e;
+  e = PageTableEntry{};
+  SGXPL_CHECK(resident_ > 0);
+  --resident_;
+  return prior;
+}
+
+bool PageTable::touch(PageNum page) {
+  auto& e = mutable_entry(page);
+  SGXPL_DCHECK(e.present);
+  const bool first = e.preloaded;
+  e.accessed = true;
+  e.preloaded = false;
+  return first;
+}
+
+bool PageTable::test_and_clear_accessed(PageNum page) {
+  auto& e = mutable_entry(page);
+  const bool was = e.accessed;
+  e.accessed = false;
+  return was;
+}
+
+}  // namespace sgxpl::sgxsim

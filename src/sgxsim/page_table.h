@@ -1,0 +1,68 @@
+// The enclave's page table as seen by the untrusted OS.
+//
+// One entry per ELRANGE page. Tracks residency (present in EPC), the slot
+// the page occupies, the hardware-set access bit the driver's service thread
+// scans, and whether the page arrived via a preload (DFP bookkeeping,
+// §4.2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace sgxpl::sgxsim {
+
+struct PageTableEntry {
+  SlotIndex slot = kInvalidSlot;
+  bool present = false;
+  /// Set by "hardware" on every access to a resident page; cleared by the
+  /// CLOCK eviction hand and consumed by the service-thread scan.
+  bool accessed = false;
+  /// True if the page was brought in by a preload (DFP or SIP) rather than a
+  /// demand fault, and has not been accessed yet.
+  bool preloaded = false;
+};
+
+class PageTable {
+ public:
+  explicit PageTable(PageNum elrange_pages);
+
+  PageNum elrange_pages() const noexcept { return size_; }
+
+  const PageTableEntry& entry(PageNum page) const {
+    SGXPL_DCHECK(page < size_);
+    return entries_[page];
+  }
+
+  bool present(PageNum page) const { return entry(page).present; }
+
+  /// Record that `page` now occupies `slot`.
+  void map(PageNum page, SlotIndex slot, bool via_preload);
+
+  /// Record that `page` was evicted. Returns the entry state at eviction so
+  /// the caller can account (e.g. evicted-while-preloaded-and-unused).
+  PageTableEntry unmap(PageNum page);
+
+  /// Hardware access-bit set on a regular access. Returns true if this is
+  /// the first access since the page was (pre)loaded.
+  bool touch(PageNum page);
+
+  /// CLOCK second-chance: clears the access bit, returns its prior value.
+  bool test_and_clear_accessed(PageNum page);
+
+  std::uint64_t resident_count() const noexcept { return resident_; }
+
+ private:
+  PageTableEntry& mutable_entry(PageNum page) {
+    SGXPL_DCHECK(page < size_);
+    return entries_[page];
+  }
+
+  PageNum size_;
+  std::vector<PageTableEntry> entries_;
+  std::uint64_t resident_ = 0;
+};
+
+}  // namespace sgxpl::sgxsim

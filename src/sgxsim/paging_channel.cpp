@@ -1,0 +1,187 @@
+#include "sgxsim/paging_channel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sgxpl::sgxsim {
+
+const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kDemandLoad:
+      return "demand";
+    case OpKind::kDfpPreload:
+      return "dfp-preload";
+    case OpKind::kSipLoad:
+      return "sip-load";
+  }
+  return "?";
+}
+
+const ChannelOp& PagingChannel::schedule(Cycles earliest, Cycles duration,
+                                         PageNum page, OpKind kind) {
+  SGXPL_CHECK_MSG(duration > 0, "zero-length channel op");
+  SGXPL_DCHECK(!find(page).has_value());
+  ChannelOp op;
+  op.id = next_id_++;
+  op.page = page;
+  op.kind = kind;
+  op.start = next_free(earliest);
+  op.end = op.start + duration;
+  queue_.push_back(op);
+  return queue_.back();
+}
+
+const ChannelOp& PagingChannel::schedule_priority(Cycles earliest,
+                                                  Cycles duration,
+                                                  PageNum page, OpKind kind) {
+  SGXPL_CHECK_MSG(duration > 0, "zero-length channel op");
+  SGXPL_DCHECK(!find(page).has_value());
+  if (!serial_) {
+    return schedule(earliest, duration, page, kind);
+  }
+  // Find the insertion point: after every op already started by `earliest`.
+  auto it = queue_.begin();
+  Cycles prev_end = 0;
+  while (it != queue_.end() && it->start <= earliest) {
+    prev_end = it->end;
+    ++it;
+  }
+  ChannelOp op;
+  op.id = next_id_++;
+  op.page = page;
+  op.kind = kind;
+  op.start = std::max(earliest, prev_end);
+  op.end = op.start + duration;
+  it = queue_.insert(it, op);
+  repack(earliest);
+  return *it;
+}
+
+void PagingChannel::repack(Cycles now) {
+  Cycles prev_end = 0;
+  for (auto& op : queue_) {
+    if (op.start > now) {
+      const Cycles dur = op.end - op.start;
+      op.start = std::max(now, prev_end);
+      op.end = op.start + dur;
+    }
+    prev_end = op.end;
+  }
+}
+
+Cycles PagingChannel::next_free(Cycles earliest) const noexcept {
+  if (!serial_ || queue_.empty()) {
+    return earliest;
+  }
+  return std::max(earliest, queue_.back().end);
+}
+
+std::vector<ChannelOp> PagingChannel::collect_completed(Cycles now) {
+  std::vector<ChannelOp> done;
+  if (serial_) {
+    while (!queue_.empty() && queue_.front().end <= now) {
+      done.push_back(queue_.front());
+      queue_.pop_front();
+    }
+  } else {
+    // Parallel (ablation) mode: completion order is end-time order.
+    auto it = queue_.begin();
+    while (it != queue_.end()) {
+      if (it->end <= now) {
+        done.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::sort(done.begin(), done.end(),
+              [](const ChannelOp& a, const ChannelOp& b) {
+                return a.end < b.end || (a.end == b.end && a.id < b.id);
+              });
+  }
+  return done;
+}
+
+std::vector<ChannelOp> PagingChannel::abort_not_started(
+    Cycles now, std::optional<OpKind> only_kind) {
+  std::vector<ChannelOp> aborted;
+  auto it = queue_.begin();
+  while (it != queue_.end()) {
+    const bool not_started = it->start > now;
+    const bool kind_matches = !only_kind.has_value() || it->kind == *only_kind;
+    if (not_started && kind_matches) {
+      aborted.push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  aborted_ += aborted.size();
+  // Close the holes the aborted ops left: surviving not-yet-started ops
+  // slide forward (never before `now`, and never into an op in flight).
+  if (serial_ && !aborted.empty()) {
+    repack(now);
+  }
+  return aborted;
+}
+
+bool PagingChannel::cancel_not_started(PageNum page, Cycles now) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->page == page) {
+      if (it->start <= now) {
+        return false;  // in flight: non-preemptible
+      }
+      queue_.erase(it);
+      ++aborted_;
+      if (serial_) {
+        repack(now);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<ChannelOp> PagingChannel::find(PageNum page) const {
+  for (const auto& op : queue_) {
+    if (op.page == page) {
+      return op;
+    }
+  }
+  return std::nullopt;
+}
+
+Cycles PagingChannel::completion_time() const noexcept {
+  Cycles end = 0;
+  for (const auto& op : queue_) {
+    end = std::max(end, op.end);
+  }
+  return end;
+}
+
+Cycles PagingChannel::busy_overlap(Cycles a, Cycles b) const noexcept {
+  if (b <= a) {
+    return 0;
+  }
+  Cycles busy = 0;
+  for (const auto& op : queue_) {
+    const Cycles lo = std::max(a, op.start);
+    const Cycles hi = std::min(b, op.end);
+    if (hi > lo) {
+      busy += hi - lo;
+    }
+  }
+  return busy;
+}
+
+bool PagingChannel::idle(Cycles now) const noexcept {
+  for (const auto& op : queue_) {
+    if (op.end > now) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,105 @@
+// The EPC paging channel: the serialized, non-preemptible pipe through
+// which pages move between EPC and untrusted memory.
+//
+// The paper's measurements (§3.1, §5.6) found that EPC page loading can move
+// only one page at a time and that an ELDU/ELDB in progress cannot be
+// preempted — a demand fault arriving mid-preload must wait for the
+// in-flight load to finish. This class models that: operations are
+// scheduled back-to-back in virtual time; an op whose start time has passed
+// is in-flight and immovable; ops that have not started yet can be aborted
+// (how DFP cancels the rest of a mispredicted stream).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgxpl::sgxsim {
+
+enum class OpKind : std::uint8_t {
+  kDemandLoad,   // load servicing an enclave page fault
+  kDfpPreload,   // asynchronous preload issued by the DFP kernel worker
+  kSipLoad,      // synchronous load for a SIP notification
+};
+
+const char* to_string(OpKind kind) noexcept;
+
+struct ChannelOp {
+  std::uint64_t id = 0;
+  PageNum page = kInvalidPage;
+  OpKind kind = OpKind::kDemandLoad;
+  Cycles start = 0;
+  Cycles end = 0;
+};
+
+class PagingChannel {
+ public:
+  /// `serial` models the real hardware (one op at a time). Setting it false
+  /// gives an idealized infinitely-parallel channel, used only by the
+  /// channel-contention ablation bench.
+  explicit PagingChannel(bool serial = true) : serial_(serial) {}
+
+  /// Schedule an op of `duration` cycles to run no earlier than `earliest`.
+  /// On the serial channel it starts when the last queued op ends (if
+  /// later). Returns the scheduled op.
+  const ChannelOp& schedule(Cycles earliest, Cycles duration, PageNum page,
+                            OpKind kind);
+
+  /// Schedule with priority: the op is inserted directly after whatever is
+  /// in flight at `earliest` (which cannot be preempted), ahead of queued
+  /// not-yet-started ops; those slide later. This is how a demand fault or
+  /// a blocking SIP request overtakes queued asynchronous preloads without
+  /// cancelling them.
+  const ChannelOp& schedule_priority(Cycles earliest, Cycles duration,
+                                     PageNum page, OpKind kind);
+
+  /// First moment a new op scheduled at `earliest` could start.
+  Cycles next_free(Cycles earliest) const noexcept;
+
+  /// Ops whose end <= now, in completion order; removes them from the queue.
+  std::vector<ChannelOp> collect_completed(Cycles now);
+
+  /// Abort every op that has not started by `now` (start > now). In-flight
+  /// and completed ops are untouched. Returns the aborted ops.
+  /// `keep_kind`: ops of this kind survive (demand loads are never flushed
+  /// by a later fault). Pass std::nullopt to abort all pending kinds.
+  std::vector<ChannelOp> abort_not_started(
+      Cycles now, std::optional<OpKind> only_kind = std::nullopt);
+
+  /// The queued/in-flight op for `page`, if any.
+  std::optional<ChannelOp> find(PageNum page) const;
+
+  /// Cancel the op for `page` if it has not started by `now` (so a demand
+  /// fault can promote an already-queued request to the front). Returns
+  /// true if an op was removed.
+  bool cancel_not_started(PageNum page, Cycles now);
+
+  bool idle(Cycles now) const noexcept;
+
+  /// Latest end time over all queued ops (0 if the queue is empty).
+  Cycles completion_time() const noexcept;
+
+  /// Cycles within [a, b) during which the channel is busy with queued or
+  /// in-flight ops. Used to model memory-bandwidth interference between
+  /// page copies and enclave compute.
+  Cycles busy_overlap(Cycles a, Cycles b) const noexcept;
+
+  std::size_t queued() const noexcept { return queue_.size(); }
+  std::uint64_t ops_scheduled() const noexcept { return next_id_; }
+  std::uint64_t ops_aborted() const noexcept { return aborted_; }
+
+ private:
+  /// Re-pack not-yet-started ops back-to-back after an insertion/removal
+  /// (the kernel worker issues the next request as soon as one retires).
+  void repack(Cycles now);
+
+  bool serial_;
+  std::deque<ChannelOp> queue_;  // ascending by start
+  std::uint64_t next_id_ = 0;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace sgxpl::sgxsim

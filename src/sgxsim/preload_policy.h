@@ -1,0 +1,43 @@
+// Hook interface through which a preloading scheme plugs into the driver.
+//
+// The DFP engine (src/dfp) implements this. The driver invokes it from the
+// fault handler (prediction), from the channel bookkeeping (completion /
+// abort / eviction of preloaded pages), and from the periodic service-thread
+// scan (the CLOCK access-bit sweep the abort counters piggyback on, §4.2).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sgxsim/page_table.h"
+
+namespace sgxpl::sgxsim {
+
+class PreloadPolicy {
+ public:
+  virtual ~PreloadPolicy() = default;
+
+  /// An enclave page fault on `page` is being serviced at virtual time
+  /// `now`. Return the pages to preload, in issue order. Pages already
+  /// resident or already queued on the channel are skipped by the driver.
+  virtual std::vector<PageNum> on_fault(ProcessId pid, PageNum page,
+                                        Cycles now) = 0;
+
+  /// A preload issued by this policy finished loading into the EPC.
+  virtual void on_preload_completed(PageNum page, Cycles now) = 0;
+
+  /// Queued preloads were flushed because a demand fault took priority.
+  virtual void on_preloads_aborted(const std::vector<PageNum>& pages,
+                                   Cycles now) = 0;
+
+  /// A page this policy preloaded was evicted. `was_accessed` tells whether
+  /// the application ever touched it (false = confirmed misprediction).
+  virtual void on_preloaded_page_evicted(PageNum page, bool was_accessed,
+                                         Cycles now) = 0;
+
+  /// Periodic service-thread scan. The policy may inspect access bits
+  /// through `pt` to account which of its preloaded pages were used.
+  virtual void on_scan(const PageTable& pt, Cycles now) = 0;
+};
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,48 @@
+#include "sip/instrumenter.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sgxpl::sip {
+
+void InstrumentationPlan::add_site(SiteId site) {
+  SGXPL_CHECK(site != kInvalidSite);
+  if (instrumented(site)) {
+    return;
+  }
+  if (site >= dense_.size()) {
+    dense_.resize(site + 1, false);
+  }
+  dense_[site] = true;
+  sites_.push_back(site);
+}
+
+std::string InstrumentationPlan::describe() const {
+  std::ostringstream oss;
+  oss << "InstrumentationPlan{" << sites_.size() << " points}";
+  return oss.str();
+}
+
+InstrumentationPlan build_plan(const SiteProfile& profile,
+                               const InstrumenterParams& params) {
+  InstrumentationPlan plan;
+  std::vector<SiteId> selected;
+  for (const auto& [site, counters] : profile.sites()) {
+    if (counters.total() < params.min_profiled_accesses) {
+      continue;
+    }
+    if (counters.irregular_ratio() >= params.irregular_threshold) {
+      selected.push_back(site);
+    }
+  }
+  // Deterministic plan order regardless of hash-map iteration.
+  std::sort(selected.begin(), selected.end());
+  for (const SiteId site : selected) {
+    plan.add_site(site);
+  }
+  return plan;
+}
+
+}  // namespace sgxpl::sip

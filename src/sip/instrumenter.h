@@ -1,0 +1,54 @@
+// The compile-time instrumentation decision of SIP (paper §4.4, §5.2).
+//
+// Given the per-site class profile, select the sites whose fraction of
+// irregular (Class 3) accesses meets the threshold — 5% in the paper's
+// sweet-spot study (Fig. 9) — and emit an InstrumentationPlan: the set of
+// sites the compiler would wrap with BIT_MAP_CHECK + page_loadin_function.
+// The plan size is the benchmark's "instrumentation points" count (Table 2)
+// and bounds SIP's TCB growth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sip/profiler.h"
+
+namespace sgxpl::sip {
+
+struct InstrumenterParams {
+  /// Minimum Class-3 fraction for a site to be instrumented (Fig. 9).
+  double irregular_threshold = 0.05;
+  /// Sites with fewer profiled accesses than this are skipped (too little
+  /// evidence to justify adding enclave code).
+  std::uint64_t min_profiled_accesses = 8;
+};
+
+class InstrumentationPlan {
+ public:
+  InstrumentationPlan() = default;
+
+  void add_site(SiteId site);
+
+  bool instrumented(SiteId site) const noexcept {
+    return site < dense_.size() && dense_[site];
+  }
+
+  /// Number of instrumentation points (Table 2's metric).
+  std::size_t points() const noexcept { return sites_.size(); }
+  const std::vector<SiteId>& sites() const noexcept { return sites_; }
+  bool empty() const noexcept { return sites_.empty(); }
+
+  std::string describe() const;
+
+ private:
+  std::vector<bool> dense_;
+  std::vector<SiteId> sites_;
+};
+
+/// Apply the threshold rule to a profile.
+InstrumentationPlan build_plan(const SiteProfile& profile,
+                               const InstrumenterParams& params = {});
+
+}  // namespace sgxpl::sip

@@ -1,0 +1,20 @@
+#include "sip/pipeline.h"
+
+#include "common/check.h"
+
+namespace sgxpl::sip {
+
+PipelineResult compile_workload(const trace::Workload& workload,
+                                const InstrumenterParams& params,
+                                const trace::WorkloadParams& train) {
+  SGXPL_CHECK_MSG(workload.info.sip_supported,
+                  "SIP cannot instrument " << workload.info.name
+                                           << " (tool limitation)");
+  const trace::Trace profiling_trace = workload.make(train);
+  PipelineResult result;
+  result.profile = profile_trace(profiling_trace);
+  result.plan = build_plan(result.profile, params);
+  return result;
+}
+
+}  // namespace sgxpl::sip

@@ -1,0 +1,23 @@
+// End-to-end SIP compile pipeline, the analogue of the paper's
+// LLVM-based flow: generate the profiling ("train") input trace, profile
+// it, and build the instrumentation plan that the performance ("ref") run
+// executes with (paper §5.2 uses different inputs for the two runs).
+#pragma once
+
+#include "sip/instrumenter.h"
+#include "trace/workloads.h"
+
+namespace sgxpl::sip {
+
+struct PipelineResult {
+  SiteProfile profile;
+  InstrumentationPlan plan;
+};
+
+/// Profile `workload` on its train input and derive the plan.
+PipelineResult compile_workload(
+    const trace::Workload& workload,
+    const InstrumenterParams& params = InstrumenterParams{},
+    const trace::WorkloadParams& train = trace::train_params());
+
+}  // namespace sgxpl::sip

@@ -1,0 +1,36 @@
+#include "sip/profiler.h"
+
+namespace sgxpl::sip {
+
+void SiteProfile::add(SiteId site, AccessClass cls) {
+  auto& c = sites_[site];
+  switch (cls) {
+    case AccessClass::kClass1:
+      ++c.class1;
+      break;
+    case AccessClass::kClass2:
+      ++c.class2;
+      break;
+    case AccessClass::kClass3:
+      ++c.class3;
+      break;
+  }
+  ++total_;
+}
+
+const SiteCounters* SiteProfile::find(SiteId site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+SiteProfile profile_trace(const trace::Trace& profiling_trace,
+                          const dfp::StreamPredictorParams& params) {
+  SiteClassifier classifier(params);
+  SiteProfile profile;
+  for (const auto& a : profiling_trace.accesses()) {
+    profile.add(a.site, classifier.classify(ProcessId{0}, a.page));
+  }
+  return profile;
+}
+
+}  // namespace sgxpl::sip

@@ -1,0 +1,49 @@
+// The offline profiler of the SIP pipeline: replays a profiling-input trace
+// (the PGO "train" run) through the SiteClassifier and accumulates, per
+// static source site, how many of its accesses fell into each class.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sip/site_classifier.h"
+#include "trace/access.h"
+
+namespace sgxpl::sip {
+
+struct SiteCounters {
+  std::uint64_t class1 = 0;
+  std::uint64_t class2 = 0;
+  std::uint64_t class3 = 0;
+
+  std::uint64_t total() const noexcept { return class1 + class2 + class3; }
+  double irregular_ratio() const noexcept {
+    const auto t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(class3) / static_cast<double>(t);
+  }
+};
+
+class SiteProfile {
+ public:
+  void add(SiteId site, AccessClass cls);
+
+  const SiteCounters* find(SiteId site) const;
+  const std::unordered_map<SiteId, SiteCounters>& sites() const noexcept {
+    return sites_;
+  }
+  std::uint64_t total_accesses() const noexcept { return total_; }
+
+ private:
+  std::unordered_map<SiteId, SiteCounters> sites_;
+  std::uint64_t total_ = 0;
+};
+
+/// Run the profiling pass over `profiling_trace`.
+SiteProfile profile_trace(const trace::Trace& profiling_trace,
+                          const dfp::StreamPredictorParams& params =
+                              dfp::StreamPredictorParams{});
+
+}  // namespace sgxpl::sip

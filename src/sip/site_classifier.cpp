@@ -1,0 +1,33 @@
+#include "sip/site_classifier.h"
+
+namespace sgxpl::sip {
+
+const char* to_string(AccessClass c) noexcept {
+  switch (c) {
+    case AccessClass::kClass1:
+      return "class1";
+    case AccessClass::kClass2:
+      return "class2";
+    case AccessClass::kClass3:
+      return "class3";
+  }
+  return "?";
+}
+
+SiteClassifier::SiteClassifier(const dfp::StreamPredictorParams& params)
+    : predictor_(params) {}
+
+AccessClass SiteClassifier::classify(ProcessId pid, PageNum page) {
+  AccessClass cls = AccessClass::kClass3;
+  if (predictor_.on_stream_list(pid, page)) {
+    cls = AccessClass::kClass1;
+  } else if (predictor_.follows_stream(pid, page)) {
+    cls = AccessClass::kClass2;
+  }
+  // Feed the access into the stream structure regardless of class, exactly
+  // as the runtime predictor would see the fault sequence.
+  (void)predictor_.on_fault(pid, page);
+  return cls;
+}
+
+}  // namespace sgxpl::sip

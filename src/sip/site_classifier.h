@@ -1,0 +1,42 @@
+// Per-access classification for SIP profiling (paper §4.4).
+//
+// The profiling run records every memory access with its source site; this
+// classifier replays that trace through the same stream structure as
+// Algorithm 1 and labels each access:
+//   Class 1 — the page is on stream_list (recently seen: found in the EPC
+//             with high probability),
+//   Class 2 — the page directly follows a stream tail (a sequential access
+//             DFP would catch at runtime),
+//   Class 3 — neither: an irregular access likely to fault.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "dfp/stream_predictor.h"
+
+namespace sgxpl::sip {
+
+enum class AccessClass : std::uint8_t {
+  kClass1 = 1,  // on stream_list (likely EPC hit)
+  kClass2 = 2,  // extends a stream (leave to DFP)
+  kClass3 = 3,  // irregular (SIP candidate)
+};
+
+const char* to_string(AccessClass c) noexcept;
+
+class SiteClassifier {
+ public:
+  explicit SiteClassifier(
+      const dfp::StreamPredictorParams& params = dfp::StreamPredictorParams{});
+
+  /// Classify one access and update the stream structure with it.
+  AccessClass classify(ProcessId pid, PageNum page);
+
+  void reset() { predictor_.reset(); }
+
+ private:
+  dfp::StreamPredictor predictor_;
+};
+
+}  // namespace sgxpl::sip

@@ -1,0 +1,70 @@
+#include "trace/access.h"
+
+#include <array>
+#include <unordered_set>
+
+namespace sgxpl::trace {
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.accesses = accesses_.size();
+  if (accesses_.empty()) {
+    return s;
+  }
+
+  std::unordered_set<PageNum> pages;
+  std::unordered_set<SiteId> sites;
+  pages.reserve(accesses_.size() / 4);
+
+  std::array<PageNum, 8> recent{};
+  recent.fill(kInvalidPage);
+  std::size_t recent_next = 0;
+
+  std::array<PageNum, 8> tails{};
+  tails.fill(kInvalidPage);
+  std::size_t tail_next = 0;
+
+  std::uint64_t sequential = 0;
+  std::uint64_t reuse = 0;
+  for (const auto& a : accesses_) {
+    pages.insert(a.page);
+    sites.insert(a.site);
+    s.compute_cycles += a.gap;
+    s.max_page = a.page > s.max_page ? a.page : s.max_page;
+
+    bool extended = false;
+    for (auto& t : tails) {
+      if (t != kInvalidPage &&
+          (a.page == t + 1 || (t > 0 && a.page == t - 1))) {
+        t = a.page;
+        extended = true;
+        break;
+      }
+    }
+    if (extended) {
+      ++sequential;
+    } else {
+      tails[tail_next] = a.page;
+      tail_next = (tail_next + 1) % tails.size();
+    }
+
+    for (const PageNum r : recent) {
+      if (r == a.page) {
+        ++reuse;
+        break;
+      }
+    }
+    recent[recent_next] = a.page;
+    recent_next = (recent_next + 1) % recent.size();
+  }
+
+  s.footprint_pages = pages.size();
+  s.sites = static_cast<std::uint32_t>(sites.size());
+  s.sequential_fraction =
+      static_cast<double>(sequential) / static_cast<double>(s.accesses);
+  s.recent_reuse_fraction =
+      static_cast<double>(reuse) / static_cast<double>(s.accesses);
+  return s;
+}
+
+}  // namespace sgxpl::trace

@@ -1,0 +1,71 @@
+// Page-granularity memory access traces.
+//
+// A trace is the simulator's model of an application: the ordered sequence
+// of enclave page touches, each attributed to a static source site (the
+// load/store instruction SIP reasons about) and preceded by a compute gap.
+// Page granularity is exactly the information SGX exposes: the hardware
+// clears the bottom 12 bits of faulting addresses before the OS sees them,
+// and the paper's profiler likewise records page number + timestamp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgxpl::trace {
+
+struct Access {
+  /// Enclave virtual page touched.
+  PageNum page = 0;
+  /// Static source site (instruction) issuing the access.
+  SiteId site = 0;
+  /// Compute cycles spent since the previous access completed.
+  Cycles gap = 0;
+};
+
+/// Summary features of a trace, used for Table 1 classification and for
+/// EXPERIMENTS.md reporting.
+struct TraceStats {
+  std::uint64_t accesses = 0;
+  PageNum footprint_pages = 0;   // distinct pages touched
+  PageNum max_page = 0;
+  std::uint32_t sites = 0;       // distinct site ids
+  Cycles compute_cycles = 0;     // sum of gaps
+  /// Fraction of accesses that extend one of the 8 most recent streams
+  /// (page == tail+1 or tail-1), i.e. would be caught by a small stream
+  /// detector even when streams interleave (lbm alternates two arrays).
+  double sequential_fraction = 0.0;
+  /// Fraction of accesses that revisit one of the 8 most recent pages.
+  double recent_reuse_fraction = 0.0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, PageNum elrange_pages)
+      : name_(std::move(name)), elrange_pages_(elrange_pages) {}
+
+  const std::string& name() const noexcept { return name_; }
+  PageNum elrange_pages() const noexcept { return elrange_pages_; }
+  void set_elrange_pages(PageNum pages) noexcept { elrange_pages_ = pages; }
+
+  const std::vector<Access>& accesses() const noexcept { return accesses_; }
+  std::vector<Access>& mutable_accesses() noexcept { return accesses_; }
+  std::size_t size() const noexcept { return accesses_.size(); }
+  bool empty() const noexcept { return accesses_.empty(); }
+
+  void append(Access a) { accesses_.push_back(a); }
+  void reserve(std::size_t n) { accesses_.reserve(n); }
+
+  /// One pass over the trace computing the summary features.
+  TraceStats stats() const;
+
+ private:
+  std::string name_;
+  PageNum elrange_pages_ = 0;
+  std::vector<Access> accesses_;
+};
+
+}  // namespace sgxpl::trace

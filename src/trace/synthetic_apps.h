@@ -1,0 +1,20 @@
+// Trace models of the two SD-VBS vision applications the paper evaluates on
+// MIT-Adobe FiveK images (§5.3) and the synthesized mixed-blood program
+// (§5.4). We have neither SD-VBS nor the image dataset; these generators
+// reproduce the published page-level traits: both have footprints well above
+// the EPC, SIFT is dominated by sequential pyramid passes (DFP-friendly,
+// zero SIP points in Table 2), MSER by irregular region-merging accesses
+// (SIP-friendly, 54 points), and mixed-blood concatenates a sequential image
+// scan with an MSER phase so DFP and SIP each improve "their" half.
+#pragma once
+
+#include "trace/access.h"
+#include "trace/workloads.h"
+
+namespace sgxpl::trace {
+
+Trace make_sift(const WorkloadParams& p);
+Trace make_mser(const WorkloadParams& p);
+Trace make_mixed_blood(const WorkloadParams& p);
+
+}  // namespace sgxpl::trace

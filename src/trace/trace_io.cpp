@@ -1,0 +1,63 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sgxpl::trace {
+
+namespace {
+constexpr const char* kMagic = "# sgxpl-trace v1";
+}
+
+void write_trace(std::ostream& os, const Trace& t) {
+  os << kMagic << '\n';
+  os << "name " << (t.name().empty() ? "-" : t.name()) << '\n';
+  os << "elrange_pages " << t.elrange_pages() << '\n';
+  os << "accesses " << t.size() << '\n';
+  for (const auto& a : t.accesses()) {
+    os << a.page << ' ' << a.site << ' ' << a.gap << '\n';
+  }
+}
+
+Trace read_trace(std::istream& is) {
+  std::string line;
+  SGXPL_CHECK_MSG(std::getline(is, line) && line == kMagic,
+                  "bad trace header: " << line);
+  std::string key;
+  std::string name;
+  PageNum elrange = 0;
+  std::size_t count = 0;
+  is >> key >> name;
+  SGXPL_CHECK_MSG(key == "name", "expected name, got " << key);
+  is >> key >> elrange;
+  SGXPL_CHECK_MSG(key == "elrange_pages", "expected elrange_pages");
+  is >> key >> count;
+  SGXPL_CHECK_MSG(key == "accesses", "expected accesses");
+
+  Trace t(name == "-" ? "" : name, elrange);
+  t.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Access a;
+    is >> a.page >> a.site >> a.gap;
+    SGXPL_CHECK_MSG(static_cast<bool>(is), "truncated trace at record " << i);
+    t.append(a);
+  }
+  return t;
+}
+
+void save_trace(const std::string& path, const Trace& t) {
+  std::ofstream os(path);
+  SGXPL_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  write_trace(os, t);
+  SGXPL_CHECK_MSG(static_cast<bool>(os), "write to " << path << " failed");
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path);
+  SGXPL_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return read_trace(is);
+}
+
+}  // namespace sgxpl::trace

@@ -1,0 +1,26 @@
+// Plain-text trace serialization, so profiling traces can be inspected,
+// archived, or fed across the profile -> instrument -> run pipeline the way
+// the paper's PGO flow writes LLVM profile data to disk.
+//
+// Format:
+//   # sgxpl-trace v1
+//   name <string>
+//   elrange_pages <n>
+//   accesses <n>
+//   <page> <site> <gap>     (one line per access)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/access.h"
+
+namespace sgxpl::trace {
+
+void write_trace(std::ostream& os, const Trace& t);
+Trace read_trace(std::istream& is);
+
+void save_trace(const std::string& path, const Trace& t);
+Trace load_trace(const std::string& path);
+
+}  // namespace sgxpl::trace

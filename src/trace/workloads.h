@@ -1,0 +1,78 @@
+// Named workload models reproducing the page-access behaviour of the
+// paper's benchmarks (Table 1, Fig. 3): SPEC CPU2017 subsets, mcf from SPEC
+// CPU2006, the 1 GiB sequential micro-benchmark, and the SD-VBS vision
+// applications (SIFT, MSER) plus the synthesized mixed-blood program.
+//
+// We do not run the SPEC binaries (repro gate: no SPEC, no SGX hardware);
+// each model is a parameterized synthetic generator matched to the paper's
+// published characteristics: footprint class relative to the 96 MiB EPC,
+// sequential vs irregular page-access pattern, per-instruction class mix
+// (for SIP instrumentation counts, Table 2), and train-vs-ref input drift
+// (§5.2 uses the train input for profiling and ref for measurement).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/access.h"
+
+namespace sgxpl::trace {
+
+enum class Category {
+  kSmallWorkingSet,       // fits in the EPC; few faults after warm-up
+  kLargeIrregular,        // exceeds EPC, irregular page accesses
+  kLargeRegular,          // exceeds EPC, mostly sequential accesses
+};
+
+enum class Language { kC, kCpp, kFortran };
+
+const char* to_string(Category c) noexcept;
+const char* to_string(Language l) noexcept;
+
+struct WorkloadInfo {
+  std::string name;
+  Category category = Category::kLargeRegular;
+  Language language = Language::kC;
+  /// False for workloads the paper's SIP tool cannot instrument: Fortran
+  /// sources (bwaves, roms, wrf, exchange2) and omnetpp (tool limitation).
+  bool sip_supported = true;
+  /// True for the paper's evaluation set; false for extension workloads
+  /// (e.g. ORAM) that the reproduction benches must not sweep.
+  bool paper_benchmark = true;
+  std::string description;
+};
+
+struct WorkloadParams {
+  /// Scales footprints and access counts; 1.0 reproduces the paper-sized
+  /// runs, smaller values give fast test/bench variants.
+  double scale = 1.0;
+  /// RNG seed; a different seed models a different input image/data file.
+  std::uint64_t seed = 42;
+  /// True = the profiling ("train") input: smaller and, for workloads with
+  /// input-dependent behaviour (mcf), with a different hot/cold mix.
+  bool train = false;
+};
+
+struct Workload {
+  WorkloadInfo info;
+  Trace (*make)(const WorkloadParams&) = nullptr;
+};
+
+/// All registered workloads (SPEC-like + micro + vision apps).
+const std::vector<Workload>& all_workloads();
+
+/// Lookup by name; returns nullptr if unknown.
+const Workload* find_workload(std::string_view name);
+
+/// Names of the large-working-set benchmarks evaluated in Figs. 7/8.
+std::vector<std::string> large_ws_benchmarks();
+
+/// Names of the C/C++ benchmarks SIP supports (Figs. 9/10/12 population).
+std::vector<std::string> sip_benchmarks();
+
+/// Conventional train/ref parameter sets (paper §5.2).
+WorkloadParams train_params(double scale = 0.35);
+WorkloadParams ref_params(double scale = 1.0);
+
+}  // namespace sgxpl::trace

@@ -1,0 +1,62 @@
+#include "sgxsim/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace sgxpl::sgxsim {
+namespace {
+
+TEST(PresenceBitmap, StartsAllClear) {
+  PresenceBitmap bm(200);
+  EXPECT_EQ(bm.pages(), 200u);
+  EXPECT_EQ(bm.popcount(), 0u);
+  for (PageNum p = 0; p < 200; ++p) {
+    EXPECT_FALSE(bm.test(p));
+  }
+}
+
+TEST(PresenceBitmap, SetTestClear) {
+  PresenceBitmap bm(100);
+  bm.set(0);
+  bm.set(63);
+  bm.set(64);
+  bm.set(99);
+  EXPECT_TRUE(bm.test(0));
+  EXPECT_TRUE(bm.test(63));
+  EXPECT_TRUE(bm.test(64));
+  EXPECT_TRUE(bm.test(99));
+  EXPECT_FALSE(bm.test(1));
+  EXPECT_EQ(bm.popcount(), 4u);
+  bm.clear(63);
+  EXPECT_FALSE(bm.test(63));
+  EXPECT_EQ(bm.popcount(), 3u);
+}
+
+TEST(PresenceBitmap, SetIdempotent) {
+  PresenceBitmap bm(10);
+  bm.set(5);
+  bm.set(5);
+  EXPECT_EQ(bm.popcount(), 1u);
+  bm.clear(5);
+  bm.clear(5);
+  EXPECT_EQ(bm.popcount(), 0u);
+}
+
+TEST(PresenceBitmap, WordBoundarySizes) {
+  // Sizes around the 64-bit word boundary must all work.
+  for (const PageNum n : {1u, 63u, 64u, 65u, 128u}) {
+    PresenceBitmap bm(n);
+    for (PageNum p = 0; p < n; ++p) {
+      bm.set(p);
+    }
+    EXPECT_EQ(bm.popcount(), n) << "size " << n;
+  }
+}
+
+TEST(PresenceBitmap, RejectsZeroPages) {
+  EXPECT_THROW(PresenceBitmap(0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,144 @@
+// Unit tests for the configuration/metrics surface: cost model, scheme
+// predicates, enum names, describe() strings, and the experiment runner.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/experiment.h"
+#include "core/scheme.h"
+#include "sgxsim/cost_model.h"
+#include "sgxsim/driver.h"
+
+namespace sgxpl {
+namespace {
+
+TEST(CostModel, PaperDefaults) {
+  const sgxsim::CostModel c;
+  EXPECT_EQ(c.aex, 10'000u);
+  EXPECT_EQ(c.eresume, 10'000u);
+  EXPECT_EQ(c.epc_load, 44'000u);
+  EXPECT_EQ(c.native_fault, 2'000u);
+  EXPECT_EQ(c.fault_cost_min(), 64'000u);
+  EXPECT_EQ(c.fault_cost_max(), 68'000u);
+  // The paper's 60k-64k bracket is spanned by min/max.
+  EXPECT_GE(c.fault_cost_min(), 60'000u);
+}
+
+TEST(CostModel, DescribeMentionsEveryKnob) {
+  const sgxsim::CostModel c;
+  const std::string d = c.describe();
+  for (const char* key : {"aex", "eresume", "epc_load", "epc_evict",
+                          "preload_dispatch", "native_fault", "bitmap_check",
+                          "sip_notification", "scan_period"}) {
+    EXPECT_NE(d.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(EnumNames, DemandPolicy) {
+  using sgxsim::DemandPolicy;
+  EXPECT_STREQ(to_string(DemandPolicy::kPreempt), "preempt");
+  EXPECT_STREQ(to_string(DemandPolicy::kPreemptAndFlush), "preempt+flush");
+  EXPECT_STREQ(to_string(DemandPolicy::kFifo), "fifo");
+}
+
+TEST(EnumNames, PredictorKind) {
+  using dfp::PredictorKind;
+  EXPECT_STREQ(to_string(PredictorKind::kMultiStream), "multi-stream");
+  EXPECT_STREQ(to_string(PredictorKind::kNextN), "next-n");
+  EXPECT_STREQ(to_string(PredictorKind::kStride), "stride");
+  EXPECT_STREQ(to_string(PredictorKind::kMarkov), "markov");
+  EXPECT_STREQ(to_string(PredictorKind::kTournament), "tournament");
+}
+
+TEST(EnumNames, SchemesComplete) {
+  using core::Scheme;
+  EXPECT_STREQ(to_string(Scheme::kNative), "native");
+  EXPECT_STREQ(to_string(Scheme::kBaseline), "baseline");
+  EXPECT_STREQ(to_string(Scheme::kSip), "SIP");
+}
+
+TEST(PaperPlatform, MatchesEvaluationSetup) {
+  const auto cfg = core::paper_platform();
+  EXPECT_EQ(cfg.enclave.epc_pages, sgxsim::kDefaultEpcPages);
+  EXPECT_EQ(pages_to_bytes(cfg.enclave.epc_pages), 96ull << 20);
+  EXPECT_EQ(cfg.dfp.predictor.stream_list_len, 30u);   // Fig. 6
+  EXPECT_EQ(cfg.dfp.predictor.load_length, 4u);        // Fig. 7
+  EXPECT_DOUBLE_EQ(cfg.sip.irregular_threshold, 0.05); // Fig. 9
+  EXPECT_EQ(cfg.sip_lookahead, 0u);                    // conservative SIP
+  EXPECT_TRUE(cfg.enclave.serial_channel);
+  EXPECT_EQ(cfg.enclave.demand_policy, sgxsim::DemandPolicy::kPreempt);
+  EXPECT_EQ(cfg.enclave.eviction, sgxsim::EvictionKind::kClock);
+}
+
+TEST(SimConfigDescribe, MentionsKeyParameters) {
+  auto cfg = core::paper_platform(core::Scheme::kHybrid);
+  const std::string d = cfg.describe();
+  EXPECT_NE(d.find("SIP+DFP"), std::string::npos);
+  EXPECT_NE(d.find("epc_pages"), std::string::npos);
+  EXPECT_NE(d.find("load_length"), std::string::npos);
+}
+
+TEST(Units, ByteLiteralsAndPageMath) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(1_GiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(bytes_to_pages(4096), 1u);
+  EXPECT_EQ(bytes_to_pages(4097), 2u);
+  EXPECT_EQ(bytes_to_pages(0), 0u);
+  EXPECT_EQ(pages_to_bytes(3), 12'288u);
+}
+
+TEST(Check, MacrosThrowWithContext) {
+  try {
+    SGXPL_CHECK_MSG(1 == 2, "the answer is " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("the answer is 42"), std::string::npos);
+    EXPECT_NE(what.find("config_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Experiment, BaselineSchemeNormalizesToOne) {
+  auto cfg = core::paper_platform();
+  cfg.enclave.epc_pages = 256;
+  const auto c = core::compare_schemes(
+      "leela", {core::Scheme::kBaseline, core::Scheme::kDfpStop}, cfg,
+      core::ExperimentOptions{.scale = 0.05, .train_scale = 0.02});
+  const auto* base = c.find(core::Scheme::kBaseline);
+  ASSERT_NE(base, nullptr);
+  EXPECT_DOUBLE_EQ(base->normalized, 1.0);
+  EXPECT_DOUBLE_EQ(base->improvement, 0.0);
+  EXPECT_EQ(base->metrics.total_cycles, c.baseline.total_cycles);
+}
+
+TEST(Experiment, FindReturnsNullForMissingScheme) {
+  auto cfg = core::paper_platform();
+  cfg.enclave.epc_pages = 256;
+  const auto c = core::compare_schemes(
+      "leela", {core::Scheme::kDfp}, cfg,
+      core::ExperimentOptions{.scale = 0.05, .train_scale = 0.02});
+  EXPECT_EQ(c.find(core::Scheme::kHybrid), nullptr);
+  EXPECT_NE(c.find(core::Scheme::kDfp), nullptr);
+  EXPECT_EQ(c.workload, "leela");
+}
+
+TEST(Experiment, UnknownWorkloadThrows) {
+  EXPECT_THROW(core::compare_schemes("no-such-benchmark",
+                                     {core::Scheme::kDfp},
+                                     core::paper_platform()),
+               CheckFailure);
+}
+
+TEST(Experiment, SipUnsupportedWorkloadRunsWithEmptyPlan) {
+  auto cfg = core::paper_platform();
+  cfg.enclave.epc_pages = static_cast<PageNum>(24576 * 0.05);
+  const auto c = core::compare_schemes(
+      "bwaves", {core::Scheme::kSip}, cfg,
+      core::ExperimentOptions{.scale = 0.05, .train_scale = 0.02});
+  EXPECT_EQ(c.sip_points, 0u);
+  EXPECT_DOUBLE_EQ(c.find(core::Scheme::kSip)->normalized, 1.0);
+}
+
+}  // namespace
+}  // namespace sgxpl

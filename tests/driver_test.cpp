@@ -1,0 +1,368 @@
+#include "sgxsim/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace sgxpl::sgxsim {
+namespace {
+
+CostModel test_costs() {
+  CostModel c;
+  c.aex = 10'000;
+  c.eresume = 10'000;
+  c.epc_load = 44'000;
+  c.epc_evict = 4'000;
+  c.scan_period = 1'000'000'000;  // effectively off unless a test wants it
+  return c;
+}
+
+EnclaveConfig small_enclave(PageNum elrange = 64, PageNum epc = 4) {
+  EnclaveConfig cfg;
+  cfg.elrange_pages = elrange;
+  cfg.epc_pages = epc;
+  return cfg;
+}
+
+/// Scripted policy: returns a fixed prediction per faulted page and records
+/// every callback.
+class FakePolicy final : public PreloadPolicy {
+ public:
+  std::map<PageNum, std::vector<PageNum>> predictions;
+  std::vector<PageNum> faults_seen;
+  std::vector<PageNum> completed;
+  std::vector<PageNum> aborted;
+  std::vector<PageNum> evicted_unused;
+  int scans = 0;
+
+  std::vector<PageNum> on_fault(ProcessId, PageNum page, Cycles) override {
+    faults_seen.push_back(page);
+    const auto it = predictions.find(page);
+    return it == predictions.end() ? std::vector<PageNum>{} : it->second;
+  }
+  void on_preload_completed(PageNum page, Cycles) override {
+    completed.push_back(page);
+  }
+  void on_preloads_aborted(const std::vector<PageNum>& pages,
+                           Cycles) override {
+    aborted.insert(aborted.end(), pages.begin(), pages.end());
+  }
+  void on_preloaded_page_evicted(PageNum page, bool, Cycles) override {
+    evicted_unused.push_back(page);
+  }
+  void on_scan(const PageTable&, Cycles) override { ++scans; }
+};
+
+TEST(Driver, ColdAccessPaysFullFaultCost) {
+  Driver d(small_enclave(), test_costs());
+  const auto out = d.access(5, 1000);
+  EXPECT_TRUE(out.faulted);
+  // AEX + load + ERESUME, no eviction while the EPC has free slots.
+  EXPECT_EQ(out.completion, 1000u + 10'000 + 44'000 + 10'000);
+  EXPECT_EQ(d.stats().faults, 1u);
+  EXPECT_EQ(d.stats().demand_loads, 1u);
+  EXPECT_EQ(d.stats().evictions, 0u);
+  d.check_invariants();
+}
+
+TEST(Driver, ResidentAccessIsFree) {
+  Driver d(small_enclave(), test_costs());
+  const auto first = d.access(5, 0);
+  const auto second = d.access(5, first.completion + 100);
+  EXPECT_FALSE(second.faulted);
+  EXPECT_EQ(second.completion, first.completion + 100);
+  EXPECT_EQ(d.stats().faults, 1u);
+}
+
+TEST(Driver, AccessSetsAccessBit) {
+  Driver d(small_enclave(), test_costs());
+  const auto out = d.access(3, 0);
+  EXPECT_TRUE(d.page_table().entry(3).accessed);
+  d.access(3, out.completion + 1);
+  EXPECT_TRUE(d.page_table().entry(3).accessed);
+}
+
+TEST(Driver, EvictionWhenEpcFull) {
+  Driver d(small_enclave(64, /*epc=*/2), test_costs());
+  Cycles now = 0;
+  for (PageNum p = 0; p < 3; ++p) {
+    now = d.access(p, now).completion;
+  }
+  EXPECT_EQ(d.stats().evictions, 1u);
+  EXPECT_EQ(d.epc().used(), 2u);
+  EXPECT_EQ(d.backing_store().total_evictions(), 1u);
+  d.check_invariants();
+}
+
+TEST(Driver, EvictedPageFaultsAgainWithFreshVersion) {
+  Driver d(small_enclave(64, 2), test_costs());
+  Cycles now = 0;
+  now = d.access(0, now).completion;
+  now = d.access(1, now).completion;
+  now = d.access(2, now).completion;  // evicts one of 0/1 (CLOCK)
+  // Figure out which page got evicted and fault it back in.
+  const PageNum evicted = d.page_table().present(0) ? 1 : 0;
+  EXPECT_EQ(d.backing_store().eviction_count(evicted), 1u);
+  const auto out = d.access(evicted, now);
+  EXPECT_TRUE(out.faulted);
+  d.check_invariants();
+}
+
+TEST(Driver, FullFaultCostIncludesEviction) {
+  Driver d(small_enclave(64, 2), test_costs());
+  Cycles now = 0;
+  now = d.access(0, now).completion;
+  now = d.access(1, now).completion;
+  const Cycles start = now;
+  const auto out = d.access(2, now);
+  EXPECT_EQ(out.completion - start, 10'000u + 4'000 + 44'000 + 10'000);
+}
+
+TEST(Driver, OutOfRangeAccessThrows) {
+  Driver d(small_enclave(16), test_costs());
+  EXPECT_THROW(d.access(16, 0), CheckFailure);
+  EXPECT_THROW(d.sip_load(99, 0), CheckFailure);
+}
+
+TEST(Driver, PolicyPredictionsArePreloaded) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3};
+  Driver d(small_enclave(), test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  EXPECT_EQ(policy.faults_seen, std::vector<PageNum>{0});
+  EXPECT_EQ(d.stats().preloads_issued, 3u);
+  // Let the channel drain: all three preloads commit.
+  d.drain();
+  EXPECT_EQ(policy.completed, (std::vector<PageNum>{1, 2, 3}));
+  EXPECT_EQ(d.stats().preloads_completed, 3u);
+  // Accessing a preloaded page afterwards is a hit.
+  const auto hit = d.access(2, out.completion + 1'000'000);
+  EXPECT_FALSE(hit.faulted);
+  EXPECT_EQ(d.stats().preloads_used, 1u);
+  d.check_invariants();
+}
+
+TEST(Driver, PredictionsSkipResidentAndQueuedPages) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2};
+  policy.predictions[5] = {1, 2, 6};  // 1,2 already handled
+  Driver d(small_enclave(64, 16), test_costs(), &policy);
+  Cycles now = d.access(0, 0).completion;
+  d.drain();
+  d.access(5, now + 1'000'000);
+  // Only page 6 is new; 1 and 2 are already resident.
+  EXPECT_EQ(d.stats().preloads_issued, 3u);  // 1, 2 from first fault; 6 now
+  d.drain();
+  EXPECT_TRUE(d.page_table().present(6));
+}
+
+TEST(Driver, StreamFaultFlushesQueuedPreloads) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3, 4};
+  Driver d(small_enclave(), test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  // Fault on page 2, which is queued for preloading: the app outran the
+  // preloader within the stream, so the queued batch (2, 3, 4) is flushed
+  // and 2 is demand-loaded instead (§4.1's in-stream abort). Preload 1 is
+  // in flight and cannot be preempted.
+  const auto out2 = d.access(2, out.completion);
+  EXPECT_TRUE(out2.faulted);
+  EXPECT_EQ(policy.aborted.size(), 3u);
+  EXPECT_EQ(d.stats().preloads_aborted, 3u);
+  d.drain();
+  EXPECT_TRUE(d.page_table().present(1));   // in-flight one landed
+  EXPECT_TRUE(d.page_table().present(2));   // demand-loaded
+  EXPECT_FALSE(d.page_table().present(3));  // flushed
+  EXPECT_FALSE(d.page_table().present(4));  // flushed
+  d.check_invariants();
+}
+
+TEST(Driver, UnrelatedFaultPreemptsButKeepsQueuedPreloads) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3};
+  Driver d(small_enclave(64, /*epc=*/16), test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  // Fault on an unrelated page: the demand load is inserted after the
+  // in-flight preload but ahead of the queued ones, which survive.
+  const auto out2 = d.access(40, out.completion);
+  EXPECT_TRUE(out2.faulted);
+  EXPECT_TRUE(policy.aborted.empty());
+  // The demand load ran before queued preloads: 40 became resident no
+  // later than one preload + one load after the fault.
+  d.drain();
+  EXPECT_TRUE(d.page_table().present(40));
+  EXPECT_TRUE(d.page_table().present(2));  // queued preloads still landed
+  EXPECT_TRUE(d.page_table().present(3));
+  d.check_invariants();
+}
+
+TEST(Driver, FlushPolicyAbortsOnAnyFault) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3, 4};
+  auto cfg = small_enclave(64, 16);
+  cfg.demand_policy = DemandPolicy::kPreemptAndFlush;
+  Driver d(cfg, test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  d.access(40, out.completion);  // unrelated fault still flushes the queue
+  EXPECT_EQ(policy.aborted.size(), 3u);
+  d.drain();
+  EXPECT_FALSE(d.page_table().present(2));
+}
+
+TEST(Driver, FifoPolicyKeepsQueuedPreloadsAndWaits) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3, 4};
+  auto cfg = small_enclave(64, /*epc=*/16);  // room for all loads
+  cfg.demand_policy = DemandPolicy::kFifo;
+  Driver d(cfg, test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  const auto out2 = d.access(40, out.completion);
+  EXPECT_TRUE(policy.aborted.empty());
+  d.drain();
+  EXPECT_TRUE(d.page_table().present(2));
+  EXPECT_TRUE(d.page_table().present(4));
+  // FIFO: the demand for 40 waited behind all four queued preloads, so it
+  // finished later than a preempting demand would have.
+  Driver d2(small_enclave(64, 16), test_costs(), &policy);
+  const auto o1 = d2.access(0, 0);
+  const auto o2 = d2.access(40, o1.completion);
+  EXPECT_GT(out2.completion, o2.completion);
+}
+
+TEST(Driver, FaultOnInFlightPreloadWaits) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2};
+  Driver d(small_enclave(), test_costs(), &policy);
+  const auto out = d.access(0, 0);  // demand 0 done; preloads 1,2 queued
+  // Fault on page 1 shortly after: its preload is in flight.
+  const auto out2 = d.access(1, out.completion + 100);
+  EXPECT_TRUE(out2.faulted);
+  EXPECT_TRUE(out2.hit_inflight);
+  EXPECT_EQ(d.stats().fault_wait_hits, 1u);
+  // It resumed at the preload's end + ERESUME, cheaper than a full load.
+  EXPECT_LT(out2.completion - (out.completion + 100),
+            test_costs().fault_cost_min());
+}
+
+TEST(Driver, PreloadLandingDuringAexWindowIsUsed) {
+  FakePolicy policy;
+  policy.predictions[0] = {1};
+  Driver d(small_enclave(), test_costs(), &policy);
+  d.access(0, 0);
+  // Preload of 1 runs right after the demand load. Fault at a time where
+  // the preload completes inside the AEX window.
+  const auto op = d.channel().find(1);
+  ASSERT_TRUE(op.has_value());
+  const Cycles fault_time = op->end - 5'000;  // AEX spans the end
+  const auto out2 = d.access(1, fault_time);
+  EXPECT_TRUE(out2.faulted);
+  EXPECT_TRUE(out2.hit_inflight);
+  EXPECT_EQ(out2.completion, fault_time + 10'000 + 10'000);
+}
+
+TEST(Driver, SipLoadSkipsAexAndEresume) {
+  Driver d(small_enclave(), test_costs());
+  const Cycles end = d.sip_load(7, 1000);
+  EXPECT_EQ(end, 1000u + 44'000);
+  EXPECT_TRUE(d.page_table().present(7));
+  EXPECT_EQ(d.stats().sip_loads, 1u);
+  EXPECT_EQ(d.stats().faults, 0u);
+  // The subsequent access is a plain hit.
+  const auto out = d.access(7, end);
+  EXPECT_FALSE(out.faulted);
+  EXPECT_EQ(out.completion, end);
+  EXPECT_EQ(d.stats().preloads_used, 1u);  // SIP loads count as preloads
+}
+
+TEST(Driver, SipLoadOnResidentPageReturnsImmediately) {
+  Driver d(small_enclave(), test_costs());
+  const auto out = d.access(3, 0);
+  const Cycles end = d.sip_load(3, out.completion + 10);
+  EXPECT_EQ(end, out.completion + 10);
+  EXPECT_EQ(d.stats().sip_loads, 0u);
+}
+
+TEST(Driver, SipLoadWaitsForInFlightOp) {
+  FakePolicy policy;
+  policy.predictions[0] = {1};
+  Driver d(small_enclave(), test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  const auto op = d.channel().find(1);
+  ASSERT_TRUE(op.has_value());
+  const Cycles end = d.sip_load(1, out.completion + 1);
+  EXPECT_EQ(end, op->end);
+  EXPECT_EQ(d.stats().sip_inflight_waits, 1u);
+}
+
+TEST(Driver, BitmapTracksResidency) {
+  Driver d(small_enclave(64, 2), test_costs());
+  Cycles now = 0;
+  now = d.access(0, now).completion;
+  EXPECT_TRUE(d.bitmap().test(0));
+  now = d.access(1, now).completion;
+  now = d.access(2, now).completion;  // one of 0/1 evicted
+  EXPECT_EQ(d.bitmap().popcount(), 2u);
+  d.check_invariants();
+}
+
+TEST(Driver, ServiceScanRunsPeriodically) {
+  FakePolicy policy;
+  auto costs = test_costs();
+  costs.scan_period = 50'000;
+  Driver d(small_enclave(), costs, &policy);
+  d.access(0, 0);
+  d.advance_to(500'000);
+  EXPECT_EQ(d.stats().scans, 10u);
+  EXPECT_EQ(policy.scans, 10);
+}
+
+TEST(Driver, EvictedUnusedPreloadNotifiesPolicy) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3};
+  // EPC of 4: 0,1,2,3 fill it; loading 10 must evict. Untouched preloads
+  // (clear access bits) are the CLOCK victims.
+  Driver d(small_enclave(64, 4), test_costs(), &policy);
+  Cycles now = d.access(0, 0).completion;
+  now = d.drain();
+  const auto out = d.access(10, now);
+  EXPECT_EQ(d.stats().evictions, 1u);
+  ASSERT_EQ(policy.evicted_unused.size(), 1u);
+  EXPECT_EQ(d.stats().preloads_evicted_unused, 1u);
+  // The evicted page was one of the unused preloads, not page 0.
+  EXPECT_NE(policy.evicted_unused[0], 0u);
+  (void)out;
+  d.check_invariants();
+}
+
+TEST(Driver, InvariantsHoldUnderRandomWorkload) {
+  FakePolicy policy;
+  for (PageNum p = 0; p < 32; ++p) {
+    policy.predictions[p] = {p + 1, p + 2};
+  }
+  Driver d(small_enclave(32, 6), test_costs(), &policy);
+  Rng rng(2024);
+  Cycles now = 0;
+  std::uint64_t access_calls = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const PageNum page = rng.bounded(32);
+    if (rng.chance(0.2)) {
+      now = std::max(now, d.sip_load(page, now)) + rng.bounded(1000);
+    } else {
+      now = d.access(page, now).completion + rng.bounded(1000);
+      ++access_calls;
+    }
+    if (i % 100 == 0) {
+      d.check_invariants();
+    }
+  }
+  d.drain();
+  d.check_invariants();
+  EXPECT_EQ(d.stats().accesses, access_calls);
+}
+
+}  // namespace
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,107 @@
+#include "sgxsim/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include "sgxsim/driver.h"
+
+namespace sgxpl::sgxsim {
+namespace {
+
+TEST(EventLog, RecordsAndRenders) {
+  EventLog log;
+  log.record({.at = 10, .type = EventType::kFault, .page = 3});
+  log.record({.at = 20,
+              .type = EventType::kLoadScheduled,
+              .page = 3,
+              .aux = 64'020,
+              .detail = "demand"});
+  ASSERT_EQ(log.events().size(), 2u);
+  const std::string out = log.render();
+  EXPECT_NE(out.find("FAULT(AEX)"), std::string::npos);
+  EXPECT_NE(out.find("page=3"), std::string::npos);
+  EXPECT_NE(out.find("[demand]"), std::string::npos);
+  EXPECT_NE(out.find("until t=64020"), std::string::npos);
+}
+
+TEST(EventLog, CapacityBoundsAndCountsDrops) {
+  EventLog log(/*capacity=*/3);
+  for (int i = 0; i < 10; ++i) {
+    log.record({.at = static_cast<Cycles>(i), .type = EventType::kScan});
+  }
+  EXPECT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.dropped(), 7u);
+  EXPECT_NE(log.render().find("7 events dropped"), std::string::npos);
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, EveryEventTypeHasAName) {
+  for (const auto t :
+       {EventType::kFault, EventType::kLoadScheduled, EventType::kLoadCommitted,
+        EventType::kLoadsAborted, EventType::kEviction, EventType::kResume,
+        EventType::kSipRequest, EventType::kSipPrefetch, EventType::kScan}) {
+    EXPECT_STRNE(to_string(t), "?");
+  }
+}
+
+TEST(EventLog, DriverEmitsOrderedFaultSequence) {
+  EnclaveConfig cfg;
+  cfg.elrange_pages = 16;
+  cfg.epc_pages = 8;
+  Driver d(cfg, CostModel{});
+  EventLog log;
+  d.set_event_log(&log);
+  d.access(5, 1'000);
+
+  ASSERT_GE(log.events().size(), 4u);
+  EXPECT_EQ(log.events()[0].type, EventType::kFault);
+  EXPECT_EQ(log.events()[0].at, 1'000u);
+  EXPECT_EQ(log.events()[1].type, EventType::kLoadScheduled);
+  EXPECT_EQ(log.events()[2].type, EventType::kLoadCommitted);
+  EXPECT_EQ(log.events()[3].type, EventType::kResume);
+  // The resume lands AEX+load+ERESUME after the fault.
+  EXPECT_EQ(log.events()[3].at, 1'000u + 64'000u);
+}
+
+TEST(EventLog, DriverEmitsSipAndEvictionEvents) {
+  EnclaveConfig cfg;
+  cfg.elrange_pages = 16;
+  cfg.epc_pages = 2;
+  Driver d(cfg, CostModel{});
+  EventLog log;
+  d.set_event_log(&log);
+  Cycles now = d.sip_load(0, 0);
+  now = std::max(now, d.access(1, now).completion);
+  d.sip_prefetch(2, now);  // forces an eviction when it commits
+  d.drain();
+
+  bool saw_sip = false;
+  bool saw_prefetch = false;
+  bool saw_evict = false;
+  for (const auto& e : log.events()) {
+    saw_sip = saw_sip || e.type == EventType::kSipRequest;
+    saw_prefetch = saw_prefetch || e.type == EventType::kSipPrefetch;
+    saw_evict = saw_evict || e.type == EventType::kEviction;
+  }
+  EXPECT_TRUE(saw_sip);
+  EXPECT_TRUE(saw_prefetch);
+  EXPECT_TRUE(saw_evict);
+}
+
+TEST(EventLog, DetachingStopsRecording) {
+  EnclaveConfig cfg;
+  cfg.elrange_pages = 16;
+  cfg.epc_pages = 8;
+  Driver d(cfg, CostModel{});
+  EventLog log;
+  d.set_event_log(&log);
+  d.access(1, 0);
+  const auto count = log.events().size();
+  d.set_event_log(nullptr);
+  d.access(2, 1'000'000);
+  EXPECT_EQ(log.events().size(), count);
+}
+
+}  // namespace
+}  // namespace sgxpl::sgxsim

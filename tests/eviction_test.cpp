@@ -1,0 +1,154 @@
+#include "sgxsim/eviction.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "sgxsim/driver.h"
+
+namespace sgxpl::sgxsim {
+namespace {
+
+TEST(EvictionKindNames, AllNamed) {
+  EXPECT_STREQ(to_string(EvictionKind::kClock), "clock");
+  EXPECT_STREQ(to_string(EvictionKind::kFifo), "fifo");
+  EXPECT_STREQ(to_string(EvictionKind::kRandom), "random");
+  EXPECT_STREQ(to_string(EvictionKind::kLru), "lru");
+}
+
+TEST(Factory, BuildsEveryKind) {
+  Epc epc(4);
+  for (const auto kind : {EvictionKind::kClock, EvictionKind::kFifo,
+                          EvictionKind::kRandom, EvictionKind::kLru}) {
+    const auto p = make_eviction_policy(kind, epc);
+    ASSERT_NE(p, nullptr);
+    EXPECT_STREQ(p->name(), to_string(kind));
+  }
+}
+
+TEST(Fifo, EvictsInLoadOrder) {
+  FifoPolicy p;
+  PageTable pt(10);
+  p.on_load(3);
+  p.on_load(1);
+  p.on_load(7);
+  EXPECT_EQ(p.victim(pt, kInvalidPage), 3u);
+  p.on_unload(3);
+  EXPECT_EQ(p.victim(pt, kInvalidPage), 1u);
+}
+
+TEST(Fifo, SkipsPinnedPage) {
+  FifoPolicy p;
+  PageTable pt(10);
+  p.on_load(3);
+  p.on_load(1);
+  EXPECT_EQ(p.victim(pt, /*pinned=*/3), 1u);
+}
+
+TEST(Fifo, SkipsStaleEntries) {
+  FifoPolicy p;
+  PageTable pt(10);
+  p.on_load(3);
+  p.on_load(1);
+  p.on_unload(3);  // evicted elsewhere; queue entry is stale
+  EXPECT_EQ(p.victim(pt, kInvalidPage), 1u);
+}
+
+TEST(Random, EvictsOnlyResidentNeverPinned) {
+  RandomPolicy p(42);
+  PageTable pt(100);
+  for (PageNum page = 0; page < 10; ++page) {
+    p.on_load(page);
+  }
+  p.on_unload(5);
+  std::set<PageNum> victims;
+  for (int i = 0; i < 200; ++i) {
+    const PageNum v = p.victim(pt, /*pinned=*/7);
+    EXPECT_NE(v, 5u);
+    EXPECT_NE(v, 7u);
+    victims.insert(v);
+  }
+  EXPECT_GT(victims.size(), 4u);  // actually random, not constant
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruPolicy p;
+  PageTable pt(10);
+  p.on_load(1);
+  p.on_load(2);
+  p.on_load(3);
+  // 1 is the oldest; accessing it promotes it, leaving 2 as LRU.
+  p.on_access(1);
+  EXPECT_EQ(p.victim(pt, kInvalidPage), 2u);
+  p.on_unload(2);
+  EXPECT_EQ(p.victim(pt, kInvalidPage), 3u);
+}
+
+TEST(Lru, SkipsPinned) {
+  LruPolicy p;
+  PageTable pt(10);
+  p.on_load(1);
+  p.on_load(2);
+  EXPECT_EQ(p.victim(pt, /*pinned=*/1), 2u);
+}
+
+TEST(Lru, AccessOfUnknownPageIgnored) {
+  LruPolicy p;
+  PageTable pt(10);
+  p.on_load(1);
+  p.on_access(99);  // not tracked; must not crash or corrupt state
+  EXPECT_EQ(p.victim(pt, kInvalidPage), 1u);
+}
+
+// --- integration: each policy drives the full fault path correctly -------
+
+CostModel fast_costs() {
+  CostModel c;
+  c.scan_period = 1'000'000'000;
+  return c;
+}
+
+TEST(DriverEviction, EveryPolicySustainsThrashingWorkload) {
+  for (const auto kind : {EvictionKind::kClock, EvictionKind::kFifo,
+                          EvictionKind::kRandom, EvictionKind::kLru}) {
+    EnclaveConfig cfg;
+    cfg.elrange_pages = 64;
+    cfg.epc_pages = 8;
+    cfg.eviction = kind;
+    Driver d(cfg, fast_costs());
+    Rng rng(99);
+    Cycles now = 0;
+    for (int i = 0; i < 3000; ++i) {
+      now = d.access(rng.bounded(64), now + 100).completion;
+    }
+    d.check_invariants();
+    EXPECT_EQ(d.epc().used(), 8u) << to_string(kind);
+    EXPECT_GT(d.stats().evictions, 0u) << to_string(kind);
+  }
+}
+
+TEST(DriverEviction, LruBeatsFifoOnSkewedReuse) {
+  // A hot set of 6 pages inside an 8-page EPC plus a cold scan: exact LRU
+  // keeps the hot set resident; FIFO cycles it out.
+  auto run = [](EvictionKind kind) {
+    EnclaveConfig cfg;
+    cfg.elrange_pages = 256;
+    cfg.epc_pages = 8;
+    cfg.eviction = kind;
+    Driver d(cfg, fast_costs());
+    Rng rng(7);
+    Cycles now = 0;
+    for (int round = 0; round < 800; ++round) {
+      for (PageNum h = 0; h < 6; ++h) {
+        now = d.access(h, now + 100).completion;  // hot set
+      }
+      now = d.access(8 + rng.bounded(248), now + 100).completion;  // cold
+    }
+    return d.stats().faults;
+  };
+  EXPECT_LT(run(EvictionKind::kLru), run(EvictionKind::kFifo));
+}
+
+}  // namespace
+}  // namespace sgxpl::sgxsim

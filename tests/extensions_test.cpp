@@ -1,0 +1,188 @@
+// Tests for the extension features: adaptive LOADLENGTH and the Path-ORAM
+// workload.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "dfp/dfp_engine.h"
+#include "trace/workloads.h"
+
+namespace sgxpl {
+namespace {
+
+constexpr double kScale = 0.08;
+
+core::SimConfig platform(core::Scheme scheme) {
+  auto cfg = core::paper_platform(scheme);
+  cfg.enclave.epc_pages = static_cast<PageNum>(
+      static_cast<double>(cfg.enclave.epc_pages) * kScale);
+  return cfg;
+}
+
+// --- adaptive LOADLENGTH ----------------------------------------------------
+
+TEST(AdaptiveDepth, DeepensOnUsedPreloads) {
+  dfp::DfpParams params;
+  params.adaptive_load_length = true;
+  params.adaptive_max_depth = 16;
+  params.predictor.load_length = 4;
+  dfp::DfpEngine e(params);
+  EXPECT_EQ(e.current_depth(), 4u);
+
+  sgxsim::PageTable pt(10'000);
+  // Several scan windows where every preload is used.
+  PageNum next = 0;
+  for (int window = 0; window < 6; ++window) {
+    for (int i = 0; i < 8; ++i) {
+      pt.map(next, static_cast<SlotIndex>(next % 1024), true);
+      e.on_preload_completed(next, 0);
+      pt.touch(next);
+      ++next;
+    }
+    e.on_scan(pt, 1'000u * static_cast<Cycles>(window + 1));
+  }
+  EXPECT_GT(e.current_depth(), 4u);
+  EXPECT_LE(e.current_depth(), 16u);
+}
+
+TEST(AdaptiveDepth, CollapsesOnWastedPreloads) {
+  dfp::DfpParams params;
+  params.adaptive_load_length = true;
+  params.predictor.load_length = 8;
+  dfp::DfpEngine e(params);
+
+  sgxsim::PageTable pt(10'000);
+  PageNum next = 0;
+  for (int window = 0; window < 5; ++window) {
+    for (int i = 0; i < 8; ++i) {
+      pt.map(next, static_cast<SlotIndex>(next % 1024), true);
+      e.on_preload_completed(next, 0);  // never touched
+      ++next;
+    }
+    e.on_scan(pt, 1'000u * static_cast<Cycles>(window + 1));
+  }
+  EXPECT_EQ(e.current_depth(), 1u);
+}
+
+TEST(AdaptiveDepth, TruncatesPredictions) {
+  dfp::DfpParams params;
+  params.adaptive_load_length = true;
+  params.adaptive_max_depth = 16;
+  params.predictor.load_length = 4;
+  dfp::DfpEngine e(params);
+  // Current depth starts at 4: a stream hit yields exactly 4 pages even
+  // though the underlying predictor can produce 16.
+  e.on_fault(ProcessId{0}, 100, 0);
+  const auto pred = e.on_fault(ProcessId{0}, 101, 1);
+  EXPECT_EQ(pred.size(), 4u);
+}
+
+TEST(AdaptiveDepth, SparseWindowsLeaveDepthUntouched) {
+  dfp::DfpParams params;
+  params.adaptive_load_length = true;
+  params.predictor.load_length = 4;
+  dfp::DfpEngine e(params);
+  sgxsim::PageTable pt(100);
+  // Fewer than 4 preloads in the window: no evidence, no change.
+  pt.map(1, 0, true);
+  e.on_preload_completed(1, 0);
+  e.on_scan(pt, 1'000);
+  EXPECT_EQ(e.current_depth(), 4u);
+}
+
+TEST(AdaptiveDepth, ResetRestoresConfiguredDepth) {
+  dfp::DfpParams params;
+  params.adaptive_load_length = true;
+  params.predictor.load_length = 4;
+  dfp::DfpEngine e(params);
+  sgxsim::PageTable pt(1'000);
+  PageNum next = 0;
+  for (int i = 0; i < 8; ++i) {
+    pt.map(next, static_cast<SlotIndex>(next), true);
+    e.on_preload_completed(next, 0);
+    ++next;
+  }
+  e.on_scan(pt, 1'000);
+  ASSERT_LT(e.current_depth(), 4u);  // all wasted -> halved
+  e.reset();
+  EXPECT_EQ(e.current_depth(), 4u);
+}
+
+// --- ORAM workload ----------------------------------------------------------
+
+TEST(Oram, EveryRequestWalksOnePath) {
+  const auto* w = trace::find_workload("ORAM");
+  ASSERT_NE(w, nullptr);
+  EXPECT_FALSE(w->info.paper_benchmark);
+  const auto t = w->make(trace::ref_params(kScale));
+  // The root (page 0) is touched by every request: its share of accesses is
+  // exactly 1/(height+1).
+  std::uint64_t root_touches = 0;
+  for (const auto& a : t.accesses()) {
+    root_touches += a.page == 0 ? 1 : 0;
+  }
+  EXPECT_GT(root_touches, 0u);
+  const auto per_request = t.size() / root_touches;
+  EXPECT_GE(per_request, 8u);   // tree height ~12 at this scale
+  EXPECT_LE(per_request, 20u);
+}
+
+TEST(Oram, PathsAreValidHeapWalks) {
+  const auto t =
+      trace::find_workload("ORAM")->make(trace::ref_params(kScale * 0.5));
+  // Consecutive accesses within a path descend the heap: child index is
+  // 2*parent+1 or 2*parent+2.
+  PageNum prev = kInvalidPage;
+  std::size_t checked = 0;
+  for (const auto& a : t.accesses()) {
+    if (a.page == 0) {
+      prev = 0;  // new request starts at the root
+      continue;
+    }
+    if (prev != kInvalidPage) {
+      EXPECT_TRUE(a.page == 2 * prev + 1 || a.page == 2 * prev + 2)
+          << "parent " << prev << " child " << a.page;
+      ++checked;
+    }
+    prev = a.page;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(Oram, DifferentRunsDifferentPatterns) {
+  const auto* w = trace::find_workload("ORAM");
+  const auto a = w->make(trace::WorkloadParams{.scale = kScale, .seed = 1});
+  const auto b = w->make(trace::WorkloadParams{.scale = kScale, .seed = 2});
+  std::size_t differing = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    differing += a.accesses()[i].page != b.accesses()[i].page ? 1u : 0u;
+  }
+  EXPECT_GT(differing, n / 3);  // position maps diverge immediately
+}
+
+TEST(Oram, DfpFindsNothingSipConverts) {
+  const auto c = core::compare_schemes(
+      "ORAM", {core::Scheme::kDfpStop, core::Scheme::kSip},
+      platform(core::Scheme::kBaseline),
+      core::ExperimentOptions{.scale = kScale, .train_scale = kScale * 0.5});
+  // DFP: essentially nothing to predict.
+  EXPECT_NEAR(c.find(core::Scheme::kDfpStop)->improvement, 0.0, 0.01);
+  // SIP: converts lower-level faults, a real win.
+  EXPECT_GT(c.find(core::Scheme::kSip)->improvement, 0.02);
+  EXPECT_GT(c.find(core::Scheme::kSip)->metrics.sip_requests, 0u);
+}
+
+TEST(Oram, ExcludedFromPaperBenchLists) {
+  for (const auto& name : trace::large_ws_benchmarks()) {
+    EXPECT_NE(name, "ORAM");
+  }
+  for (const auto& name : trace::sip_benchmarks()) {
+    EXPECT_NE(name, "ORAM");
+  }
+}
+
+}  // namespace
+}  // namespace sgxpl

@@ -1,0 +1,208 @@
+#include "trace/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace sgxpl::trace {
+namespace {
+
+TEST(GapModel, ZeroMeanGivesZero) {
+  Rng rng(1);
+  GapModel g{.mean = 0, .jitter_pct = 0.5};
+  EXPECT_EQ(g.sample(rng), 0u);
+}
+
+TEST(GapModel, JitterStaysInBand) {
+  Rng rng(2);
+  GapModel g{.mean = 10'000, .jitter_pct = 0.2};
+  for (int i = 0; i < 1000; ++i) {
+    const Cycles v = g.sample(rng);
+    EXPECT_GE(v, 8'000u);
+    EXPECT_LE(v, 12'000u);
+  }
+}
+
+TEST(GapModel, NoJitterIsExact) {
+  Rng rng(3);
+  GapModel g{.mean = 5'000, .jitter_pct = 0.0};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(g.sample(rng), 5'000u);
+  }
+}
+
+TEST(SeqScan, VisitsEveryPageInOrder) {
+  Trace t("x", 100);
+  Rng rng(1);
+  seq_scan(t, rng, Region{10, 20}, 1, GapModel{.mean = 100, .jitter_pct = 0});
+  ASSERT_EQ(t.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(t.accesses()[i].page, 10 + i);
+    EXPECT_EQ(t.accesses()[i].site, 1u);
+  }
+}
+
+TEST(SeqScan, StrideSkipsPages) {
+  Trace t("x", 100);
+  Rng rng(1);
+  seq_scan(t, rng, Region{0, 10}, 1, GapModel{.mean = 1, .jitter_pct = 0},
+           /*stride=*/3);
+  ASSERT_EQ(t.size(), 4u);  // ceil(10/3)
+  EXPECT_EQ(t.accesses()[0].page, 0u);
+  EXPECT_EQ(t.accesses()[1].page, 3u);
+  EXPECT_EQ(t.accesses()[3].page, 9u);
+}
+
+TEST(SeqScan, JumpsBreakSequentiality) {
+  Trace t("x", 10000);
+  Rng rng(7);
+  seq_scan(t, rng, Region{0, 5000}, 1, GapModel{.mean = 1, .jitter_pct = 0},
+           1, /*jump_prob=*/0.5);
+  const auto s = t.stats();
+  EXPECT_LT(s.sequential_fraction, 0.8);
+  EXPECT_GT(s.sequential_fraction, 0.2);
+}
+
+TEST(MultiStream, InterleavesStreams) {
+  Trace t("x", 100);
+  Rng rng(1);
+  multi_stream_scan(t, rng, Region{0, 40}, /*streams=*/4, /*site_base=*/10,
+                    GapModel{.mean = 1, .jitter_pct = 0}, /*chunk=*/1);
+  ASSERT_EQ(t.size(), 40u);
+  // First round-robin covers the 4 slice heads.
+  EXPECT_EQ(t.accesses()[0].page, 0u);
+  EXPECT_EQ(t.accesses()[1].page, 10u);
+  EXPECT_EQ(t.accesses()[2].page, 20u);
+  EXPECT_EQ(t.accesses()[3].page, 30u);
+  // Sites identify the stream.
+  EXPECT_EQ(t.accesses()[0].site, 10u);
+  EXPECT_EQ(t.accesses()[3].site, 13u);
+  // All pages covered exactly once.
+  std::set<PageNum> pages;
+  for (const auto& a : t.accesses()) pages.insert(a.page);
+  EXPECT_EQ(pages.size(), 40u);
+}
+
+TEST(MultiStream, ChunkGroupsConsecutivePages) {
+  Trace t("x", 100);
+  Rng rng(1);
+  multi_stream_scan(t, rng, Region{0, 32}, 2, 0,
+                    GapModel{.mean = 1, .jitter_pct = 0}, /*chunk=*/4);
+  // First four accesses are stream 0's pages 0-3.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.accesses()[i].page, i);
+  }
+  EXPECT_EQ(t.accesses()[4].page, 16u);  // then stream 1's chunk
+}
+
+TEST(MultiStream, UnevenSliceCoversAllPages) {
+  Trace t("x", 100);
+  Rng rng(1);
+  multi_stream_scan(t, rng, Region{0, 37}, 5, 0,
+                    GapModel{.mean = 1, .jitter_pct = 0});
+  std::set<PageNum> pages;
+  for (const auto& a : t.accesses()) pages.insert(a.page);
+  EXPECT_EQ(pages.size(), 37u);
+}
+
+TEST(RandomAccess, StaysInRegionAndSiteRange) {
+  Trace t("x", 1000);
+  Rng rng(5);
+  random_access(t, rng, Region{100, 200}, 5000, /*site_base=*/50,
+                /*sites=*/10, GapModel{.mean = 1, .jitter_pct = 0});
+  ASSERT_EQ(t.size(), 5000u);
+  std::unordered_set<SiteId> sites;
+  for (const auto& a : t.accesses()) {
+    EXPECT_GE(a.page, 100u);
+    EXPECT_LT(a.page, 300u);
+    EXPECT_GE(a.site, 50u);
+    EXPECT_LT(a.site, 60u);
+    sites.insert(a.site);
+  }
+  EXPECT_EQ(sites.size(), 10u);  // all sites used
+}
+
+TEST(ZipfAccess, SkewedReuse) {
+  Trace t("x", 10000);
+  Rng rng(5);
+  zipf_access(t, rng, Region{0, 5000}, 20000, 0.99, 0, 4,
+              GapModel{.mean = 1, .jitter_pct = 0});
+  const auto s = t.stats();
+  // Zipf concentrates mass: far fewer distinct pages than a uniform draw
+  // of the same count would touch.
+  EXPECT_LT(s.footprint_pages, 4000u);
+}
+
+TEST(PointerChase, VisitsAllPagesBeforeRepeating) {
+  Trace t("x", 100);
+  Rng rng(9);
+  pointer_chase(t, rng, Region{0, 50}, 50, 1,
+                GapModel{.mean = 1, .jitter_pct = 0});
+  std::set<PageNum> pages;
+  for (const auto& a : t.accesses()) pages.insert(a.page);
+  EXPECT_EQ(pages.size(), 50u);  // a full cycle covers the region
+}
+
+TEST(PointerChase, DeterministicPerSeed) {
+  Trace t1("x", 100);
+  Trace t2("x", 100);
+  Rng r1(3);
+  Rng r2(3);
+  pointer_chase(t1, r1, Region{0, 30}, 60, 1,
+                GapModel{.mean = 1, .jitter_pct = 0});
+  pointer_chase(t2, r2, Region{0, 30}, 60, 1,
+                GapModel{.mean = 1, .jitter_pct = 0});
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(t1.accesses()[i].page, t2.accesses()[i].page);
+  }
+}
+
+TEST(ShortRuns, RunsAreShortAndSequential) {
+  Trace t("x", 10000);
+  Rng rng(11);
+  short_sequential_runs(t, rng, Region{0, 5000}, /*runs=*/100, /*max_run=*/4,
+                        0, 5, GapModel{.mean = 1, .jitter_pct = 0});
+  EXPECT_GE(t.size(), 200u);  // at least 2 pages per run
+  EXPECT_LE(t.size(), 400u);  // at most 4
+}
+
+TEST(HotColdMix, RespectsHotProbability) {
+  Trace t("x", 10000);
+  Rng rng(13);
+  const Region hot{0, 100};
+  const Region cold{100, 5000};
+  hot_cold_mixed_sites(t, rng, hot, cold, 20000, 0.9, 0, 10,
+                       GapModel{.mean = 1, .jitter_pct = 0});
+  std::uint64_t hot_hits = 0;
+  for (const auto& a : t.accesses()) {
+    hot_hits += hot.contains(a.page) ? 1u : 0u;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_hits) / 20000.0, 0.9, 0.02);
+}
+
+TEST(StridedSweep, CoversEveryPageExactlyOnce) {
+  Trace t("x", 1000);
+  Rng rng(17);
+  strided_sweep(t, rng, Region{0, 100}, /*stride=*/7, 1,
+                GapModel{.mean = 1, .jitter_pct = 0});
+  std::set<PageNum> pages;
+  for (const auto& a : t.accesses()) pages.insert(a.page);
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_EQ(pages.size(), 100u);
+  // Consecutive accesses are `stride` apart (except at wrap points).
+  EXPECT_EQ(t.accesses()[1].page - t.accesses()[0].page, 7u);
+}
+
+TEST(Region, ContainsBounds) {
+  const Region r{10, 5};
+  EXPECT_FALSE(r.contains(9));
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(14));
+  EXPECT_FALSE(r.contains(15));
+}
+
+}  // namespace
+}  // namespace sgxpl::trace

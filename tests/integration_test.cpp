@@ -1,0 +1,172 @@
+// End-to-end integration: the complete pipelines the benches rely on,
+// asserted at reduced scale so the whole paper story is covered by ctest.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+#include "core/multi_enclave.h"
+#include "core/simulator.h"
+#include "sip/pipeline.h"
+#include "trace/trace_io.h"
+#include "trace/workloads.h"
+
+namespace sgxpl {
+namespace {
+
+constexpr double kScale = 0.12;
+
+core::SimConfig platform(core::Scheme scheme = core::Scheme::kBaseline) {
+  auto cfg = core::paper_platform(scheme);
+  cfg.enclave.epc_pages = static_cast<PageNum>(
+      static_cast<double>(cfg.enclave.epc_pages) * kScale);
+  return cfg;
+}
+
+core::ExperimentOptions opts() {
+  return {.scale = kScale, .train_scale = kScale * 0.35};
+}
+
+TEST(Integration, Fig8StoryDfpWinLossAndRescue) {
+  // Regular workload gains; irregular workload loses; stop valve rescues.
+  const auto micro = core::compare_schemes(
+      "microbenchmark", {core::Scheme::kDfp, core::Scheme::kDfpStop},
+      platform(), opts());
+  EXPECT_GT(micro.find(core::Scheme::kDfp)->improvement, 0.10);
+
+  const auto sjeng = core::compare_schemes(
+      "deepsjeng", {core::Scheme::kDfp, core::Scheme::kDfpStop}, platform(),
+      opts());
+  EXPECT_LT(sjeng.find(core::Scheme::kDfp)->improvement, -0.10);
+  EXPECT_GT(sjeng.find(core::Scheme::kDfpStop)->improvement, -0.02);
+  EXPECT_TRUE(sjeng.find(core::Scheme::kDfpStop)->metrics.dfp_stopped);
+}
+
+TEST(Integration, Fig10StorySipRanking) {
+  const auto sjeng =
+      core::compare_schemes("deepsjeng", {core::Scheme::kSip}, platform(),
+                            opts());
+  const auto mcf =
+      core::compare_schemes("mcf", {core::Scheme::kSip}, platform(), opts());
+  const auto lbm =
+      core::compare_schemes("lbm", {core::Scheme::kSip}, platform(), opts());
+  // deepsjeng gains clearly; mcf is a wash; lbm has no points.
+  EXPECT_GT(sjeng.find(core::Scheme::kSip)->improvement, 0.05);
+  EXPECT_NEAR(mcf.find(core::Scheme::kSip)->improvement, 0.0, 0.04);
+  EXPECT_EQ(lbm.sip_points, 0u);
+  EXPECT_DOUBLE_EQ(lbm.find(core::Scheme::kSip)->normalized, 1.0);
+  // SIP cuts deepsjeng's faults by more than half (paper: >70%).
+  EXPECT_LT(sjeng.find(core::Scheme::kSip)->metrics.enclave_faults,
+            sjeng.baseline.enclave_faults / 2);
+}
+
+TEST(Integration, Fig12StoryHybridTracksBest) {
+  for (const char* name : {"deepsjeng", "lbm"}) {
+    const auto c = core::compare_schemes(
+        name,
+        {core::Scheme::kSip, core::Scheme::kDfpStop, core::Scheme::kHybrid},
+        platform(), opts());
+    const double best = std::min(c.find(core::Scheme::kSip)->normalized,
+                                 c.find(core::Scheme::kDfpStop)->normalized);
+    EXPECT_LE(c.find(core::Scheme::kHybrid)->normalized, best + 0.03) << name;
+  }
+}
+
+TEST(Integration, Fig13StoryHybridBeatsBothOnMixedBlood) {
+  const auto c = core::compare_schemes(
+      "mixed-blood",
+      {core::Scheme::kSip, core::Scheme::kDfpStop, core::Scheme::kHybrid},
+      platform(), opts());
+  const double sip = c.find(core::Scheme::kSip)->improvement;
+  const double dfp = c.find(core::Scheme::kDfpStop)->improvement;
+  const double hybrid = c.find(core::Scheme::kHybrid)->improvement;
+  EXPECT_GT(hybrid, sip);
+  EXPECT_GT(hybrid, dfp);
+  EXPECT_GT(dfp, sip);  // the paper's ordering: 7.1 > 6.0 > 1.6
+}
+
+TEST(Integration, Table2StoryPointCounts) {
+  // The exact paper counts need the paper-sized profiling run: the
+  // borderline sites (deepsjeng's eval instructions at ~4% irregular)
+  // wobble across the 5% threshold on very small train inputs.
+  const auto cfg = platform();
+  auto points = [&](const char* name) {
+    return sip::compile_workload(*trace::find_workload(name), cfg.sip,
+                                 trace::train_params())
+        .plan.points();
+  };
+  EXPECT_EQ(points("lbm"), 0u);
+  EXPECT_EQ(points("microbenchmark"), 0u);
+  EXPECT_EQ(points("mcf"), 99u);
+  EXPECT_EQ(points("mcf.2006"), 114u);
+  EXPECT_EQ(points("deepsjeng"), 35u);
+  EXPECT_GT(points("MSER"), 40u);
+}
+
+TEST(Integration, VisionStoryRightSchemePerApp) {
+  const auto sift = core::compare_schemes(
+      "SIFT", {core::Scheme::kDfpStop, core::Scheme::kSip}, platform(),
+      opts());
+  const auto mser = core::compare_schemes(
+      "MSER", {core::Scheme::kDfpStop, core::Scheme::kSip}, platform(),
+      opts());
+  EXPECT_GT(sift.find(core::Scheme::kDfpStop)->improvement,
+            sift.find(core::Scheme::kSip)->improvement);
+  EXPECT_GT(mser.find(core::Scheme::kSip)->improvement,
+            mser.find(core::Scheme::kDfpStop)->improvement);
+}
+
+TEST(Integration, TraceRoundTripPreservesSimulation) {
+  const auto t =
+      trace::find_workload("xz")->make(trace::ref_params(kScale * 0.5));
+  std::stringstream ss;
+  trace::write_trace(ss, t);
+  const auto back = trace::read_trace(ss);
+  const auto cfg = platform(core::Scheme::kDfpStop);
+  EXPECT_EQ(core::simulate(t, cfg).total_cycles,
+            core::simulate(back, cfg).total_cycles);
+}
+
+TEST(Integration, MultiEnclavePairMatchesBenchStory) {
+  const auto a =
+      trace::find_workload("lbm")->make(trace::ref_params(kScale));
+  const auto b =
+      trace::find_workload("deepsjeng")->make(trace::ref_params(kScale));
+  const auto cfg = platform();
+
+  const auto solo_a = core::simulate(a, cfg);
+  core::MultiEnclaveSimulator multi(cfg);
+  const auto shared =
+      multi.run({core::EnclaveApp{&a, core::Scheme::kBaseline, nullptr},
+                 core::EnclaveApp{&b, core::Scheme::kBaseline, nullptr}});
+  // Contention: lbm cannot be faster while sharing with deepsjeng.
+  EXPECT_GE(shared.per_enclave[0].total_cycles, solo_a.total_cycles);
+  // Global driver accounting covers both enclaves.
+  EXPECT_GE(shared.driver.faults, shared.per_enclave[0].enclave_faults +
+                                      shared.per_enclave[1].enclave_faults);
+}
+
+TEST(Integration, LookaheadBeatsConservativeOnIrregularWorkload) {
+  auto base_cfg = platform(core::Scheme::kSip);
+  const auto conservative =
+      core::compare_schemes("xz", {core::Scheme::kSip}, base_cfg, opts());
+  base_cfg.sip_lookahead = 8;
+  const auto hoisted =
+      core::compare_schemes("xz", {core::Scheme::kSip}, base_cfg, opts());
+  EXPECT_GT(hoisted.find(core::Scheme::kSip)->improvement,
+            conservative.find(core::Scheme::kSip)->improvement);
+}
+
+TEST(Integration, NativeRunsAreUnaffectedBySchemes) {
+  const auto t =
+      trace::find_workload("leela")->make(trace::ref_params(kScale));
+  auto cfg = platform(core::Scheme::kNative);
+  const auto native = core::simulate(t, cfg);
+  EXPECT_EQ(native.enclave_faults, t.stats().footprint_pages);
+  EXPECT_EQ(native.total_cycles,
+            native.compute_cycles +
+                native.enclave_faults * cfg.costs.native_fault);
+}
+
+}  // namespace
+}  // namespace sgxpl

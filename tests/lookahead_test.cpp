@@ -1,0 +1,93 @@
+// Focused tests for the SIP lookahead (hoisted-notification) mode of the
+// core simulator.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/simulator.h"
+#include "trace/generators.h"
+
+namespace sgxpl::core {
+namespace {
+
+SimConfig sip_cfg(std::uint32_t lookahead, PageNum epc = 64) {
+  SimConfig cfg;
+  cfg.scheme = Scheme::kSip;
+  cfg.enclave.epc_pages = epc;
+  cfg.sip_lookahead = lookahead;
+  return cfg;
+}
+
+/// `count` irregular accesses from site 1 with fixed gap.
+trace::Trace irregular(std::uint64_t count, Cycles gap, PageNum region) {
+  trace::Trace t("irr", region + 8);
+  Rng rng(3);
+  trace::random_access(t, rng, trace::Region{0, region}, count, 1, 1,
+                       trace::GapModel{.mean = gap, .jitter_pct = 0});
+  return t;
+}
+
+sip::InstrumentationPlan plan_for_site1() {
+  sip::InstrumentationPlan plan;
+  plan.add_site(1);
+  return plan;
+}
+
+TEST(Lookahead, ZeroIsConservativeMode) {
+  const auto t = irregular(500, 2'000, 50'000);
+  const auto plan = plan_for_site1();
+  const auto m = simulate(t, sip_cfg(0), &plan);
+  EXPECT_EQ(m.driver.sip_prefetches, 0u);  // no async requests
+  EXPECT_GT(m.driver.sip_loads, 0u);       // blocking loads instead
+}
+
+TEST(Lookahead, PositiveUsesAsyncPrefetches) {
+  const auto t = irregular(500, 2'000, 50'000);
+  const auto plan = plan_for_site1();
+  const auto m = simulate(t, sip_cfg(4), &plan);
+  EXPECT_GT(m.driver.sip_prefetches, 0u);
+  EXPECT_EQ(m.driver.sip_loads, 0u);  // nothing blocks in hoisted mode
+  // Checks still happen once per instrumented access (hoisted).
+  EXPECT_EQ(m.sip_checks, 500u);
+}
+
+TEST(Lookahead, LargeGapsHideTheWholeLoad) {
+  // Gap larger than a load: with lookahead 1 the prefetch finishes before
+  // the access arrives, so (almost) no faults remain.
+  const auto t = irregular(300, 80'000, 50'000);
+  const auto plan = plan_for_site1();
+  const auto conservative = simulate(t, sip_cfg(0), &plan);
+  const auto hoisted = simulate(t, sip_cfg(1), &plan);
+  EXPECT_LT(hoisted.enclave_faults, conservative.enclave_faults / 5 + 5);
+  EXPECT_LT(hoisted.total_cycles, conservative.total_cycles);
+}
+
+TEST(Lookahead, LongerThanTraceIsHarmless) {
+  const auto t = irregular(10, 2'000, 1'000);
+  const auto plan = plan_for_site1();
+  const auto m = simulate(t, sip_cfg(1'000), &plan);
+  EXPECT_EQ(m.accesses, 10u);
+  // The warm-up window hoists every access's request up front.
+  EXPECT_EQ(m.sip_checks, 10u);
+}
+
+TEST(Lookahead, UninstrumentedSitesAreUntouched) {
+  trace::Trace t("mixed", 1'000);
+  Rng rng(1);
+  trace::random_access(t, rng, trace::Region{0, 900}, 200, /*site=*/5, 1,
+                       trace::GapModel{.mean = 2'000, .jitter_pct = 0});
+  const auto plan = plan_for_site1();  // instruments site 1, not 5
+  const auto m = simulate(t, sip_cfg(8), &plan);
+  EXPECT_EQ(m.sip_checks, 0u);
+  EXPECT_EQ(m.driver.sip_prefetches, 0u);
+}
+
+TEST(Lookahead, DeterministicAcrossRuns) {
+  const auto t = irregular(400, 5'000, 30'000);
+  const auto plan = plan_for_site1();
+  const auto a = simulate(t, sip_cfg(8), &plan);
+  const auto b = simulate(t, sip_cfg(8), &plan);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+}
+
+}  // namespace
+}  // namespace sgxpl::core

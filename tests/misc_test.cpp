@@ -1,0 +1,81 @@
+// Remaining small-surface tests: counters, name tables, and trace-statistic
+// corners not covered by the focused suites.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sgxsim/paging_channel.h"
+#include "trace/generators.h"
+
+namespace sgxpl {
+namespace {
+
+TEST(OpKindNames, AllNamed) {
+  using sgxsim::OpKind;
+  EXPECT_STREQ(to_string(OpKind::kDemandLoad), "demand");
+  EXPECT_STREQ(to_string(OpKind::kDfpPreload), "dfp-preload");
+  EXPECT_STREQ(to_string(OpKind::kSipLoad), "sip-load");
+}
+
+TEST(PagingChannel, SchedulingCountersTrackOps) {
+  sgxsim::PagingChannel ch;
+  ch.schedule(0, 10, 1, sgxsim::OpKind::kDemandLoad);
+  ch.schedule(0, 10, 2, sgxsim::OpKind::kDfpPreload);
+  ch.schedule_priority(0, 10, 3, sgxsim::OpKind::kSipLoad);
+  EXPECT_EQ(ch.ops_scheduled(), 3u);
+  EXPECT_EQ(ch.queued(), 3u);
+  ch.abort_not_started(5, sgxsim::OpKind::kDfpPreload);
+  EXPECT_EQ(ch.ops_aborted(), 1u);
+  EXPECT_EQ(ch.queued(), 2u);
+}
+
+TEST(PagingChannel, NextFreeTracksTail) {
+  sgxsim::PagingChannel ch;
+  EXPECT_EQ(ch.next_free(123), 123u);
+  ch.schedule(0, 100, 1, sgxsim::OpKind::kDemandLoad);
+  EXPECT_EQ(ch.next_free(0), 100u);
+  EXPECT_EQ(ch.next_free(500), 500u);
+}
+
+TEST(GapModel, FloorsAtOneCycle) {
+  // Full negative jitter on a tiny mean must still produce >= 1 cycle.
+  Rng rng(1);
+  const trace::GapModel g{.mean = 1, .jitter_pct = 0.99};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(g.sample(rng), 1u);
+  }
+}
+
+TEST(TraceStats, RecentReuseDetectsHotLoops) {
+  trace::Trace hot("hot", 100);
+  for (int i = 0; i < 100; ++i) {
+    hot.append({.page = static_cast<PageNum>(i % 4), .site = 1, .gap = 10});
+  }
+  EXPECT_GT(hot.stats().recent_reuse_fraction, 0.9);
+
+  trace::Trace cold("cold", 100'000);
+  Rng rng(2);
+  trace::random_access(cold, rng, trace::Region{0, 90'000}, 500, 1, 1,
+                       trace::GapModel{.mean = 10, .jitter_pct = 0});
+  EXPECT_LT(cold.stats().recent_reuse_fraction, 0.05);
+}
+
+TEST(TraceStats, EmptyTraceIsAllZeros) {
+  trace::Trace t("empty", 10);
+  const auto s = t.stats();
+  EXPECT_EQ(s.accesses, 0u);
+  EXPECT_EQ(s.footprint_pages, 0u);
+  EXPECT_EQ(s.sites, 0u);
+  EXPECT_DOUBLE_EQ(s.sequential_fraction, 0.0);
+}
+
+TEST(TraceMutation, MutableAccessorsWork) {
+  trace::Trace t("m", 10);
+  t.append({.page = 1, .site = 1, .gap = 5});
+  t.mutable_accesses()[0].gap = 99;
+  EXPECT_EQ(t.accesses()[0].gap, 99u);
+  t.set_elrange_pages(20);
+  EXPECT_EQ(t.elrange_pages(), 20u);
+}
+
+}  // namespace
+}  // namespace sgxpl

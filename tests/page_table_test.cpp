@@ -1,0 +1,93 @@
+#include "sgxsim/page_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace sgxpl::sgxsim {
+namespace {
+
+TEST(PageTable, StartsEmpty) {
+  PageTable pt(100);
+  EXPECT_EQ(pt.elrange_pages(), 100u);
+  EXPECT_EQ(pt.resident_count(), 0u);
+  for (PageNum p = 0; p < 100; ++p) {
+    EXPECT_FALSE(pt.present(p));
+  }
+}
+
+TEST(PageTable, RejectsEmptyElrange) {
+  EXPECT_THROW(PageTable(0), CheckFailure);
+}
+
+TEST(PageTable, MapUnmapRoundTrip) {
+  PageTable pt(10);
+  pt.map(3, 7, /*via_preload=*/false);
+  EXPECT_TRUE(pt.present(3));
+  EXPECT_EQ(pt.entry(3).slot, 7u);
+  EXPECT_FALSE(pt.entry(3).accessed);
+  EXPECT_FALSE(pt.entry(3).preloaded);
+  EXPECT_EQ(pt.resident_count(), 1u);
+
+  const auto prior = pt.unmap(3);
+  EXPECT_EQ(prior.slot, 7u);
+  EXPECT_FALSE(pt.present(3));
+  EXPECT_EQ(pt.resident_count(), 0u);
+}
+
+TEST(PageTable, DoubleMapThrows) {
+  PageTable pt(10);
+  pt.map(1, 0, false);
+  EXPECT_THROW(pt.map(1, 1, false), CheckFailure);
+}
+
+TEST(PageTable, UnmapNonResidentThrows) {
+  PageTable pt(10);
+  EXPECT_THROW(pt.unmap(5), CheckFailure);
+}
+
+TEST(PageTable, TouchSetsAccessBit) {
+  PageTable pt(10);
+  pt.map(2, 0, false);
+  EXPECT_FALSE(pt.entry(2).accessed);
+  pt.touch(2);
+  EXPECT_TRUE(pt.entry(2).accessed);
+}
+
+TEST(PageTable, TouchReportsFirstTouchOfPreloadedPage) {
+  PageTable pt(10);
+  pt.map(4, 0, /*via_preload=*/true);
+  EXPECT_TRUE(pt.entry(4).preloaded);
+  EXPECT_TRUE(pt.touch(4));   // first touch: preload paid off
+  EXPECT_FALSE(pt.entry(4).preloaded);
+  EXPECT_FALSE(pt.touch(4));  // subsequent touches are not "first"
+}
+
+TEST(PageTable, TouchOfDemandLoadedPageIsNotFirstPreloadTouch) {
+  PageTable pt(10);
+  pt.map(4, 0, /*via_preload=*/false);
+  EXPECT_FALSE(pt.touch(4));
+}
+
+TEST(PageTable, TestAndClearAccessed) {
+  PageTable pt(10);
+  pt.map(6, 0, false);
+  pt.touch(6);
+  EXPECT_TRUE(pt.test_and_clear_accessed(6));
+  EXPECT_FALSE(pt.entry(6).accessed);
+  EXPECT_FALSE(pt.test_and_clear_accessed(6));
+}
+
+TEST(PageTable, UnmapClearsAllFlags) {
+  PageTable pt(10);
+  pt.map(8, 3, true);
+  pt.touch(8);
+  pt.unmap(8);
+  pt.map(8, 5, false);
+  EXPECT_FALSE(pt.entry(8).accessed);
+  EXPECT_FALSE(pt.entry(8).preloaded);
+  EXPECT_EQ(pt.entry(8).slot, 5u);
+}
+
+}  // namespace
+}  // namespace sgxpl::sgxsim

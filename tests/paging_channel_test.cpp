@@ -1,0 +1,139 @@
+#include "sgxsim/paging_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace sgxpl::sgxsim {
+namespace {
+
+TEST(PagingChannel, SchedulesAtEarliestWhenIdle) {
+  PagingChannel ch;
+  const auto& op = ch.schedule(100, 50, 1, OpKind::kDemandLoad);
+  EXPECT_EQ(op.start, 100u);
+  EXPECT_EQ(op.end, 150u);
+}
+
+TEST(PagingChannel, SerializesBackToBack) {
+  PagingChannel ch;
+  ch.schedule(0, 100, 1, OpKind::kDemandLoad);
+  const auto& op2 = ch.schedule(10, 100, 2, OpKind::kDfpPreload);
+  // Op 2 wants to start at 10 but the channel is busy until 100.
+  EXPECT_EQ(op2.start, 100u);
+  EXPECT_EQ(op2.end, 200u);
+  EXPECT_EQ(ch.next_free(0), 200u);
+}
+
+TEST(PagingChannel, NonPreemptible) {
+  PagingChannel ch;
+  ch.schedule(0, 100, 1, OpKind::kDfpPreload);
+  // At t=50 the op is in flight; aborting must not remove it.
+  const auto aborted = ch.abort_not_started(50);
+  EXPECT_TRUE(aborted.empty());
+  EXPECT_TRUE(ch.find(1).has_value());
+}
+
+TEST(PagingChannel, AbortRemovesOnlyNotStarted) {
+  PagingChannel ch;
+  ch.schedule(0, 100, 1, OpKind::kDfpPreload);   // in flight at t=50
+  ch.schedule(0, 100, 2, OpKind::kDfpPreload);   // starts at 100
+  ch.schedule(0, 100, 3, OpKind::kDfpPreload);   // starts at 200
+  const auto aborted = ch.abort_not_started(50);
+  EXPECT_EQ(aborted.size(), 2u);
+  EXPECT_EQ(aborted[0].page, 2u);
+  EXPECT_EQ(aborted[1].page, 3u);
+  EXPECT_TRUE(ch.find(1).has_value());
+  EXPECT_FALSE(ch.find(2).has_value());
+  EXPECT_EQ(ch.ops_aborted(), 2u);
+}
+
+TEST(PagingChannel, AbortFiltersByKind) {
+  PagingChannel ch;
+  ch.schedule(0, 100, 1, OpKind::kDemandLoad);  // in flight
+  ch.schedule(0, 100, 2, OpKind::kDfpPreload);
+  ch.schedule(0, 100, 3, OpKind::kSipLoad);
+  ch.schedule(0, 100, 4, OpKind::kDfpPreload);
+  const auto aborted = ch.abort_not_started(10, OpKind::kDfpPreload);
+  EXPECT_EQ(aborted.size(), 2u);
+  // The SIP load survives and slides forward into the freed time.
+  const auto sip = ch.find(3);
+  ASSERT_TRUE(sip.has_value());
+  EXPECT_EQ(sip->start, 100u);
+  EXPECT_EQ(sip->end, 200u);
+}
+
+TEST(PagingChannel, AbortRepacksSurvivors) {
+  PagingChannel ch;
+  ch.schedule(0, 100, 1, OpKind::kDemandLoad);   // [0,100) in flight
+  ch.schedule(0, 100, 2, OpKind::kDfpPreload);   // [100,200)
+  ch.schedule(0, 100, 3, OpKind::kSipLoad);      // [200,300)
+  ch.abort_not_started(10, OpKind::kDfpPreload);
+  const auto op3 = ch.find(3);
+  ASSERT_TRUE(op3.has_value());
+  EXPECT_EQ(op3->start, 100u);  // slid into page 2's aborted slot
+  // New ops schedule after the repacked queue.
+  const auto& op4 = ch.schedule(0, 50, 4, OpKind::kDemandLoad);
+  EXPECT_EQ(op4.start, 200u);
+}
+
+TEST(PagingChannel, CollectCompletedInOrder) {
+  PagingChannel ch;
+  ch.schedule(0, 10, 1, OpKind::kDemandLoad);
+  ch.schedule(0, 10, 2, OpKind::kDemandLoad);
+  ch.schedule(0, 10, 3, OpKind::kDemandLoad);
+  const auto done = ch.collect_completed(20);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].page, 1u);
+  EXPECT_EQ(done[1].page, 2u);
+  EXPECT_EQ(ch.queued(), 1u);
+  EXPECT_TRUE(ch.collect_completed(20).empty());  // idempotent
+}
+
+TEST(PagingChannel, FindLocatesQueuedOp) {
+  PagingChannel ch;
+  EXPECT_FALSE(ch.find(9).has_value());
+  ch.schedule(0, 10, 9, OpKind::kSipLoad);
+  const auto op = ch.find(9);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->kind, OpKind::kSipLoad);
+}
+
+TEST(PagingChannel, IdleAndCompletionTime) {
+  PagingChannel ch;
+  EXPECT_TRUE(ch.idle(0));
+  EXPECT_EQ(ch.completion_time(), 0u);
+  ch.schedule(0, 100, 1, OpKind::kDemandLoad);
+  ch.schedule(0, 100, 2, OpKind::kDemandLoad);
+  EXPECT_FALSE(ch.idle(150));
+  EXPECT_TRUE(ch.idle(200));
+  EXPECT_EQ(ch.completion_time(), 200u);
+}
+
+TEST(PagingChannel, BusyOverlap) {
+  PagingChannel ch;
+  ch.schedule(100, 100, 1, OpKind::kDemandLoad);  // busy [100,200)
+  EXPECT_EQ(ch.busy_overlap(0, 100), 0u);
+  EXPECT_EQ(ch.busy_overlap(150, 250), 50u);
+  EXPECT_EQ(ch.busy_overlap(0, 1000), 100u);
+  EXPECT_EQ(ch.busy_overlap(120, 180), 60u);
+  EXPECT_EQ(ch.busy_overlap(300, 200), 0u);  // inverted interval
+}
+
+TEST(PagingChannel, ParallelModeStartsImmediately) {
+  PagingChannel ch(/*serial=*/false);
+  const auto& a = ch.schedule(0, 100, 1, OpKind::kDemandLoad);
+  const auto& b = ch.schedule(0, 50, 2, OpKind::kDemandLoad);
+  EXPECT_EQ(a.start, 0u);
+  EXPECT_EQ(b.start, 0u);
+  const auto done = ch.collect_completed(60);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].page, 2u);  // shorter op completes first
+}
+
+TEST(PagingChannel, ZeroDurationRejected) {
+  PagingChannel ch;
+  EXPECT_THROW(ch.schedule(0, 0, 1, OpKind::kDemandLoad), CheckFailure);
+}
+
+}  // namespace
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,241 @@
+// Parameterized property suites: invariants that must hold for every
+// (workload, scheme) combination, swept with TEST_P.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "trace/workloads.h"
+
+namespace sgxpl::core {
+namespace {
+
+constexpr double kScale = 0.06;  // small but non-trivial sweeps
+
+SimConfig tiny_platform(Scheme scheme) {
+  SimConfig cfg = paper_platform(scheme);
+  cfg.enclave.epc_pages = static_cast<PageNum>(
+      static_cast<double>(cfg.enclave.epc_pages) * kScale);
+  cfg.validate = true;  // end-of-run structural invariant check
+  return cfg;
+}
+
+using Param = std::tuple<std::string, Scheme>;
+
+class SchemeProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  /// Run the parameterized combination once, compiling a SIP plan if the
+  /// scheme needs one.
+  WorkloadComparison run() const {
+    const auto& [name, scheme] = GetParam();
+    return compare_schemes(name, {scheme}, tiny_platform(scheme),
+                           ExperimentOptions{.scale = kScale,
+                                             .train_scale = kScale * 0.5});
+  }
+};
+
+TEST_P(SchemeProperties, Deterministic) {
+  const auto a = run();
+  const auto b = run();
+  const auto& [name, scheme] = GetParam();
+  ASSERT_NE(a.find(scheme), nullptr);
+  EXPECT_EQ(a.find(scheme)->metrics.total_cycles,
+            b.find(scheme)->metrics.total_cycles)
+      << name;
+  EXPECT_EQ(a.baseline.total_cycles, b.baseline.total_cycles) << name;
+}
+
+TEST_P(SchemeProperties, EveryAccessIsSimulated) {
+  const auto& [name, scheme] = GetParam();
+  const auto c = run();
+  const auto trace_size =
+      trace::find_workload(name)->make(trace::ref_params(kScale)).size();
+  EXPECT_EQ(c.find(scheme)->metrics.accesses, trace_size);
+  EXPECT_EQ(c.baseline.accesses, trace_size);
+}
+
+TEST_P(SchemeProperties, TimeIsAtLeastCompute) {
+  const auto& [name, scheme] = GetParam();
+  const auto c = run();
+  const auto& m = c.find(scheme)->metrics;
+  EXPECT_GE(m.total_cycles, m.compute_cycles) << name;
+  EXPECT_GT(m.total_cycles, 0u);
+}
+
+TEST_P(SchemeProperties, DriverAccountingConsistent) {
+  const auto& [name, scheme] = GetParam();
+  const auto c = run();
+  const auto& m = c.find(scheme)->metrics;
+  const auto& d = m.driver;
+  // Retried faults make the driver's count an upper bound on the
+  // per-access fault count.
+  EXPECT_GE(d.faults, m.enclave_faults) << name;
+  // Every fault was satisfied by a fresh demand load or an in-flight op
+  // (retries may add demand loads, never remove them).
+  EXPECT_GE(d.demand_loads + d.fault_wait_hits, d.faults) << name;
+  // Preload accounting: issued >= completed + aborted (some may still be
+  // queued when the trace ends).
+  EXPECT_GE(d.preloads_issued, d.preloads_completed + d.preloads_aborted)
+      << name;
+  // A used preload must have completed (as a DFP preload or a SIP load).
+  EXPECT_LE(d.preloads_used, d.preloads_completed + d.sip_loads +
+                                 d.sip_inflight_waits + d.sip_prefetches)
+      << name;
+}
+
+TEST_P(SchemeProperties, SchemeActivityMatchesConfiguration) {
+  const auto& [name, scheme] = GetParam();
+  const auto c = run();
+  const auto& m = c.find(scheme)->metrics;
+  SimConfig probe = tiny_platform(scheme);
+  if (!probe.uses_dfp()) {
+    EXPECT_EQ(m.driver.preloads_issued, 0u) << name;
+    EXPECT_EQ(m.dfp_preload_counter, 0u) << name;
+  }
+  if (!probe.uses_sip()) {
+    EXPECT_EQ(m.sip_checks, 0u) << name;
+    EXPECT_EQ(m.driver.sip_loads, 0u) << name;
+  }
+  // Baseline itself must be pristine.
+  EXPECT_EQ(c.baseline.driver.preloads_issued, 0u);
+  EXPECT_EQ(c.baseline.sip_checks, 0u);
+}
+
+TEST_P(SchemeProperties, NormalizationArithmetic) {
+  const auto& [name, scheme] = GetParam();
+  const auto c = run();
+  const auto* r = c.find(scheme);
+  EXPECT_NEAR(r->normalized + r->improvement, 1.0, 1e-12) << name;
+  EXPECT_GT(r->normalized, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsBySchemes, SchemeProperties,
+    ::testing::Combine(
+        ::testing::Values("microbenchmark", "lbm", "deepsjeng", "mcf",
+                          "MSER", "mixed-blood", "leela"),
+        ::testing::Values(Scheme::kDfp, Scheme::kDfpStop, Scheme::kSip,
+                          Scheme::kHybrid)),
+    [](const ::testing::TestParamInfo<Param>& pinfo) {
+      std::string n = std::get<0>(pinfo.param);
+      for (auto& ch : n) {
+        if (ch == '-' || ch == '.') {
+          ch = '_';
+        }
+      }
+      std::string s = to_string(std::get<1>(pinfo.param));
+      for (auto& ch : s) {
+        if (ch == '-' || ch == '+') {
+          ch = '_';
+        }
+      }
+      return n + "_" + s;
+    });
+
+// --- EPC-size monotonicity (LRU has the inclusion property) ---------------
+
+class EpcMonotonicity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EpcMonotonicity, MoreEpcNeverMoreFaultsUnderLru) {
+  const auto t =
+      trace::find_workload(GetParam())->make(trace::ref_params(kScale));
+  std::uint64_t prev_faults = std::numeric_limits<std::uint64_t>::max();
+  for (const double frac : {0.5, 1.0, 2.0, 4.0}) {
+    SimConfig cfg = tiny_platform(Scheme::kBaseline);
+    cfg.enclave.eviction = sgxsim::EvictionKind::kLru;
+    cfg.enclave.epc_pages = static_cast<PageNum>(
+        static_cast<double>(cfg.enclave.epc_pages) * frac);
+    const auto m = simulate(t, cfg);
+    EXPECT_LE(m.enclave_faults, prev_faults) << "frac=" << frac;
+    prev_faults = m.enclave_faults;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, EpcMonotonicity,
+                         ::testing::Values("microbenchmark", "deepsjeng",
+                                           "MSER", "xz"));
+
+// --- Lookahead sanity across distances -------------------------------------
+
+class LookaheadSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LookaheadSweep, HoistedSipNeverLosesToBaselineOnIrregularTrace) {
+  const auto* w = trace::find_workload("deepsjeng");
+  SimConfig cfg = tiny_platform(Scheme::kSip);
+  cfg.sip_lookahead = GetParam();
+  const auto c = compare_schemes(
+      *w, {Scheme::kSip}, cfg,
+      ExperimentOptions{.scale = kScale, .train_scale = kScale * 0.5});
+  EXPECT_GT(c.find(Scheme::kSip)->improvement, 0.0)
+      << "lookahead=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LookaheadSweep,
+                         ::testing::Values(0u, 1u, 4u, 16u, 64u));
+
+// --- Eviction kinds keep every scheme sound --------------------------------
+
+class EvictionSweep
+    : public ::testing::TestWithParam<sgxsim::EvictionKind> {};
+
+TEST_P(EvictionSweep, AllSchemesRunToCompletion) {
+  const auto t =
+      trace::find_workload("MSER")->make(trace::ref_params(kScale));
+  for (const Scheme s :
+       {Scheme::kBaseline, Scheme::kDfpStop, Scheme::kHybrid}) {
+    SimConfig cfg = tiny_platform(s);
+    cfg.enclave.eviction = GetParam();
+    sip::InstrumentationPlan plan;
+    for (SiteId site = 100; site < 154; ++site) {
+      plan.add_site(site);
+    }
+    const auto m = simulate(t, cfg, &plan);
+    EXPECT_EQ(m.accesses, t.size());
+    EXPECT_GE(m.total_cycles, m.compute_cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, EvictionSweep,
+    ::testing::Values(sgxsim::EvictionKind::kClock, sgxsim::EvictionKind::kFifo,
+                      sgxsim::EvictionKind::kRandom,
+                      sgxsim::EvictionKind::kLru),
+    [](const ::testing::TestParamInfo<sgxsim::EvictionKind>& pinfo) {
+      return std::string(sgxsim::to_string(pinfo.param));
+    });
+
+// --- Predictor kinds keep DFP sound ----------------------------------------
+
+class PredictorSweep : public ::testing::TestWithParam<dfp::PredictorKind> {};
+
+TEST_P(PredictorSweep, DfpRunsAndAccountsCorrectly) {
+  const auto t =
+      trace::find_workload("lbm")->make(trace::ref_params(kScale));
+  SimConfig cfg = tiny_platform(Scheme::kDfpStop);
+  cfg.dfp.kind = GetParam();
+  const auto m = simulate(t, cfg);
+  EXPECT_EQ(m.accesses, t.size());
+  EXPECT_GE(m.driver.preloads_issued,
+            m.driver.preloads_completed + m.driver.preloads_aborted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, PredictorSweep,
+    ::testing::Values(dfp::PredictorKind::kMultiStream,
+                      dfp::PredictorKind::kNextN, dfp::PredictorKind::kStride,
+                      dfp::PredictorKind::kMarkov,
+                      dfp::PredictorKind::kTournament),
+    [](const ::testing::TestParamInfo<dfp::PredictorKind>& pinfo) {
+      std::string n = dfp::to_string(pinfo.param);
+      for (auto& ch : n) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace sgxpl::core

@@ -1,0 +1,172 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace sgxpl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(99);
+  const auto first = a.next();
+  a.next();
+  a.reseed(99);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.bounded(1), 0u);
+  }
+}
+
+TEST(Rng, BoundedCoversAllValues) {
+  Rng rng(11);
+  std::array<int, 8> seen{};
+  for (int i = 0; i < 10000; ++i) {
+    ++seen[rng.bounded(8)];
+  }
+  for (int c : seen) {
+    EXPECT_GT(c, 0);
+  }
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Rng rng(5);
+  std::array<int, 10> buckets{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[rng.bounded(10)];
+  }
+  for (int c : buckets) {
+    // Each bucket expects 10000; allow 5 sigma (~sqrt(9000)*5 ≈ 475).
+    EXPECT_NEAR(c, n / 10, 500);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    saw_lo = saw_lo || v == 5;
+    saw_hi = saw_hi || v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double r = rng.real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.chance(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BurstCappedAndAtLeastOne) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const auto b = rng.burst(0.9, 5);
+    EXPECT_GE(b, 1u);
+    EXPECT_LE(b, 5u);
+  }
+  // p = 0 -> always exactly 1.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.burst(0.0, 10), 1u);
+  }
+}
+
+TEST(Zipf, ValuesInRange) {
+  Rng rng(29);
+  ZipfSampler zipf(1000, 0.9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf(rng), 1000u);
+  }
+}
+
+TEST(Zipf, SkewedTowardLowRanks) {
+  Rng rng(31);
+  ZipfSampler zipf(10000, 0.99);
+  int top100 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf(rng) < 100) {
+      ++top100;
+    }
+  }
+  // Zipf(0.99) over 10k items puts far more than the uniform 1% in the top
+  // 100 ranks (analytically ~40%+).
+  EXPECT_GT(top100, n / 5);
+}
+
+TEST(Zipf, SingleElementAlwaysZero) {
+  Rng rng(37);
+  ZipfSampler zipf(1, 0.9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf(rng), 0u);
+  }
+}
+
+TEST(Zipf, RejectsAlphaOne) {
+  EXPECT_THROW(ZipfSampler(10, 1.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace sgxpl

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sip/instrumenter.h"
+#include "sip/pipeline.h"
+#include "sip/profiler.h"
+#include "sip/site_classifier.h"
+#include "trace/generators.h"
+#include "trace/workloads.h"
+
+namespace sgxpl::sip {
+namespace {
+
+constexpr ProcessId kPid{0};
+
+TEST(SiteClassifier, FirstAccessIsIrregular) {
+  SiteClassifier c;
+  EXPECT_EQ(c.classify(kPid, 100), AccessClass::kClass3);
+}
+
+TEST(SiteClassifier, SequentialAccessesAreClass2) {
+  SiteClassifier c;
+  c.classify(kPid, 100);
+  EXPECT_EQ(c.classify(kPid, 101), AccessClass::kClass2);
+  EXPECT_EQ(c.classify(kPid, 102), AccessClass::kClass2);
+}
+
+TEST(SiteClassifier, RepeatedPageIsClass1) {
+  SiteClassifier c;
+  c.classify(kPid, 100);
+  // 100 is now a stream tail: re-touching it is Class 1.
+  EXPECT_EQ(c.classify(kPid, 100), AccessClass::kClass1);
+}
+
+TEST(SiteClassifier, FarJumpIsClass3) {
+  SiteClassifier c;
+  c.classify(kPid, 100);
+  c.classify(kPid, 101);
+  EXPECT_EQ(c.classify(kPid, 5'000), AccessClass::kClass3);
+}
+
+TEST(SiteClassifier, ToStringNames) {
+  EXPECT_STREQ(to_string(AccessClass::kClass1), "class1");
+  EXPECT_STREQ(to_string(AccessClass::kClass2), "class2");
+  EXPECT_STREQ(to_string(AccessClass::kClass3), "class3");
+}
+
+TEST(Profiler, SequentialSiteProfilesAsClass2) {
+  trace::Trace t("t", 10'000);
+  Rng rng(1);
+  trace::seq_scan(t, rng, trace::Region{0, 2'000}, /*site=*/7,
+                  trace::GapModel{.mean = 1, .jitter_pct = 0});
+  const SiteProfile p = profile_trace(t);
+  const auto* c = p.find(7);
+  ASSERT_NE(c, nullptr);
+  EXPECT_LT(c->irregular_ratio(), 0.01);
+  EXPECT_GT(c->class2, c->class3);
+}
+
+TEST(Profiler, RandomSiteProfilesAsClass3) {
+  trace::Trace t("t", 100'000);
+  Rng rng(2);
+  trace::random_access(t, rng, trace::Region{0, 50'000}, 5'000, /*site=*/9,
+                       /*sites=*/1, trace::GapModel{.mean = 1, .jitter_pct = 0});
+  const SiteProfile p = profile_trace(t);
+  const auto* c = p.find(9);
+  ASSERT_NE(c, nullptr);
+  EXPECT_GT(c->irregular_ratio(), 0.9);
+}
+
+TEST(Profiler, CountsPerSiteIndependently) {
+  trace::Trace t("t", 100'000);
+  Rng rng(3);
+  trace::seq_scan(t, rng, trace::Region{0, 1'000}, /*site=*/1,
+                  trace::GapModel{.mean = 1, .jitter_pct = 0});
+  trace::random_access(t, rng, trace::Region{10'000, 80'000}, 2'000,
+                       /*site=*/2, 1,
+                       trace::GapModel{.mean = 1, .jitter_pct = 0});
+  const SiteProfile p = profile_trace(t);
+  EXPECT_EQ(p.sites().size(), 2u);
+  EXPECT_EQ(p.total_accesses(), 3'000u);
+  EXPECT_LT(p.find(1)->irregular_ratio(), 0.05);
+  EXPECT_GT(p.find(2)->irregular_ratio(), 0.9);
+}
+
+TEST(SiteCounters, RatioOfEmptyIsZero) {
+  SiteCounters c;
+  EXPECT_DOUBLE_EQ(c.irregular_ratio(), 0.0);
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(Instrumenter, ThresholdSelectsIrregularSites) {
+  SiteProfile p;
+  for (int i = 0; i < 100; ++i) {
+    p.add(1, AccessClass::kClass2);                              // 0% irr
+    p.add(2, i < 10 ? AccessClass::kClass3 : AccessClass::kClass1);  // 10%
+    p.add(3, AccessClass::kClass3);                              // 100%
+  }
+  const auto plan = build_plan(p, {.irregular_threshold = 0.05,
+                                   .min_profiled_accesses = 8});
+  EXPECT_FALSE(plan.instrumented(1));
+  EXPECT_TRUE(plan.instrumented(2));
+  EXPECT_TRUE(plan.instrumented(3));
+  EXPECT_EQ(plan.points(), 2u);
+}
+
+TEST(Instrumenter, HighThresholdSelectsFewer) {
+  SiteProfile p;
+  for (int i = 0; i < 100; ++i) {
+    p.add(2, i < 10 ? AccessClass::kClass3 : AccessClass::kClass1);
+    p.add(3, AccessClass::kClass3);
+  }
+  const auto strict = build_plan(p, {.irregular_threshold = 0.5,
+                                     .min_profiled_accesses = 8});
+  EXPECT_EQ(strict.points(), 1u);
+  EXPECT_TRUE(strict.instrumented(3));
+}
+
+TEST(Instrumenter, MinAccessesFiltersThinSites) {
+  SiteProfile p;
+  p.add(4, AccessClass::kClass3);  // 100% irregular but only 1 sample
+  const auto plan = build_plan(p, {.irregular_threshold = 0.05,
+                                   .min_profiled_accesses = 8});
+  EXPECT_FALSE(plan.instrumented(4));
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(Instrumenter, PlanOrderIsDeterministic) {
+  SiteProfile p;
+  for (SiteId s = 50; s > 0; --s) {
+    for (int i = 0; i < 10; ++i) {
+      p.add(s, AccessClass::kClass3);
+    }
+  }
+  const auto plan = build_plan(p);
+  ASSERT_EQ(plan.points(), 50u);
+  for (std::size_t i = 1; i < plan.sites().size(); ++i) {
+    EXPECT_LT(plan.sites()[i - 1], plan.sites()[i]);
+  }
+}
+
+TEST(InstrumentationPlan, QueriesOutOfRangeSites) {
+  InstrumentationPlan plan;
+  plan.add_site(5);
+  EXPECT_TRUE(plan.instrumented(5));
+  EXPECT_FALSE(plan.instrumented(4));
+  EXPECT_FALSE(plan.instrumented(10'000'000));
+}
+
+TEST(InstrumentationPlan, AddIsIdempotent) {
+  InstrumentationPlan plan;
+  plan.add_site(5);
+  plan.add_site(5);
+  EXPECT_EQ(plan.points(), 1u);
+}
+
+TEST(Pipeline, SequentialWorkloadGetsNoPoints) {
+  const auto* lbm = trace::find_workload("lbm");
+  ASSERT_NE(lbm, nullptr);
+  const auto result =
+      compile_workload(*lbm, {}, trace::train_params(/*scale=*/0.1));
+  EXPECT_EQ(result.plan.points(), 0u);  // Table 2: lbm = 0
+}
+
+TEST(Pipeline, IrregularWorkloadGetsPoints) {
+  const auto* sjeng = trace::find_workload("deepsjeng");
+  ASSERT_NE(sjeng, nullptr);
+  const auto result =
+      compile_workload(*sjeng, {}, trace::train_params(0.1));
+  EXPECT_GT(result.plan.points(), 0u);
+}
+
+TEST(Pipeline, RejectsUnsupportedWorkload) {
+  const auto* bwaves = trace::find_workload("bwaves");
+  ASSERT_NE(bwaves, nullptr);
+  EXPECT_THROW(compile_workload(*bwaves), CheckFailure);
+}
+
+TEST(Pipeline, MicrobenchmarkGetsNoPoints) {
+  const auto* micro = trace::find_workload("microbenchmark");
+  ASSERT_NE(micro, nullptr);
+  const auto result = compile_workload(*micro, {}, trace::train_params(0.05));
+  EXPECT_EQ(result.plan.points(), 0u);  // Table 2: microbenchmark = 0
+}
+
+}  // namespace
+}  // namespace sgxpl::sip

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace sgxpl {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"long-cell-value", "x"});
+  const std::string out = t.render();
+  // Every rendered line has the same length when columns are padded.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const auto eol = out.find('\n', pos);
+    if (eol == std::string::npos) break;
+    EXPECT_EQ(eol - pos, first_len);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), CheckFailure);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), CheckFailure);
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(TextTable, PctFormatsSigned) {
+  EXPECT_EQ(TextTable::pct(0.114), "+11.4%");
+  EXPECT_EQ(TextTable::pct(-0.042), "-4.2%");
+  EXPECT_EQ(TextTable::pct(0.0), "+0.0%");
+}
+
+}  // namespace
+}  // namespace sgxpl

@@ -1,0 +1,115 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include <sstream>
+
+#include "common/check.h"
+#include "trace/workloads.h"
+
+namespace sgxpl::trace {
+namespace {
+
+TEST(TraceIo, RoundTripThroughStream) {
+  Trace t("unit", 500);
+  t.append({.page = 1, .site = 2, .gap = 3});
+  t.append({.page = 400, .site = 0, .gap = 0});
+  std::stringstream ss;
+  write_trace(ss, t);
+  const Trace back = read_trace(ss);
+  EXPECT_EQ(back.name(), "unit");
+  EXPECT_EQ(back.elrange_pages(), 500u);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.accesses()[0].page, 1u);
+  EXPECT_EQ(back.accesses()[0].site, 2u);
+  EXPECT_EQ(back.accesses()[0].gap, 3u);
+  EXPECT_EQ(back.accesses()[1].page, 400u);
+}
+
+TEST(TraceIo, EmptyNameRoundTrips) {
+  Trace t("", 10);
+  t.append({.page = 0, .site = 0, .gap = 1});
+  std::stringstream ss;
+  write_trace(ss, t);
+  const Trace back = read_trace(ss);
+  EXPECT_EQ(back.name(), "");
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream ss("not a trace\n");
+  EXPECT_THROW(read_trace(ss), CheckFailure);
+}
+
+TEST(TraceIo, RejectsTruncatedBody) {
+  Trace t("x", 10);
+  t.append({.page = 1, .site = 1, .gap = 1});
+  t.append({.page = 2, .site = 1, .gap = 1});
+  std::stringstream ss;
+  write_trace(ss, t);
+  std::string text = ss.str();
+  text.resize(text.size() - 8);  // chop the last record
+  std::stringstream truncated(text);
+  EXPECT_THROW(read_trace(truncated), CheckFailure);
+}
+
+TEST(TraceIo, FileRoundTripOfWorkloadTrace) {
+  const auto* w = find_workload("leela");
+  ASSERT_NE(w, nullptr);
+  const Trace t = w->make(WorkloadParams{.scale = 0.05, .seed = 3});
+  const std::string path = ::testing::TempDir() + "/sgxpl_trace_test.txt";
+  save_trace(path, t);
+  const Trace back = load_trace(path);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); i += 97) {
+    EXPECT_EQ(back.accesses()[i].page, t.accesses()[i].page);
+    EXPECT_EQ(back.accesses()[i].gap, t.accesses()[i].gap);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/path/trace.txt"), CheckFailure);
+}
+
+TEST(TraceIo, MalformedInputsThrowInsteadOfCrashing) {
+  const char* cases[] = {
+      "",                                           // empty
+      "# sgxpl-trace v1\n",                         // header only
+      "# sgxpl-trace v2\nname x\n",                 // wrong version
+      "# sgxpl-trace v1\nelrange_pages 5\n",        // keys out of order
+      "# sgxpl-trace v1\nname x\nelrange_pages 5\naccesses 2\n1 1 1\n",
+      "# sgxpl-trace v1\nname x\nelrange_pages zz\naccesses 0\n",
+  };
+  for (const char* text : cases) {
+    std::stringstream ss(text);
+    EXPECT_THROW(read_trace(ss), CheckFailure) << '"' << text << '"';
+  }
+}
+
+TEST(TraceIo, FuzzedGarbageNeverCrashes) {
+  // Random bytes: the reader must throw CheckFailure, never crash or hang.
+  Rng rng(0xF122);
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    const std::size_t len = rng.bounded(300);
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.range(1, 127)));
+    }
+    std::stringstream ss(garbage);
+    EXPECT_THROW(read_trace(ss), CheckFailure) << "round " << round;
+  }
+}
+
+TEST(TraceIo, HeaderPrefixGarbageBody) {
+  // Valid header, then junk where records should be.
+  std::stringstream ss(
+      "# sgxpl-trace v1\nname g\nelrange_pages 10\naccesses 3\n"
+      "1 1 1\nxyzzy\n");
+  EXPECT_THROW(read_trace(ss), CheckFailure);
+}
+
+}  // namespace
+}  // namespace sgxpl::trace
