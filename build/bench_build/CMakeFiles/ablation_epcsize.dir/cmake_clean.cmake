@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_epcsize"
+  "../bench/ablation_epcsize.pdb"
+  "CMakeFiles/ablation_epcsize.dir/ablation_epcsize.cpp.o"
+  "CMakeFiles/ablation_epcsize.dir/ablation_epcsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_epcsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

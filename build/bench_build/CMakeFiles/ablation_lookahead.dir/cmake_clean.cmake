@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lookahead"
+  "../bench/ablation_lookahead.pdb"
+  "CMakeFiles/ablation_lookahead.dir/ablation_lookahead.cpp.o"
+  "CMakeFiles/ablation_lookahead.dir/ablation_lookahead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_oram"
+  "../bench/ablation_oram.pdb"
+  "CMakeFiles/ablation_oram.dir/ablation_oram.cpp.o"
+  "CMakeFiles/ablation_oram.dir/ablation_oram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_threads"
+  "../bench/ablation_threads.pdb"
+  "CMakeFiles/ablation_threads.dir/ablation_threads.cpp.o"
+  "CMakeFiles/ablation_threads.dir/ablation_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

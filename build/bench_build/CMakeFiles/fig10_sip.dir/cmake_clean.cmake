@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_sip"
+  "../bench/fig10_sip.pdb"
+  "CMakeFiles/fig10_sip.dir/fig10_sip.cpp.o"
+  "CMakeFiles/fig10_sip.dir/fig10_sip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_vision"
+  "../bench/fig11_vision.pdb"
+  "CMakeFiles/fig11_vision.dir/fig11_vision.cpp.o"
+  "CMakeFiles/fig11_vision.dir/fig11_vision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_hybrid.cpp" "bench_build/CMakeFiles/fig12_hybrid.dir/fig12_hybrid.cpp.o" "gcc" "bench_build/CMakeFiles/fig12_hybrid.dir/fig12_hybrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/sgxpl_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sgxpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sip/CMakeFiles/sgxpl_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sgxpl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfp/CMakeFiles/sgxpl_dfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sgxpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_hybrid"
+  "../bench/fig12_hybrid.pdb"
+  "CMakeFiles/fig12_hybrid.dir/fig12_hybrid.cpp.o"
+  "CMakeFiles/fig12_hybrid.dir/fig12_hybrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

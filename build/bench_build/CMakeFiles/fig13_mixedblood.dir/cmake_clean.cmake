@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_mixedblood"
+  "../bench/fig13_mixedblood.pdb"
+  "CMakeFiles/fig13_mixedblood.dir/fig13_mixedblood.cpp.o"
+  "CMakeFiles/fig13_mixedblood.dir/fig13_mixedblood.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mixedblood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_fig4_timelines"
+  "../bench/fig2_fig4_timelines.pdb"
+  "CMakeFiles/fig2_fig4_timelines.dir/fig2_fig4_timelines.cpp.o"
+  "CMakeFiles/fig2_fig4_timelines.dir/fig2_fig4_timelines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fig4_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

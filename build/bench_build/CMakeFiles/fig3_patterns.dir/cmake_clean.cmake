@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_patterns"
+  "../bench/fig3_patterns.pdb"
+  "CMakeFiles/fig3_patterns.dir/fig3_patterns.cpp.o"
+  "CMakeFiles/fig3_patterns.dir/fig3_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

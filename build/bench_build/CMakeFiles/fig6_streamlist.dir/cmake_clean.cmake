@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_streamlist"
+  "../bench/fig6_streamlist.pdb"
+  "CMakeFiles/fig6_streamlist.dir/fig6_streamlist.cpp.o"
+  "CMakeFiles/fig6_streamlist.dir/fig6_streamlist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_streamlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

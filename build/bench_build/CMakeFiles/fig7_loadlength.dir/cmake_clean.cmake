@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_loadlength"
+  "../bench/fig7_loadlength.pdb"
+  "CMakeFiles/fig7_loadlength.dir/fig7_loadlength.cpp.o"
+  "CMakeFiles/fig7_loadlength.dir/fig7_loadlength.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_loadlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_loadlength.
+# This may be replaced when dependencies are built.

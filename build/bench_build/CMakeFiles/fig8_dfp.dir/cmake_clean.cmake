@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_dfp"
+  "../bench/fig8_dfp.pdb"
+  "CMakeFiles/fig8_dfp.dir/fig8_dfp.cpp.o"
+  "CMakeFiles/fig8_dfp.dir/fig8_dfp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

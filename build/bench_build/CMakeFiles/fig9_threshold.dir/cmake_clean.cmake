@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_threshold"
+  "../bench/fig9_threshold.pdb"
+  "CMakeFiles/fig9_threshold.dir/fig9_threshold.cpp.o"
+  "CMakeFiles/fig9_threshold.dir/fig9_threshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation"
+  "../bench/motivation.pdb"
+  "CMakeFiles/motivation.dir/motivation.cpp.o"
+  "CMakeFiles/motivation.dir/motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

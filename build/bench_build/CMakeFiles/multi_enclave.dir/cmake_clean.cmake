@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multi_enclave"
+  "../bench/multi_enclave.pdb"
+  "CMakeFiles/multi_enclave.dir/multi_enclave.cpp.o"
+  "CMakeFiles/multi_enclave.dir/multi_enclave.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

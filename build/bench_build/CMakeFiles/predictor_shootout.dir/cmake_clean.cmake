@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/predictor_shootout"
+  "../bench/predictor_shootout.pdb"
+  "CMakeFiles/predictor_shootout.dir/predictor_shootout.cpp.o"
+  "CMakeFiles/predictor_shootout.dir/predictor_shootout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

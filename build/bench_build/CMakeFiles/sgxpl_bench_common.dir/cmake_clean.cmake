@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxpl_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/sgxpl_bench_common.dir/bench_common.cpp.o.d"
+  "libsgxpl_bench_common.a"
+  "libsgxpl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxpl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

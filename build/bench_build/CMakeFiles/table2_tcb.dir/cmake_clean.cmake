@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_tcb"
+  "../bench/table2_tcb.pdb"
+  "CMakeFiles/table2_tcb.dir/table2_tcb.cpp.o"
+  "CMakeFiles/table2_tcb.dir/table2_tcb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

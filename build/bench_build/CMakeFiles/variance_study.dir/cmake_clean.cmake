@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/variance_study"
+  "../bench/variance_study.pdb"
+  "CMakeFiles/variance_study.dir/variance_study.cpp.o"
+  "CMakeFiles/variance_study.dir/variance_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

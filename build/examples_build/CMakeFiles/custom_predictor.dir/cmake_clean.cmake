@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_predictor"
+  "../examples/custom_predictor.pdb"
+  "CMakeFiles/custom_predictor.dir/custom_predictor.cpp.o"
+  "CMakeFiles/custom_predictor.dir/custom_predictor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/instrumented_app"
+  "../examples/instrumented_app.pdb"
+  "CMakeFiles/instrumented_app.dir/instrumented_app.cpp.o"
+  "CMakeFiles/instrumented_app.dir/instrumented_app.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumented_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

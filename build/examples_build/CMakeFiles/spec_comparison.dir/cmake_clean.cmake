@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/spec_comparison"
+  "../examples/spec_comparison.pdb"
+  "CMakeFiles/spec_comparison.dir/spec_comparison.cpp.o"
+  "CMakeFiles/spec_comparison.dir/spec_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/vision_pipeline"
+  "../examples/vision_pipeline.pdb"
+  "CMakeFiles/vision_pipeline.dir/vision_pipeline.cpp.o"
+  "CMakeFiles/vision_pipeline.dir/vision_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxpl_common.dir/check.cpp.o"
+  "CMakeFiles/sgxpl_common.dir/check.cpp.o.d"
+  "CMakeFiles/sgxpl_common.dir/rng.cpp.o"
+  "CMakeFiles/sgxpl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sgxpl_common.dir/stats.cpp.o"
+  "CMakeFiles/sgxpl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sgxpl_common.dir/table.cpp.o"
+  "CMakeFiles/sgxpl_common.dir/table.cpp.o.d"
+  "libsgxpl_common.a"
+  "libsgxpl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxpl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

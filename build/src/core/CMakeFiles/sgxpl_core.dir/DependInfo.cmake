@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/sgxpl_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/sgxpl_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/sgxpl_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/sgxpl_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/multi_enclave.cpp" "src/core/CMakeFiles/sgxpl_core.dir/multi_enclave.cpp.o" "gcc" "src/core/CMakeFiles/sgxpl_core.dir/multi_enclave.cpp.o.d"
+  "/root/repo/src/core/multi_thread.cpp" "src/core/CMakeFiles/sgxpl_core.dir/multi_thread.cpp.o" "gcc" "src/core/CMakeFiles/sgxpl_core.dir/multi_thread.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/core/CMakeFiles/sgxpl_core.dir/scheme.cpp.o" "gcc" "src/core/CMakeFiles/sgxpl_core.dir/scheme.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/sgxpl_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/sgxpl_core.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sgxpl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sgxpl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfp/CMakeFiles/sgxpl_dfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sip/CMakeFiles/sgxpl_sip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxpl_core.dir/experiment.cpp.o"
+  "CMakeFiles/sgxpl_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/sgxpl_core.dir/metrics.cpp.o"
+  "CMakeFiles/sgxpl_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/sgxpl_core.dir/multi_enclave.cpp.o"
+  "CMakeFiles/sgxpl_core.dir/multi_enclave.cpp.o.d"
+  "CMakeFiles/sgxpl_core.dir/multi_thread.cpp.o"
+  "CMakeFiles/sgxpl_core.dir/multi_thread.cpp.o.d"
+  "CMakeFiles/sgxpl_core.dir/scheme.cpp.o"
+  "CMakeFiles/sgxpl_core.dir/scheme.cpp.o.d"
+  "CMakeFiles/sgxpl_core.dir/simulator.cpp.o"
+  "CMakeFiles/sgxpl_core.dir/simulator.cpp.o.d"
+  "libsgxpl_core.a"
+  "libsgxpl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxpl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfp/dfp_engine.cpp" "src/dfp/CMakeFiles/sgxpl_dfp.dir/dfp_engine.cpp.o" "gcc" "src/dfp/CMakeFiles/sgxpl_dfp.dir/dfp_engine.cpp.o.d"
+  "/root/repo/src/dfp/predictors.cpp" "src/dfp/CMakeFiles/sgxpl_dfp.dir/predictors.cpp.o" "gcc" "src/dfp/CMakeFiles/sgxpl_dfp.dir/predictors.cpp.o.d"
+  "/root/repo/src/dfp/preloaded_page_list.cpp" "src/dfp/CMakeFiles/sgxpl_dfp.dir/preloaded_page_list.cpp.o" "gcc" "src/dfp/CMakeFiles/sgxpl_dfp.dir/preloaded_page_list.cpp.o.d"
+  "/root/repo/src/dfp/stream_predictor.cpp" "src/dfp/CMakeFiles/sgxpl_dfp.dir/stream_predictor.cpp.o" "gcc" "src/dfp/CMakeFiles/sgxpl_dfp.dir/stream_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sgxpl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

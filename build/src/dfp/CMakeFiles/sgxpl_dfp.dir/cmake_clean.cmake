@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxpl_dfp.dir/dfp_engine.cpp.o"
+  "CMakeFiles/sgxpl_dfp.dir/dfp_engine.cpp.o.d"
+  "CMakeFiles/sgxpl_dfp.dir/predictors.cpp.o"
+  "CMakeFiles/sgxpl_dfp.dir/predictors.cpp.o.d"
+  "CMakeFiles/sgxpl_dfp.dir/preloaded_page_list.cpp.o"
+  "CMakeFiles/sgxpl_dfp.dir/preloaded_page_list.cpp.o.d"
+  "CMakeFiles/sgxpl_dfp.dir/stream_predictor.cpp.o"
+  "CMakeFiles/sgxpl_dfp.dir/stream_predictor.cpp.o.d"
+  "libsgxpl_dfp.a"
+  "libsgxpl_dfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxpl_dfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

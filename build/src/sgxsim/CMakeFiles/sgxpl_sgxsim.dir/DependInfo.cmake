@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgxsim/backing_store.cpp" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/backing_store.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/backing_store.cpp.o.d"
+  "/root/repo/src/sgxsim/bitmap.cpp" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/bitmap.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/bitmap.cpp.o.d"
+  "/root/repo/src/sgxsim/cost_model.cpp" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/cost_model.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sgxsim/driver.cpp" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/driver.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/driver.cpp.o.d"
+  "/root/repo/src/sgxsim/epc.cpp" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/epc.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/epc.cpp.o.d"
+  "/root/repo/src/sgxsim/event_log.cpp" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/event_log.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/event_log.cpp.o.d"
+  "/root/repo/src/sgxsim/eviction.cpp" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/eviction.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/eviction.cpp.o.d"
+  "/root/repo/src/sgxsim/page_table.cpp" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/page_table.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/page_table.cpp.o.d"
+  "/root/repo/src/sgxsim/paging_channel.cpp" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/paging_channel.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sgxpl_sgxsim.dir/paging_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sgxpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

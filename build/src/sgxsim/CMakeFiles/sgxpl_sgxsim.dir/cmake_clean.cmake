@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxpl_sgxsim.dir/backing_store.cpp.o"
+  "CMakeFiles/sgxpl_sgxsim.dir/backing_store.cpp.o.d"
+  "CMakeFiles/sgxpl_sgxsim.dir/bitmap.cpp.o"
+  "CMakeFiles/sgxpl_sgxsim.dir/bitmap.cpp.o.d"
+  "CMakeFiles/sgxpl_sgxsim.dir/cost_model.cpp.o"
+  "CMakeFiles/sgxpl_sgxsim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sgxpl_sgxsim.dir/driver.cpp.o"
+  "CMakeFiles/sgxpl_sgxsim.dir/driver.cpp.o.d"
+  "CMakeFiles/sgxpl_sgxsim.dir/epc.cpp.o"
+  "CMakeFiles/sgxpl_sgxsim.dir/epc.cpp.o.d"
+  "CMakeFiles/sgxpl_sgxsim.dir/event_log.cpp.o"
+  "CMakeFiles/sgxpl_sgxsim.dir/event_log.cpp.o.d"
+  "CMakeFiles/sgxpl_sgxsim.dir/eviction.cpp.o"
+  "CMakeFiles/sgxpl_sgxsim.dir/eviction.cpp.o.d"
+  "CMakeFiles/sgxpl_sgxsim.dir/page_table.cpp.o"
+  "CMakeFiles/sgxpl_sgxsim.dir/page_table.cpp.o.d"
+  "CMakeFiles/sgxpl_sgxsim.dir/paging_channel.cpp.o"
+  "CMakeFiles/sgxpl_sgxsim.dir/paging_channel.cpp.o.d"
+  "libsgxpl_sgxsim.a"
+  "libsgxpl_sgxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxpl_sgxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

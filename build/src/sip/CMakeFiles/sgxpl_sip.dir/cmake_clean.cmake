@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxpl_sip.dir/instrumenter.cpp.o"
+  "CMakeFiles/sgxpl_sip.dir/instrumenter.cpp.o.d"
+  "CMakeFiles/sgxpl_sip.dir/pipeline.cpp.o"
+  "CMakeFiles/sgxpl_sip.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sgxpl_sip.dir/profiler.cpp.o"
+  "CMakeFiles/sgxpl_sip.dir/profiler.cpp.o.d"
+  "CMakeFiles/sgxpl_sip.dir/site_classifier.cpp.o"
+  "CMakeFiles/sgxpl_sip.dir/site_classifier.cpp.o.d"
+  "libsgxpl_sip.a"
+  "libsgxpl_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxpl_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

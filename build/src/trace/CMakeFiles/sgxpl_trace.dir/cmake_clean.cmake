@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxpl_trace.dir/access.cpp.o"
+  "CMakeFiles/sgxpl_trace.dir/access.cpp.o.d"
+  "CMakeFiles/sgxpl_trace.dir/generators.cpp.o"
+  "CMakeFiles/sgxpl_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/sgxpl_trace.dir/synthetic_apps.cpp.o"
+  "CMakeFiles/sgxpl_trace.dir/synthetic_apps.cpp.o.d"
+  "CMakeFiles/sgxpl_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/sgxpl_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/sgxpl_trace.dir/workloads.cpp.o"
+  "CMakeFiles/sgxpl_trace.dir/workloads.cpp.o.d"
+  "libsgxpl_trace.a"
+  "libsgxpl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxpl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

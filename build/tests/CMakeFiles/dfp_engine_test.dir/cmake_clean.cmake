@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_engine_test.dir/dfp_engine_test.cpp.o"
+  "CMakeFiles/dfp_engine_test.dir/dfp_engine_test.cpp.o.d"
+  "dfp_engine_test"
+  "dfp_engine_test.pdb"
+  "dfp_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

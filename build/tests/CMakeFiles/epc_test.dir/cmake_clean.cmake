@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epc_test.dir/epc_test.cpp.o"
+  "CMakeFiles/epc_test.dir/epc_test.cpp.o.d"
+  "epc_test"
+  "epc_test.pdb"
+  "epc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

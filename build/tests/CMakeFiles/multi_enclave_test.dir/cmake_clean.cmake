@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_enclave_test.dir/multi_enclave_test.cpp.o"
+  "CMakeFiles/multi_enclave_test.dir/multi_enclave_test.cpp.o.d"
+  "multi_enclave_test"
+  "multi_enclave_test.pdb"
+  "multi_enclave_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_enclave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

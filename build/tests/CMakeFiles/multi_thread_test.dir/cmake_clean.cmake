@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_thread_test.dir/multi_thread_test.cpp.o"
+  "CMakeFiles/multi_thread_test.dir/multi_thread_test.cpp.o.d"
+  "multi_thread_test"
+  "multi_thread_test.pdb"
+  "multi_thread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paging_channel_test.dir/paging_channel_test.cpp.o"
+  "CMakeFiles/paging_channel_test.dir/paging_channel_test.cpp.o.d"
+  "paging_channel_test"
+  "paging_channel_test.pdb"
+  "paging_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paging_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

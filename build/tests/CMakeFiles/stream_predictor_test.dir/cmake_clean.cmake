@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_predictor_test.dir/stream_predictor_test.cpp.o"
+  "CMakeFiles/stream_predictor_test.dir/stream_predictor_test.cpp.o.d"
+  "stream_predictor_test"
+  "stream_predictor_test.pdb"
+  "stream_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
