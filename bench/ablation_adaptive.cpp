@@ -10,8 +10,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("ablation_adaptive",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_adaptive",
                       "Fig. 7 extension: fixed LOADLENGTH vs AIMD-adaptive "
                       "depth (DFP-stop improvement)");
 
@@ -40,9 +40,9 @@ int main() {
         TextTable::pct(c.find(core::Scheme::kDfpStop)->improvement));
     tbl.add_row(std::move(row));
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nThe adaptive controller should track the best fixed "
                "column per row — deep for streams,\nshallow for bait-heavy "
                "irregular workloads — without per-workload tuning.\n";
-  return 0;
+  return bench::finish();
 }

@@ -23,8 +23,8 @@ double dfp_improvement(const std::string& workload, const core::SimConfig& cfg,
 
 }  // namespace
 
-int main() {
-  bench::print_header("ablation_channel",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_channel",
                       "§5.6 design-constraint ablations on DFP (improvement "
                       "over no-preloading baseline)");
 
@@ -63,7 +63,7 @@ int main() {
                  TextTable::pct(flush), TextTable::pct(ff),
                  TextTable::pct(nodis), TextTable::pct(fwd)});
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout
       << "\nReading: an idealized parallel channel lifts the regular "
          "workloads far beyond what the real\nserialized, non-preemptible "
@@ -72,5 +72,5 @@ int main() {
          "workloads: mispredicted batches sit\nin front of every demand "
          "fault. Flushing on every fault (flush-all) over-cancels useful\n"
          "preloads on regular workloads.\n";
-  return 0;
+  return bench::finish();
 }

@@ -10,8 +10,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("ablation_epcsize",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_epcsize",
                       "related-work extension: enclave slowdown and "
                       "DFP-stop gain vs usable EPC size");
 
@@ -56,11 +56,11 @@ int main() {
     tbl.add_row(std::move(slow_row));
     tbl.add_row(std::move(gain_row));
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nOnce the EPC swallows the working set only cold faults "
                "remain: the enclave tax collapses\nand preloading has "
                "nothing left to hide — quantifying how a bigger EPC "
                "(VAULT-style) and\npreloading attack the same cycles from "
                "opposite ends.\n";
-  return 0;
+  return bench::finish();
 }

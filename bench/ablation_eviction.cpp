@@ -10,8 +10,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("ablation_eviction",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_eviction",
                       "EPC reclaim policy vs preloading (baseline for each "
                       "cell: same policy without preloading)");
 
@@ -40,9 +40,9 @@ int main() {
     }
     tbl.add_row(std::move(row));
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nEach cell compares DFP-stop against a baseline running "
                "the same eviction policy, isolating\nthe preloading gain "
                "from raw replacement quality.\n";
-  return 0;
+  return bench::finish();
 }

@@ -11,8 +11,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header(
+int main(int argc, char** argv) {
+  bench::init(argc, argv,
       "ablation_lookahead",
       "§3.2/Fig. 4 extension: SIP improvement vs notification hoisting "
       "distance (0 = paper's conservative placement)");
@@ -39,12 +39,12 @@ int main() {
     }
     tbl.add_row(std::move(row));
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout
       << "\nL accesses of compute must cover one ~48k-cycle load for the "
          "prefetch to fully hide; below\nthat the access faults into the "
          "in-flight load (partial win: the AEX window overlaps the\n"
          "load tail). The paper's conservative L=0 is the safe floor; the "
          "sweep shows what a hoisting\ncompiler pass would buy.\n";
-  return 0;
+  return bench::finish();
 }

@@ -16,8 +16,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("ablation_oram",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_oram",
                       "§3.1 extension: preloading under Path-ORAM access "
                       "patterns (unpredictable by design)");
 
@@ -38,7 +38,7 @@ int main() {
                  std::to_string(r.metrics.dfp_predictor_hits),
                  std::to_string(r.metrics.sip_requests)});
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nbaseline: " << c.baseline.enclave_faults
             << " faults over " << c.baseline.accesses
             << " bucket accesses; SIP instrumented " << c.sip_points
@@ -46,5 +46,5 @@ int main() {
             << "Expected shape: DFP ~0 (nothing to predict; top tree levels "
                "stay resident anyway), SIP\nrecovers the AEX+ERESUME share "
                "of every lower-level fault, hybrid == SIP.\n";
-  return 0;
+  return bench::finish();
 }

@@ -34,8 +34,8 @@ trace::Trace noise_thread(PageNum elrange, std::uint64_t accesses,
 
 }  // namespace
 
-int main() {
-  bench::print_header("ablation_threads",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "ablation_threads",
                       "§3.1: per-thread vs pooled fault histories in a "
                       "multi-threaded enclave");
 
@@ -73,7 +73,7 @@ int main() {
                    std::to_string(r.driver.preloads_used)});
     }
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nThe scanning threads are the beneficiaries; the random "
                "prober mostly pays (its demand faults\nqueue behind "
                "preloads). With a pooled history and a short list, the "
@@ -81,5 +81,5 @@ int main() {
                "the gains vanish — the paper keys the history per thread "
                "so that a\nnoisy neighbour thread cannot blind the "
                "predictor.\n";
-  return 0;
+  return bench::finish();
 }

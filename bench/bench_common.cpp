@@ -3,9 +3,41 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "obs/time_series.h"
+#include "obs/trace_export.h"
 #include "sgxsim/epc.h"
 
 namespace sgxpl::bench {
+
+namespace {
+
+struct RecordedTable {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct HarnessState {
+  std::string bench;
+  std::string reproduces;
+  std::string json_path;
+  std::string trace_path;
+  std::vector<RecordedTable> tables;
+  std::vector<std::pair<std::string, double>> scalars;
+  std::vector<std::pair<std::string, std::string>> notes;
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesSet series;
+  obs::EventLog event_log{1 << 16};
+};
+
+HarnessState& state() {
+  static HarnessState s;
+  return s;
+}
+
+}  // namespace
 
 double bench_scale() {
   if (const char* env = std::getenv("SGXPL_SCALE")) {
@@ -24,6 +56,14 @@ core::SimConfig bench_platform(core::Scheme scheme) {
     cfg.enclave.epc_pages = static_cast<PageNum>(
         static_cast<double>(sgxsim::kDefaultEpcPages) * s);
   }
+  auto& st = state();
+  if (!st.json_path.empty()) {
+    cfg.registry = &st.registry;
+  }
+  if (!st.trace_path.empty()) {
+    cfg.event_log = &st.event_log;
+    cfg.timeseries = &st.series;
+  }
   return cfg;
 }
 
@@ -32,12 +72,134 @@ core::ExperimentOptions bench_options() {
   return core::ExperimentOptions{.scale = s, .train_scale = 0.35 * s};
 }
 
-void print_header(const std::string& bench, const std::string& reproduces) {
+void init(int argc, char** argv, const std::string& bench,
+          const std::string& reproduces) {
+  auto& st = state();
+  st.bench = bench;
+  st.reproduces = reproduces;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " requires a path\n";
+        std::exit(2);
+      }
+      (arg == "--json" ? st.json_path : st.trace_path) = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << bench
+                << " [--json <out.json>] [--trace <out-trace.json>]\n"
+                   "SGXPL_SCALE=<s> scales workloads (default 1.0).\n";
+      std::exit(0);
+    } else {
+      std::cerr << "warning: unknown argument '" << arg << "' (ignored)\n";
+    }
+  }
   std::cout << "=== " << bench << " ===\n"
             << "Reproduces: " << reproduces << "\n"
             << "Scale: " << bench_scale()
             << " (EPC " << bench_platform().enclave.epc_pages << " pages; "
             << "set SGXPL_SCALE to change)\n\n";
+}
+
+void print_table(const std::string& name, const TextTable& tbl) {
+  std::cout << tbl.render();
+  auto& st = state();
+  std::string unique = name;
+  int n = 1;
+  for (const auto& t : st.tables) {
+    if (t.name == name) {
+      unique = name + "." + std::to_string(++n);
+    }
+  }
+  st.tables.push_back(RecordedTable{unique, tbl.header(), tbl.row_data()});
+}
+
+void add_scalar(const std::string& name, double value) {
+  state().scalars.emplace_back(name, value);
+}
+
+void add_note(const std::string& name, const std::string& text) {
+  state().notes.emplace_back(name, text);
+}
+
+obs::MetricsRegistry& registry() { return state().registry; }
+
+namespace {
+
+std::string result_document() {
+  const auto& st = state();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "sgxpl-bench-result/v1")
+      .kv("bench", st.bench)
+      .kv("reproduces", st.reproduces)
+      .kv("scale", bench_scale())
+      .kv("epc_pages",
+          static_cast<std::uint64_t>(bench_platform().enclave.epc_pages));
+  w.key("tables").begin_array();
+  for (const auto& t : st.tables) {
+    w.begin_object();
+    w.kv("name", t.name);
+    w.key("columns").begin_array();
+    for (const auto& c : t.columns) {
+      w.value(c);
+    }
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : t.rows) {
+      w.begin_array();
+      for (const auto& cell : row) {
+        w.value(cell);
+      }
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("scalars").begin_object();
+  for (const auto& [name, v] : st.scalars) {
+    w.kv(name, v);
+  }
+  w.end_object();
+  w.key("notes").begin_object();
+  for (const auto& [name, text] : st.notes) {
+    w.kv(name, text);
+  }
+  w.end_object();
+  w.key("metrics");
+  st.registry.write_json(w);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+int finish() {
+  auto& st = state();
+  int rc = 0;
+  std::string err;
+  if (!st.json_path.empty()) {
+    if (obs::write_file(st.json_path, result_document(), &err)) {
+      std::cout << "\n[wrote JSON results to " << st.json_path << "]\n";
+    } else {
+      std::cerr << "error: " << err << '\n';
+      rc = 1;
+    }
+  }
+  if (!st.trace_path.empty()) {
+    obs::TraceExporter exp;
+    exp.add_events(st.event_log, /*pid=*/0, st.bench);
+    exp.add_time_series(st.series);
+    if (exp.write(st.trace_path, &err)) {
+      std::cout << "[wrote Perfetto trace (" << exp.size() << " events) to "
+                << st.trace_path << "]\n";
+    } else {
+      std::cerr << "error: " << err << '\n';
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 std::string fmt_improvement(std::optional<double> v) {

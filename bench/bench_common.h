@@ -6,6 +6,15 @@
 // cycles), so the *shape* — who wins, by roughly what factor, where the
 // crossovers fall — is the comparison target, not wall-clock equality.
 //
+// Harness flags (every bench main forwards argc/argv to bench::init):
+//   --json <path>   on finish(), write a machine-readable result document:
+//                   every printed table, recorded scalar, note, and the
+//                   metrics-registry dump (schema: sgxpl-bench-result/v1,
+//                   see docs/OBSERVABILITY.md)
+//   --trace <path>  attach an event log + time-series sampler to the runs
+//                   and write a Chrome/Perfetto trace of the *last*
+//                   simulation on finish()
+//
 // Environment:
 //   SGXPL_SCALE  scale factor for workload footprints/lengths (default 1.0,
 //                the paper-sized runs; use e.g. 0.2 for a quick pass).
@@ -18,6 +27,7 @@
 #include "common/table.h"
 #include "core/experiment.h"
 #include "core/scheme.h"
+#include "obs/metrics.h"
 
 namespace sgxpl::bench {
 
@@ -25,14 +35,35 @@ namespace sgxpl::bench {
 double bench_scale();
 
 /// paper_platform() with the EPC scaled alongside the workload footprints,
-/// so footprint:EPC ratios match the paper at any scale.
+/// so footprint:EPC ratios match the paper at any scale — and with the
+/// harness's observability sinks attached when --json/--trace asked for
+/// them (null otherwise: performance runs pay nothing).
 core::SimConfig bench_platform(core::Scheme scheme = core::Scheme::kBaseline);
 
 /// Experiment options matching bench_scale().
 core::ExperimentOptions bench_options();
 
-/// Prints the standard bench header (name, what it reproduces, scale).
-void print_header(const std::string& bench, const std::string& reproduces);
+/// Parse harness flags, remember the bench identity, and print the
+/// standard header. Call first in main, forwarding argc/argv.
+void init(int argc, char** argv, const std::string& bench,
+          const std::string& reproduces);
+
+/// Print `tbl` to stdout and record it (under `name`, made unique if
+/// reused) in the --json result document.
+void print_table(const std::string& name, const TextTable& tbl);
+
+/// Record a headline scalar in the --json result document (e.g. the
+/// bench's average-improvement number). Does not print.
+void add_scalar(const std::string& name, double value);
+
+/// Record a free-form note (e.g. a rendered timeline) in the result doc.
+void add_note(const std::string& name, const std::string& text);
+
+/// The harness metrics registry (always usable; only exported with --json).
+obs::MetricsRegistry& registry();
+
+/// Flush --json/--trace outputs. Benches end with `return bench::finish();`.
+int finish();
 
 /// Formats "+11.4%" or "-" for a missing value.
 std::string fmt_improvement(std::optional<double> v);

@@ -25,8 +25,8 @@ std::optional<double> paper_value(const std::string& name) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("fig10_sip",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig10_sip",
                       "Fig. 10: SIP improvement per C/C++ benchmark "
                       "(train-input profile, ref-input run)");
 
@@ -50,10 +50,10 @@ int main() {
                  TextTable::pct(fault_red), TextTable::pct(sip->improvement),
                  bench::fmt_improvement(paper_value(name))});
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nPaper: deepsjeng/mcf.2006 cut page faults by >70% after "
                "SIP; mcf's gains on Class-3 accesses\nare offset by check "
                "overhead on Class-1 hits (train->ref drift), lbm/micro have "
                "nothing to instrument.\n";
-  return 0;
+  return bench::finish();
 }

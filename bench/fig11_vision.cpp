@@ -8,8 +8,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("fig11_vision",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig11_vision",
                       "Fig. 11: SIFT and MSER under DFP and SIP "
                       "(paper: SIFT +9.5% w/ DFP, MSER +3.0% w/ SIP)");
 
@@ -34,8 +34,8 @@ int main() {
                    TextTable::pct(r.improvement), paper});
     }
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nSIFT's pyramid passes stream (DFP's case); MSER's "
                "union-find walks are irregular (SIP's case).\n";
-  return 0;
+  return bench::finish();
 }

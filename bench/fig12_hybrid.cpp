@@ -9,8 +9,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("fig12_hybrid",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig12_hybrid",
                       "Fig. 12: normalized time of SIP, DFP, and SIP+DFP "
                       "(baseline = no preloading)");
 
@@ -31,9 +31,9 @@ int main() {
                  bench::fmt_normalized(hybrid),
                  hybrid <= best + 0.02 ? "yes" : "no"});
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nLower is better. Paper shape: hybrid tracks the better "
                "scheme; combining never hurts much\n(worst case mcf ~ -4.2% "
                "average overhead).\n";
-  return 0;
+  return bench::finish();
 }

@@ -8,8 +8,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("fig13_mixedblood",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig13_mixedblood",
                       "Fig. 13: mixed-blood under SIP, DFP, and SIP+DFP "
                       "(paper: +1.6% / +6.0% / +7.1%)");
 
@@ -29,7 +29,7 @@ int main() {
   row(core::Scheme::kSip, "+1.6%");
   row(core::Scheme::kDfpStop, "+6.0%");
   row(core::Scheme::kHybrid, "+7.1%");
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
 
   const bool hybrid_wins =
       c.find(core::Scheme::kHybrid)->improvement >
@@ -39,5 +39,5 @@ int main() {
   std::cout << "\nHybrid beats both individual schemes: "
             << (hybrid_wins ? "yes (matches the paper)" : "NO (mismatch!)")
             << '\n';
-  return 0;
+  return bench::finish();
 }

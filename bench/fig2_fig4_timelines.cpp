@@ -42,8 +42,8 @@ Cycles run_fig2(Driver& d, Cycles gap, Cycles start) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("fig2_fig4_timelines",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig2_fig4_timelines",
                       "Figs. 2 and 4: event timelines of the baseline vs "
                       "DFP and vs SIP on the figures' scenarios");
   const CostModel costs;  // the paper's constants
@@ -60,6 +60,8 @@ int main() {
     const Cycles elapsed = run_fig2(d, gap, setup.completion);
     std::cout << "Fig. 2 Baseline (pages 2-4 each pay AEX+load+ERESUME):\n"
               << log.render() << "  elapsed: " << elapsed << " cycles\n\n";
+    bench::add_note("fig2_baseline", log.render());
+    bench::add_scalar("fig2_baseline_cycles", static_cast<double>(elapsed));
   }
 
   // ---------------- Fig. 2: DFP -----------------
@@ -77,6 +79,8 @@ int main() {
     std::cout << "Fig. 2 DFP (fault on page 2 triggers preloads of 3-6; "
                  "pages 3 and 4 arrive early):\n"
               << log.render() << "  elapsed: " << elapsed << " cycles\n\n";
+    bench::add_note("fig2_dfp", log.render());
+    bench::add_scalar("fig2_dfp_cycles", static_cast<double>(elapsed));
   }
 
   // ---------------- Fig. 4: baseline vs SIP -----------------
@@ -89,6 +93,9 @@ int main() {
               << log.render() << "  access completes at t=" << out.completion
               << "  (AEX " << costs.aex << " + load " << costs.epc_load
               << " + ERESUME " << costs.eresume << ")\n\n";
+    bench::add_note("fig4_baseline", log.render());
+    bench::add_scalar("fig4_baseline_cycles",
+                      static_cast<double>(out.completion));
   }
   {
     Driver d(tiny_enclave(), costs);
@@ -104,11 +111,14 @@ int main() {
               << "  (check " << costs.bitmap_check << " + load "
               << costs.epc_load << " + notification "
               << costs.sip_notification << ")\n\n";
+    bench::add_note("fig4_sip", log.render());
+    bench::add_scalar("fig4_sip_cycles", static_cast<double>(out.completion));
     const Cycles saving =
         costs.aex + costs.eresume - costs.bitmap_check - costs.sip_notification;
     std::cout << "Per-converted-fault benefit (Fig. 4): t_AEX + t_ERESUME - "
                  "t_notification = "
               << saving << " cycles\n";
+    bench::add_scalar("fig4_saving_cycles", static_cast<double>(saving));
   }
-  return 0;
+  return bench::finish();
 }

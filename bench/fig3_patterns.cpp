@@ -42,8 +42,8 @@ void sketch(const trace::Trace& t) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("fig3_patterns",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig3_patterns",
                       "Fig. 3: page access patterns of bwaves (a), deepsjeng "
                       "(b), lbm (c)");
 
@@ -66,7 +66,8 @@ int main() {
                  TextTable::fmt(s.sequential_fraction, 3),
                  TextTable::fmt(s.recent_reuse_fraction, 3), r.paper});
   }
-  std::cout << tbl.render() << '\n';
+  bench::print_table("results", tbl);
+  std::cout << '\n';
 
   for (const char* name : {"bwaves", "deepsjeng", "lbm"}) {
     const auto* w = trace::find_workload(name);
@@ -74,5 +75,5 @@ int main() {
     sketch(w->make(trace::ref_params(std::min(scale, 0.2))));
     std::cout << '\n';
   }
-  return 0;
+  return bench::finish();
 }

@@ -9,8 +9,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("fig6_streamlist",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig6_streamlist",
                       "Fig. 6: lbm + bwaves execution time vs stream_list "
                       "length (paper optimum ~30)");
 
@@ -43,7 +43,7 @@ int main() {
                  std::to_string(rows[i][1]), std::to_string(rows[i][2]),
                  TextTable::fmt(static_cast<double>(rows[i][2]) / best, 4)});
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
 
   // The knee: the smallest length within 0.05% of the best combined time
   // (longer lists buy nothing; shorter ones lose streams to LRU churn).
@@ -56,5 +56,5 @@ int main() {
   }
   std::cout << "\nCombined curve flattens from length " << knee
             << " (paper: ~30; DFP default 30).\n";
-  return 0;
+  return bench::finish();
 }

@@ -8,8 +8,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header(
+int main(int argc, char** argv) {
+  bench::init(argc, argv,
       "fig7_loadlength",
       "Fig. 7: normalized time vs LOADLENGTH (baseline = no preloading); "
       "paper picks 4");
@@ -37,10 +37,10 @@ int main() {
     }
     tbl.add_row(std::move(row));
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nPaper shape: irregular benchmarks (mcf, deepsjeng, roms) "
                "degrade as LOADLENGTH grows past 4;\nregular ones are flat "
                "or improve slightly. Values are normalized to the "
                "no-preloading baseline (lower is better).\n";
-  return 0;
+  return bench::finish();
 }

@@ -22,8 +22,8 @@ std::optional<double> paper_value(const std::string& name) {
 
 }  // namespace
 
-int main() {
-  bench::print_header(
+int main(int argc, char** argv) {
+  bench::init(argc, argv,
       "fig8_dfp",
       "Fig. 8: DFP / DFP-stop improvement per benchmark (positive = faster)");
 
@@ -55,17 +55,23 @@ int main() {
           stop->improvement < 0.0 ? -stop->improvement : 0.0);
     }
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
 
   std::cout << "\nRegular-benchmark average improvement: "
             << TextTable::pct(arithmetic_mean(regular_improvements))
             << "  (paper: +11.4%)\n";
+  bench::add_scalar("regular_avg_improvement",
+                    arithmetic_mean(regular_improvements));
   if (!irregular_dfp.empty()) {
     std::cout << "Irregular-benchmark average overhead: DFP "
               << TextTable::pct(arithmetic_mean(irregular_dfp))
               << " -> DFP-stop "
               << TextTable::pct(arithmetic_mean(irregular_stop))
               << "  (paper: 38.52% -> 2.82%)\n";
+    bench::add_scalar("irregular_avg_overhead_dfp",
+                      arithmetic_mean(irregular_dfp));
+    bench::add_scalar("irregular_avg_overhead_dfp_stop",
+                      arithmetic_mean(irregular_stop));
   }
-  return 0;
+  return bench::finish();
 }

@@ -9,8 +9,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("fig9_threshold",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "fig9_threshold",
                       "Fig. 9: deepsjeng time vs SIP instrumentation "
                       "threshold (paper sweet spot ~5%)");
 
@@ -39,11 +39,13 @@ int main() {
         best_thr = thr;
       }
     }
-    std::cout << workload << ":\n" << tbl.render();
+    std::cout << workload << ":\n";
+    bench::print_table(workload, tbl);
+    bench::add_scalar(std::string(workload) + ".best_threshold", best_thr);
     std::cout << "best threshold: " << TextTable::pct(best_thr)
               << " (paper: ~5%)\n\n";
   }
   std::cout << "Too low = checks on hot accesses that never fault; too high "
                "= misses the irregular\ninstructions worth instrumenting.\n";
-  return 0;
+  return bench::finish();
 }

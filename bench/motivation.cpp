@@ -12,8 +12,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header(
+int main(int argc, char** argv) {
+  bench::init(argc, argv,
       "motivation",
       "paper §1/§2: in-enclave slowdown of the 1 GiB scan + fault cost"
       " decomposition");
@@ -36,7 +36,8 @@ int main() {
                   std::to_string(costs.fault_cost_max()), "~64,000"});
   decomp.add_row({"native page fault", std::to_string(costs.native_fault),
                   "~2,000"});
-  std::cout << decomp.render() << '\n';
+  bench::print_table("results", decomp);
+  std::cout << '\n';
 
   const auto* micro = trace::find_workload("microbenchmark");
   const auto t = micro->make(trace::ref_params(bench::bench_scale()));
@@ -58,8 +59,8 @@ int main() {
   tbl.add_row({"SGX enclave (96 MiB EPC)", std::to_string(enclave.total_cycles),
                std::to_string(enclave.enclave_faults),
                TextTable::fmt(slowdown, 1) + "x"});
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nPaper reports ~46x for this scan; the gap is dominated by\n"
                "the fault-handling cycles the table above decomposes.\n";
-  return 0;
+  return bench::finish();
 }

@@ -10,8 +10,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("multi_enclave",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "multi_enclave",
                       "§5.6: two enclaves sharing one EPC + paging channel "
                       "(per-enclave preloading still pays)");
 
@@ -56,11 +56,11 @@ int main() {
                    std::to_string(shd.total_cycles), TextTable::pct(gain)});
     }
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\n\"DFP gain\" compares shared-EPC DFP-stop against the "
                "shared-EPC baseline: preloading keeps\npaying under "
                "contention, as §5.6 argues, while the contention itself "
                "(solo -> shared slowdown)\nis the unsolved fairness problem "
                "the paper defers to cache-partitioning work.\n";
-  return 0;
+  return bench::finish();
 }

@@ -11,8 +11,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("predictor_shootout",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "predictor_shootout",
                       "§4.1 extension: DFP improvement per predictor "
                       "(stop valve enabled; positive = faster)");
 
@@ -41,12 +41,12 @@ int main() {
     }
     tbl.add_row(std::move(row));
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nReading: the paper's multi-stream predictor leads on "
                "sequential workloads; wrf's strided\nsweeps belong to the "
                "stride predictor; next-n pays for its unconditional "
                "aggression on\nirregular workloads until the stop valve "
                "kills it; the tournament tracks the per-workload\nwinner "
                "without knowing it in advance.\n";
-  return 0;
+  return bench::finish();
 }

@@ -25,8 +25,8 @@ const char* measured_class(bool small, double used_ratio, double coverage) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("table1_classes",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "table1_classes",
                       "Table 1: benchmark classification (measured footprint "
                       "+ fault-stream regularity)");
 
@@ -80,8 +80,8 @@ int main() {
                  TextTable::fmt(used_ratio, 2), TextTable::fmt(coverage, 2),
                  measured, paper, match ? "yes" : "NO"});
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nMeasured classification matches the paper's Table 1 for "
             << matches << "/" << total << " benchmarks.\n";
-  return 0;
+  return bench::finish();
 }

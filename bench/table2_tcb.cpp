@@ -28,8 +28,8 @@ std::optional<int> paper_points(const std::string& name) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("table2_tcb",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "table2_tcb",
                       "Table 2: SIP instrumentation points per benchmark "
                       "(TCB growth)");
 
@@ -46,9 +46,9 @@ int main() {
     tbl.add_row({name, std::to_string(compiled.plan.points()),
                  paper ? std::to_string(*paper) : "-"});
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nThe notification function itself is a fixed ~23 lines of "
                "C; TCB growth is bounded by these site counts.\nDFP adds "
                "nothing to the TCB (it runs entirely in the untrusted OS).\n";
-  return 0;
+  return bench::finish();
 }

@@ -10,8 +10,8 @@
 
 using namespace sgxpl;
 
-int main() {
-  bench::print_header("variance_study",
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "variance_study",
                       "§5 methodology: 5-input mean ± stddev of the headline "
                       "improvements");
 
@@ -44,9 +44,9 @@ int main() {
                  TextTable::fmt(r.stddev * 100.0, 2) + "pp",
                  TextTable::pct(lo) + " .. " + TextTable::pct(hi)});
   }
-  std::cout << tbl.render();
+  bench::print_table("results", tbl);
   std::cout << "\nTight spreads confirm the headline numbers are properties "
                "of the access-pattern class, not\nof one particular input "
                "instance.\n";
-  return 0;
+  return bench::finish();
 }

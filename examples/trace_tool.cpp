@@ -5,21 +5,40 @@
 //   $ ./trace_tool gen <workload> <out.trace> [scale] [seed]
 //   $ ./trace_tool info <file.trace>
 //   $ ./trace_tool replay <file.trace> [scheme] [epc_mib]
+//   $ ./trace_tool trace <workload> <out.json> [scheme] [scale]
 //
-// Schemes: baseline dfp dfp-stop (SIP needs a plan, which is tied to the
-// workload registry — use spec_comparison for that).
+// replay schemes: baseline dfp dfp-stop (SIP needs a plan, which is tied
+// to the workload registry). `trace` works from the registry, so it also
+// accepts sip and hybrid: it compiles the SIP plan on the train input,
+// runs the ref input, and writes a Chrome/Perfetto trace of the run —
+// open the JSON at https://ui.perfetto.dev. See docs/OBSERVABILITY.md.
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "common/table.h"
 #include "core/simulator.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/time_series.h"
+#include "obs/trace_export.h"
+#include "sip/pipeline.h"
 #include "trace/trace_io.h"
 #include "trace/workloads.h"
 
 using namespace sgxpl;
 
 namespace {
+
+std::optional<core::Scheme> parse_scheme(const std::string& name) {
+  if (name == "baseline") return core::Scheme::kBaseline;
+  if (name == "dfp") return core::Scheme::kDfp;
+  if (name == "dfp-stop") return core::Scheme::kDfpStop;
+  if (name == "sip") return core::Scheme::kSip;
+  if (name == "hybrid") return core::Scheme::kHybrid;
+  return std::nullopt;
+}
 
 int cmd_gen(int argc, char** argv) {
   if (argc < 4) {
@@ -105,6 +124,68 @@ int cmd_replay(int argc, char** argv) {
   return 0;
 }
 
+int cmd_trace(int argc, char** argv) {
+  if (argc < 4) {
+    std::cerr << "usage: trace_tool trace <workload> <out.json> "
+                 "[scheme] [scale]\n";
+    return 1;
+  }
+  const auto* w = trace::find_workload(argv[2]);
+  if (w == nullptr) {
+    std::cerr << "unknown workload '" << argv[2] << "'\n";
+    return 1;
+  }
+  const std::string out_path = argv[3];
+  const std::string scheme_name = argc > 4 ? argv[4] : "dfp-stop";
+  const auto scheme = parse_scheme(scheme_name);
+  if (!scheme) {
+    std::cerr << "unknown scheme '" << scheme_name
+              << "' (baseline|dfp|dfp-stop|sip|hybrid)\n";
+    return 1;
+  }
+  const double scale = argc > 5 ? std::atof(argv[5]) : 0.25;
+
+  auto cfg = core::paper_platform(*scheme);
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesSet series;
+  obs::EventLog log(1u << 16);
+  cfg.registry = &registry;
+  cfg.timeseries = &series;
+  cfg.event_log = &log;
+
+  sip::InstrumentationPlan plan;
+  if (cfg.uses_sip()) {
+    auto pipeline = sip::compile_workload(*w, cfg.sip,
+                                          trace::train_params(), &registry);
+    plan = std::move(pipeline.plan);
+    std::cout << "compiled SIP plan: " << plan.points()
+              << " instrumentation points\n";
+  }
+
+  const auto t = w->make(trace::ref_params(scale));
+  const auto m = core::simulate(t, cfg, cfg.uses_sip() ? &plan : nullptr);
+
+  obs::TraceExporter exporter;
+  exporter.add_events(log, /*pid=*/0, w->info.name);
+  exporter.add_time_series(series);
+  std::string err;
+  if (!exporter.write(out_path, &err)) {
+    std::cerr << "failed to write " << out_path << ": " << err << '\n';
+    return 1;
+  }
+  std::cout << core::to_string(*scheme) << " on " << w->info.name
+            << " (scale " << scale << "): " << m.total_cycles << " cycles, "
+            << m.enclave_faults << " faults\n"
+            << "wrote " << exporter.size() << " trace events to " << out_path
+            << (log.dropped() > 0
+                    ? "\n(ring buffer dropped " +
+                          std::to_string(log.dropped()) +
+                          " oldest events; only the tail is in the trace)"
+                    : "")
+            << "\nopen it at https://ui.perfetto.dev or chrome://tracing\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,6 +199,9 @@ int main(int argc, char** argv) {
   if (cmd == "replay") {
     return cmd_replay(argc, argv);
   }
-  std::cerr << "usage: trace_tool <gen|info|replay> ...\n";
+  if (cmd == "trace") {
+    return cmd_trace(argc, argv);
+  }
+  std::cerr << "usage: trace_tool <gen|info|replay|trace> ...\n";
   return 1;
 }

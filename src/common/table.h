@@ -22,6 +22,10 @@ class TextTable {
   static std::string pct(double ratio, int precision = 1);
 
   std::size_t rows() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& row_data() const noexcept {
+    return rows_;
+  }
 
   std::string render() const;
 

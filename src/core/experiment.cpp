@@ -32,8 +32,9 @@ WorkloadComparison compare_schemes(const trace::Workload& workload,
   }
   sip::InstrumentationPlan plan;
   if (needs_sip && workload.info.sip_supported) {
-    auto compiled = sip::compile_workload(
-        workload, base_cfg.sip, trace::train_params(opts.train_scale));
+    auto compiled = sip::compile_workload(workload, base_cfg.sip,
+                                          trace::train_params(opts.train_scale),
+                                          base_cfg.registry);
     plan = std::move(compiled.plan);
     out.sip_points = plan.points();
   }

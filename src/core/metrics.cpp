@@ -14,7 +14,9 @@ double Metrics::improvement_over(const Metrics& baseline) const noexcept {
 
 double Metrics::normalized_to(const Metrics& baseline) const noexcept {
   if (baseline.total_cycles == 0) {
-    return 0.0;
+    // A zero-cycle baseline (empty/degenerate trace) normalizes to parity
+    // rather than dividing by zero; improvement_over likewise reports 0.
+    return 1.0;
   }
   return static_cast<double>(total_cycles) /
          static_cast<double>(baseline.total_cycles);

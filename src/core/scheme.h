@@ -5,6 +5,9 @@
 #include <string>
 
 #include "dfp/dfp_engine.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/time_series.h"
 #include "sgxsim/cost_model.h"
 #include "sgxsim/driver.h"
 #include "sip/instrumenter.h"
@@ -43,6 +46,15 @@ struct SimConfig {
   /// memory bandwidth, which is one reason preloading gains saturate well
   /// below the AEX+ERESUME bound on real hardware (paper §5.6).
   double channel_contention = 0.0;
+
+  // --- Observability sinks (not owned; null = off, zero overhead). ---
+  // See docs/OBSERVABILITY.md. Counters/histograms accumulate across runs
+  // sharing one registry (merge semantics); the event log and time series
+  // are cleared at the start of each run so they hold exactly one run's
+  // window (a bench's --trace captures its final simulation).
+  obs::MetricsRegistry* registry = nullptr;
+  obs::TimeSeriesSet* timeseries = nullptr;
+  obs::EventLog* event_log = nullptr;
 
   /// Whether this scheme runs a DFP engine, and with the stop valve.
   bool uses_dfp() const noexcept {

@@ -38,6 +38,23 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
   }
   sgxsim::Driver driver(cfg.enclave, cfg.costs, engine.get());
 
+  // Observability attach: each sink is independent and null means off.
+  if (cfg.event_log != nullptr) {
+    cfg.event_log->clear();  // the log holds exactly one run's window
+    driver.set_event_log(cfg.event_log);
+  }
+  if (cfg.registry != nullptr) {
+    driver.set_metrics(cfg.registry);
+  }
+  if (cfg.timeseries != nullptr) {
+    cfg.timeseries->clear();  // like the event log: one run's window
+    driver.set_time_series(cfg.timeseries);
+  }
+  if (engine != nullptr &&
+      (cfg.registry != nullptr || cfg.timeseries != nullptr)) {
+    engine->set_observability(cfg.registry, cfg.timeseries);
+  }
+
   const bool sip_on = cfg.uses_sip() && plan != nullptr && !plan->empty();
   const double contention = cfg.channel_contention;
 
@@ -133,6 +150,23 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
         engine->preloaded_pages().acc_preload_counter();
     m.dfp_predictor_hits = engine->predictor().hits();
     m.dfp_predictor_misses = engine->predictor().misses();
+  }
+  if (cfg.registry != nullptr) {
+    auto& reg = *cfg.registry;
+    m.driver.publish(reg);
+    if (engine != nullptr) {
+      engine->publish(reg);
+    }
+    reg.counter("sim.runs").add();
+    reg.counter("sim.total_cycles").add(m.total_cycles);
+    reg.counter("sim.compute_cycles").add(m.compute_cycles);
+    reg.counter("sim.contention_cycles").add(m.contention_cycles);
+    if (sip_on) {
+      reg.counter("sip.checks").add(m.sip_checks);
+      reg.counter("sip.requests").add(m.sip_requests);
+      reg.counter("sip.check_cycles").add(m.sip_check_cycles);
+      reg.counter("sip.notification_cycles").add(m.sip_notification_cycles);
+    }
   }
   return m;
 }

@@ -101,6 +101,37 @@ void DfpEngine::on_scan(const sgxsim::PageTable& pt, Cycles now) {
     adapt_depth();
   }
   maybe_stop(now);
+  if (series_ != nullptr) {
+    series_->series("dfp.depth")
+        .add(now, stopped_ ? 0.0 : static_cast<double>(depth_));
+    const auto total = list_.preload_counter();
+    if (total > 0) {
+      series_->series("dfp.used_fraction")
+          .add(now, static_cast<double>(list_.acc_preload_counter()) /
+                        static_cast<double>(total));
+    }
+  }
+}
+
+void DfpEngine::set_observability(obs::MetricsRegistry* reg,
+                                  obs::TimeSeriesSet* ts) noexcept {
+  depth_gauge_ = reg != nullptr ? &reg->gauge("dfp.depth") : nullptr;
+  stop_counter_ = reg != nullptr ? &reg->counter("dfp.stops") : nullptr;
+  series_ = ts;
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<double>(depth_));
+  }
+}
+
+void DfpEngine::publish(obs::MetricsRegistry& reg) const {
+  reg.counter("dfp.preload_counter").add(list_.preload_counter());
+  reg.counter("dfp.acc_preload_counter").add(list_.acc_preload_counter());
+  reg.counter("dfp.aborted").add(aborted_);
+  reg.counter("dfp.predictor.hits").add(predictor_->hits());
+  reg.counter("dfp.predictor.misses").add(predictor_->misses());
+  if (stopped_) {
+    reg.gauge("dfp.stopped_at").set(static_cast<double>(stopped_at_));
+  }
 }
 
 void DfpEngine::adapt_depth() {
@@ -120,6 +151,9 @@ void DfpEngine::adapt_depth() {
   } else if (ratio < 0.5) {
     depth_ = std::max<std::uint64_t>(depth_ / 2, 1);
   }
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<double>(depth_));
+  }
 }
 
 void DfpEngine::maybe_stop(Cycles now) {
@@ -134,6 +168,9 @@ void DfpEngine::maybe_stop(Cycles now) {
       total * params_.stop_used_fraction) {
     stopped_ = true;
     stopped_at_ = now;
+    if (stop_counter_ != nullptr) {
+      stop_counter_->add();
+    }
   }
 }
 

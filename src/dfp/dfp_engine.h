@@ -11,6 +11,8 @@
 #include "dfp/predictor.h"
 #include "dfp/preloaded_page_list.h"
 #include "dfp/stream_predictor.h"
+#include "obs/metrics.h"
+#include "obs/time_series.h"
 #include "sgxsim/preload_policy.h"
 
 namespace sgxpl::dfp {
@@ -83,6 +85,16 @@ class DfpEngine final : public sgxsim::PreloadPolicy {
 
   std::string describe() const;
 
+  /// Attach observability sinks (not owned; nullptr disables either). The
+  /// registry gets a live "dfp.depth" gauge and a "dfp.stops" counter; the
+  /// time-series set gets per-scan "dfp.depth" and "dfp.used_fraction"
+  /// curves — the raw material of the DFP-stop dynamics plots.
+  void set_observability(obs::MetricsRegistry* reg,
+                         obs::TimeSeriesSet* ts) noexcept;
+
+  /// Flush end-of-run counters into `reg` under the "dfp." prefix.
+  void publish(obs::MetricsRegistry& reg) const;
+
   void reset();
 
  private:
@@ -99,6 +111,11 @@ class DfpEngine final : public sgxsim::PreloadPolicy {
   // Counter snapshots from the previous scan, for the adaptive window.
   std::uint64_t last_preload_counter_ = 0;
   std::uint64_t last_acc_counter_ = 0;
+
+  // --- observability (null when disabled) ---
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* stop_counter_ = nullptr;
+  obs::TimeSeriesSet* series_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace sgxpl::dfp

@@ -1,0 +1,132 @@
+#include "obs/event_log.h"
+
+#include <sstream>
+
+namespace sgxpl::obs {
+
+const char* to_string(EventType t) noexcept {
+  switch (t) {
+    case EventType::kFault:
+      return "FAULT(AEX)";
+    case EventType::kLoadScheduled:
+      return "LOAD-SCHED";
+    case EventType::kLoadCommitted:
+      return "LOAD-DONE";
+    case EventType::kLoadsAborted:
+      return "ABORT";
+    case EventType::kEviction:
+      return "EVICT(EWB)";
+    case EventType::kResume:
+      return "ERESUME";
+    case EventType::kSipRequest:
+      return "SIP-NOTIFY";
+    case EventType::kSipPrefetch:
+      return "SIP-PREFETCH";
+    case EventType::kScan:
+      return "SCAN";
+  }
+  return "?";
+}
+
+const char* to_string(EventTrack t) noexcept {
+  switch (t) {
+    case EventTrack::kApp:
+      return "app";
+    case EventTrack::kFaultHandler:
+      return "fault handler";
+    case EventTrack::kChannel:
+      return "paging channel";
+    case EventTrack::kServiceThread:
+      return "service thread";
+    case EventTrack::kSip:
+      return "sip";
+  }
+  return "?";
+}
+
+EventTrack track_of(EventType t) noexcept {
+  switch (t) {
+    case EventType::kFault:
+    case EventType::kResume:
+    case EventType::kLoadsAborted:
+    case EventType::kEviction:
+      return EventTrack::kFaultHandler;
+    case EventType::kLoadScheduled:
+    case EventType::kLoadCommitted:
+      return EventTrack::kChannel;
+    case EventType::kScan:
+      return EventTrack::kServiceThread;
+    case EventType::kSipRequest:
+    case EventType::kSipPrefetch:
+      return EventTrack::kSip;
+  }
+  return EventTrack::kFaultHandler;
+}
+
+std::string Event::describe() const {
+  std::ostringstream oss;
+  oss << "t=" << at << "  " << to_string(type);
+  if (type == EventType::kLoadsAborted) {
+    oss << "  count=" << page;
+  } else if (page != kInvalidPage) {
+    oss << "  page=" << page;
+  }
+  if (detail != nullptr && detail[0] != '\0') {
+    oss << "  [" << detail << ']';
+  }
+  if (aux != 0) {
+    oss << "  (until t=" << aux << ')';
+  }
+  return oss.str();
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void EventLog::record(Event e) {
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (size_ < capacity_) {
+    ring_.push_back(e);
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the ring head.
+  ring_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<Event> EventLog::events() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  for_each([&out](const Event& e) { out.push_back(e); });
+  return out;
+}
+
+void EventLog::for_each(const std::function<void(const Event&)>& fn) const {
+  for (std::size_t i = 0; i < size_; ++i) {
+    fn(ring_[(head_ + i) % capacity_]);
+  }
+}
+
+void EventLog::clear() {
+  ring_.clear();
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::string EventLog::render() const {
+  std::ostringstream oss;
+  if (dropped_ > 0) {
+    oss << "  ... (" << dropped_ << " older events dropped)\n";
+  }
+  for_each([&oss](const Event& e) { oss << "  " << e.describe() << '\n'; });
+  return oss.str();
+}
+
+}  // namespace sgxpl::obs

@@ -1,0 +1,89 @@
+// Structured event log for the driver: every paging-relevant event with its
+// virtual timestamp. This is the raw material of the Fig. 2 / Fig. 4
+// timeline bench, of ordering tests, and of the Perfetto/Chrome trace
+// export (obs/trace_export.h); disabled (null) in performance runs.
+//
+// Storage is a fixed-capacity ring buffer: once full, the *oldest* events
+// are overwritten so the log always holds the most recent window of the
+// run, and `dropped()` reports how many fell off the front.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgxpl::obs {
+
+enum class EventType : std::uint8_t {
+  kFault,          // AEX taken for `page`
+  kLoadScheduled,  // channel op created (aux = end time)
+  kLoadCommitted,  // page became resident
+  kLoadsAborted,   // queued preloads flushed (page = count)
+  kEviction,       // `page` evicted (EWB)
+  kResume,         // ERESUME: app back in the enclave after faulting on page
+  kSipRequest,     // synchronous page_loadin posted for `page`
+  kSipPrefetch,    // asynchronous (hoisted) request posted for `page`
+  kScan,           // service-thread access-bit scan
+};
+
+const char* to_string(EventType t) noexcept;
+
+/// Subsystem track an event renders on in the exported trace.
+enum class EventTrack : std::uint8_t {
+  kApp,            // application stall windows (fault -> resume)
+  kFaultHandler,   // AEX entry/exit, aborts, evictions
+  kChannel,        // paging-channel occupancy (scheduled loads, commits)
+  kServiceThread,  // access-bit scans
+  kSip,            // SIP notifications and prefetches
+};
+
+const char* to_string(EventTrack t) noexcept;
+EventTrack track_of(EventType t) noexcept;
+
+struct Event {
+  Cycles at = 0;
+  EventType type = EventType::kFault;
+  PageNum page = kInvalidPage;
+  /// kLoadScheduled: the op's end time. Otherwise 0.
+  Cycles aux = 0;
+  /// kLoadScheduled/kLoadCommitted: "demand" / "dfp-preload" / "sip-load".
+  const char* detail = "";
+
+  std::string describe() const;
+};
+
+class EventLog {
+ public:
+  /// Ring buffer holding the most recent `capacity` events; older ones are
+  /// overwritten and counted in dropped().
+  explicit EventLog(std::size_t capacity = 4096);
+
+  void record(Event e);
+
+  /// Retained events in chronological order (oldest surviving first).
+  std::vector<Event> events() const;
+
+  /// Visit retained events in chronological order without copying.
+  void for_each(const std::function<void(const Event&)>& fn) const;
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+  /// Render the retained window, one event per line, for timeline output;
+  /// notes the number of older events dropped, if any.
+  std::string render() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // index of the oldest retained event
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sgxpl::obs

@@ -1,0 +1,71 @@
+// Minimal streaming JSON writer for the observability layer: bench result
+// documents, metrics-registry dumps, and Chrome/Perfetto trace export all
+// emit through this so escaping and number formatting are uniform. No
+// external dependency; writes into a std::string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgxpl::obs {
+
+/// Escape `s` as the *contents* of a JSON string (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+/// Format a double the way JSON expects: finite shortest-ish round-trip
+/// representation; NaN/inf degrade to 0 (JSON has no encoding for them).
+std::string json_number(double v);
+
+/// Streaming writer. Scopes are explicit: begin_object/end_object,
+/// begin_array/end_array; `key()` names the next value inside an object.
+/// Commas are inserted automatically. The writer does not validate that
+/// keys/values alternate correctly — callers are trusted (and the tests
+/// parse the output back).
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Name the next value (must be inside an object).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// One entry per open scope: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// Write `text` to `path`; returns false (and leaves a message in `err` if
+/// non-null) on failure instead of throwing — CLI callers report and exit.
+bool write_file(const std::string& path, std::string_view text,
+                std::string* err = nullptr);
+
+}  // namespace sgxpl::obs

@@ -1,0 +1,232 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace sgxpl::obs {
+
+// --- Histogram bucket layout -------------------------------------------
+//
+// Buckets 0..3 are exact (value == index). From 4 on, each power-of-two
+// octave [2^o, 2^(o+1)) is split into 4 equal sub-buckets of width
+// 2^(o-2), so a bucket's relative width is 25% and the quantile
+// interpolation error is bounded by ~12.5%.
+
+std::size_t Histogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < 4) {
+    return static_cast<std::size_t>(v);
+  }
+  const unsigned o = static_cast<unsigned>(std::bit_width(v)) - 1;  // >= 2
+  const std::uint64_t sub = (v >> (o - 2)) & 3;
+  return 4 + (static_cast<std::size_t>(o) - 2) * 4 +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t i) noexcept {
+  if (i < 4) {
+    return i;
+  }
+  const unsigned o = 2 + static_cast<unsigned>((i - 4) / 4);
+  const std::uint64_t sub = (i - 4) % 4;
+  return (std::uint64_t{1} << o) + sub * (std::uint64_t{1} << (o - 2));
+}
+
+namespace {
+
+std::uint64_t bucket_width(std::size_t i) noexcept {
+  if (i < 4) {
+    return 1;
+  }
+  const unsigned o = 2 + static_cast<unsigned>((i - 4) / 4);
+  return std::uint64_t{1} << (o - 2);
+}
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(HistogramSnapshot::kBuckets) {}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) {
+    return s;
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.buckets.resize(HistogramSnapshot::kBuckets);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::mean() const noexcept {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0 || buckets.empty()) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target) {
+      const double in_bucket =
+          target - static_cast<double>(cum - buckets[i]);
+      const double frac =
+          std::clamp(in_bucket / static_cast<double>(buckets[i]), 0.0, 1.0);
+      const double v = static_cast<double>(Histogram::bucket_lower_bound(i)) +
+                       frac * static_cast<double>(bucket_width(i));
+      return std::clamp(v, static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) {
+    return;
+  }
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+std::string HistogramSnapshot::describe() const {
+  std::ostringstream oss;
+  oss << "count=" << count << " mean=" << mean() << " p50=" << p50()
+      << " p90=" << p90() << " p99=" << p99() << " max=" << max;
+  return oss.str();
+}
+
+namespace {
+
+template <typename Map>
+auto& find_or_create(Map& map, std::string_view name, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_create(counters_, name, mu_);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_create(gauges_, name, mu_);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return find_or_create(histograms_, name, mu_);
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.kv(name, c->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.kv(name, g->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h->snapshot();
+    w.key(name).begin_object();
+    w.kv("count", s.count)
+        .kv("sum", s.sum)
+        .kv("min", s.count == 0 ? 0 : s.min)
+        .kv("max", s.max)
+        .kv("mean", s.mean())
+        .kv("p50", s.p50())
+        .kv("p90", s.p90())
+        .kv("p99", s.p99());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.take();
+}
+
+std::string MetricsRegistry::describe() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream oss;
+  for (const auto& [name, c] : counters_) {
+    oss << name << " = " << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    oss << name << " = " << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    oss << name << ": " << h->snapshot().describe() << '\n';
+  }
+  return oss.str();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace sgxpl::obs

@@ -1,0 +1,142 @@
+// The metrics registry: named counters, gauges, and log-bucketed latency
+// histograms for the paging simulator.
+//
+// Design constraints (see docs/OBSERVABILITY.md):
+//   - *Null is off.* Producers hold a `MetricsRegistry*` that may be null;
+//     every publish site is a single pointer test away from zero cost, so
+//     performance runs pay nothing (acceptance: fig8_dfp regresses < 2%).
+//   - *Lock-free hot path.* record()/add()/set() touch only relaxed
+//     atomics; the registry mutex guards metric *creation* and iteration
+//     only. Producers resolve handles once (at attach time) and publish
+//     through the cached pointer afterwards.
+//   - *Merge support.* Histograms snapshot into plain structs that can be
+//     merged across runs/replicas/enclaves (same bucket layout always).
+//
+// Naming convention: dotted lowercase paths, `<subsystem>.<noun>[.<unit>]`,
+// e.g. "driver.fault.stall_cycles", "dfp.depth", "sip.plan.points".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgxpl::obs {
+
+class JsonWriter;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Immutable summary of a Histogram at one point in time. Plain data:
+/// copyable, mergeable, serializable.
+struct HistogramSnapshot {
+  /// Log-linear layout: buckets 0..3 hold the exact values 0..3; above
+  /// that, each power-of-two octave is split into 4 sub-buckets, giving
+  /// ~±12.5% value resolution across the full uint64 range.
+  static constexpr std::size_t kBuckets = 4 + 62 * 4;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  // size kBuckets (empty when count==0)
+
+  double mean() const noexcept;
+  /// Value at quantile q in [0,1], interpolated within the bucket.
+  double quantile(double q) const noexcept;
+  double p50() const noexcept { return quantile(0.50); }
+  double p90() const noexcept { return quantile(0.90); }
+  double p99() const noexcept { return quantile(0.99); }
+
+  /// Pointwise accumulate `other` into this snapshot.
+  void merge(const HistogramSnapshot& other);
+
+  std::string describe() const;
+};
+
+/// Lock-free log-bucketed histogram of non-negative integer samples
+/// (cycle latencies, batch sizes, queue depths).
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::uint64_t v) noexcept;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+  /// Bucket index for value `v` (exposed for the bucket-boundary tests).
+  static std::size_t bucket_index(std::uint64_t v) noexcept;
+  /// Smallest value mapping to bucket `i`.
+  static std::uint64_t bucket_lower_bound(std::size_t i) noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+};
+
+/// Named metric store. Metrics are created on first use and live as long
+/// as the registry; returned references are stable (callers cache them).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Snapshot every metric into `w` as one JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}.
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
+
+  /// Multi-line human-readable dump (sorted by name).
+  std::string describe() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;  // guards map shape only, never metric updates
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace sgxpl::obs

@@ -1,0 +1,89 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace sgxpl::obs {
+
+double TimeSeries::mean() const noexcept {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& s : samples_) {
+    sum += s.value;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::max() const noexcept {
+  double m = 0.0;
+  for (const auto& s : samples_) {
+    m = std::max(m, s.value);
+  }
+  return m;
+}
+
+TimeSeries& TimeSeriesSet::series(std::string_view name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_
+             .emplace(std::string(name),
+                      std::make_unique<TimeSeries>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+const TimeSeries* TimeSeriesSet::find(std::string_view name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+void TimeSeriesSet::for_each(
+    const std::function<void(const TimeSeries&)>& fn) const {
+  for (const auto& [name, s] : series_) {
+    fn(*s);
+  }
+}
+
+void TimeSeriesSet::clear() { series_.clear(); }
+
+void TimeSeriesSet::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("series").begin_object();
+  for (const auto& [name, s] : series_) {
+    w.key(name).begin_array();
+    for (const auto& sample : s->samples()) {
+      w.begin_object()
+          .kv("t", sample.at)
+          .kv("v", sample.value)
+          .end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string TimeSeriesSet::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.take();
+}
+
+std::string TimeSeriesSet::to_csv() const {
+  std::ostringstream oss;
+  oss << "series,t,value\n";
+  for (const auto& [name, s] : series_) {
+    for (const auto& sample : s->samples()) {
+      oss << name << ',' << sample.at << ',' << json_number(sample.value)
+          << '\n';
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace sgxpl::obs

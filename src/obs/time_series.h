@@ -1,0 +1,78 @@
+// Windowed time-series sampling: the "plottable" complement to the
+// end-of-run registry. Producers append (virtual-time, value) samples on a
+// fixed cadence — the driver samples on its service-thread scan tick — so
+// DFP-stop dynamics, EPC occupancy, and channel utilization become curves
+// rather than single end-of-run numbers.
+//
+// Like the registry, null is off: producers hold a `TimeSeriesSet*` that
+// may be null and pay a single pointer test when sampling is disabled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgxpl::obs {
+
+class JsonWriter;
+
+struct Sample {
+  Cycles at = 0;
+  double value = 0.0;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(Cycles at, double value) { samples_.push_back({at, value}); }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  bool empty() const noexcept { return samples_.empty(); }
+  void clear() { samples_.clear(); }
+
+  /// Mean of the sample values (0 when empty).
+  double mean() const noexcept;
+  /// Largest sample value (0 when empty).
+  double max() const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+/// Named collection of series. Series are created on first use; returned
+/// references are stable for the life of the set.
+class TimeSeriesSet {
+ public:
+  TimeSeriesSet() = default;
+  TimeSeriesSet(const TimeSeriesSet&) = delete;
+  TimeSeriesSet& operator=(const TimeSeriesSet&) = delete;
+
+  TimeSeries& series(std::string_view name);
+  const TimeSeries* find(std::string_view name) const;
+
+  void for_each(const std::function<void(const TimeSeries&)>& fn) const;
+  std::size_t size() const noexcept { return series_.size(); }
+  void clear();
+
+  /// {"series":{name:[{"t":...,"v":...},...]}}
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
+
+  /// CSV with one row per sample: series,t,value.
+  std::string to_csv() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<TimeSeries>, std::less<>> series_;
+};
+
+}  // namespace sgxpl::obs

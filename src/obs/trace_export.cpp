@@ -1,0 +1,168 @@
+#include "obs/trace_export.h"
+
+#include <unordered_map>
+
+#include "obs/json.h"
+
+namespace sgxpl::obs {
+
+namespace {
+
+/// Stable thread ids, one per subsystem track (tid 0 is reserved).
+std::uint32_t tid_of(EventTrack t) noexcept {
+  return static_cast<std::uint32_t>(t) + 1;
+}
+
+constexpr EventTrack kAllTracks[] = {
+    EventTrack::kApp, EventTrack::kFaultHandler, EventTrack::kChannel,
+    EventTrack::kServiceThread, EventTrack::kSip};
+
+void write_common(JsonWriter& w, const char* name, const char* ph, Cycles ts,
+                  std::uint32_t pid, std::uint32_t tid) {
+  w.kv("name", name)
+      .kv("ph", ph)
+      .kv("ts", static_cast<std::uint64_t>(ts))
+      .kv("pid", static_cast<std::uint64_t>(pid))
+      .kv("tid", static_cast<std::uint64_t>(tid));
+}
+
+void write_metadata(JsonWriter& w, std::uint32_t pid, std::uint32_t tid,
+                    const char* what, const std::string& value) {
+  w.begin_object();
+  write_common(w, what, "M", 0, pid, tid);
+  w.key("args").begin_object().kv("name", value).end_object();
+  w.end_object();
+}
+
+void write_instant(JsonWriter& w, const Event& e, std::uint32_t pid) {
+  w.begin_object();
+  write_common(w, to_string(e.type), "i", e.at, pid, tid_of(track_of(e.type)));
+  w.kv("s", "t");  // thread-scoped instant
+  w.key("args").begin_object();
+  if (e.type == EventType::kLoadsAborted) {
+    w.kv("count", static_cast<std::uint64_t>(e.page));
+  } else if (e.page != kInvalidPage) {
+    w.kv("page", static_cast<std::uint64_t>(e.page));
+  }
+  if (e.detail != nullptr && e.detail[0] != '\0') {
+    w.kv("detail", e.detail);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_slice(JsonWriter& w, const char* name, Cycles start, Cycles end,
+                 std::uint32_t pid, EventTrack track, PageNum page,
+                 const char* detail) {
+  w.begin_object();
+  write_common(w, name, "X", start, pid, tid_of(track));
+  w.kv("dur", static_cast<std::uint64_t>(end > start ? end - start : 0));
+  w.key("args").begin_object();
+  if (page != kInvalidPage) {
+    w.kv("page", static_cast<std::uint64_t>(page));
+  }
+  if (detail != nullptr && detail[0] != '\0') {
+    w.kv("detail", detail);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_process(JsonWriter& w, std::uint32_t pid, const std::string& pname,
+                   const std::vector<Event>& events) {
+  write_metadata(w, pid, 0, "process_name", pname);
+  for (const EventTrack t : kAllTracks) {
+    write_metadata(w, pid, tid_of(t), "thread_name", to_string(t));
+  }
+
+  // First pass pairs each fault with its resume (same page, in order) so
+  // the app track shows the stall window as one slice.
+  std::unordered_map<PageNum, Cycles> open_faults;
+  for (const Event& e : events) {
+    switch (e.type) {
+      case EventType::kFault:
+        open_faults[e.page] = e.at;
+        write_instant(w, e, pid);
+        break;
+      case EventType::kResume: {
+        const auto it = open_faults.find(e.page);
+        if (it != open_faults.end()) {
+          write_slice(w, "fault-stall", it->second, e.at, pid,
+                      EventTrack::kApp, e.page, "");
+          open_faults.erase(it);
+        }
+        write_instant(w, e, pid);
+        break;
+      }
+      case EventType::kLoadScheduled:
+        // aux carries the op's end time: render channel occupancy.
+        write_slice(w, "load", e.at, e.aux, pid, EventTrack::kChannel, e.page,
+                    e.detail);
+        break;
+      default:
+        write_instant(w, e, pid);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void TraceExporter::add_events(const EventLog& log, std::uint32_t pid,
+                               const std::string& process_name) {
+  ProcessEvents p;
+  p.pid = pid;
+  p.name = process_name;
+  p.events = log.events();
+  processes_.push_back(std::move(p));
+}
+
+void TraceExporter::add_time_series(const TimeSeriesSet& set,
+                                    std::uint32_t pid) {
+  set.for_each([this, pid](const TimeSeries& s) {
+    counters_.push_back(CounterTrack{pid, s.name(), s.samples()});
+  });
+}
+
+std::size_t TraceExporter::size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    n += p.events.size();
+  }
+  for (const auto& c : counters_) {
+    n += c.samples.size();
+  }
+  return n;
+}
+
+std::string TraceExporter::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const auto& p : processes_) {
+    write_process(w, p.pid, p.name, p.events);
+  }
+  for (const auto& c : counters_) {
+    for (const auto& s : c.samples) {
+      w.begin_object();
+      write_common(w, c.name.c_str(), "C", s.at, c.pid, 0);
+      w.key("args").begin_object().kv("value", s.value).end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ns");
+  w.key("otherData")
+      .begin_object()
+      .kv("generator", "sgxpl-obs")
+      .kv("ts_unit", "cycles")
+      .end_object();
+  w.end_object();
+  return w.take();
+}
+
+bool TraceExporter::write(const std::string& path, std::string* err) const {
+  return write_file(path, to_json(), err);
+}
+
+}  // namespace sgxpl::obs

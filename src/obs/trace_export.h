@@ -1,0 +1,59 @@
+// Chrome trace-event / Perfetto export: converts the driver's EventLog
+// (and, optionally, TimeSeries samples as counter tracks) into the JSON
+// Trace Event Format that chrome://tracing and https://ui.perfetto.dev
+// load directly.
+//
+// Layout: one *process* per enclave (pid), one *thread track* per
+// subsystem (EventTrack: app, fault handler, paging channel, service
+// thread, SIP). Channel loads and app fault-stall windows are emitted as
+// complete ("X") duration slices; everything else is an instant ("i").
+// Timestamps are virtual cycles written into the `ts` microsecond field —
+// absolute units do not matter for inspection, relative spans do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/time_series.h"
+
+namespace sgxpl::obs {
+
+class TraceExporter {
+ public:
+  /// Append every retained event of `log` as trace slices under process
+  /// `pid` (`process_name` labels it in the UI; one pid per enclave in
+  /// multi-enclave runs).
+  void add_events(const EventLog& log, std::uint32_t pid = 0,
+                  const std::string& process_name = "enclave");
+
+  /// Append each series of `set` as a counter ("C") track under `pid`.
+  void add_time_series(const TimeSeriesSet& set, std::uint32_t pid = 0);
+
+  /// Number of trace events accumulated so far (excluding metadata).
+  std::size_t size() const noexcept;
+
+  /// Full trace document: {"traceEvents":[...],"displayTimeUnit":"ns",...}.
+  std::string to_json() const;
+
+  /// Serialize to `path`; returns false and fills `err` on I/O failure.
+  bool write(const std::string& path, std::string* err = nullptr) const;
+
+ private:
+  struct ProcessEvents {
+    std::uint32_t pid = 0;
+    std::string name;
+    std::vector<Event> events;
+  };
+  struct CounterTrack {
+    std::uint32_t pid = 0;
+    std::string name;
+    std::vector<Sample> samples;
+  };
+
+  std::vector<ProcessEvents> processes_;
+  std::vector<CounterTrack> counters_;
+};
+
+}  // namespace sgxpl::obs

@@ -19,6 +19,25 @@ const char* to_string(DemandPolicy p) noexcept {
   return "?";
 }
 
+void DriverStats::publish(obs::MetricsRegistry& reg) const {
+  reg.counter("driver.accesses").add(accesses);
+  reg.counter("driver.faults").add(faults);
+  reg.counter("driver.demand_loads").add(demand_loads);
+  reg.counter("driver.fault_wait_hits").add(fault_wait_hits);
+  reg.counter("driver.preloads.issued").add(preloads_issued);
+  reg.counter("driver.preloads.completed").add(preloads_completed);
+  reg.counter("driver.preloads.aborted").add(preloads_aborted);
+  reg.counter("driver.preloads.used").add(preloads_used);
+  reg.counter("driver.preloads.evicted_unused").add(preloads_evicted_unused);
+  reg.counter("driver.sip.loads").add(sip_loads);
+  reg.counter("driver.sip.inflight_waits").add(sip_inflight_waits);
+  reg.counter("driver.sip.prefetches").add(sip_prefetches);
+  reg.counter("driver.evictions").add(evictions);
+  reg.counter("driver.scans").add(scans);
+  reg.counter("driver.fault.stall_cycles.total").add(fault_stall_cycles);
+  reg.counter("driver.sip.stall_cycles.total").add(sip_stall_cycles);
+}
+
 std::string DriverStats::describe() const {
   std::ostringstream oss;
   oss << "accesses=" << accesses << " faults=" << faults
@@ -49,6 +68,28 @@ Driver::Driver(const EnclaveConfig& config, const CostModel& costs,
       next_scan_(costs.scan_period) {
   SGXPL_CHECK_MSG(config.elrange_pages > 0, "empty ELRANGE");
   SGXPL_CHECK_MSG(config.epc_pages > 0, "empty EPC");
+}
+
+void Driver::set_metrics(obs::MetricsRegistry* reg) noexcept {
+  metrics_ = reg;
+  if (reg != nullptr) {
+    fault_stall_hist_ = &reg->histogram("driver.fault.stall_cycles");
+    sip_stall_hist_ = &reg->histogram("driver.sip.stall_cycles");
+    dfp_batch_hist_ = &reg->histogram("driver.dfp.batch_pages");
+  } else {
+    fault_stall_hist_ = nullptr;
+    sip_stall_hist_ = nullptr;
+    dfp_batch_hist_ = nullptr;
+  }
+}
+
+void Driver::set_time_series(obs::TimeSeriesSet* ts) noexcept {
+  series_ = ts;
+  ts_last_at_ = bookkept_until_;
+  ts_last_busy_ = channel_busy_total_;
+  ts_last_faults_ = stats_.faults;
+  ts_last_preloads_used_ = stats_.preloads_used;
+  ts_last_preloads_completed_ = stats_.preloads_completed;
 }
 
 AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
@@ -87,6 +128,9 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
       log_->record({.at = done, .type = EventType::kResume, .page = page});
     }
     stats_.fault_stall_cycles += done - now;
+    if (fault_stall_hist_ != nullptr) {
+      fault_stall_hist_->record(done - now);
+    }
     return AccessOutcome{.completion = done, .faulted = true,
                          .hit_inflight = true};
   }
@@ -134,6 +178,7 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
   // predictions queue up behind the demand load.
   if (policy_ != nullptr) {
     const auto predicted = policy_->on_fault(pid, page, after_aex);
+    std::uint64_t scheduled = 0;
     for (const PageNum p : predicted) {
       if (p >= config_.elrange_pages || page_table_.present(p) ||
           channel_.find(p).has_value()) {
@@ -141,6 +186,10 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
       }
       schedule_load(p, after_aex, OpKind::kDfpPreload);
       ++stats_.preloads_issued;
+      ++scheduled;
+    }
+    if (dfp_batch_hist_ != nullptr && !predicted.empty()) {
+      dfp_batch_hist_->record(scheduled);
     }
   }
 
@@ -182,6 +231,9 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
     log_->record({.at = done, .type = EventType::kResume, .page = page});
   }
   stats_.fault_stall_cycles += done - now;
+  if (fault_stall_hist_ != nullptr) {
+    fault_stall_hist_->record(done - now);
+  }
   return AccessOutcome{.completion = done, .faulted = true,
                        .hit_inflight = hit_inflight};
 }
@@ -228,6 +280,9 @@ Cycles Driver::sip_load(PageNum page, Cycles now) {
     }
   }
   stats_.sip_stall_cycles += end - now;
+  if (sip_stall_hist_ != nullptr) {
+    sip_stall_hist_->record(end - now);
+  }
   return end;
 }
 
@@ -261,6 +316,9 @@ void Driver::advance_to(Cycles now) {
     }
     if (policy_ != nullptr) {
       policy_->on_scan(page_table_, next_scan_);
+    }
+    if (series_ != nullptr) {
+      sample_time_series(next_scan_);
     }
     next_scan_ += costs_.scan_period;
   }
@@ -310,6 +368,36 @@ const ChannelOp& Driver::schedule_load_priority(PageNum page, Cycles earliest,
   return op;
 }
 
+void Driver::sample_time_series(Cycles now) {
+  if (now <= ts_last_at_) {
+    return;
+  }
+  const double dt = static_cast<double>(now - ts_last_at_);
+  series_->series("driver.faults_per_mcycle")
+      .add(now, static_cast<double>(stats_.faults - ts_last_faults_) * 1e6 /
+                    dt);
+  series_->series("epc.occupancy")
+      .add(now, static_cast<double>(epc_.used()) /
+                    static_cast<double>(epc_.capacity()));
+  series_->series("channel.utilization")
+      .add(now, std::min(1.0, static_cast<double>(channel_busy_total_ -
+                                                  ts_last_busy_) /
+                                  dt));
+  const std::uint64_t completed =
+      stats_.preloads_completed - ts_last_preloads_completed_;
+  if (completed > 0) {
+    series_->series("dfp.preload_accuracy")
+        .add(now, static_cast<double>(stats_.preloads_used -
+                                      ts_last_preloads_used_) /
+                      static_cast<double>(completed));
+  }
+  ts_last_at_ = now;
+  ts_last_busy_ = channel_busy_total_;
+  ts_last_faults_ = stats_.faults;
+  ts_last_preloads_used_ = stats_.preloads_used;
+  ts_last_preloads_completed_ = stats_.preloads_completed;
+}
+
 void Driver::flush_queued_preloads(Cycles now) {
   auto aborted = channel_.abort_not_started(now, OpKind::kDfpPreload);
   if (aborted.empty()) {
@@ -333,6 +421,7 @@ void Driver::flush_queued_preloads(Cycles now) {
 void Driver::commit_load(const ChannelOp& op) {
   SGXPL_CHECK_MSG(!page_table_.present(op.page),
                   "load committed for already-resident page " << op.page);
+  channel_busy_total_ += op.end - op.start;
   if (epc_.full()) {
     evict_one(op.page);
   }

@@ -14,6 +14,8 @@
 #include <memory>
 
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/time_series.h"
 #include "sgxsim/backing_store.h"
 #include "sgxsim/bitmap.h"
 #include "sgxsim/cost_model.h"
@@ -76,6 +78,12 @@ struct DriverStats {
   Cycles fault_stall_cycles = 0;
   /// Cycles the app spent stalled inside SIP page_loadin calls.
   Cycles sip_stall_cycles = 0;
+
+  /// Flush every counter into `reg` under the "driver." prefix. This is
+  /// the registry view of the compatibility struct: code that wants flat
+  /// end-of-run numbers keeps reading DriverStats; observability consumers
+  /// read the registry.
+  void publish(obs::MetricsRegistry& reg) const;
 
   std::string describe() const;
 };
@@ -143,6 +151,17 @@ class Driver {
   /// virtual timestamp — the raw material of Fig. 2 / Fig. 4 timelines.
   void set_event_log(EventLog* log) noexcept { log_ = log; }
 
+  /// Attach a metrics registry (not owned; nullptr detaches). Latency
+  /// histograms — per-fault stall, per-SIP stall, DFP batch size — are
+  /// recorded live through handles cached here, so the hot path pays one
+  /// null test when observability is off.
+  void set_metrics(obs::MetricsRegistry* reg) noexcept;
+
+  /// Attach a time-series set (not owned; nullptr detaches). Windowed
+  /// rates — faults/Mcycle, EPC occupancy, channel utilization, preload
+  /// accuracy — are sampled on every service-thread scan tick.
+  void set_time_series(obs::TimeSeriesSet* ts) noexcept;
+
  private:
   /// Duration of one load: ELDU + EWB share when the EPC will be full +
   /// the preload worker's dispatch overhead for asynchronous preloads.
@@ -174,10 +193,28 @@ class Driver {
   PresenceBitmap bitmap_;
   std::unique_ptr<EvictionPolicy> eviction_;
 
+  /// Record one windowed sample of each driver series at `now`.
+  void sample_time_series(Cycles now);
+
   DriverStats stats_;
   EventLog* log_ = nullptr;  // not owned; may be null
   Cycles next_scan_ = 0;
   Cycles bookkept_until_ = 0;
+
+  // --- observability (all null/zero when disabled) ---
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
+  obs::Histogram* fault_stall_hist_ = nullptr;
+  obs::Histogram* sip_stall_hist_ = nullptr;
+  obs::Histogram* dfp_batch_hist_ = nullptr;
+  obs::TimeSeriesSet* series_ = nullptr;  // not owned; may be null
+  /// Total channel-busy cycles committed so far (for windowed utilization).
+  Cycles channel_busy_total_ = 0;
+  // Snapshots from the previous sample, for windowed deltas.
+  Cycles ts_last_at_ = 0;
+  Cycles ts_last_busy_ = 0;
+  std::uint64_t ts_last_faults_ = 0;
+  std::uint64_t ts_last_preloads_used_ = 0;
+  std::uint64_t ts_last_preloads_completed_ = 0;
 };
 
 }  // namespace sgxpl::sgxsim

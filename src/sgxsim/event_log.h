@@ -1,61 +1,18 @@
-// Optional event tracing for the driver: every paging-relevant event with
-// its virtual timestamp. Used by the Fig. 2 / Fig. 4 timeline bench (the
-// paper's explanatory event-sequence figures) and by ordering tests;
-// disabled (null) in performance runs.
+// Compatibility shim: the event log moved to the observability layer
+// (obs/event_log.h) so the trace exporter, registry, and time-series
+// sampler can share one library below sgxsim. Existing sgxsim:: spellings
+// keep working through these aliases.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "common/types.h"
+#include "obs/event_log.h"
 
 namespace sgxpl::sgxsim {
 
-enum class EventType : std::uint8_t {
-  kFault,          // AEX taken for `page`
-  kLoadScheduled,  // channel op created (aux = end time)
-  kLoadCommitted,  // page became resident
-  kLoadsAborted,   // queued preloads flushed (page = count)
-  kEviction,       // `page` evicted (EWB)
-  kResume,         // ERESUME: app back in the enclave after faulting on page
-  kSipRequest,     // synchronous page_loadin posted for `page`
-  kSipPrefetch,    // asynchronous (hoisted) request posted for `page`
-  kScan,           // service-thread access-bit scan
-};
-
-const char* to_string(EventType t) noexcept;
-
-struct Event {
-  Cycles at = 0;
-  EventType type = EventType::kFault;
-  PageNum page = kInvalidPage;
-  /// kLoadScheduled: the op's end time. Otherwise 0.
-  Cycles aux = 0;
-  /// kLoadScheduled/kLoadCommitted: "demand" / "dfp-preload" / "sip-load".
-  const char* detail = "";
-
-  std::string describe() const;
-};
-
-class EventLog {
- public:
-  /// Keeps at most `capacity` events (older ones are dropped, counted).
-  explicit EventLog(std::size_t capacity = 4096) : capacity_(capacity) {}
-
-  void record(Event e);
-
-  const std::vector<Event>& events() const noexcept { return events_; }
-  std::uint64_t dropped() const noexcept { return dropped_; }
-  void clear();
-
-  /// Render the whole log, one event per line, for timeline output.
-  std::string render() const;
-
- private:
-  std::size_t capacity_;
-  std::vector<Event> events_;
-  std::uint64_t dropped_ = 0;
-};
+using obs::Event;
+using obs::EventLog;
+using obs::EventTrack;
+using obs::EventType;
+using obs::to_string;
+using obs::track_of;
 
 }  // namespace sgxpl::sgxsim

@@ -6,7 +6,8 @@ namespace sgxpl::sip {
 
 PipelineResult compile_workload(const trace::Workload& workload,
                                 const InstrumenterParams& params,
-                                const trace::WorkloadParams& train) {
+                                const trace::WorkloadParams& train,
+                                obs::MetricsRegistry* registry) {
   SGXPL_CHECK_MSG(workload.info.sip_supported,
                   "SIP cannot instrument " << workload.info.name
                                            << " (tool limitation)");
@@ -14,6 +15,19 @@ PipelineResult compile_workload(const trace::Workload& workload,
   PipelineResult result;
   result.profile = profile_trace(profiling_trace);
   result.plan = build_plan(result.profile, params);
+  if (registry != nullptr) {
+    registry->gauge("sip.profile.sites")
+        .set(static_cast<double>(result.profile.sites().size()));
+    registry->counter("sip.profile.accesses")
+        .add(result.profile.total_accesses());
+    registry->gauge("sip.plan.points")
+        .set(static_cast<double>(result.plan.points()));
+    auto& irregular = registry->histogram("sip.site_irregular_pct");
+    for (const auto& entry : result.profile.sites()) {
+      irregular.record(
+          static_cast<std::uint64_t>(entry.second.irregular_ratio() * 100.0));
+    }
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 // executes with (paper §5.2 uses different inputs for the two runs).
 #pragma once
 
+#include "obs/metrics.h"
 #include "sip/instrumenter.h"
 #include "trace/workloads.h"
 
@@ -14,10 +15,15 @@ struct PipelineResult {
   InstrumentationPlan plan;
 };
 
-/// Profile `workload` on its train input and derive the plan.
+/// Profile `workload` on its train input and derive the plan. When
+/// `registry` is non-null the pipeline publishes compile-time statistics
+/// under the "sip." prefix: profiled sites/accesses, instrumentation
+/// points, and the per-site irregular-percent histogram that the Fig. 9
+/// threshold acts on.
 PipelineResult compile_workload(
     const trace::Workload& workload,
     const InstrumenterParams& params = InstrumenterParams{},
-    const trace::WorkloadParams& train = trace::train_params());
+    const trace::WorkloadParams& train = trace::train_params(),
+    obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace sgxpl::sip

@@ -23,17 +23,30 @@ TEST(EventLog, RecordsAndRenders) {
   EXPECT_NE(out.find("until t=64020"), std::string::npos);
 }
 
-TEST(EventLog, CapacityBoundsAndCountsDrops) {
+TEST(EventLog, RingBufferKeepsMostRecentAndCountsDrops) {
   EventLog log(/*capacity=*/3);
   for (int i = 0; i < 10; ++i) {
     log.record({.at = static_cast<Cycles>(i), .type = EventType::kScan});
   }
-  EXPECT_EQ(log.events().size(), 3u);
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Ring semantics: the *oldest* events fall off; the most recent window
+  // (t=7,8,9) survives, in chronological order.
+  EXPECT_EQ(events[0].at, 7u);
+  EXPECT_EQ(events[1].at, 8u);
+  EXPECT_EQ(events[2].at, 9u);
   EXPECT_EQ(log.dropped(), 7u);
-  EXPECT_NE(log.render().find("7 events dropped"), std::string::npos);
+  EXPECT_NE(log.render().find("7 older events dropped"), std::string::npos);
   log.clear();
   EXPECT_TRUE(log.events().empty());
   EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, ZeroCapacityDropsEverything) {
+  EventLog log(/*capacity=*/0);
+  log.record({.at = 1, .type = EventType::kScan});
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(log.dropped(), 1u);
 }
 
 TEST(EventLog, EveryEventTypeHasAName) {

@@ -1,0 +1,534 @@
+// Tests for the observability layer: histogram bucket math and merge,
+// registry semantics, time-series sampling, and — the golden check — that
+// TraceExporter emits valid Chrome-trace JSON (ph/ts/pid/tid/name on every
+// event) for both a DFP and a SIP simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "core/simulator.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/time_series.h"
+#include "obs/trace_export.h"
+#include "sip/instrumenter.h"
+#include "trace/generators.h"
+
+namespace sgxpl::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser — just enough to validate the exporter's output
+// schema without pulling in an external dependency.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  bool is(Type t) const { return type == t; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = value();
+    skip_ws();
+    if (!v || pos_ != s_.size()) {
+      return std::nullopt;  // trailing garbage or parse error
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return std::nullopt;
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return bool_value();
+    if (c == 'n') {
+      if (!literal("null")) return std::nullopt;
+      return JsonValue{};
+    }
+    return number();
+  }
+
+  std::optional<JsonValue> object() {
+    if (!eat('{')) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (eat('}')) return v;
+    do {
+      auto key = string_value();
+      if (!key || !eat(':')) return std::nullopt;
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.object.emplace(std::move(key->str), std::move(*val));
+    } while (eat(','));
+    if (!eat('}')) return std::nullopt;
+    return v;
+  }
+
+  std::optional<JsonValue> array() {
+    if (!eat('[')) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (eat(']')) return v;
+    do {
+      auto elem = value();
+      if (!elem) return std::nullopt;
+      v.array.push_back(std::move(*elem));
+    } while (eat(','));
+    if (!eat(']')) return std::nullopt;
+    return v;
+  }
+
+  std::optional<JsonValue> string_value() {
+    if (!eat('"')) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return std::nullopt;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) return std::nullopt;
+            pos_ += 4;
+            c = '?';
+            break;
+          default: c = esc; break;  // \" \\ \/
+        }
+      }
+      v.str.push_back(c);
+    }
+    if (!eat('"')) return std::nullopt;
+    return v;
+  }
+
+  std::optional<JsonValue> bool_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (literal("true")) {
+      v.boolean = true;
+      return v;
+    }
+    if (literal("false")) return v;
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> number() {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) return std::nullopt;
+    pos_ += static_cast<std::size_t>(end - start);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 3u);
+  EXPECT_EQ(Histogram::bucket_index(4), 4u);  // first log-linear bucket
+}
+
+TEST(Histogram, BucketBoundariesRoundTrip) {
+  // Every bucket's lower bound must map back to that bucket, and the value
+  // just below it to the previous one: the buckets tile the value range.
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    const std::uint64_t lb = Histogram::bucket_lower_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(lb), i) << "lower bound of bucket " << i;
+    if (lb > 0) {
+      EXPECT_EQ(Histogram::bucket_index(lb - 1), i - 1)
+          << "value below bucket " << i;
+    }
+  }
+  // The whole uint64 range is covered.
+  EXPECT_EQ(Histogram::bucket_index(~0ull), HistogramSnapshot::kBuckets - 1);
+}
+
+TEST(Histogram, LowerBoundsStrictlyIncrease) {
+  for (std::size_t i = 1; i < HistogramSnapshot::kBuckets; ++i) {
+    EXPECT_LT(Histogram::bucket_lower_bound(i - 1),
+              Histogram::bucket_lower_bound(i));
+  }
+}
+
+TEST(Histogram, StatsAndPercentilesOnUniformData) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    h.record(v);
+  }
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 500'500u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+  // Log-linear buckets give ~±12.5% resolution; allow a bit more slack
+  // for the interpolation at the bucket edges.
+  EXPECT_NEAR(s.p50(), 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(s.p90(), 900.0, 900.0 * 0.15);
+  EXPECT_NEAR(s.p99(), 990.0, 990.0 * 0.15);
+  EXPECT_LE(s.quantile(0.0), static_cast<double>(s.min) * 1.15);
+  EXPECT_LE(s.quantile(1.0), static_cast<double>(s.max) * 1.15);
+}
+
+TEST(Histogram, EmptySnapshotIsZero) {
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+}
+
+TEST(Histogram, MergeCombinesDisjointPopulations) {
+  Histogram low;
+  Histogram high;
+  for (int i = 0; i < 10; ++i) {
+    low.record(100);
+    high.record(10'000);
+  }
+  auto merged = low.snapshot();
+  merged.merge(high.snapshot());
+  EXPECT_EQ(merged.count, 20u);
+  EXPECT_EQ(merged.sum, 10u * 100u + 10u * 10'000u);
+  EXPECT_EQ(merged.min, 100u);
+  EXPECT_EQ(merged.max, 10'000u);
+  // Half the mass is at ~100, half at ~10000: p90 lands in the high mode.
+  EXPECT_NEAR(merged.quantile(0.25), 100.0, 100.0 * 0.15);
+  EXPECT_NEAR(merged.p90(), 10'000.0, 10'000.0 * 0.15);
+
+  // Merging an empty snapshot changes nothing.
+  const auto before = merged;
+  merged.merge(HistogramSnapshot{});
+  EXPECT_EQ(merged.count, before.count);
+  EXPECT_EQ(merged.min, before.min);
+  EXPECT_EQ(merged.max, before.max);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, HandlesAreStableAndCreateOnDemand) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("driver.faults");
+  c1.add(3);
+  Counter& c2 = reg.counter("driver.faults");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 3u);
+
+  reg.gauge("dfp.depth").set(4.0);
+  reg.histogram("driver.fault.stall_cycles").record(64'000);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsValidAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("driver.faults").add(7);
+  reg.gauge("dfp.depth").set(2.5);
+  auto& h = reg.histogram("driver.fault.stall_cycles");
+  h.record(100);
+  h.record(200);
+
+  const auto parsed = JsonParser(reg.to_json()).parse();
+  ASSERT_TRUE(parsed.has_value()) << reg.to_json();
+  const auto* counters = parsed->get("counters");
+  const auto* gauges = parsed->get("gauges");
+  const auto* hists = parsed->get("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(hists, nullptr);
+  EXPECT_DOUBLE_EQ(counters->get("driver.faults")->number, 7.0);
+  EXPECT_DOUBLE_EQ(gauges->get("dfp.depth")->number, 2.5);
+  const auto* stall = hists->get("driver.fault.stall_cycles");
+  ASSERT_NE(stall, nullptr);
+  EXPECT_DOUBLE_EQ(stall->get("count")->number, 2.0);
+  EXPECT_DOUBLE_EQ(stall->get("sum")->number, 300.0);
+  EXPECT_NE(stall->get("p50"), nullptr);
+  EXPECT_NE(stall->get("p99"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Time series
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeries, CollectsSamplesAndSummaries) {
+  TimeSeriesSet set;
+  TimeSeries& s = set.series("epc.occupancy");
+  s.add(1'000, 0.25);
+  s.add(2'000, 0.75);
+  s.add(3'000, 0.50);
+  EXPECT_EQ(&s, &set.series("epc.occupancy"));
+  EXPECT_EQ(set.find("epc.occupancy"), &s);
+  EXPECT_EQ(set.find("nonexistent"), nullptr);
+  EXPECT_EQ(s.samples().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 0.75);
+
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(TimeSeries, JsonAndCsvSerialize) {
+  TimeSeriesSet set;
+  set.series("a").add(10, 1.5);
+  set.series("a").add(20, 2.5);
+
+  const auto parsed = JsonParser(set.to_json()).parse();
+  ASSERT_TRUE(parsed.has_value()) << set.to_json();
+  const auto* series = parsed->get("series");
+  ASSERT_NE(series, nullptr);
+  const auto* a = series->get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(a->array[0].get("t")->number, 10.0);
+  EXPECT_DOUBLE_EQ(a->array[1].get("v")->number, 2.5);
+
+  const std::string csv = set.to_csv();
+  EXPECT_NE(csv.find("a,10,"), std::string::npos) << csv;
+}
+
+TEST(TimeSeries, DriverSamplesOnServiceThreadCadence) {
+  // A long sequential run must produce occupancy/fault-rate curves with
+  // strictly increasing timestamps, one window per scan tick.
+  trace::Trace t("seq", 512);
+  Rng rng(1);
+  trace::seq_scan(t, rng, trace::Region{0, 256}, 1,
+                  trace::GapModel{.mean = 20'000, .jitter_pct = 0});
+
+  core::SimConfig cfg;
+  cfg.scheme = core::Scheme::kDfpStop;
+  cfg.enclave.epc_pages = 64;
+  TimeSeriesSet set;
+  cfg.timeseries = &set;
+  core::simulate(t, cfg);
+
+  const TimeSeries* occ = set.find("epc.occupancy");
+  ASSERT_NE(occ, nullptr);
+  ASSERT_GT(occ->samples().size(), 2u);
+  Cycles prev = 0;
+  for (const auto& s : occ->samples()) {
+    EXPECT_GT(s.at, prev);
+    prev = s.at;
+    EXPECT_GE(s.value, 0.0);
+    EXPECT_LE(s.value, 1.0);
+  }
+  ASSERT_NE(set.find("driver.faults_per_mcycle"), nullptr);
+  ASSERT_NE(set.find("dfp.depth"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics ratio guards (satellite: divide-by-zero regression test)
+// ---------------------------------------------------------------------------
+
+TEST(CoreMetrics, ZeroCycleBaselineIsGuarded) {
+  core::Metrics run;
+  run.total_cycles = 1'000;
+  core::Metrics zero;  // total_cycles == 0
+  EXPECT_DOUBLE_EQ(run.improvement_over(zero), 0.0);
+  EXPECT_DOUBLE_EQ(run.normalized_to(zero), 1.0);
+  EXPECT_FALSE(std::isnan(run.improvement_over(zero)));
+  EXPECT_FALSE(std::isinf(run.normalized_to(zero)));
+}
+
+// ---------------------------------------------------------------------------
+// Trace export schema (the golden check of the acceptance criteria)
+// ---------------------------------------------------------------------------
+
+/// Validates the Chrome-trace schema: top-level traceEvents array where
+/// every event carries ph/ts/pid/tid/name with sane types.
+void check_trace_schema(const std::string& json, std::size_t* out_events) {
+  const auto parsed = JsonParser(json).parse();
+  ASSERT_TRUE(parsed.has_value()) << "trace is not valid JSON";
+  ASSERT_TRUE(parsed->is(JsonValue::Type::kObject));
+  const auto* events = parsed->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is(JsonValue::Type::kArray));
+  ASSERT_FALSE(events->array.empty());
+  EXPECT_NE(parsed->get("displayTimeUnit"), nullptr);
+
+  for (const auto& e : events->array) {
+    ASSERT_TRUE(e.is(JsonValue::Type::kObject));
+    const auto* ph = e.get("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_TRUE(ph->is(JsonValue::Type::kString));
+    EXPECT_TRUE(ph->str == "M" || ph->str == "X" || ph->str == "i" ||
+                ph->str == "C")
+        << "unexpected phase " << ph->str;
+    const auto* ts = e.get("ts");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_TRUE(ts->is(JsonValue::Type::kNumber));
+    EXPECT_GE(ts->number, 0.0);
+    ASSERT_NE(e.get("pid"), nullptr);
+    ASSERT_NE(e.get("tid"), nullptr);
+    const auto* name = e.get("name");
+    ASSERT_NE(name, nullptr);
+    ASSERT_TRUE(name->is(JsonValue::Type::kString));
+    EXPECT_FALSE(name->str.empty());
+    if (ph->str == "X") {
+      const auto* dur = e.get("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number, 0.0);
+    }
+  }
+  *out_events = events->array.size();
+}
+
+bool has_event(const std::string& json, const std::string& name) {
+  const auto parsed = JsonParser(json).parse();
+  for (const auto& e : parsed->get("traceEvents")->array) {
+    const auto* n = e.get("name");
+    if (n != nullptr && n->str == name) return true;
+  }
+  return false;
+}
+
+TEST(TraceExporter, DfpWorkloadExportsValidChromeTrace) {
+  trace::Trace t("seq", 512);
+  Rng rng(3);
+  trace::seq_scan(t, rng, trace::Region{0, 256}, 1,
+                  trace::GapModel{.mean = 10'000, .jitter_pct = 0});
+
+  core::SimConfig cfg;
+  cfg.scheme = core::Scheme::kDfpStop;
+  cfg.enclave.epc_pages = 64;
+  EventLog log(1u << 14);
+  TimeSeriesSet series;
+  cfg.event_log = &log;
+  cfg.timeseries = &series;
+  core::simulate(t, cfg);
+  ASSERT_GT(log.size(), 0u);
+
+  TraceExporter exp;
+  exp.add_events(log, /*pid=*/0, "dfp-run");
+  exp.add_time_series(series);
+  const std::string json = exp.to_json();
+
+  std::size_t n = 0;
+  check_trace_schema(json, &n);
+  EXPECT_GE(n, exp.size());  // events + per-process metadata records
+  // The DFP run must surface faults, their paired stall slices, and the
+  // channel's load slices.
+  EXPECT_TRUE(has_event(json, "FAULT(AEX)"));
+  EXPECT_TRUE(has_event(json, "fault-stall"));
+  EXPECT_TRUE(has_event(json, "load"));
+  EXPECT_TRUE(has_event(json, "epc.occupancy"));
+}
+
+TEST(TraceExporter, SipWorkloadExportsValidChromeTrace) {
+  trace::Trace t("rand", 512);
+  Rng rng(4);
+  trace::random_access(t, rng, trace::Region{0, 384}, 2'000, 1, 1,
+                       trace::GapModel{.mean = 5'000, .jitter_pct = 0});
+
+  core::SimConfig cfg;
+  cfg.scheme = core::Scheme::kSip;
+  cfg.enclave.epc_pages = 64;
+  sip::InstrumentationPlan plan;
+  plan.add_site(1);
+  EventLog log(1u << 14);
+  cfg.event_log = &log;
+  core::simulate(t, cfg, &plan);
+  ASSERT_GT(log.size(), 0u);
+
+  TraceExporter exp;
+  exp.add_events(log, /*pid=*/0, "sip-run");
+  const std::string json = exp.to_json();
+
+  std::size_t n = 0;
+  check_trace_schema(json, &n);
+  EXPECT_GE(n, log.size());
+  EXPECT_TRUE(has_event(json, "SIP-NOTIFY"));
+}
+
+TEST(TraceExporter, MultiProcessTracesKeepPidsDistinct) {
+  EventLog a(64);
+  EventLog b(64);
+  a.record({10, EventType::kFault, 1, 0, ""});
+  b.record({20, EventType::kFault, 2, 0, ""});
+  TraceExporter exp;
+  exp.add_events(a, /*pid=*/0, "enclave-0");
+  exp.add_events(b, /*pid=*/1, "enclave-1");
+  const auto parsed = JsonParser(exp.to_json()).parse();
+  ASSERT_TRUE(parsed.has_value());
+  bool saw_pid0 = false;
+  bool saw_pid1 = false;
+  for (const auto& e : parsed->get("traceEvents")->array) {
+    const double pid = e.get("pid")->number;
+    saw_pid0 |= pid == 0.0;
+    saw_pid1 |= pid == 1.0;
+  }
+  EXPECT_TRUE(saw_pid0);
+  EXPECT_TRUE(saw_pid1);
+}
+
+}  // namespace
+}  // namespace sgxpl::obs
