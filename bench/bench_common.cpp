@@ -30,6 +30,7 @@ struct HarnessState {
   obs::MetricsRegistry registry;
   obs::TimeSeriesSet series;
   obs::EventLog event_log{1 << 16};
+  inject::ChaosPlan chaos;  // nothing enabled unless --chaos was given
 };
 
 HarnessState& state() {
@@ -64,6 +65,7 @@ core::SimConfig bench_platform(core::Scheme scheme) {
     cfg.event_log = &st.event_log;
     cfg.timeseries = &st.series;
   }
+  cfg.chaos = st.chaos;
   return cfg;
 }
 
@@ -77,28 +79,58 @@ void init(int argc, char** argv, const std::string& bench,
   auto& st = state();
   st.bench = bench;
   st.reproduces = reproduces;
+  std::string chaos_spec;
+  std::uint64_t chaos_seed = st.chaos.seed;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" || arg == "--trace") {
+    if (arg == "--json" || arg == "--trace" || arg == "--chaos" ||
+        arg == "--seed") {
       if (i + 1 >= argc) {
-        std::cerr << "error: " << arg << " requires a path\n";
+        std::cerr << "error: " << arg << " requires a value\n";
         std::exit(2);
       }
-      (arg == "--json" ? st.json_path : st.trace_path) = argv[++i];
+      const std::string value = argv[++i];
+      if (arg == "--json") {
+        st.json_path = value;
+      } else if (arg == "--trace") {
+        st.trace_path = value;
+      } else if (arg == "--chaos") {
+        chaos_spec = value;
+      } else {
+        chaos_seed = std::strtoull(value.c_str(), nullptr, 0);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << bench
                 << " [--json <out.json>] [--trace <out-trace.json>]\n"
+                   "       [--chaos <spec>] [--seed <n>]\n"
+                   "--chaos spec: \"all\", \"none\", or comma-separated\n"
+                   "  name[:probability[:magnitude]] entries (see\n"
+                   "  docs/ROBUSTNESS.md); --seed replays a schedule.\n"
                    "SGXPL_SCALE=<s> scales workloads (default 1.0).\n";
       std::exit(0);
     } else {
       std::cerr << "warning: unknown argument '" << arg << "' (ignored)\n";
     }
   }
+  if (!chaos_spec.empty()) {
+    std::string err;
+    const auto plan = inject::ChaosPlan::parse(chaos_spec, &err);
+    if (!plan.has_value()) {
+      std::cerr << "error: --chaos: " << err << '\n';
+      std::exit(2);
+    }
+    st.chaos = *plan;
+  }
+  st.chaos.seed = chaos_seed;
   std::cout << "=== " << bench << " ===\n"
             << "Reproduces: " << reproduces << "\n"
             << "Scale: " << bench_scale()
             << " (EPC " << bench_platform().enclave.epc_pages << " pages; "
-            << "set SGXPL_SCALE to change)\n\n";
+            << "set SGXPL_SCALE to change)\n";
+  if (st.chaos.any_enabled()) {
+    std::cout << "Chaos: " << st.chaos.describe() << "\n";
+  }
+  std::cout << "\n";
 }
 
 void print_table(const std::string& name, const TextTable& tbl) {
@@ -124,6 +156,8 @@ void add_note(const std::string& name, const std::string& text) {
 
 obs::MetricsRegistry& registry() { return state().registry; }
 
+const inject::ChaosPlan& chaos_plan() { return state().chaos; }
+
 namespace {
 
 std::string result_document() {
@@ -136,6 +170,9 @@ std::string result_document() {
       .kv("scale", bench_scale())
       .kv("epc_pages",
           static_cast<std::uint64_t>(bench_platform().enclave.epc_pages));
+  if (st.chaos.any_enabled()) {
+    w.kv("chaos", st.chaos.spec()).kv("chaos_seed", st.chaos.seed);
+  }
   w.key("tables").begin_array();
   for (const auto& t : st.tables) {
     w.begin_object();

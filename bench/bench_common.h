@@ -14,6 +14,11 @@
 //   --trace <path>  attach an event log + time-series sampler to the runs
 //                   and write a Chrome/Perfetto trace of the *last*
 //                   simulation on finish()
+//   --chaos <spec>  run every simulation under the given fault-injection
+//                   plan ("all", "none", or "name[:prob[:mag]],..." — see
+//                   inject/chaos_plan.h and docs/ROBUSTNESS.md)
+//   --seed <n>      seed for the chaos plan (default 0x5eed); the same
+//                   spec + seed replays the identical fault schedule
 //
 // Environment:
 //   SGXPL_SCALE  scale factor for workload footprints/lengths (default 1.0,
@@ -61,6 +66,11 @@ void add_note(const std::string& name, const std::string& text);
 
 /// The harness metrics registry (always usable; only exported with --json).
 obs::MetricsRegistry& registry();
+
+/// The --chaos plan (nothing enabled unless the flag was given). Already
+/// applied to every bench_platform() config; exposed for benches that build
+/// configs some other way.
+const inject::ChaosPlan& chaos_plan();
 
 /// Flush --json/--trace outputs. Benches end with `return bench::finish();`.
 int finish();

@@ -1,0 +1,128 @@
+// Chaos suite: how much of each preloading scheme's benefit survives when
+// the untrusted paging stack misbehaves (docs/ROBUSTNESS.md).
+//
+// For every fault class (and the all-on hostile plan) the suite runs one
+// regular and one irregular workload under DFP / DFP-stop / SIP / hybrid,
+// normalized against a baseline run *under the same faults* — so the table
+// reports what the scheme still buys on a degraded platform, not the
+// degradation itself. Three checks ride along:
+//   - graceful degradation: with the health monitor on, DFP under the full
+//     hostile plan stays within a small slack of the no-preload baseline
+//     (the paper's DFP-stop promise, generalized);
+//   - determinism: the same plan + seed replays to bit-identical cycles;
+//   - safety: every run executes with validation on, so a chaos hook that
+//     corrupted driver ground truth would abort the bench.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "inject/chaos_plan.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+namespace {
+
+constexpr const char* kRegular = "microbenchmark";
+constexpr const char* kIrregular = "deepsjeng";
+
+/// Tolerated overhead vs. the no-preload baseline for the graceful-
+/// degradation check (mirrors the paper's ~2.8% residual DFP-stop
+/// overhead, with head-room for fault-perturbed runs).
+constexpr double kDegradationSlack = 0.06;
+
+core::SimConfig chaos_platform(const inject::ChaosPlan& plan) {
+  core::SimConfig cfg = bench::bench_platform();
+  cfg.chaos = plan;
+  cfg.validate = true;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv,
+      "chaos_suite",
+      "Robustness: scheme improvement per injected fault class");
+
+  const auto opts = bench::bench_options();
+  const std::uint64_t seed = bench::chaos_plan().seed;
+  const std::vector<core::Scheme> schemes = {
+      core::Scheme::kDfp, core::Scheme::kDfpStop, core::Scheme::kSip,
+      core::Scheme::kHybrid};
+
+  for (const char* workload : {kRegular, kIrregular}) {
+    TextTable tbl({"fault class", "DFP", "DFP-stop", "SIP", "SIP+DFP",
+                   "faults fired"});
+    // Row 0: the undisturbed platform, the reference the fault rows degrade
+    // from. Then one row per class at default intensity, then everything.
+    std::vector<std::pair<std::string, inject::ChaosPlan>> plans;
+    plans.emplace_back("(none)", inject::ChaosPlan{});
+    for (const inject::FaultKind k : inject::all_fault_kinds()) {
+      inject::ChaosPlan plan;
+      plan.seed = seed;
+      plan.enable(k);
+      plans.emplace_back(inject::to_string(k), plan);
+    }
+    plans.emplace_back("all", inject::ChaosPlan::all(seed));
+
+    for (const auto& [name, plan] : plans) {
+      const auto c = core::compare_schemes(workload, schemes,
+                                           chaos_platform(plan), opts);
+      std::uint64_t fired = 0;
+      for (const auto& r : c.schemes) {
+        fired += r.metrics.inject.total_fired();
+      }
+      tbl.add_row({name,
+                   TextTable::pct(c.find(core::Scheme::kDfp)->improvement),
+                   TextTable::pct(c.find(core::Scheme::kDfpStop)->improvement),
+                   TextTable::pct(c.find(core::Scheme::kSip)->improvement),
+                   TextTable::pct(c.find(core::Scheme::kHybrid)->improvement),
+                   std::to_string(fired)});
+    }
+    std::cout << "--- " << workload << " ---\n";
+    bench::print_table(std::string("improvement_") + workload, tbl);
+    std::cout << "\n";
+  }
+
+  // Graceful degradation: the hostile plan with the health monitor on. The
+  // irregular workload is the hard case — preloading is already a loss
+  // there, so the monitor has to keep DFP parked near the baseline.
+  {
+    core::SimConfig cfg = chaos_platform(inject::ChaosPlan::all(seed));
+    cfg.dfp.health.enabled = true;
+    const auto c =
+        core::compare_schemes(kIrregular, {core::Scheme::kDfp}, cfg, opts);
+    const double overhead = -c.find(core::Scheme::kDfp)->improvement;
+    std::cout << "Hostile plan, DFP + health monitor on " << kIrregular
+              << ": overhead vs baseline "
+              << TextTable::pct(overhead > 0.0 ? overhead : 0.0)
+              << " (slack " << TextTable::pct(kDegradationSlack) << ")"
+              << std::endl;
+    bench::add_scalar("health_overhead_irregular", overhead);
+    SGXPL_CHECK_MSG(overhead <= kDegradationSlack,
+                    "health monitor failed to contain chaos overhead");
+  }
+
+  // Determinism: the same plan + seed must replay bit-identically.
+  {
+    const auto cfg = chaos_platform(inject::ChaosPlan::all(seed));
+    const auto a =
+        core::compare_schemes(kRegular, {core::Scheme::kDfpStop}, cfg, opts);
+    const auto b =
+        core::compare_schemes(kRegular, {core::Scheme::kDfpStop}, cfg, opts);
+    const auto& ma = a.find(core::Scheme::kDfpStop)->metrics;
+    const auto& mb = b.find(core::Scheme::kDfpStop)->metrics;
+    SGXPL_CHECK_MSG(ma.total_cycles == mb.total_cycles &&
+                        ma.enclave_faults == mb.enclave_faults &&
+                        ma.inject.total_fired() == mb.inject.total_fired(),
+                    "chaos replay diverged");
+    std::cout << "Replay check: two seeded runs bit-identical ("
+              << ma.total_cycles << " cycles, "
+              << ma.inject.total_fired() << " faults fired)\n";
+  }
+
+  return bench::finish();
+}

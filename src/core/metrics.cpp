@@ -30,7 +30,11 @@ std::string Metrics::describe() const {
       << ", sip_requests=" << sip_requests
       << ", dfp{preloaded=" << dfp_preload_counter
       << ", used=" << dfp_acc_preload_counter
-      << ", stopped=" << (dfp_stopped ? "yes" : "no") << "}}";
+      << ", stopped=" << (dfp_stopped ? "yes" : "no") << "}";
+  if (inject.total_opportunities() > 0) {
+    oss << ", " << inject.describe();
+  }
+  oss << "}";
   return oss.str();
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "inject/fault_injector.h"
 #include "sgxsim/driver.h"
 
 namespace sgxpl::core {
@@ -36,6 +37,9 @@ struct Metrics {
 
   /// Final driver-side statistics (faults, loads, preload accounting, ...).
   sgxsim::DriverStats driver;
+
+  /// Fault-injection activity (all zero when no chaos plan was active).
+  inject::InjectStats inject;
 
   /// Fractional improvement of this run over `baseline`
   /// (positive = faster), the paper's headline metric.

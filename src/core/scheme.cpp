@@ -29,7 +29,11 @@ std::string SimConfig::describe() const {
       << ", streams=" << dfp.predictor.stream_list_len
       << ", load_length=" << dfp.predictor.load_length
       << ", sip_threshold=" << sip.irregular_threshold
-      << ", contention=" << channel_contention << "}";
+      << ", contention=" << channel_contention;
+  if (chaos.any_enabled()) {
+    oss << ", chaos=" << chaos.describe();
+  }
+  oss << "}";
   return oss.str();
 }
 

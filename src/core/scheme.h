@@ -5,6 +5,7 @@
 #include <string>
 
 #include "dfp/dfp_engine.h"
+#include "inject/chaos_plan.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/time_series.h"
@@ -46,6 +47,11 @@ struct SimConfig {
   /// memory bandwidth, which is one reason preloading gains saturate well
   /// below the AEX+ERESUME bound on real hardware (paper §5.6).
   double channel_contention = 0.0;
+
+  /// Fault-injection plan for the untrusted paging stack (src/inject).
+  /// Default-constructed = no faults enabled = zero-overhead plain run;
+  /// see docs/ROBUSTNESS.md.
+  inject::ChaosPlan chaos;
 
   // --- Observability sinks (not owned; null = off, zero overhead). ---
   // See docs/OBSERVABILITY.md. Counters/histograms accumulate across runs

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "dfp/dfp_engine.h"
+#include "inject/fault_injector.h"
 #include "sgxsim/driver.h"
 
 namespace sgxpl::core {
@@ -36,12 +37,30 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
     }
     engine = std::make_unique<dfp::DfpEngine>(params);
   }
+  // Chaos attach: the injector perturbs the untrusted stack through the
+  // driver's ChaosHooks boundary; a plan with nothing enabled costs nothing.
+  // Under chaos the online watchdog defaults on (every 64 scans plus every
+  // injection boundary) so a hook that ever corrupted ground truth trips
+  // immediately, not at end-of-run.
+  std::unique_ptr<inject::FaultInjector> injector;
+  if (cfg.chaos.any_enabled()) {
+    injector = std::make_unique<inject::FaultInjector>(cfg.chaos);
+    if (cfg.enclave.watchdog_scan_interval == 0) {
+      cfg.enclave.watchdog_scan_interval = 64;
+    }
+  }
   sgxsim::Driver driver(cfg.enclave, cfg.costs, engine.get());
+  if (injector != nullptr) {
+    driver.set_chaos(injector.get());
+  }
 
   // Observability attach: each sink is independent and null means off.
   if (cfg.event_log != nullptr) {
     cfg.event_log->clear();  // the log holds exactly one run's window
     driver.set_event_log(cfg.event_log);
+    if (injector != nullptr) {
+      injector->set_event_log(cfg.event_log);
+    }
   }
   if (cfg.registry != nullptr) {
     driver.set_metrics(cfg.registry);
@@ -72,7 +91,7 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
     now += cfg.costs.bitmap_check;
     m.sip_check_cycles += cfg.costs.bitmap_check;
     ++m.sip_checks;
-    if (!driver.bitmap().test(target.page)) {
+    if (!driver.sip_bitmap_check(target.page, now)) {
       now += cfg.costs.sip_notification;
       m.sip_notification_cycles += cfg.costs.sip_notification;
       ++m.sip_requests;
@@ -117,7 +136,7 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
           now += cfg.costs.bitmap_check;
           m.sip_check_cycles += cfg.costs.bitmap_check;
           ++m.sip_checks;
-          if (!driver.bitmap().test(a.page)) {
+          if (!driver.sip_bitmap_check(a.page, now)) {
             const Cycles loaded = driver.sip_load(a.page, now);
             now = loaded + cfg.costs.sip_notification;
             m.sip_notification_cycles += cfg.costs.sip_notification;
@@ -142,6 +161,9 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
     driver.check_invariants();
   }
   m.driver = driver.stats();
+  if (injector != nullptr) {
+    m.inject = injector->stats();
+  }
   if (engine != nullptr) {
     m.dfp_stopped = engine->stopped();
     m.dfp_stopped_at = engine->stopped_at();
@@ -156,6 +178,9 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
     m.driver.publish(reg);
     if (engine != nullptr) {
       engine->publish(reg);
+    }
+    if (injector != nullptr) {
+      m.inject.publish(reg);
     }
     reg.counter("sim.runs").add();
     reg.counter("sim.total_cycles").add(m.total_cycles);

@@ -24,6 +24,19 @@ const char* to_string(PredictorKind k) noexcept {
   return "?";
 }
 
+std::optional<PredictorKind> parse_predictor_kind(
+    std::string_view name) noexcept {
+  for (const PredictorKind k :
+       {PredictorKind::kMultiStream, PredictorKind::kNextN,
+        PredictorKind::kStride, PredictorKind::kMarkov,
+        PredictorKind::kTournament}) {
+    if (name == to_string(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<PagePredictor> make_predictor(const DfpParams& params) {
   const std::uint64_t depth = params.predictor.load_length;
   switch (params.kind) {
@@ -67,6 +80,9 @@ DfpEngine::DfpEngine(const DfpParams& params,
   SGXPL_CHECK(predictor_ != nullptr);
   SGXPL_CHECK(depth_ > 0);
   SGXPL_CHECK(!params_.adaptive_load_length || params_.adaptive_max_depth > 0);
+  if (params_.health.enabled) {
+    health_.emplace(params_.health);
+  }
 }
 
 std::vector<PageNum> DfpEngine::on_fault(ProcessId pid, PageNum page,
@@ -95,12 +111,32 @@ void DfpEngine::on_preloaded_page_evicted(PageNum page, bool /*was_accessed*/,
   list_.on_evicted(page);
 }
 
+void DfpEngine::on_state_lost(Cycles /*now*/) {
+  // A restarted kernel worker loses the predictor's learned streams; the
+  // preload accounting (PreloadedPageList counters) survives on the driver
+  // side, so the stop valve / health monitor keep their evidence.
+  predictor_->reset();
+}
+
 void DfpEngine::on_scan(const sgxsim::PageTable& pt, Cycles now) {
   list_.scan(pt);
   if (params_.adaptive_load_length) {
     adapt_depth();
   }
-  maybe_stop(now);
+  if (health_.has_value()) {
+    health_->on_scan(list_.preload_counter(), list_.acc_preload_counter(),
+                     aborted_, now);
+    const bool blocked = !health_->preloads_allowed();
+    if (blocked && !stopped_) {
+      stopped_at_ = now;
+      if (stop_counter_ != nullptr) {
+        stop_counter_->add();
+      }
+    }
+    stopped_ = blocked;
+  } else {
+    maybe_stop(now);
+  }
   if (series_ != nullptr) {
     series_->series("dfp.depth")
         .add(now, stopped_ ? 0.0 : static_cast<double>(depth_));
@@ -118,6 +154,9 @@ void DfpEngine::set_observability(obs::MetricsRegistry* reg,
   depth_gauge_ = reg != nullptr ? &reg->gauge("dfp.depth") : nullptr;
   stop_counter_ = reg != nullptr ? &reg->counter("dfp.stops") : nullptr;
   series_ = ts;
+  if (health_.has_value()) {
+    health_->set_observability(ts);
+  }
   if (depth_gauge_ != nullptr) {
     depth_gauge_->set(static_cast<double>(depth_));
   }
@@ -131,6 +170,9 @@ void DfpEngine::publish(obs::MetricsRegistry& reg) const {
   reg.counter("dfp.predictor.misses").add(predictor_->misses());
   if (stopped_) {
     reg.gauge("dfp.stopped_at").set(static_cast<double>(stopped_at_));
+  }
+  if (health_.has_value()) {
+    health_->publish(reg);
   }
 }
 
@@ -183,13 +225,20 @@ std::string DfpEngine::describe() const {
       << ", misses=" << predictor_->misses()
       << ", PreloadCounter=" << list_.preload_counter()
       << ", AccPreloadCounter=" << list_.acc_preload_counter()
-      << ", stopped=" << (stopped_ ? "yes" : "no") << "}";
+      << ", stopped=" << (stopped_ ? "yes" : "no");
+  if (health_.has_value()) {
+    oss << ", " << health_->describe();
+  }
+  oss << "}";
   return oss.str();
 }
 
 void DfpEngine::reset() {
   predictor_->reset();
   list_.reset();
+  if (health_.has_value()) {
+    health_->reset();
+  }
   stopped_ = false;
   stopped_at_ = 0;
   aborted_ = 0;

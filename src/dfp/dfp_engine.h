@@ -6,8 +6,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 
+#include "dfp/health_monitor.h"
 #include "dfp/predictor.h"
 #include "dfp/preloaded_page_list.h"
 #include "dfp/stream_predictor.h"
@@ -28,6 +31,10 @@ enum class PredictorKind : std::uint8_t {
 };
 
 const char* to_string(PredictorKind k) noexcept;
+
+/// Inverse of to_string (exact spelling); nullopt for unknown names.
+std::optional<PredictorKind> parse_predictor_kind(
+    std::string_view name) noexcept;
 
 struct DfpParams {
   PredictorKind kind = PredictorKind::kMultiStream;
@@ -50,6 +57,11 @@ struct DfpParams {
   /// [1, adaptive_max_depth].
   bool adaptive_load_length = false;
   std::uint64_t adaptive_max_depth = 16;
+
+  /// Graceful-degradation health monitor (health_monitor.h). When enabled
+  /// it *replaces* the one-way stop valve above: the same stop rule applies
+  /// per window, but preloading can come back after a recovery period.
+  HealthParams health;
 };
 
 /// Build the predictor `params` asks for. All non-stream kinds take their
@@ -72,9 +84,16 @@ class DfpEngine final : public sgxsim::PreloadPolicy {
   void on_preloaded_page_evicted(PageNum page, bool was_accessed,
                                  Cycles now) override;
   void on_scan(const sgxsim::PageTable& pt, Cycles now) override;
+  void on_state_lost(Cycles now) override;
 
   // --- introspection ---
+  /// Preloading currently disabled — permanently (plain valve) or until the
+  /// health monitor's recovery window elapses.
   bool stopped() const noexcept { return stopped_; }
+  /// Health monitor, when params.health.enabled; null otherwise.
+  const HealthMonitor* health() const noexcept {
+    return health_.has_value() ? &*health_ : nullptr;
+  }
   Cycles stopped_at() const noexcept { return stopped_at_; }
   /// Current preload depth (== predictor load_length unless adaptive).
   std::uint64_t current_depth() const noexcept { return depth_; }
@@ -104,6 +123,7 @@ class DfpEngine final : public sgxsim::PreloadPolicy {
   DfpParams params_;
   std::unique_ptr<PagePredictor> predictor_;
   PreloadedPageList list_;
+  std::optional<HealthMonitor> health_;
   bool stopped_ = false;
   Cycles stopped_at_ = 0;
   std::uint64_t aborted_ = 0;

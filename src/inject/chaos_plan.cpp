@@ -1,0 +1,209 @@
+#include "inject/chaos_plan.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sgxpl::inject {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kChannelJitter:
+      return "jitter";
+    case FaultKind::kChannelSpike:
+      return "spike";
+    case FaultKind::kBitmapStale:
+      return "stale-bit";
+    case FaultKind::kBitmapFlip:
+      return "flip-bit";
+    case FaultKind::kDropCompletion:
+      return "drop-completion";
+    case FaultKind::kDupCompletion:
+      return "dup-completion";
+    case FaultKind::kScanStall:
+      return "scan-stall";
+    case FaultKind::kEpcSqueeze:
+      return "epc-squeeze";
+    case FaultKind::kPredictorWipe:
+      return "predictor-wipe";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> parse_fault_kind(std::string_view name) noexcept {
+  for (const FaultKind k : all_fault_kinds()) {
+    if (name == to_string(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+FaultSetting default_setting(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kChannelJitter:
+      return {.enabled = true, .probability = 1.0, .magnitude = 0.3};
+    case FaultKind::kChannelSpike:
+      return {.enabled = true, .probability = 0.02, .magnitude = 10.0};
+    case FaultKind::kBitmapStale:
+      return {.enabled = true, .probability = 0.05, .magnitude = 0.0};
+    case FaultKind::kBitmapFlip:
+      return {.enabled = true, .probability = 0.02, .magnitude = 0.0};
+    case FaultKind::kDropCompletion:
+      return {.enabled = true, .probability = 0.10, .magnitude = 0.0};
+    case FaultKind::kDupCompletion:
+      return {.enabled = true, .probability = 0.10, .magnitude = 0.0};
+    case FaultKind::kScanStall:
+      return {.enabled = true, .probability = 0.05, .magnitude = 4.0};
+    case FaultKind::kEpcSqueeze:
+      return {.enabled = true, .probability = 0.25, .magnitude = 0.5};
+    case FaultKind::kPredictorWipe:
+      return {.enabled = true, .probability = 0.01, .magnitude = 0.0};
+  }
+  return {};
+}
+
+bool ChaosPlan::any_enabled() const noexcept {
+  for (const auto& f : faults) {
+    if (f.enabled && f.probability > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ChaosPlan& ChaosPlan::enable(FaultKind k, double probability,
+                             double magnitude) {
+  FaultSetting s = default_setting(k);
+  if (probability >= 0.0) {
+    s.probability = probability;
+  }
+  if (magnitude >= 0.0) {
+    s.magnitude = magnitude;
+  }
+  setting(k) = s;
+  return *this;
+}
+
+ChaosPlan ChaosPlan::all(std::uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  for (const FaultKind k : all_fault_kinds()) {
+    plan.setting(k) = default_setting(k);
+  }
+  return plan;
+}
+
+namespace {
+
+bool parse_double(std::string_view s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string buf(s);
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || v < 0.0) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool fail(std::string* err, const std::string& what) {
+  if (err != nullptr) {
+    *err = what;
+  }
+  return false;
+}
+
+bool parse_entry(std::string_view entry, ChaosPlan* plan, std::string* err) {
+  // name[:probability[:magnitude]]
+  std::string_view name = entry;
+  std::string_view rest;
+  if (const auto colon = entry.find(':'); colon != std::string_view::npos) {
+    name = entry.substr(0, colon);
+    rest = entry.substr(colon + 1);
+  }
+  const auto kind = parse_fault_kind(name);
+  if (!kind.has_value()) {
+    return fail(err, "unknown fault class '" + std::string(name) +
+                         "' (see inject/chaos_plan.h)");
+  }
+  double prob = -1.0;
+  double mag = -1.0;
+  if (!rest.empty()) {
+    std::string_view p = rest;
+    std::string_view m;
+    if (const auto colon = rest.find(':'); colon != std::string_view::npos) {
+      p = rest.substr(0, colon);
+      m = rest.substr(colon + 1);
+    }
+    if (!parse_double(p, &prob) || prob > 1.0) {
+      return fail(err, "bad probability in '" + std::string(entry) + "'");
+    }
+    if (!m.empty() && !parse_double(m, &mag)) {
+      return fail(err, "bad magnitude in '" + std::string(entry) + "'");
+    }
+  }
+  plan->enable(*kind, prob, mag);
+  return true;
+}
+
+}  // namespace
+
+std::optional<ChaosPlan> ChaosPlan::parse(std::string_view spec,
+                                          std::string* err) {
+  ChaosPlan plan;
+  if (spec == "all") {
+    return all(plan.seed);
+  }
+  if (spec == "none" || spec.empty()) {
+    return plan;
+  }
+  while (!spec.empty()) {
+    std::string_view entry = spec;
+    if (const auto comma = spec.find(','); comma != std::string_view::npos) {
+      entry = spec.substr(0, comma);
+      spec = spec.substr(comma + 1);
+    } else {
+      spec = {};
+    }
+    if (entry.empty()) {
+      if (err != nullptr) {
+        *err = "empty entry in chaos spec";
+      }
+      return std::nullopt;
+    }
+    if (!parse_entry(entry, &plan, err)) {
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+std::string ChaosPlan::spec() const {
+  std::ostringstream oss;
+  bool first = true;
+  for (const FaultKind k : all_fault_kinds()) {
+    const auto& s = setting(k);
+    if (!s.enabled) {
+      continue;
+    }
+    if (!first) {
+      oss << ',';
+    }
+    first = false;
+    oss << to_string(k) << ':' << s.probability << ':' << s.magnitude;
+  }
+  return oss.str();
+}
+
+std::string ChaosPlan::describe() const {
+  std::ostringstream oss;
+  oss << "ChaosPlan{seed=" << seed;
+  const std::string s = spec();
+  oss << ", faults=" << (s.empty() ? "none" : s) << "}";
+  return oss.str();
+}
+
+}  // namespace sgxpl::inject

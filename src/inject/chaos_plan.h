@@ -1,0 +1,104 @@
+// The chaos plan: which fault classes to inject into the untrusted paging
+// stack, at what intensity, under which seed.
+//
+// A plan is pure data — deterministic and serializable to/from the compact
+// `--chaos` spec string — so any bench or test can replay the exact same
+// fault schedule (`same seed, same plan => bit-identical run`). The
+// FaultInjector (fault_injector.h) turns a plan into live ChaosHooks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sgxpl::inject {
+
+/// The fault classes the injector can fire. Each perturbs one input the
+/// untrusted OS controls; none can corrupt driver ground truth (see
+/// sgxsim/chaos_hooks.h).
+enum class FaultKind : std::uint8_t {
+  kChannelJitter,   // multiplicative latency noise on every channel op
+  kChannelSpike,    // rare large latency spikes on channel ops
+  kBitmapStale,     // SIP reads a stale "resident" bit for an absent page
+  kBitmapFlip,      // SIP reads the inverted bit (either direction)
+  kDropCompletion,  // preload completion notification lost
+  kDupCompletion,   // preload completion notification delivered twice
+  kScanStall,       // service-thread scan oversleeps
+  kEpcSqueeze,      // transient EPC capacity squeeze (co-tenant pressure)
+  kPredictorWipe,   // DFP predictor state lost (worker restart)
+};
+
+inline constexpr std::size_t kFaultKindCount = 9;
+
+/// All fault kinds, in enum order (for sweeps and round-trip tests).
+constexpr std::array<FaultKind, kFaultKindCount> all_fault_kinds() {
+  return {FaultKind::kChannelJitter, FaultKind::kChannelSpike,
+          FaultKind::kBitmapStale,   FaultKind::kBitmapFlip,
+          FaultKind::kDropCompletion, FaultKind::kDupCompletion,
+          FaultKind::kScanStall,     FaultKind::kEpcSqueeze,
+          FaultKind::kPredictorWipe};
+}
+
+const char* to_string(FaultKind k) noexcept;
+
+/// Inverse of to_string (exact spelling); nullopt for unknown names.
+std::optional<FaultKind> parse_fault_kind(std::string_view name) noexcept;
+
+/// Per-class setting. `probability` is the chance the class fires at each
+/// opportunity (per channel op, per bitmap read, per scan, ...);
+/// `magnitude` is class-specific:
+///   jitter   max fractional inflation of a load (duration *= 1+U[0,m])
+///   spike    duration multiplier when a spike fires
+///   stale/flip  unused (the probability is the whole story)
+///   drop/dup    unused
+///   scan-stall  stall length in scan periods (stall = period * (1+U[0,m]))
+///   epc-squeeze fraction of the EPC taken away while squeezed
+///   predictor-wipe unused
+struct FaultSetting {
+  bool enabled = false;
+  double probability = 0.0;
+  double magnitude = 0.0;
+};
+
+/// Default (probability, magnitude) for a kind, used by enable() and by
+/// spec entries that omit the numbers.
+FaultSetting default_setting(FaultKind k) noexcept;
+
+struct ChaosPlan {
+  std::uint64_t seed = 0x5eed;
+  std::array<FaultSetting, kFaultKindCount> faults{};
+
+  FaultSetting& setting(FaultKind k) {
+    return faults[static_cast<std::size_t>(k)];
+  }
+  const FaultSetting& setting(FaultKind k) const {
+    return faults[static_cast<std::size_t>(k)];
+  }
+
+  bool any_enabled() const noexcept;
+
+  /// Enable `k` at the given intensity (negative = keep the default).
+  ChaosPlan& enable(FaultKind k, double probability = -1.0,
+                    double magnitude = -1.0);
+
+  /// Every fault class at its default intensity.
+  static ChaosPlan all(std::uint64_t seed = 0x5eed);
+
+  /// Parse a spec string: comma-separated `name[:probability[:magnitude]]`
+  /// entries, or the word "all"/"none". Examples:
+  ///   "jitter,stale-bit"            two classes at default intensity
+  ///   "spike:0.05:20,epc-squeeze"   spike tuned, squeeze at defaults
+  ///   "all"                         everything at defaults
+  /// Returns nullopt (and fills *err when non-null) on a malformed spec.
+  static std::optional<ChaosPlan> parse(std::string_view spec,
+                                        std::string* err = nullptr);
+
+  /// Render back to a spec string parse() accepts (omits the seed).
+  std::string spec() const;
+
+  std::string describe() const;
+};
+
+}  // namespace sgxpl::inject

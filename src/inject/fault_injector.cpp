@@ -1,0 +1,205 @@
+#include "inject/fault_injector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
+namespace sgxpl::inject {
+
+namespace {
+
+// How often a new EPC-squeeze decision may be taken, and how long one
+// squeeze lasts, in cycles. Two service-thread periods of pressure per
+// squeeze at the paper platform's 500k-cycle scan period.
+constexpr Cycles kSqueezeDecisionPeriod = 1'000'000;
+constexpr Cycles kSqueezeDuration = 2'000'000;
+
+std::vector<Rng> make_streams(std::uint64_t seed) {
+  std::vector<Rng> streams;
+  streams.reserve(kFaultKindCount);
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    // Distinct, well-separated stream seeds; Rng's splitmix64 seeding mixes
+    // them further.
+    streams.emplace_back(seed + 0x9e3779b97f4a7c15ull * (i + 1));
+  }
+  return streams;
+}
+
+}  // namespace
+
+std::uint64_t InjectStats::total_fired() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto v : fired) {
+    sum += v;
+  }
+  return sum;
+}
+
+std::uint64_t InjectStats::total_opportunities() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto v : opportunities) {
+    sum += v;
+  }
+  return sum;
+}
+
+void InjectStats::publish(obs::MetricsRegistry& reg) const {
+  for (const FaultKind k : all_fault_kinds()) {
+    const auto i = static_cast<std::size_t>(k);
+    if (opportunities[i] == 0) {
+      continue;
+    }
+    const std::string base = std::string("inject.") + to_string(k);
+    reg.counter(base + ".opportunities").add(opportunities[i]);
+    reg.counter(base + ".fired").add(fired[i]);
+  }
+  reg.counter("inject.opportunities").add(total_opportunities());
+  reg.counter("inject.fired").add(total_fired());
+}
+
+std::string InjectStats::describe() const {
+  std::ostringstream oss;
+  oss << "inject{";
+  bool first = true;
+  for (const FaultKind k : all_fault_kinds()) {
+    const auto i = static_cast<std::size_t>(k);
+    if (opportunities[i] == 0) {
+      continue;
+    }
+    if (!first) {
+      oss << ", ";
+    }
+    first = false;
+    oss << to_string(k) << '=' << fired[i] << '/' << opportunities[i];
+  }
+  oss << '}';
+  return oss.str();
+}
+
+FaultInjector::FaultInjector(const ChaosPlan& plan)
+    : plan_(plan), rngs_(make_streams(plan.seed)) {}
+
+void FaultInjector::reset() {
+  rngs_ = make_streams(plan_.seed);
+  stats_ = InjectStats{};
+  squeeze_until_ = 0;
+  next_squeeze_decision_ = 0;
+}
+
+bool FaultInjector::roll(FaultKind k) {
+  const FaultSetting& s = plan_.setting(k);
+  if (!s.enabled || s.probability <= 0.0) {
+    return false;
+  }
+  const auto i = static_cast<std::size_t>(k);
+  ++stats_.opportunities[i];
+  if (!rng(k).chance(s.probability)) {
+    return false;
+  }
+  ++stats_.fired[i];
+  return true;
+}
+
+void FaultInjector::note(FaultKind k, Cycles now, PageNum page, Cycles aux) {
+  if (log_ == nullptr) {
+    return;
+  }
+  log_->record({.at = now,
+                .type = obs::EventType::kChaos,
+                .page = page,
+                .aux = aux,
+                .detail = to_string(k)});
+}
+
+Cycles FaultInjector::perturb_load_duration(sgxsim::OpKind /*kind*/,
+                                            Cycles base, Cycles now) {
+  Cycles d = base;
+  if (roll(FaultKind::kChannelJitter)) {
+    const double mag = plan_.setting(FaultKind::kChannelJitter).magnitude;
+    d += static_cast<Cycles>(static_cast<double>(base) * mag *
+                             rng(FaultKind::kChannelJitter).real());
+  }
+  if (roll(FaultKind::kChannelSpike)) {
+    const double mag =
+        std::max(1.0, plan_.setting(FaultKind::kChannelSpike).magnitude);
+    d = static_cast<Cycles>(static_cast<double>(d) * mag);
+    note(FaultKind::kChannelSpike, now, kInvalidPage, d);
+  }
+  return std::max<Cycles>(d, 1);
+}
+
+bool FaultInjector::corrupt_bitmap_read(PageNum page, bool actual,
+                                        Cycles now) {
+  bool seen = actual;
+  // A stale bit: the OS never cleared "resident" after an eviction, so an
+  // absent page still reads as present.
+  if (!actual && roll(FaultKind::kBitmapStale)) {
+    seen = true;
+    note(FaultKind::kBitmapStale, now, page, 0);
+  }
+  if (roll(FaultKind::kBitmapFlip)) {
+    seen = !seen;
+    note(FaultKind::kBitmapFlip, now, page, 0);
+  }
+  return seen;
+}
+
+bool FaultInjector::drop_preload_completion(PageNum page, Cycles now) {
+  if (!roll(FaultKind::kDropCompletion)) {
+    return false;
+  }
+  note(FaultKind::kDropCompletion, now, page, 0);
+  return true;
+}
+
+bool FaultInjector::duplicate_preload_completion(PageNum page, Cycles now) {
+  if (!roll(FaultKind::kDupCompletion)) {
+    return false;
+  }
+  note(FaultKind::kDupCompletion, now, page, 0);
+  return true;
+}
+
+Cycles FaultInjector::stall_scan(Cycles scheduled, Cycles period) {
+  if (!roll(FaultKind::kScanStall)) {
+    return 0;
+  }
+  const double mag = plan_.setting(FaultKind::kScanStall).magnitude;
+  const auto stall = static_cast<Cycles>(
+      static_cast<double>(period) *
+      (1.0 + rng(FaultKind::kScanStall).real() * mag));
+  note(FaultKind::kScanStall, scheduled, kInvalidPage, stall);
+  return std::max<Cycles>(stall, 1);
+}
+
+PageNum FaultInjector::effective_epc_capacity(PageNum real, Cycles now) {
+  const FaultSetting& s = plan_.setting(FaultKind::kEpcSqueeze);
+  if (!s.enabled || s.probability <= 0.0) {
+    return real;
+  }
+  if (now >= squeeze_until_ && now >= next_squeeze_decision_) {
+    next_squeeze_decision_ = now + kSqueezeDecisionPeriod;
+    if (roll(FaultKind::kEpcSqueeze)) {
+      squeeze_until_ = now + kSqueezeDuration;
+      note(FaultKind::kEpcSqueeze, now, kInvalidPage, squeeze_until_);
+    }
+  }
+  if (now < squeeze_until_) {
+    const auto cut =
+        static_cast<PageNum>(static_cast<double>(real) * s.magnitude);
+    return real > cut ? real - cut : 1;
+  }
+  return real;
+}
+
+bool FaultInjector::lose_predictor_state(Cycles now) {
+  if (!roll(FaultKind::kPredictorWipe)) {
+    return false;
+  }
+  note(FaultKind::kPredictorWipe, now, kInvalidPage, 0);
+  return true;
+}
+
+}  // namespace sgxpl::inject

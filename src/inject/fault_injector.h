@@ -1,0 +1,92 @@
+// Turns a ChaosPlan into live sgxsim::ChaosHooks.
+//
+// Each fault class draws from its own xoshiro256** stream (seeded from
+// plan.seed and the class index), so a class's firing sequence does not
+// depend on which *other* classes are enabled — tuning one knob never
+// reshuffles the rest of the schedule. Given the same plan, seed, and
+// workload, every run is bit-identical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "inject/chaos_plan.h"
+#include "sgxsim/chaos_hooks.h"
+
+namespace sgxpl::obs {
+class EventLog;
+class MetricsRegistry;
+}  // namespace sgxpl::obs
+
+namespace sgxpl::inject {
+
+/// Per-class opportunity/fire counts for a run. An "opportunity" is one
+/// Bernoulli draw (one channel op, one bitmap read, one scan, one squeeze
+/// decision window, ...).
+struct InjectStats {
+  std::array<std::uint64_t, kFaultKindCount> opportunities{};
+  std::array<std::uint64_t, kFaultKindCount> fired{};
+
+  std::uint64_t total_fired() const noexcept;
+  std::uint64_t total_opportunities() const noexcept;
+
+  /// Adds `inject.<class>.fired` / `inject.<class>.opportunities` for every
+  /// class that had at least one opportunity, plus the `inject.fired` /
+  /// `inject.opportunities` aggregates.
+  void publish(obs::MetricsRegistry& reg) const;
+
+  /// "inject{jitter=407/1363, drop-completion=12/118}" (fired/opportunities,
+  /// classes with no opportunities omitted); "inject{}" if nothing ran.
+  std::string describe() const;
+};
+
+class FaultInjector final : public sgxsim::ChaosHooks {
+ public:
+  explicit FaultInjector(const ChaosPlan& plan);
+
+  /// Optional: record an obs::EventType::kChaos event for every fired fault
+  /// (detail = fault-class name). Null turns recording off.
+  void set_event_log(obs::EventLog* log) noexcept { log_ = log; }
+
+  const ChaosPlan& plan() const noexcept { return plan_; }
+  const InjectStats& stats() const noexcept { return stats_; }
+
+  /// Back to the exact post-construction state: fresh RNG streams, no
+  /// squeeze in flight, zeroed stats. The next run replays identically.
+  void reset();
+
+  // -- ChaosHooks --------------------------------------------------------
+  Cycles perturb_load_duration(sgxsim::OpKind kind, Cycles base,
+                               Cycles now) override;
+  bool corrupt_bitmap_read(PageNum page, bool actual, Cycles now) override;
+  bool drop_preload_completion(PageNum page, Cycles now) override;
+  bool duplicate_preload_completion(PageNum page, Cycles now) override;
+  Cycles stall_scan(Cycles scheduled, Cycles period) override;
+  PageNum effective_epc_capacity(PageNum real, Cycles now) override;
+  bool lose_predictor_state(Cycles now) override;
+
+ private:
+  /// One Bernoulli draw on k's stream; updates the stats. False when the
+  /// class is disabled (no draw, no opportunity counted).
+  bool roll(FaultKind k);
+  Rng& rng(FaultKind k) {
+    return rngs_[static_cast<std::size_t>(k)];
+  }
+  void note(FaultKind k, Cycles now, PageNum page, Cycles aux);
+
+  ChaosPlan plan_;
+  std::vector<Rng> rngs_;  // one stream per fault class, enum order
+  InjectStats stats_;
+  obs::EventLog* log_ = nullptr;
+
+  // EPC-squeeze window state: while now < squeeze_until_ the usable EPC is
+  // reduced; new squeeze decisions are taken at most once per decision
+  // period, and never while a squeeze is already in flight.
+  Cycles squeeze_until_ = 0;
+  Cycles next_squeeze_decision_ = 0;
+};
+
+}  // namespace sgxpl::inject

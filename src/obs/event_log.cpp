@@ -24,6 +24,10 @@ const char* to_string(EventType t) noexcept {
       return "SIP-PREFETCH";
     case EventType::kScan:
       return "SCAN";
+    case EventType::kChaos:
+      return "CHAOS";
+    case EventType::kWatchdog:
+      return "WATCHDOG";
   }
   return "?";
 }
@@ -40,6 +44,8 @@ const char* to_string(EventTrack t) noexcept {
       return "service thread";
     case EventTrack::kSip:
       return "sip";
+    case EventTrack::kChaos:
+      return "chaos";
   }
   return "?";
 }
@@ -59,6 +65,9 @@ EventTrack track_of(EventType t) noexcept {
     case EventType::kSipRequest:
     case EventType::kSipPrefetch:
       return EventTrack::kSip;
+    case EventType::kChaos:
+    case EventType::kWatchdog:
+      return EventTrack::kChaos;
   }
   return EventTrack::kFaultHandler;
 }

@@ -27,6 +27,8 @@ enum class EventType : std::uint8_t {
   kSipRequest,     // synchronous page_loadin posted for `page`
   kSipPrefetch,    // asynchronous (hoisted) request posted for `page`
   kScan,           // service-thread access-bit scan
+  kChaos,          // injected fault fired (detail = fault class)
+  kWatchdog,       // online invariant sweep ran (aux = scans so far)
 };
 
 const char* to_string(EventType t) noexcept;
@@ -38,6 +40,7 @@ enum class EventTrack : std::uint8_t {
   kChannel,        // paging-channel occupancy (scheduled loads, commits)
   kServiceThread,  // access-bit scans
   kSip,            // SIP notifications and prefetches
+  kChaos,          // injected faults and watchdog sweeps
 };
 
 const char* to_string(EventTrack t) noexcept;

@@ -14,8 +14,9 @@ std::uint32_t tid_of(EventTrack t) noexcept {
 }
 
 constexpr EventTrack kAllTracks[] = {
-    EventTrack::kApp, EventTrack::kFaultHandler, EventTrack::kChannel,
-    EventTrack::kServiceThread, EventTrack::kSip};
+    EventTrack::kApp,           EventTrack::kFaultHandler,
+    EventTrack::kChannel,       EventTrack::kServiceThread,
+    EventTrack::kSip,           EventTrack::kChaos};
 
 void write_common(JsonWriter& w, const char* name, const char* ph, Cycles ts,
                   std::uint32_t pid, std::uint32_t tid) {

@@ -1,0 +1,76 @@
+// Fault-injection hook interface through which a chaos engine perturbs the
+// simulated *untrusted* paging stack (src/inject implements it).
+//
+// The hooks sit at the boundaries the OS actually controls — channel
+// timing, the shared presence bitmap as the enclave *reads* it, the kernel
+// worker's completion notifications, the service thread's schedule, EPC
+// capacity, and the preload engine's in-memory state. They never touch the
+// driver's ground-truth structures (page table / EPC / backing store), so
+// Driver::check_invariants() must hold under any hook behaviour: injection
+// models a misbehaving or adversarial OS, not memory corruption.
+//
+// Every hook has a no-op default so tests can override exactly one
+// behaviour (the same pattern as PreloadPolicy).
+#pragma once
+
+#include "common/types.h"
+#include "sgxsim/paging_channel.h"
+
+namespace sgxpl::sgxsim {
+
+class ChaosHooks {
+ public:
+  virtual ~ChaosHooks() = default;
+
+  /// A channel op of `base` cycles is being scheduled at `now`. Return the
+  /// (possibly inflated) duration — latency jitter and spikes. Must return
+  /// a nonzero duration.
+  virtual Cycles perturb_load_duration(OpKind /*kind*/, Cycles base,
+                                       Cycles /*now*/) {
+    return base;
+  }
+
+  /// The enclave's SIP instrumentation reads the shared presence bitmap:
+  /// `actual` is the true bit. Return what the enclave sees — a stale or
+  /// flipped value models the OS failing to update (or corrupting) shared
+  /// memory. The true bitmap is never modified.
+  virtual bool corrupt_bitmap_read(PageNum /*page*/, bool actual,
+                                   Cycles /*now*/) {
+    return actual;
+  }
+
+  /// A DFP preload for `page` just committed. Return true to drop the
+  /// kernel worker's completion notification to the preload policy (the
+  /// page is resident; only the policy's bookkeeping goes stale).
+  virtual bool drop_preload_completion(PageNum /*page*/, Cycles /*now*/) {
+    return false;
+  }
+
+  /// As above, but return true to deliver the completion a second time
+  /// (a duplicated notification from a racy worker).
+  virtual bool duplicate_preload_completion(PageNum /*page*/,
+                                            Cycles /*now*/) {
+    return false;
+  }
+
+  /// The service thread is due to scan at `scheduled` (its period is
+  /// `period`). Return 0 to run it on time, or a positive number of cycles
+  /// to oversleep (the scan slips by that much; commits and DFP counter
+  /// updates arrive late).
+  virtual Cycles stall_scan(Cycles /*scheduled*/, Cycles /*period*/) {
+    return 0;
+  }
+
+  /// Usable EPC capacity at `now`, given the real capacity — a transient
+  /// squeeze models co-tenant pressure. Values are clamped to [1, real]
+  /// by the driver.
+  virtual PageNum effective_epc_capacity(PageNum real, Cycles /*now*/) {
+    return real;
+  }
+
+  /// Asked once per service-thread scan: return true to wipe the preload
+  /// policy's in-memory predictor state (a restarted kernel worker).
+  virtual bool lose_predictor_state(Cycles /*now*/) { return false; }
+};
+
+}  // namespace sgxpl::sgxsim

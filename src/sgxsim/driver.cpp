@@ -19,6 +19,18 @@ const char* to_string(DemandPolicy p) noexcept {
   return "?";
 }
 
+std::optional<DemandPolicy> parse_demand_policy(
+    std::string_view name) noexcept {
+  for (const DemandPolicy p :
+       {DemandPolicy::kPreempt, DemandPolicy::kPreemptAndFlush,
+        DemandPolicy::kFifo}) {
+    if (name == to_string(p)) {
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
 void DriverStats::publish(obs::MetricsRegistry& reg) const {
   reg.counter("driver.accesses").add(accesses);
   reg.counter("driver.faults").add(faults);
@@ -34,6 +46,10 @@ void DriverStats::publish(obs::MetricsRegistry& reg) const {
   reg.counter("driver.sip.prefetches").add(sip_prefetches);
   reg.counter("driver.evictions").add(evictions);
   reg.counter("driver.scans").add(scans);
+  reg.counter("driver.scan_stalls").add(scan_stalls);
+  reg.counter("driver.watchdog.checks").add(watchdog_checks);
+  reg.counter("driver.bitmap_lies").add(bitmap_lies);
+  reg.counter("driver.squeeze_evictions").add(squeeze_evictions);
   reg.counter("driver.fault.stall_cycles.total").add(fault_stall_cycles);
   reg.counter("driver.sip.stall_cycles.total").add(sip_stall_cycles);
 }
@@ -52,6 +68,12 @@ std::string DriverStats::describe() const {
       << "} evictions=" << evictions << " scans=" << scans
       << " fault_stall=" << fault_stall_cycles
       << " sip_stall=" << sip_stall_cycles;
+  if (scan_stalls + watchdog_checks + bitmap_lies + squeeze_evictions > 0) {
+    oss << " chaos{scan_stalls=" << scan_stalls
+        << ", watchdog_checks=" << watchdog_checks
+        << ", bitmap_lies=" << bitmap_lies
+        << ", squeeze_evictions=" << squeeze_evictions << "}";
+  }
   return oss.str();
 }
 
@@ -286,6 +308,21 @@ Cycles Driver::sip_load(PageNum page, Cycles now) {
   return end;
 }
 
+bool Driver::sip_bitmap_check(PageNum page, Cycles now) {
+  SGXPL_CHECK_MSG(page < config_.elrange_pages,
+                  "bitmap check outside ELRANGE: page " << page);
+  const bool actual = bitmap_.test(page);
+  if (chaos_ == nullptr) {
+    return actual;
+  }
+  const bool seen = chaos_->corrupt_bitmap_read(page, actual, now);
+  if (seen != actual) {
+    ++stats_.bitmap_lies;
+    chaos_dirty_ = true;
+  }
+  return seen;
+}
+
 void Driver::sip_prefetch(PageNum page, Cycles now) {
   SGXPL_CHECK_MSG(page < config_.elrange_pages,
                   "sip_prefetch outside ELRANGE: page " << page);
@@ -307,6 +344,18 @@ void Driver::advance_to(Cycles now) {
     now = bookkept_until_;
   }
   while (next_scan_ <= now) {
+    if (chaos_ != nullptr) {
+      // The injector may stall the service thread: the scan slips, so
+      // commits and DFP counter updates arrive late. The stall is strictly
+      // positive, so the loop always makes progress.
+      const Cycles stall = chaos_->stall_scan(next_scan_, costs_.scan_period);
+      if (stall > 0) {
+        ++stats_.scan_stalls;
+        chaos_dirty_ = true;
+        next_scan_ += stall;
+        continue;
+      }
+    }
     for (const auto& op : channel_.collect_completed(next_scan_)) {
       commit_load(op);
     }
@@ -315,11 +364,16 @@ void Driver::advance_to(Cycles now) {
       log_->record({.at = next_scan_, .type = EventType::kScan});
     }
     if (policy_ != nullptr) {
+      if (chaos_ != nullptr && chaos_->lose_predictor_state(next_scan_)) {
+        chaos_dirty_ = true;
+        policy_->on_state_lost(next_scan_);
+      }
       policy_->on_scan(page_table_, next_scan_);
     }
     if (series_ != nullptr) {
       sample_time_series(next_scan_);
     }
+    watchdog_tick(next_scan_);
     next_scan_ += costs_.scan_period;
   }
   for (const auto& op : channel_.collect_completed(now)) {
@@ -328,19 +382,57 @@ void Driver::advance_to(Cycles now) {
   bookkept_until_ = now;
 }
 
+void Driver::watchdog_tick(Cycles now) {
+  if (config_.watchdog_scan_interval == 0) {
+    return;
+  }
+  ++scans_since_watchdog_;
+  if (!chaos_dirty_ &&
+      scans_since_watchdog_ < config_.watchdog_scan_interval) {
+    return;
+  }
+  check_invariants();
+  ++stats_.watchdog_checks;
+  if (log_ != nullptr) {
+    log_->record({.at = now, .type = EventType::kWatchdog,
+                  .aux = stats_.scans});
+  }
+  scans_since_watchdog_ = 0;
+  chaos_dirty_ = false;
+}
+
 Cycles Driver::drain() {
   const Cycles end = std::max(bookkept_until_, channel_.completion_time());
   advance_to(end);
   return end;
 }
 
-Cycles Driver::load_duration(OpKind kind) const {
+PageNum Driver::effective_capacity(Cycles now) const {
+  const PageNum real = epc_.capacity();
+  if (chaos_ == nullptr) {
+    return real;
+  }
+  const PageNum cap = chaos_->effective_epc_capacity(real, now);
+  return std::clamp<PageNum>(cap, 1, real);
+}
+
+Cycles Driver::load_duration(OpKind kind, Cycles at) {
   // Whether this load will need to evict first: every queued op is itself a
   // load that will consume a slot before this one runs.
-  const bool needs_evict =
-      page_table_.resident_count() + channel_.queued() >= epc_.capacity();
-  return costs_.epc_load + (needs_evict ? costs_.epc_evict : 0) +
-         (kind == OpKind::kDfpPreload ? costs_.preload_dispatch : 0);
+  const bool needs_evict = page_table_.resident_count() + channel_.queued() >=
+                           effective_capacity(at);
+  const Cycles base =
+      costs_.epc_load + (needs_evict ? costs_.epc_evict : 0) +
+      (kind == OpKind::kDfpPreload ? costs_.preload_dispatch : 0);
+  if (chaos_ == nullptr) {
+    return base;
+  }
+  const Cycles perturbed = chaos_->perturb_load_duration(kind, base, at);
+  SGXPL_CHECK_MSG(perturbed > 0, "chaos produced a zero-length load");
+  if (perturbed != base) {
+    chaos_dirty_ = true;
+  }
+  return perturbed;
 }
 
 const ChannelOp& Driver::schedule_load(PageNum page, Cycles earliest,
@@ -348,7 +440,8 @@ const ChannelOp& Driver::schedule_load(PageNum page, Cycles earliest,
   // Never schedule into the already-bookkept past (callers may legally
   // pass clocks that lag the driver's horizon, e.g. multi-enclave apps).
   earliest = std::max(earliest, bookkept_until_);
-  const auto& op = channel_.schedule(earliest, load_duration(kind), page, kind);
+  const auto& op =
+      channel_.schedule(earliest, load_duration(kind, earliest), page, kind);
   if (log_ != nullptr) {
     log_->record({.at = op.start, .type = EventType::kLoadScheduled,
                   .page = page, .aux = op.end, .detail = to_string(kind)});
@@ -359,8 +452,8 @@ const ChannelOp& Driver::schedule_load(PageNum page, Cycles earliest,
 const ChannelOp& Driver::schedule_load_priority(PageNum page, Cycles earliest,
                                                 OpKind kind) {
   earliest = std::max(earliest, bookkept_until_);
-  const auto& op =
-      channel_.schedule_priority(earliest, load_duration(kind), page, kind);
+  const auto& op = channel_.schedule_priority(
+      earliest, load_duration(kind, earliest), page, kind);
   if (log_ != nullptr) {
     log_->record({.at = op.start, .type = EventType::kLoadScheduled,
                   .page = page, .aux = op.end, .detail = to_string(kind)});
@@ -422,7 +515,17 @@ void Driver::commit_load(const ChannelOp& op) {
   SGXPL_CHECK_MSG(!page_table_.present(op.page),
                   "load committed for already-resident page " << op.page);
   channel_busy_total_ += op.end - op.start;
-  if (epc_.full()) {
+  // A transient EPC squeeze (co-tenant pressure via the chaos hooks) can
+  // demand more than one eviction to get under the shrunken capacity; the
+  // loop degenerates to the single full-EPC eviction without chaos.
+  const PageNum cap = effective_capacity(op.end);
+  if (cap < epc_.capacity()) {
+    chaos_dirty_ = true;
+  }
+  while (epc_.used() >= cap && epc_.used() > 0) {
+    if (!epc_.full()) {
+      ++stats_.squeeze_evictions;
+    }
     evict_one(op.page);
   }
   const SlotIndex slot = epc_.allocate(op.page);
@@ -444,7 +547,21 @@ void Driver::commit_load(const ChannelOp& op) {
   if (op.kind == OpKind::kDfpPreload) {
     ++stats_.preloads_completed;
     if (policy_ != nullptr) {
-      policy_->on_preload_completed(op.page, op.end);
+      // The kernel worker's completion notification is the one DFP input
+      // chaos can drop or duplicate: the page is resident either way, only
+      // the policy's bookkeeping goes stale (and must tolerate it).
+      const bool drop =
+          chaos_ != nullptr && chaos_->drop_preload_completion(op.page, op.end);
+      if (!drop) {
+        policy_->on_preload_completed(op.page, op.end);
+        if (chaos_ != nullptr &&
+            chaos_->duplicate_preload_completion(op.page, op.end)) {
+          chaos_dirty_ = true;
+          policy_->on_preload_completed(op.page, op.end);
+        }
+      } else {
+        chaos_dirty_ = true;
+      }
     }
   }
 }

@@ -13,11 +13,15 @@
 
 #include <memory>
 
+#include <optional>
+#include <string_view>
+
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "obs/time_series.h"
 #include "sgxsim/backing_store.h"
 #include "sgxsim/bitmap.h"
+#include "sgxsim/chaos_hooks.h"
 #include "sgxsim/cost_model.h"
 #include "sgxsim/epc.h"
 #include "sgxsim/event_log.h"
@@ -45,6 +49,9 @@ enum class DemandPolicy : std::uint8_t {
 
 const char* to_string(DemandPolicy p) noexcept;
 
+/// Inverse of to_string (exact spelling); nullopt for unknown names.
+std::optional<DemandPolicy> parse_demand_policy(std::string_view name) noexcept;
+
 struct EnclaveConfig {
   /// Size of the enclave linear address range, in pages.
   PageNum elrange_pages = 0;
@@ -57,6 +64,10 @@ struct EnclaveConfig {
   DemandPolicy demand_policy = DemandPolicy::kPreempt;
   /// EPC reclaim policy (the Intel driver uses a CLOCK-like sweep).
   EvictionKind eviction = EvictionKind::kClock;
+  /// Online watchdog: run check_invariants() every N service-thread scans
+  /// and at every chaos-injection boundary (0 = off). Each sweep is
+  /// O(ELRANGE); meant for chaos runs and tests, not performance runs.
+  std::uint64_t watchdog_scan_interval = 0;
 };
 
 struct DriverStats {
@@ -74,6 +85,10 @@ struct DriverStats {
   std::uint64_t sip_prefetches = 0;     // asynchronous (hoisted) SIP loads
   std::uint64_t evictions = 0;
   std::uint64_t scans = 0;
+  std::uint64_t scan_stalls = 0;        // service-thread scans that overslept
+  std::uint64_t watchdog_checks = 0;    // online invariant sweeps run
+  std::uint64_t bitmap_lies = 0;        // SIP bitmap reads the chaos layer faked
+  std::uint64_t squeeze_evictions = 0;  // evictions forced by an EPC squeeze
   /// Cycles the app spent stalled on fault handling (AEX+wait+ERESUME).
   Cycles fault_stall_cycles = 0;
   /// Cycles the app spent stalled inside SIP page_loadin calls.
@@ -119,6 +134,15 @@ class Driver {
   /// time the request is serviced, only the notification cost is paid.
   Cycles sip_load(PageNum page, Cycles now);
 
+  /// SIP's BIT_MAP_CHECK: read the shared presence bitmap as the *enclave*
+  /// sees it. Without chaos injection this is bitmap().test(page); with an
+  /// injector attached the returned value may be stale or flipped (the
+  /// true bitmap is never corrupted). Callers must treat the answer as a
+  /// hint only: a false "resident" simply means the later access takes the
+  /// regular fault path; a false "absent" costs a redundant notification
+  /// that sip_load() resolves against the real residency state.
+  bool sip_bitmap_check(PageNum page, Cycles now);
+
   /// Fire-and-forget variant: post the load request and return immediately
   /// (the hoisted-notification mode of §3.2/Fig. 4 — issued early enough,
   /// the load overlaps the compute between notify and access). No-op if
@@ -143,8 +167,15 @@ class Driver {
   const CostModel& costs() const noexcept { return costs_; }
 
   /// Invariant: page table residency, EPC occupancy, and bitmap population
-  /// all agree. Throws CheckFailure on violation; used by tests.
+  /// all agree. Throws CheckFailure on violation; used by tests and by the
+  /// online watchdog (EnclaveConfig::watchdog_scan_interval).
   void check_invariants() const;
+
+  /// Attach a chaos fault injector (not owned; nullptr detaches). Hooks
+  /// perturb channel timing, bitmap reads, completion notifications, scan
+  /// scheduling, and effective EPC capacity — never the driver's
+  /// ground-truth structures. See sgxsim/chaos_hooks.h and src/inject.
+  void set_chaos(ChaosHooks* chaos) noexcept { chaos_ = chaos; }
 
   /// Attach an event log (not owned; pass nullptr to detach). Every fault,
   /// load, eviction, abort, SIP request, and scan is recorded with its
@@ -164,8 +195,19 @@ class Driver {
 
  private:
   /// Duration of one load: ELDU + EWB share when the EPC will be full +
-  /// the preload worker's dispatch overhead for asynchronous preloads.
-  Cycles load_duration(OpKind kind) const;
+  /// the preload worker's dispatch overhead for asynchronous preloads,
+  /// perturbed by the chaos hooks when attached (`at` is the scheduling
+  /// time the injector sees).
+  Cycles load_duration(OpKind kind, Cycles at);
+
+  /// Usable EPC capacity at `now`: the real capacity unless a chaos
+  /// injector is squeezing it (clamped to [1, capacity]).
+  PageNum effective_capacity(Cycles now) const;
+
+  /// Watchdog bookkeeping, called once per service-thread scan: runs
+  /// check_invariants() every watchdog_scan_interval scans, or immediately
+  /// when a chaos hook fired since the last sweep (injection boundary).
+  void watchdog_tick(Cycles now);
 
   /// Schedule a load of `page` on the channel no earlier than `earliest`.
   const ChannelOp& schedule_load(PageNum page, Cycles earliest, OpKind kind);
@@ -185,6 +227,7 @@ class Driver {
   EnclaveConfig config_;
   CostModel costs_;
   PreloadPolicy* policy_;  // not owned; may be null (no preloading)
+  ChaosHooks* chaos_ = nullptr;  // not owned; may be null (no injection)
 
   PageTable page_table_;
   Epc epc_;
@@ -200,6 +243,10 @@ class Driver {
   EventLog* log_ = nullptr;  // not owned; may be null
   Cycles next_scan_ = 0;
   Cycles bookkept_until_ = 0;
+  std::uint64_t scans_since_watchdog_ = 0;
+  /// A chaos hook fired since the last watchdog sweep (injection-boundary
+  /// sweeps run at the next bookkeeping point, not mid-operation).
+  bool chaos_dirty_ = false;
 
   // --- observability (all null/zero when disabled) ---
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null

@@ -18,6 +18,17 @@ const char* to_string(EvictionKind k) noexcept {
   return "?";
 }
 
+std::optional<EvictionKind> parse_eviction_kind(
+    std::string_view name) noexcept {
+  for (const EvictionKind k : {EvictionKind::kClock, EvictionKind::kFifo,
+                               EvictionKind::kRandom, EvictionKind::kLru}) {
+    if (name == to_string(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
 // --- FifoPolicy -------------------------------------------------------------
 
 void FifoPolicy::on_load(PageNum page) {

@@ -12,6 +12,8 @@
 #include <deque>
 #include <list>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +27,9 @@ namespace sgxpl::sgxsim {
 enum class EvictionKind : std::uint8_t { kClock, kFifo, kRandom, kLru };
 
 const char* to_string(EvictionKind k) noexcept;
+
+/// Inverse of to_string (exact spelling); nullopt for unknown names.
+std::optional<EvictionKind> parse_eviction_kind(std::string_view name) noexcept;
 
 class EvictionPolicy {
  public:

@@ -38,6 +38,12 @@ class PreloadPolicy {
   /// Periodic service-thread scan. The policy may inspect access bits
   /// through `pt` to account which of its preloaded pages were used.
   virtual void on_scan(const PageTable& pt, Cycles now) = 0;
+
+  /// Chaos injection: the untrusted worker holding this policy's state was
+  /// restarted and its in-memory predictor state is gone. Policies should
+  /// drop learned state but keep their accounting counters (the kernel's
+  /// persistent counters survive a worker restart). Default: no-op.
+  virtual void on_state_lost(Cycles /*now*/) {}
 };
 
 }  // namespace sgxpl::sgxsim

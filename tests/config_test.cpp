@@ -5,8 +5,11 @@
 #include "common/check.h"
 #include "core/experiment.h"
 #include "core/scheme.h"
+#include "dfp/dfp_engine.h"
+#include "inject/chaos_plan.h"
 #include "sgxsim/cost_model.h"
 #include "sgxsim/driver.h"
+#include "sgxsim/eviction.h"
 
 namespace sgxpl {
 namespace {
@@ -47,6 +50,58 @@ TEST(EnumNames, PredictorKind) {
   EXPECT_STREQ(to_string(PredictorKind::kStride), "stride");
   EXPECT_STREQ(to_string(PredictorKind::kMarkov), "markov");
   EXPECT_STREQ(to_string(PredictorKind::kTournament), "tournament");
+}
+
+// --- to_string/parse round-trips: every enum value survives the trip, and
+// --- unknown spellings are rejected rather than defaulted.
+
+TEST(EnumRoundTrip, DemandPolicy) {
+  using sgxsim::DemandPolicy;
+  for (const DemandPolicy p : {DemandPolicy::kPreempt,
+                               DemandPolicy::kPreemptAndFlush,
+                               DemandPolicy::kFifo}) {
+    const auto parsed = sgxsim::parse_demand_policy(to_string(p));
+    ASSERT_TRUE(parsed.has_value()) << to_string(p);
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(sgxsim::parse_demand_policy("preempt-and-flush").has_value());
+  EXPECT_FALSE(sgxsim::parse_demand_policy("").has_value());
+}
+
+TEST(EnumRoundTrip, EvictionKind) {
+  using sgxsim::EvictionKind;
+  for (const EvictionKind k : {EvictionKind::kClock, EvictionKind::kFifo,
+                               EvictionKind::kRandom, EvictionKind::kLru}) {
+    const auto parsed = sgxsim::parse_eviction_kind(to_string(k));
+    ASSERT_TRUE(parsed.has_value()) << to_string(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(sgxsim::parse_eviction_kind("mru").has_value());
+  EXPECT_FALSE(sgxsim::parse_eviction_kind("CLOCK").has_value());
+}
+
+TEST(EnumRoundTrip, PredictorKind) {
+  using dfp::PredictorKind;
+  for (const PredictorKind k :
+       {PredictorKind::kMultiStream, PredictorKind::kNextN,
+        PredictorKind::kStride, PredictorKind::kMarkov,
+        PredictorKind::kTournament}) {
+    const auto parsed = dfp::parse_predictor_kind(to_string(k));
+    ASSERT_TRUE(parsed.has_value()) << to_string(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(dfp::parse_predictor_kind("oracle").has_value());
+}
+
+TEST(EnumRoundTrip, FaultKind) {
+  for (const inject::FaultKind k : inject::all_fault_kinds()) {
+    EXPECT_STRNE(to_string(k), "?");
+    const auto parsed = inject::parse_fault_kind(to_string(k));
+    ASSERT_TRUE(parsed.has_value()) << to_string(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(inject::parse_fault_kind("meteor-strike").has_value());
+  EXPECT_FALSE(inject::parse_fault_kind("").has_value());
 }
 
 TEST(EnumNames, SchemesComplete) {

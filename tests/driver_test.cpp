@@ -233,6 +233,94 @@ TEST(Driver, FifoPolicyKeepsQueuedPreloadsAndWaits) {
   EXPECT_GT(out2.completion, o2.completion);
 }
 
+// --- Demand-policy fault ordering: where a demand load lands relative to
+// --- queued preloads, per DemandPolicy variant.
+
+TEST(DriverDemandOrdering, PreemptDemandOvertakesQueuedPreloads) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3};
+  auto cfg = small_enclave(64, 16);
+  cfg.demand_policy = DemandPolicy::kPreempt;
+  Driver d(cfg, test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  const auto out2 = d.access(40, out.completion);
+  EXPECT_TRUE(out2.faulted);
+  EXPECT_TRUE(policy.aborted.empty());
+  // The demand was inserted ahead of the queued preloads: the survivors
+  // start only after it finished (completion minus ERESUME = load end).
+  const Cycles demand_end = out2.completion - test_costs().eresume;
+  for (const PageNum p : {PageNum{2}, PageNum{3}}) {
+    const auto op = d.channel().find(p);
+    ASSERT_TRUE(op.has_value()) << "preload " << p << " was dropped";
+    EXPECT_EQ(op->kind, OpKind::kDfpPreload);
+    EXPECT_GE(op->start, demand_end) << "preload " << p << " ran first";
+  }
+  d.drain();
+  d.check_invariants();
+}
+
+TEST(DriverDemandOrdering, PreemptAndFlushDemandFollowsOnlyInFlightOp) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3, 4};
+  auto cfg = small_enclave(64, 16);
+  cfg.demand_policy = DemandPolicy::kPreemptAndFlush;
+  Driver d(cfg, test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  const auto op1 = d.channel().find(1);  // in flight, cannot be preempted
+  ASSERT_TRUE(op1.has_value());
+  const auto out2 = d.access(40, out.completion);
+  // The whole queue (2, 3, 4) was flushed; the demand load ran directly
+  // after the in-flight preload, with nothing in between.
+  EXPECT_EQ(policy.aborted, (std::vector<PageNum>{2, 3, 4}));
+  EXPECT_EQ(out2.completion,
+            op1->end + test_costs().epc_load + test_costs().eresume);
+  d.drain();
+  EXPECT_TRUE(d.page_table().present(1));
+  EXPECT_FALSE(d.page_table().present(2));
+  EXPECT_FALSE(d.page_table().present(4));
+  d.check_invariants();
+}
+
+TEST(DriverDemandOrdering, FifoDemandWaitsBehindWholeQueue) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3, 4};
+  auto cfg = small_enclave(64, 16);
+  cfg.demand_policy = DemandPolicy::kFifo;
+  Driver d(cfg, test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  const auto op4 = d.channel().find(4);  // tail of the preload queue
+  ASSERT_TRUE(op4.has_value());
+  const auto out2 = d.access(40, out.completion);
+  EXPECT_TRUE(policy.aborted.empty());
+  // FIFO never reorders: the demand load started only after the last
+  // queued preload finished.
+  EXPECT_EQ(out2.completion,
+            op4->end + test_costs().epc_load + test_costs().eresume);
+  d.drain();
+  d.check_invariants();
+}
+
+TEST(DriverDemandOrdering, FifoInStreamFaultWaitsWithoutAbort) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3};
+  auto cfg = small_enclave(64, 16);
+  cfg.demand_policy = DemandPolicy::kFifo;
+  Driver d(cfg, test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  const auto op3 = d.channel().find(3);
+  ASSERT_TRUE(op3.has_value());
+  // Fault on the queued page itself: under kPreempt this is the §4.1
+  // in-stream abort; under FIFO the handler just waits its turn.
+  const auto out2 = d.access(3, out.completion);
+  EXPECT_TRUE(out2.faulted);
+  EXPECT_TRUE(out2.hit_inflight);
+  EXPECT_TRUE(policy.aborted.empty());
+  EXPECT_EQ(d.stats().preloads_aborted, 0u);
+  EXPECT_EQ(out2.completion, op3->end + test_costs().eresume);
+  d.drain();
+  d.check_invariants();
+}
+
 TEST(Driver, FaultOnInFlightPreloadWaits) {
   FakePolicy policy;
   policy.predictions[0] = {1, 2};

@@ -1,0 +1,480 @@
+// Tests for the chaos fault-injection subsystem: plan parsing, injector
+// determinism, the driver's behaviour under each hook, the DFP health
+// monitor's state machine, and end-to-end replay/graceful-degradation
+// properties (docs/ROBUSTNESS.md).
+#include "inject/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "dfp/health_monitor.h"
+#include "obs/event_log.h"
+#include "sgxsim/driver.h"
+#include "trace/workloads.h"
+
+namespace sgxpl {
+namespace {
+
+using inject::ChaosPlan;
+using inject::FaultInjector;
+using inject::FaultKind;
+
+// --- ChaosPlan parsing ------------------------------------------------------
+
+TEST(ChaosPlanParse, AllNoneEmpty) {
+  const auto none = ChaosPlan::parse("none");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_FALSE(none->any_enabled());
+  const auto empty = ChaosPlan::parse("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_FALSE(empty->any_enabled());
+  const auto all = ChaosPlan::parse("all");
+  ASSERT_TRUE(all.has_value());
+  for (const FaultKind k : inject::all_fault_kinds()) {
+    EXPECT_TRUE(all->setting(k).enabled) << to_string(k);
+  }
+}
+
+TEST(ChaosPlanParse, EntryNumbersAndDefaults) {
+  const auto plan = ChaosPlan::parse("spike:0.05:20,epc-squeeze");
+  ASSERT_TRUE(plan.has_value());
+  const auto& spike = plan->setting(FaultKind::kChannelSpike);
+  EXPECT_TRUE(spike.enabled);
+  EXPECT_DOUBLE_EQ(spike.probability, 0.05);
+  EXPECT_DOUBLE_EQ(spike.magnitude, 20.0);
+  // Omitted numbers fall back to the class defaults.
+  const auto& squeeze = plan->setting(FaultKind::kEpcSqueeze);
+  const auto defaults = inject::default_setting(FaultKind::kEpcSqueeze);
+  EXPECT_TRUE(squeeze.enabled);
+  EXPECT_DOUBLE_EQ(squeeze.probability, defaults.probability);
+  EXPECT_DOUBLE_EQ(squeeze.magnitude, defaults.magnitude);
+  // Everything not named stays off.
+  EXPECT_FALSE(plan->setting(FaultKind::kChannelJitter).enabled);
+}
+
+TEST(ChaosPlanParse, RejectsMalformedSpecs) {
+  std::string err;
+  EXPECT_FALSE(ChaosPlan::parse("meteor-strike", &err).has_value());
+  EXPECT_NE(err.find("meteor-strike"), std::string::npos);
+  EXPECT_FALSE(ChaosPlan::parse("jitter:1.5", &err).has_value());
+  EXPECT_FALSE(ChaosPlan::parse("jitter:-0.1", &err).has_value());
+  EXPECT_FALSE(ChaosPlan::parse("jitter:zero", &err).has_value());
+  EXPECT_FALSE(ChaosPlan::parse("jitter,,spike", &err).has_value());
+}
+
+TEST(ChaosPlanParse, SpecRoundTrips) {
+  const ChaosPlan plan = ChaosPlan::all(7);
+  const auto reparsed = ChaosPlan::parse(plan.spec());
+  ASSERT_TRUE(reparsed.has_value());
+  for (const FaultKind k : inject::all_fault_kinds()) {
+    EXPECT_EQ(reparsed->setting(k).enabled, plan.setting(k).enabled);
+    EXPECT_DOUBLE_EQ(reparsed->setting(k).probability,
+                     plan.setting(k).probability);
+    EXPECT_DOUBLE_EQ(reparsed->setting(k).magnitude,
+                     plan.setting(k).magnitude);
+  }
+}
+
+// --- FaultInjector determinism ---------------------------------------------
+
+/// A fixed, interleaved exercise of every hook; returns a digest of every
+/// decision the injector made.
+std::vector<std::uint64_t> exercise(FaultInjector& inj) {
+  std::vector<std::uint64_t> digest;
+  Cycles now = 0;
+  for (int i = 0; i < 500; ++i) {
+    now += 10'000;
+    digest.push_back(
+        inj.perturb_load_duration(sgxsim::OpKind::kDfpPreload, 44'000, now));
+    digest.push_back(
+        inj.corrupt_bitmap_read(static_cast<PageNum>(i), false, now) ? 1 : 0);
+    digest.push_back(
+        inj.drop_preload_completion(static_cast<PageNum>(i), now) ? 1 : 0);
+    digest.push_back(
+        inj.duplicate_preload_completion(static_cast<PageNum>(i), now) ? 1
+                                                                       : 0);
+    digest.push_back(inj.stall_scan(now, 500'000));
+    digest.push_back(inj.effective_epc_capacity(1024, now));
+    digest.push_back(inj.lose_predictor_state(now) ? 1 : 0);
+  }
+  return digest;
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultInjector a(ChaosPlan::all(42));
+  FaultInjector b(ChaosPlan::all(42));
+  EXPECT_EQ(exercise(a), exercise(b));
+  EXPECT_EQ(a.stats().total_fired(), b.stats().total_fired());
+  EXPECT_GT(a.stats().total_fired(), 0u);
+}
+
+TEST(FaultInjector, DifferentSeedDifferentSchedule) {
+  FaultInjector a(ChaosPlan::all(42));
+  FaultInjector b(ChaosPlan::all(43));
+  EXPECT_NE(exercise(a), exercise(b));
+}
+
+TEST(FaultInjector, ResetReplaysFromScratch) {
+  FaultInjector inj(ChaosPlan::all(42));
+  const auto first = exercise(inj);
+  const auto fired = inj.stats().total_fired();
+  inj.reset();
+  EXPECT_EQ(inj.stats().total_fired(), 0u);
+  EXPECT_EQ(exercise(inj), first);
+  EXPECT_EQ(inj.stats().total_fired(), fired);
+}
+
+TEST(FaultInjector, ClassStreamsAreIndependent) {
+  // The drop-completion decisions must not change when other classes are
+  // enabled alongside it, even with their hooks interleaved.
+  ChaosPlan drop_only;
+  drop_only.seed = 42;
+  drop_only.enable(FaultKind::kDropCompletion);
+  FaultInjector a(drop_only);
+  FaultInjector b(ChaosPlan::all(42));
+  std::vector<bool> da;
+  std::vector<bool> db;
+  for (int i = 0; i < 500; ++i) {
+    const auto page = static_cast<PageNum>(i);
+    da.push_back(a.drop_preload_completion(page, 0));
+    // b sees other hooks in between (drawing from *their* streams).
+    b.perturb_load_duration(sgxsim::OpKind::kDemandLoad, 44'000, 0);
+    b.lose_predictor_state(0);
+    db.push_back(b.drop_preload_completion(page, 0));
+  }
+  EXPECT_EQ(da, db);
+}
+
+// --- Driver behaviour under single hooks -----------------------------------
+
+sgxsim::CostModel test_costs() {
+  sgxsim::CostModel c;
+  c.aex = 10'000;
+  c.eresume = 10'000;
+  c.epc_load = 44'000;
+  c.epc_evict = 4'000;
+  c.scan_period = 1'000'000'000;
+  return c;
+}
+
+sgxsim::EnclaveConfig small_enclave(PageNum elrange = 64, PageNum epc = 4) {
+  sgxsim::EnclaveConfig cfg;
+  cfg.elrange_pages = elrange;
+  cfg.epc_pages = epc;
+  return cfg;
+}
+
+/// Overrides exactly the hooks a test arms; everything else stays no-op.
+class TestHooks final : public sgxsim::ChaosHooks {
+ public:
+  std::optional<PageNum> drop_page;
+  std::optional<PageNum> dup_page;
+  bool stale_resident = false;
+  std::optional<PageNum> cap_override;
+  int stalls_remaining = 0;
+  Cycles stall_len = 0;
+
+  bool drop_preload_completion(PageNum page, Cycles) override {
+    return drop_page.has_value() && *drop_page == page;
+  }
+  bool duplicate_preload_completion(PageNum page, Cycles) override {
+    return dup_page.has_value() && *dup_page == page;
+  }
+  bool corrupt_bitmap_read(PageNum, bool actual, Cycles) override {
+    return stale_resident ? true : actual;
+  }
+  PageNum effective_epc_capacity(PageNum real, Cycles) override {
+    return cap_override.value_or(real);
+  }
+  Cycles stall_scan(Cycles, Cycles) override {
+    if (stalls_remaining > 0) {
+      --stalls_remaining;
+      return stall_len;
+    }
+    return 0;
+  }
+};
+
+class RecordingPolicy final : public sgxsim::PreloadPolicy {
+ public:
+  std::vector<PageNum> predictions;
+  std::vector<PageNum> completed;
+  int state_losses = 0;
+
+  std::vector<PageNum> on_fault(ProcessId, PageNum, Cycles) override {
+    auto out = predictions;
+    predictions.clear();  // predict once
+    return out;
+  }
+  void on_preload_completed(PageNum page, Cycles) override {
+    completed.push_back(page);
+  }
+  void on_preloads_aborted(const std::vector<PageNum>&, Cycles) override {}
+  void on_preloaded_page_evicted(PageNum, bool, Cycles) override {}
+  void on_scan(const sgxsim::PageTable&, Cycles) override {}
+  void on_state_lost(Cycles) override { ++state_losses; }
+};
+
+TEST(DriverChaos, DroppedCompletionLeavesPolicyStaleButPageResident) {
+  RecordingPolicy policy;
+  policy.predictions = {1, 2};
+  TestHooks hooks;
+  hooks.drop_page = 1;
+  sgxsim::Driver d(small_enclave(), test_costs(), &policy);
+  d.set_chaos(&hooks);
+  d.access(0, 0);
+  d.drain();
+  // The page landed — only the policy's notification was lost.
+  EXPECT_TRUE(d.page_table().present(1));
+  EXPECT_EQ(policy.completed, std::vector<PageNum>{2});
+  EXPECT_EQ(d.stats().preloads_completed, 2u);
+  d.check_invariants();
+}
+
+TEST(DriverChaos, DuplicatedCompletionNotifiesTwice) {
+  RecordingPolicy policy;
+  policy.predictions = {1, 2};
+  TestHooks hooks;
+  hooks.dup_page = 1;
+  sgxsim::Driver d(small_enclave(), test_costs(), &policy);
+  d.set_chaos(&hooks);
+  d.access(0, 0);
+  d.drain();
+  EXPECT_EQ(policy.completed, (std::vector<PageNum>{1, 1, 2}));
+  EXPECT_EQ(d.stats().preloads_completed, 2u);  // driver truth: two commits
+  d.check_invariants();
+}
+
+TEST(DriverChaos, StaleResidentBitStillTakesFullFaultPath) {
+  TestHooks hooks;
+  hooks.stale_resident = true;
+  sgxsim::Driver d(small_enclave(), test_costs());
+  d.set_chaos(&hooks);
+  // SIP reads "resident" for an absent page, so it skips the notification —
+  // exactly the lie an adversarial OS could tell. The hardware is not
+  // fooled: the access takes the ordinary fault path and stays correct.
+  EXPECT_TRUE(d.sip_bitmap_check(5, 0));
+  EXPECT_EQ(d.stats().bitmap_lies, 1u);
+  const auto out = d.access(5, 0);
+  EXPECT_TRUE(out.faulted);
+  EXPECT_TRUE(d.page_table().present(5));
+  d.check_invariants();
+}
+
+TEST(DriverChaos, EpcSqueezeEvictsDownToEffectiveCapacity) {
+  TestHooks hooks;
+  hooks.cap_override = 2;  // real capacity is 4
+  sgxsim::Driver d(small_enclave(64, 4), test_costs());
+  d.set_chaos(&hooks);
+  Cycles now = 0;
+  for (PageNum p = 0; p < 3; ++p) {
+    now = d.access(p, now).completion;
+  }
+  EXPECT_LE(d.epc().used(), 2u);
+  EXPECT_GT(d.stats().squeeze_evictions, 0u);
+  d.check_invariants();
+}
+
+TEST(DriverChaos, ScanStallSlipsTheServiceThread) {
+  TestHooks hooks;
+  hooks.stalls_remaining = 1;
+  hooks.stall_len = 50'000;
+  auto costs = test_costs();
+  costs.scan_period = 50'000;
+  sgxsim::Driver d(small_enclave(), costs);
+  d.set_chaos(&hooks);
+  d.advance_to(500'000);
+  // The first scan (due at 50k) slipped to 100k; 9 of the 10 ran.
+  EXPECT_EQ(d.stats().scan_stalls, 1u);
+  EXPECT_EQ(d.stats().scans, 9u);
+  d.check_invariants();
+}
+
+TEST(DriverChaos, WatchdogSweepsOnItsInterval) {
+  auto cfg = small_enclave();
+  cfg.watchdog_scan_interval = 4;
+  auto costs = test_costs();
+  costs.scan_period = 50'000;
+  sgxsim::Driver d(cfg, costs);
+  d.access(0, 0);
+  d.advance_to(500'000);  // 10 scans -> sweeps after scans 4 and 8
+  EXPECT_EQ(d.stats().watchdog_checks, 2u);
+}
+
+TEST(DriverChaos, PredictorWipeReachesPolicy) {
+  class WipeEveryScan final : public sgxsim::ChaosHooks {
+   public:
+    bool lose_predictor_state(Cycles) override { return true; }
+  };
+  RecordingPolicy policy;
+  WipeEveryScan hooks;
+  auto costs = test_costs();
+  costs.scan_period = 50'000;
+  sgxsim::Driver d(small_enclave(), costs, &policy);
+  d.set_chaos(&hooks);
+  d.advance_to(250'000);
+  EXPECT_EQ(policy.state_losses, 5);
+}
+
+// --- HealthMonitor state machine -------------------------------------------
+
+dfp::HealthParams tight_health() {
+  dfp::HealthParams p;
+  p.enabled = true;
+  p.stop_slack = 0;
+  p.probation_slack = 0;
+  p.min_window_preloads = 4;
+  p.recovery_scans = 2;
+  p.probation_scans = 2;
+  return p;
+}
+
+TEST(HealthMonitor, StopsOnBadWindowLikeThePaperValve) {
+  dfp::HealthMonitor hm((dfp::HealthParams{.enabled = true}));
+  // Defaults: slack 256, used fraction 0.5 — the paper's formula. 600
+  // preloads with none used breaches it.
+  hm.on_scan(/*preloads=*/600, /*used=*/0, /*aborted=*/0, 1000);
+  EXPECT_EQ(hm.state(), dfp::HealthState::kStopped);
+  EXPECT_FALSE(hm.preloads_allowed());
+  EXPECT_EQ(hm.stops(), 1u);
+  EXPECT_EQ(hm.last_stop_at(), 1000u);
+}
+
+TEST(HealthMonitor, SlackKeepsSmallEvidenceFromStopping) {
+  dfp::HealthMonitor hm((dfp::HealthParams{.enabled = true}));
+  hm.on_scan(100, 0, 0, 0);  // 0 + 256 >= 50: within slack
+  EXPECT_EQ(hm.state(), dfp::HealthState::kPreloading);
+}
+
+TEST(HealthMonitor, RecoversThroughHealthyProbation) {
+  dfp::HealthMonitor hm(tight_health());
+  hm.on_scan(10, 0, 0, 100);  // bad window -> stop
+  ASSERT_EQ(hm.state(), dfp::HealthState::kStopped);
+  hm.on_scan(10, 0, 0, 200);  // waiting out recovery (1/2)
+  ASSERT_EQ(hm.state(), dfp::HealthState::kStopped);
+  hm.on_scan(10, 0, 0, 300);  // recovery over -> probation
+  ASSERT_EQ(hm.state(), dfp::HealthState::kProbation);
+  EXPECT_TRUE(hm.preloads_allowed());
+  hm.on_scan(20, 10, 0, 400);  // probation window all-used (1/2)
+  ASSERT_EQ(hm.state(), dfp::HealthState::kProbation);
+  hm.on_scan(20, 10, 0, 500);  // healthy verdict -> resume
+  EXPECT_EQ(hm.state(), dfp::HealthState::kPreloading);
+  EXPECT_EQ(hm.resumes(), 1u);
+  EXPECT_EQ(hm.consecutive_stops(), 0u);  // clean probation resets backoff
+}
+
+TEST(HealthMonitor, ProbationFailureDoublesTheBackoff) {
+  dfp::HealthMonitor hm(tight_health());
+  std::uint64_t preloads = 10;
+  hm.on_scan(preloads, 0, 0, 0);  // stop #1
+  ASSERT_EQ(hm.state(), dfp::HealthState::kStopped);
+  hm.on_scan(preloads, 0, 0, 0);
+  hm.on_scan(preloads, 0, 0, 0);  // recovery (2 scans) -> probation
+  ASSERT_EQ(hm.state(), dfp::HealthState::kProbation);
+  preloads += 10;                 // probation preloads, none used
+  hm.on_scan(preloads, 0, 0, 0);  // fail fast -> stop #2
+  ASSERT_EQ(hm.state(), dfp::HealthState::kStopped);
+  EXPECT_EQ(hm.consecutive_stops(), 2u);
+  // Backoff doubled: 4 scans stopped now, not 2.
+  hm.on_scan(preloads, 0, 0, 0);
+  hm.on_scan(preloads, 0, 0, 0);
+  ASSERT_EQ(hm.state(), dfp::HealthState::kStopped);
+  hm.on_scan(preloads, 0, 0, 0);
+  hm.on_scan(preloads, 0, 0, 0);
+  EXPECT_EQ(hm.state(), dfp::HealthState::kProbation);
+}
+
+TEST(HealthMonitor, AbortRateTriggersWithoutUsedFractionBreach) {
+  dfp::HealthParams p;
+  p.enabled = true;
+  p.stop_slack = 1'000'000;  // silence the used-fraction rule
+  p.max_abort_fraction = 0.5;
+  p.min_window_preloads = 4;
+  dfp::HealthMonitor hm(p);
+  hm.on_scan(/*preloads=*/2, /*used=*/2, /*aborted=*/10, 0);
+  EXPECT_EQ(hm.state(), dfp::HealthState::kStopped);
+}
+
+TEST(HealthMonitor, InconclusiveProbationResumesButKeepsBackoff) {
+  dfp::HealthMonitor hm(tight_health());
+  hm.on_scan(10, 0, 0, 0);  // stop
+  hm.on_scan(10, 0, 0, 0);
+  hm.on_scan(10, 0, 0, 0);  // -> probation
+  ASSERT_EQ(hm.state(), dfp::HealthState::kProbation);
+  // No preload activity at all during probation: benefit of the doubt.
+  hm.on_scan(10, 0, 0, 0);
+  hm.on_scan(10, 0, 0, 0);
+  EXPECT_EQ(hm.state(), dfp::HealthState::kPreloading);
+  EXPECT_EQ(hm.resumes(), 1u);
+  EXPECT_EQ(hm.consecutive_stops(), 1u);  // backoff NOT reset
+}
+
+// --- End-to-end -------------------------------------------------------------
+
+constexpr double kScale = 0.06;
+
+core::SimConfig tiny_chaos_platform(core::Scheme scheme) {
+  core::SimConfig cfg = core::paper_platform(scheme);
+  cfg.enclave.epc_pages = static_cast<PageNum>(
+      static_cast<double>(cfg.enclave.epc_pages) * kScale);
+  cfg.validate = true;
+  return cfg;
+}
+
+TEST(ChaosEndToEnd, ChaosEventSequenceReplaysIdentically) {
+  const auto t =
+      trace::find_workload("mcf")->make(trace::ref_params(kScale));
+  core::SimConfig cfg = tiny_chaos_platform(core::Scheme::kDfpStop);
+  cfg.chaos = ChaosPlan::all(1234);
+  obs::EventLog log(1 << 15);
+  cfg.event_log = &log;
+  using Rec = std::tuple<Cycles, PageNum, std::string>;
+  const auto run = [&] {
+    core::simulate(t, cfg);
+    std::vector<Rec> fired;
+    log.for_each([&](const obs::Event& e) {
+      if (e.type == obs::EventType::kChaos) {
+        fired.emplace_back(e.at, e.page, e.detail);
+      }
+    });
+    return fired;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // same faults, same pages, same order, same times
+}
+
+TEST(ChaosEndToEnd, HealthMonitorContainsHostilePlanNearBaseline) {
+  // The graceful-degradation promise: under every fault class at once, DFP
+  // with the health monitor stays within a few percent of the no-preload
+  // baseline on the workload where preloading hurts most.
+  core::SimConfig cfg = tiny_chaos_platform(core::Scheme::kDfp);
+  cfg.chaos = ChaosPlan::all(5);
+  cfg.dfp.health.enabled = true;
+  const auto c = core::compare_schemes(
+      "deepsjeng", {core::Scheme::kDfp}, cfg,
+      core::ExperimentOptions{.scale = kScale, .train_scale = kScale * 0.5});
+  EXPECT_GE(c.find(core::Scheme::kDfp)->improvement, -0.10);
+}
+
+TEST(ChaosEndToEnd, InjectorStatsSurfaceInMetrics) {
+  core::SimConfig cfg = tiny_chaos_platform(core::Scheme::kDfpStop);
+  cfg.chaos = ChaosPlan::all(9);
+  const auto c = core::compare_schemes(
+      "microbenchmark", {core::Scheme::kDfpStop}, cfg,
+      core::ExperimentOptions{.scale = kScale, .train_scale = kScale * 0.5});
+  const auto& m = c.find(core::Scheme::kDfpStop)->metrics;
+  EXPECT_GT(m.inject.total_opportunities(), 0u);
+  EXPECT_GT(m.inject.total_fired(), 0u);
+  EXPECT_GT(m.driver.watchdog_checks, 0u);  // auto-on under chaos
+}
+
+}  // namespace
+}  // namespace sgxpl

@@ -7,6 +7,7 @@
 
 #include "core/experiment.h"
 #include "core/simulator.h"
+#include "inject/chaos_plan.h"
 #include "trace/workloads.h"
 
 namespace sgxpl::core {
@@ -229,6 +230,51 @@ INSTANTIATE_TEST_SUITE_P(
                       dfp::PredictorKind::kTournament),
     [](const ::testing::TestParamInfo<dfp::PredictorKind>& pinfo) {
       std::string n = dfp::to_string(pinfo.param);
+      for (auto& ch : n) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return n;
+    });
+
+// --- Chaos fault classes keep the driver sound ------------------------------
+// Every fault class, injected into the full hybrid stack: the driver's
+// structural invariants must hold throughout (online watchdog every 8 scans
+// plus the end-of-run check), and a second run under the same plan + seed
+// must replay bit-identically — same pages, same order, same cycle count.
+
+class ChaosSweep : public ::testing::TestWithParam<inject::FaultKind> {};
+
+TEST_P(ChaosSweep, InvariantsHoldAndReplayIsIdentical) {
+  const auto* w = trace::find_workload("deepsjeng");
+  SimConfig cfg = tiny_platform(Scheme::kHybrid);  // validate = on
+  cfg.chaos.seed = 99;
+  cfg.chaos.enable(GetParam());
+  cfg.enclave.watchdog_scan_interval = 8;
+  const auto run = [&] {
+    return compare_schemes(
+        *w, {Scheme::kHybrid}, cfg,
+        ExperimentOptions{.scale = kScale, .train_scale = kScale * 0.5});
+  };
+  const auto a = run();
+  const auto b = run();
+  const auto& ma = a.find(Scheme::kHybrid)->metrics;
+  const auto& mb = b.find(Scheme::kHybrid)->metrics;
+  EXPECT_GT(ma.inject.total_opportunities(), 0u)
+      << "fault class never reached a decision point";
+  EXPECT_GT(ma.driver.watchdog_checks, 0u);
+  EXPECT_EQ(ma.total_cycles, mb.total_cycles);
+  EXPECT_EQ(ma.enclave_faults, mb.enclave_faults);
+  EXPECT_EQ(ma.driver.faults, mb.driver.faults);
+  EXPECT_EQ(ma.driver.evictions, mb.driver.evictions);
+  EXPECT_EQ(ma.inject.total_fired(), mb.inject.total_fired());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ChaosSweep, ::testing::ValuesIn(inject::all_fault_kinds()),
+    [](const ::testing::TestParamInfo<inject::FaultKind>& pinfo) {
+      std::string n = inject::to_string(pinfo.param);
       for (auto& ch : n) {
         if (ch == '-') {
           ch = '_';
