@@ -8,6 +8,7 @@
 #include "obs/time_series.h"
 #include "obs/trace_export.h"
 #include "sgxsim/epc.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::bench {
 
@@ -31,6 +32,7 @@ struct HarnessState {
   obs::TimeSeriesSet series;
   obs::EventLog event_log{1 << 16};
   inject::ChaosPlan chaos;  // nothing enabled unless --chaos was given
+  core::CheckpointOptions checkpoint;  // off unless --checkpoint/--resume
 };
 
 HarnessState& state() {
@@ -66,6 +68,7 @@ core::SimConfig bench_platform(core::Scheme scheme) {
     cfg.timeseries = &st.series;
   }
   cfg.chaos = st.chaos;
+  cfg.checkpoint = st.checkpoint;
   return cfg;
 }
 
@@ -84,7 +87,8 @@ void init(int argc, char** argv, const std::string& bench,
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" || arg == "--trace" || arg == "--chaos" ||
-        arg == "--seed") {
+        arg == "--seed" || arg == "--checkpoint" ||
+        arg == "--checkpoint-every" || arg == "--resume") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " requires a value\n";
         std::exit(2);
@@ -96,6 +100,22 @@ void init(int argc, char** argv, const std::string& bench,
         st.trace_path = value;
       } else if (arg == "--chaos") {
         chaos_spec = value;
+      } else if (arg == "--checkpoint") {
+        st.checkpoint.path = value;
+        if (st.checkpoint.every_accesses == 0) {
+          st.checkpoint.every_accesses = 65536;
+        }
+      } else if (arg == "--checkpoint-every") {
+        st.checkpoint.every_accesses =
+            std::strtoull(value.c_str(), nullptr, 0);
+        if (st.checkpoint.every_accesses == 0) {
+          std::cerr << "error: --checkpoint-every wants a positive access "
+                       "count, got '"
+                    << value << "'\n";
+          std::exit(2);
+        }
+      } else if (arg == "--resume") {
+        st.checkpoint.resume_path = value;
       } else {
         chaos_seed = std::strtoull(value.c_str(), nullptr, 0);
       }
@@ -103,9 +123,14 @@ void init(int argc, char** argv, const std::string& bench,
       std::cout << "usage: " << bench
                 << " [--json <out.json>] [--trace <out-trace.json>]\n"
                    "       [--chaos <spec>] [--seed <n>]\n"
+                   "       [--checkpoint <snap>] [--checkpoint-every <n>]\n"
+                   "       [--resume <snap>]\n"
                    "--chaos spec: \"all\", \"none\", or comma-separated\n"
                    "  name[:probability[:magnitude]] entries (see\n"
                    "  docs/ROBUSTNESS.md); --seed replays a schedule.\n"
+                   "--checkpoint writes a crash-consistent snapshot every\n"
+                   "  65536 accesses (tune with --checkpoint-every);\n"
+                   "  --resume restores one before running.\n"
                    "SGXPL_SCALE=<s> scales workloads (default 1.0).\n";
       std::exit(0);
     } else {
@@ -116,12 +141,33 @@ void init(int argc, char** argv, const std::string& bench,
     std::string err;
     const auto plan = inject::ChaosPlan::parse(chaos_spec, &err);
     if (!plan.has_value()) {
-      std::cerr << "error: --chaos: " << err << '\n';
+      std::cerr << "error: --chaos '" << chaos_spec << "': " << err << '\n';
       std::exit(2);
     }
     st.chaos = *plan;
   }
   st.chaos.seed = chaos_seed;
+  if (!st.checkpoint.resume_path.empty() &&
+      snapshot::file_readable(st.checkpoint.resume_path)) {
+    // Fail fast with a clean exit on an unusable snapshot instead of
+    // aborting mid-bench: walk the whole frame (magic, version, every
+    // section CRC, every field) without applying anything.
+    try {
+      const auto bytes = snapshot::read_file(st.checkpoint.resume_path);
+      snapshot::Reader r(bytes);
+      while (r.sections_entered() < r.section_count()) {
+        r.enter_any_section();
+        while (r.more_fields()) {
+          r.next_field();
+        }
+        r.leave_section();
+      }
+    } catch (const CheckFailure& e) {
+      std::cerr << "error: --resume " << st.checkpoint.resume_path << ": "
+                << e.what() << '\n';
+      std::exit(2);
+    }
+  }
   std::cout << "=== " << bench << " ===\n"
             << "Reproduces: " << reproduces << "\n"
             << "Scale: " << bench_scale()
@@ -157,6 +203,10 @@ void add_note(const std::string& name, const std::string& text) {
 obs::MetricsRegistry& registry() { return state().registry; }
 
 const inject::ChaosPlan& chaos_plan() { return state().chaos; }
+
+const core::CheckpointOptions& checkpoint_options() {
+  return state().checkpoint;
+}
 
 namespace {
 

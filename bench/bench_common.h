@@ -19,6 +19,12 @@
 //                   inject/chaos_plan.h and docs/ROBUSTNESS.md)
 //   --seed <n>      seed for the chaos plan (default 0x5eed); the same
 //                   spec + seed replays the identical fault schedule
+//   --checkpoint <path>       write a crash-consistent snapshot of the
+//                   running simulation to <path> periodically (every 65536
+//                   accesses unless --checkpoint-every overrides)
+//   --checkpoint-every <n>    checkpoint period in completed accesses
+//   --resume <path> restore the simulation from <path> before running; the
+//                   snapshot must match the run's configuration
 //
 // Environment:
 //   SGXPL_SCALE  scale factor for workload footprints/lengths (default 1.0,
@@ -71,6 +77,10 @@ obs::MetricsRegistry& registry();
 /// applied to every bench_platform() config; exposed for benches that build
 /// configs some other way.
 const inject::ChaosPlan& chaos_plan();
+
+/// The --checkpoint/--checkpoint-every/--resume settings (disabled unless
+/// the flags were given). Already applied to every bench_platform() config.
+const core::CheckpointOptions& checkpoint_options();
 
 /// Flush --json/--trace outputs. Benches end with `return bench::finish();`.
 int finish();

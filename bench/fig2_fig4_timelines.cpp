@@ -19,7 +19,7 @@ using namespace sgxpl;
 using sgxsim::CostModel;
 using sgxsim::Driver;
 using sgxsim::EnclaveConfig;
-using sgxsim::EventLog;
+using obs::EventLog;
 
 namespace {
 

@@ -1,0 +1,207 @@
+// Recovery suite: the kill-restore differential harness at bench scale
+// (docs/ROBUSTNESS.md, "Checkpoint & recovery").
+//
+// For every scheme x fault class the suite runs a reference simulation to
+// completion, then replays it three times with a kill at an adversarial
+// access boundary (first access, midpoint, last access): the victim run is
+// snapshotted, destroyed, and restored into a fresh run that finishes the
+// trace. The resulting Metrics — every counter, including the nested driver
+// and injection statistics — must be bit-identical to the reference; any
+// divergence is localized to its first differing field and fails the suite
+// (non-zero exit). A corruption drill rides along: systematically truncated
+// and bit-flipped snapshots must all be rejected with a diagnostic error,
+// never applied or crash.
+//
+// --checkpoint/--resume exercise the same machinery through the file-based
+// SimConfig::checkpoint path.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "inject/chaos_plan.h"
+#include "sip/pipeline.h"
+#include "snapshot/snapshotter.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+namespace {
+
+constexpr const char* kWorkload = "mcf";
+
+struct Verdict {
+  bool pass = true;
+  std::string detail;  // first divergence when failing
+};
+
+/// Step a victim run to `cut`, snapshot it, destroy it (the "kill"), then
+/// restore the snapshot into a fresh run and finish that one.
+core::Metrics run_killed_at(const core::SimConfig& cfg, const trace::Trace& t,
+                            const sip::InstrumentationPlan* plan,
+                            std::uint64_t cut) {
+  std::vector<std::uint8_t> snap;
+  {
+    core::SimulationRun victim(cfg, t, plan);
+    while (!victim.done() && victim.cursor() < cut) {
+      victim.step();
+    }
+    snap = snapshot::capture(victim);
+  }
+  core::SimulationRun resumed(cfg, t, plan);
+  snapshot::restore(resumed, snap);
+  return resumed.run_to_end();
+}
+
+Verdict differential(const core::SimConfig& cfg, const trace::Trace& t,
+                     const sip::InstrumentationPlan* plan) {
+  core::SimulationRun ref(cfg, t, plan);
+  const auto want = ref.run_to_end();
+  const std::uint64_t n = t.size();
+  for (const std::uint64_t cut : {std::uint64_t{1}, n / 2, n - 1}) {
+    const auto got = run_killed_at(cfg, t, plan, cut);
+    const auto d = snapshot::diff_metrics(want, got);
+    if (!d.identical) {
+      return {false,
+              "cut " + std::to_string(cut) + ": " + d.first_divergence};
+    }
+  }
+  return {};
+}
+
+core::SimConfig scheme_cfg(core::Scheme scheme,
+                           const inject::ChaosPlan& plan) {
+  core::SimConfig cfg = bench::bench_platform(scheme);
+  cfg.chaos = plan;
+  cfg.validate = true;
+  cfg.checkpoint = core::CheckpointOptions{};  // the harness snapshots itself
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv,
+      "recovery_suite",
+      "Robustness: kill-restore differential per scheme and fault class");
+
+  const auto opts = bench::bench_options();
+  const std::uint64_t seed = bench::chaos_plan().seed;
+  const auto* w = trace::find_workload(kWorkload);
+  SGXPL_CHECK(w != nullptr);
+  const trace::Trace t = w->make(trace::ref_params(opts.scale));
+
+  sip::InstrumentationPlan sip_plan;
+  if (w->info.sip_supported) {
+    sip_plan = sip::compile_workload(*w, bench::bench_platform().sip,
+                                     trace::train_params(opts.train_scale))
+                   .plan;
+  }
+
+  const std::vector<std::pair<std::string, core::Scheme>> schemes = {
+      {"baseline", core::Scheme::kBaseline},
+      {"DFP-stop", core::Scheme::kDfpStop},
+      {"SIP+DFP", core::Scheme::kHybrid}};
+
+  std::vector<std::pair<std::string, inject::ChaosPlan>> plans;
+  plans.emplace_back("(none)", inject::ChaosPlan{});
+  for (const inject::FaultKind k : inject::all_fault_kinds()) {
+    inject::ChaosPlan plan;
+    plan.seed = seed;
+    plan.enable(k);
+    plans.emplace_back(inject::to_string(k), plan);
+  }
+  plans.emplace_back("all", inject::ChaosPlan::all(seed));
+
+  std::uint64_t failures = 0;
+  std::vector<std::string> divergences;
+  TextTable tbl({"fault class", "baseline", "DFP-stop", "SIP+DFP"});
+  for (const auto& [plan_name, plan] : plans) {
+    std::vector<std::string> row{plan_name};
+    for (const auto& [scheme_name, scheme] : schemes) {
+      const Verdict v =
+          differential(scheme_cfg(scheme, plan), t, &sip_plan);
+      row.push_back(v.pass ? "PASS" : "FAIL");
+      if (!v.pass) {
+        ++failures;
+        divergences.push_back(plan_name + " / " + scheme_name + ": " +
+                              v.detail);
+      }
+    }
+    tbl.add_row(row);
+  }
+  std::cout << "Kill-restore differential on " << kWorkload << " ("
+            << t.size() << " accesses; cuts at first/mid/last):\n";
+  bench::print_table("kill_restore", tbl);
+  for (const auto& d : divergences) {
+    std::cout << "DIVERGENCE: " << d << "\n";
+  }
+  bench::add_scalar("kill_restore_failures",
+                    static_cast<double>(failures));
+
+  // Corruption drill: systematically truncated and bit-flipped snapshots
+  // must every one be rejected with a diagnostic error — never applied.
+  {
+    const auto cfg = scheme_cfg(core::Scheme::kDfpStop, plans.back().second);
+    core::SimulationRun victim(cfg, t, nullptr);
+    const std::uint64_t stop = std::min<std::uint64_t>(t.size() / 2, 5'000);
+    while (!victim.done() && victim.cursor() < stop) {
+      victim.step();
+    }
+    const auto snap = snapshot::capture(victim);
+    std::uint64_t trials = 0;
+    std::uint64_t rejected = 0;
+    for (std::size_t n = 0; n < snap.size(); n += 97) {  // truncations
+      ++trials;
+      const std::vector<std::uint8_t> cut(
+          snap.begin(), snap.begin() + static_cast<std::ptrdiff_t>(n));
+      core::SimulationRun fresh(cfg, t, nullptr);
+      try {
+        fresh.load_bytes(cut);
+      } catch (const CheckFailure&) {
+        ++rejected;
+      }
+    }
+    for (std::size_t at = 0; at < snap.size(); at += 101) {  // bit flips
+      ++trials;
+      auto flipped = snap;
+      flipped[at] ^= 0x20;
+      core::SimulationRun fresh(cfg, t, nullptr);
+      try {
+        fresh.load_bytes(flipped);
+      } catch (const CheckFailure&) {
+        ++rejected;
+      }
+    }
+    std::cout << "Corruption drill: " << rejected << "/" << trials
+              << " corrupted snapshots rejected ("
+              << (snap.size() / 1024) << " KiB snapshot)\n";
+    bench::add_scalar("corruptions_rejected",
+                      static_cast<double>(rejected));
+    if (rejected != trials) {
+      std::cerr << "error: " << (trials - rejected)
+                << " corrupted snapshots were accepted\n";
+      ++failures;
+    }
+  }
+
+  // File path: when --checkpoint/--resume were given, run the one-shot
+  // simulator so the flags drive real snapshot writes/restores.
+  const auto& ck = bench::checkpoint_options();
+  if (!ck.path.empty() || !ck.resume_path.empty()) {
+    core::SimConfig cfg = bench::bench_platform(core::Scheme::kDfpStop);
+    cfg.validate = true;
+    const auto m = core::simulate(t, cfg);
+    std::cout << "--checkpoint/--resume run finished: " << m.total_cycles
+              << " cycles over " << m.accesses << " accesses\n";
+  }
+
+  const int rc = bench::finish();
+  if (failures > 0) {
+    std::cerr << "recovery_suite: " << failures << " check(s) FAILED\n";
+    return 1;
+  }
+  return rc;
+}

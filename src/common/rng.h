@@ -42,6 +42,14 @@ class Rng {
   /// Used to synthesize run lengths in mixed access patterns.
   std::uint64_t burst(double p, std::uint64_t cap) noexcept;
 
+  /// The full generator state, for checkpoint/restore. A generator whose
+  /// state is captured and later restored via set_state() continues with
+  /// exactly the sequence the original would have produced.
+  const std::array<std::uint64_t, 4>& state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
 };
@@ -49,6 +57,11 @@ class Rng {
 /// A Zipf(alpha) sampler over {0, .., n-1} using the rejection-inversion
 /// method of Hörmann & Derflinger — O(1) per sample, no O(n) table, suitable
 /// for the multi-gigabyte page ranges modeled by irregular workloads.
+///
+/// The sampler itself holds only immutable precomputed constants; all
+/// sequence state lives in the Rng it draws from. Capturing Rng::state()
+/// therefore checkpoints a Zipf-driven trace generator completely: restore
+/// the Rng and the remaining draws are bit-identical.
 class ZipfSampler {
  public:
   ZipfSampler(std::uint64_t n, double alpha);

@@ -7,6 +7,7 @@
 #include "common/types.h"
 #include "inject/fault_injector.h"
 #include "sgxsim/driver.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::core {
 
@@ -49,6 +50,13 @@ struct Metrics {
   double normalized_to(const Metrics& baseline) const noexcept;
 
   std::string describe() const;
+
+  /// Checkpoint/restore of every field, including the nested driver and
+  /// injection statistics. Also the substrate of snapshot-based metric
+  /// diffing: two runs whose Metrics serialize identically finished in
+  /// bit-identical states.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 };
 
 }  // namespace sgxpl::core

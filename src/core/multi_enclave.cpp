@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "dfp/dfp_engine.h"
 #include "sgxsim/driver.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::core {
 
@@ -73,6 +74,9 @@ class PerEnclavePolicy final : public sgxsim::PreloadPolicy {
   const dfp::DfpEngine* engine(std::size_t i) const {
     return slots_.at(i).engine.get();
   }
+  dfp::DfpEngine* mutable_engine(std::size_t i) {
+    return slots_.at(i).engine.get();
+  }
 
  private:
   Slot* owner(PageNum page) {
@@ -87,115 +91,159 @@ class PerEnclavePolicy final : public sgxsim::PreloadPolicy {
   std::vector<Slot> slots_;
 };
 
+struct AppState {
+  std::size_t cursor = 0;
+  Cycles now = 0;
+  bool done = false;
+  Metrics metrics;
+};
+
 }  // namespace
 
-MultiEnclaveSimulator::MultiEnclaveSimulator(const SimConfig& config)
-    : config_(config) {}
+struct MultiEnclaveRun::Impl {
+  Impl(const SimConfig& config, const std::vector<EnclaveApp>& the_apps)
+      : cfg(config), apps(the_apps) {
+    SGXPL_CHECK_MSG(!apps.empty(), "no enclaves to run");
 
-MultiEnclaveResult MultiEnclaveSimulator::run(
-    const std::vector<EnclaveApp>& apps) {
-  SGXPL_CHECK_MSG(!apps.empty(), "no enclaves to run");
+    // Lay the enclaves out at disjoint offsets in the combined space.
+    offset.resize(apps.size());
+    PageNum total_pages = 0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      SGXPL_CHECK(apps[i].trace != nullptr && !apps[i].trace->empty());
+      offset[i] = total_pages;
+      total_pages += apps[i].trace->elrange_pages();
+    }
 
-  // Lay the enclaves out at disjoint offsets in the combined space.
-  std::vector<PageNum> offset(apps.size());
-  PageNum total_pages = 0;
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    SGXPL_CHECK(apps[i].trace != nullptr && !apps[i].trace->empty());
-    offset[i] = total_pages;
-    total_pages += apps[i].trace->elrange_pages();
-  }
-
-  // Per-enclave scheme state.
-  std::vector<PerEnclavePolicy::Slot> slots;
-  slots.reserve(apps.size());
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    SimConfig probe = config_;
-    probe.scheme = apps[i].scheme;
-    PerEnclavePolicy::Slot slot;
-    slot.lo = offset[i];
-    slot.hi = offset[i] + apps[i].trace->elrange_pages();
-    if (probe.uses_dfp()) {
-      dfp::DfpParams params = config_.dfp;
-      if (probe.dfp_stop_forced()) {
-        params.stop_enabled = true;
+    // Per-enclave scheme state.
+    std::vector<PerEnclavePolicy::Slot> slots;
+    slots.reserve(apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      SimConfig probe = cfg;
+      probe.scheme = apps[i].scheme;
+      PerEnclavePolicy::Slot slot;
+      slot.lo = offset[i];
+      slot.hi = offset[i] + apps[i].trace->elrange_pages();
+      if (probe.uses_dfp()) {
+        dfp::DfpParams params = cfg.dfp;
+        if (probe.dfp_stop_forced()) {
+          params.stop_enabled = true;
+        }
+        slot.engine = std::make_unique<dfp::DfpEngine>(params);
       }
-      slot.engine = std::make_unique<dfp::DfpEngine>(params);
+      if (probe.uses_sip()) {
+        SGXPL_CHECK_MSG(apps[i].plan != nullptr,
+                        "SIP scheme needs a plan (enclave " << i << ")");
+      }
+      slots.push_back(std::move(slot));
     }
-    if (probe.uses_sip()) {
-      SGXPL_CHECK_MSG(apps[i].plan != nullptr,
-                      "SIP scheme needs a plan (enclave " << i << ")");
-    }
-    slots.push_back(std::move(slot));
+    policy = std::make_unique<PerEnclavePolicy>(std::move(slots));
+
+    sgxsim::EnclaveConfig ecfg = cfg.enclave;
+    ecfg.elrange_pages = total_pages;
+    combined_pages = total_pages;
+    driver = std::make_unique<sgxsim::Driver>(ecfg, cfg.costs, policy.get());
+    state.resize(apps.size());
   }
-  PerEnclavePolicy policy(std::move(slots));
 
-  sgxsim::EnclaveConfig ecfg = config_.enclave;
-  ecfg.elrange_pages = total_pages;
-  sgxsim::Driver driver(ecfg, config_.costs, &policy);
+  std::uint64_t steps() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& st : state) {
+      sum += st.cursor;
+    }
+    return sum;
+  }
 
+  SimConfig cfg;
+  std::vector<EnclaveApp> apps;
+  std::vector<PageNum> offset;
+  PageNum combined_pages = 0;
+  std::unique_ptr<PerEnclavePolicy> policy;
+  std::unique_ptr<sgxsim::Driver> driver;
+  std::vector<AppState> state;
+  bool finished = false;
+};
+
+MultiEnclaveRun::MultiEnclaveRun(const SimConfig& config,
+                                 const std::vector<EnclaveApp>& apps)
+    : impl_(std::make_unique<Impl>(config, apps)) {}
+
+MultiEnclaveRun::~MultiEnclaveRun() = default;
+
+bool MultiEnclaveRun::done() const noexcept {
+  for (const auto& st : impl_->state) {
+    if (!st.done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t MultiEnclaveRun::steps() const noexcept {
+  return impl_->steps();
+}
+
+void MultiEnclaveRun::step() {
+  Impl& im = *impl_;
   // Co-simulation: each enclave has its own clock and cursor; always step
   // the one furthest behind.
-  struct AppState {
-    std::size_t cursor = 0;
-    Cycles now = 0;
-    bool done = false;
-    Metrics metrics;
-  };
-  std::vector<AppState> state(apps.size());
-
-  for (;;) {
-    std::size_t next = apps.size();
-    Cycles min_clock = std::numeric_limits<Cycles>::max();
-    for (std::size_t i = 0; i < apps.size(); ++i) {
-      if (!state[i].done && state[i].now < min_clock) {
-        min_clock = state[i].now;
-        next = i;
-      }
+  std::size_t next = im.apps.size();
+  Cycles min_clock = std::numeric_limits<Cycles>::max();
+  for (std::size_t i = 0; i < im.apps.size(); ++i) {
+    if (!im.state[i].done && im.state[i].now < min_clock) {
+      min_clock = im.state[i].now;
+      next = i;
     }
-    if (next == apps.size()) {
-      break;  // all done
-    }
-    AppState& st = state[next];
-    const EnclaveApp& app = apps[next];
-    const auto& a = app.trace->accesses()[st.cursor];
-    const PageNum page = offset[next] + a.page;
+  }
+  SGXPL_CHECK_MSG(next != im.apps.size(),
+                  "stepping a finished multi-enclave run");
 
-    st.now += a.gap;
-    st.metrics.compute_cycles += a.gap;
-    ++st.metrics.accesses;
+  AppState& st = im.state[next];
+  const EnclaveApp& app = im.apps[next];
+  const auto& a = app.trace->accesses()[st.cursor];
+  const PageNum page = im.offset[next] + a.page;
 
-    SimConfig probe = config_;
-    probe.scheme = app.scheme;
-    if (probe.uses_sip() && app.plan->instrumented(a.site)) {
-      st.now += config_.costs.bitmap_check;
-      st.metrics.sip_check_cycles += config_.costs.bitmap_check;
-      ++st.metrics.sip_checks;
-      if (!driver.bitmap().test(page)) {
-        const Cycles loaded = driver.sip_load(page, st.now);
-        st.now = loaded + config_.costs.sip_notification;
-        st.metrics.sip_notification_cycles += config_.costs.sip_notification;
-        ++st.metrics.sip_requests;
-      }
-    }
+  st.now += a.gap;
+  st.metrics.compute_cycles += a.gap;
+  ++st.metrics.accesses;
 
-    const auto outcome =
-        driver.access(page, st.now, ProcessId{static_cast<std::uint32_t>(next)});
-    st.now = outcome.completion;
-    if (outcome.faulted) {
-      ++st.metrics.enclave_faults;
-    }
-
-    if (++st.cursor >= app.trace->size()) {
-      st.done = true;
-      st.metrics.total_cycles = st.now;
+  SimConfig probe = im.cfg;
+  probe.scheme = app.scheme;
+  if (probe.uses_sip() && app.plan->instrumented(a.site)) {
+    st.now += im.cfg.costs.bitmap_check;
+    st.metrics.sip_check_cycles += im.cfg.costs.bitmap_check;
+    ++st.metrics.sip_checks;
+    if (!im.driver->bitmap().test(page)) {
+      const Cycles loaded = im.driver->sip_load(page, st.now);
+      st.now = loaded + im.cfg.costs.sip_notification;
+      st.metrics.sip_notification_cycles += im.cfg.costs.sip_notification;
+      ++st.metrics.sip_requests;
     }
   }
 
+  const auto outcome = im.driver->access(
+      page, st.now, ProcessId{static_cast<std::uint32_t>(next)});
+  st.now = outcome.completion;
+  if (outcome.faulted) {
+    ++st.metrics.enclave_faults;
+  }
+
+  if (++st.cursor >= app.trace->size()) {
+    st.done = true;
+    st.metrics.total_cycles = st.now;
+  }
+}
+
+MultiEnclaveResult MultiEnclaveRun::finish() {
+  Impl& im = *impl_;
+  SGXPL_CHECK_MSG(done(), "finishing an unfinished multi-enclave run");
+  SGXPL_CHECK_MSG(!im.finished, "finish() called twice");
+  im.finished = true;
+
   MultiEnclaveResult result;
-  result.per_enclave.reserve(apps.size());
-  for (std::size_t i = 0; i < apps.size(); ++i) {
-    Metrics m = state[i].metrics;
-    if (const auto* engine = policy.engine(i)) {
+  result.per_enclave.reserve(im.apps.size());
+  for (std::size_t i = 0; i < im.apps.size(); ++i) {
+    Metrics m = im.state[i].metrics;
+    if (const auto* engine = im.policy->engine(i)) {
       m.dfp_stopped = engine->stopped();
       m.dfp_stopped_at = engine->stopped_at();
       m.dfp_preload_counter = engine->preloaded_pages().preload_counter();
@@ -207,8 +255,143 @@ MultiEnclaveResult MultiEnclaveSimulator::run(
     result.makespan = std::max(result.makespan, m.total_cycles);
     result.per_enclave.push_back(std::move(m));
   }
-  result.driver = driver.stats();
+  result.driver = im.driver->stats();
   return result;
+}
+
+MultiEnclaveResult MultiEnclaveRun::run_to_end() {
+  while (!done()) {
+    step();
+  }
+  return finish();
+}
+
+snapshot::RunMeta MultiEnclaveRun::meta() const {
+  const Impl& im = *impl_;
+  snapshot::RunMeta meta;
+  meta.kind = "multi-enclave";
+  std::uint64_t total_accesses = 0;
+  for (std::size_t i = 0; i < im.apps.size(); ++i) {
+    if (i > 0) {
+      meta.scheme += ",";
+      meta.trace_name += ",";
+    }
+    meta.scheme += to_string(im.apps[i].scheme);
+    meta.trace_name += im.apps[i].trace->name();
+    total_accesses += im.apps[i].trace->size();
+  }
+  meta.trace_accesses = total_accesses;
+  meta.elrange_pages = im.combined_pages;
+  meta.epc_pages = im.cfg.enclave.epc_pages;
+  meta.chaos_spec = im.cfg.chaos.any_enabled() ? im.cfg.chaos.spec() : "";
+  meta.chaos_seed = im.cfg.chaos.seed;
+  meta.cursor = im.steps();
+  return meta;
+}
+
+void MultiEnclaveRun::save(snapshot::Writer& w) const {
+  const Impl& im = *impl_;
+  snapshot::write_meta(w, meta());
+  // One "APPS" section per enclave, in index order.
+  for (const AppState& st : im.state) {
+    w.begin_section("APPS");
+    w.u64("app.cursor", st.cursor);
+    w.u64("app.now", st.now);
+    w.boolean("app.done", st.done);
+    st.metrics.save(w);
+    w.end_section();
+  }
+  w.begin_section("DRVR");
+  im.driver->save(w);
+  w.end_section();
+  for (std::size_t i = 0; i < im.apps.size(); ++i) {
+    if (const auto* engine = im.policy->engine(i)) {
+      w.begin_section("DFPE");
+      engine->save(w);
+      w.end_section();
+    }
+  }
+}
+
+void MultiEnclaveRun::load(snapshot::Reader& r) {
+  Impl& im = *impl_;
+  const snapshot::RunMeta stored = snapshot::read_meta(r);
+  const std::string mismatch = stored.incompatibility(meta());
+  SGXPL_CHECK_MSG(mismatch.empty(),
+                  "snapshot does not match this run: " << mismatch);
+  for (std::size_t i = 0; i < im.apps.size(); ++i) {
+    AppState& st = im.state[i];
+    r.enter_section("APPS");
+    st.cursor = r.u64("app.cursor");
+    SGXPL_CHECK_MSG(st.cursor <= im.apps[i].trace->size(),
+                    "snapshot cursor " << st.cursor << " exceeds enclave "
+                                       << i << "'s trace of "
+                                       << im.apps[i].trace->size()
+                                       << " accesses");
+    st.now = r.u64("app.now");
+    st.done = r.boolean("app.done");
+    st.metrics.load(r);
+    r.leave_section();
+  }
+  r.enter_section("DRVR");
+  im.driver->load(r);
+  r.leave_section();
+  for (std::size_t i = 0; i < im.apps.size(); ++i) {
+    if (auto* engine = im.policy->mutable_engine(i)) {
+      r.enter_section("DFPE");
+      engine->load(r);
+      r.leave_section();
+    }
+  }
+  SGXPL_CHECK_MSG(r.sections_entered() == r.section_count(),
+                  "snapshot holds " << r.section_count()
+                                    << " sections but this run consumes "
+                                    << r.sections_entered());
+  im.finished = false;
+}
+
+std::vector<std::uint8_t> MultiEnclaveRun::save_bytes() const {
+  snapshot::Writer w;
+  save(w);
+  return w.finish();
+}
+
+void MultiEnclaveRun::load_bytes(const std::vector<std::uint8_t>& bytes) {
+  snapshot::Reader r(bytes);
+  load(r);
+}
+
+bool MultiEnclaveRun::restore_if_compatible(
+    const std::vector<std::uint8_t>& bytes) {
+  snapshot::Reader probe(bytes);
+  const snapshot::RunMeta stored = snapshot::read_meta(probe);
+  if (!stored.incompatibility(meta()).empty()) {
+    return false;
+  }
+  load_bytes(bytes);
+  return true;
+}
+
+MultiEnclaveSimulator::MultiEnclaveSimulator(const SimConfig& config)
+    : config_(config) {}
+
+MultiEnclaveResult MultiEnclaveSimulator::run(
+    const std::vector<EnclaveApp>& apps) {
+  MultiEnclaveRun run(config_, apps);
+  const CheckpointOptions& ck = config_.checkpoint;
+  if (!ck.resume_path.empty() && snapshot::file_readable(ck.resume_path)) {
+    // Meta-gated, same contract as EnclaveSimulator::run: a snapshot of a
+    // different configuration is skipped; corrupt snapshots still throw.
+    run.restore_if_compatible(snapshot::read_file(ck.resume_path));
+  }
+  const bool checkpointing = ck.every_accesses > 0 && !ck.path.empty();
+  while (!run.done()) {
+    run.step();
+    if (checkpointing && run.steps() % ck.every_accesses == 0) {
+      snapshot::write_file_atomic(ck.path, run.save_bytes());
+    }
+  }
+  return run.finish();
 }
 
 }  // namespace sgxpl::core

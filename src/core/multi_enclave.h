@@ -14,6 +14,7 @@
 // bounding cross-enclave causality skew to a single fault-handling span.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "core/metrics.h"
 #include "core/scheme.h"
 #include "sip/instrumenter.h"
+#include "snapshot/fwd.h"
 #include "trace/access.h"
 
 namespace sgxpl::core {
@@ -41,12 +43,48 @@ struct MultiEnclaveResult {
   sgxsim::DriverStats driver;
 };
 
+/// One in-progress co-simulation, steppable one access at a time so it can
+/// be checkpointed and resumed bit-identically (same contract as
+/// core::SimulationRun; see its header for the save/load semantics). The
+/// traces and plans referenced by `apps` must outlive the run.
+class MultiEnclaveRun {
+ public:
+  MultiEnclaveRun(const SimConfig& config, const std::vector<EnclaveApp>& apps);
+  ~MultiEnclaveRun();
+  MultiEnclaveRun(const MultiEnclaveRun&) = delete;
+  MultiEnclaveRun& operator=(const MultiEnclaveRun&) = delete;
+
+  bool done() const noexcept;
+  /// Consume one access from the enclave whose virtual clock is furthest
+  /// behind. Requires !done().
+  void step();
+  /// Total accesses consumed across all enclaves.
+  std::uint64_t steps() const noexcept;
+
+  /// Assemble the final result. Requires done(); call at most once.
+  MultiEnclaveResult finish();
+  MultiEnclaveResult run_to_end();
+
+  // --- checkpoint/restore (same contract as SimulationRun) ---
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
+  std::vector<std::uint8_t> save_bytes() const;
+  void load_bytes(const std::vector<std::uint8_t>& bytes);
+  bool restore_if_compatible(const std::vector<std::uint8_t>& bytes);
+  snapshot::RunMeta meta() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 class MultiEnclaveSimulator {
  public:
   /// `config.enclave.epc_pages` is the *shared* physical EPC. The scheme
   /// field of `config` is ignored; each app carries its own.
   explicit MultiEnclaveSimulator(const SimConfig& config);
 
+  /// Honors config.checkpoint exactly like EnclaveSimulator::run.
   MultiEnclaveResult run(const std::vector<EnclaveApp>& apps);
 
  private:

@@ -26,6 +26,21 @@ enum class Scheme {
 
 const char* to_string(Scheme s) noexcept;
 
+/// Crash-consistent checkpointing (docs/ROBUSTNESS.md, "Checkpoint &
+/// recovery"). Snapshots are aligned to trace-access boundaries and written
+/// atomically (temp file + rename), so a kill at any wall-clock instant
+/// leaves either the previous or the new snapshot — never a torn one.
+struct CheckpointOptions {
+  /// Write a checkpoint every N completed accesses (0 = off).
+  std::uint64_t every_accesses = 0;
+  /// Where periodic checkpoints go (required when every_accesses > 0).
+  std::string path;
+  /// When non-empty, restore this snapshot before running. The file must
+  /// exist and describe the same trace/scheme/configuration (CheckFailure
+  /// otherwise).
+  std::string resume_path;
+};
+
 struct SimConfig {
   sgxsim::EnclaveConfig enclave;  // elrange_pages 0 = take from the trace
   sgxsim::CostModel costs;
@@ -52,6 +67,10 @@ struct SimConfig {
   /// Default-constructed = no faults enabled = zero-overhead plain run;
   /// see docs/ROBUSTNESS.md.
   inject::ChaosPlan chaos;
+
+  /// Periodic checkpoint / resume-from-snapshot settings (off by default).
+  /// Ignored by the native scheme, which has no paging state to snapshot.
+  CheckpointOptions checkpoint;
 
   // --- Observability sinks (not owned; null = off, zero overhead). ---
   // See docs/OBSERVABILITY.md. Counters/histograms accumulate across runs

@@ -1,14 +1,319 @@
 #include "core/simulator.h"
 
-#include <memory>
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "dfp/dfp_engine.h"
 #include "inject/fault_injector.h"
 #include "sgxsim/driver.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::core {
+
+SimulationRun::SimulationRun(const SimConfig& config, const trace::Trace& t,
+                             const sip::InstrumentationPlan* plan)
+    : cfg_(config), trace_(&t), plan_(plan) {
+  SGXPL_CHECK_MSG(!t.empty(), "empty trace");
+  SGXPL_CHECK_MSG(cfg_.scheme != Scheme::kNative,
+                  "the native scheme has no paging state to step; use "
+                  "EnclaveSimulator::run");
+  SGXPL_CHECK_MSG(!cfg_.uses_sip() || plan != nullptr,
+                  "SIP scheme needs an instrumentation plan");
+
+  if (cfg_.enclave.elrange_pages == 0) {
+    cfg_.enclave.elrange_pages = t.elrange_pages();
+  }
+  SGXPL_CHECK_MSG(cfg_.enclave.elrange_pages > 0,
+                  "trace declares no ELRANGE size");
+
+  if (cfg_.uses_dfp()) {
+    dfp::DfpParams params = cfg_.dfp;
+    if (cfg_.dfp_stop_forced()) {
+      params.stop_enabled = true;
+    }
+    engine_ = std::make_unique<dfp::DfpEngine>(params);
+  }
+  // Chaos attach: the injector perturbs the untrusted stack through the
+  // driver's ChaosHooks boundary; a plan with nothing enabled costs nothing.
+  // Under chaos the online watchdog defaults on (every 64 scans plus every
+  // injection boundary) so a hook that ever corrupted ground truth trips
+  // immediately, not at end-of-run.
+  if (cfg_.chaos.any_enabled()) {
+    injector_ = std::make_unique<inject::FaultInjector>(cfg_.chaos);
+    if (cfg_.enclave.watchdog_scan_interval == 0) {
+      cfg_.enclave.watchdog_scan_interval = 64;
+    }
+  }
+  driver_ = std::make_unique<sgxsim::Driver>(cfg_.enclave, cfg_.costs,
+                                             engine_.get());
+  if (injector_ != nullptr) {
+    driver_->set_chaos(injector_.get());
+  }
+
+  // Observability attach: each sink is independent and null means off.
+  if (cfg_.event_log != nullptr) {
+    cfg_.event_log->clear();  // the log holds exactly one run's window
+    driver_->set_event_log(cfg_.event_log);
+    if (injector_ != nullptr) {
+      injector_->set_event_log(cfg_.event_log);
+    }
+  }
+  if (cfg_.registry != nullptr) {
+    driver_->set_metrics(cfg_.registry);
+  }
+  if (cfg_.timeseries != nullptr) {
+    cfg_.timeseries->clear();  // like the event log: one run's window
+    driver_->set_time_series(cfg_.timeseries);
+  }
+  if (engine_ != nullptr &&
+      (cfg_.registry != nullptr || cfg_.timeseries != nullptr)) {
+    engine_->set_observability(cfg_.registry, cfg_.timeseries);
+  }
+
+  sip_on_ = cfg_.uses_sip() && plan_ != nullptr && !plan_->empty();
+}
+
+SimulationRun::~SimulationRun() = default;
+
+bool SimulationRun::done() const noexcept {
+  return cursor_ >= trace_->size();
+}
+
+void SimulationRun::hoist(std::size_t idx) {
+  // Hoisted mode: the check+notify for each instrumented access runs
+  // `sip_lookahead` accesses early.
+  const auto& target = trace_->accesses()[idx];
+  if (!plan_->instrumented(target.site)) {
+    return;
+  }
+  now_ += cfg_.costs.bitmap_check;
+  m_.sip_check_cycles += cfg_.costs.bitmap_check;
+  ++m_.sip_checks;
+  if (!driver_->sip_bitmap_check(target.page, now_)) {
+    now_ += cfg_.costs.sip_notification;
+    m_.sip_notification_cycles += cfg_.costs.sip_notification;
+    ++m_.sip_requests;
+    driver_->sip_prefetch(target.page, now_);
+  }
+}
+
+void SimulationRun::ensure_started() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  // Issue the first lookahead window up front (the compiler hoists these
+  // checks to the enclave's entry).
+  if (sip_on_ && cfg_.sip_lookahead > 0) {
+    const auto prefix = std::min<std::size_t>(cfg_.sip_lookahead,
+                                              trace_->size());
+    for (std::size_t j = 0; j < prefix; ++j) {
+      hoist(j);
+    }
+  }
+}
+
+void SimulationRun::step() {
+  SGXPL_CHECK_MSG(!done(), "stepping past the end of the trace");
+  ensure_started();
+
+  const auto& accesses = trace_->accesses();
+  const std::size_t i = cursor_;
+  const auto& a = accesses[i];
+  ++m_.accesses;
+
+  Cycles gap = a.gap;
+  if (cfg_.channel_contention > 0.0 && gap > 0) {
+    // Enclave compute overlapping page copies runs slower: inflate the
+    // gap by the contention share of the overlapped busy time. One
+    // fixpoint step is enough at realistic factors.
+    const Cycles busy = driver_->channel().busy_overlap(now_, now_ + gap);
+    if (busy > 0) {
+      const auto extra = static_cast<Cycles>(static_cast<double>(busy) *
+                                             cfg_.channel_contention);
+      gap += extra;
+      m_.contention_cycles += extra;
+    }
+  }
+  now_ += gap;
+  m_.compute_cycles += gap;
+
+  if (sip_on_) {
+    const std::uint32_t lookahead = cfg_.sip_lookahead;
+    if (lookahead == 0) {
+      if (plan_->instrumented(a.site)) {
+        // Conservative mode: BIT_MAP_CHECK right before the access, then
+        // a blocking page_loadin_function on a miss.
+        now_ += cfg_.costs.bitmap_check;
+        m_.sip_check_cycles += cfg_.costs.bitmap_check;
+        ++m_.sip_checks;
+        if (!driver_->sip_bitmap_check(a.page, now_)) {
+          const Cycles loaded = driver_->sip_load(a.page, now_);
+          now_ = loaded + cfg_.costs.sip_notification;
+          m_.sip_notification_cycles += cfg_.costs.sip_notification;
+          ++m_.sip_requests;
+        }
+      }
+    } else if (i + lookahead < accesses.size()) {
+      hoist(i + lookahead);
+    }
+  }
+
+  const auto outcome = driver_->access(a.page, now_);
+  now_ = outcome.completion;
+  if (outcome.faulted) {
+    ++m_.enclave_faults;
+  }
+  ++cursor_;
+}
+
+Metrics SimulationRun::finish() {
+  SGXPL_CHECK_MSG(done(), "finishing an unfinished run");
+  SGXPL_CHECK_MSG(!finished_, "finish() called twice");
+  finished_ = true;
+  ensure_started();  // a zero-step finish still runs the hoisted prefix
+
+  m_.total_cycles = now_;
+  if (cfg_.validate) {
+    driver_->drain();
+    driver_->check_invariants();
+  }
+  m_.driver = driver_->stats();
+  if (injector_ != nullptr) {
+    m_.inject = injector_->stats();
+  }
+  if (engine_ != nullptr) {
+    m_.dfp_stopped = engine_->stopped();
+    m_.dfp_stopped_at = engine_->stopped_at();
+    m_.dfp_preload_counter = engine_->preloaded_pages().preload_counter();
+    m_.dfp_acc_preload_counter =
+        engine_->preloaded_pages().acc_preload_counter();
+    m_.dfp_predictor_hits = engine_->predictor().hits();
+    m_.dfp_predictor_misses = engine_->predictor().misses();
+  }
+  if (cfg_.registry != nullptr) {
+    auto& reg = *cfg_.registry;
+    m_.driver.publish(reg);
+    if (engine_ != nullptr) {
+      engine_->publish(reg);
+    }
+    if (injector_ != nullptr) {
+      m_.inject.publish(reg);
+    }
+    reg.counter("sim.runs").add();
+    reg.counter("sim.total_cycles").add(m_.total_cycles);
+    reg.counter("sim.compute_cycles").add(m_.compute_cycles);
+    reg.counter("sim.contention_cycles").add(m_.contention_cycles);
+    if (sip_on_) {
+      reg.counter("sip.checks").add(m_.sip_checks);
+      reg.counter("sip.requests").add(m_.sip_requests);
+      reg.counter("sip.check_cycles").add(m_.sip_check_cycles);
+      reg.counter("sip.notification_cycles").add(m_.sip_notification_cycles);
+    }
+  }
+  return m_;
+}
+
+Metrics SimulationRun::run_to_end() {
+  while (!done()) {
+    step();
+  }
+  return finish();
+}
+
+snapshot::RunMeta SimulationRun::meta() const {
+  snapshot::RunMeta meta;
+  meta.kind = "enclave-sim";
+  meta.scheme = to_string(cfg_.scheme);
+  meta.trace_name = trace_->name();
+  meta.trace_accesses = trace_->size();
+  meta.elrange_pages = cfg_.enclave.elrange_pages;
+  meta.epc_pages = cfg_.enclave.epc_pages;
+  meta.chaos_spec = cfg_.chaos.any_enabled() ? cfg_.chaos.spec() : "";
+  meta.chaos_seed = cfg_.chaos.seed;
+  meta.cursor = cursor_;
+  return meta;
+}
+
+void SimulationRun::save(snapshot::Writer& w) const {
+  snapshot::write_meta(w, meta());
+  w.begin_section("RUNS");
+  w.boolean("run.started", started_);
+  w.u64("run.cursor", cursor_);
+  w.u64("run.now", now_);
+  m_.save(w);
+  w.end_section();
+  w.begin_section("DRVR");
+  driver_->save(w);
+  w.end_section();
+  if (engine_ != nullptr) {
+    w.begin_section("DFPE");
+    engine_->save(w);
+    w.end_section();
+  }
+  if (injector_ != nullptr) {
+    w.begin_section("INJC");
+    injector_->save(w);
+    w.end_section();
+  }
+}
+
+void SimulationRun::load(snapshot::Reader& r) {
+  const snapshot::RunMeta stored = snapshot::read_meta(r);
+  const std::string mismatch = stored.incompatibility(meta());
+  SGXPL_CHECK_MSG(mismatch.empty(),
+                  "snapshot does not match this run: " << mismatch);
+  r.enter_section("RUNS");
+  started_ = r.boolean("run.started");
+  cursor_ = r.u64("run.cursor");
+  SGXPL_CHECK_MSG(cursor_ <= trace_->size(),
+                  "snapshot cursor " << cursor_ << " exceeds the trace's "
+                                     << trace_->size() << " accesses");
+  now_ = r.u64("run.now");
+  m_.load(r);
+  r.leave_section();
+  r.enter_section("DRVR");
+  driver_->load(r);
+  r.leave_section();
+  if (engine_ != nullptr) {
+    r.enter_section("DFPE");
+    engine_->load(r);
+    r.leave_section();
+  }
+  if (injector_ != nullptr) {
+    r.enter_section("INJC");
+    injector_->load(r);
+    r.leave_section();
+  }
+  SGXPL_CHECK_MSG(r.sections_entered() == r.section_count(),
+                  "snapshot holds " << r.section_count()
+                                    << " sections but this run consumes "
+                                    << r.sections_entered());
+  finished_ = false;
+}
+
+std::vector<std::uint8_t> SimulationRun::save_bytes() const {
+  snapshot::Writer w;
+  save(w);
+  return w.finish();
+}
+
+void SimulationRun::load_bytes(const std::vector<std::uint8_t>& bytes) {
+  snapshot::Reader r(bytes);
+  load(r);
+}
+
+bool SimulationRun::restore_if_compatible(
+    const std::vector<std::uint8_t>& bytes) {
+  snapshot::Reader probe(bytes);
+  const snapshot::RunMeta stored = snapshot::read_meta(probe);
+  if (!stored.incompatibility(meta()).empty()) {
+    return false;
+  }
+  load_bytes(bytes);
+  return true;
+}
 
 EnclaveSimulator::EnclaveSimulator(const SimConfig& config)
     : config_(config) {}
@@ -19,181 +324,22 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
   if (config_.scheme == Scheme::kNative) {
     return run_native(t);
   }
-  SGXPL_CHECK_MSG(!config_.uses_sip() || plan != nullptr,
-                  "SIP scheme needs an instrumentation plan");
-
-  SimConfig cfg = config_;
-  if (cfg.enclave.elrange_pages == 0) {
-    cfg.enclave.elrange_pages = t.elrange_pages();
+  SimulationRun run(config_, t, plan);
+  const CheckpointOptions& ck = config_.checkpoint;
+  if (!ck.resume_path.empty() && snapshot::file_readable(ck.resume_path)) {
+    // Meta-gated: a snapshot belonging to a different configuration (benches
+    // that simulate several schemes overwrite one file per run) is skipped
+    // and this run starts fresh. Corrupt snapshots still throw.
+    run.restore_if_compatible(snapshot::read_file(ck.resume_path));
   }
-  SGXPL_CHECK_MSG(cfg.enclave.elrange_pages > 0,
-                  "trace declares no ELRANGE size");
-
-  std::unique_ptr<dfp::DfpEngine> engine;
-  if (cfg.uses_dfp()) {
-    dfp::DfpParams params = cfg.dfp;
-    if (cfg.dfp_stop_forced()) {
-      params.stop_enabled = true;
-    }
-    engine = std::make_unique<dfp::DfpEngine>(params);
-  }
-  // Chaos attach: the injector perturbs the untrusted stack through the
-  // driver's ChaosHooks boundary; a plan with nothing enabled costs nothing.
-  // Under chaos the online watchdog defaults on (every 64 scans plus every
-  // injection boundary) so a hook that ever corrupted ground truth trips
-  // immediately, not at end-of-run.
-  std::unique_ptr<inject::FaultInjector> injector;
-  if (cfg.chaos.any_enabled()) {
-    injector = std::make_unique<inject::FaultInjector>(cfg.chaos);
-    if (cfg.enclave.watchdog_scan_interval == 0) {
-      cfg.enclave.watchdog_scan_interval = 64;
+  const bool checkpointing = ck.every_accesses > 0 && !ck.path.empty();
+  while (!run.done()) {
+    run.step();
+    if (checkpointing && run.cursor() % ck.every_accesses == 0) {
+      snapshot::write_file_atomic(ck.path, run.save_bytes());
     }
   }
-  sgxsim::Driver driver(cfg.enclave, cfg.costs, engine.get());
-  if (injector != nullptr) {
-    driver.set_chaos(injector.get());
-  }
-
-  // Observability attach: each sink is independent and null means off.
-  if (cfg.event_log != nullptr) {
-    cfg.event_log->clear();  // the log holds exactly one run's window
-    driver.set_event_log(cfg.event_log);
-    if (injector != nullptr) {
-      injector->set_event_log(cfg.event_log);
-    }
-  }
-  if (cfg.registry != nullptr) {
-    driver.set_metrics(cfg.registry);
-  }
-  if (cfg.timeseries != nullptr) {
-    cfg.timeseries->clear();  // like the event log: one run's window
-    driver.set_time_series(cfg.timeseries);
-  }
-  if (engine != nullptr &&
-      (cfg.registry != nullptr || cfg.timeseries != nullptr)) {
-    engine->set_observability(cfg.registry, cfg.timeseries);
-  }
-
-  const bool sip_on = cfg.uses_sip() && plan != nullptr && !plan->empty();
-  const double contention = cfg.channel_contention;
-
-  const std::uint32_t lookahead = cfg.sip_lookahead;
-  const auto& accesses = t.accesses();
-
-  // Hoisted mode: the check+notify for each instrumented access runs
-  // `lookahead` accesses early; issue the first window up front (the
-  // compiler hoists them to the enclave's entry).
-  auto hoist = [&](std::size_t idx, Cycles& now, Metrics& m) {
-    const auto& target = accesses[idx];
-    if (!plan->instrumented(target.site)) {
-      return;
-    }
-    now += cfg.costs.bitmap_check;
-    m.sip_check_cycles += cfg.costs.bitmap_check;
-    ++m.sip_checks;
-    if (!driver.sip_bitmap_check(target.page, now)) {
-      now += cfg.costs.sip_notification;
-      m.sip_notification_cycles += cfg.costs.sip_notification;
-      ++m.sip_requests;
-      driver.sip_prefetch(target.page, now);
-    }
-  };
-
-  Metrics m;
-  Cycles now = 0;
-  if (sip_on && lookahead > 0) {
-    for (std::size_t j = 0; j < std::min<std::size_t>(lookahead, accesses.size());
-         ++j) {
-      hoist(j, now, m);
-    }
-  }
-
-  for (std::size_t i = 0; i < accesses.size(); ++i) {
-    const auto& a = accesses[i];
-    ++m.accesses;
-
-    Cycles gap = a.gap;
-    if (contention > 0.0 && gap > 0) {
-      // Enclave compute overlapping page copies runs slower: inflate the
-      // gap by the contention share of the overlapped busy time. One
-      // fixpoint step is enough at realistic factors.
-      const Cycles busy = driver.channel().busy_overlap(now, now + gap);
-      if (busy > 0) {
-        const auto extra = static_cast<Cycles>(
-            static_cast<double>(busy) * contention);
-        gap += extra;
-        m.contention_cycles += extra;
-      }
-    }
-    now += gap;
-    m.compute_cycles += gap;
-
-    if (sip_on) {
-      if (lookahead == 0) {
-        if (plan->instrumented(a.site)) {
-          // Conservative mode: BIT_MAP_CHECK right before the access, then
-          // a blocking page_loadin_function on a miss.
-          now += cfg.costs.bitmap_check;
-          m.sip_check_cycles += cfg.costs.bitmap_check;
-          ++m.sip_checks;
-          if (!driver.sip_bitmap_check(a.page, now)) {
-            const Cycles loaded = driver.sip_load(a.page, now);
-            now = loaded + cfg.costs.sip_notification;
-            m.sip_notification_cycles += cfg.costs.sip_notification;
-            ++m.sip_requests;
-          }
-        }
-      } else if (i + lookahead < accesses.size()) {
-        hoist(i + lookahead, now, m);
-      }
-    }
-
-    const auto outcome = driver.access(a.page, now);
-    now = outcome.completion;
-    if (outcome.faulted) {
-      ++m.enclave_faults;
-    }
-  }
-
-  m.total_cycles = now;
-  if (cfg.validate) {
-    driver.drain();
-    driver.check_invariants();
-  }
-  m.driver = driver.stats();
-  if (injector != nullptr) {
-    m.inject = injector->stats();
-  }
-  if (engine != nullptr) {
-    m.dfp_stopped = engine->stopped();
-    m.dfp_stopped_at = engine->stopped_at();
-    m.dfp_preload_counter = engine->preloaded_pages().preload_counter();
-    m.dfp_acc_preload_counter =
-        engine->preloaded_pages().acc_preload_counter();
-    m.dfp_predictor_hits = engine->predictor().hits();
-    m.dfp_predictor_misses = engine->predictor().misses();
-  }
-  if (cfg.registry != nullptr) {
-    auto& reg = *cfg.registry;
-    m.driver.publish(reg);
-    if (engine != nullptr) {
-      engine->publish(reg);
-    }
-    if (injector != nullptr) {
-      m.inject.publish(reg);
-    }
-    reg.counter("sim.runs").add();
-    reg.counter("sim.total_cycles").add(m.total_cycles);
-    reg.counter("sim.compute_cycles").add(m.compute_cycles);
-    reg.counter("sim.contention_cycles").add(m.contention_cycles);
-    if (sip_on) {
-      reg.counter("sip.checks").add(m.sip_checks);
-      reg.counter("sip.requests").add(m.sip_requests);
-      reg.counter("sip.check_cycles").add(m.sip_check_cycles);
-      reg.counter("sip.notification_cycles").add(m.sip_notification_cycles);
-    }
-  }
-  return m;
+  return run.finish();
 }
 
 Metrics EnclaveSimulator::run_native(const trace::Trace& t) const {

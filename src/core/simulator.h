@@ -10,14 +10,96 @@
 //   - the regular access path in the driver: residency hit, or the full
 //     fault sequence (AEX -> demand load with CLOCK eviction -> DFP
 //     prediction -> ERESUME).
+//
+// SimulationRun exposes the replay one access at a time, so a run can be
+// checkpointed at any access boundary and resumed bit-identically — the
+// correctness oracle behind the kill-restore harness (tests/recovery_test,
+// bench/recovery_suite). EnclaveSimulator::run is the one-shot wrapper that
+// also honors SimConfig::checkpoint.
 #pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "core/metrics.h"
 #include "core/scheme.h"
 #include "sip/instrumenter.h"
+#include "snapshot/fwd.h"
 #include "trace/access.h"
 
 namespace sgxpl::core {
+
+/// One in-progress simulation: the full stack (driver, optional DFP engine,
+/// optional fault injector, observability attachments) plus the replay
+/// cursor. Non-copyable; the trace and plan must outlive the run.
+///
+/// Checkpoint semantics: save() captures the COMPLETE state — every
+/// subsystem's counters, RNG streams, queues and cursors — such that
+/// load() into a freshly built run with the same configuration, followed by
+/// run_to_end(), produces Metrics bit-identical to the uninterrupted run.
+/// load() validates the snapshot's identity section ("META") against this
+/// run before touching any state, and throws a diagnostic CheckFailure on
+/// any mismatch or corruption.
+class SimulationRun {
+ public:
+  /// Native scheme is not steppable (no paging state); the ctor rejects it.
+  /// `plan` is required by SIP-using schemes and ignored otherwise. The
+  /// ELRANGE defaults to the trace's declared range.
+  SimulationRun(const SimConfig& config, const trace::Trace& t,
+                const sip::InstrumentationPlan* plan = nullptr);
+  ~SimulationRun();
+  SimulationRun(const SimulationRun&) = delete;
+  SimulationRun& operator=(const SimulationRun&) = delete;
+
+  bool done() const noexcept;
+  /// Consume the next trace access — the unit of progress checkpoints are
+  /// aligned to. Requires !done().
+  void step();
+  /// Accesses completed so far.
+  std::uint64_t cursor() const noexcept { return cursor_; }
+  Cycles now() const noexcept { return now_; }
+
+  /// Drain/validate and assemble the final Metrics. Requires done(); call
+  /// at most once.
+  Metrics finish();
+  /// step() until done(), then finish().
+  Metrics run_to_end();
+
+  // --- checkpoint/restore ---
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
+  /// save()/load() through a complete framed snapshot.
+  std::vector<std::uint8_t> save_bytes() const;
+  void load_bytes(const std::vector<std::uint8_t>& bytes);
+  /// Meta-gated restore: returns false (leaving the run untouched) when
+  /// `bytes` describes a different run — other trace, scheme, chaos plan or
+  /// enclave geometry; throws CheckFailure when `bytes` is corrupt.
+  bool restore_if_compatible(const std::vector<std::uint8_t>& bytes);
+
+  /// This run's identity as written into snapshots.
+  snapshot::RunMeta meta() const;
+
+ private:
+  void hoist(std::size_t idx);
+  void ensure_started();
+
+  SimConfig cfg_;
+  const trace::Trace* trace_;
+  const sip::InstrumentationPlan* plan_;
+  bool sip_on_ = false;
+  std::unique_ptr<dfp::DfpEngine> engine_;
+  std::unique_ptr<inject::FaultInjector> injector_;
+  std::unique_ptr<sgxsim::Driver> driver_;
+  Metrics m_;
+  Cycles now_ = 0;
+  std::uint64_t cursor_ = 0;
+  // Whether the pre-loop work ran (hoisted SIP prefix). Runs lazily at the
+  // first step so a restore never re-executes it; serialized so a snapshot
+  // taken at cursor 0 still resumes exactly.
+  bool started_ = false;
+  bool finished_ = false;
+};
 
 class EnclaveSimulator {
  public:
@@ -25,6 +107,12 @@ class EnclaveSimulator {
 
   /// Run `t` to completion. `plan` is required by SIP-using schemes and
   /// ignored otherwise. The ELRANGE defaults to the trace's declared range.
+  /// Honors config.checkpoint: resumes from resume_path when the file
+  /// exists and its RunMeta matches this configuration (absent or
+  /// foreign snapshots are skipped and the run starts fresh — benches that
+  /// simulate several schemes overwrite one file per run; corrupt
+  /// snapshots throw), and writes a snapshot to path every every_accesses
+  /// completed accesses.
   Metrics run(const trace::Trace& t,
               const sip::InstrumentationPlan* plan = nullptr);
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "dfp/predictors.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::dfp {
 
@@ -245,6 +246,47 @@ void DfpEngine::reset() {
   depth_ = params_.predictor.load_length;
   last_preload_counter_ = 0;
   last_acc_counter_ = 0;
+}
+
+void DfpEngine::save(snapshot::Writer& w) const {
+  w.str("dfp.predictor", predictor_->name());
+  w.boolean("dfp.stopped", stopped_);
+  w.u64("dfp.stopped_at", stopped_at_);
+  w.u64("dfp.aborted", aborted_);
+  w.u64("dfp.depth", depth_);
+  w.u64("dfp.last_preload_counter", last_preload_counter_);
+  w.u64("dfp.last_acc_counter", last_acc_counter_);
+  w.boolean("dfp.has_health", health_.has_value());
+  predictor_->save(w);
+  list_.save(w);
+  if (health_.has_value()) {
+    health_->save(w);
+  }
+}
+
+void DfpEngine::load(snapshot::Reader& r) {
+  const std::string predictor = r.str("dfp.predictor");
+  SGXPL_CHECK_MSG(predictor == predictor_->name(),
+                  "snapshot was taken with predictor '"
+                      << predictor << "' but this engine runs '"
+                      << predictor_->name() << "'");
+  stopped_ = r.boolean("dfp.stopped");
+  stopped_at_ = r.u64("dfp.stopped_at");
+  aborted_ = r.u64("dfp.aborted");
+  depth_ = r.u64("dfp.depth");
+  SGXPL_CHECK_MSG(depth_ > 0, "snapshot holds zero preload depth");
+  last_preload_counter_ = r.u64("dfp.last_preload_counter");
+  last_acc_counter_ = r.u64("dfp.last_acc_counter");
+  const bool has_health = r.boolean("dfp.has_health");
+  SGXPL_CHECK_MSG(has_health == health_.has_value(),
+                  "snapshot " << (has_health ? "includes" : "lacks")
+                              << " a health monitor but this engine was "
+                                 "configured the other way");
+  predictor_->load(r);
+  list_.load(r);
+  if (health_.has_value()) {
+    health_->load(r);
+  }
 }
 
 }  // namespace sgxpl::dfp

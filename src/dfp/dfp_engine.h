@@ -116,6 +116,13 @@ class DfpEngine final : public sgxsim::PreloadPolicy {
 
   void reset();
 
+  /// Checkpoint/restore of the engine, its predictor, the preloaded-page
+  /// list, and the health monitor (when enabled). load() requires an engine
+  /// built with the same predictor kind; observability sinks are not part
+  /// of the snapshot.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
+
  private:
   void maybe_stop(Cycles now);
   void adapt_depth();

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/time_series.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::dfp {
 
@@ -142,6 +143,34 @@ void HealthMonitor::reset() {
   resumes_ = 0;
   consecutive_stops_ = 0;
   last_stop_at_ = 0;
+}
+
+void HealthMonitor::save(snapshot::Writer& w) const {
+  w.u64("health.state", static_cast<std::uint64_t>(state_));
+  w.u64("health.scans_in_state", scans_in_state_);
+  w.u64("health.entry_preloads", entry_preloads_);
+  w.u64("health.entry_acc", entry_acc_);
+  w.u64("health.entry_aborted", entry_aborted_);
+  w.u64("health.stops", stops_);
+  w.u64("health.resumes", resumes_);
+  w.u64("health.consecutive_stops", consecutive_stops_);
+  w.u64("health.last_stop_at", last_stop_at_);
+}
+
+void HealthMonitor::load(snapshot::Reader& r) {
+  const std::uint64_t state = r.u64("health.state");
+  SGXPL_CHECK_MSG(
+      state <= static_cast<std::uint64_t>(HealthState::kProbation),
+      "snapshot health monitor holds invalid state " << state);
+  state_ = static_cast<HealthState>(state);
+  scans_in_state_ = r.u64("health.scans_in_state");
+  entry_preloads_ = r.u64("health.entry_preloads");
+  entry_acc_ = r.u64("health.entry_acc");
+  entry_aborted_ = r.u64("health.entry_aborted");
+  stops_ = r.u64("health.stops");
+  resumes_ = r.u64("health.resumes");
+  consecutive_stops_ = r.u64("health.consecutive_stops");
+  last_stop_at_ = r.u64("health.last_stop_at");
 }
 
 }  // namespace sgxpl::dfp

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::obs {
 class MetricsRegistry;
@@ -106,6 +107,11 @@ class HealthMonitor {
   std::string describe() const;
 
   void reset();
+
+  /// Checkpoint/restore of the full state machine, including the backoff
+  /// counters and the counter snapshots taken at state entry.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 
  private:
   enum class Verdict : std::uint8_t { kHealthy, kInconclusive, kUnhealthy };

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::dfp {
 
@@ -28,6 +29,14 @@ class PagePredictor {
   virtual const char* name() const noexcept = 0;
 
   virtual void reset() = 0;
+
+  /// Checkpoint/restore of predictor-internal state. The defaults
+  /// write/read nothing, which keeps external predictor implementations
+  /// compiling — but a stateful predictor that does not override both will
+  /// resume cold (deterministic resume then no longer holds). Every
+  /// predictor shipped in this repository overrides them.
+  virtual void save(snapshot::Writer& w) const;
+  virtual void load(snapshot::Reader& r);
 };
 
 }  // namespace sgxpl::dfp

@@ -1,11 +1,16 @@
 #include "dfp/predictors.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.h"
 #include "dfp/stream_predictor.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::dfp {
+
+void PagePredictor::save(snapshot::Writer& /*w*/) const {}
+void PagePredictor::load(snapshot::Reader& /*r*/) {}
 
 // --- NextNPredictor --------------------------------------------------------
 
@@ -23,6 +28,12 @@ std::vector<PageNum> NextNPredictor::on_fault(ProcessId /*pid*/,
   }
   return out;
 }
+
+void NextNPredictor::save(snapshot::Writer& w) const {
+  w.u64("nextn.hits", hits_);
+}
+
+void NextNPredictor::load(snapshot::Reader& r) { hits_ = r.u64("nextn.hits"); }
 
 // --- StridePredictor -------------------------------------------------------
 
@@ -69,6 +80,46 @@ void StridePredictor::reset() {
   state_.clear();
   hits_ = 0;
   misses_ = 0;
+}
+
+void StridePredictor::save(snapshot::Writer& w) const {
+  w.u64("stride.hits", hits_);
+  w.u64("stride.misses", misses_);
+  std::vector<std::uint64_t> pids;
+  pids.reserve(state_.size());
+  for (const auto& [pid, st] : state_) pids.push_back(pid);
+  std::sort(pids.begin(), pids.end());
+  std::vector<std::uint64_t> lasts, strides, streaks;
+  for (std::uint64_t pid : pids) {
+    const State& st = state_.at(static_cast<ProcessId>(pid));
+    lasts.push_back(st.last);
+    strides.push_back(std::bit_cast<std::uint64_t>(st.stride));
+    streaks.push_back(st.streak);
+  }
+  w.u64_vec("stride.pids", pids);
+  w.u64_vec("stride.lasts", lasts);
+  w.u64_vec("stride.strides", strides);
+  w.u64_vec("stride.streaks", streaks);
+}
+
+void StridePredictor::load(snapshot::Reader& r) {
+  hits_ = r.u64("stride.hits");
+  misses_ = r.u64("stride.misses");
+  const std::vector<std::uint64_t> pids = r.u64_vec("stride.pids");
+  const std::vector<std::uint64_t> lasts = r.u64_vec("stride.lasts");
+  const std::vector<std::uint64_t> strides = r.u64_vec("stride.strides");
+  const std::vector<std::uint64_t> streaks = r.u64_vec("stride.streaks");
+  SGXPL_CHECK_MSG(pids.size() == lasts.size() && pids.size() == strides.size() &&
+                      pids.size() == streaks.size(),
+                  "snapshot stride-predictor columns are misaligned");
+  state_.clear();
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    State st;
+    st.last = lasts[i];
+    st.stride = std::bit_cast<std::int64_t>(strides[i]);
+    st.streak = static_cast<std::uint32_t>(streaks[i]);
+    state_[static_cast<ProcessId>(pids[i])] = st;
+  }
 }
 
 // --- MarkovPredictor -------------------------------------------------------
@@ -166,6 +217,67 @@ void MarkovPredictor::reset() {
   misses_ = 0;
 }
 
+void MarkovPredictor::save(snapshot::Writer& w) const {
+  w.u64("markov.hits", hits_);
+  w.u64("markov.misses", misses_);
+  std::vector<std::uint64_t> pids;
+  pids.reserve(last_fault_.size());
+  for (const auto& [pid, page] : last_fault_) pids.push_back(pid);
+  std::sort(pids.begin(), pids.end());
+  std::vector<std::uint64_t> last_pages;
+  for (std::uint64_t pid : pids) {
+    last_pages.push_back(last_fault_.at(static_cast<ProcessId>(pid)));
+  }
+  w.u64_vec("markov.pids", pids);
+  w.u64_vec("markov.last_pages", last_pages);
+  std::vector<std::uint64_t> froms;
+  froms.reserve(table_.size());
+  for (const auto& [from, s] : table_) froms.push_back(from);
+  std::sort(froms.begin(), froms.end());
+  std::vector<std::uint64_t> successors, counts;
+  successors.reserve(froms.size() * kFanout);
+  counts.reserve(froms.size() * kFanout);
+  for (std::uint64_t from : froms) {
+    const Successors& s = table_.at(from);
+    for (std::size_t i = 0; i < kFanout; ++i) {
+      successors.push_back(s.page[i]);
+      counts.push_back(s.count[i]);
+    }
+  }
+  w.u64_vec("markov.froms", froms);
+  w.u64_vec("markov.successors", successors);
+  w.u64_vec("markov.counts", counts);
+}
+
+void MarkovPredictor::load(snapshot::Reader& r) {
+  hits_ = r.u64("markov.hits");
+  misses_ = r.u64("markov.misses");
+  const std::vector<std::uint64_t> pids = r.u64_vec("markov.pids");
+  const std::vector<std::uint64_t> last_pages = r.u64_vec("markov.last_pages");
+  SGXPL_CHECK_MSG(pids.size() == last_pages.size(),
+                  "snapshot markov-predictor pid columns are misaligned");
+  last_fault_.clear();
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    last_fault_[static_cast<ProcessId>(pids[i])] = last_pages[i];
+  }
+  const std::vector<std::uint64_t> froms = r.u64_vec("markov.froms");
+  const std::vector<std::uint64_t> successors = r.u64_vec("markov.successors");
+  const std::vector<std::uint64_t> counts = r.u64_vec("markov.counts");
+  SGXPL_CHECK_MSG(successors.size() == froms.size() * kFanout &&
+                      counts.size() == froms.size() * kFanout,
+                  "snapshot markov-predictor table columns are misaligned");
+  table_.clear();
+  table_.reserve(froms.size());
+  for (std::size_t i = 0; i < froms.size(); ++i) {
+    Successors s;
+    for (std::size_t j = 0; j < kFanout; ++j) {
+      s.page[j] = successors[i * kFanout + j];
+      s.count[j] = static_cast<std::uint32_t>(counts[i * kFanout + j]);
+    }
+    table_.emplace(froms[i], s);
+  }
+}
+
 // --- TournamentPredictor ---------------------------------------------------
 
 TournamentPredictor::TournamentPredictor(
@@ -237,6 +349,36 @@ void TournamentPredictor::reset() {
   }
   hits_ = 0;
   misses_ = 0;
+}
+
+void TournamentPredictor::save(snapshot::Writer& w) const {
+  w.u64("tournament.hits", hits_);
+  w.u64("tournament.misses", misses_);
+  w.u64("tournament.subs", entries_.size());
+  for (const auto& e : entries_) {
+    e.sub->save(w);
+    std::vector<std::uint64_t> order(e.order.begin(), e.order.end());
+    w.u64_vec("tournament.sub.order", order);
+    w.f64("tournament.sub.score", e.score);
+  }
+}
+
+void TournamentPredictor::load(snapshot::Reader& r) {
+  hits_ = r.u64("tournament.hits");
+  misses_ = r.u64("tournament.misses");
+  const std::uint64_t subs = r.u64("tournament.subs");
+  SGXPL_CHECK_MSG(subs == entries_.size(),
+                  "snapshot tournament has " << subs
+                      << " sub-predictors but this one has "
+                      << entries_.size());
+  for (auto& e : entries_) {
+    e.sub->load(r);
+    const std::vector<std::uint64_t> order = r.u64_vec("tournament.sub.order");
+    e.order.assign(order.begin(), order.end());
+    e.predicted.clear();
+    e.predicted.insert(order.begin(), order.end());
+    e.score = r.f64("tournament.sub.score");
+  }
 }
 
 std::unique_ptr<TournamentPredictor> make_default_tournament(

@@ -36,6 +36,8 @@ class NextNPredictor final : public PagePredictor {
   std::uint64_t misses() const noexcept override { return 0; }
   const char* name() const noexcept override { return "next-n"; }
   void reset() override { hits_ = 0; }
+  void save(snapshot::Writer& w) const override;
+  void load(snapshot::Reader& r) override;
 
  private:
   std::uint64_t depth_;
@@ -53,6 +55,8 @@ class StridePredictor final : public PagePredictor {
   std::uint64_t misses() const noexcept override { return misses_; }
   const char* name() const noexcept override { return "stride"; }
   void reset() override;
+  void save(snapshot::Writer& w) const override;
+  void load(snapshot::Reader& r) override;
 
  private:
   struct State {
@@ -79,6 +83,8 @@ class MarkovPredictor final : public PagePredictor {
   std::uint64_t misses() const noexcept override { return misses_; }
   const char* name() const noexcept override { return "markov"; }
   void reset() override;
+  void save(snapshot::Writer& w) const override;
+  void load(snapshot::Reader& r) override;
 
   std::size_t table_size() const noexcept { return table_.size(); }
 
@@ -117,6 +123,10 @@ class TournamentPredictor final : public PagePredictor {
   std::uint64_t misses() const noexcept override { return misses_; }
   const char* name() const noexcept override { return "tournament"; }
   void reset() override;
+  /// Recurses into every sub-predictor; the per-sub recent-prediction sets
+  /// are serialized via their aging queues (the sets are rebuilt on load).
+  void save(snapshot::Writer& w) const override;
+  void load(snapshot::Reader& r) override;
 
   /// Index of the currently leading sub-predictor.
   std::size_t leader() const noexcept;

@@ -1,5 +1,10 @@
 #include "dfp/preloaded_page_list.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "snapshot/codec.h"
+
 namespace sgxpl::dfp {
 
 void PreloadedPageList::on_loaded(PageNum page) {
@@ -43,6 +48,25 @@ void PreloadedPageList::reset() {
   preload_counter_ = 0;
   acc_preload_counter_ = 0;
   evicted_unused_ = 0;
+}
+
+void PreloadedPageList::save(snapshot::Writer& w) const {
+  w.u64("ppl.preload_counter", preload_counter_);
+  w.u64("ppl.acc_preload_counter", acc_preload_counter_);
+  w.u64("ppl.evicted_unused", evicted_unused_);
+  std::vector<std::uint64_t> pages(pages_.begin(), pages_.end());
+  std::sort(pages.begin(), pages.end());
+  w.u64_vec("ppl.pages", pages);
+}
+
+void PreloadedPageList::load(snapshot::Reader& r) {
+  preload_counter_ = r.u64("ppl.preload_counter");
+  acc_preload_counter_ = r.u64("ppl.acc_preload_counter");
+  evicted_unused_ = r.u64("ppl.evicted_unused");
+  const std::vector<std::uint64_t> pages = r.u64_vec("ppl.pages");
+  pages_.clear();
+  pages_.reserve(pages.size());
+  pages_.insert(pages.begin(), pages.end());
 }
 
 }  // namespace sgxpl::dfp

@@ -8,6 +8,7 @@
 
 #include "common/types.h"
 #include "sgxsim/page_table.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::dfp {
 
@@ -35,6 +36,11 @@ class PreloadedPageList {
   std::size_t tracked() const noexcept { return pages_.size(); }
 
   void reset();
+
+  /// Checkpoint/restore. Tracked pages serialize sorted so identical
+  /// states produce identical snapshot bytes.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 
  private:
   std::unordered_set<PageNum> pages_;

@@ -1,6 +1,9 @@
 #include "dfp/stream_predictor.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::dfp {
 
@@ -95,6 +98,55 @@ void StreamPredictor::reset() {
   lists_.clear();
   hits_ = 0;
   misses_ = 0;
+}
+
+void StreamPredictor::save(snapshot::Writer& w) const {
+  w.u64("stream.hits", hits_);
+  w.u64("stream.misses", misses_);
+  std::vector<std::uint64_t> pids;
+  pids.reserve(lists_.size());
+  for (const auto& [pid, list] : lists_) pids.push_back(pid);
+  std::sort(pids.begin(), pids.end());
+  // Flattened per-pid lists: lengths line up with pids; tails/directions
+  // are concatenated MRU-first.
+  std::vector<std::uint64_t> lengths, stpns, directions;
+  for (std::uint64_t pid : pids) {
+    const StreamList& list = lists_.at(static_cast<ProcessId>(pid));
+    lengths.push_back(list.size());
+    for (const auto& e : list) {
+      stpns.push_back(e.stpn);
+      directions.push_back(e.direction > 0 ? 1u : 0u);
+    }
+  }
+  w.u64_vec("stream.pids", pids);
+  w.u64_vec("stream.lengths", lengths);
+  w.u64_vec("stream.stpns", stpns);
+  w.u64_vec("stream.directions", directions);
+}
+
+void StreamPredictor::load(snapshot::Reader& r) {
+  hits_ = r.u64("stream.hits");
+  misses_ = r.u64("stream.misses");
+  const std::vector<std::uint64_t> pids = r.u64_vec("stream.pids");
+  const std::vector<std::uint64_t> lengths = r.u64_vec("stream.lengths");
+  const std::vector<std::uint64_t> stpns = r.u64_vec("stream.stpns");
+  const std::vector<std::uint64_t> directions = r.u64_vec("stream.directions");
+  SGXPL_CHECK_MSG(pids.size() == lengths.size() &&
+                      stpns.size() == directions.size(),
+                  "snapshot stream-predictor columns are misaligned");
+  lists_.clear();
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    StreamList& list = lists_[static_cast<ProcessId>(pids[i])];
+    SGXPL_CHECK_MSG(at + lengths[i] <= stpns.size(),
+                    "snapshot stream-predictor lists overrun their entries");
+    for (std::uint64_t j = 0; j < lengths[i]; ++j, ++at) {
+      list.push_back(StreamEntry{.stpn = stpns[at],
+                                 .direction = directions[at] != 0 ? +1 : -1});
+    }
+  }
+  SGXPL_CHECK_MSG(at == stpns.size(),
+                  "snapshot stream-predictor entries left over after load");
 }
 
 }  // namespace sgxpl::dfp

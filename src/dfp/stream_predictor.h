@@ -54,6 +54,11 @@ class StreamPredictor final : public PagePredictor {
 
   void reset() override;
 
+  /// Checkpoint/restore of the per-process LRU stream lists (MRU-first
+  /// order preserved exactly) and the hit/miss counters.
+  void save(snapshot::Writer& w) const override;
+  void load(snapshot::Reader& r) override;
+
  private:
   struct StreamEntry {
     PageNum stpn = kInvalidPage;

@@ -116,33 +116,70 @@ bool fail(std::string* err, const std::string& what) {
   return false;
 }
 
-bool parse_entry(std::string_view entry, ChaosPlan* plan, std::string* err) {
-  // name[:probability[:magnitude]]
+std::string at(std::size_t pos) {
+  return " at position " + std::to_string(pos);
+}
+
+std::string known_classes() {
+  std::string out;
+  for (const FaultKind k : all_fault_kinds()) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += to_string(k);
+  }
+  return out;
+}
+
+/// Parse one `name[:probability[:magnitude]]` entry. `base` is the entry's
+/// 0-based offset in the full spec, so every diagnostic can point at the
+/// exact offending token.
+bool parse_entry(std::string_view entry, std::size_t base, ChaosPlan* plan,
+                 std::string* err) {
   std::string_view name = entry;
   std::string_view rest;
+  bool has_rest = false;
+  std::size_t rest_base = base;
   if (const auto colon = entry.find(':'); colon != std::string_view::npos) {
     name = entry.substr(0, colon);
     rest = entry.substr(colon + 1);
+    has_rest = true;
+    rest_base = base + colon + 1;
   }
   const auto kind = parse_fault_kind(name);
   if (!kind.has_value()) {
-    return fail(err, "unknown fault class '" + std::string(name) +
-                         "' (see inject/chaos_plan.h)");
+    return fail(err, "unknown fault class '" + std::string(name) + "'" +
+                         at(base) + " (valid classes: " + known_classes() +
+                         ")");
   }
   double prob = -1.0;
   double mag = -1.0;
-  if (!rest.empty()) {
+  if (has_rest) {
     std::string_view p = rest;
     std::string_view m;
+    bool has_m = false;
+    std::size_t m_base = rest_base;
     if (const auto colon = rest.find(':'); colon != std::string_view::npos) {
       p = rest.substr(0, colon);
       m = rest.substr(colon + 1);
+      has_m = true;
+      m_base = rest_base + colon + 1;
+    }
+    if (p.empty()) {
+      return fail(err, "missing probability after ':'" + at(rest_base));
     }
     if (!parse_double(p, &prob) || prob > 1.0) {
-      return fail(err, "bad probability in '" + std::string(entry) + "'");
+      return fail(err, "bad probability '" + std::string(p) + "'" +
+                           at(rest_base) + " (want a number in [0, 1])");
     }
-    if (!m.empty() && !parse_double(m, &mag)) {
-      return fail(err, "bad magnitude in '" + std::string(entry) + "'");
+    if (has_m) {
+      if (m.empty()) {
+        return fail(err, "missing magnitude after ':'" + at(m_base));
+      }
+      if (!parse_double(m, &mag)) {
+        return fail(err, "bad magnitude '" + std::string(m) + "'" +
+                             at(m_base) + " (want a non-negative number)");
+      }
     }
   }
   plan->enable(*kind, prob, mag);
@@ -160,21 +197,25 @@ std::optional<ChaosPlan> ChaosPlan::parse(std::string_view spec,
   if (spec == "none" || spec.empty()) {
     return plan;
   }
-  while (!spec.empty()) {
-    std::string_view entry = spec;
-    if (const auto comma = spec.find(','); comma != std::string_view::npos) {
-      entry = spec.substr(0, comma);
-      spec = spec.substr(comma + 1);
-    } else {
-      spec = {};
-    }
+  std::size_t pos = 0;
+  while (true) {
+    const auto comma = spec.find(',', pos);
+    const std::string_view entry = comma == std::string_view::npos
+                                       ? spec.substr(pos)
+                                       : spec.substr(pos, comma - pos);
     if (entry.empty()) {
-      if (err != nullptr) {
-        *err = "empty entry in chaos spec";
-      }
+      fail(err, "empty entry" + at(pos) + " (remove the extra comma)");
       return std::nullopt;
     }
-    if (!parse_entry(entry, &plan, err)) {
+    if (!parse_entry(entry, pos, &plan, err)) {
+      return std::nullopt;
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    pos = comma + 1;
+    if (pos == spec.size()) {
+      fail(err, "trailing comma" + at(comma));
       return std::nullopt;
     }
   }

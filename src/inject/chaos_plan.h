@@ -92,6 +92,10 @@ struct ChaosPlan {
   ///   "spike:0.05:20,epc-squeeze"   spike tuned, squeeze at defaults
   ///   "all"                         everything at defaults
   /// Returns nullopt (and fills *err when non-null) on a malformed spec.
+  /// Malformed means: an unknown class name, a probability outside [0, 1],
+  /// a non-numeric number, an empty token after a ':' or between commas, or
+  /// a trailing comma. The error message names the offending token and its
+  /// 0-based character position in the spec.
   static std::optional<ChaosPlan> parse(std::string_view spec,
                                         std::string* err = nullptr);
 

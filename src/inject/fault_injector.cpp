@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/check.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::inject {
 
@@ -78,8 +80,67 @@ std::string InjectStats::describe() const {
   return oss.str();
 }
 
+void InjectStats::save(snapshot::Writer& w) const {
+  w.u64_vec("inject.opportunities",
+            {opportunities.begin(), opportunities.end()});
+  w.u64_vec("inject.fired", {fired.begin(), fired.end()});
+}
+
+void InjectStats::load(snapshot::Reader& r) {
+  const auto opp = r.u64_vec("inject.opportunities");
+  const auto f = r.u64_vec("inject.fired");
+  SGXPL_CHECK_MSG(
+      opp.size() == kFaultKindCount && f.size() == kFaultKindCount,
+      "snapshot inject stats cover " << opp.size() << "/" << f.size()
+                                     << " fault classes; this build has "
+                                     << kFaultKindCount);
+  std::copy(opp.begin(), opp.end(), opportunities.begin());
+  std::copy(f.begin(), f.end(), fired.begin());
+}
+
 FaultInjector::FaultInjector(const ChaosPlan& plan)
     : plan_(plan), rngs_(make_streams(plan.seed)) {}
+
+void FaultInjector::save(snapshot::Writer& w) const {
+  w.str("inject.spec", plan_.spec());
+  w.u64("inject.seed", plan_.seed);
+  std::vector<std::uint64_t> states;
+  states.reserve(rngs_.size() * 4);
+  for (const Rng& r : rngs_) {
+    for (const std::uint64_t s : r.state()) {
+      states.push_back(s);
+    }
+  }
+  w.u64_vec("inject.rng_states", states);
+  w.u64("inject.squeeze_until", squeeze_until_);
+  w.u64("inject.next_squeeze_decision", next_squeeze_decision_);
+  stats_.save(w);
+}
+
+void FaultInjector::load(snapshot::Reader& r) {
+  const std::string spec = r.str("inject.spec");
+  SGXPL_CHECK_MSG(spec == plan_.spec(),
+                  "snapshot was taken under chaos plan '"
+                      << spec << "' but this injector runs '" << plan_.spec()
+                      << "'");
+  const std::uint64_t seed = r.u64("inject.seed");
+  SGXPL_CHECK_MSG(seed == plan_.seed,
+                  "snapshot chaos seed " << seed
+                                         << " does not match this plan's seed "
+                                         << plan_.seed);
+  const auto states = r.u64_vec("inject.rng_states");
+  SGXPL_CHECK_MSG(states.size() == rngs_.size() * 4,
+                  "snapshot holds " << states.size()
+                                    << " RNG state words; expected "
+                                    << rngs_.size() * 4);
+  for (std::size_t i = 0; i < rngs_.size(); ++i) {
+    rngs_[i].set_state({states[i * 4], states[i * 4 + 1], states[i * 4 + 2],
+                        states[i * 4 + 3]});
+  }
+  squeeze_until_ = r.u64("inject.squeeze_until");
+  next_squeeze_decision_ = r.u64("inject.next_squeeze_decision");
+  stats_.load(r);
+}
 
 void FaultInjector::reset() {
   rngs_ = make_streams(plan_.seed);

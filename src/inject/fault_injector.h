@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "inject/chaos_plan.h"
 #include "sgxsim/chaos_hooks.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::obs {
 class EventLog;
@@ -41,6 +42,10 @@ struct InjectStats {
   /// "inject{jitter=407/1363, drop-completion=12/118}" (fired/opportunities,
   /// classes with no opportunities omitted); "inject{}" if nothing ran.
   std::string describe() const;
+
+  /// Checkpoint/restore of the per-class counters.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 };
 
 class FaultInjector final : public sgxsim::ChaosHooks {
@@ -57,6 +62,12 @@ class FaultInjector final : public sgxsim::ChaosHooks {
   /// Back to the exact post-construction state: fresh RNG streams, no
   /// squeeze in flight, zeroed stats. The next run replays identically.
   void reset();
+
+  /// Checkpoint/restore of the full injector: per-class RNG stream states,
+  /// counters, and the squeeze window. load() requires an injector built
+  /// from the same plan (spec and seed are validated).
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 
   // -- ChaosHooks --------------------------------------------------------
   Cycles perturb_load_duration(sgxsim::OpKind kind, Cycles base,

@@ -32,6 +32,19 @@ const char* to_string(EventType t) noexcept {
   return "?";
 }
 
+std::optional<EventType> parse_event_type(std::string_view name) noexcept {
+  for (const EventType t :
+       {EventType::kFault, EventType::kLoadScheduled, EventType::kLoadCommitted,
+        EventType::kLoadsAborted, EventType::kEviction, EventType::kResume,
+        EventType::kSipRequest, EventType::kSipPrefetch, EventType::kScan,
+        EventType::kChaos, EventType::kWatchdog}) {
+    if (name == to_string(t)) {
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
 const char* to_string(EventTrack t) noexcept {
   switch (t) {
     case EventTrack::kApp:

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
@@ -32,6 +34,10 @@ enum class EventType : std::uint8_t {
 };
 
 const char* to_string(EventType t) noexcept;
+
+/// Inverse of to_string (exact spelling, e.g. "FAULT(AEX)"); nullopt for
+/// unknown names.
+std::optional<EventType> parse_event_type(std::string_view name) noexcept;
 
 /// Subsystem track an event renders on in the exported trace.
 enum class EventTrack : std::uint8_t {

@@ -1,5 +1,10 @@
 #include "sgxsim/backing_store.h"
 
+#include <algorithm>
+
+#include "common/check.h"
+#include "snapshot/codec.h"
+
 namespace sgxpl::sgxsim {
 
 std::uint64_t BackingStore::evict(PageNum page) {
@@ -18,6 +23,34 @@ std::uint64_t BackingStore::load(PageNum page) const {
 std::uint64_t BackingStore::eviction_count(PageNum page) const {
   const auto it = slots_.find(page);
   return it == slots_.end() ? 0 : it->second.version;
+}
+
+void BackingStore::save(snapshot::Writer& w) const {
+  w.u64("backing.total_evictions", total_evictions_);
+  w.u64("backing.total_loads", total_loads_);
+  std::vector<std::uint64_t> pages;
+  pages.reserve(slots_.size());
+  for (const auto& [page, slot] : slots_) pages.push_back(page);
+  std::sort(pages.begin(), pages.end());
+  std::vector<std::uint64_t> versions;
+  versions.reserve(pages.size());
+  for (std::uint64_t page : pages) versions.push_back(slots_.at(page).version);
+  w.u64_vec("backing.pages", pages);
+  w.u64_vec("backing.versions", versions);
+}
+
+void BackingStore::load(snapshot::Reader& r) {
+  total_evictions_ = r.u64("backing.total_evictions");
+  total_loads_ = r.u64("backing.total_loads");
+  const std::vector<std::uint64_t> pages = r.u64_vec("backing.pages");
+  const std::vector<std::uint64_t> versions = r.u64_vec("backing.versions");
+  SGXPL_CHECK_MSG(pages.size() == versions.size(),
+                  "snapshot backing store page/version lists are misaligned");
+  slots_.clear();
+  slots_.reserve(pages.size());
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    slots_[pages[i]].version = versions[i];
+  }
 }
 
 }  // namespace sgxpl::sgxsim

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "common/types.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::sgxsim {
 
@@ -28,6 +29,11 @@ class BackingStore {
 
   std::uint64_t total_evictions() const noexcept { return total_evictions_; }
   std::uint64_t total_loads() const noexcept { return total_loads_; }
+
+  /// Checkpoint/restore. Version slots are serialized sorted by page number
+  /// so identical states always produce identical snapshot bytes.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 
  private:
   struct Slot {

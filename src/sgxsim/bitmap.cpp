@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "snapshot/codec.h"
+
 namespace sgxpl::sgxsim {
 
 PresenceBitmap::PresenceBitmap(PageNum pages)
@@ -15,6 +17,22 @@ std::uint64_t PresenceBitmap::popcount() const noexcept {
     n += static_cast<std::uint64_t>(std::popcount(w));
   }
   return n;
+}
+
+void PresenceBitmap::save(snapshot::Writer& w) const {
+  w.u64("bitmap.pages", pages_);
+  w.u64_vec("bitmap.words", words_);
+}
+
+void PresenceBitmap::load(snapshot::Reader& r) {
+  const std::uint64_t pages = r.u64("bitmap.pages");
+  SGXPL_CHECK_MSG(pages == pages_,
+                  "snapshot bitmap covers " << pages
+                      << " pages but this bitmap has " << pages_);
+  std::vector<std::uint64_t> words = r.u64_vec("bitmap.words");
+  SGXPL_CHECK_MSG(words.size() == words_.size(),
+                  "snapshot bitmap word count does not match");
+  words_ = std::move(words);
 }
 
 }  // namespace sgxpl::sgxsim

@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::sgxsim {
 
@@ -37,6 +38,11 @@ class PresenceBitmap {
 
   /// Number of set bits (for invariant checks against the page table).
   std::uint64_t popcount() const noexcept;
+
+  /// Checkpoint/restore. load() requires a bitmap constructed for the same
+  /// number of pages as the one saved.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 
  private:
   PageNum pages_;

@@ -4,8 +4,11 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::sgxsim {
+
+using obs::EventType;
 
 const char* to_string(DemandPolicy p) noexcept {
   switch (p) {
@@ -604,6 +607,99 @@ void Driver::check_invariants() const {
     }
   }
   SGXPL_CHECK(present == epc_.used());
+}
+
+void DriverStats::save(snapshot::Writer& w) const {
+  w.u64("stats.accesses", accesses);
+  w.u64("stats.faults", faults);
+  w.u64("stats.demand_loads", demand_loads);
+  w.u64("stats.fault_wait_hits", fault_wait_hits);
+  w.u64("stats.preloads_issued", preloads_issued);
+  w.u64("stats.preloads_completed", preloads_completed);
+  w.u64("stats.preloads_aborted", preloads_aborted);
+  w.u64("stats.preloads_used", preloads_used);
+  w.u64("stats.preloads_evicted_unused", preloads_evicted_unused);
+  w.u64("stats.sip_loads", sip_loads);
+  w.u64("stats.sip_inflight_waits", sip_inflight_waits);
+  w.u64("stats.sip_prefetches", sip_prefetches);
+  w.u64("stats.evictions", evictions);
+  w.u64("stats.scans", scans);
+  w.u64("stats.scan_stalls", scan_stalls);
+  w.u64("stats.watchdog_checks", watchdog_checks);
+  w.u64("stats.bitmap_lies", bitmap_lies);
+  w.u64("stats.squeeze_evictions", squeeze_evictions);
+  w.u64("stats.fault_stall_cycles", fault_stall_cycles);
+  w.u64("stats.sip_stall_cycles", sip_stall_cycles);
+}
+
+void DriverStats::load(snapshot::Reader& r) {
+  accesses = r.u64("stats.accesses");
+  faults = r.u64("stats.faults");
+  demand_loads = r.u64("stats.demand_loads");
+  fault_wait_hits = r.u64("stats.fault_wait_hits");
+  preloads_issued = r.u64("stats.preloads_issued");
+  preloads_completed = r.u64("stats.preloads_completed");
+  preloads_aborted = r.u64("stats.preloads_aborted");
+  preloads_used = r.u64("stats.preloads_used");
+  preloads_evicted_unused = r.u64("stats.preloads_evicted_unused");
+  sip_loads = r.u64("stats.sip_loads");
+  sip_inflight_waits = r.u64("stats.sip_inflight_waits");
+  sip_prefetches = r.u64("stats.sip_prefetches");
+  evictions = r.u64("stats.evictions");
+  scans = r.u64("stats.scans");
+  scan_stalls = r.u64("stats.scan_stalls");
+  watchdog_checks = r.u64("stats.watchdog_checks");
+  bitmap_lies = r.u64("stats.bitmap_lies");
+  squeeze_evictions = r.u64("stats.squeeze_evictions");
+  fault_stall_cycles = r.u64("stats.fault_stall_cycles");
+  sip_stall_cycles = r.u64("stats.sip_stall_cycles");
+}
+
+void Driver::save(snapshot::Writer& w) const {
+  w.str("driver.eviction", eviction_->name());
+  w.u64("driver.next_scan", next_scan_);
+  w.u64("driver.bookkept_until", bookkept_until_);
+  w.u64("driver.scans_since_watchdog", scans_since_watchdog_);
+  w.boolean("driver.chaos_dirty", chaos_dirty_);
+  w.u64("driver.channel_busy_total", channel_busy_total_);
+  w.u64("driver.ts_last_at", ts_last_at_);
+  w.u64("driver.ts_last_busy", ts_last_busy_);
+  w.u64("driver.ts_last_faults", ts_last_faults_);
+  w.u64("driver.ts_last_preloads_used", ts_last_preloads_used_);
+  w.u64("driver.ts_last_preloads_completed", ts_last_preloads_completed_);
+  stats_.save(w);
+  page_table_.save(w);
+  epc_.save(w);
+  bitmap_.save(w);
+  backing_.save(w);
+  channel_.save(w);
+  eviction_->save(w);
+}
+
+void Driver::load(snapshot::Reader& r) {
+  const std::string eviction_name = r.str("driver.eviction");
+  SGXPL_CHECK_MSG(eviction_name == eviction_->name(),
+                  "snapshot was taken with eviction policy '"
+                      << eviction_name << "' but this driver runs '"
+                      << eviction_->name() << "'");
+  next_scan_ = r.u64("driver.next_scan");
+  bookkept_until_ = r.u64("driver.bookkept_until");
+  scans_since_watchdog_ = r.u64("driver.scans_since_watchdog");
+  chaos_dirty_ = r.boolean("driver.chaos_dirty");
+  channel_busy_total_ = r.u64("driver.channel_busy_total");
+  ts_last_at_ = r.u64("driver.ts_last_at");
+  ts_last_busy_ = r.u64("driver.ts_last_busy");
+  ts_last_faults_ = r.u64("driver.ts_last_faults");
+  ts_last_preloads_used_ = r.u64("driver.ts_last_preloads_used");
+  ts_last_preloads_completed_ = r.u64("driver.ts_last_preloads_completed");
+  stats_.load(r);
+  page_table_.load(r);
+  epc_.load(r);
+  bitmap_.load(r);
+  backing_.load(r);
+  channel_.load(r);
+  eviction_->load(r);
+  check_invariants();
 }
 
 }  // namespace sgxpl::sgxsim

@@ -17,6 +17,7 @@
 #include <string_view>
 
 #include "common/types.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/time_series.h"
 #include "sgxsim/backing_store.h"
@@ -24,11 +25,11 @@
 #include "sgxsim/chaos_hooks.h"
 #include "sgxsim/cost_model.h"
 #include "sgxsim/epc.h"
-#include "sgxsim/event_log.h"
 #include "sgxsim/eviction.h"
 #include "sgxsim/page_table.h"
 #include "sgxsim/paging_channel.h"
 #include "sgxsim/preload_policy.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::sgxsim {
 
@@ -101,6 +102,10 @@ struct DriverStats {
   void publish(obs::MetricsRegistry& reg) const;
 
   std::string describe() const;
+
+  /// Checkpoint/restore of every counter.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 };
 
 /// What the fault handler / SIP path did for one access.
@@ -180,7 +185,17 @@ class Driver {
   /// Attach an event log (not owned; pass nullptr to detach). Every fault,
   /// load, eviction, abort, SIP request, and scan is recorded with its
   /// virtual timestamp — the raw material of Fig. 2 / Fig. 4 timelines.
-  void set_event_log(EventLog* log) noexcept { log_ = log; }
+  void set_event_log(obs::EventLog* log) noexcept { log_ = log; }
+
+  /// Checkpoint/restore of the complete driver state: page table, EPC
+  /// occupancy, presence bitmap, backing-store versions, the paging-channel
+  /// queue, eviction-policy internals, scan/watchdog cursors, and every
+  /// DriverStats counter. load() requires a driver constructed with the
+  /// same EnclaveConfig; attached observability sinks (event log, metrics,
+  /// time series) are deliberately not part of the snapshot. After load(),
+  /// check_invariants() is run to reject inconsistent snapshots.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 
   /// Attach a metrics registry (not owned; nullptr detaches). Latency
   /// histograms — per-fault stall, per-SIP stall, DFP batch size — are
@@ -240,7 +255,7 @@ class Driver {
   void sample_time_series(Cycles now);
 
   DriverStats stats_;
-  EventLog* log_ = nullptr;  // not owned; may be null
+  obs::EventLog* log_ = nullptr;  // not owned; may be null
   Cycles next_scan_ = 0;
   Cycles bookkept_until_ = 0;
   std::uint64_t scans_since_watchdog_ = 0;

@@ -1,6 +1,7 @@
 #include "sgxsim/epc.h"
 
 #include "common/check.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::sgxsim {
 
@@ -59,6 +60,40 @@ PageNum Epc::choose_victim(PageTable& pt, PageNum pinned) {
   }
   SGXPL_CHECK_MSG(false, "CLOCK sweep found no victim");
   return kInvalidPage;  // unreachable
+}
+
+void Epc::save(snapshot::Writer& w) const {
+  w.u64("epc.capacity", capacity_);
+  w.u64("epc.used", used_);
+  w.u64("epc.clock_hand", clock_hand_);
+  w.u64_vec("epc.slot_to_page", slot_to_page_);
+  std::vector<std::uint64_t> free_list(free_list_.begin(), free_list_.end());
+  w.u64_vec("epc.free_list", free_list);
+}
+
+void Epc::load(snapshot::Reader& r) {
+  const std::uint64_t capacity = r.u64("epc.capacity");
+  SGXPL_CHECK_MSG(capacity == capacity_,
+                  "snapshot EPC capacity " << capacity
+                      << " does not match this EPC (" << capacity_ << ")");
+  const std::uint64_t used = r.u64("epc.used");
+  const std::uint64_t hand = r.u64("epc.clock_hand");
+  SGXPL_CHECK_MSG(used <= capacity_ && hand < capacity_,
+                  "snapshot EPC counters out of range");
+  const std::vector<std::uint64_t> slots = r.u64_vec("epc.slot_to_page");
+  const std::vector<std::uint64_t> free_list = r.u64_vec("epc.free_list");
+  SGXPL_CHECK_MSG(slots.size() == capacity_ &&
+                      free_list.size() == capacity_ - used,
+                  "snapshot EPC slot/free-list sizes are inconsistent");
+  slot_to_page_ = slots;
+  free_list_.clear();
+  for (std::uint64_t s : free_list) {
+    SGXPL_CHECK_MSG(s < capacity_ && slot_to_page_[s] == kInvalidPage,
+                    "snapshot EPC free list entry " << s << " is invalid");
+    free_list_.push_back(static_cast<SlotIndex>(s));
+  }
+  used_ = used;
+  clock_hand_ = static_cast<SlotIndex>(hand);
 }
 
 }  // namespace sgxpl::sgxsim

@@ -12,6 +12,7 @@
 
 #include "common/types.h"
 #include "sgxsim/page_table.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::sgxsim {
 
@@ -42,6 +43,11 @@ class Epc {
   /// slot with a clear access bit wins. Requires at least one occupied slot.
   /// Never selects `pinned` (the page a load is being performed for).
   PageNum choose_victim(PageTable& pt, PageNum pinned = kInvalidPage);
+
+  /// Checkpoint/restore (slot map, free list order, CLOCK hand). load()
+  /// requires an EPC constructed with the same capacity as the one saved.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 
  private:
   PageNum capacity_;

@@ -1,6 +1,9 @@
 #include "sgxsim/eviction.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::sgxsim {
 
@@ -28,6 +31,9 @@ std::optional<EvictionKind> parse_eviction_kind(
   }
   return std::nullopt;
 }
+
+void EvictionPolicy::save(snapshot::Writer& /*w*/) const {}
+void EvictionPolicy::load(snapshot::Reader& /*r*/) {}
 
 // --- FifoPolicy -------------------------------------------------------------
 
@@ -58,6 +64,28 @@ PageNum FifoPolicy::victim(PageTable& /*pt*/, PageNum pinned) {
   }
   SGXPL_CHECK_MSG(false, "FIFO: no evictable page");
   return kInvalidPage;
+}
+
+void FifoPolicy::save(snapshot::Writer& w) const {
+  // The queue is serialized verbatim, stale entries included: they are
+  // skipped lazily in victim(), so dropping them would change which page
+  // the restored policy evicts next.
+  std::vector<std::uint64_t> order(order_.begin(), order_.end());
+  w.u64_vec("fifo.order", order);
+  std::vector<std::uint64_t> resident;
+  resident.reserve(resident_.size());
+  for (const auto& [page, one] : resident_) resident.push_back(page);
+  std::sort(resident.begin(), resident.end());
+  w.u64_vec("fifo.resident", resident);
+}
+
+void FifoPolicy::load(snapshot::Reader& r) {
+  const std::vector<std::uint64_t> order = r.u64_vec("fifo.order");
+  const std::vector<std::uint64_t> resident = r.u64_vec("fifo.resident");
+  order_.assign(order.begin(), order.end());
+  resident_.clear();
+  resident_.reserve(resident.size());
+  for (std::uint64_t page : resident) resident_[page] = 1;
 }
 
 // --- RandomPolicy -----------------------------------------------------------
@@ -100,6 +128,22 @@ PageNum RandomPolicy::victim(PageTable& /*pt*/, PageNum pinned) {
   return kInvalidPage;
 }
 
+void RandomPolicy::save(snapshot::Writer& w) const {
+  const auto& s = rng_.state();
+  w.u64_vec("random.rng", {s[0], s[1], s[2], s[3]});
+  w.u64_vec("random.pages", pages_);
+}
+
+void RandomPolicy::load(snapshot::Reader& r) {
+  const std::vector<std::uint64_t> s = r.u64_vec("random.rng");
+  SGXPL_CHECK_MSG(s.size() == 4, "snapshot random-policy RNG state malformed");
+  rng_.set_state({s[0], s[1], s[2], s[3]});
+  pages_ = r.u64_vec("random.pages");
+  index_.clear();
+  index_.reserve(pages_.size());
+  for (std::size_t i = 0; i < pages_.size(); ++i) index_[pages_[i]] = i;
+}
+
 // --- LruPolicy --------------------------------------------------------------
 
 void LruPolicy::on_load(PageNum page) {
@@ -132,6 +176,22 @@ PageNum LruPolicy::victim(PageTable& /*pt*/, PageNum pinned) {
   }
   SGXPL_CHECK_MSG(false, "lru: no evictable page");
   return kInvalidPage;
+}
+
+void LruPolicy::save(snapshot::Writer& w) const {
+  std::vector<std::uint64_t> order(order_.begin(), order_.end());  // MRU first
+  w.u64_vec("lru.order", order);
+}
+
+void LruPolicy::load(snapshot::Reader& r) {
+  const std::vector<std::uint64_t> order = r.u64_vec("lru.order");
+  order_.clear();
+  where_.clear();
+  where_.reserve(order.size());
+  for (std::uint64_t page : order) {
+    order_.push_back(page);
+    where_[page] = std::prev(order_.end());
+  }
 }
 
 // --- factory ----------------------------------------------------------------

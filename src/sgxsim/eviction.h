@@ -21,6 +21,7 @@
 #include "common/types.h"
 #include "sgxsim/epc.h"
 #include "sgxsim/page_table.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::sgxsim {
 
@@ -45,6 +46,12 @@ class EvictionPolicy {
   virtual PageNum victim(PageTable& pt, PageNum pinned) = 0;
 
   virtual const char* name() const noexcept = 0;
+
+  /// Checkpoint/restore of policy-internal state. The defaults write/read
+  /// nothing: CLOCK keeps its hand in the Epc, which snapshots itself.
+  /// Stateful policies (FIFO queue, random RNG, LRU order) override both.
+  virtual void save(snapshot::Writer& w) const;
+  virtual void load(snapshot::Reader& r);
 };
 
 /// Second-chance CLOCK over the EPC slots (delegates to Epc's hand).
@@ -71,6 +78,8 @@ class FifoPolicy final : public EvictionPolicy {
   void on_access(PageNum) override {}
   PageNum victim(PageTable& pt, PageNum pinned) override;
   const char* name() const noexcept override { return "fifo"; }
+  void save(snapshot::Writer& w) const override;
+  void load(snapshot::Reader& r) override;
 
  private:
   std::deque<PageNum> order_;
@@ -86,6 +95,8 @@ class RandomPolicy final : public EvictionPolicy {
   void on_access(PageNum) override {}
   PageNum victim(PageTable& pt, PageNum pinned) override;
   const char* name() const noexcept override { return "random"; }
+  void save(snapshot::Writer& w) const override;
+  void load(snapshot::Reader& r) override;
 
  private:
   Rng rng_;
@@ -101,6 +112,8 @@ class LruPolicy final : public EvictionPolicy {
   void on_access(PageNum page) override;
   PageNum victim(PageTable& pt, PageNum pinned) override;
   const char* name() const noexcept override { return "lru"; }
+  void save(snapshot::Writer& w) const override;
+  void load(snapshot::Reader& r) override;
 
  private:
   std::list<PageNum> order_;  // MRU at front

@@ -1,5 +1,7 @@
 #include "sgxsim/page_table.h"
 
+#include "snapshot/codec.h"
+
 namespace sgxpl::sgxsim {
 
 PageTable::PageTable(PageNum elrange_pages)
@@ -41,6 +43,54 @@ bool PageTable::test_and_clear_accessed(PageNum page) {
   const bool was = e.accessed;
   e.accessed = false;
   return was;
+}
+
+namespace {
+// One u64 per entry: slot in the low 32 bits, the three flags above them.
+constexpr std::uint64_t kPresentBit = 1ull << 32;
+constexpr std::uint64_t kAccessedBit = 1ull << 33;
+constexpr std::uint64_t kPreloadedBit = 1ull << 34;
+}  // namespace
+
+void PageTable::save(snapshot::Writer& w) const {
+  w.u64("pt.pages", size_);
+  w.u64("pt.resident", resident_);
+  std::vector<std::uint64_t> packed;
+  packed.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    std::uint64_t v = e.slot;
+    if (e.present) v |= kPresentBit;
+    if (e.accessed) v |= kAccessedBit;
+    if (e.preloaded) v |= kPreloadedBit;
+    packed.push_back(v);
+  }
+  w.u64_vec("pt.entries", packed);
+}
+
+void PageTable::load(snapshot::Reader& r) {
+  const std::uint64_t pages = r.u64("pt.pages");
+  SGXPL_CHECK_MSG(pages == size_,
+                  "snapshot page table covers " << pages
+                      << " ELRANGE pages but this enclave has " << size_);
+  const std::uint64_t resident = r.u64("pt.resident");
+  const std::vector<std::uint64_t> packed = r.u64_vec("pt.entries");
+  SGXPL_CHECK_MSG(packed.size() == entries_.size(),
+                  "snapshot page table entry count " << packed.size()
+                      << " does not match ELRANGE size " << entries_.size());
+  std::uint64_t check_resident = 0;
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    PageTableEntry e;
+    e.slot = static_cast<SlotIndex>(packed[i] & 0xFFFFFFFFull);
+    e.present = (packed[i] & kPresentBit) != 0;
+    e.accessed = (packed[i] & kAccessedBit) != 0;
+    e.preloaded = (packed[i] & kPreloadedBit) != 0;
+    if (e.present) ++check_resident;
+    entries_[i] = e;
+  }
+  SGXPL_CHECK_MSG(check_resident == resident,
+                  "snapshot page table is inconsistent: " << check_resident
+                      << " present entries but resident count " << resident);
+  resident_ = resident;
 }
 
 }  // namespace sgxpl::sgxsim

@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::sgxsim {
 
@@ -53,6 +54,11 @@ class PageTable {
   bool test_and_clear_accessed(PageNum page);
 
   std::uint64_t resident_count() const noexcept { return resident_; }
+
+  /// Checkpoint/restore. load() requires a table constructed with the same
+  /// ELRANGE size as the one saved.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 
  private:
   PageTableEntry& mutable_entry(PageNum page) {

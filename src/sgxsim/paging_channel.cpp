@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "snapshot/codec.h"
 
 namespace sgxpl::sgxsim {
 
@@ -16,6 +17,16 @@ const char* to_string(OpKind kind) noexcept {
       return "sip-load";
   }
   return "?";
+}
+
+std::optional<OpKind> parse_op_kind(std::string_view name) noexcept {
+  for (const OpKind k :
+       {OpKind::kDemandLoad, OpKind::kDfpPreload, OpKind::kSipLoad}) {
+    if (name == to_string(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
 }
 
 const ChannelOp& PagingChannel::schedule(Cycles earliest, Cycles duration,
@@ -182,6 +193,55 @@ bool PagingChannel::idle(Cycles now) const noexcept {
     }
   }
   return true;
+}
+
+void PagingChannel::save(snapshot::Writer& w) const {
+  w.boolean("channel.serial", serial_);
+  w.u64("channel.next_id", next_id_);
+  w.u64("channel.aborted", aborted_);
+  std::vector<std::uint64_t> ids, pages, kinds, starts, ends;
+  ids.reserve(queue_.size());
+  for (const auto& op : queue_) {
+    ids.push_back(op.id);
+    pages.push_back(op.page);
+    kinds.push_back(static_cast<std::uint64_t>(op.kind));
+    starts.push_back(op.start);
+    ends.push_back(op.end);
+  }
+  w.u64_vec("channel.op_ids", ids);
+  w.u64_vec("channel.op_pages", pages);
+  w.u64_vec("channel.op_kinds", kinds);
+  w.u64_vec("channel.op_starts", starts);
+  w.u64_vec("channel.op_ends", ends);
+}
+
+void PagingChannel::load(snapshot::Reader& r) {
+  const bool serial = r.boolean("channel.serial");
+  SGXPL_CHECK_MSG(serial == serial_,
+                  "snapshot channel serial-ness does not match this channel");
+  next_id_ = r.u64("channel.next_id");
+  aborted_ = r.u64("channel.aborted");
+  const std::vector<std::uint64_t> ids = r.u64_vec("channel.op_ids");
+  const std::vector<std::uint64_t> pages = r.u64_vec("channel.op_pages");
+  const std::vector<std::uint64_t> kinds = r.u64_vec("channel.op_kinds");
+  const std::vector<std::uint64_t> starts = r.u64_vec("channel.op_starts");
+  const std::vector<std::uint64_t> ends = r.u64_vec("channel.op_ends");
+  SGXPL_CHECK_MSG(ids.size() == pages.size() && ids.size() == kinds.size() &&
+                      ids.size() == starts.size() && ids.size() == ends.size(),
+                  "snapshot channel op columns are misaligned");
+  queue_.clear();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    SGXPL_CHECK_MSG(kinds[i] <= static_cast<std::uint64_t>(OpKind::kSipLoad),
+                    "snapshot channel op " << ids[i] << " has invalid kind "
+                                           << kinds[i]);
+    ChannelOp op;
+    op.id = ids[i];
+    op.page = pages[i];
+    op.kind = static_cast<OpKind>(kinds[i]);
+    op.start = starts[i];
+    op.end = ends[i];
+    queue_.push_back(op);
+  }
 }
 
 }  // namespace sgxpl::sgxsim

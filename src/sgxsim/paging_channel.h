@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
+#include "snapshot/fwd.h"
 
 namespace sgxpl::sgxsim {
 
@@ -26,6 +28,9 @@ enum class OpKind : std::uint8_t {
 };
 
 const char* to_string(OpKind kind) noexcept;
+
+/// Inverse of to_string (exact spelling); nullopt for unknown names.
+std::optional<OpKind> parse_op_kind(std::string_view name) noexcept;
 
 struct ChannelOp {
   std::uint64_t id = 0;
@@ -90,6 +95,11 @@ class PagingChannel {
   std::size_t queued() const noexcept { return queue_.size(); }
   std::uint64_t ops_scheduled() const noexcept { return next_id_; }
   std::uint64_t ops_aborted() const noexcept { return aborted_; }
+
+  /// Checkpoint/restore of the full queue (in-flight and pending ops) and
+  /// the id/abort counters. load() requires matching serial-ness.
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
 
  private:
   /// Re-pack not-yet-started ops back-to-back after an insertion/removal

@@ -1,0 +1,216 @@
+// Versioned, checksummed binary snapshot format for crash-consistent
+// checkpoint/restore of the simulator (see docs/ROBUSTNESS.md, "Checkpoint
+// & recovery").
+//
+// Layout (all integers little-endian, byte-serialized explicitly so a
+// snapshot written on any host restores on any other):
+//
+//   magic   8 bytes  "SGXPLSNP"
+//   version u32      format version (kFormatVersion); unknown versions are
+//                    rejected, never guessed at
+//   count   u32      number of sections
+//   section*:
+//     tag     4 bytes   ASCII section tag (e.g. "DRVR")
+//     length  u64       payload length in bytes
+//     crc     u32       CRC32C (Castagnoli) of the payload
+//     payload length bytes
+//
+// A payload is a sequence of self-describing fields — type byte, labeled
+// name, value — so that (a) any structural drift between writer and reader
+// fails with an error naming the field, and (b) snapshot::diff can localize
+// the first diverging field between two snapshots without knowing what was
+// serialized. Every malformed input (truncation, bit flip, reordered or
+// unknown section, version mismatch) is rejected with a diagnostic
+// sgxpl::CheckFailure; no input may crash the process or invoke UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgxpl::snapshot {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::string_view kMagic = "SGXPLSNP";
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected), software table.
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t len) noexcept;
+
+enum class FieldType : std::uint8_t {
+  kU64 = 1,
+  kF64 = 2,  // stored as the IEEE-754 bit pattern; restores bit-identically
+  kBool = 3,
+  kString = 4,
+  kU64Vec = 5,
+};
+
+const char* to_string(FieldType t) noexcept;
+
+/// Serializes sections of labeled fields into a framed snapshot.
+class Writer {
+ public:
+  /// Open a section; `tag` must be exactly 4 ASCII characters.
+  void begin_section(std::string_view tag);
+  /// Close the current section, patching its length and CRC.
+  void end_section();
+
+  void u64(std::string_view label, std::uint64_t v);
+  void f64(std::string_view label, double v);
+  void boolean(std::string_view label, bool v);
+  void str(std::string_view label, std::string_view v);
+  void u64_vec(std::string_view label, const std::vector<std::uint64_t>& v);
+
+  /// Finalize the snapshot (patches the section count). The writer must
+  /// not be reused afterwards.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  void field_header(FieldType type, std::string_view label);
+  void put_bytes(std::string_view s);
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void patch_u32(std::size_t at, std::uint32_t v);
+  void patch_u64(std::size_t at, std::uint64_t v);
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t section_header_ = 0;  // offset of the open section's header
+  bool in_section_ = false;
+  bool finished_ = false;
+  std::uint32_t sections_ = 0;
+};
+
+/// A generically decoded field (used by diff and by tools that walk a
+/// snapshot without knowing its schema).
+struct FieldView {
+  FieldType type = FieldType::kU64;
+  std::string label;
+  std::uint64_t u64v = 0;
+  double f64v = 0.0;
+  bool boolv = false;
+  std::string strv;
+  std::vector<std::uint64_t> vecv;
+
+  /// Value rendered for diagnostics ("123", "0.5", "true", ...).
+  std::string render() const;
+};
+
+/// Validates and decodes a framed snapshot. All reads are bounds- and
+/// CRC-checked; every violation throws CheckFailure with the section tag
+/// and field label in the message. Reads are strictly sequential: sections
+/// and fields must be consumed in the order they were written (a reordered
+/// section is a tag mismatch, not silent misinterpretation).
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size);
+  explicit Reader(const std::vector<std::uint8_t>& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+  // The reader is a view over the caller's buffer; a temporary would dangle.
+  explicit Reader(std::vector<std::uint8_t>&&) = delete;
+
+  std::uint32_t version() const noexcept { return version_; }
+  std::uint32_t section_count() const noexcept { return section_count_; }
+  std::uint32_t sections_entered() const noexcept { return sections_entered_; }
+
+  /// Enter the next section; its tag must equal `expected`.
+  void enter_section(std::string_view expected);
+  /// Enter the next section whatever its tag; returns the tag.
+  std::string enter_any_section();
+  /// Leave the current section; throws if any payload bytes were unread.
+  void leave_section();
+
+  /// True while fields remain in the current section.
+  bool more_fields() const noexcept;
+  /// Decode the next field generically. Requires more_fields().
+  FieldView next_field();
+
+  std::uint64_t u64(std::string_view label);
+  double f64(std::string_view label);
+  bool boolean(std::string_view label);
+  std::string str(std::string_view label);
+  std::vector<std::uint64_t> u64_vec(std::string_view label);
+
+ private:
+  [[noreturn]] void corrupt(const std::string& why) const;
+  std::uint8_t take_u8();
+  std::uint16_t take_u16();
+  std::uint32_t take_u32();
+  std::uint64_t take_u64();
+  void need(std::size_t n, const char* what) const;
+  FieldView expect(FieldType type, std::string_view label);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint32_t version_ = 0;
+  std::uint32_t section_count_ = 0;
+  std::uint32_t sections_entered_ = 0;
+  std::string section_tag_;     // empty when not inside a section
+  std::size_t section_end_ = 0; // payload end of the current section
+};
+
+/// Result of comparing two snapshots field-by-field.
+struct Diff {
+  bool identical = true;
+  /// Human-readable description of the first divergence, e.g.
+  /// "section 'DRVR' field 'stats.faults': 120 != 121". Empty if identical.
+  std::string first_divergence;
+};
+
+/// Compare two well-formed snapshots; localizes the first diverging
+/// section/field (the state-diff reporter behind the kill-restore oracle).
+/// Throws CheckFailure if either input is malformed.
+Diff diff(const std::vector<std::uint8_t>& a,
+          const std::vector<std::uint8_t>& b);
+
+/// One section's position within a framed snapshot (for corruption tests
+/// and tooling; offsets cover the header + payload).
+struct SectionSpan {
+  std::string tag;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
+
+/// Table of section spans. Validates framing but not payload CRCs.
+std::vector<SectionSpan> section_spans(const std::vector<std::uint8_t>& bytes);
+
+/// Identifying metadata written as a snapshot's first section ("META") so a
+/// restore can verify it is being applied to a compatible run before any
+/// state is touched.
+struct RunMeta {
+  std::string kind;        // "enclave-sim" / "multi-enclave"
+  std::string scheme;      // scheme name(s)
+  std::string trace_name;  // trace name(s)
+  std::uint64_t trace_accesses = 0;
+  std::uint64_t elrange_pages = 0;
+  std::uint64_t epc_pages = 0;
+  std::string chaos_spec;  // empty = no chaos
+  std::uint64_t chaos_seed = 0;
+  std::uint64_t cursor = 0;  // accesses completed when the snapshot was taken
+
+  /// Empty string when compatible with `other` (cursor excluded); otherwise
+  /// a description of the first mismatching attribute.
+  std::string incompatibility(const RunMeta& other) const;
+};
+
+/// Write `meta` as a "META" section.
+void write_meta(Writer& w, const RunMeta& meta);
+/// Read the "META" section (must be the next section of `r`).
+RunMeta read_meta(Reader& r);
+
+/// Write `bytes` to `path` atomically (temp file + rename), so a crash
+/// mid-checkpoint never leaves a torn snapshot. Throws CheckFailure on IO
+/// errors.
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// Read a whole file. Throws CheckFailure if it cannot be opened/read.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// True if `path` exists and is readable.
+bool file_readable(const std::string& path);
+
+}  // namespace sgxpl::snapshot

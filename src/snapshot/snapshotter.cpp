@@ -1,0 +1,66 @@
+#include "snapshot/snapshotter.h"
+
+namespace sgxpl::snapshot {
+
+std::vector<std::uint8_t> capture(const core::SimulationRun& run) {
+  return run.save_bytes();
+}
+
+std::vector<std::uint8_t> capture(const core::MultiEnclaveRun& run) {
+  return run.save_bytes();
+}
+
+void restore(core::SimulationRun& run,
+             const std::vector<std::uint8_t>& bytes) {
+  run.load_bytes(bytes);
+}
+
+void restore(core::MultiEnclaveRun& run,
+             const std::vector<std::uint8_t>& bytes) {
+  run.load_bytes(bytes);
+}
+
+void capture_to_file(const core::SimulationRun& run, const std::string& path) {
+  write_file_atomic(path, run.save_bytes());
+}
+
+void capture_to_file(const core::MultiEnclaveRun& run,
+                     const std::string& path) {
+  write_file_atomic(path, run.save_bytes());
+}
+
+bool restore_from_file(core::SimulationRun& run, const std::string& path) {
+  if (!file_readable(path)) {
+    return false;
+  }
+  return run.restore_if_compatible(read_file(path));
+}
+
+bool restore_from_file(core::MultiEnclaveRun& run, const std::string& path) {
+  if (!file_readable(path)) {
+    return false;
+  }
+  return run.restore_if_compatible(read_file(path));
+}
+
+Diff diff_runs(const core::SimulationRun& a, const core::SimulationRun& b) {
+  return diff(a.save_bytes(), b.save_bytes());
+}
+
+namespace {
+
+std::vector<std::uint8_t> metrics_frame(const core::Metrics& m) {
+  Writer w;
+  w.begin_section("METR");
+  m.save(w);
+  w.end_section();
+  return w.finish();
+}
+
+}  // namespace
+
+Diff diff_metrics(const core::Metrics& a, const core::Metrics& b) {
+  return diff(metrics_frame(a), metrics_frame(b));
+}
+
+}  // namespace sgxpl::snapshot

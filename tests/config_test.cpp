@@ -7,9 +7,11 @@
 #include "core/scheme.h"
 #include "dfp/dfp_engine.h"
 #include "inject/chaos_plan.h"
+#include "obs/event_log.h"
 #include "sgxsim/cost_model.h"
 #include "sgxsim/driver.h"
 #include "sgxsim/eviction.h"
+#include "sgxsim/paging_channel.h"
 
 namespace sgxpl {
 namespace {
@@ -91,6 +93,36 @@ TEST(EnumRoundTrip, PredictorKind) {
     EXPECT_EQ(*parsed, k);
   }
   EXPECT_FALSE(dfp::parse_predictor_kind("oracle").has_value());
+}
+
+TEST(EnumRoundTrip, OpKind) {
+  using sgxsim::OpKind;
+  for (const OpKind k :
+       {OpKind::kDemandLoad, OpKind::kDfpPreload, OpKind::kSipLoad}) {
+    EXPECT_STRNE(to_string(k), "?");
+    const auto parsed = sgxsim::parse_op_kind(to_string(k));
+    ASSERT_TRUE(parsed.has_value()) << to_string(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(sgxsim::parse_op_kind("demand-load").has_value());
+  EXPECT_FALSE(sgxsim::parse_op_kind("").has_value());
+}
+
+TEST(EnumRoundTrip, EventType) {
+  using obs::EventType;
+  for (const EventType t :
+       {EventType::kFault, EventType::kLoadScheduled,
+        EventType::kLoadCommitted, EventType::kLoadsAborted,
+        EventType::kEviction, EventType::kResume, EventType::kSipRequest,
+        EventType::kSipPrefetch, EventType::kScan, EventType::kChaos,
+        EventType::kWatchdog}) {
+    EXPECT_STRNE(to_string(t), "?");
+    const auto parsed = obs::parse_event_type(to_string(t));
+    ASSERT_TRUE(parsed.has_value()) << to_string(t);
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(obs::parse_event_type("fault").has_value());
+  EXPECT_FALSE(obs::parse_event_type("").has_value());
 }
 
 TEST(EnumRoundTrip, FaultKind) {

@@ -1,4 +1,4 @@
-#include "sgxsim/event_log.h"
+#include "obs/event_log.h"
 
 #include <gtest/gtest.h>
 
@@ -6,6 +6,9 @@
 
 namespace sgxpl::sgxsim {
 namespace {
+
+using obs::EventLog;
+using obs::EventType;
 
 TEST(EventLog, RecordsAndRenders) {
   EventLog log;

@@ -68,6 +68,44 @@ TEST(ChaosPlanParse, RejectsMalformedSpecs) {
   EXPECT_FALSE(ChaosPlan::parse("jitter,,spike", &err).has_value());
 }
 
+TEST(ChaosPlanParse, ErrorsNameTheTokenAndItsPosition) {
+  std::string err;
+  // Unknown class: names the token, its position, and the valid classes.
+  EXPECT_FALSE(ChaosPlan::parse("jitter,meteor-strike", &err).has_value());
+  EXPECT_NE(err.find("'meteor-strike'"), std::string::npos) << err;
+  EXPECT_NE(err.find("position 7"), std::string::npos) << err;
+  EXPECT_NE(err.find("valid classes"), std::string::npos) << err;
+  // Bad probability: position points at the number, not the entry.
+  EXPECT_FALSE(ChaosPlan::parse("spike:abc", &err).has_value());
+  EXPECT_NE(err.find("'abc'"), std::string::npos) << err;
+  EXPECT_NE(err.find("position 6"), std::string::npos) << err;
+  // Out-of-range probability.
+  EXPECT_FALSE(ChaosPlan::parse("jitter:1.5", &err).has_value());
+  EXPECT_NE(err.find("'1.5'"), std::string::npos) << err;
+  EXPECT_NE(err.find("position 7"), std::string::npos) << err;
+  // Bad magnitude.
+  EXPECT_FALSE(ChaosPlan::parse("spike:0.1:-3", &err).has_value());
+  EXPECT_NE(err.find("'-3'"), std::string::npos) << err;
+  EXPECT_NE(err.find("position 10"), std::string::npos) << err;
+}
+
+TEST(ChaosPlanParse, RejectsEmptyTokens) {
+  std::string err;
+  // A ':' with nothing after it.
+  EXPECT_FALSE(ChaosPlan::parse("spike:", &err).has_value());
+  EXPECT_NE(err.find("missing probability"), std::string::npos) << err;
+  EXPECT_FALSE(ChaosPlan::parse("spike:0.1:", &err).has_value());
+  EXPECT_NE(err.find("missing magnitude"), std::string::npos) << err;
+  // Double comma: an empty entry, with its position.
+  EXPECT_FALSE(ChaosPlan::parse("jitter,,spike", &err).has_value());
+  EXPECT_NE(err.find("empty entry"), std::string::npos) << err;
+  EXPECT_NE(err.find("position 7"), std::string::npos) << err;
+  // Trailing comma used to be silently accepted; now it is diagnosed.
+  EXPECT_FALSE(ChaosPlan::parse("jitter,", &err).has_value());
+  EXPECT_NE(err.find("trailing comma"), std::string::npos) << err;
+  EXPECT_NE(err.find("position 6"), std::string::npos) << err;
+}
+
 TEST(ChaosPlanParse, SpecRoundTrips) {
   const ChaosPlan plan = ChaosPlan::all(7);
   const auto reparsed = ChaosPlan::parse(plan.spec());

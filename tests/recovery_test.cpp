@@ -1,0 +1,374 @@
+// Kill-restore differential tests: a run checkpointed at an adversarial
+// access boundary, destroyed, and restored into a fresh run must finish with
+// Metrics bit-identical to the uninterrupted run — for every scheme and under
+// every chaos fault class. Also covers the restore gates: snapshots from a
+// different run are refused, corrupt snapshots are rejected with a diagnostic
+// CheckFailure, and the file-based --checkpoint/--resume path round-trips.
+#include "snapshot/snapshotter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/multi_enclave.h"
+#include "core/simulator.h"
+#include "inject/chaos_plan.h"
+#include "trace/generators.h"
+
+namespace sgxpl {
+namespace {
+
+using core::Scheme;
+using core::SimConfig;
+using core::SimulationRun;
+
+/// Sequential scan into irregular instrumented accesses: forms DFP streams,
+/// overflows the EPC (evictions), and — with the plan below — drives SIP.
+trace::Trace mixed_trace(std::uint64_t seed = 4) {
+  trace::Trace t("mixed", 4'096);
+  Rng rng(seed);
+  const trace::GapModel gap{.mean = 2'000, .jitter_pct = 0};
+  trace::seq_scan(t, rng, trace::Region{0, 512}, 1, gap);
+  trace::random_access(t, rng, trace::Region{600, 3'000}, 600, 10, 4, gap);
+  return t;
+}
+
+sip::InstrumentationPlan irregular_sites() {
+  sip::InstrumentationPlan plan;
+  for (SiteId s = 10; s < 14; ++s) {
+    plan.add_site(s);
+  }
+  return plan;
+}
+
+SimConfig small_config(Scheme scheme, PageNum epc = 96) {
+  SimConfig cfg;
+  cfg.scheme = scheme;
+  cfg.enclave.epc_pages = epc;
+  cfg.dfp.predictor.stream_list_len = 8;
+  cfg.dfp.predictor.load_length = 4;
+  cfg.validate = true;
+  return cfg;
+}
+
+core::Metrics run_uninterrupted(const SimConfig& cfg, const trace::Trace& t,
+                                const sip::InstrumentationPlan* plan) {
+  SimulationRun run(cfg, t, plan);
+  return run.run_to_end();
+}
+
+/// Step a victim run to `cut`, snapshot it, destroy it (the "kill"), then
+/// restore the snapshot into a fresh run and finish that one.
+core::Metrics run_killed_at(const SimConfig& cfg, const trace::Trace& t,
+                            const sip::InstrumentationPlan* plan,
+                            std::uint64_t cut) {
+  std::vector<std::uint8_t> snap;
+  {
+    SimulationRun victim(cfg, t, plan);
+    while (!victim.done() && victim.cursor() < cut) {
+      victim.step();
+    }
+    snap = snapshot::capture(victim);
+  }
+  SimulationRun resumed(cfg, t, plan);
+  snapshot::restore(resumed, snap);
+  return resumed.run_to_end();
+}
+
+void expect_bit_identical(const core::Metrics& want, const core::Metrics& got,
+                          const std::string& context) {
+  const auto d = snapshot::diff_metrics(want, got);
+  EXPECT_TRUE(d.identical) << context << ": " << d.first_divergence;
+  EXPECT_EQ(want.total_cycles, got.total_cycles) << context;
+}
+
+TEST(KillRestore, BitIdenticalForEverySchemeAndCutPoint) {
+  const auto t = mixed_trace();
+  const auto plan = irregular_sites();
+  const std::uint64_t n = t.size();
+  for (const Scheme scheme :
+       {Scheme::kBaseline, Scheme::kDfpStop, Scheme::kHybrid}) {
+    const auto cfg = small_config(scheme);
+    const auto want = run_uninterrupted(cfg, t, &plan);
+    for (const std::uint64_t cut :
+         {std::uint64_t{0}, std::uint64_t{1}, n / 3, n / 2, n - 1}) {
+      const auto got = run_killed_at(cfg, t, &plan, cut);
+      expect_bit_identical(want, got,
+                           std::string(to_string(scheme)) + " cut=" +
+                               std::to_string(cut));
+    }
+  }
+}
+
+TEST(KillRestore, BitIdenticalUnderEveryChaosClass) {
+  const auto t = mixed_trace();
+  const std::uint64_t n = t.size();
+  for (const inject::FaultKind k : inject::all_fault_kinds()) {
+    auto cfg = small_config(Scheme::kDfpStop);
+    cfg.chaos.seed = 99;
+    cfg.chaos.enable(k);
+    const auto want = run_uninterrupted(cfg, t, nullptr);
+    const auto got = run_killed_at(cfg, t, nullptr, n / 2);
+    expect_bit_identical(want, got, to_string(k));
+  }
+}
+
+TEST(KillRestore, AllFaultClassesAtOnceUnderHybrid) {
+  const auto t = mixed_trace();
+  const auto plan = irregular_sites();
+  auto cfg = small_config(Scheme::kHybrid);
+  cfg.chaos = inject::ChaosPlan::all(1234);
+  const auto want = run_uninterrupted(cfg, t, &plan);
+  const std::uint64_t n = t.size();
+  for (const std::uint64_t cut : {std::uint64_t{1}, n / 3, n - 1}) {
+    expect_bit_identical(want, run_killed_at(cfg, t, &plan, cut),
+                         "chaos cut=" + std::to_string(cut));
+  }
+}
+
+TEST(KillRestore, EveryCutPointOnASmallDfpRun) {
+  // Exhaustive cut sweep: catches in-flight channel ops, mid-preload-batch
+  // and scan-cursor states that coarse cut points could step over.
+  trace::Trace t("small", 512);
+  Rng rng(7);
+  trace::seq_scan(t, rng, trace::Region{0, 256}, 1,
+                  trace::GapModel{.mean = 2'000, .jitter_pct = 0});
+  const auto cfg = small_config(Scheme::kDfpStop, 32);
+  const auto want = run_uninterrupted(cfg, t, nullptr);
+  for (std::uint64_t cut = 0; cut <= t.size(); ++cut) {
+    const auto got = run_killed_at(cfg, t, nullptr, cut);
+    const auto d = snapshot::diff_metrics(want, got);
+    ASSERT_TRUE(d.identical) << "cut=" << cut << ": " << d.first_divergence;
+  }
+}
+
+TEST(KillRestore, ResumedRunStateMatchesTheVictimExactly) {
+  // Not just the final metrics: the restored run's complete serialized state
+  // matches the victim's, and the two stay in lockstep stepping forward.
+  const auto t = mixed_trace();
+  const auto cfg = small_config(Scheme::kDfpStop);
+  SimulationRun a(cfg, t, nullptr);
+  while (!a.done() && a.cursor() < t.size() / 2) {
+    a.step();
+  }
+  SimulationRun b(cfg, t, nullptr);
+  snapshot::restore(b, snapshot::capture(a));
+  const auto d = snapshot::diff_runs(a, b);
+  EXPECT_TRUE(d.identical) << d.first_divergence;
+  for (int i = 0; i < 200 && !a.done(); ++i) {
+    a.step();
+    b.step();
+  }
+  EXPECT_EQ(a.cursor(), b.cursor());
+  EXPECT_EQ(a.now(), b.now());
+  const auto d2 = snapshot::diff_runs(a, b);
+  EXPECT_TRUE(d2.identical) << d2.first_divergence;
+}
+
+TEST(KillRestore, RestoreIsRefusedForADifferentRun) {
+  const auto t = mixed_trace();
+  const auto cfg = small_config(Scheme::kDfpStop);
+  SimulationRun victim(cfg, t, nullptr);
+  while (victim.cursor() < 64) {
+    victim.step();
+  }
+  const auto snap = snapshot::capture(victim);
+  {
+    SimulationRun other(small_config(Scheme::kBaseline), t, nullptr);
+    EXPECT_FALSE(other.restore_if_compatible(snap));
+    EXPECT_EQ(other.cursor(), 0u);  // left untouched
+    try {
+      other.load_bytes(snap);
+      FAIL() << "cross-scheme restore accepted";
+    } catch (const CheckFailure& e) {
+      EXPECT_NE(std::string(e.what()).find("scheme"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    SimulationRun other(small_config(Scheme::kDfpStop, 48), t, nullptr);
+    EXPECT_FALSE(other.restore_if_compatible(snap));  // EPC geometry differs
+  }
+  {
+    auto chaotic = cfg;
+    chaotic.chaos = inject::ChaosPlan::all(5);
+    SimulationRun other(chaotic, t, nullptr);
+    EXPECT_FALSE(other.restore_if_compatible(snap));  // chaos plan differs
+  }
+  {
+    SimulationRun same(cfg, t, nullptr);
+    EXPECT_TRUE(same.restore_if_compatible(snap));
+    EXPECT_EQ(same.cursor(), 64u);
+  }
+}
+
+TEST(KillRestore, CorruptSnapshotsAreRejectedNotApplied) {
+  const auto t = mixed_trace();
+  const auto cfg = small_config(Scheme::kDfpStop);
+  SimulationRun victim(cfg, t, nullptr);
+  while (victim.cursor() < 100) {
+    victim.step();
+  }
+  const auto snap = snapshot::capture(victim);
+  auto flipped = snap;
+  flipped[flipped.size() - 3] ^= 0x40;  // payload bit flip -> CRC mismatch
+  SimulationRun fresh(cfg, t, nullptr);
+  EXPECT_THROW(fresh.load_bytes(flipped), CheckFailure);
+  auto truncated = snap;
+  truncated.resize(truncated.size() / 2);
+  SimulationRun fresh2(cfg, t, nullptr);
+  EXPECT_THROW(fresh2.load_bytes(truncated), CheckFailure);
+  // Corrupt is not "a different run": the gated restore throws too.
+  SimulationRun fresh3(cfg, t, nullptr);
+  EXPECT_THROW(fresh3.restore_if_compatible(truncated), CheckFailure);
+}
+
+TEST(KillRestore, NativeSchemeIsNotSteppable) {
+  const auto t = mixed_trace();
+  EXPECT_THROW(SimulationRun(small_config(Scheme::kNative), t, nullptr),
+               CheckFailure);
+}
+
+TEST(KillRestore, CaptureToFileRoundTrips) {
+  const auto t = mixed_trace();
+  const auto cfg = small_config(Scheme::kDfpStop);
+  SimulationRun victim(cfg, t, nullptr);
+  while (victim.cursor() < 200) {
+    victim.step();
+  }
+  const std::string path = testing::TempDir() + "sgxpl-capture.snap";
+  snapshot::capture_to_file(victim, path);
+  SimulationRun fresh(cfg, t, nullptr);
+  ASSERT_TRUE(snapshot::restore_from_file(fresh, path));
+  EXPECT_EQ(fresh.cursor(), 200u);
+  const auto d = snapshot::diff_runs(victim, fresh);
+  EXPECT_TRUE(d.identical) << d.first_divergence;
+  std::remove(path.c_str());
+}
+
+TEST(KillRestore, RestoreFromAbsentFileReturnsFalse) {
+  const auto t = mixed_trace();
+  SimulationRun run(small_config(Scheme::kBaseline), t, nullptr);
+  EXPECT_FALSE(snapshot::restore_from_file(
+      run, testing::TempDir() + "no-such-snapshot.snap"));
+  EXPECT_EQ(run.cursor(), 0u);
+}
+
+TEST(KillRestore, FileCheckpointResumeMatchesUninterrupted) {
+  // The bench-facing path: SimConfig::checkpoint drives periodic snapshot
+  // writes, and resume_path picks the run back up from the last one.
+  const auto t = mixed_trace();
+  const auto cfg = small_config(Scheme::kDfpStop);
+  const auto want = core::simulate(t, cfg);
+  const std::string path = testing::TempDir() + "sgxpl-recovery-ck.snap";
+  std::remove(path.c_str());
+  auto writing = cfg;
+  writing.checkpoint.path = path;
+  writing.checkpoint.every_accesses = 97;
+  const auto wrote = core::simulate(t, writing);
+  expect_bit_identical(want, wrote, "checkpointing must not perturb the run");
+  ASSERT_TRUE(snapshot::file_readable(path));
+  auto resuming = cfg;
+  resuming.checkpoint.resume_path = path;
+  const auto resumed = core::simulate(t, resuming);
+  expect_bit_identical(want, resumed, "resume from last on-disk snapshot");
+  std::remove(path.c_str());
+}
+
+TEST(KillRestore, ForeignOrAbsentResumeFileStartsTheRunFresh) {
+  // Benches that simulate several schemes share one --checkpoint file, so
+  // every run but the snapshotted one sees a foreign snapshot on --resume.
+  // simulate() must skip it (meta-gated) and run from the start, not abort.
+  const auto t = mixed_trace();
+  const auto want = core::simulate(t, small_config(Scheme::kBaseline));
+  const std::string path = testing::TempDir() + "sgxpl-foreign-ck.snap";
+  std::remove(path.c_str());
+  {
+    SimulationRun other(small_config(Scheme::kDfpStop), t, nullptr);
+    for (int i = 0; i < 64; ++i) {
+      other.step();
+    }
+    snapshot::capture_to_file(other, path);
+  }
+  auto resuming = small_config(Scheme::kBaseline);
+  resuming.checkpoint.resume_path = path;
+  const auto got = core::simulate(t, resuming);
+  expect_bit_identical(want, got, "foreign snapshot must be skipped");
+  auto absent = small_config(Scheme::kBaseline);
+  absent.checkpoint.resume_path = testing::TempDir() + "never-written.snap";
+  const auto fresh = core::simulate(t, absent);
+  expect_bit_identical(want, fresh, "absent resume file must be skipped");
+  // Corruption is still an error, not a silent fresh start.
+  auto bytes = snapshot::read_file(path);
+  bytes[bytes.size() / 2] ^= 0x10;
+  snapshot::write_file_atomic(path, bytes);
+  auto corrupt = small_config(Scheme::kDfpStop);
+  corrupt.checkpoint.resume_path = path;
+  EXPECT_THROW(core::simulate(t, corrupt), CheckFailure);
+  std::remove(path.c_str());
+}
+
+TEST(KillRestore, MultiEnclaveResumesBitIdentically) {
+  const auto ta = mixed_trace(4);
+  const auto tb = mixed_trace(5);
+  const auto cfg = small_config(Scheme::kBaseline, 128);
+  const std::vector<core::EnclaveApp> apps = {
+      {.trace = &ta, .scheme = Scheme::kDfpStop},
+      {.trace = &tb, .scheme = Scheme::kBaseline},
+  };
+  core::MultiEnclaveRun ref(cfg, apps);
+  const auto want = ref.run_to_end();
+  std::vector<std::uint8_t> snap;
+  {
+    core::MultiEnclaveRun victim(cfg, apps);
+    const std::uint64_t cut = (ta.size() + tb.size()) / 2;
+    while (!victim.done() && victim.steps() < cut) {
+      victim.step();
+    }
+    snap = snapshot::capture(victim);
+  }
+  core::MultiEnclaveRun resumed(cfg, apps);
+  snapshot::restore(resumed, snap);
+  const auto got = resumed.run_to_end();
+  EXPECT_EQ(want.makespan, got.makespan);
+  ASSERT_EQ(want.per_enclave.size(), got.per_enclave.size());
+  for (std::size_t i = 0; i < want.per_enclave.size(); ++i) {
+    const auto d =
+        snapshot::diff_metrics(want.per_enclave[i], got.per_enclave[i]);
+    EXPECT_TRUE(d.identical) << "enclave " << i << ": " << d.first_divergence;
+  }
+  EXPECT_EQ(want.driver.faults, got.driver.faults);
+  EXPECT_EQ(want.driver.evictions, got.driver.evictions);
+}
+
+TEST(KillRestore, MultiEnclaveRefusesForeignSnapshots) {
+  const auto ta = mixed_trace(4);
+  const auto tb = mixed_trace(5);
+  const auto cfg = small_config(Scheme::kBaseline, 128);
+  const std::vector<core::EnclaveApp> apps = {
+      {.trace = &ta, .scheme = Scheme::kDfpStop},
+      {.trace = &tb, .scheme = Scheme::kBaseline},
+  };
+  core::MultiEnclaveRun victim(cfg, apps);
+  for (int i = 0; i < 100; ++i) {
+    victim.step();
+  }
+  const auto snap = snapshot::capture(victim);
+  // A single-enclave run must refuse a multi-enclave snapshot (and say why).
+  SimulationRun single(small_config(Scheme::kDfpStop), ta, nullptr);
+  EXPECT_FALSE(single.restore_if_compatible(snap));
+  // A differently composed multi run must refuse it too.
+  const std::vector<core::EnclaveApp> swapped = {
+      {.trace = &ta, .scheme = Scheme::kBaseline},
+      {.trace = &tb, .scheme = Scheme::kDfpStop},
+  };
+  core::MultiEnclaveRun other(cfg, swapped);
+  EXPECT_FALSE(other.restore_if_compatible(snap));
+}
+
+}  // namespace
+}  // namespace sgxpl

@@ -1,0 +1,421 @@
+// Tests for the snapshot codec: framing round-trips, fuzz-style corruption
+// (every single-bit flip and every truncation must be detected, never crash),
+// reordered-section and version-mismatch rejection, diff localization,
+// RunMeta identity gating, and atomic file IO.
+#include "snapshot/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sgxpl {
+namespace {
+
+using snapshot::Reader;
+using snapshot::RunMeta;
+using snapshot::Writer;
+
+/// A two-section frame exercising every field type.
+std::vector<std::uint8_t> sample_frame() {
+  Writer w;
+  w.begin_section("AAAA");
+  w.u64("a.count", 42);
+  w.f64("a.ratio", 0.375);
+  w.boolean("a.flag", true);
+  w.str("a.name", "leela");
+  w.u64_vec("a.vec", {1, 2, 3, 0xFFFFFFFFFFFFFFFFull});
+  w.end_section();
+  w.begin_section("BBBB");
+  w.u64("b.n", 7);
+  w.end_section();
+  return w.finish();
+}
+
+/// Fully decode a frame, cross-checking the section table against the
+/// declared count (catches a shrunk count field, which strict sequential
+/// reading alone would interpret as ignorable trailing bytes).
+void decode_all(const std::vector<std::uint8_t>& bytes) {
+  const auto spans = snapshot::section_spans(bytes);
+  Reader r(bytes);
+  SGXPL_CHECK_MSG(spans.size() == r.section_count(),
+                  "section table does not match the declared count");
+  while (r.sections_entered() < r.section_count()) {
+    r.enter_any_section();
+    while (r.more_fields()) {
+      r.next_field();
+    }
+    r.leave_section();
+  }
+}
+
+TEST(SnapshotCodec, Crc32cMatchesTheCastagnoliCheckVector) {
+  const char* s = "123456789";
+  EXPECT_EQ(snapshot::crc32c(reinterpret_cast<const std::uint8_t*>(s), 9),
+            0xE3069283u);
+  EXPECT_EQ(snapshot::crc32c(nullptr, 0), 0u);
+}
+
+TEST(SnapshotCodec, RoundTripsEveryFieldType) {
+  const auto frame = sample_frame();
+  Reader r(frame);
+  EXPECT_EQ(r.version(), snapshot::kFormatVersion);
+  EXPECT_EQ(r.section_count(), 2u);
+  r.enter_section("AAAA");
+  EXPECT_EQ(r.u64("a.count"), 42u);
+  EXPECT_DOUBLE_EQ(r.f64("a.ratio"), 0.375);
+  EXPECT_TRUE(r.boolean("a.flag"));
+  EXPECT_EQ(r.str("a.name"), "leela");
+  EXPECT_EQ(r.u64_vec("a.vec"),
+            (std::vector<std::uint64_t>{1, 2, 3, 0xFFFFFFFFFFFFFFFFull}));
+  EXPECT_FALSE(r.more_fields());
+  r.leave_section();
+  r.enter_section("BBBB");
+  EXPECT_EQ(r.u64("b.n"), 7u);
+  r.leave_section();
+  EXPECT_EQ(r.sections_entered(), r.section_count());
+}
+
+TEST(SnapshotCodec, F64RestoresExactBitPatterns) {
+  Writer w;
+  w.begin_section("FLTS");
+  w.f64("nan", std::numeric_limits<double>::quiet_NaN());
+  w.f64("neg_zero", -0.0);
+  w.f64("inf", std::numeric_limits<double>::infinity());
+  w.f64("denorm", std::numeric_limits<double>::denorm_min());
+  w.end_section();
+  const auto frame = w.finish();
+  Reader r(frame);
+  r.enter_section("FLTS");
+  EXPECT_TRUE(std::isnan(r.f64("nan")));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64("neg_zero")),
+            std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_EQ(r.f64("inf"), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64("denorm"), std::numeric_limits<double>::denorm_min());
+  r.leave_section();
+}
+
+TEST(SnapshotCodec, ZeroSectionFrameIsValid) {
+  Writer w;
+  const auto frame = w.finish();
+  Reader r(frame);
+  EXPECT_EQ(r.section_count(), 0u);
+  EXPECT_TRUE(snapshot::section_spans(frame).empty());
+  EXPECT_TRUE(snapshot::diff(frame, frame).identical);
+}
+
+TEST(SnapshotCodec, SectionSpansTableMatchesTheFrame) {
+  const auto frame = sample_frame();
+  const auto spans = snapshot::section_spans(frame);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].tag, "AAAA");
+  EXPECT_EQ(spans[1].tag, "BBBB");
+  EXPECT_EQ(spans[0].offset, snapshot::kMagic.size() + 8);
+  EXPECT_EQ(spans[0].offset + spans[0].size, spans[1].offset);
+  EXPECT_EQ(spans[1].offset + spans[1].size, frame.size());
+}
+
+TEST(SnapshotCodec, WriterEnforcesFraming) {
+  Writer w;
+  EXPECT_THROW(w.begin_section("TOOLONG"), CheckFailure);  // tag must be 4
+  EXPECT_THROW(w.u64("loose", 1), CheckFailure);  // field outside a section
+  w.begin_section("GOOD");
+  EXPECT_THROW(w.begin_section("NEST"), CheckFailure);  // no nesting
+  EXPECT_THROW(w.finish(), CheckFailure);  // section still open
+  w.end_section();
+  w.finish();
+}
+
+// --- structural drift between writer and reader ----------------------------
+
+TEST(SnapshotCodec, MismatchedLabelNamesBothFields) {
+  const auto frame = sample_frame();
+  Reader r(frame);
+  r.enter_section("AAAA");
+  try {
+    r.u64("a.wrong");
+    FAIL() << "mismatched label accepted";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'a.wrong'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'a.count'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'AAAA'"), std::string::npos) << what;
+  }
+}
+
+TEST(SnapshotCodec, MismatchedTypeIsDiagnosed) {
+  const auto frame = sample_frame();
+  Reader r(frame);
+  r.enter_section("AAAA");
+  try {
+    r.f64("a.count");  // written as u64
+    FAIL() << "mismatched type accepted";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("has type u64"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected f64"), std::string::npos) << what;
+  }
+}
+
+TEST(SnapshotCodec, LeaveSectionRejectsUnreadState) {
+  const auto frame = sample_frame();
+  Reader r(frame);
+  r.enter_section("AAAA");
+  r.u64("a.count");
+  try {
+    r.leave_section();
+    FAIL() << "unread payload bytes ignored";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("unread"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapshotCodec, MissingTrailingFieldIsDiagnosed) {
+  Writer w;
+  w.begin_section("ONEF");
+  w.u64("only", 1);
+  w.end_section();
+  const auto frame = w.finish();
+  Reader r(frame);
+  r.enter_section("ONEF");
+  r.u64("only");
+  try {
+    r.u64("more");
+    FAIL() << "read past the last field";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("no more fields"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- corruption fuzzing -----------------------------------------------------
+
+TEST(SnapshotCorruption, EverySingleBitFlipIsDetected) {
+  const auto pristine = sample_frame();
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = pristine;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      bool detected = false;
+      try {
+        decode_all(mutated);
+        // Structurally valid (e.g. a flipped section tag, which no payload
+        // CRC covers): the flip must still show up as a content difference.
+        detected = !snapshot::diff(pristine, mutated).identical;
+      } catch (const CheckFailure&) {
+        detected = true;
+      }
+      EXPECT_TRUE(detected) << "byte " << byte << " bit " << bit
+                            << " flipped without detection";
+    }
+  }
+}
+
+TEST(SnapshotCorruption, EveryTruncationIsDetected) {
+  const auto pristine = sample_frame();
+  for (std::size_t n = 0; n < pristine.size(); ++n) {
+    const std::vector<std::uint8_t> cut(pristine.begin(),
+                                        pristine.begin() +
+                                            static_cast<std::ptrdiff_t>(n));
+    EXPECT_THROW(decode_all(cut), CheckFailure) << "length " << n;
+  }
+}
+
+TEST(SnapshotCorruption, ReorderedSectionsAreRejectedByStrictReads) {
+  const auto frame = sample_frame();
+  const auto spans = snapshot::section_spans(frame);
+  ASSERT_EQ(spans.size(), 2u);
+  const auto begin = frame.begin();
+  std::vector<std::uint8_t> reordered(
+      begin, begin + static_cast<std::ptrdiff_t>(spans[0].offset));
+  for (const std::size_t i : {std::size_t{1}, std::size_t{0}}) {
+    const auto at = begin + static_cast<std::ptrdiff_t>(spans[i].offset);
+    reordered.insert(reordered.end(), at,
+                     at + static_cast<std::ptrdiff_t>(spans[i].size));
+  }
+  ASSERT_EQ(reordered.size(), frame.size());
+  Reader r(reordered);
+  try {
+    r.enter_section("AAAA");
+    FAIL() << "reordered section accepted";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("out of order"), std::string::npos)
+        << e.what();
+  }
+  const auto d = snapshot::diff(frame, reordered);
+  ASSERT_FALSE(d.identical);
+  EXPECT_NE(d.first_divergence.find("section order"), std::string::npos)
+      << d.first_divergence;
+}
+
+TEST(SnapshotCorruption, UnknownVersionIsRejectedWithGuidance) {
+  auto frame = sample_frame();
+  frame[snapshot::kMagic.size()] = 9;  // version u32 LSB (currently 1)
+  try {
+    Reader r(frame);
+    FAIL() << "version 9 accepted";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unsupported format version 9"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("re-create"), std::string::npos) << what;
+  }
+}
+
+TEST(SnapshotCorruption, NotASnapshotFileIsRejected) {
+  const std::vector<std::uint8_t> junk{'n', 'o', 't', ' ', 'a', ' ', 's', 'n',
+                                       'a', 'p', 's', 'h', 'o', 't', '!', '!'};
+  EXPECT_THROW(Reader r(junk), CheckFailure);
+  EXPECT_THROW(Reader(nullptr, 0), CheckFailure);
+}
+
+// --- diff -------------------------------------------------------------------
+
+TEST(SnapshotDiff, IdenticalFramesCompareClean) {
+  const auto frame = sample_frame();
+  const auto d = snapshot::diff(frame, frame);
+  EXPECT_TRUE(d.identical);
+  EXPECT_TRUE(d.first_divergence.empty());
+}
+
+TEST(SnapshotDiff, LocalizesTheFirstDivergingField) {
+  Writer wa;
+  Writer wb;
+  for (Writer* w : {&wa, &wb}) {
+    w->begin_section("SAME");
+    w->u64("x", 1);
+    w->end_section();
+  }
+  wa.begin_section("DATA");
+  wa.u64("count", 42);
+  wa.end_section();
+  wb.begin_section("DATA");
+  wb.u64("count", 43);
+  wb.end_section();
+  const auto d = snapshot::diff(wa.finish(), wb.finish());
+  ASSERT_FALSE(d.identical);
+  EXPECT_NE(d.first_divergence.find("'DATA'"), std::string::npos)
+      << d.first_divergence;
+  EXPECT_NE(d.first_divergence.find("'count'"), std::string::npos);
+  EXPECT_NE(d.first_divergence.find("42 != 43"), std::string::npos);
+}
+
+TEST(SnapshotDiff, LocalizesTheDivergingVectorElement) {
+  Writer wa;
+  Writer wb;
+  wa.begin_section("DATA");
+  wa.u64_vec("v", {5, 6, 7});
+  wa.end_section();
+  wb.begin_section("DATA");
+  wb.u64_vec("v", {5, 9, 7});
+  wb.end_section();
+  const auto d = snapshot::diff(wa.finish(), wb.finish());
+  ASSERT_FALSE(d.identical);
+  EXPECT_NE(d.first_divergence.find("element [1]"), std::string::npos)
+      << d.first_divergence;
+  EXPECT_NE(d.first_divergence.find("6 != 9"), std::string::npos);
+}
+
+TEST(SnapshotDiff, ComparesF64ByBitPattern) {
+  // +0.0 == -0.0 numerically, but the guarantee is bit-identical resume.
+  Writer wa;
+  Writer wb;
+  wa.begin_section("DATA");
+  wa.f64("z", 0.0);
+  wa.end_section();
+  wb.begin_section("DATA");
+  wb.f64("z", -0.0);
+  wb.end_section();
+  const auto d = snapshot::diff(wa.finish(), wb.finish());
+  ASSERT_FALSE(d.identical);
+  EXPECT_NE(d.first_divergence.find("'z'"), std::string::npos)
+      << d.first_divergence;
+}
+
+TEST(SnapshotDiff, ReportsDifferingSectionCounts) {
+  Writer wa;
+  wa.begin_section("DATA");
+  wa.u64("x", 1);
+  wa.end_section();
+  Writer wb;
+  const auto d = snapshot::diff(wa.finish(), wb.finish());
+  ASSERT_FALSE(d.identical);
+  EXPECT_NE(d.first_divergence.find("section counts differ"),
+            std::string::npos)
+      << d.first_divergence;
+}
+
+// --- RunMeta ----------------------------------------------------------------
+
+TEST(SnapshotMeta, RoundTripsAndGatesOnIdentityNotCursor) {
+  RunMeta m;
+  m.kind = "enclave-sim";
+  m.scheme = "DFP+stop";
+  m.trace_name = "mcf";
+  m.trace_accesses = 1000;
+  m.elrange_pages = 4096;
+  m.epc_pages = 96;
+  m.chaos_spec = "jitter:1:0.3";
+  m.chaos_seed = 9;
+  m.cursor = 123;
+  Writer w;
+  snapshot::write_meta(w, m);
+  const std::vector<std::uint8_t> bytes = w.finish();
+  Reader r(bytes);
+  const RunMeta got = snapshot::read_meta(r);
+  EXPECT_EQ(got.kind, m.kind);
+  EXPECT_EQ(got.scheme, m.scheme);
+  EXPECT_EQ(got.trace_name, m.trace_name);
+  EXPECT_EQ(got.trace_accesses, m.trace_accesses);
+  EXPECT_EQ(got.elrange_pages, m.elrange_pages);
+  EXPECT_EQ(got.epc_pages, m.epc_pages);
+  EXPECT_EQ(got.chaos_spec, m.chaos_spec);
+  EXPECT_EQ(got.chaos_seed, m.chaos_seed);
+  EXPECT_EQ(got.cursor, m.cursor);
+
+  RunMeta later = m;
+  later.cursor = 999;  // progress, not identity
+  EXPECT_EQ(m.incompatibility(later), "");
+  RunMeta other = m;
+  other.scheme = "baseline";
+  const std::string why = m.incompatibility(other);
+  EXPECT_NE(why.find("scheme"), std::string::npos) << why;
+  EXPECT_NE(why.find("'DFP+stop'"), std::string::npos) << why;
+  EXPECT_NE(why.find("'baseline'"), std::string::npos) << why;
+  RunMeta squeezed = m;
+  squeezed.epc_pages = 48;
+  EXPECT_NE(m.incompatibility(squeezed).find("EPC pages"), std::string::npos);
+}
+
+// --- file IO ----------------------------------------------------------------
+
+TEST(SnapshotFile, AtomicWriteAndReadBack) {
+  const std::string path = testing::TempDir() + "sgxpl-codec-io.snap";
+  std::remove(path.c_str());
+  EXPECT_FALSE(snapshot::file_readable(path));
+  EXPECT_THROW(snapshot::read_file(path), CheckFailure);
+  const auto frame = sample_frame();
+  snapshot::write_file_atomic(path, frame);
+  EXPECT_TRUE(snapshot::file_readable(path));
+  EXPECT_FALSE(snapshot::file_readable(path + ".tmp"));  // no temp droppings
+  EXPECT_EQ(snapshot::read_file(path), frame);
+  // Overwrite in place: readers only ever see a whole frame.
+  Writer w;
+  w.begin_section("NEWF");
+  w.u64("n", 1);
+  w.end_section();
+  const auto frame2 = w.finish();
+  snapshot::write_file_atomic(path, frame2);
+  EXPECT_EQ(snapshot::read_file(path), frame2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sgxpl
