@@ -1,10 +1,15 @@
 #include "core/multi_enclave.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "common/check.h"
 #include "dfp/dfp_engine.h"
+#include "inject/fault_injector.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/time_series.h"
 #include "sgxsim/driver.h"
 #include "snapshot/codec.h"
 
@@ -141,7 +146,35 @@ struct MultiEnclaveRun::Impl {
     sgxsim::EnclaveConfig ecfg = cfg.enclave;
     ecfg.elrange_pages = total_pages;
     combined_pages = total_pages;
+    // Chaos attach, same contract as SimulationRun: under an active plan the
+    // online watchdog defaults on so a corrupting hook trips immediately.
+    if (cfg.chaos.any_enabled()) {
+      injector = std::make_unique<inject::FaultInjector>(cfg.chaos);
+      if (ecfg.watchdog_scan_interval == 0) {
+        ecfg.watchdog_scan_interval = 64;
+      }
+    }
     driver = std::make_unique<sgxsim::Driver>(ecfg, cfg.costs, policy.get());
+    if (injector != nullptr) {
+      driver->set_chaos(injector.get());
+    }
+    // Observability attach. Only the shared driver gets live sinks: the
+    // per-enclave DFP engines would all write the same "dfp.depth" gauge,
+    // so their counters are published (additively) at finish() instead.
+    if (cfg.event_log != nullptr) {
+      cfg.event_log->clear();
+      driver->set_event_log(cfg.event_log);
+      if (injector != nullptr) {
+        injector->set_event_log(cfg.event_log);
+      }
+    }
+    if (cfg.registry != nullptr) {
+      driver->set_metrics(cfg.registry);
+    }
+    if (cfg.timeseries != nullptr) {
+      cfg.timeseries->clear();
+      driver->set_time_series(cfg.timeseries);
+    }
     state.resize(apps.size());
   }
 
@@ -158,6 +191,7 @@ struct MultiEnclaveRun::Impl {
   std::vector<PageNum> offset;
   PageNum combined_pages = 0;
   std::unique_ptr<PerEnclavePolicy> policy;
+  std::unique_ptr<inject::FaultInjector> injector;
   std::unique_ptr<sgxsim::Driver> driver;
   std::vector<AppState> state;
   bool finished = false;
@@ -239,8 +273,17 @@ MultiEnclaveResult MultiEnclaveRun::finish() {
   SGXPL_CHECK_MSG(!im.finished, "finish() called twice");
   im.finished = true;
 
+  // A hardened run may still hold lost ops awaiting their retry deadlines;
+  // settle them so shed/retry/permanent counters are final. The default
+  // (non-hardened) path skips this and finishes exactly as before.
+  if (im.cfg.enclave.channel.max_retries > 0) {
+    im.driver->drain();
+    im.driver->check_invariants();
+  }
+
   MultiEnclaveResult result;
   result.per_enclave.reserve(im.apps.size());
+  result.degrade_levels.reserve(im.apps.size());
   for (std::size_t i = 0; i < im.apps.size(); ++i) {
     Metrics m = im.state[i].metrics;
     if (const auto* engine = im.policy->engine(i)) {
@@ -254,8 +297,25 @@ MultiEnclaveResult MultiEnclaveRun::finish() {
     }
     result.makespan = std::max(result.makespan, m.total_cycles);
     result.per_enclave.push_back(std::move(m));
+    result.degrade_levels.push_back(
+        im.driver->degrade_level(ProcessId{static_cast<std::uint32_t>(i)}));
   }
   result.driver = im.driver->stats();
+  if (im.injector != nullptr) {
+    result.inject = im.injector->stats();
+  }
+  if (im.cfg.registry != nullptr) {
+    auto& reg = *im.cfg.registry;
+    result.driver.publish(reg);
+    for (std::size_t i = 0; i < im.apps.size(); ++i) {
+      if (const auto* engine = im.policy->engine(i)) {
+        engine->publish(reg);  // counters add across enclaves
+      }
+    }
+    if (im.injector != nullptr) {
+      result.inject.publish(reg);
+    }
+  }
   return result;
 }
 
@@ -285,6 +345,7 @@ snapshot::RunMeta MultiEnclaveRun::meta() const {
   meta.epc_pages = im.cfg.enclave.epc_pages;
   meta.chaos_spec = im.cfg.chaos.any_enabled() ? im.cfg.chaos.spec() : "";
   meta.chaos_seed = im.cfg.chaos.seed;
+  meta.hardening_spec = sgxsim::overload_spec(im.cfg.enclave);
   meta.cursor = im.steps();
   return meta;
 }
@@ -310,6 +371,11 @@ void MultiEnclaveRun::save(snapshot::Writer& w) const {
       engine->save(w);
       w.end_section();
     }
+  }
+  if (im.injector != nullptr) {
+    w.begin_section("INJC");
+    im.injector->save(w);
+    w.end_section();
   }
 }
 
@@ -342,6 +408,11 @@ void MultiEnclaveRun::load(snapshot::Reader& r) {
       engine->load(r);
       r.leave_section();
     }
+  }
+  if (im.injector != nullptr) {
+    r.enter_section("INJC");
+    im.injector->load(r);
+    r.leave_section();
   }
   SGXPL_CHECK_MSG(r.sections_entered() == r.section_count(),
                   "snapshot holds " << r.section_count()
@@ -379,16 +450,33 @@ MultiEnclaveResult MultiEnclaveSimulator::run(
     const std::vector<EnclaveApp>& apps) {
   MultiEnclaveRun run(config_, apps);
   const CheckpointOptions& ck = config_.checkpoint;
+  // Same latency accounting as EnclaveSimulator::run: steady-clock
+  // nanoseconds (~cycles at 1 GHz) of real checkpoint I/O.
+  const auto ns_since = [](std::chrono::steady_clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
   if (!ck.resume_path.empty() && snapshot::file_readable(ck.resume_path)) {
     // Meta-gated, same contract as EnclaveSimulator::run: a snapshot of a
     // different configuration is skipped; corrupt snapshots still throw.
-    run.restore_if_compatible(snapshot::read_file(ck.resume_path));
+    const auto t0 = std::chrono::steady_clock::now();
+    if (run.restore_if_compatible(snapshot::read_file(ck.resume_path)) &&
+        config_.registry != nullptr) {
+      config_.registry->histogram("snapshot.load_cycles").record(ns_since(t0));
+    }
   }
   const bool checkpointing = ck.every_accesses > 0 && !ck.path.empty();
   while (!run.done()) {
     run.step();
     if (checkpointing && run.steps() % ck.every_accesses == 0) {
+      const auto t0 = std::chrono::steady_clock::now();
       snapshot::write_file_atomic(ck.path, run.save_bytes());
+      if (config_.registry != nullptr) {
+        config_.registry->histogram("snapshot.save_cycles")
+            .record(ns_since(t0));
+      }
     }
   }
   return run.finish();

@@ -41,6 +41,11 @@ struct MultiEnclaveResult {
   Cycles makespan = 0;
   /// Shared-driver statistics (global faults, evictions, channel ops).
   sgxsim::DriverStats driver;
+  /// Final degradation-ladder level per enclave (all kFullPreload unless
+  /// config.enclave.admission is enabled).
+  std::vector<sgxsim::DegradeLevel> degrade_levels;
+  /// Shared fault-injection activity (all zero when no chaos plan ran).
+  inject::InjectStats inject;
 };
 
 /// One in-progress co-simulation, steppable one access at a time so it can

@@ -33,6 +33,15 @@ std::string SimConfig::describe() const {
   if (chaos.any_enabled()) {
     oss << ", chaos=" << chaos.describe();
   }
+  if (enclave.channel.max_queued > 0) {
+    oss << ", channel_queue=" << enclave.channel.max_queued;
+  }
+  if (enclave.channel.max_retries > 0) {
+    oss << ", max_retries=" << enclave.channel.max_retries;
+  }
+  if (enclave.admission.enabled) {
+    oss << ", admission=on";
+  }
   oss << "}";
   return oss.str();
 }

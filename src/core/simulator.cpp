@@ -1,6 +1,7 @@
 #include "core/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -232,6 +233,7 @@ snapshot::RunMeta SimulationRun::meta() const {
   meta.epc_pages = cfg_.enclave.epc_pages;
   meta.chaos_spec = cfg_.chaos.any_enabled() ? cfg_.chaos.spec() : "";
   meta.chaos_seed = cfg_.chaos.seed;
+  meta.hardening_spec = sgxsim::overload_spec(cfg_.enclave);
   meta.cursor = cursor_;
   return meta;
 }
@@ -326,17 +328,34 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
   }
   SimulationRun run(config_, t, plan);
   const CheckpointOptions& ck = config_.checkpoint;
+  // Checkpoint latency lands in the registry as steady-clock nanoseconds
+  // (~cycles at 1 GHz) — real I/O time, not virtual time.
+  const auto ns_since = [](std::chrono::steady_clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
   if (!ck.resume_path.empty() && snapshot::file_readable(ck.resume_path)) {
     // Meta-gated: a snapshot belonging to a different configuration (benches
     // that simulate several schemes overwrite one file per run) is skipped
     // and this run starts fresh. Corrupt snapshots still throw.
-    run.restore_if_compatible(snapshot::read_file(ck.resume_path));
+    const auto t0 = std::chrono::steady_clock::now();
+    if (run.restore_if_compatible(snapshot::read_file(ck.resume_path)) &&
+        config_.registry != nullptr) {
+      config_.registry->histogram("snapshot.load_cycles").record(ns_since(t0));
+    }
   }
   const bool checkpointing = ck.every_accesses > 0 && !ck.path.empty();
   while (!run.done()) {
     run.step();
     if (checkpointing && run.cursor() % ck.every_accesses == 0) {
+      const auto t0 = std::chrono::steady_clock::now();
       snapshot::write_file_atomic(ck.path, run.save_bytes());
+      if (config_.registry != nullptr) {
+        config_.registry->histogram("snapshot.save_cycles")
+            .record(ns_since(t0));
+      }
     }
   }
   return run.finish();

@@ -107,6 +107,11 @@ void DfpEngine::on_preloads_aborted(const std::vector<PageNum>& pages,
   aborted_ += pages.size();
 }
 
+void DfpEngine::on_preloads_shed(const std::vector<PageNum>& pages,
+                                 Cycles /*now*/) {
+  shed_ += pages.size();
+}
+
 void DfpEngine::on_preloaded_page_evicted(PageNum page, bool /*was_accessed*/,
                                           Cycles /*now*/) {
   list_.on_evicted(page);
@@ -125,8 +130,12 @@ void DfpEngine::on_scan(const sgxsim::PageTable& pt, Cycles now) {
     adapt_depth();
   }
   if (health_.has_value()) {
+    // Shed preloads count as abort evidence: whether a prediction was
+    // flushed by a demand fault or refused admission, the work the engine
+    // asked for did not happen, and a persistently overloaded channel
+    // should trip the same stop valve as persistent misprediction.
     health_->on_scan(list_.preload_counter(), list_.acc_preload_counter(),
-                     aborted_, now);
+                     aborted_ + shed_, now);
     const bool blocked = !health_->preloads_allowed();
     if (blocked && !stopped_) {
       stopped_at_ = now;
@@ -167,6 +176,7 @@ void DfpEngine::publish(obs::MetricsRegistry& reg) const {
   reg.counter("dfp.preload_counter").add(list_.preload_counter());
   reg.counter("dfp.acc_preload_counter").add(list_.acc_preload_counter());
   reg.counter("dfp.aborted").add(aborted_);
+  reg.counter("dfp.shed").add(shed_);
   reg.counter("dfp.predictor.hits").add(predictor_->hits());
   reg.counter("dfp.predictor.misses").add(predictor_->misses());
   if (stopped_) {
@@ -243,6 +253,7 @@ void DfpEngine::reset() {
   stopped_ = false;
   stopped_at_ = 0;
   aborted_ = 0;
+  shed_ = 0;
   depth_ = params_.predictor.load_length;
   last_preload_counter_ = 0;
   last_acc_counter_ = 0;
@@ -253,6 +264,7 @@ void DfpEngine::save(snapshot::Writer& w) const {
   w.boolean("dfp.stopped", stopped_);
   w.u64("dfp.stopped_at", stopped_at_);
   w.u64("dfp.aborted", aborted_);
+  w.u64("dfp.shed", shed_);
   w.u64("dfp.depth", depth_);
   w.u64("dfp.last_preload_counter", last_preload_counter_);
   w.u64("dfp.last_acc_counter", last_acc_counter_);
@@ -273,6 +285,7 @@ void DfpEngine::load(snapshot::Reader& r) {
   stopped_ = r.boolean("dfp.stopped");
   stopped_at_ = r.u64("dfp.stopped_at");
   aborted_ = r.u64("dfp.aborted");
+  shed_ = r.u64("dfp.shed");
   depth_ = r.u64("dfp.depth");
   SGXPL_CHECK_MSG(depth_ > 0, "snapshot holds zero preload depth");
   last_preload_counter_ = r.u64("dfp.last_preload_counter");

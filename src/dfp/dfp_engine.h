@@ -81,6 +81,8 @@ class DfpEngine final : public sgxsim::PreloadPolicy {
   void on_preload_completed(PageNum page, Cycles now) override;
   void on_preloads_aborted(const std::vector<PageNum>& pages,
                            Cycles now) override;
+  void on_preloads_shed(const std::vector<PageNum>& pages,
+                        Cycles now) override;
   void on_preloaded_page_evicted(PageNum page, bool was_accessed,
                                  Cycles now) override;
   void on_scan(const sgxsim::PageTable& pt, Cycles now) override;
@@ -98,6 +100,9 @@ class DfpEngine final : public sgxsim::PreloadPolicy {
   /// Current preload depth (== predictor load_length unless adaptive).
   std::uint64_t current_depth() const noexcept { return depth_; }
   std::uint64_t aborted_preloads() const noexcept { return aborted_; }
+  /// Predictions shed by the driver's admission layer (bounded channel,
+  /// quota, or degradation ladder); zero in the default configuration.
+  std::uint64_t shed_preloads() const noexcept { return shed_; }
   const PagePredictor& predictor() const noexcept { return *predictor_; }
   const PreloadedPageList& preloaded_pages() const noexcept { return list_; }
   const DfpParams& params() const noexcept { return params_; }
@@ -134,6 +139,7 @@ class DfpEngine final : public sgxsim::PreloadPolicy {
   bool stopped_ = false;
   Cycles stopped_at_ = 0;
   std::uint64_t aborted_ = 0;
+  std::uint64_t shed_ = 0;
   std::uint64_t depth_ = 0;
   // Counter snapshots from the previous scan, for the adaptive window.
   std::uint64_t last_preload_counter_ = 0;

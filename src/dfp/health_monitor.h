@@ -19,6 +19,12 @@
 // trigger additionally stops streams that keep getting flushed by demand
 // faults before they commit — preloads that never land cannot be judged by
 // the used fraction alone.
+//
+// The driver-side degradation ladder (sgxsim/admission.h) generalizes this
+// two-state machine to a per-tenant four-level ladder driven by channel
+// admission/retry evidence instead of preload usefulness; the two compose —
+// this monitor judges *prediction quality*, the ladder judges *channel
+// health*.
 #pragma once
 
 #include <cstdint>

@@ -28,6 +28,12 @@ const char* to_string(EventType t) noexcept {
       return "CHAOS";
     case EventType::kWatchdog:
       return "WATCHDOG";
+    case EventType::kAdmission:
+      return "ADMIT";
+    case EventType::kRetry:
+      return "RETRY";
+    case EventType::kDegrade:
+      return "DEGRADE";
   }
   return "?";
 }
@@ -37,7 +43,8 @@ std::optional<EventType> parse_event_type(std::string_view name) noexcept {
        {EventType::kFault, EventType::kLoadScheduled, EventType::kLoadCommitted,
         EventType::kLoadsAborted, EventType::kEviction, EventType::kResume,
         EventType::kSipRequest, EventType::kSipPrefetch, EventType::kScan,
-        EventType::kChaos, EventType::kWatchdog}) {
+        EventType::kChaos, EventType::kWatchdog, EventType::kAdmission,
+        EventType::kRetry, EventType::kDegrade}) {
     if (name == to_string(t)) {
       return t;
     }
@@ -72,6 +79,8 @@ EventTrack track_of(EventType t) noexcept {
       return EventTrack::kFaultHandler;
     case EventType::kLoadScheduled:
     case EventType::kLoadCommitted:
+    case EventType::kAdmission:
+    case EventType::kRetry:
       return EventTrack::kChannel;
     case EventType::kScan:
       return EventTrack::kServiceThread;
@@ -80,6 +89,7 @@ EventTrack track_of(EventType t) noexcept {
       return EventTrack::kSip;
     case EventType::kChaos:
     case EventType::kWatchdog:
+    case EventType::kDegrade:
       return EventTrack::kChaos;
   }
   return EventTrack::kFaultHandler;

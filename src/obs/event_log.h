@@ -31,6 +31,9 @@ enum class EventType : std::uint8_t {
   kScan,           // service-thread access-bit scan
   kChaos,          // injected fault fired (detail = fault class)
   kWatchdog,       // online invariant sweep ran (aux = scans so far)
+  kAdmission,      // preload shed by admission control (detail = reason)
+  kRetry,          // lost-completion sweep acted on `page` (detail = action)
+  kDegrade,        // tenant stepped on the ladder (page = pid, detail=level)
 };
 
 const char* to_string(EventType t) noexcept;

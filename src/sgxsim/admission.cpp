@@ -1,0 +1,118 @@
+#include "sgxsim/admission.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/check.h"
+#include "snapshot/codec.h"
+
+namespace sgxpl::sgxsim {
+
+const char* to_string(DegradeLevel level) noexcept {
+  switch (level) {
+    case DegradeLevel::kFullPreload:
+      return "full-preload";
+    case DegradeLevel::kDfpOnly:
+      return "dfp-only";
+    case DegradeLevel::kDemandOnly:
+      return "demand-only";
+    case DegradeLevel::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+std::optional<DegradeLevel> parse_degrade_level(
+    std::string_view name) noexcept {
+  for (const DegradeLevel l :
+       {DegradeLevel::kFullPreload, DegradeLevel::kDfpOnly,
+        DegradeLevel::kDemandOnly, DegradeLevel::kQuarantined}) {
+    if (name == to_string(l)) {
+      return l;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t AdmissionController::preload_quota(
+    std::size_t max_queued) const noexcept {
+  if (max_queued == 0 || params_.preload_quota_fraction <= 0.0) {
+    return 0;
+  }
+  double frac = params_.preload_quota_fraction;
+  if (level_ == DegradeLevel::kDfpOnly) {
+    frac *= 0.5;
+  }
+  const auto quota = static_cast<std::size_t>(
+      static_cast<double>(max_queued) * std::min(frac, 1.0));
+  return std::max<std::size_t>(quota, 1);
+}
+
+int AdmissionController::on_window() noexcept {
+  const std::uint64_t bad =
+      window_rejected_ + window_retries_ + window_permanent_;
+  const std::uint64_t total = window_admitted_ + bad;
+  const bool unhealthy =
+      window_permanent_ > 0 ||
+      (total >= params_.min_window_events &&
+       static_cast<double>(bad) >
+           params_.degrade_threshold * static_cast<double>(total));
+  const bool healthy =
+      !unhealthy &&
+      (total == 0 || static_cast<double>(bad) <=
+                         params_.recover_threshold * static_cast<double>(total));
+  window_admitted_ = window_rejected_ = window_retries_ = window_permanent_ = 0;
+  ++windows_;
+  int delta = 0;
+  if (unhealthy) {
+    healthy_streak_ = 0;
+    if (level_ < DegradeLevel::kQuarantined) {
+      level_ = static_cast<DegradeLevel>(static_cast<std::uint8_t>(level_) + 1);
+      ++demotions_;
+      delta = -1;
+    }
+  } else if (healthy) {
+    const std::uint32_t need =
+        params_.recover_windows *
+        (level_ == DegradeLevel::kQuarantined ? 2u : 1u);
+    if (++healthy_streak_ >= need && level_ > DegradeLevel::kFullPreload) {
+      level_ = static_cast<DegradeLevel>(static_cast<std::uint8_t>(level_) - 1);
+      ++promotions_;
+      healthy_streak_ = 0;
+      delta = +1;
+    }
+  } else {
+    healthy_streak_ = 0;  // murky window: neither demote nor count as calm
+  }
+  return delta;
+}
+
+void AdmissionController::save(snapshot::Writer& w) const {
+  w.u64("admit.level", static_cast<std::uint64_t>(level_));
+  w.u64("admit.healthy_streak", healthy_streak_);
+  w.u64("admit.window_admitted", window_admitted_);
+  w.u64("admit.window_rejected", window_rejected_);
+  w.u64("admit.window_retries", window_retries_);
+  w.u64("admit.window_permanent", window_permanent_);
+  w.u64("admit.windows", windows_);
+  w.u64("admit.demotions", demotions_);
+  w.u64("admit.promotions", promotions_);
+}
+
+void AdmissionController::load(snapshot::Reader& r) {
+  const std::uint64_t level = r.u64("admit.level");
+  SGXPL_CHECK_MSG(
+      level <= static_cast<std::uint64_t>(DegradeLevel::kQuarantined),
+      "snapshot admission level " << level << " is not on the ladder");
+  level_ = static_cast<DegradeLevel>(level);
+  healthy_streak_ = static_cast<std::uint32_t>(r.u64("admit.healthy_streak"));
+  window_admitted_ = r.u64("admit.window_admitted");
+  window_rejected_ = r.u64("admit.window_rejected");
+  window_retries_ = r.u64("admit.window_retries");
+  window_permanent_ = r.u64("admit.window_permanent");
+  windows_ = r.u64("admit.windows");
+  demotions_ = r.u64("admit.demotions");
+  promotions_ = r.u64("admit.promotions");
+}
+
+}  // namespace sgxpl::sgxsim

@@ -1,0 +1,122 @@
+// Per-enclave admission control: the overload-survival ladder.
+//
+// dfp::HealthMonitor asks "are this tenant's *predictions* any good?"; the
+// AdmissionController generalizes the same windowed-verdict + hysteresis
+// idiom to "is this tenant overloading the shared paging channel?". Each
+// tenant (ProcessId) gets one controller; the driver feeds it admission
+// outcomes (admitted / rejected-for-capacity), retry re-issues and
+// permanent faults, and judges a window on every scan tick. Sustained bad
+// windows walk the tenant down the ladder
+//
+//   kFullPreload -> kDfpOnly -> kDemandOnly -> kQuarantined
+//
+// and sustained calm walks it back up one level at a time (with a longer
+// streak required to leave quarantine). Rejections caused by the tenant's
+// *own* degraded level are deliberately not evidence — otherwise a demoted
+// tenant could never look healthy again.
+//
+// Default-disabled: AdmissionParams::enabled = false leaves every tenant
+// pinned at kFullPreload and the driver skips this layer entirely, which
+// preserves the seed behavior bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/types.h"
+#include "snapshot/fwd.h"
+
+namespace sgxpl::sgxsim {
+
+/// The degradation ladder, best to worst. Each level keeps strictly fewer
+/// privileges than the one above it.
+enum class DegradeLevel : std::uint8_t {
+  kFullPreload,  // DFP preloads and SIP prefetches admitted
+  kDfpOnly,      // DFP preloads admitted (halved quota); SIP prefetches shed
+  kDemandOnly,   // no speculative work admitted at all
+  kQuarantined,  // demand loads lose channel priority too (FIFO behind all)
+};
+
+const char* to_string(DegradeLevel level) noexcept;
+
+/// Inverse of to_string (exact spelling); nullopt for unknown names.
+std::optional<DegradeLevel> parse_degrade_level(std::string_view name) noexcept;
+
+struct AdmissionParams {
+  /// Master switch; false (default) disables the ladder and quotas.
+  bool enabled = false;
+  /// A window is unhealthy when bad events (capacity rejections + retries +
+  /// permanent faults) exceed this fraction of the tenant's total events.
+  double degrade_threshold = 0.5;
+  /// Evidence floor: windows with fewer total events than this can never
+  /// demote (a single unlucky rejection is not overload). Permanent faults
+  /// bypass the floor — losing a page after max_retries is always serious.
+  std::uint64_t min_window_events = 16;
+  /// Consecutive healthy windows required to climb one level back up
+  /// (doubled when leaving kQuarantined).
+  std::uint32_t recover_windows = 4;
+  /// A window with events is healthy-for-recovery only when its bad-event
+  /// fraction is at or below this (quiet windows always count as healthy).
+  double recover_threshold = 0.125;
+  /// Fraction of the channel's max_queued each tenant may occupy with
+  /// queued preloads (halved at kDfpOnly); <= 0 disables the quota. Only
+  /// meaningful when the channel is bounded.
+  double preload_quota_fraction = 0.5;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+  explicit AdmissionController(const AdmissionParams& params)
+      : params_(params) {}
+
+  DegradeLevel level() const noexcept { return level_; }
+  bool preloads_allowed() const noexcept {
+    return level_ <= DegradeLevel::kDfpOnly;
+  }
+  bool prefetches_allowed() const noexcept {
+    return level_ == DegradeLevel::kFullPreload;
+  }
+  /// Quarantined tenants' demand loads queue FIFO instead of jumping ahead.
+  bool demand_priority() const noexcept {
+    return level_ != DegradeLevel::kQuarantined;
+  }
+  /// This tenant's queued-preload quota against a channel bounded at
+  /// `max_queued`; 0 = no quota.
+  std::size_t preload_quota(std::size_t max_queued) const noexcept;
+
+  // --- evidence, fed by the driver between windows ---
+  void note_admitted() noexcept { ++window_admitted_; }
+  /// A capacity/quota rejection (NOT a rejection caused by this tenant's
+  /// own degraded level — those are self-inflicted and carry no signal).
+  void note_rejected() noexcept { ++window_rejected_; }
+  void note_retry() noexcept { ++window_retries_; }
+  void note_permanent() noexcept { ++window_permanent_; }
+
+  /// Judge the window accumulated since the previous call and reset it.
+  /// Returns +1 on promotion, -1 on demotion, 0 otherwise.
+  int on_window() noexcept;
+
+  // --- lifetime counters (survive window resets; serialized) ---
+  std::uint64_t windows() const noexcept { return windows_; }
+  std::uint64_t demotions() const noexcept { return demotions_; }
+  std::uint64_t promotions() const noexcept { return promotions_; }
+
+  void save(snapshot::Writer& w) const;
+  void load(snapshot::Reader& r);
+
+ private:
+  AdmissionParams params_;
+  DegradeLevel level_ = DegradeLevel::kFullPreload;
+  std::uint32_t healthy_streak_ = 0;
+  std::uint64_t window_admitted_ = 0;
+  std::uint64_t window_rejected_ = 0;
+  std::uint64_t window_retries_ = 0;
+  std::uint64_t window_permanent_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t promotions_ = 0;
+};
+
+}  // namespace sgxpl::sgxsim

@@ -34,6 +34,33 @@ std::optional<DemandPolicy> parse_demand_policy(
   return std::nullopt;
 }
 
+std::string overload_spec(const EnclaveConfig& cfg) {
+  const ChannelConfig def;
+  const ChannelConfig& ch = cfg.channel;
+  const bool channel_default =
+      ch.max_queued == def.max_queued &&
+      ch.preload_high_water == def.preload_high_water &&
+      ch.max_retries == def.max_retries &&
+      ch.retry_backoff == def.retry_backoff &&
+      ch.deadline_slack == def.deadline_slack &&
+      ch.retry_seed == def.retry_seed;
+  if (channel_default && !cfg.admission.enabled) {
+    return {};
+  }
+  std::ostringstream oss;
+  oss << "queue=" << ch.max_queued << ",hw=" << ch.preload_high_water
+      << ",retries=" << ch.max_retries << ",backoff=" << ch.retry_backoff
+      << ",slack=" << ch.deadline_slack << ",rseed=" << ch.retry_seed;
+  if (cfg.admission.enabled) {
+    const AdmissionParams& a = cfg.admission;
+    oss << ";admission=1,thr=" << a.degrade_threshold
+        << ",minw=" << a.min_window_events << ",recw=" << a.recover_windows
+        << ",recthr=" << a.recover_threshold
+        << ",quota=" << a.preload_quota_fraction;
+  }
+  return oss.str();
+}
+
 void DriverStats::publish(obs::MetricsRegistry& reg) const {
   reg.counter("driver.accesses").add(accesses);
   reg.counter("driver.faults").add(faults);
@@ -53,6 +80,16 @@ void DriverStats::publish(obs::MetricsRegistry& reg) const {
   reg.counter("driver.watchdog.checks").add(watchdog_checks);
   reg.counter("driver.bitmap_lies").add(bitmap_lies);
   reg.counter("driver.squeeze_evictions").add(squeeze_evictions);
+  reg.counter("channel.admission.shed").add(preloads_shed);
+  reg.counter("channel.admission.queue_evictions")
+      .add(queued_preload_evictions);
+  reg.counter("channel.retry.lost").add(lost_completions);
+  reg.counter("channel.retry.reissued").add(retries);
+  reg.counter("channel.retry.resolved").add(retries_resolved);
+  reg.counter("channel.retry.permanent_faults").add(permanent_faults);
+  reg.counter("channel.retry.duplicates").add(duplicate_completions);
+  reg.counter("degrade.demotions").add(degrade_demotions);
+  reg.counter("degrade.promotions").add(degrade_promotions);
   reg.counter("driver.fault.stall_cycles.total").add(fault_stall_cycles);
   reg.counter("driver.sip.stall_cycles.total").add(sip_stall_cycles);
 }
@@ -77,6 +114,19 @@ std::string DriverStats::describe() const {
         << ", bitmap_lies=" << bitmap_lies
         << ", squeeze_evictions=" << squeeze_evictions << "}";
   }
+  if (preloads_shed + queued_preload_evictions + lost_completions + retries +
+          retries_resolved + permanent_faults + duplicate_completions +
+          degrade_demotions + degrade_promotions >
+      0) {
+    oss << " robust{shed=" << preloads_shed
+        << ", queue_evict=" << queued_preload_evictions
+        << ", lost=" << lost_completions << ", retries=" << retries
+        << ", resolved=" << retries_resolved
+        << ", permanent=" << permanent_faults
+        << ", dups=" << duplicate_completions
+        << ", demotions=" << degrade_demotions
+        << ", promotions=" << degrade_promotions << "}";
+  }
   return oss.str();
 }
 
@@ -87,10 +137,13 @@ Driver::Driver(const EnclaveConfig& config, const CostModel& costs,
       policy_(policy),
       page_table_(config.elrange_pages),
       epc_(config.epc_pages),
-      channel_(config.serial_channel),
+      channel_(config.serial_channel, config.channel),
       bitmap_(config.elrange_pages),
       eviction_(make_eviction_policy(config.eviction, epc_)),
-      next_scan_(costs.scan_period) {
+      next_scan_(costs.scan_period),
+      retry_rng_(config.channel.retry_seed),
+      // UINT64_MAX never collides with an op id (ids count up from 0).
+      completed_ring_(64, UINT64_MAX) {
   SGXPL_CHECK_MSG(config.elrange_pages > 0, "empty ELRANGE");
   SGXPL_CHECK_MSG(config.epc_pages > 0, "empty EPC");
 }
@@ -101,10 +154,12 @@ void Driver::set_metrics(obs::MetricsRegistry* reg) noexcept {
     fault_stall_hist_ = &reg->histogram("driver.fault.stall_cycles");
     sip_stall_hist_ = &reg->histogram("driver.sip.stall_cycles");
     dfp_batch_hist_ = &reg->histogram("driver.dfp.batch_pages");
+    degrade_gauge_ = &reg->gauge("degrade.level");
   } else {
     fault_stall_hist_ = nullptr;
     sip_stall_hist_ = nullptr;
     dfp_batch_hist_ = nullptr;
+    degrade_gauge_ = nullptr;
   }
 }
 
@@ -164,8 +219,13 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
   bool hit_inflight = false;
   const auto pending = channel_.find(page);
   const DemandPolicy dp = config_.demand_policy;
+  // Quarantined tenants lose demand priority too: their loads queue FIFO
+  // behind everyone else's work (the bottom of the degradation ladder).
+  const bool demand_fifo =
+      dp == DemandPolicy::kFifo ||
+      (admission_active() && !tenant(pid).demand_priority());
   if (pending.has_value() &&
-      (pending->start <= after_aex || dp == DemandPolicy::kFifo)) {
+      (pending->start <= after_aex || demand_fifo)) {
     // The page is already being loaded (or is queued and FIFO mode keeps
     // queues intact): a load in progress cannot be preempted, so the
     // handler simply waits for it.
@@ -190,28 +250,38 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
       SGXPL_CHECK_MSG(cancelled, "queued SIP op for page " << page
                                      << " could not be promoted");
     }
-    if (dp == DemandPolicy::kFifo) {
-      load_end = schedule_load(page, after_aex, OpKind::kDemandLoad).end;
+    if (demand_fifo) {
+      load_end =
+          schedule_load(page, after_aex, OpKind::kDemandLoad, pid).end;
     } else {
       load_end =
-          schedule_load_priority(page, after_aex, OpKind::kDemandLoad).end;
+          schedule_load_priority(page, after_aex, OpKind::kDemandLoad, pid)
+              .end;
     }
     ++stats_.demand_loads;
   }
 
   // Consult the preload policy while the fault is being serviced; its
-  // predictions queue up behind the demand load.
+  // predictions queue up behind the demand load (through the admission
+  // layer when a queue bound or the degradation ladder is configured).
   if (policy_ != nullptr) {
     const auto predicted = policy_->on_fault(pid, page, after_aex);
     std::uint64_t scheduled = 0;
+    std::vector<PageNum> shed;
     for (const PageNum p : predicted) {
       if (p >= config_.elrange_pages || page_table_.present(p) ||
           channel_.find(p).has_value()) {
         continue;
       }
-      schedule_load(p, after_aex, OpKind::kDfpPreload);
-      ++stats_.preloads_issued;
-      ++scheduled;
+      if (submit_preload(pid, p, after_aex) == AdmissionResult::kAdmitted) {
+        ++stats_.preloads_issued;
+        ++scheduled;
+      } else {
+        shed.push_back(p);
+      }
+    }
+    if (!shed.empty()) {
+      policy_->on_preloads_shed(shed, after_aex);
     }
     if (dfp_batch_hist_ != nullptr && !predicted.empty()) {
       dfp_batch_hist_->record(scheduled);
@@ -239,12 +309,13 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
     if (const auto op = channel_.find(page)) {
       load_end = op->end;
       ++stats_.fault_wait_hits;
-    } else if (dp == DemandPolicy::kFifo) {
-      load_end = schedule_load(page, retry_at, OpKind::kDemandLoad).end;
+    } else if (demand_fifo) {
+      load_end = schedule_load(page, retry_at, OpKind::kDemandLoad, pid).end;
       ++stats_.demand_loads;
     } else {
       load_end =
-          schedule_load_priority(page, retry_at, OpKind::kDemandLoad).end;
+          schedule_load_priority(page, retry_at, OpKind::kDemandLoad, pid)
+              .end;
       ++stats_.demand_loads;
     }
   }
@@ -333,6 +404,28 @@ void Driver::sip_prefetch(PageNum page, Cycles now) {
   if (page_table_.present(page) || channel_.find(page).has_value()) {
     return;
   }
+  // Prefetches are speculative, so the admission layer may shed them: a
+  // degraded tenant loses prefetch privileges first, and a full bounded
+  // queue rejects them like any other preload-class submission.
+  if (channel_.bounded() || admission_active()) {
+    AdmissionResult r = AdmissionResult::kAdmitted;
+    if (admission_active() && !tenant(ProcessId{0}).prefetches_allowed()) {
+      r = AdmissionResult::kRejectedDegraded;
+    } else if (channel_.full()) {
+      r = AdmissionResult::kRejectedFull;
+      if (admission_active()) {
+        tenant(ProcessId{0}).note_rejected();
+      }
+    }
+    if (r != AdmissionResult::kAdmitted) {
+      ++stats_.preloads_shed;
+      if (log_ != nullptr) {
+        log_->record({.at = now, .type = EventType::kAdmission, .page = page,
+                      .detail = to_string(r)});
+      }
+      return;
+    }
+  }
   // Prefetches queue like preloads (no demand priority); demand faults
   // never flush them — the app explicitly asked for the page.
   if (log_ != nullptr) {
@@ -346,6 +439,9 @@ void Driver::advance_to(Cycles now) {
   if (now < bookkept_until_) {
     now = bookkept_until_;
   }
+  // Hoisted out of the loop: in the default (non-hardened) config every
+  // completion commits directly, with no retry bookkeeping to consult.
+  const bool hard = hardened();
   while (next_scan_ <= now) {
     if (chaos_ != nullptr) {
       // The injector may stall the service thread: the scan slips, so
@@ -360,7 +456,14 @@ void Driver::advance_to(Cycles now) {
       }
     }
     for (const auto& op : channel_.collect_completed(next_scan_)) {
-      commit_load(op);
+      if (!hard || op.kind != OpKind::kDfpPreload) {
+        commit_load(op);
+      } else {
+        deliver_completion(op);
+      }
+    }
+    if (hard) {
+      sweep_lost_ops(next_scan_);
     }
     ++stats_.scans;
     if (log_ != nullptr) {
@@ -377,10 +480,20 @@ void Driver::advance_to(Cycles now) {
       sample_time_series(next_scan_);
     }
     watchdog_tick(next_scan_);
+    if (admission_active()) {
+      admission_windows(next_scan_);
+    }
     next_scan_ += costs_.scan_period;
   }
   for (const auto& op : channel_.collect_completed(now)) {
-    commit_load(op);
+    if (!hard || op.kind != OpKind::kDfpPreload) {
+      commit_load(op);
+    } else {
+      deliver_completion(op);
+    }
+  }
+  if (hard) {
+    sweep_lost_ops(now);
   }
   bookkept_until_ = now;
 }
@@ -405,8 +518,20 @@ void Driver::watchdog_tick(Cycles now) {
 }
 
 Cycles Driver::drain() {
-  const Cycles end = std::max(bookkept_until_, channel_.completion_time());
+  Cycles end = std::max(bookkept_until_, channel_.completion_time());
   advance_to(end);
+  // Hardened mode: lost ops may still be waiting on their deadlines, and
+  // re-issues put fresh work on the channel. Keep advancing past the
+  // furthest deadline/completion until both settle — every lost op exits
+  // within max_retries attempts, so this terminates.
+  while (!lost_ops_.empty() || !channel_.idle(bookkept_until_)) {
+    Cycles next = std::max(bookkept_until_, channel_.completion_time());
+    for (const auto& lo : lost_ops_) {
+      next = std::max(next, lo.deadline);
+    }
+    advance_to(next);
+    end = std::max(end, bookkept_until_);
+  }
   return end;
 }
 
@@ -439,12 +564,14 @@ Cycles Driver::load_duration(OpKind kind, Cycles at) {
 }
 
 const ChannelOp& Driver::schedule_load(PageNum page, Cycles earliest,
-                                       OpKind kind) {
+                                       OpKind kind, ProcessId pid,
+                                       std::uint32_t attempt) {
   // Never schedule into the already-bookkept past (callers may legally
   // pass clocks that lag the driver's horizon, e.g. multi-enclave apps).
   earliest = std::max(earliest, bookkept_until_);
   const auto& op =
-      channel_.schedule(earliest, load_duration(kind, earliest), page, kind);
+      channel_.schedule(earliest, load_duration(kind, earliest), page, kind,
+                        pid, attempt, hardened() ? deadline_slack() : 0);
   if (log_ != nullptr) {
     log_->record({.at = op.start, .type = EventType::kLoadScheduled,
                   .page = page, .aux = op.end, .detail = to_string(kind)});
@@ -453,15 +580,230 @@ const ChannelOp& Driver::schedule_load(PageNum page, Cycles earliest,
 }
 
 const ChannelOp& Driver::schedule_load_priority(PageNum page, Cycles earliest,
-                                                OpKind kind) {
+                                                OpKind kind, ProcessId pid) {
   earliest = std::max(earliest, bookkept_until_);
+  // Backpressure: a demand-class load arriving past the high-water mark
+  // evicts the newest queued preloads — demand is never rejected, preloads
+  // are shed first.
+  if (channel_.bounded() && channel_.queued() >= channel_.high_water()) {
+    std::vector<PageNum> shed;
+    while (channel_.queued() >= channel_.high_water()) {
+      const auto victim = channel_.shed_newest_preload(earliest);
+      if (!victim.has_value()) {
+        break;
+      }
+      shed.push_back(victim->page);
+      ++stats_.queued_preload_evictions;
+      if (log_ != nullptr) {
+        log_->record({.at = earliest, .type = EventType::kAdmission,
+                      .page = victim->page, .detail = "queue-evict"});
+      }
+    }
+    if (!shed.empty() && policy_ != nullptr) {
+      policy_->on_preloads_shed(shed, earliest);
+    }
+  }
   const auto& op = channel_.schedule_priority(
-      earliest, load_duration(kind, earliest), page, kind);
+      earliest, load_duration(kind, earliest), page, kind, pid, 0,
+      hardened() ? deadline_slack() : 0);
   if (log_ != nullptr) {
     log_->record({.at = op.start, .type = EventType::kLoadScheduled,
                   .page = page, .aux = op.end, .detail = to_string(kind)});
   }
   return op;
+}
+
+AdmissionResult Driver::submit_preload(ProcessId pid, PageNum page,
+                                       Cycles earliest) {
+  if (!admission_active() && !channel_.bounded()) {
+    // Seed fast path: no admission layer configured at all.
+    schedule_load(page, earliest, OpKind::kDfpPreload, pid);
+    return AdmissionResult::kAdmitted;
+  }
+  AdmissionResult r = AdmissionResult::kAdmitted;
+  if (admission_active()) {
+    AdmissionController& t = tenant(pid);
+    if (!t.preloads_allowed()) {
+      // Self-inflicted rejection: deliberately NOT window evidence, or a
+      // demoted tenant could never look healthy again.
+      r = AdmissionResult::kRejectedDegraded;
+    } else {
+      const std::size_t quota = t.preload_quota(channel_.config().max_queued);
+      if (quota > 0 && channel_.queued_preloads_for(pid) >= quota) {
+        r = AdmissionResult::kRejectedQuota;
+        t.note_rejected();
+      }
+    }
+  }
+  if (r == AdmissionResult::kAdmitted) {
+    const Cycles at = std::max(earliest, bookkept_until_);
+    const ChannelOp* op = nullptr;
+    r = channel_.try_schedule(at, load_duration(OpKind::kDfpPreload, at), page,
+                              OpKind::kDfpPreload, pid, 0,
+                              hardened() ? deadline_slack() : 0, &op);
+    if (r == AdmissionResult::kAdmitted) {
+      if (admission_active()) {
+        tenant(pid).note_admitted();
+      }
+      if (log_ != nullptr) {
+        log_->record({.at = op->start, .type = EventType::kLoadScheduled,
+                      .page = page, .aux = op->end,
+                      .detail = to_string(OpKind::kDfpPreload)});
+      }
+      return r;
+    }
+    if (admission_active()) {
+      tenant(pid).note_rejected();
+    }
+  }
+  ++stats_.preloads_shed;
+  if (log_ != nullptr) {
+    log_->record({.at = std::max(earliest, bookkept_until_),
+                  .type = EventType::kAdmission, .page = page,
+                  .detail = to_string(r)});
+  }
+  return r;
+}
+
+void Driver::deliver_completion(const ChannelOp& op) {
+  if (!hardened() || op.kind != OpKind::kDfpPreload) {
+    commit_load(op);
+    return;
+  }
+  if (already_completed(op.id)) {
+    // Idempotent suppression of a duplicated completion: the op already
+    // committed, so this delivery must change neither residency nor stats.
+    ++stats_.duplicate_completions;
+    if (log_ != nullptr) {
+      log_->record({.at = op.end, .type = EventType::kRetry, .page = op.page,
+                    .detail = "duplicate"});
+    }
+    return;
+  }
+  if (chaos_ != nullptr && chaos_->drop_preload_completion(op.page, op.end)) {
+    // Hardened reinterpretation of the drop class: the worker crashed
+    // between the ELDU and publishing the mapping, so the load's effects
+    // are lost entirely (channel time was still spent). The retry sweep
+    // owns the op from here — nothing is lost silently.
+    chaos_dirty_ = true;
+    channel_busy_total_ += op.end - op.start;
+    ++stats_.lost_completions;
+    lost_ops_.push_back(LostOp{.id = op.id, .page = op.page, .pid = op.pid,
+                               .attempt = op.attempt,
+                               .deadline = op.deadline});
+    if (log_ != nullptr) {
+      log_->record({.at = op.end, .type = EventType::kRetry, .page = op.page,
+                    .detail = "lost"});
+    }
+    return;
+  }
+  commit_load(op);
+  note_completed(op.id);
+  if (chaos_ != nullptr &&
+      chaos_->duplicate_preload_completion(op.page, op.end)) {
+    chaos_dirty_ = true;
+    deliver_completion(op);  // second delivery; the id ring suppresses it
+  }
+}
+
+void Driver::sweep_lost_ops(Cycles now) {
+  if (lost_ops_.empty()) {
+    return;
+  }
+  std::vector<LostOp> keep;
+  keep.reserve(lost_ops_.size());
+  for (const LostOp& lo : lost_ops_) {
+    if (lo.deadline > now) {
+      keep.push_back(lo);
+      continue;
+    }
+    if (page_table_.present(lo.page) || channel_.find(lo.page).has_value()) {
+      // Another load (demand fault, fresh prediction) made the retry moot.
+      ++stats_.retries_resolved;
+      continue;
+    }
+    if (lo.attempt >= config_.channel.max_retries) {
+      ++stats_.permanent_faults;
+      if (admission_active()) {
+        tenant(lo.pid).note_permanent();
+      }
+      if (log_ != nullptr) {
+        log_->record({.at = now, .type = EventType::kRetry, .page = lo.page,
+                      .detail = "permanent"});
+      }
+      if (policy_ != nullptr) {
+        policy_->on_preloads_aborted({lo.page}, now);
+      }
+      continue;
+    }
+    // Capped exponential backoff, jittered from the dedicated retry stream.
+    const Cycles base = retry_backoff_base();
+    const Cycles backoff = base << std::min<std::uint32_t>(lo.attempt, 6);
+    const Cycles jitter = retry_rng_.bounded(base / 2 + 1);
+    const Cycles at = now + backoff + jitter;
+    if (channel_.full()) {
+      // No slot: the attempt is consumed and the op waits out the backoff.
+      LostOp deferred = lo;
+      deferred.attempt += 1;
+      deferred.deadline = at;
+      keep.push_back(deferred);
+      continue;
+    }
+    schedule_load(lo.page, at, OpKind::kDfpPreload, lo.pid, lo.attempt + 1);
+    ++stats_.retries;
+    if (admission_active()) {
+      tenant(lo.pid).note_retry();
+    }
+    if (log_ != nullptr) {
+      log_->record({.at = now, .type = EventType::kRetry, .page = lo.page,
+                    .detail = "reissue"});
+    }
+  }
+  lost_ops_.swap(keep);
+}
+
+void Driver::admission_windows(Cycles now) {
+  int worst = 0;
+  for (std::size_t pid = 0; pid < tenants_.size(); ++pid) {
+    AdmissionController& t = tenants_[pid];
+    const int delta = t.on_window();
+    if (delta < 0) {
+      ++stats_.degrade_demotions;
+    } else if (delta > 0) {
+      ++stats_.degrade_promotions;
+    }
+    if (delta != 0 && log_ != nullptr) {
+      log_->record({.at = now, .type = EventType::kDegrade,
+                    .page = static_cast<PageNum>(pid),
+                    .detail = to_string(t.level())});
+    }
+    worst = std::max(worst, static_cast<int>(t.level()));
+  }
+  if (degrade_gauge_ != nullptr) {
+    degrade_gauge_->set(worst);
+  }
+}
+
+AdmissionController& Driver::tenant(ProcessId pid) {
+  if (tenants_.size() <= pid) {
+    tenants_.resize(pid + 1, AdmissionController(config_.admission));
+  }
+  return tenants_[pid];
+}
+
+DegradeLevel Driver::degrade_level(ProcessId pid) const noexcept {
+  return pid < tenants_.size() ? tenants_[pid].level()
+                               : DegradeLevel::kFullPreload;
+}
+
+bool Driver::already_completed(std::uint64_t op_id) const noexcept {
+  return std::find(completed_ring_.begin(), completed_ring_.end(), op_id) !=
+         completed_ring_.end();
+}
+
+void Driver::note_completed(std::uint64_t op_id) {
+  completed_ring_[completed_pos_] = op_id;
+  completed_pos_ = (completed_pos_ + 1) % completed_ring_.size();
 }
 
 void Driver::sample_time_series(Cycles now) {
@@ -550,20 +892,28 @@ void Driver::commit_load(const ChannelOp& op) {
   if (op.kind == OpKind::kDfpPreload) {
     ++stats_.preloads_completed;
     if (policy_ != nullptr) {
-      // The kernel worker's completion notification is the one DFP input
-      // chaos can drop or duplicate: the page is resident either way, only
-      // the policy's bookkeeping goes stale (and must tolerate it).
-      const bool drop =
-          chaos_ != nullptr && chaos_->drop_preload_completion(op.page, op.end);
-      if (!drop) {
+      if (hardened()) {
+        // Drop/dup were already resolved in deliver_completion: a dropped
+        // op never reaches here and a duplicated one commits exactly once,
+        // so the policy sees exactly one notification per landed preload.
         policy_->on_preload_completed(op.page, op.end);
-        if (chaos_ != nullptr &&
-            chaos_->duplicate_preload_completion(op.page, op.end)) {
-          chaos_dirty_ = true;
-          policy_->on_preload_completed(op.page, op.end);
-        }
       } else {
-        chaos_dirty_ = true;
+        // Seed semantics: the kernel worker's completion notification is
+        // the one DFP input chaos can drop or duplicate — the page is
+        // resident either way, only the policy's bookkeeping goes stale
+        // (and must tolerate it).
+        const bool drop = chaos_ != nullptr &&
+                          chaos_->drop_preload_completion(op.page, op.end);
+        if (!drop) {
+          policy_->on_preload_completed(op.page, op.end);
+          if (chaos_ != nullptr &&
+              chaos_->duplicate_preload_completion(op.page, op.end)) {
+            chaos_dirty_ = true;
+            policy_->on_preload_completed(op.page, op.end);
+          }
+        } else {
+          chaos_dirty_ = true;
+        }
       }
     }
   }
@@ -628,6 +978,15 @@ void DriverStats::save(snapshot::Writer& w) const {
   w.u64("stats.watchdog_checks", watchdog_checks);
   w.u64("stats.bitmap_lies", bitmap_lies);
   w.u64("stats.squeeze_evictions", squeeze_evictions);
+  w.u64("stats.preloads_shed", preloads_shed);
+  w.u64("stats.queued_preload_evictions", queued_preload_evictions);
+  w.u64("stats.lost_completions", lost_completions);
+  w.u64("stats.retries", retries);
+  w.u64("stats.retries_resolved", retries_resolved);
+  w.u64("stats.permanent_faults", permanent_faults);
+  w.u64("stats.duplicate_completions", duplicate_completions);
+  w.u64("stats.degrade_demotions", degrade_demotions);
+  w.u64("stats.degrade_promotions", degrade_promotions);
   w.u64("stats.fault_stall_cycles", fault_stall_cycles);
   w.u64("stats.sip_stall_cycles", sip_stall_cycles);
 }
@@ -651,6 +1010,15 @@ void DriverStats::load(snapshot::Reader& r) {
   watchdog_checks = r.u64("stats.watchdog_checks");
   bitmap_lies = r.u64("stats.bitmap_lies");
   squeeze_evictions = r.u64("stats.squeeze_evictions");
+  preloads_shed = r.u64("stats.preloads_shed");
+  queued_preload_evictions = r.u64("stats.queued_preload_evictions");
+  lost_completions = r.u64("stats.lost_completions");
+  retries = r.u64("stats.retries");
+  retries_resolved = r.u64("stats.retries_resolved");
+  permanent_faults = r.u64("stats.permanent_faults");
+  duplicate_completions = r.u64("stats.duplicate_completions");
+  degrade_demotions = r.u64("stats.degrade_demotions");
+  degrade_promotions = r.u64("stats.degrade_promotions");
   fault_stall_cycles = r.u64("stats.fault_stall_cycles");
   sip_stall_cycles = r.u64("stats.sip_stall_cycles");
 }
@@ -667,6 +1035,33 @@ void Driver::save(snapshot::Writer& w) const {
   w.u64("driver.ts_last_faults", ts_last_faults_);
   w.u64("driver.ts_last_preloads_used", ts_last_preloads_used_);
   w.u64("driver.ts_last_preloads_completed", ts_last_preloads_completed_);
+  // --- overload-hardening state (retry sweep, dup ring, ladder) ---
+  w.boolean("driver.hardened", hardened());
+  w.boolean("driver.admission", admission_active());
+  w.u64_vec("driver.retry_rng",
+            std::vector<std::uint64_t>(retry_rng_.state().begin(),
+                                       retry_rng_.state().end()));
+  std::vector<std::uint64_t> lost_ids, lost_pages, lost_pids, lost_attempts,
+      lost_deadlines;
+  lost_ids.reserve(lost_ops_.size());
+  for (const auto& lo : lost_ops_) {
+    lost_ids.push_back(lo.id);
+    lost_pages.push_back(lo.page);
+    lost_pids.push_back(lo.pid);
+    lost_attempts.push_back(lo.attempt);
+    lost_deadlines.push_back(lo.deadline);
+  }
+  w.u64_vec("driver.lost_ids", lost_ids);
+  w.u64_vec("driver.lost_pages", lost_pages);
+  w.u64_vec("driver.lost_pids", lost_pids);
+  w.u64_vec("driver.lost_attempts", lost_attempts);
+  w.u64_vec("driver.lost_deadlines", lost_deadlines);
+  w.u64_vec("driver.completed_ring", completed_ring_);
+  w.u64("driver.completed_pos", completed_pos_);
+  w.u64("driver.tenants", tenants_.size());
+  for (const auto& t : tenants_) {
+    t.save(w);
+  }
   stats_.save(w);
   page_table_.save(w);
   epc_.save(w);
@@ -692,6 +1087,49 @@ void Driver::load(snapshot::Reader& r) {
   ts_last_faults_ = r.u64("driver.ts_last_faults");
   ts_last_preloads_used_ = r.u64("driver.ts_last_preloads_used");
   ts_last_preloads_completed_ = r.u64("driver.ts_last_preloads_completed");
+  const bool was_hardened = r.boolean("driver.hardened");
+  SGXPL_CHECK_MSG(was_hardened == hardened(),
+                  "snapshot retry hardening does not match this driver");
+  const bool had_admission = r.boolean("driver.admission");
+  SGXPL_CHECK_MSG(had_admission == admission_active(),
+                  "snapshot admission control does not match this driver");
+  const std::vector<std::uint64_t> rng_state = r.u64_vec("driver.retry_rng");
+  SGXPL_CHECK_MSG(rng_state.size() == 4,
+                  "snapshot retry-rng state has " << rng_state.size()
+                                                  << " words, want 4");
+  retry_rng_.set_state(
+      {rng_state[0], rng_state[1], rng_state[2], rng_state[3]});
+  const std::vector<std::uint64_t> lost_ids = r.u64_vec("driver.lost_ids");
+  const std::vector<std::uint64_t> lost_pages = r.u64_vec("driver.lost_pages");
+  const std::vector<std::uint64_t> lost_pids = r.u64_vec("driver.lost_pids");
+  const std::vector<std::uint64_t> lost_attempts =
+      r.u64_vec("driver.lost_attempts");
+  const std::vector<std::uint64_t> lost_deadlines =
+      r.u64_vec("driver.lost_deadlines");
+  SGXPL_CHECK_MSG(lost_ids.size() == lost_pages.size() &&
+                      lost_ids.size() == lost_pids.size() &&
+                      lost_ids.size() == lost_attempts.size() &&
+                      lost_ids.size() == lost_deadlines.size(),
+                  "snapshot lost-op columns are misaligned");
+  lost_ops_.clear();
+  for (std::size_t i = 0; i < lost_ids.size(); ++i) {
+    lost_ops_.push_back(
+        LostOp{.id = lost_ids[i], .page = lost_pages[i],
+               .pid = static_cast<ProcessId>(lost_pids[i]),
+               .attempt = static_cast<std::uint32_t>(lost_attempts[i]),
+               .deadline = lost_deadlines[i]});
+  }
+  completed_ring_ = r.u64_vec("driver.completed_ring");
+  SGXPL_CHECK_MSG(!completed_ring_.empty(),
+                  "snapshot completed-op ring is empty");
+  completed_pos_ = r.u64("driver.completed_pos");
+  SGXPL_CHECK_MSG(completed_pos_ < completed_ring_.size(),
+                  "snapshot completed-op ring cursor out of range");
+  const std::uint64_t tenant_count = r.u64("driver.tenants");
+  tenants_.assign(tenant_count, AdmissionController(config_.admission));
+  for (auto& t : tenants_) {
+    t.load(r);
+  }
   stats_.load(r);
   page_table_.load(r);
   epc_.load(r);

@@ -16,10 +16,14 @@
 #include <optional>
 #include <string_view>
 
+#include <vector>
+
+#include "common/rng.h"
 #include "common/types.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/time_series.h"
+#include "sgxsim/admission.h"
 #include "sgxsim/backing_store.h"
 #include "sgxsim/bitmap.h"
 #include "sgxsim/chaos_hooks.h"
@@ -69,7 +73,19 @@ struct EnclaveConfig {
   /// and at every chaos-injection boundary (0 = off). Each sweep is
   /// O(ELRANGE); meant for chaos runs and tests, not performance runs.
   std::uint64_t watchdog_scan_interval = 0;
+  /// Overload hardening: queue bound, op deadlines, lost-completion retry.
+  /// Defaults (unbounded, retries off) reproduce the seed behavior.
+  ChannelConfig channel;
+  /// Per-tenant admission control / degradation ladder (default off).
+  AdmissionParams admission;
 };
+
+/// Compact textual fingerprint of the overload-hardening configuration
+/// (channel bound/retry knobs + admission params). Empty for the seed
+/// defaults. Part of the snapshot identity: a snapshot taken under one
+/// hardening config must not restore into a run with another, since the
+/// retry/admission state it carries (or lacks) would not match.
+std::string overload_spec(const EnclaveConfig& cfg);
 
 struct DriverStats {
   std::uint64_t accesses = 0;
@@ -90,6 +106,17 @@ struct DriverStats {
   std::uint64_t watchdog_checks = 0;    // online invariant sweeps run
   std::uint64_t bitmap_lies = 0;        // SIP bitmap reads the chaos layer faked
   std::uint64_t squeeze_evictions = 0;  // evictions forced by an EPC squeeze
+  // --- overload hardening (all zero unless a channel bound, retries, or
+  // admission control are configured; see docs/ROBUSTNESS.md) ---
+  std::uint64_t preloads_shed = 0;      // predictions rejected by admission
+  std::uint64_t queued_preload_evictions = 0;  // shed for a demand load
+  std::uint64_t lost_completions = 0;   // completions the sweep declared lost
+  std::uint64_t retries = 0;            // lost ops re-issued
+  std::uint64_t retries_resolved = 0;   // lost ops made moot by another load
+  std::uint64_t permanent_faults = 0;   // lost ops past max_retries
+  std::uint64_t duplicate_completions = 0;  // idempotently suppressed dups
+  std::uint64_t degrade_demotions = 0;  // tenant ladder steps down
+  std::uint64_t degrade_promotions = 0; // tenant ladder steps up
   /// Cycles the app spent stalled on fault handling (AEX+wait+ERESUME).
   Cycles fault_stall_cycles = 0;
   /// Cycles the app spent stalled inside SIP page_loadin calls.
@@ -176,6 +203,14 @@ class Driver {
   /// online watchdog (EnclaveConfig::watchdog_scan_interval).
   void check_invariants() const;
 
+  /// Lost-completion entries awaiting the retry sweep (hardened mode only;
+  /// always empty otherwise). drain() settles these too.
+  std::size_t pending_lost_ops() const noexcept { return lost_ops_.size(); }
+
+  /// `pid`'s position on the degradation ladder (kFullPreload when
+  /// admission control is off or the tenant has never been seen).
+  DegradeLevel degrade_level(ProcessId pid) const noexcept;
+
   /// Attach a chaos fault injector (not owned; nullptr detaches). Hooks
   /// perturb channel timing, bitmap reads, completion notifications, scan
   /// scheduling, and effective EPC capacity — never the driver's
@@ -225,14 +260,54 @@ class Driver {
   void watchdog_tick(Cycles now);
 
   /// Schedule a load of `page` on the channel no earlier than `earliest`.
-  const ChannelOp& schedule_load(PageNum page, Cycles earliest, OpKind kind);
+  const ChannelOp& schedule_load(PageNum page, Cycles earliest, OpKind kind,
+                                 ProcessId pid = 0, std::uint32_t attempt = 0);
 
-  /// Schedule with priority over queued preloads (demand/SIP loads).
+  /// Schedule with priority over queued preloads (demand/SIP loads). On a
+  /// bounded channel, first sheds the newest queued preloads down to the
+  /// high-water mark to make room.
   const ChannelOp& schedule_load_priority(PageNum page, Cycles earliest,
-                                          OpKind kind);
+                                          OpKind kind, ProcessId pid = 0);
+
+  /// Admission-controlled preload submission: degradation-level gate, then
+  /// per-tenant quota, then the channel's own queue bound (try_schedule).
+  /// Sheds (and accounts) instead of scheduling on any rejection.
+  AdmissionResult submit_preload(ProcessId pid, PageNum page, Cycles earliest);
 
   /// Flush queued (not-started) DFP preloads, notifying the policy.
   void flush_queued_preloads(Cycles now);
+
+  /// Route a harvested channel op: in hardened mode, recognizes duplicated
+  /// completions (idempotent no-op) and dropped completions (the op's
+  /// effects are lost; it joins the retry sweep) before committing. The
+  /// default mode commits directly — bit-identical to the seed.
+  void deliver_completion(const ChannelOp& op);
+
+  /// Retry sweep (hardened mode): every lost op past its deadline is
+  /// resolved (page arrived by other means), re-issued with capped
+  /// exponential backoff + jitter, or surfaced as a permanent fault after
+  /// max_retries. Piggybacks on scan ticks and advance_to boundaries.
+  void sweep_lost_ops(Cycles now);
+
+  /// Close each tenant's admission window on a scan tick; ladder
+  /// transitions are logged and counted here.
+  void admission_windows(Cycles now);
+
+  bool hardened() const noexcept { return config_.channel.max_retries > 0; }
+  bool admission_active() const noexcept { return config_.admission.enabled; }
+  Cycles deadline_slack() const noexcept {
+    return config_.channel.deadline_slack > 0 ? config_.channel.deadline_slack
+                                              : 4 * costs_.epc_load;
+  }
+  Cycles retry_backoff_base() const noexcept {
+    return config_.channel.retry_backoff > 0 ? config_.channel.retry_backoff
+                                             : costs_.epc_load;
+  }
+  /// Lazily grown per-tenant controller (admission_active() only).
+  AdmissionController& tenant(ProcessId pid);
+  /// Has this preload-op id already been committed? (dup suppression)
+  bool already_completed(std::uint64_t op_id) const noexcept;
+  void note_completed(std::uint64_t op_id);
 
   /// Apply a completed channel op: evict a victim if needed, map the page.
   void commit_load(const ChannelOp& op);
@@ -263,11 +338,32 @@ class Driver {
   /// sweeps run at the next bookkeeping point, not mid-operation).
   bool chaos_dirty_ = false;
 
+  // --- overload hardening (inert in the default configuration) ---
+  /// A preload whose completion was dropped: the load's effects never
+  /// reached the page table and the sweep owns its fate.
+  struct LostOp {
+    std::uint64_t id = 0;
+    PageNum page = kInvalidPage;
+    ProcessId pid = 0;
+    std::uint32_t attempt = 0;
+    Cycles deadline = 0;
+  };
+  std::vector<LostOp> lost_ops_;
+  /// Dedicated jitter stream for retry backoff — separate from the chaos
+  /// streams so enabling retries never perturbs an injection schedule.
+  Rng retry_rng_;
+  /// Ring of recently committed preload-op ids (duplicate suppression).
+  std::vector<std::uint64_t> completed_ring_;
+  std::size_t completed_pos_ = 0;
+  /// Per-tenant ladder controllers, indexed by ProcessId, grown lazily.
+  std::vector<AdmissionController> tenants_;
+
   // --- observability (all null/zero when disabled) ---
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
   obs::Histogram* fault_stall_hist_ = nullptr;
   obs::Histogram* sip_stall_hist_ = nullptr;
   obs::Histogram* dfp_batch_hist_ = nullptr;
+  obs::Gauge* degrade_gauge_ = nullptr;  // worst tenant ladder level
   obs::TimeSeriesSet* series_ = nullptr;  // not owned; may be null
   /// Total channel-busy cycles committed so far (for windowed utilization).
   Cycles channel_busy_total_ = 0;

@@ -29,8 +29,36 @@ std::optional<OpKind> parse_op_kind(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+const char* to_string(AdmissionResult r) noexcept {
+  switch (r) {
+    case AdmissionResult::kAdmitted:
+      return "admitted";
+    case AdmissionResult::kRejectedFull:
+      return "rejected-full";
+    case AdmissionResult::kRejectedQuota:
+      return "rejected-quota";
+    case AdmissionResult::kRejectedDegraded:
+      return "rejected-degraded";
+  }
+  return "?";
+}
+
+std::optional<AdmissionResult> parse_admission_result(
+    std::string_view name) noexcept {
+  for (const AdmissionResult r :
+       {AdmissionResult::kAdmitted, AdmissionResult::kRejectedFull,
+        AdmissionResult::kRejectedQuota, AdmissionResult::kRejectedDegraded}) {
+    if (name == to_string(r)) {
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
 const ChannelOp& PagingChannel::schedule(Cycles earliest, Cycles duration,
-                                         PageNum page, OpKind kind) {
+                                         PageNum page, OpKind kind,
+                                         ProcessId pid, std::uint32_t attempt,
+                                         Cycles deadline_slack) {
   SGXPL_CHECK_MSG(duration > 0, "zero-length channel op");
   SGXPL_DCHECK(!find(page).has_value());
   ChannelOp op;
@@ -39,17 +67,21 @@ const ChannelOp& PagingChannel::schedule(Cycles earliest, Cycles duration,
   op.kind = kind;
   op.start = next_free(earliest);
   op.end = op.start + duration;
+  op.deadline = op.end + deadline_slack;
+  op.attempt = attempt;
+  op.pid = pid;
   queue_.push_back(op);
   return queue_.back();
 }
 
-const ChannelOp& PagingChannel::schedule_priority(Cycles earliest,
-                                                  Cycles duration,
-                                                  PageNum page, OpKind kind) {
+const ChannelOp& PagingChannel::schedule_priority(
+    Cycles earliest, Cycles duration, PageNum page, OpKind kind, ProcessId pid,
+    std::uint32_t attempt, Cycles deadline_slack) {
   SGXPL_CHECK_MSG(duration > 0, "zero-length channel op");
   SGXPL_DCHECK(!find(page).has_value());
   if (!serial_) {
-    return schedule(earliest, duration, page, kind);
+    return schedule(earliest, duration, page, kind, pid, attempt,
+                    deadline_slack);
   }
   // Find the insertion point: after every op already started by `earliest`.
   auto it = queue_.begin();
@@ -64,9 +96,45 @@ const ChannelOp& PagingChannel::schedule_priority(Cycles earliest,
   op.kind = kind;
   op.start = std::max(earliest, prev_end);
   op.end = op.start + duration;
+  op.deadline = op.end + deadline_slack;
+  op.attempt = attempt;
+  op.pid = pid;
   it = queue_.insert(it, op);
   repack(earliest);
   return *it;
+}
+
+AdmissionResult PagingChannel::try_schedule(Cycles earliest, Cycles duration,
+                                            PageNum page, OpKind kind,
+                                            ProcessId pid,
+                                            std::uint32_t attempt,
+                                            Cycles deadline_slack,
+                                            const ChannelOp** out) {
+  if (full()) {
+    ++rejected_;
+    return AdmissionResult::kRejectedFull;
+  }
+  const ChannelOp& op =
+      schedule(earliest, duration, page, kind, pid, attempt, deadline_slack);
+  if (out != nullptr) {
+    *out = &op;
+  }
+  return AdmissionResult::kAdmitted;
+}
+
+std::optional<ChannelOp> PagingChannel::shed_newest_preload(Cycles now) {
+  for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+    if (it->kind == OpKind::kDfpPreload && it->start > now) {
+      const ChannelOp op = *it;
+      queue_.erase(std::next(it).base());
+      ++shed_;
+      if (serial_) {
+        repack(now);
+      }
+      return op;
+    }
+  }
+  return std::nullopt;
 }
 
 void PagingChannel::repack(Cycles now) {
@@ -74,11 +142,23 @@ void PagingChannel::repack(Cycles now) {
   for (auto& op : queue_) {
     if (op.start > now) {
       const Cycles dur = op.end - op.start;
+      const Cycles slack = op.deadline - op.end;  // deadline rides the end
       op.start = std::max(now, prev_end);
       op.end = op.start + dur;
+      op.deadline = op.end + slack;
     }
     prev_end = op.end;
   }
+}
+
+std::size_t PagingChannel::queued_preloads_for(ProcessId pid) const noexcept {
+  std::size_t n = 0;
+  for (const auto& op : queue_) {
+    if (op.kind == OpKind::kDfpPreload && op.pid == pid) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 Cycles PagingChannel::next_free(Cycles earliest) const noexcept {
@@ -88,11 +168,11 @@ Cycles PagingChannel::next_free(Cycles earliest) const noexcept {
   return std::max(earliest, queue_.back().end);
 }
 
-std::vector<ChannelOp> PagingChannel::collect_completed(Cycles now) {
-  std::vector<ChannelOp> done;
+const std::vector<ChannelOp>& PagingChannel::collect_completed(Cycles now) {
+  completed_.clear();
   if (serial_) {
     while (!queue_.empty() && queue_.front().end <= now) {
-      done.push_back(queue_.front());
+      completed_.push_back(queue_.front());
       queue_.pop_front();
     }
   } else {
@@ -100,18 +180,18 @@ std::vector<ChannelOp> PagingChannel::collect_completed(Cycles now) {
     auto it = queue_.begin();
     while (it != queue_.end()) {
       if (it->end <= now) {
-        done.push_back(*it);
+        completed_.push_back(*it);
         it = queue_.erase(it);
       } else {
         ++it;
       }
     }
-    std::sort(done.begin(), done.end(),
+    std::sort(completed_.begin(), completed_.end(),
               [](const ChannelOp& a, const ChannelOp& b) {
                 return a.end < b.end || (a.end == b.end && a.id < b.id);
               });
   }
-  return done;
+  return completed_;
 }
 
 std::vector<ChannelOp> PagingChannel::abort_not_started(
@@ -197,9 +277,13 @@ bool PagingChannel::idle(Cycles now) const noexcept {
 
 void PagingChannel::save(snapshot::Writer& w) const {
   w.boolean("channel.serial", serial_);
+  w.u64("channel.max_queued", config_.max_queued);
   w.u64("channel.next_id", next_id_);
   w.u64("channel.aborted", aborted_);
-  std::vector<std::uint64_t> ids, pages, kinds, starts, ends;
+  w.u64("channel.rejected", rejected_);
+  w.u64("channel.shed", shed_);
+  std::vector<std::uint64_t> ids, pages, kinds, starts, ends, deadlines,
+      attempts, pids;
   ids.reserve(queue_.size());
   for (const auto& op : queue_) {
     ids.push_back(op.id);
@@ -207,27 +291,48 @@ void PagingChannel::save(snapshot::Writer& w) const {
     kinds.push_back(static_cast<std::uint64_t>(op.kind));
     starts.push_back(op.start);
     ends.push_back(op.end);
+    deadlines.push_back(op.deadline);
+    attempts.push_back(op.attempt);
+    pids.push_back(op.pid);
   }
   w.u64_vec("channel.op_ids", ids);
   w.u64_vec("channel.op_pages", pages);
   w.u64_vec("channel.op_kinds", kinds);
   w.u64_vec("channel.op_starts", starts);
   w.u64_vec("channel.op_ends", ends);
+  w.u64_vec("channel.op_deadlines", deadlines);
+  w.u64_vec("channel.op_attempts", attempts);
+  w.u64_vec("channel.op_pids", pids);
 }
 
 void PagingChannel::load(snapshot::Reader& r) {
   const bool serial = r.boolean("channel.serial");
   SGXPL_CHECK_MSG(serial == serial_,
                   "snapshot channel serial-ness does not match this channel");
+  const std::uint64_t max_queued = r.u64("channel.max_queued");
+  SGXPL_CHECK_MSG(max_queued == config_.max_queued,
+                  "snapshot channel queue bound "
+                      << max_queued << " does not match this channel's "
+                      << config_.max_queued);
   next_id_ = r.u64("channel.next_id");
   aborted_ = r.u64("channel.aborted");
+  rejected_ = r.u64("channel.rejected");
+  shed_ = r.u64("channel.shed");
   const std::vector<std::uint64_t> ids = r.u64_vec("channel.op_ids");
   const std::vector<std::uint64_t> pages = r.u64_vec("channel.op_pages");
   const std::vector<std::uint64_t> kinds = r.u64_vec("channel.op_kinds");
   const std::vector<std::uint64_t> starts = r.u64_vec("channel.op_starts");
   const std::vector<std::uint64_t> ends = r.u64_vec("channel.op_ends");
+  const std::vector<std::uint64_t> deadlines =
+      r.u64_vec("channel.op_deadlines");
+  const std::vector<std::uint64_t> attempts = r.u64_vec("channel.op_attempts");
+  const std::vector<std::uint64_t> pids = r.u64_vec("channel.op_pids");
   SGXPL_CHECK_MSG(ids.size() == pages.size() && ids.size() == kinds.size() &&
-                      ids.size() == starts.size() && ids.size() == ends.size(),
+                      ids.size() == starts.size() &&
+                      ids.size() == ends.size() &&
+                      ids.size() == deadlines.size() &&
+                      ids.size() == attempts.size() &&
+                      ids.size() == pids.size(),
                   "snapshot channel op columns are misaligned");
   queue_.clear();
   for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -240,6 +345,9 @@ void PagingChannel::load(snapshot::Reader& r) {
     op.kind = static_cast<OpKind>(kinds[i]);
     op.start = starts[i];
     op.end = ends[i];
+    op.deadline = deadlines[i];
+    op.attempt = static_cast<std::uint32_t>(attempts[i]);
+    op.pid = static_cast<ProcessId>(pids[i]);
     queue_.push_back(op);
   }
 }

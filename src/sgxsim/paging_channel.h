@@ -8,6 +8,14 @@
 // scheduled back-to-back in virtual time; an op whose start time has passed
 // is in-flight and immovable; ops that have not started yet can be aborted
 // (how DFP cancels the rest of a mispredicted stream).
+//
+// The channel can additionally be bounded (ChannelConfig::max_queued):
+// preload-class submissions then go through try_schedule(), which rejects
+// with a typed AdmissionResult instead of growing the queue without limit.
+// Demand loads are never rejected — the driver sheds queued preloads to make
+// room for them instead (see Driver and docs/ROBUSTNESS.md). The default
+// config (max_queued = 0 = unbounded, retries off) reproduces the seed
+// behavior bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -32,12 +40,62 @@ const char* to_string(OpKind kind) noexcept;
 /// Inverse of to_string (exact spelling); nullopt for unknown names.
 std::optional<OpKind> parse_op_kind(std::string_view name) noexcept;
 
+/// Outcome of an admission-controlled submission. Only kRejectedFull is
+/// produced by the channel itself; the driver's per-tenant admission layer
+/// adds the quota and degradation rejections before the channel is asked.
+enum class AdmissionResult : std::uint8_t {
+  kAdmitted,          // op was scheduled
+  kRejectedFull,      // bounded queue is at max_queued
+  kRejectedQuota,     // tenant exhausted its per-enclave preload quota
+  kRejectedDegraded,  // tenant's degradation level forbids this op class
+};
+
+const char* to_string(AdmissionResult r) noexcept;
+
+/// Inverse of to_string (exact spelling); nullopt for unknown names.
+std::optional<AdmissionResult> parse_admission_result(
+    std::string_view name) noexcept;
+
+/// Overload-hardening knobs. All defaults preserve the seed behavior
+/// bit-for-bit: unbounded queue, no deadlines acted upon, no retries.
+struct ChannelConfig {
+  /// Maximum queued + in-flight ops; 0 = unbounded (seed behavior).
+  /// Applies only to try_schedule() — demand loads bypass the bound.
+  std::size_t max_queued = 0;
+  /// Once a demand load arrives and the queue holds at least this many
+  /// ops, the driver sheds the newest queued preloads down to it; 0 means
+  /// "use max_queued" (shed only when completely full).
+  std::size_t preload_high_water = 0;
+  /// How often a lost (dropped-completion / deadline-expired) preload is
+  /// re-issued before being surfaced as a permanent fault. 0 disables the
+  /// whole detection/retry machinery (seed behavior: a dropped completion
+  /// only skews the policy's accounting; see Driver::commit_load).
+  std::uint32_t max_retries = 0;
+  /// Base cycles of the capped exponential retry backoff; 0 = the cost
+  /// model's epc_load.
+  Cycles retry_backoff = 0;
+  /// Grace period past an op's scheduled end before the sweep declares its
+  /// completion lost; 0 = 4x the cost model's epc_load.
+  Cycles deadline_slack = 0;
+  /// Seed of the driver's dedicated retry-jitter Rng stream (kept separate
+  /// from the chaos streams so enabling retries never perturbs the chaos
+  /// schedule).
+  std::uint64_t retry_seed = 0x5eed;
+};
+
 struct ChannelOp {
   std::uint64_t id = 0;
   PageNum page = kInvalidPage;
   OpKind kind = OpKind::kDemandLoad;
   Cycles start = 0;
   Cycles end = 0;
+  /// Completion-lost cutoff: end + deadline slack, maintained across
+  /// repacks (the slack is invariant, the absolute time slides with end).
+  Cycles deadline = 0;
+  /// Retry generation: 0 for a first issue, n for the n-th re-issue.
+  std::uint32_t attempt = 0;
+  /// Submitting tenant; 0 outside multi-enclave runs.
+  ProcessId pid = 0;
 };
 
 class PagingChannel {
@@ -45,13 +103,18 @@ class PagingChannel {
   /// `serial` models the real hardware (one op at a time). Setting it false
   /// gives an idealized infinitely-parallel channel, used only by the
   /// channel-contention ablation bench.
-  explicit PagingChannel(bool serial = true) : serial_(serial) {}
+  explicit PagingChannel(bool serial = true, ChannelConfig config = {})
+      : serial_(serial), config_(config) {}
 
   /// Schedule an op of `duration` cycles to run no earlier than `earliest`.
   /// On the serial channel it starts when the last queued op ends (if
-  /// later). Returns the scheduled op.
+  /// later). Returns the scheduled op. `deadline_slack` sets op.deadline =
+  /// op.end + slack; `pid`/`attempt` tag the op for admission and retry
+  /// bookkeeping. Ignores the queue bound (demand-class path).
   const ChannelOp& schedule(Cycles earliest, Cycles duration, PageNum page,
-                            OpKind kind);
+                            OpKind kind, ProcessId pid = 0,
+                            std::uint32_t attempt = 0,
+                            Cycles deadline_slack = 0);
 
   /// Schedule with priority: the op is inserted directly after whatever is
   /// in flight at `earliest` (which cannot be preempted), ahead of queued
@@ -59,13 +122,34 @@ class PagingChannel {
   /// a blocking SIP request overtakes queued asynchronous preloads without
   /// cancelling them.
   const ChannelOp& schedule_priority(Cycles earliest, Cycles duration,
-                                     PageNum page, OpKind kind);
+                                     PageNum page, OpKind kind,
+                                     ProcessId pid = 0,
+                                     std::uint32_t attempt = 0,
+                                     Cycles deadline_slack = 0);
+
+  /// Admission-controlled submission for preload-class ops: rejects with
+  /// kRejectedFull (scheduling nothing) when the bounded queue is at
+  /// capacity, otherwise behaves exactly like schedule(). `out`, when
+  /// non-null, receives the scheduled op on admission.
+  AdmissionResult try_schedule(Cycles earliest, Cycles duration, PageNum page,
+                               OpKind kind, ProcessId pid = 0,
+                               std::uint32_t attempt = 0,
+                               Cycles deadline_slack = 0,
+                               const ChannelOp** out = nullptr);
+
+  /// Remove the newest not-yet-started kDfpPreload (how a demand load
+  /// reclaims a slot past the high-water mark). Returns the removed op, or
+  /// nullopt when no preload is sheddable.
+  std::optional<ChannelOp> shed_newest_preload(Cycles now);
 
   /// First moment a new op scheduled at `earliest` could start.
   Cycles next_free(Cycles earliest) const noexcept;
 
   /// Ops whose end <= now, in completion order; removes them from the queue.
-  std::vector<ChannelOp> collect_completed(Cycles now);
+  /// Returns a reference to an internal scratch buffer that is only valid
+  /// until the next collect_completed() call (this runs on every clock
+  /// advance, so reusing the buffer avoids an allocation per advance).
+  const std::vector<ChannelOp>& collect_completed(Cycles now);
 
   /// Abort every op that has not started by `now` (start > now). In-flight
   /// and completed ops are untouched. Returns the aborted ops.
@@ -95,9 +179,27 @@ class PagingChannel {
   std::size_t queued() const noexcept { return queue_.size(); }
   std::uint64_t ops_scheduled() const noexcept { return next_id_; }
   std::uint64_t ops_aborted() const noexcept { return aborted_; }
+  std::uint64_t ops_rejected() const noexcept { return rejected_; }
+  std::uint64_t ops_shed() const noexcept { return shed_; }
+
+  const ChannelConfig& config() const noexcept { return config_; }
+  /// True when a queue bound is configured.
+  bool bounded() const noexcept { return config_.max_queued > 0; }
+  /// True when a bounded queue is at capacity (always false if unbounded).
+  bool full() const noexcept {
+    return bounded() && queue_.size() >= config_.max_queued;
+  }
+  /// Effective high-water mark for demand-driven preload shedding.
+  std::size_t high_water() const noexcept {
+    return config_.preload_high_water > 0 ? config_.preload_high_water
+                                          : config_.max_queued;
+  }
+  /// Queued kDfpPreload ops submitted by `pid` (the per-tenant quota base).
+  std::size_t queued_preloads_for(ProcessId pid) const noexcept;
 
   /// Checkpoint/restore of the full queue (in-flight and pending ops) and
-  /// the id/abort counters. load() requires matching serial-ness.
+  /// the id/abort counters. load() requires matching serial-ness and queue
+  /// bound.
   void save(snapshot::Writer& w) const;
   void load(snapshot::Reader& r);
 
@@ -107,9 +209,13 @@ class PagingChannel {
   void repack(Cycles now);
 
   bool serial_;
+  ChannelConfig config_;
   std::deque<ChannelOp> queue_;  // ascending by start
+  std::vector<ChannelOp> completed_;  // collect_completed scratch buffer
   std::uint64_t next_id_ = 0;
   std::uint64_t aborted_ = 0;
+  std::uint64_t rejected_ = 0;  // try_schedule refusals (queue full)
+  std::uint64_t shed_ = 0;      // shed_newest_preload removals
 };
 
 }  // namespace sgxpl::sgxsim

@@ -30,6 +30,14 @@ class PreloadPolicy {
   virtual void on_preloads_aborted(const std::vector<PageNum>& pages,
                                    Cycles now) = 0;
 
+  /// Predicted pages were shed by admission control before reaching the
+  /// channel (bounded queue full, tenant quota, or degraded level), or a
+  /// queued preload was evicted to make room for a demand load. Unlike an
+  /// abort this is load-shedding, not misprediction evidence — but engines
+  /// may still fold it into their overload accounting. Default: no-op.
+  virtual void on_preloads_shed(const std::vector<PageNum>& /*pages*/,
+                                Cycles /*now*/) {}
+
   /// A page this policy preloaded was evicted. `was_accessed` tells whether
   /// the application ever touched it (false = confirmed misprediction).
   virtual void on_preloaded_page_evicted(PageNum page, bool was_accessed,

@@ -612,6 +612,9 @@ std::string RunMeta::incompatibility(const RunMeta& other) const {
   if (chaos_seed != other.chaos_seed) {
     return nmismatch("chaos seed", chaos_seed, other.chaos_seed);
   }
+  if (hardening_spec != other.hardening_spec) {
+    return mismatch("hardening config", hardening_spec, other.hardening_spec);
+  }
   return {};
 }
 
@@ -625,6 +628,7 @@ void write_meta(Writer& w, const RunMeta& meta) {
   w.u64("meta.epc_pages", meta.epc_pages);
   w.str("meta.chaos_spec", meta.chaos_spec);
   w.u64("meta.chaos_seed", meta.chaos_seed);
+  w.str("meta.hardening_spec", meta.hardening_spec);
   w.u64("meta.cursor", meta.cursor);
   w.end_section();
 }
@@ -640,6 +644,7 @@ RunMeta read_meta(Reader& r) {
   m.epc_pages = r.u64("meta.epc_pages");
   m.chaos_spec = r.str("meta.chaos_spec");
   m.chaos_seed = r.u64("meta.chaos_seed");
+  m.hardening_spec = r.str("meta.hardening_spec");
   m.cursor = r.u64("meta.cursor");
   r.leave_section();
   return m;

@@ -189,6 +189,10 @@ struct RunMeta {
   std::uint64_t epc_pages = 0;
   std::string chaos_spec;  // empty = no chaos
   std::uint64_t chaos_seed = 0;
+  /// Overload-hardening fingerprint (sgxsim::overload_spec); empty = seed
+  /// defaults. A hardened run carries retry/admission state a seed snapshot
+  /// lacks (and vice versa), so the configs must match exactly.
+  std::string hardening_spec;
   std::uint64_t cursor = 0;  // accesses completed when the snapshot was taken
 
   /// Empty string when compatible with `other` (cursor excluded); otherwise

@@ -13,6 +13,10 @@
 #include "core/simulator.h"
 #include "snapshot/codec.h"
 
+namespace sgxpl::obs {
+class MetricsRegistry;
+}  // namespace sgxpl::obs
+
 namespace sgxpl::snapshot {
 
 /// Full framed snapshot of the run's current state.
@@ -35,6 +39,19 @@ void capture_to_file(const core::MultiEnclaveRun& run,
 /// Throws CheckFailure when the file exists but is corrupt.
 bool restore_from_file(core::SimulationRun& run, const std::string& path);
 bool restore_from_file(core::MultiEnclaveRun& run, const std::string& path);
+
+/// Timed variants: additionally record the wall-clock cost of the
+/// serialize+write (or read+deserialize) into `reg`'s "snapshot.save_cycles"
+/// / "snapshot.load_cycles" histograms. Latency is steady-clock nanoseconds
+/// (~cycles at 1 GHz); a null registry degrades to the untimed variants.
+void capture_to_file(const core::SimulationRun& run, const std::string& path,
+                     obs::MetricsRegistry* reg);
+void capture_to_file(const core::MultiEnclaveRun& run, const std::string& path,
+                     obs::MetricsRegistry* reg);
+bool restore_from_file(core::SimulationRun& run, const std::string& path,
+                       obs::MetricsRegistry* reg);
+bool restore_from_file(core::MultiEnclaveRun& run, const std::string& path,
+                       obs::MetricsRegistry* reg);
 
 /// Serialize both runs' states and localize the first diverging field —
 /// the divergence reporter behind the kill-restore differential harness.

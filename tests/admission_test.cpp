@@ -1,0 +1,215 @@
+#include "sgxsim/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "snapshot/codec.h"
+
+namespace sgxpl::sgxsim {
+namespace {
+
+AdmissionParams test_params() {
+  AdmissionParams p;
+  p.enabled = true;
+  p.degrade_threshold = 0.5;
+  p.min_window_events = 4;
+  p.recover_windows = 2;
+  p.recover_threshold = 0.125;
+  return p;
+}
+
+/// One window of mostly-rejected traffic (bad fraction 0.75 > threshold).
+void feed_bad_window(AdmissionController& c) {
+  c.note_admitted();
+  c.note_rejected();
+  c.note_rejected();
+  c.note_rejected();
+}
+
+/// One quiet window: admissions only.
+void feed_calm_window(AdmissionController& c) {
+  for (int i = 0; i < 8; ++i) {
+    c.note_admitted();
+  }
+}
+
+TEST(Admission, StartsAtFullPreloadWithAllPrivileges) {
+  AdmissionController c(test_params());
+  EXPECT_EQ(c.level(), DegradeLevel::kFullPreload);
+  EXPECT_TRUE(c.preloads_allowed());
+  EXPECT_TRUE(c.prefetches_allowed());
+  EXPECT_TRUE(c.demand_priority());
+}
+
+TEST(Admission, SustainedBadWindowsWalkDownTheLadder) {
+  AdmissionController c(test_params());
+  feed_bad_window(c);
+  EXPECT_EQ(c.on_window(), -1);
+  EXPECT_EQ(c.level(), DegradeLevel::kDfpOnly);
+  EXPECT_TRUE(c.preloads_allowed());
+  EXPECT_FALSE(c.prefetches_allowed());
+
+  feed_bad_window(c);
+  EXPECT_EQ(c.on_window(), -1);
+  EXPECT_EQ(c.level(), DegradeLevel::kDemandOnly);
+  EXPECT_FALSE(c.preloads_allowed());
+
+  feed_bad_window(c);
+  EXPECT_EQ(c.on_window(), -1);
+  EXPECT_EQ(c.level(), DegradeLevel::kQuarantined);
+  EXPECT_FALSE(c.demand_priority());
+
+  // The ladder has a floor: further bad windows change nothing.
+  feed_bad_window(c);
+  EXPECT_EQ(c.on_window(), 0);
+  EXPECT_EQ(c.level(), DegradeLevel::kQuarantined);
+  EXPECT_EQ(c.demotions(), 3u);
+}
+
+TEST(Admission, FewEventsCannotDemote) {
+  AdmissionController c(test_params());
+  // Below min_window_events: 1 rejection out of 1 event is not evidence.
+  c.note_rejected();
+  EXPECT_EQ(c.on_window(), 0);
+  EXPECT_EQ(c.level(), DegradeLevel::kFullPreload);
+}
+
+TEST(Admission, PermanentFaultBypassesTheEvidenceFloor) {
+  AdmissionController c(test_params());
+  c.note_permanent();  // a single lost page is always serious
+  EXPECT_EQ(c.on_window(), -1);
+  EXPECT_EQ(c.level(), DegradeLevel::kDfpOnly);
+}
+
+TEST(Admission, RecoveryNeedsAStreakAndClimbsOneLevelAtATime) {
+  AdmissionController c(test_params());
+  feed_bad_window(c);
+  c.on_window();
+  feed_bad_window(c);
+  c.on_window();
+  ASSERT_EQ(c.level(), DegradeLevel::kDemandOnly);
+
+  // recover_windows = 2: the first calm window is not enough.
+  feed_calm_window(c);
+  EXPECT_EQ(c.on_window(), 0);
+  EXPECT_EQ(c.level(), DegradeLevel::kDemandOnly);
+  feed_calm_window(c);
+  EXPECT_EQ(c.on_window(), +1);
+  EXPECT_EQ(c.level(), DegradeLevel::kDfpOnly);
+
+  // The streak resets after each promotion: one more calm window does not
+  // immediately promote again.
+  feed_calm_window(c);
+  EXPECT_EQ(c.on_window(), 0);
+  feed_calm_window(c);
+  EXPECT_EQ(c.on_window(), +1);
+  EXPECT_EQ(c.level(), DegradeLevel::kFullPreload);
+  EXPECT_EQ(c.promotions(), 2u);
+}
+
+TEST(Admission, ABadWindowResetsTheRecoveryStreak) {
+  AdmissionController c(test_params());
+  feed_bad_window(c);
+  c.on_window();
+  ASSERT_EQ(c.level(), DegradeLevel::kDfpOnly);
+  feed_calm_window(c);
+  c.on_window();  // streak = 1 of 2
+  feed_bad_window(c);
+  c.on_window();  // demoted again, streak wiped
+  ASSERT_EQ(c.level(), DegradeLevel::kDemandOnly);
+  feed_calm_window(c);
+  EXPECT_EQ(c.on_window(), 0);  // streak restarted from zero
+}
+
+TEST(Admission, QuarantineNeedsADoubleStreak) {
+  AdmissionController c(test_params());
+  for (int i = 0; i < 3; ++i) {
+    feed_bad_window(c);
+    c.on_window();
+  }
+  ASSERT_EQ(c.level(), DegradeLevel::kQuarantined);
+  // recover_windows = 2, doubled to 4 when leaving quarantine.
+  for (int i = 0; i < 3; ++i) {
+    feed_calm_window(c);
+    EXPECT_EQ(c.on_window(), 0) << "window " << i;
+  }
+  feed_calm_window(c);
+  EXPECT_EQ(c.on_window(), +1);
+  EXPECT_EQ(c.level(), DegradeLevel::kDemandOnly);
+}
+
+TEST(Admission, MurkyWindowsNeitherDemoteNorCountAsCalm) {
+  AdmissionParams p = test_params();
+  AdmissionController c(p);
+  feed_bad_window(c);
+  c.on_window();
+  ASSERT_EQ(c.level(), DegradeLevel::kDfpOnly);
+  // 2 bad of 8 = 0.25: above recover_threshold, below degrade_threshold.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      c.note_admitted();
+    }
+    c.note_rejected();
+    c.note_rejected();
+    EXPECT_EQ(c.on_window(), 0);
+  }
+  EXPECT_EQ(c.level(), DegradeLevel::kDfpOnly);
+}
+
+TEST(Admission, QuotaScalesWithLevelAndFloorsAtOne) {
+  AdmissionParams p = test_params();
+  p.preload_quota_fraction = 0.5;
+  AdmissionController c(p);
+  EXPECT_EQ(c.preload_quota(16), 8u);
+  EXPECT_EQ(c.preload_quota(0), 0u);  // unbounded channel: no quota
+  feed_bad_window(c);
+  c.on_window();
+  ASSERT_EQ(c.level(), DegradeLevel::kDfpOnly);
+  EXPECT_EQ(c.preload_quota(16), 4u);  // halved when degraded
+  EXPECT_EQ(c.preload_quota(2), 1u);   // never rounds down to zero
+}
+
+TEST(Admission, SaveLoadRoundTripsMidWindow) {
+  AdmissionController a(test_params());
+  feed_bad_window(a);
+  a.on_window();
+  feed_calm_window(a);
+  a.on_window();
+  a.note_admitted();
+  a.note_retry();  // un-judged window evidence must survive the trip
+
+  snapshot::Writer w;
+  w.begin_section("ADMT");
+  a.save(w);
+  w.end_section();
+  const auto bytes = w.finish();
+
+  AdmissionController b(test_params());
+  snapshot::Reader r(bytes);
+  r.enter_section("ADMT");
+  b.load(r);
+  r.leave_section();
+
+  EXPECT_EQ(b.level(), a.level());
+  EXPECT_EQ(b.windows(), a.windows());
+  EXPECT_EQ(b.demotions(), a.demotions());
+  EXPECT_EQ(b.promotions(), a.promotions());
+  // The two controllers judge the in-flight window identically.
+  feed_calm_window(a);
+  feed_calm_window(b);
+  EXPECT_EQ(a.on_window(), b.on_window());
+  EXPECT_EQ(a.level(), b.level());
+}
+
+TEST(Admission, DegradeLevelNamesRoundTrip) {
+  for (const DegradeLevel l :
+       {DegradeLevel::kFullPreload, DegradeLevel::kDfpOnly,
+        DegradeLevel::kDemandOnly, DegradeLevel::kQuarantined}) {
+    const auto parsed = parse_degrade_level(to_string(l));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, l);
+  }
+  EXPECT_FALSE(parse_degrade_level("melted").has_value());
+}
+
+}  // namespace
+}  // namespace sgxpl::sgxsim

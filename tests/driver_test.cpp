@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "sgxsim/chaos_hooks.h"
 
 namespace sgxpl::sgxsim {
 namespace {
@@ -36,6 +37,7 @@ class FakePolicy final : public PreloadPolicy {
   std::vector<PageNum> faults_seen;
   std::vector<PageNum> completed;
   std::vector<PageNum> aborted;
+  std::vector<PageNum> shed;
   std::vector<PageNum> evicted_unused;
   int scans = 0;
 
@@ -50,6 +52,9 @@ class FakePolicy final : public PreloadPolicy {
   void on_preloads_aborted(const std::vector<PageNum>& pages,
                            Cycles) override {
     aborted.insert(aborted.end(), pages.begin(), pages.end());
+  }
+  void on_preloads_shed(const std::vector<PageNum>& pages, Cycles) override {
+    shed.insert(shed.end(), pages.begin(), pages.end());
   }
   void on_preloaded_page_evicted(PageNum page, bool, Cycles) override {
     evicted_unused.push_back(page);
@@ -423,6 +428,223 @@ TEST(Driver, EvictedUnusedPreloadNotifiesPolicy) {
   // The evicted page was one of the unused preloads, not page 0.
   EXPECT_NE(policy.evicted_unused[0], 0u);
   (void)out;
+  d.check_invariants();
+}
+
+// --- Overload hardening: bounded queue, retry sweep, dup suppression.
+
+/// Scripted injector: drops / duplicates the next N completion
+/// notifications for specific pages, deterministically.
+class ScriptedChaos final : public ChaosHooks {
+ public:
+  std::map<PageNum, int> drops;  // page -> deliveries still to drop
+  std::map<PageNum, int> dups;   // page -> deliveries still to duplicate
+
+  bool drop_preload_completion(PageNum page, Cycles) override {
+    return consume(drops, page);
+  }
+  bool duplicate_preload_completion(PageNum page, Cycles) override {
+    return consume(dups, page);
+  }
+
+ private:
+  static bool consume(std::map<PageNum, int>& budget, PageNum page) {
+    const auto it = budget.find(page);
+    if (it == budget.end() || it->second == 0) {
+      return false;
+    }
+    --it->second;
+    return true;
+  }
+};
+
+EnclaveConfig hardened_enclave(std::uint32_t max_retries = 3) {
+  auto cfg = small_enclave(64, 16);
+  cfg.channel.max_retries = max_retries;
+  return cfg;
+}
+
+/// Every lost completion must be accounted for: retried, made moot by
+/// another load, or surfaced as a permanent fault.
+void expect_conservation(const Driver& d) {
+  EXPECT_EQ(d.stats().lost_completions,
+            d.stats().retries + d.stats().retries_resolved +
+                d.stats().permanent_faults);
+}
+
+TEST(DriverHardened, DuplicatedCompletionIsIdempotent) {
+  FakePolicy policy;
+  policy.predictions[0] = {1};
+  ScriptedChaos chaos;
+  chaos.dups[1] = 1;
+  Driver d(hardened_enclave(), test_costs(), &policy);
+  d.set_chaos(&chaos);
+  d.access(0, 0);
+  d.drain();
+  // The duplicated notification changed neither residency nor stats twice:
+  // one committed preload, one suppressed duplicate, one policy callback.
+  EXPECT_TRUE(d.page_table().present(1));
+  EXPECT_EQ(d.stats().preloads_completed, 1u);
+  EXPECT_EQ(d.stats().duplicate_completions, 1u);
+  EXPECT_EQ(policy.completed, std::vector<PageNum>{1});
+  EXPECT_EQ(d.stats().lost_completions, 0u);
+  d.check_invariants();
+}
+
+TEST(DriverHardened, DroppedCompletionIsRetriedUntilItLands) {
+  FakePolicy policy;
+  policy.predictions[0] = {1};
+  ScriptedChaos chaos;
+  chaos.drops[1] = 1;  // the first attempt's completion vanishes
+  Driver d(hardened_enclave(), test_costs(), &policy);
+  d.set_chaos(&chaos);
+  d.access(0, 0);
+  EXPECT_FALSE(d.page_table().present(1));
+  d.drain();  // waits out the deadline, sweeps, re-issues, commits
+  EXPECT_TRUE(d.page_table().present(1));
+  EXPECT_EQ(d.stats().lost_completions, 1u);
+  EXPECT_EQ(d.stats().retries, 1u);
+  EXPECT_EQ(d.stats().permanent_faults, 0u);
+  EXPECT_EQ(d.stats().preloads_completed, 1u);
+  EXPECT_EQ(policy.completed, std::vector<PageNum>{1});
+  expect_conservation(d);
+  d.check_invariants();
+}
+
+TEST(DriverHardened, RepeatedDropsSurfaceAPermanentFault) {
+  FakePolicy policy;
+  policy.predictions[0] = {1};
+  ScriptedChaos chaos;
+  chaos.drops[1] = 100;  // every delivery vanishes
+  Driver d(hardened_enclave(/*max_retries=*/2), test_costs(), &policy);
+  d.set_chaos(&chaos);
+  d.access(0, 0);
+  d.drain();
+  // Initial attempt + 2 retries all dropped, then the sweep gives up and
+  // tells the policy — the loss is loud, not silent.
+  EXPECT_FALSE(d.page_table().present(1));
+  EXPECT_EQ(d.stats().lost_completions, 3u);
+  EXPECT_EQ(d.stats().retries, 2u);
+  EXPECT_EQ(d.stats().permanent_faults, 1u);
+  EXPECT_EQ(policy.aborted, std::vector<PageNum>{1});
+  expect_conservation(d);
+  d.check_invariants();
+}
+
+TEST(DriverHardened, DemandFaultResolvesAPendingRetry) {
+  FakePolicy policy;
+  policy.predictions[0] = {1};
+  ScriptedChaos chaos;
+  chaos.drops[1] = 1;
+  Driver d(hardened_enclave(), test_costs(), &policy);
+  d.set_chaos(&chaos);
+  const auto out = d.access(0, 0);
+  // Fault on page 1 while its (doomed) preload is in flight: the handler
+  // waits, the completion is dropped, and the handler demand-loads the page
+  // itself. The lost op is then moot — resolved, not retried.
+  const auto out2 = d.access(1, out.completion);
+  EXPECT_TRUE(out2.faulted);
+  EXPECT_TRUE(d.page_table().present(1));
+  d.drain();
+  EXPECT_EQ(d.stats().lost_completions, 1u);
+  EXPECT_EQ(d.stats().retries_resolved, 1u);
+  EXPECT_EQ(d.stats().retries, 0u);
+  EXPECT_EQ(d.stats().permanent_faults, 0u);
+  expect_conservation(d);
+  d.check_invariants();
+}
+
+TEST(DriverHardened, SeedModeDropOnlySkewsPolicyAccounting) {
+  // Without retries configured the seed semantics hold: a dropped
+  // completion leaves the page resident and only starves the policy's
+  // bookkeeping — nothing is declared lost.
+  FakePolicy policy;
+  policy.predictions[0] = {1};
+  ScriptedChaos chaos;
+  chaos.drops[1] = 1;
+  Driver d(small_enclave(64, 16), test_costs(), &policy);
+  d.set_chaos(&chaos);
+  d.access(0, 0);
+  d.drain();
+  EXPECT_TRUE(d.page_table().present(1));
+  EXPECT_EQ(d.stats().preloads_completed, 1u);
+  EXPECT_TRUE(policy.completed.empty());
+  EXPECT_EQ(d.stats().lost_completions, 0u);
+  d.check_invariants();
+}
+
+TEST(DriverHardened, BoundedQueueShedsExcessPreloadSubmissions) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3, 4, 5};
+  auto cfg = small_enclave(64, 16);
+  cfg.channel.max_queued = 3;  // demand load + two preloads fill it
+  Driver d(cfg, test_costs(), &policy);
+  d.access(0, 0);
+  EXPECT_EQ(d.stats().preloads_issued, 2u);
+  EXPECT_EQ(d.stats().preloads_shed, 3u);
+  EXPECT_EQ(policy.shed, (std::vector<PageNum>{3, 4, 5}));
+  d.drain();
+  EXPECT_TRUE(d.page_table().present(1));
+  EXPECT_TRUE(d.page_table().present(2));
+  EXPECT_FALSE(d.page_table().present(3));
+  d.check_invariants();
+}
+
+TEST(DriverHardened, DemandLoadPastHighWaterEvictsQueuedPreloads) {
+  FakePolicy policy;
+  policy.predictions[0] = {1, 2, 3};
+  auto cfg = small_enclave(64, 16);
+  cfg.channel.max_queued = 8;
+  cfg.channel.preload_high_water = 2;
+  Driver d(cfg, test_costs(), &policy);
+  const auto out = d.access(0, 0);
+  // Queue now holds preload 1 (in flight) + queued preloads 2, 3. The
+  // demand fault arrives over the high-water mark: queued preloads are
+  // evicted newest-first until the queue drains below it; the in-flight op
+  // is untouchable. Demand is never rejected.
+  const auto out2 = d.access(40, out.completion);
+  EXPECT_TRUE(out2.faulted);
+  EXPECT_EQ(d.stats().queued_preload_evictions, 2u);
+  EXPECT_EQ(policy.shed, (std::vector<PageNum>{3, 2}));
+  d.drain();
+  EXPECT_TRUE(d.page_table().present(1));
+  EXPECT_TRUE(d.page_table().present(40));
+  EXPECT_FALSE(d.page_table().present(2));
+  EXPECT_FALSE(d.page_table().present(3));
+  d.check_invariants();
+}
+
+TEST(DriverHardened, ConservationHoldsUnderRandomOverload) {
+  FakePolicy policy;
+  for (PageNum p = 0; p < 32; ++p) {
+    policy.predictions[p] = {p + 1, p + 2};
+  }
+  ScriptedChaos chaos;
+  for (PageNum p = 0; p < 34; ++p) {
+    chaos.drops[p] = 2;  // every page loses its first two completions
+  }
+  auto cfg = small_enclave(34, 6);
+  cfg.channel.max_queued = 4;
+  cfg.channel.max_retries = 2;
+  cfg.channel.deadline_slack = 20'000;  // tight deadlines: sweeps stay busy
+  auto costs = test_costs();
+  costs.scan_period = 50'000;  // scan ticks drive the retry sweep mid-run
+  Driver d(cfg, costs, &policy);
+  d.set_chaos(&chaos);
+  Rng rng(7);
+  Cycles now = 0;
+  for (int i = 0; i < 1500; ++i) {
+    now = d.access(rng.bounded(32), now).completion + rng.bounded(5'000);
+    if (i % 250 == 0) {
+      d.check_invariants();
+    }
+  }
+  d.drain();
+  // The run definitely lost completions; every one of them was re-issued,
+  // resolved by a demand load, or surfaced as a permanent fault — however
+  // the re-issue/deferral schedule played out, nothing is silently parked.
+  EXPECT_GT(d.stats().lost_completions, 0u);
+  expect_conservation(d);
   d.check_invariants();
 }
 

@@ -135,5 +135,101 @@ TEST(PagingChannel, ZeroDurationRejected) {
   EXPECT_THROW(ch.schedule(0, 0, 1, OpKind::kDemandLoad), CheckFailure);
 }
 
+TEST(PagingChannel, TryScheduleRejectsWhenBounded) {
+  ChannelConfig cfg;
+  cfg.max_queued = 2;
+  PagingChannel ch(/*serial=*/true, cfg);
+  EXPECT_TRUE(ch.bounded());
+  EXPECT_EQ(ch.try_schedule(0, 100, 1, OpKind::kDfpPreload),
+            AdmissionResult::kAdmitted);
+  EXPECT_EQ(ch.try_schedule(0, 100, 2, OpKind::kDfpPreload),
+            AdmissionResult::kAdmitted);
+  EXPECT_TRUE(ch.full());
+  EXPECT_EQ(ch.try_schedule(0, 100, 3, OpKind::kDfpPreload),
+            AdmissionResult::kRejectedFull);
+  EXPECT_EQ(ch.queued(), 2u);
+  EXPECT_EQ(ch.ops_rejected(), 1u);
+  // Rejection does not consume an op id.
+  EXPECT_EQ(ch.ops_scheduled(), 2u);
+  // Demand loads bypass the bound entirely.
+  ch.schedule_priority(0, 100, 4, OpKind::kDemandLoad);
+  EXPECT_EQ(ch.queued(), 3u);
+}
+
+TEST(PagingChannel, UnboundedTrySchedulesLikeSchedule) {
+  PagingChannel ch;
+  for (PageNum p = 1; p <= 64; ++p) {
+    EXPECT_EQ(ch.try_schedule(0, 10, p, OpKind::kDfpPreload),
+              AdmissionResult::kAdmitted);
+  }
+  EXPECT_EQ(ch.queued(), 64u);
+  EXPECT_EQ(ch.ops_rejected(), 0u);
+}
+
+TEST(PagingChannel, ShedNewestPreloadSkipsInFlightAndDemand) {
+  PagingChannel ch;
+  ch.schedule(0, 100, 1, OpKind::kDfpPreload);   // in flight at t=50
+  ch.schedule(0, 100, 2, OpKind::kDfpPreload);   // [100,200)
+  ch.schedule(0, 100, 3, OpKind::kDemandLoad);   // [200,300)
+  ch.schedule(0, 100, 4, OpKind::kDfpPreload);   // [300,400) — newest preload
+  const auto shed = ch.shed_newest_preload(50);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->page, 4u);
+  EXPECT_EQ(ch.ops_shed(), 1u);
+  // The in-flight preload is immovable; the next shed takes page 2 and the
+  // demand load slides into its slot.
+  const auto shed2 = ch.shed_newest_preload(50);
+  ASSERT_TRUE(shed2.has_value());
+  EXPECT_EQ(shed2->page, 2u);
+  const auto demand = ch.find(3);
+  ASSERT_TRUE(demand.has_value());
+  EXPECT_EQ(demand->start, 100u);
+  // Only the in-flight preload and the demand load remain — nothing left
+  // to shed.
+  EXPECT_FALSE(ch.shed_newest_preload(50).has_value());
+  EXPECT_EQ(ch.queued(), 2u);
+}
+
+TEST(PagingChannel, DeadlineSlackSurvivesRepack) {
+  PagingChannel ch;
+  ch.schedule(0, 100, 1, OpKind::kDemandLoad);                  // [0,100)
+  ch.schedule(0, 100, 2, OpKind::kDfpPreload, 0, 0, 500);       // [100,200)
+  ch.schedule(0, 100, 3, OpKind::kDfpPreload, 0, 0, 500);       // [200,300)
+  {
+    const auto op3 = ch.find(3);
+    ASSERT_TRUE(op3.has_value());
+    EXPECT_EQ(op3->deadline, 300u + 500u);
+  }
+  // Shedding page 2 slides page 3 earlier; its deadline slides with its
+  // end, preserving the slack.
+  ASSERT_TRUE(ch.cancel_not_started(2, 50));
+  const auto op3 = ch.find(3);
+  ASSERT_TRUE(op3.has_value());
+  EXPECT_EQ(op3->end, 200u);
+  EXPECT_EQ(op3->deadline, 200u + 500u);
+}
+
+TEST(PagingChannel, QueuedPreloadsPerTenant) {
+  PagingChannel ch;
+  ch.schedule(0, 100, 1, OpKind::kDfpPreload, ProcessId{0});
+  ch.schedule(0, 100, 2, OpKind::kDfpPreload, ProcessId{1});
+  ch.schedule(0, 100, 3, OpKind::kDfpPreload, ProcessId{1});
+  ch.schedule(0, 100, 4, OpKind::kDemandLoad, ProcessId{1});
+  EXPECT_EQ(ch.queued_preloads_for(ProcessId{0}), 1u);
+  EXPECT_EQ(ch.queued_preloads_for(ProcessId{1}), 2u);
+  EXPECT_EQ(ch.queued_preloads_for(ProcessId{2}), 0u);
+}
+
+TEST(PagingChannel, AdmissionResultRoundTrips) {
+  for (const AdmissionResult r :
+       {AdmissionResult::kAdmitted, AdmissionResult::kRejectedFull,
+        AdmissionResult::kRejectedQuota, AdmissionResult::kRejectedDegraded}) {
+    const auto parsed = parse_admission_result(to_string(r));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, r);
+  }
+  EXPECT_FALSE(parse_admission_result("bogus").has_value());
+}
+
 }  // namespace
 }  // namespace sgxpl::sgxsim

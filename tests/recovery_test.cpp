@@ -312,6 +312,61 @@ TEST(KillRestore, ForeignOrAbsentResumeFileStartsTheRunFresh) {
   std::remove(path.c_str());
 }
 
+TEST(KillRestore, HardenedPagingPathResumesBitIdentically) {
+  // The overload-hardened path carries extra live state across a kill:
+  // lost-op retry queue, the retry-jitter Rng cursor, the completed-op-id
+  // ring, per-tenant admission windows and ladder levels, and the bounded
+  // channel's shed counters. Under drop+dup chaos all of it is exercised;
+  // the resumed run must still finish bit-identical to the uninterrupted
+  // one at every cut point.
+  const auto t = mixed_trace();
+  auto cfg = small_config(Scheme::kDfpStop);
+  cfg.chaos.seed = 77;
+  cfg.chaos.enable(inject::FaultKind::kDropCompletion);
+  cfg.chaos.enable(inject::FaultKind::kDupCompletion);
+  cfg.enclave.channel.max_queued = 12;
+  cfg.enclave.channel.max_retries = 3;
+  cfg.enclave.admission.enabled = true;
+  const auto want = run_uninterrupted(cfg, t, nullptr);
+  // The chaos plan really fed the retry machinery; otherwise this test
+  // degenerates to the plain chaos sweep above.
+  EXPECT_GT(want.driver.lost_completions + want.driver.duplicate_completions,
+            0u);
+  const std::uint64_t n = t.size();
+  for (const std::uint64_t cut : {std::uint64_t{1}, n / 3, n / 2, n - 1}) {
+    const auto got = run_killed_at(cfg, t, nullptr, cut);
+    expect_bit_identical(want, got, "hardened cut=" + std::to_string(cut));
+    EXPECT_EQ(want.driver.lost_completions, got.driver.lost_completions);
+    EXPECT_EQ(want.driver.retries, got.driver.retries);
+    EXPECT_EQ(want.driver.retries_resolved, got.driver.retries_resolved);
+    EXPECT_EQ(want.driver.permanent_faults, got.driver.permanent_faults);
+    EXPECT_EQ(want.driver.duplicate_completions,
+              got.driver.duplicate_completions);
+    EXPECT_EQ(want.driver.preloads_shed, got.driver.preloads_shed);
+    EXPECT_EQ(want.driver.degrade_demotions, got.driver.degrade_demotions);
+    EXPECT_EQ(want.driver.degrade_promotions, got.driver.degrade_promotions);
+  }
+}
+
+TEST(KillRestore, HardenedConfigRefusesSeedSnapshots) {
+  // Channel hardening is part of the snapshot contract: a snapshot taken
+  // with the seed (unbounded, no-retry) channel must not restore into a
+  // hardened run, whose extra state would silently start from zero.
+  const auto t = mixed_trace();
+  const auto cfg = small_config(Scheme::kDfpStop);
+  SimulationRun victim(cfg, t, nullptr);
+  while (victim.cursor() < 64) {
+    victim.step();
+  }
+  const auto snap = snapshot::capture(victim);
+  auto hardened = cfg;
+  hardened.enclave.channel.max_queued = 12;
+  hardened.enclave.channel.max_retries = 3;
+  SimulationRun other(hardened, t, nullptr);
+  EXPECT_FALSE(other.restore_if_compatible(snap));
+  EXPECT_EQ(other.cursor(), 0u);
+}
+
 TEST(KillRestore, MultiEnclaveResumesBitIdentically) {
   const auto ta = mixed_trace(4);
   const auto tb = mixed_trace(5);
