@@ -33,6 +33,7 @@ struct HarnessState {
   obs::EventLog event_log{1 << 16};
   inject::ChaosPlan chaos;  // nothing enabled unless --chaos was given
   core::CheckpointOptions checkpoint;  // off unless --checkpoint/--resume
+  std::string fail_dir;                // empty unless --fail-dir
 };
 
 HarnessState& state() {
@@ -88,7 +89,8 @@ void init(int argc, char** argv, const std::string& bench,
     const std::string arg = argv[i];
     if (arg == "--json" || arg == "--trace" || arg == "--chaos" ||
         arg == "--seed" || arg == "--checkpoint" ||
-        arg == "--checkpoint-every" || arg == "--resume") {
+        arg == "--checkpoint-every" || arg == "--full-every" ||
+        arg == "--resume" || arg == "--fail-dir") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " requires a value\n";
         std::exit(2);
@@ -114,8 +116,18 @@ void init(int argc, char** argv, const std::string& bench,
                     << value << "'\n";
           std::exit(2);
         }
+      } else if (arg == "--full-every") {
+        st.checkpoint.full_every = std::strtoull(value.c_str(), nullptr, 0);
+        if (st.checkpoint.full_every == 0) {
+          std::cerr << "error: --full-every wants a positive checkpoint "
+                       "count, got '"
+                    << value << "'\n";
+          std::exit(2);
+        }
       } else if (arg == "--resume") {
         st.checkpoint.resume_path = value;
+      } else if (arg == "--fail-dir") {
+        st.fail_dir = value;
       } else {
         chaos_seed = std::strtoull(value.c_str(), nullptr, 0);
       }
@@ -124,13 +136,16 @@ void init(int argc, char** argv, const std::string& bench,
                 << " [--json <out.json>] [--trace <out-trace.json>]\n"
                    "       [--chaos <spec>] [--seed <n>]\n"
                    "       [--checkpoint <snap>] [--checkpoint-every <n>]\n"
-                   "       [--resume <snap>]\n"
+                   "       [--full-every <n>] [--resume <snap>]\n"
+                   "       [--fail-dir <dir>]\n"
                    "--chaos spec: \"all\", \"none\", or comma-separated\n"
                    "  name[:probability[:magnitude]] entries (see\n"
                    "  docs/ROBUSTNESS.md); --seed replays a schedule.\n"
                    "--checkpoint writes a crash-consistent snapshot every\n"
                    "  65536 accesses (tune with --checkpoint-every);\n"
-                   "  --resume restores one before running.\n"
+                   "  --full-every n emits a full base every n checkpoints\n"
+                   "  and delta frames in between; --resume restores a\n"
+                   "  base (+ deltas) before running.\n"
                    "SGXPL_SCALE=<s> scales workloads (default 1.0).\n";
       std::exit(0);
     } else {
@@ -207,6 +222,8 @@ const inject::ChaosPlan& chaos_plan() { return state().chaos; }
 const core::CheckpointOptions& checkpoint_options() {
   return state().checkpoint;
 }
+
+const std::string& fail_dir() { return state().fail_dir; }
 
 namespace {
 

@@ -23,8 +23,14 @@
 //                   running simulation to <path> periodically (every 65536
 //                   accesses unless --checkpoint-every overrides)
 //   --checkpoint-every <n>    checkpoint period in completed accesses
+//   --full-every <n>          emit a full base snapshot every n checkpoints
+//                   and incremental delta frames in between (default 1 =
+//                   every checkpoint is full; snapshot format v2 chains)
 //   --resume <path> restore the simulation from <path> before running; the
-//                   snapshot must match the run's configuration
+//                   snapshot must match the run's configuration (delta
+//                   frames beside the base are replayed automatically)
+//   --fail-dir <dir>          drop reproduction artifacts (e.g. diverging
+//                   delta chains) into <dir> on failure, for CI upload
 //
 // Environment:
 //   SGXPL_SCALE  scale factor for workload footprints/lengths (default 1.0,
@@ -78,9 +84,15 @@ obs::MetricsRegistry& registry();
 /// configs some other way.
 const inject::ChaosPlan& chaos_plan();
 
-/// The --checkpoint/--checkpoint-every/--resume settings (disabled unless
-/// the flags were given). Already applied to every bench_platform() config.
+/// The --checkpoint/--checkpoint-every/--full-every/--resume settings
+/// (disabled unless the flags were given). Already applied to every
+/// bench_platform() config.
 const core::CheckpointOptions& checkpoint_options();
+
+/// The --fail-dir directory (empty = flag absent): where a failing suite
+/// drops reproduction artifacts — e.g. recovery_suite writes the frames of
+/// any delta chain whose restore diverged, so CI can upload them.
+const std::string& fail_dir();
 
 /// Flush --json/--trace outputs. Benches end with `return bench::finish();`.
 int finish();

@@ -12,18 +12,30 @@
 // and bit-flipped snapshots must all be rejected with a diagnostic error,
 // never applied or crash.
 //
+// A delta-chain grid rides along (snapshot format v2): the same schemes are
+// checkpointed through a Snapshotter with full_every > 1, every chain is
+// restored at every cut and must reserialize bit-identically to the victim,
+// and the bytes written by the delta policy are compared against writing a
+// full snapshot at every checkpoint ("delta_bytes_reduction" in --json).
+// A chain whose restore diverges is dumped frame-by-frame into --fail-dir
+// for CI artifact upload.
+//
 // --checkpoint/--resume exercise the same machinery through the file-based
 // SimConfig::checkpoint path.
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/check.h"
+#include "common/rng.h"
 #include "inject/chaos_plan.h"
 #include "sip/pipeline.h"
+#include "snapshot/chain.h"
 #include "snapshot/snapshotter.h"
+#include "trace/generators.h"
 #include "trace/workloads.h"
 
 using namespace sgxpl;
@@ -78,6 +90,71 @@ core::SimConfig scheme_cfg(core::Scheme scheme,
   cfg.validate = true;
   cfg.checkpoint = core::CheckpointOptions{};  // the harness snapshots itself
   return cfg;
+}
+
+struct DeltaVerdict {
+  bool pass = true;
+  std::string detail;
+  std::uint64_t full_bytes = 0;   // full snapshot at every checkpoint
+  std::uint64_t delta_bytes = 0;  // what the delta policy actually wrote
+};
+
+/// Checkpoint a run through a delta-emitting Snapshotter; at every cut,
+/// restore the live chain into a fresh run and require the restored state
+/// to reserialize bit-identically to the victim. Accounts bytes written by
+/// the delta policy against a full-snapshot-every-checkpoint policy. On
+/// divergence, dumps the chain's frames into --fail-dir (when given).
+DeltaVerdict delta_differential(const core::SimConfig& cfg,
+                                const trace::Trace& t,
+                                const sip::InstrumentationPlan* plan,
+                                std::uint64_t full_every,
+                                std::uint64_t cadence,
+                                const std::string& tag) {
+  DeltaVerdict v;
+  core::SimulationRun victim(cfg, t, plan);
+  snapshot::Snapshotter<core::SimulationRun> snap(full_every);
+  std::vector<std::vector<std::uint8_t>> chain;
+  while (!victim.done()) {
+    victim.step();
+    if (victim.cursor() % cadence != 0) {
+      continue;
+    }
+    const snapshot::ChainFrame frame = snap.checkpoint(victim);
+    if (frame.header.kind == snapshot::FrameKind::kFull) {
+      chain.clear();
+    }
+    chain.push_back(frame.bytes);
+    v.delta_bytes += frame.bytes.size();
+    const std::vector<std::uint8_t> reference = victim.save_bytes();
+    v.full_bytes += reference.size();
+    core::SimulationRun restored(cfg, t, plan);
+    try {
+      snapshot::restore_chain(restored, chain);
+    } catch (const CheckFailure& e) {
+      v.pass = false;
+      v.detail = "cut " + std::to_string(victim.cursor()) +
+                 ": chain restore threw: " + e.what();
+    }
+    if (v.pass && restored.save_bytes() != reference) {
+      const auto d = snapshot::diff(restored.save_bytes(), reference);
+      v.pass = false;
+      v.detail = "cut " + std::to_string(victim.cursor()) + ": " +
+                 (d.identical ? "restored state reserialized differently"
+                              : d.first_divergence);
+    }
+    if (!v.pass) {
+      if (!bench::fail_dir().empty()) {
+        for (std::size_t i = 0; i < chain.size(); ++i) {
+          std::ostringstream name;
+          name << bench::fail_dir() << "/" << tag << "."
+               << (i == 0 ? "base" : "delta-" + std::to_string(i)) << ".snap";
+          snapshot::write_file_atomic(name.str(), chain[i]);
+        }
+      }
+      return v;
+    }
+  }
+  return v;
 }
 
 }  // namespace
@@ -140,6 +217,107 @@ int main(int argc, char** argv) {
   }
   bench::add_scalar("kill_restore_failures",
                     static_cast<double>(failures));
+
+  // Delta-chain grid: scheme x fault class x full_every, every chain
+  // restored at every cut and byte-accounted against full-every-checkpoint.
+  {
+    const std::vector<std::pair<std::string, inject::ChaosPlan>> delta_plans =
+        {{"(none)", inject::ChaosPlan{}},
+         {"all", inject::ChaosPlan::all(seed)}};
+    std::uint64_t full_bytes = 0;
+    std::uint64_t delta_bytes = 0;
+    std::uint64_t chain_failures = 0;
+    std::vector<std::string> chain_divergences;
+    TextTable dtbl({"scheme", "fault class", "full-every", "full bytes",
+                    "delta bytes", "reduction", "verdict"});
+    for (const auto& [scheme_name, scheme] : schemes) {
+      for (const auto& [plan_name, plan] : delta_plans) {
+        for (const std::uint64_t full_every : {std::uint64_t{4},
+                                               std::uint64_t{8}}) {
+          std::string tag = scheme_name + "-" + plan_name + "-fe" +
+                            std::to_string(full_every);
+          std::replace(tag.begin(), tag.end(), '/', '_');
+          const DeltaVerdict v = delta_differential(
+              scheme_cfg(scheme, plan), t, &sip_plan, full_every,
+              std::max<std::uint64_t>(1, t.size() / 24), tag);
+          full_bytes += v.full_bytes;
+          delta_bytes += v.delta_bytes;
+          if (!v.pass) {
+            ++chain_failures;
+            chain_divergences.push_back(tag + ": " + v.detail);
+          }
+          std::ostringstream reduction;
+          reduction.precision(2);
+          reduction << std::fixed
+                    << (v.delta_bytes > 0
+                            ? static_cast<double>(v.full_bytes) /
+                                  static_cast<double>(v.delta_bytes)
+                            : 0.0)
+                    << "x";
+          dtbl.add_row({scheme_name, plan_name, std::to_string(full_every),
+                        std::to_string(v.full_bytes),
+                        std::to_string(v.delta_bytes), reduction.str(),
+                        v.pass ? "PASS" : "FAIL"});
+        }
+      }
+    }
+    std::cout << "\nDelta-chain differential (every chain restored at every "
+                 "cut, bit-identical reserialization required):\n";
+    bench::print_table("delta_chain", dtbl);
+    for (const auto& d : chain_divergences) {
+      std::cout << "CHAIN DIVERGENCE: " << d << "\n";
+    }
+    const double reduction =
+        delta_bytes > 0 ? static_cast<double>(full_bytes) /
+                              static_cast<double>(delta_bytes)
+                        : 0.0;
+    std::cout << "Delta policy wrote " << (delta_bytes / 1024)
+              << " KiB where full-every-checkpoint writes "
+              << (full_bytes / 1024) << " KiB (" << reduction
+              << "x reduction)\n";
+    bench::add_scalar("delta_chain_failures",
+                      static_cast<double>(chain_failures));
+    bench::add_scalar("delta_grid_bytes_reduction", reduction);
+    failures += chain_failures;
+  }
+
+  // Long-trace delta economics — the regime delta chains exist for: a
+  // footprint far beyond the EPC, scanned repeatedly over a long trace and
+  // checkpointed every 1024 accesses. Full snapshots carry the whole page
+  // table and backing store every tick; deltas carry one window's churn.
+  // Restore-equivalence is still enforced at every cut. (Deliberately not
+  // scaled by SGXPL_SCALE: the ratio is a format property, not a
+  // workload-size property.)
+  {
+    constexpr PageNum kLongPages = 32768;
+    trace::Trace lt("delta-longtrace", kLongPages);
+    Rng rng(1);
+    const trace::GapModel gap{.mean = 2'000, .jitter_pct = 0};
+    for (int pass = 0; pass < 4; ++pass) {
+      trace::seq_scan(lt, rng, trace::Region{0, kLongPages}, 1, gap);
+    }
+    core::SimConfig cfg =
+        scheme_cfg(core::Scheme::kDfpStop, inject::ChaosPlan{});
+    cfg.enclave.epc_pages = 4096;
+    const DeltaVerdict v = delta_differential(cfg, lt, nullptr, 16, 1024,
+                                              "longtrace-DFP-stop-fe16");
+    const double reduction =
+        v.delta_bytes > 0 ? static_cast<double>(v.full_bytes) /
+                                static_cast<double>(v.delta_bytes)
+                          : 0.0;
+    std::cout << "\nLong-trace checkpoint_every run (" << lt.size()
+              << " accesses over " << kLongPages
+              << " pages, EPC 4096, checkpoint every 1024, full every 16):\n"
+              << "  delta policy wrote " << (v.delta_bytes / 1024)
+              << " KiB where full-every-checkpoint writes "
+              << (v.full_bytes / 1024) << " KiB (" << reduction
+              << "x reduction)\n";
+    if (!v.pass) {
+      ++failures;
+      std::cout << "CHAIN DIVERGENCE: longtrace: " << v.detail << "\n";
+    }
+    bench::add_scalar("delta_bytes_reduction", reduction);
+  }
 
   // Corruption drill: systematically truncated and bit-flipped snapshots
   // must every one be rejected with a diagnostic error — never applied.

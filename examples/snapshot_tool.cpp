@@ -1,0 +1,196 @@
+// snapshot_tool — inspect, migrate, and dissect snapshot files offline.
+//
+//   snapshot_tool info <file>                 header, chain position, META,
+//                                             per-section payload sizes
+//   snapshot_tool upgrade <in.v1> <out.v2>    rewrite a format-v1 frame as
+//                                             the equivalent v2 base frame
+//   snapshot_tool extract <n> <in> <out>      lift enclave <n> out of a v2
+//                                             multi-enclave frame as a
+//                                             standalone snapshot
+//   snapshot_tool diff <a> <b>                first diverging field of two
+//                                             frames (exit 1 when they
+//                                             differ)
+//   snapshot_tool verify-chain <base>         validate the delta chain
+//                                             rooted at <base> (the
+//                                             `<base>.delta-N` files):
+//                                             headers, CRC linkage, ordering
+//
+// Every command works on files alone — no simulation run is needed, so a
+// snapshot from a dead service can be examined on any machine with this
+// build. See docs/ROBUSTNESS.md, "Snapshot format v2".
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "snapshot/chain.h"
+#include "snapshot/codec.h"
+#include "snapshot/migrate.h"
+#include "snapshot/snapshotter.h"
+
+using namespace sgxpl;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: snapshot_tool info <file>\n"
+         "       snapshot_tool upgrade <in.v1> <out.v2>\n"
+         "       snapshot_tool extract <enclave> <in> <out>\n"
+         "       snapshot_tool diff <a> <b>\n"
+         "       snapshot_tool verify-chain <base>\n";
+  return 2;
+}
+
+int cmd_info(const std::string& path) {
+  const auto bytes = snapshot::read_file(path);
+  const std::uint32_t version = snapshot::frame_version(bytes);
+  std::cout << path << ": format v" << version << ", " << bytes.size()
+            << " bytes\n";
+  snapshot::validate_frame(bytes);
+  if (version >= 2) {
+    const snapshot::ChainHeader chain =
+        snapshot::read_chain_header_bytes(bytes);
+    std::cout << "chain: " << snapshot::to_string(chain.kind) << " frame, id "
+              << chain.chain_id << ", seq " << chain.seq;
+    if (chain.kind == snapshot::FrameKind::kDelta) {
+      std::cout << ", prev-crc " << chain.prev_crc;
+    }
+    std::cout << "\n";
+  }
+  snapshot::Reader r(bytes);
+  if (version >= 2) {
+    (void)snapshot::read_chain_header(r);
+  }
+  const snapshot::RunMeta meta = snapshot::read_meta(r);
+  std::cout << "meta: " << meta.kind << " / " << meta.scheme << " on "
+            << meta.trace_name << " (" << meta.trace_accesses
+            << " accesses, ELRANGE " << meta.elrange_pages << " pages, EPC "
+            << meta.epc_pages << " pages), cursor " << meta.cursor << "\n";
+  if (!meta.chaos_spec.empty()) {
+    std::cout << "chaos: " << meta.chaos_spec << " (seed " << meta.chaos_seed
+              << ")\n";
+  }
+  if (!meta.hardening_spec.empty()) {
+    std::cout << "hardening: " << meta.hardening_spec << "\n";
+  }
+  std::cout << "sections:\n";
+  for (const snapshot::SectionSpan& s : snapshot::section_spans(bytes)) {
+    std::printf("  %-4s %8zu bytes\n", s.tag.c_str(), s.size - 16);
+  }
+  return 0;
+}
+
+int cmd_upgrade(const std::string& in, const std::string& out) {
+  const auto bytes = snapshot::read_file(in);
+  const std::uint32_t version = snapshot::frame_version(bytes);
+  if (version >= 2) {
+    std::cerr << in << ": already format v" << version << "; nothing to do\n";
+    return 1;
+  }
+  const auto upgraded = snapshot::upgrade_v1_to_v2(bytes);
+  snapshot::write_file_atomic(out, upgraded);
+  std::cout << "wrote " << out << " (v1 " << bytes.size() << " bytes -> v2 "
+            << upgraded.size() << " bytes)\n";
+  return 0;
+}
+
+int cmd_extract(const std::string& index, const std::string& in,
+                const std::string& out) {
+  const std::uint64_t enclave = std::stoull(index);
+  auto bytes = snapshot::read_file(in);
+  if (snapshot::frame_version(bytes) < 2) {
+    bytes = snapshot::upgrade_v1_to_v2(bytes);
+  }
+  const auto frame = snapshot::extract_enclave(bytes, enclave);
+  snapshot::write_file_atomic(out, frame);
+  const snapshot::ExtractedEnclave e = snapshot::read_extracted(frame);
+  std::cout << "wrote " << out << ": enclave " << e.index << " (" << e.scheme
+            << " on " << e.trace << "), cursor " << e.cursor << ", "
+            << frame.size() << " bytes\n";
+  return 0;
+}
+
+int cmd_diff(const std::string& a, const std::string& b) {
+  const snapshot::Diff d =
+      snapshot::diff(snapshot::read_file(a), snapshot::read_file(b));
+  if (d.identical) {
+    std::cout << "identical\n";
+    return 0;
+  }
+  std::cout << "differ: " << d.first_divergence << "\n";
+  return 1;
+}
+
+int cmd_verify_chain(const std::string& base) {
+  const auto base_bytes = snapshot::read_file(base);
+  snapshot::validate_frame(base_bytes);
+  const snapshot::ChainHeader head =
+      snapshot::read_chain_header_bytes(base_bytes);
+  SGXPL_CHECK_MSG(head.kind == snapshot::FrameKind::kFull,
+                  base << " is delta " << head.seq
+                       << ", not a chain base; point verify-chain at the "
+                          "base frame");
+  std::cout << base << ": full base, chain id " << head.chain_id << ", "
+            << base_bytes.size() << " bytes\n";
+  std::uint32_t prev_crc =
+      snapshot::crc32c(base_bytes.data(), base_bytes.size());
+  std::uint64_t frames = 1;
+  for (std::uint64_t seq = 1;; ++seq) {
+    const std::string path = snapshot::delta_path(base, seq);
+    if (!snapshot::file_readable(path)) {
+      break;
+    }
+    const auto bytes = snapshot::read_file(path);
+    snapshot::validate_frame(bytes);
+    const snapshot::ChainHeader h = snapshot::read_chain_header_bytes(bytes);
+    SGXPL_CHECK_MSG(h.kind == snapshot::FrameKind::kDelta,
+                    path << " is a full frame where delta " << seq
+                         << " was expected");
+    if (h.chain_id != head.chain_id) {
+      std::cout << path << ": different chain (id " << h.chain_id
+                << ") — stale leftover, chain ends at seq " << (seq - 1)
+                << "\n";
+      break;
+    }
+    SGXPL_CHECK_MSG(h.seq == seq, path << " carries seq " << h.seq
+                                       << " but its filename says " << seq);
+    SGXPL_CHECK_MSG(h.prev_crc == prev_crc,
+                    path << ": prev-CRC mismatch — a frame was substituted "
+                            "or reordered");
+    std::cout << path << ": delta " << seq << ", " << bytes.size()
+              << " bytes, linkage OK\n";
+    prev_crc = snapshot::crc32c(bytes.data(), bytes.size());
+    ++frames;
+  }
+  std::cout << "chain OK: " << frames << " frame(s)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 2 && args[0] == "info") {
+      return cmd_info(args[1]);
+    }
+    if (args.size() == 3 && args[0] == "upgrade") {
+      return cmd_upgrade(args[1], args[2]);
+    }
+    if (args.size() == 4 && args[0] == "extract") {
+      return cmd_extract(args[1], args[2], args[3]);
+    }
+    if (args.size() == 3 && args[0] == "diff") {
+      return cmd_diff(args[1], args[2]);
+    }
+    if (args.size() == 2 && args[0] == "verify-chain") {
+      return cmd_verify_chain(args[1]);
+    }
+  } catch (const CheckFailure& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -11,7 +11,9 @@
 #include "obs/metrics.h"
 #include "obs/time_series.h"
 #include "sgxsim/driver.h"
+#include "snapshot/chain.h"
 #include "snapshot/codec.h"
+#include "snapshot/migrate.h"
 
 namespace sgxpl::core {
 
@@ -186,6 +188,78 @@ struct MultiEnclaveRun::Impl {
     return sum;
   }
 
+  /// Per-tenant snapshot groups: ENCM identity, APPS clock/metrics, DFPE
+  /// engine when the tenant's scheme runs one. Written identically by full
+  /// and delta frames (tenant state is small and moves every step), and
+  /// reproduced field-for-field by the v1 upgrader so upgraded goldens stay
+  /// byte-identical to fresh v2 writes.
+  void save_tenants(snapshot::Writer& w) const {
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      const bool has_dfp = policy->engine(i) != nullptr;
+      w.begin_section("ENCM");
+      w.u64("enc.index", i);
+      w.str("enc.scheme", to_string(apps[i].scheme));
+      w.str("enc.trace", apps[i].trace->name());
+      w.boolean("enc.has_dfp", has_dfp);
+      w.end_section();
+      const AppState& st = state[i];
+      w.begin_section("APPS");
+      w.u64("app.cursor", st.cursor);
+      w.u64("app.now", st.now);
+      w.boolean("app.done", st.done);
+      st.metrics.save(w);
+      w.end_section();
+      if (has_dfp) {
+        w.begin_section("DFPE");
+        policy->engine(i)->save(w);
+        w.end_section();
+      }
+    }
+  }
+
+  void load_tenants(snapshot::Reader& r) {
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      r.enter_section("ENCM");
+      const std::uint64_t index = r.u64("enc.index");
+      SGXPL_CHECK_MSG(index == i, "snapshot tenant group " << index
+                                      << " arrived at position " << i);
+      const std::string scheme = r.str("enc.scheme");
+      SGXPL_CHECK_MSG(scheme == to_string(apps[i].scheme),
+                      "snapshot enclave " << i << " ran scheme '" << scheme
+                                          << "' but this run expects '"
+                                          << to_string(apps[i].scheme) << "'");
+      const std::string trace_name = r.str("enc.trace");
+      SGXPL_CHECK_MSG(trace_name == apps[i].trace->name(),
+                      "snapshot enclave " << i << " ran trace '" << trace_name
+                                          << "' but this run expects '"
+                                          << apps[i].trace->name() << "'");
+      const bool has_dfp = r.boolean("enc.has_dfp");
+      SGXPL_CHECK_MSG(has_dfp == (policy->engine(i) != nullptr),
+                      "snapshot enclave "
+                          << i << (has_dfp ? " carries" : " lacks")
+                          << " a DFP engine but this run "
+                          << (has_dfp ? "lacks" : "carries") << " one");
+      r.leave_section();
+      AppState& st = state[i];
+      r.enter_section("APPS");
+      st.cursor = r.u64("app.cursor");
+      SGXPL_CHECK_MSG(st.cursor <= apps[i].trace->size(),
+                      "snapshot cursor " << st.cursor << " exceeds enclave "
+                                         << i << "'s trace of "
+                                         << apps[i].trace->size()
+                                         << " accesses");
+      st.now = r.u64("app.now");
+      st.done = r.boolean("app.done");
+      st.metrics.load(r);
+      r.leave_section();
+      if (has_dfp) {
+        r.enter_section("DFPE");
+        policy->mutable_engine(i)->load(r);
+        r.leave_section();
+      }
+    }
+  }
+
   SimConfig cfg;
   std::vector<EnclaveApp> apps;
   std::vector<PageNum> offset;
@@ -351,27 +425,18 @@ snapshot::RunMeta MultiEnclaveRun::meta() const {
 }
 
 void MultiEnclaveRun::save(snapshot::Writer& w) const {
+  save(w, snapshot::ChainHeader{});
+}
+
+void MultiEnclaveRun::save(snapshot::Writer& w,
+                           const snapshot::ChainHeader& chain) const {
   const Impl& im = *impl_;
+  SGXPL_CHECK_MSG(chain.kind == snapshot::FrameKind::kFull,
+                  "save() writes full frames; deltas go through save_delta()");
+  snapshot::write_chain_header(w, chain);
   snapshot::write_meta(w, meta());
-  // One "APPS" section per enclave, in index order.
-  for (const AppState& st : im.state) {
-    w.begin_section("APPS");
-    w.u64("app.cursor", st.cursor);
-    w.u64("app.now", st.now);
-    w.boolean("app.done", st.done);
-    st.metrics.save(w);
-    w.end_section();
-  }
-  w.begin_section("DRVR");
-  im.driver->save(w);
-  w.end_section();
-  for (std::size_t i = 0; i < im.apps.size(); ++i) {
-    if (const auto* engine = im.policy->engine(i)) {
-      w.begin_section("DFPE");
-      engine->save(w);
-      w.end_section();
-    }
-  }
+  im.save_tenants(w);
+  im.driver->save_sections(w);
   if (im.injector != nullptr) {
     w.begin_section("INJC");
     im.injector->save(w);
@@ -381,34 +446,22 @@ void MultiEnclaveRun::save(snapshot::Writer& w) const {
 
 void MultiEnclaveRun::load(snapshot::Reader& r) {
   Impl& im = *impl_;
+  SGXPL_CHECK_MSG(r.version() >= 2,
+                  "format v1 snapshot: load it through load_bytes(), which "
+                  "upgrades in memory, or rewrite the file with "
+                  "'snapshot_tool upgrade'");
+  const snapshot::ChainHeader chain = snapshot::read_chain_header(r);
+  SGXPL_CHECK_MSG(chain.kind == snapshot::FrameKind::kFull,
+                  "this frame is delta "
+                      << chain.seq
+                      << " of a checkpoint chain and cannot be restored on "
+                         "its own; restore the chain from its base frame");
   const snapshot::RunMeta stored = snapshot::read_meta(r);
   const std::string mismatch = stored.incompatibility(meta());
   SGXPL_CHECK_MSG(mismatch.empty(),
                   "snapshot does not match this run: " << mismatch);
-  for (std::size_t i = 0; i < im.apps.size(); ++i) {
-    AppState& st = im.state[i];
-    r.enter_section("APPS");
-    st.cursor = r.u64("app.cursor");
-    SGXPL_CHECK_MSG(st.cursor <= im.apps[i].trace->size(),
-                    "snapshot cursor " << st.cursor << " exceeds enclave "
-                                       << i << "'s trace of "
-                                       << im.apps[i].trace->size()
-                                       << " accesses");
-    st.now = r.u64("app.now");
-    st.done = r.boolean("app.done");
-    st.metrics.load(r);
-    r.leave_section();
-  }
-  r.enter_section("DRVR");
-  im.driver->load(r);
-  r.leave_section();
-  for (std::size_t i = 0; i < im.apps.size(); ++i) {
-    if (auto* engine = im.policy->mutable_engine(i)) {
-      r.enter_section("DFPE");
-      engine->load(r);
-      r.leave_section();
-    }
-  }
+  im.load_tenants(r);
+  im.driver->load_sections(r);
   if (im.injector != nullptr) {
     r.enter_section("INJC");
     im.injector->load(r);
@@ -428,19 +481,98 @@ std::vector<std::uint8_t> MultiEnclaveRun::save_bytes() const {
 }
 
 void MultiEnclaveRun::load_bytes(const std::vector<std::uint8_t>& bytes) {
+  snapshot::validate_frame(bytes);
   snapshot::Reader r(bytes);
+  if (r.version() < 2) {
+    const std::vector<std::uint8_t> upgraded =
+        snapshot::upgrade_v1_to_v2(bytes);
+    snapshot::Reader upgraded_reader(upgraded);
+    load(upgraded_reader);
+    return;
+  }
   load(r);
 }
 
 bool MultiEnclaveRun::restore_if_compatible(
     const std::vector<std::uint8_t>& bytes) {
+  snapshot::validate_frame(bytes);
   snapshot::Reader probe(bytes);
+  if (probe.version() >= 2) {
+    (void)snapshot::read_chain_header(probe);
+  }
   const snapshot::RunMeta stored = snapshot::read_meta(probe);
   if (!stored.incompatibility(meta()).empty()) {
     return false;
   }
   load_bytes(bytes);
   return true;
+}
+
+void MultiEnclaveRun::save_delta(snapshot::Writer& w,
+                                 const snapshot::ChainHeader& chain,
+                                 const snapshot::SectionGens& last) const {
+  const Impl& im = *impl_;
+  SGXPL_CHECK_MSG(chain.kind == snapshot::FrameKind::kDelta,
+                  "save_delta() writes delta frames; full frames go through "
+                  "save()");
+  snapshot::write_chain_header(w, chain);
+  snapshot::write_meta(w, meta());
+  im.save_tenants(w);
+  im.driver->save_delta_sections(w, last);
+  if (im.injector != nullptr) {
+    w.begin_section("INJC");
+    im.injector->save(w);
+    w.end_section();
+  }
+}
+
+void MultiEnclaveRun::apply_delta_bytes(
+    const std::vector<std::uint8_t>& bytes) {
+  Impl& im = *impl_;
+  snapshot::validate_frame(bytes);
+  snapshot::Reader r(bytes);
+  const snapshot::ChainHeader chain = snapshot::read_chain_header(r);
+  SGXPL_CHECK_MSG(chain.kind == snapshot::FrameKind::kDelta,
+                  "apply_delta_bytes() on a full frame; restore it with "
+                  "load_bytes()");
+  const snapshot::RunMeta stored = snapshot::read_meta(r);
+  const std::string mismatch = stored.incompatibility(meta());
+  SGXPL_CHECK_MSG(mismatch.empty(),
+                  "delta frame does not match this run: " << mismatch);
+  im.load_tenants(r);
+  im.driver->apply_delta_sections(r);
+  if (im.injector != nullptr) {
+    r.enter_section("INJC");
+    im.injector->load(r);
+    r.leave_section();
+  }
+  SGXPL_CHECK_MSG(r.sections_entered() == r.section_count(),
+                  "delta frame holds " << r.section_count()
+                                       << " sections but this run consumes "
+                                       << r.sections_entered());
+  im.finished = false;
+}
+
+snapshot::SectionGens MultiEnclaveRun::section_gens() const {
+  return impl_->driver->section_gens();
+}
+
+void MultiEnclaveRun::clear_dirty() { impl_->driver->clear_dirty(); }
+
+std::size_t MultiEnclaveRun::enclave_count() const noexcept {
+  return impl_->apps.size();
+}
+
+Metrics MultiEnclaveRun::tenant_metrics(std::size_t enclave) const {
+  SGXPL_CHECK_MSG(enclave < impl_->state.size(),
+                  "no enclave " << enclave << " in this co-run");
+  return impl_->state[enclave].metrics;
+}
+
+std::uint64_t MultiEnclaveRun::tenant_cursor(std::size_t enclave) const {
+  SGXPL_CHECK_MSG(enclave < impl_->state.size(),
+                  "no enclave " << enclave << " in this co-run");
+  return impl_->state[enclave].cursor;
 }
 
 MultiEnclaveSimulator::MultiEnclaveSimulator(const SimConfig& config)
@@ -458,24 +590,33 @@ MultiEnclaveResult MultiEnclaveSimulator::run(
             std::chrono::steady_clock::now() - t0)
             .count());
   };
-  if (!ck.resume_path.empty() && snapshot::file_readable(ck.resume_path)) {
+  if (!ck.resume_path.empty()) {
     // Meta-gated, same contract as EnclaveSimulator::run: a snapshot of a
-    // different configuration is skipped; corrupt snapshots still throw.
+    // different configuration is skipped; corrupt snapshots or broken
+    // chains still throw. `.delta-N` files beside the base are replayed.
     const auto t0 = std::chrono::steady_clock::now();
-    if (run.restore_if_compatible(snapshot::read_file(ck.resume_path)) &&
+    if (snapshot::restore_chain_from_files(run, ck.resume_path) &&
         config_.registry != nullptr) {
       config_.registry->histogram("snapshot.load_cycles").record(ns_since(t0));
     }
   }
   const bool checkpointing = ck.every_accesses > 0 && !ck.path.empty();
+  snapshot::Snapshotter<MultiEnclaveRun> snap(ck.full_every);
   while (!run.done()) {
     run.step();
     if (checkpointing && run.steps() % ck.every_accesses == 0) {
       const auto t0 = std::chrono::steady_clock::now();
-      snapshot::write_file_atomic(ck.path, run.save_bytes());
+      const snapshot::ChainFrame frame = snap.checkpoint(run);
+      const bool full = frame.header.kind == snapshot::FrameKind::kFull;
+      snapshot::write_file_atomic(
+          full ? ck.path : snapshot::delta_path(ck.path, frame.header.seq),
+          frame.bytes);
+      if (full) snapshot::remove_stale_deltas(ck.path);
       if (config_.registry != nullptr) {
         config_.registry->histogram("snapshot.save_cycles")
             .record(ns_since(t0));
+        config_.registry->histogram("snapshot.bytes_written")
+            .record(frame.bytes.size());
       }
     }
   }

@@ -71,12 +71,29 @@ class MultiEnclaveRun {
   MultiEnclaveResult run_to_end();
 
   // --- checkpoint/restore (same contract as SimulationRun) ---
+  // Format v2 lays multi-enclave state out per tenant: an "ENCM" identity
+  // section, the tenant's "APPS" clock/metrics, and its "DFPE" engine (when
+  // the scheme runs one) are grouped per enclave so one tenant can be
+  // extracted and inspected standalone (snapshot::extract_enclave).
   void save(snapshot::Writer& w) const;
+  void save(snapshot::Writer& w, const snapshot::ChainHeader& chain) const;
   void load(snapshot::Reader& r);
   std::vector<std::uint8_t> save_bytes() const;
   void load_bytes(const std::vector<std::uint8_t>& bytes);
   bool restore_if_compatible(const std::vector<std::uint8_t>& bytes);
   snapshot::RunMeta meta() const;
+
+  // --- delta checkpointing (same contract as SimulationRun) ---
+  void save_delta(snapshot::Writer& w, const snapshot::ChainHeader& chain,
+                  const snapshot::SectionGens& last) const;
+  void apply_delta_bytes(const std::vector<std::uint8_t>& bytes);
+  snapshot::SectionGens section_gens() const;
+  void clear_dirty();
+
+  // --- per-tenant inspection (the in-situ side of extraction tests) ---
+  std::size_t enclave_count() const noexcept;
+  Metrics tenant_metrics(std::size_t enclave) const;
+  std::uint64_t tenant_cursor(std::size_t enclave) const;
 
  private:
   struct Impl;

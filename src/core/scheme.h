@@ -37,8 +37,14 @@ struct CheckpointOptions {
   std::string path;
   /// When non-empty, restore this snapshot before running. The file must
   /// exist and describe the same trace/scheme/configuration (CheckFailure
-  /// otherwise).
+  /// otherwise). Delta files beside it (`<path>.delta-N`) are replayed on
+  /// top of the base automatically.
   std::string resume_path;
+  /// Emit a full base snapshot every N checkpoints and incremental delta
+  /// frames in between (snapshot format v2). 1 = every checkpoint is a full
+  /// snapshot (the pre-v2 behaviour); larger values bound the delta-chain
+  /// length a resume has to replay. 0 is treated as 1.
+  std::uint64_t full_every = 1;
 };
 
 struct SimConfig {

@@ -8,7 +8,9 @@
 #include "dfp/dfp_engine.h"
 #include "inject/fault_injector.h"
 #include "sgxsim/driver.h"
+#include "snapshot/chain.h"
 #include "snapshot/codec.h"
+#include "snapshot/migrate.h"
 
 namespace sgxpl::core {
 
@@ -238,17 +240,28 @@ snapshot::RunMeta SimulationRun::meta() const {
   return meta;
 }
 
-void SimulationRun::save(snapshot::Writer& w) const {
-  snapshot::write_meta(w, meta());
+void SimulationRun::save_run_section(snapshot::Writer& w) const {
   w.begin_section("RUNS");
   w.boolean("run.started", started_);
   w.u64("run.cursor", cursor_);
   w.u64("run.now", now_);
   m_.save(w);
   w.end_section();
-  w.begin_section("DRVR");
-  driver_->save(w);
-  w.end_section();
+}
+
+void SimulationRun::load_run_section(snapshot::Reader& r) {
+  r.enter_section("RUNS");
+  started_ = r.boolean("run.started");
+  cursor_ = r.u64("run.cursor");
+  SGXPL_CHECK_MSG(cursor_ <= trace_->size(),
+                  "snapshot cursor " << cursor_ << " exceeds the trace's "
+                                     << trace_->size() << " accesses");
+  now_ = r.u64("run.now");
+  m_.load(r);
+  r.leave_section();
+}
+
+void SimulationRun::save_tail_sections(snapshot::Writer& w) const {
   if (engine_ != nullptr) {
     w.begin_section("DFPE");
     engine_->save(w);
@@ -261,23 +274,7 @@ void SimulationRun::save(snapshot::Writer& w) const {
   }
 }
 
-void SimulationRun::load(snapshot::Reader& r) {
-  const snapshot::RunMeta stored = snapshot::read_meta(r);
-  const std::string mismatch = stored.incompatibility(meta());
-  SGXPL_CHECK_MSG(mismatch.empty(),
-                  "snapshot does not match this run: " << mismatch);
-  r.enter_section("RUNS");
-  started_ = r.boolean("run.started");
-  cursor_ = r.u64("run.cursor");
-  SGXPL_CHECK_MSG(cursor_ <= trace_->size(),
-                  "snapshot cursor " << cursor_ << " exceeds the trace's "
-                                     << trace_->size() << " accesses");
-  now_ = r.u64("run.now");
-  m_.load(r);
-  r.leave_section();
-  r.enter_section("DRVR");
-  driver_->load(r);
-  r.leave_section();
+void SimulationRun::load_tail_sections(snapshot::Reader& r) {
   if (engine_ != nullptr) {
     r.enter_section("DFPE");
     engine_->load(r);
@@ -288,6 +285,41 @@ void SimulationRun::load(snapshot::Reader& r) {
     injector_->load(r);
     r.leave_section();
   }
+}
+
+void SimulationRun::save(snapshot::Writer& w) const {
+  save(w, snapshot::ChainHeader{});
+}
+
+void SimulationRun::save(snapshot::Writer& w,
+                         const snapshot::ChainHeader& chain) const {
+  SGXPL_CHECK_MSG(chain.kind == snapshot::FrameKind::kFull,
+                  "save() writes full frames; deltas go through save_delta()");
+  snapshot::write_chain_header(w, chain);
+  snapshot::write_meta(w, meta());
+  save_run_section(w);
+  driver_->save_sections(w);
+  save_tail_sections(w);
+}
+
+void SimulationRun::load(snapshot::Reader& r) {
+  SGXPL_CHECK_MSG(r.version() >= 2,
+                  "format v1 snapshot: load it through load_bytes(), which "
+                  "upgrades in memory, or rewrite the file with "
+                  "'snapshot_tool upgrade'");
+  const snapshot::ChainHeader chain = snapshot::read_chain_header(r);
+  SGXPL_CHECK_MSG(chain.kind == snapshot::FrameKind::kFull,
+                  "this frame is delta "
+                      << chain.seq
+                      << " of a checkpoint chain and cannot be restored on "
+                         "its own; restore the chain from its base frame");
+  const snapshot::RunMeta stored = snapshot::read_meta(r);
+  const std::string mismatch = stored.incompatibility(meta());
+  SGXPL_CHECK_MSG(mismatch.empty(),
+                  "snapshot does not match this run: " << mismatch);
+  load_run_section(r);
+  driver_->load_sections(r);
+  load_tail_sections(r);
   SGXPL_CHECK_MSG(r.sections_entered() == r.section_count(),
                   "snapshot holds " << r.section_count()
                                     << " sections but this run consumes "
@@ -302,13 +334,25 @@ std::vector<std::uint8_t> SimulationRun::save_bytes() const {
 }
 
 void SimulationRun::load_bytes(const std::vector<std::uint8_t>& bytes) {
+  snapshot::validate_frame(bytes);
   snapshot::Reader r(bytes);
+  if (r.version() < 2) {
+    const std::vector<std::uint8_t> upgraded =
+        snapshot::upgrade_v1_to_v2(bytes);
+    snapshot::Reader upgraded_reader(upgraded);
+    load(upgraded_reader);
+    return;
+  }
   load(r);
 }
 
 bool SimulationRun::restore_if_compatible(
     const std::vector<std::uint8_t>& bytes) {
+  snapshot::validate_frame(bytes);
   snapshot::Reader probe(bytes);
+  if (probe.version() >= 2) {
+    (void)snapshot::read_chain_header(probe);
+  }
   const snapshot::RunMeta stored = snapshot::read_meta(probe);
   if (!stored.incompatibility(meta()).empty()) {
     return false;
@@ -316,6 +360,46 @@ bool SimulationRun::restore_if_compatible(
   load_bytes(bytes);
   return true;
 }
+
+void SimulationRun::save_delta(snapshot::Writer& w,
+                               const snapshot::ChainHeader& chain,
+                               const snapshot::SectionGens& last) const {
+  SGXPL_CHECK_MSG(chain.kind == snapshot::FrameKind::kDelta,
+                  "save_delta() writes delta frames; full frames go through "
+                  "save()");
+  snapshot::write_chain_header(w, chain);
+  snapshot::write_meta(w, meta());
+  save_run_section(w);
+  driver_->save_delta_sections(w, last);
+  save_tail_sections(w);
+}
+
+void SimulationRun::apply_delta_bytes(const std::vector<std::uint8_t>& bytes) {
+  snapshot::validate_frame(bytes);
+  snapshot::Reader r(bytes);
+  const snapshot::ChainHeader chain = snapshot::read_chain_header(r);
+  SGXPL_CHECK_MSG(chain.kind == snapshot::FrameKind::kDelta,
+                  "apply_delta_bytes() on a full frame; restore it with "
+                  "load_bytes()");
+  const snapshot::RunMeta stored = snapshot::read_meta(r);
+  const std::string mismatch = stored.incompatibility(meta());
+  SGXPL_CHECK_MSG(mismatch.empty(),
+                  "delta frame does not match this run: " << mismatch);
+  load_run_section(r);
+  driver_->apply_delta_sections(r);
+  load_tail_sections(r);
+  SGXPL_CHECK_MSG(r.sections_entered() == r.section_count(),
+                  "delta frame holds " << r.section_count()
+                                       << " sections but this run consumes "
+                                       << r.sections_entered());
+  finished_ = false;
+}
+
+snapshot::SectionGens SimulationRun::section_gens() const {
+  return driver_->section_gens();
+}
+
+void SimulationRun::clear_dirty() { driver_->clear_dirty(); }
 
 EnclaveSimulator::EnclaveSimulator(const SimConfig& config)
     : config_(config) {}
@@ -336,25 +420,34 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
             std::chrono::steady_clock::now() - t0)
             .count());
   };
-  if (!ck.resume_path.empty() && snapshot::file_readable(ck.resume_path)) {
+  if (!ck.resume_path.empty()) {
     // Meta-gated: a snapshot belonging to a different configuration (benches
     // that simulate several schemes overwrite one file per run) is skipped
-    // and this run starts fresh. Corrupt snapshots still throw.
+    // and this run starts fresh. Corrupt snapshots or broken chains still
+    // throw. Any `.delta-N` files beside the base are replayed on top.
     const auto t0 = std::chrono::steady_clock::now();
-    if (run.restore_if_compatible(snapshot::read_file(ck.resume_path)) &&
+    if (snapshot::restore_chain_from_files(run, ck.resume_path) &&
         config_.registry != nullptr) {
       config_.registry->histogram("snapshot.load_cycles").record(ns_since(t0));
     }
   }
   const bool checkpointing = ck.every_accesses > 0 && !ck.path.empty();
+  snapshot::Snapshotter<SimulationRun> snap(ck.full_every);
   while (!run.done()) {
     run.step();
     if (checkpointing && run.cursor() % ck.every_accesses == 0) {
       const auto t0 = std::chrono::steady_clock::now();
-      snapshot::write_file_atomic(ck.path, run.save_bytes());
+      const snapshot::ChainFrame frame = snap.checkpoint(run);
+      const bool full = frame.header.kind == snapshot::FrameKind::kFull;
+      snapshot::write_file_atomic(
+          full ? ck.path : snapshot::delta_path(ck.path, frame.header.seq),
+          frame.bytes);
+      if (full) snapshot::remove_stale_deltas(ck.path);
       if (config_.registry != nullptr) {
         config_.registry->histogram("snapshot.save_cycles")
             .record(ns_since(t0));
+        config_.registry->histogram("snapshot.bytes_written")
+            .record(frame.bytes.size());
       }
     }
   }

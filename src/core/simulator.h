@@ -67,9 +67,17 @@ class SimulationRun {
   Metrics run_to_end();
 
   // --- checkpoint/restore ---
+  /// Write a complete full frame (standalone: chain id 0). The two-argument
+  /// form stamps the given chain header instead (must be a full frame; the
+  /// Snapshotter uses it for chain bases).
   void save(snapshot::Writer& w) const;
+  void save(snapshot::Writer& w, const snapshot::ChainHeader& chain) const;
+  /// Read a format-v2 full frame. Rejects delta frames (restore those
+  /// through snapshot::restore_chain) and v1 frames (load_bytes upgrades
+  /// those in memory first).
   void load(snapshot::Reader& r);
-  /// save()/load() through a complete framed snapshot.
+  /// save()/load() through a complete framed snapshot. load_bytes accepts
+  /// format-v1 bytes and upgrades them through the migration shim.
   std::vector<std::uint8_t> save_bytes() const;
   void load_bytes(const std::vector<std::uint8_t>& bytes);
   /// Meta-gated restore: returns false (leaving the run untouched) when
@@ -77,12 +85,28 @@ class SimulationRun {
   /// enclave geometry; throws CheckFailure when `bytes` is corrupt.
   bool restore_if_compatible(const std::vector<std::uint8_t>& bytes);
 
+  /// Delta checkpointing (format v2): save_delta writes a frame holding the
+  /// chain header, META, RUNS, the always-rewritten DRVR section, sparse
+  /// deltas of only the bulk structures whose generation moved past `last`,
+  /// and the (small) DFPE/INJC sections. apply_delta_bytes replays such a
+  /// frame on top of this run's current state; callers go through
+  /// snapshot::restore_chain, which enforces chain linkage.
+  void save_delta(snapshot::Writer& w, const snapshot::ChainHeader& chain,
+                  const snapshot::SectionGens& last) const;
+  void apply_delta_bytes(const std::vector<std::uint8_t>& bytes);
+  snapshot::SectionGens section_gens() const;
+  void clear_dirty();
+
   /// This run's identity as written into snapshots.
   snapshot::RunMeta meta() const;
 
  private:
   void hoist(std::size_t idx);
   void ensure_started();
+  void save_run_section(snapshot::Writer& w) const;
+  void load_run_section(snapshot::Reader& r);
+  void save_tail_sections(snapshot::Writer& w) const;
+  void load_tail_sections(snapshot::Reader& r);
 
   SimConfig cfg_;
   const trace::Trace* trace_;

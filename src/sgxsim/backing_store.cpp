@@ -11,11 +11,14 @@ std::uint64_t BackingStore::evict(PageNum page) {
   auto& slot = slots_[page];
   ++slot.version;
   ++total_evictions_;
+  ++gen_;
+  dirty_.insert(page);
   return slot.version;
 }
 
 std::uint64_t BackingStore::load(PageNum page) const {
   ++total_loads_;
+  ++gen_;  // total_loads_ is serialized state, so a load changes the frame
   const auto it = slots_.find(page);
   return it == slots_.end() ? 0 : it->second.version;
 }
@@ -51,6 +54,45 @@ void BackingStore::load(snapshot::Reader& r) {
   for (std::size_t i = 0; i < pages.size(); ++i) {
     slots_[pages[i]].version = versions[i];
   }
+  // Whole-store load: every populated slot is dirty until clear_dirty().
+  ++gen_;
+  dirty_.clear();
+  for (const auto& [page, slot] : slots_) dirty_.insert(page);
 }
+
+void BackingStore::save_delta(snapshot::Writer& w) const {
+  w.u64("backing.total_evictions", total_evictions_);
+  w.u64("backing.total_loads", total_loads_);
+  std::vector<std::uint64_t> pages(dirty_.begin(), dirty_.end());
+  std::sort(pages.begin(), pages.end());
+  std::vector<std::uint64_t> versions;
+  versions.reserve(pages.size());
+  for (std::uint64_t page : pages) versions.push_back(slots_.at(page).version);
+  w.u64_vec("backing.delta_pages", pages);
+  w.u64_vec("backing.delta_versions", versions);
+}
+
+void BackingStore::apply_delta(snapshot::Reader& r) {
+  total_evictions_ = r.u64("backing.total_evictions");
+  total_loads_ = r.u64("backing.total_loads");
+  const std::vector<std::uint64_t> pages = r.u64_vec("backing.delta_pages");
+  const std::vector<std::uint64_t> versions =
+      r.u64_vec("backing.delta_versions");
+  SGXPL_CHECK_MSG(pages.size() == versions.size(),
+                  "snapshot backing-store delta page/version lists are "
+                  "misaligned");
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    SGXPL_CHECK_MSG(i == 0 || pages[i] > pages[i - 1],
+                    "snapshot backing-store delta pages are not sorted");
+    SGXPL_CHECK_MSG(versions[i] > 0,
+                    "snapshot backing-store delta holds version 0 for page "
+                        << pages[i]);
+    slots_[pages[i]].version = versions[i];
+    dirty_.insert(pages[i]);
+  }
+  ++gen_;
+}
+
+void BackingStore::clear_dirty() { dirty_.clear(); }
 
 }  // namespace sgxpl::sgxsim

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/types.h"
 #include "snapshot/fwd.h"
@@ -35,6 +36,14 @@ class BackingStore {
   void save(snapshot::Writer& w) const;
   void load(snapshot::Reader& r);
 
+  /// Delta checkpointing (format v2): the totals plus only the version slots
+  /// bumped since the last clear_dirty(). generation() also moves on load()
+  /// because total_loads_ is observable state.
+  std::uint64_t generation() const noexcept { return gen_; }
+  void save_delta(snapshot::Writer& w) const;
+  void apply_delta(snapshot::Reader& r);
+  void clear_dirty();
+
  private:
   struct Slot {
     std::uint64_t version = 0;
@@ -42,6 +51,8 @@ class BackingStore {
   std::unordered_map<PageNum, Slot> slots_;
   std::uint64_t total_evictions_ = 0;
   mutable std::uint64_t total_loads_ = 0;
+  mutable std::uint64_t gen_ = 0;
+  std::unordered_set<PageNum> dirty_;
 };
 
 }  // namespace sgxpl::sgxsim

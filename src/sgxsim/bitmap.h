@@ -28,12 +28,20 @@ class PresenceBitmap {
 
   void set(PageNum page) {
     SGXPL_DCHECK(page < pages_);
-    words_[page >> 6] |= (1ull << (page & 63));
+    const std::uint64_t bit = 1ull << (page & 63);
+    if ((words_[page >> 6] & bit) == 0) {
+      words_[page >> 6] |= bit;
+      mark_dirty(page >> 6);
+    }
   }
 
   void clear(PageNum page) {
     SGXPL_DCHECK(page < pages_);
-    words_[page >> 6] &= ~(1ull << (page & 63));
+    const std::uint64_t bit = 1ull << (page & 63);
+    if ((words_[page >> 6] & bit) != 0) {
+      words_[page >> 6] &= ~bit;
+      mark_dirty(page >> 6);
+    }
   }
 
   /// Number of set bits (for invariant checks against the page table).
@@ -44,9 +52,27 @@ class PresenceBitmap {
   void save(snapshot::Writer& w) const;
   void load(snapshot::Reader& r);
 
+  /// Delta checkpointing (format v2): only the 64-bit words that changed
+  /// since the last clear_dirty() are written, as sparse word-index runs.
+  std::uint64_t generation() const noexcept { return gen_; }
+  void save_delta(snapshot::Writer& w) const;
+  void apply_delta(snapshot::Reader& r);
+  void clear_dirty();
+
  private:
+  void mark_dirty(std::uint64_t word) {
+    ++gen_;
+    if (!dirty_flag_[word]) {
+      dirty_flag_[word] = true;
+      dirty_list_.push_back(word);
+    }
+  }
+
   PageNum pages_;
   std::vector<std::uint64_t> words_;
+  std::uint64_t gen_ = 0;
+  std::vector<std::uint64_t> dirty_list_;
+  std::vector<bool> dirty_flag_;
 };
 
 }  // namespace sgxpl::sgxsim

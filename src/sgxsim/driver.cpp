@@ -1023,7 +1023,7 @@ void DriverStats::load(snapshot::Reader& r) {
   sip_stall_cycles = r.u64("stats.sip_stall_cycles");
 }
 
-void Driver::save(snapshot::Writer& w) const {
+void Driver::save_drvr_fields(snapshot::Writer& w) const {
   w.str("driver.eviction", eviction_->name());
   w.u64("driver.next_scan", next_scan_);
   w.u64("driver.bookkept_until", bookkept_until_);
@@ -1063,15 +1063,11 @@ void Driver::save(snapshot::Writer& w) const {
     t.save(w);
   }
   stats_.save(w);
-  page_table_.save(w);
-  epc_.save(w);
-  bitmap_.save(w);
-  backing_.save(w);
   channel_.save(w);
   eviction_->save(w);
 }
 
-void Driver::load(snapshot::Reader& r) {
+void Driver::load_drvr_fields(snapshot::Reader& r) {
   const std::string eviction_name = r.str("driver.eviction");
   SGXPL_CHECK_MSG(eviction_name == eviction_->name(),
                   "snapshot was taken with eviction policy '"
@@ -1131,13 +1127,116 @@ void Driver::load(snapshot::Reader& r) {
     t.load(r);
   }
   stats_.load(r);
-  page_table_.load(r);
-  epc_.load(r);
-  bitmap_.load(r);
-  backing_.load(r);
   channel_.load(r);
   eviction_->load(r);
+}
+
+void Driver::save_sections(snapshot::Writer& w) const {
+  w.begin_section("DRVR");
+  save_drvr_fields(w);
+  w.end_section();
+  w.begin_section("PGTB");
+  page_table_.save(w);
+  w.end_section();
+  w.begin_section("EPCC");
+  epc_.save(w);
+  w.end_section();
+  w.begin_section("BMAP");
+  bitmap_.save(w);
+  w.end_section();
+  w.begin_section("BSTR");
+  backing_.save(w);
+  w.end_section();
+}
+
+void Driver::load_sections(snapshot::Reader& r) {
+  r.enter_section("DRVR");
+  load_drvr_fields(r);
+  r.leave_section();
+  r.enter_section("PGTB");
+  page_table_.load(r);
+  r.leave_section();
+  r.enter_section("EPCC");
+  epc_.load(r);
+  r.leave_section();
+  r.enter_section("BMAP");
+  bitmap_.load(r);
+  r.leave_section();
+  r.enter_section("BSTR");
+  backing_.load(r);
+  r.leave_section();
   check_invariants();
+}
+
+void Driver::save_delta_sections(snapshot::Writer& w,
+                                 const snapshot::SectionGens& last) const {
+  w.begin_section("DRVR");
+  save_drvr_fields(w);
+  w.end_section();
+  if (page_table_.generation() != last.page_table) {
+    w.begin_section("PGTD");
+    page_table_.save_delta(w);
+    w.end_section();
+  }
+  if (epc_.generation() != last.epc) {
+    w.begin_section("EPCD");
+    epc_.save_delta(w);
+    w.end_section();
+  }
+  if (bitmap_.generation() != last.bitmap) {
+    w.begin_section("BMPD");
+    bitmap_.save_delta(w);
+    w.end_section();
+  }
+  if (backing_.generation() != last.backing) {
+    w.begin_section("BSTD");
+    backing_.save_delta(w);
+    w.end_section();
+  }
+}
+
+void Driver::apply_delta_sections(snapshot::Reader& r) {
+  r.enter_section("DRVR");
+  load_drvr_fields(r);
+  r.leave_section();
+  // The four structure deltas are optional and ordered; consume whichever
+  // are present.
+  while (true) {
+    const std::string tag = r.peek_section_tag();
+    if (tag == "PGTD") {
+      r.enter_section(tag);
+      page_table_.apply_delta(r);
+    } else if (tag == "EPCD") {
+      r.enter_section(tag);
+      epc_.apply_delta(r);
+    } else if (tag == "BMPD") {
+      r.enter_section(tag);
+      bitmap_.apply_delta(r);
+    } else if (tag == "BSTD") {
+      r.enter_section(tag);
+      backing_.apply_delta(r);
+    } else {
+      break;
+    }
+    r.leave_section();
+  }
+  check_invariants();
+}
+
+snapshot::SectionGens Driver::section_gens() const {
+  return snapshot::SectionGens{
+      .page_table = page_table_.generation(),
+      .epc = epc_.generation(),
+      .bitmap = bitmap_.generation(),
+      .backing = backing_.generation(),
+  };
+}
+
+void Driver::clear_dirty() {
+  page_table_.clear_dirty();
+  epc_.clear_dirty();
+  bitmap_.clear_dirty();
+  backing_.clear_dirty();
 }
 
 }  // namespace sgxpl::sgxsim

@@ -225,12 +225,30 @@ class Driver {
   /// Checkpoint/restore of the complete driver state: page table, EPC
   /// occupancy, presence bitmap, backing-store versions, the paging-channel
   /// queue, eviction-policy internals, scan/watchdog cursors, and every
-  /// DriverStats counter. load() requires a driver constructed with the
-  /// same EnclaveConfig; attached observability sinks (event log, metrics,
-  /// time series) are deliberately not part of the snapshot. After load(),
-  /// check_invariants() is run to reject inconsistent snapshots.
-  void save(snapshot::Writer& w) const;
-  void load(snapshot::Reader& r);
+  /// DriverStats counter, split across five framed sections — "DRVR" (scan
+  /// cursors, hardening state, tenants, stats, channel, eviction policy)
+  /// followed by "PGTB", "EPCC", "BMAP", "BSTR" for the four bulk
+  /// structures (snapshot format v2). load_sections() requires a driver
+  /// constructed with the same EnclaveConfig; attached observability sinks
+  /// (event log, metrics, time series) are deliberately not part of the
+  /// snapshot. After load_sections(), check_invariants() is run to reject
+  /// inconsistent snapshots.
+  void save_sections(snapshot::Writer& w) const;
+  void load_sections(snapshot::Reader& r);
+
+  /// Delta checkpointing: "DRVR" is always rewritten (its scalars move on
+  /// every access); each bulk structure becomes a sparse "PGTD"/"EPCD"/
+  /// "BMPD"/"BSTD" delta section and is omitted entirely when its
+  /// generation still equals the matching counter in `last`.
+  void save_delta_sections(snapshot::Writer& w,
+                           const snapshot::SectionGens& last) const;
+  void apply_delta_sections(snapshot::Reader& r);
+
+  /// Current generation counters of the four bulk structures (captured by
+  /// the Snapshotter at each checkpoint to drive section skipping).
+  snapshot::SectionGens section_gens() const;
+  /// Reset dirty tracking after a checkpoint frame was emitted.
+  void clear_dirty();
 
   /// Attach a metrics registry (not owned; nullptr detaches). Latency
   /// histograms — per-fault stall, per-SIP stall, DFP batch size — are
@@ -305,6 +323,11 @@ class Driver {
   }
   /// Lazily grown per-tenant controller (admission_active() only).
   AdmissionController& tenant(ProcessId pid);
+  /// The "DRVR" section's field stream (shared by save_sections and
+  /// save_delta_sections): everything except the four bulk structures.
+  void save_drvr_fields(snapshot::Writer& w) const;
+  void load_drvr_fields(snapshot::Reader& r);
+
   /// Has this preload-op id already been committed? (dup suppression)
   bool already_completed(std::uint64_t op_id) const noexcept;
   void note_completed(std::uint64_t op_id);

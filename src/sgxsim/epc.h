@@ -49,12 +49,26 @@ class Epc {
   void save(snapshot::Writer& w) const;
   void load(snapshot::Reader& r);
 
+  /// Delta checkpointing (format v2): scalars plus only the slots reassigned
+  /// since the last clear_dirty(); the free list is written whole (it is
+  /// near-empty whenever the enclave overcommits the EPC, which is the case
+  /// this simulator exists to study).
+  std::uint64_t generation() const noexcept { return gen_; }
+  void save_delta(snapshot::Writer& w) const;
+  void apply_delta(snapshot::Reader& r);
+  void clear_dirty();
+
  private:
+  void mark_dirty(SlotIndex slot);
+
   PageNum capacity_;
   PageNum used_ = 0;
   std::vector<PageNum> slot_to_page_;
   std::vector<SlotIndex> free_list_;
   SlotIndex clock_hand_ = 0;
+  std::uint64_t gen_ = 0;
+  std::vector<std::uint64_t> dirty_list_;
+  std::vector<bool> dirty_flag_;
 };
 
 }  // namespace sgxpl::sgxsim

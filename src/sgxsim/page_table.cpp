@@ -1,12 +1,23 @@
 #include "sgxsim/page_table.h"
 
+#include <algorithm>
+
 #include "snapshot/codec.h"
 
 namespace sgxpl::sgxsim {
 
 PageTable::PageTable(PageNum elrange_pages)
-    : size_(elrange_pages), entries_(elrange_pages) {
+    : size_(elrange_pages), entries_(elrange_pages),
+      dirty_flag_(elrange_pages, false) {
   SGXPL_CHECK_MSG(elrange_pages > 0, "ELRANGE must contain at least one page");
+}
+
+void PageTable::mark_dirty(PageNum page) {
+  ++gen_;
+  if (!dirty_flag_[page]) {
+    dirty_flag_[page] = true;
+    dirty_list_.push_back(page);
+  }
 }
 
 void PageTable::map(PageNum page, SlotIndex slot, bool via_preload) {
@@ -17,6 +28,7 @@ void PageTable::map(PageNum page, SlotIndex slot, bool via_preload) {
   e.accessed = false;
   e.preloaded = via_preload;
   ++resident_;
+  mark_dirty(page);
 }
 
 PageTableEntry PageTable::unmap(PageNum page) {
@@ -26,6 +38,7 @@ PageTableEntry PageTable::unmap(PageNum page) {
   e = PageTableEntry{};
   SGXPL_CHECK(resident_ > 0);
   --resident_;
+  mark_dirty(page);
   return prior;
 }
 
@@ -33,6 +46,7 @@ bool PageTable::touch(PageNum page) {
   auto& e = mutable_entry(page);
   SGXPL_DCHECK(e.present);
   const bool first = e.preloaded;
+  if (!e.accessed || e.preloaded) mark_dirty(page);
   e.accessed = true;
   e.preloaded = false;
   return first;
@@ -41,6 +55,7 @@ bool PageTable::touch(PageNum page) {
 bool PageTable::test_and_clear_accessed(PageNum page) {
   auto& e = mutable_entry(page);
   const bool was = e.accessed;
+  if (was) mark_dirty(page);
   e.accessed = false;
   return was;
 }
@@ -91,6 +106,71 @@ void PageTable::load(snapshot::Reader& r) {
                   "snapshot page table is inconsistent: " << check_resident
                       << " present entries but resident count " << resident);
   resident_ = resident;
+  // A whole-table load invalidates any delta baseline a caller may hold;
+  // treat every page as dirty until the next clear_dirty().
+  ++gen_;
+  dirty_list_.clear();
+  dirty_list_.reserve(entries_.size());
+  for (std::uint64_t p = 0; p < size_; ++p) dirty_list_.push_back(p);
+  dirty_flag_.assign(entries_.size(), true);
+}
+
+void PageTable::save_delta(snapshot::Writer& w) const {
+  w.u64("pt.pages", size_);
+  w.u64("pt.resident", resident_);
+  std::vector<std::uint64_t> dirty = dirty_list_;
+  std::sort(dirty.begin(), dirty.end());
+  w.u64_vec("pt.delta_runs", snapshot::encode_runs(dirty));
+  std::vector<std::uint64_t> packed;
+  packed.reserve(dirty.size());
+  for (const std::uint64_t page : dirty) {
+    const PageTableEntry& e = entries_[page];
+    std::uint64_t v = e.slot;
+    if (e.present) v |= kPresentBit;
+    if (e.accessed) v |= kAccessedBit;
+    if (e.preloaded) v |= kPreloadedBit;
+    packed.push_back(v);
+  }
+  w.u64_vec("pt.delta_entries", packed);
+}
+
+void PageTable::apply_delta(snapshot::Reader& r) {
+  const std::uint64_t pages = r.u64("pt.pages");
+  SGXPL_CHECK_MSG(pages == size_,
+                  "snapshot page-table delta covers " << pages
+                      << " ELRANGE pages but this enclave has " << size_);
+  const std::uint64_t resident = r.u64("pt.resident");
+  const std::vector<std::uint64_t> ids =
+      snapshot::decode_runs(r.u64_vec("pt.delta_runs"), size_, "page-table");
+  const std::vector<std::uint64_t> packed = r.u64_vec("pt.delta_entries");
+  SGXPL_CHECK_MSG(packed.size() == ids.size(),
+                  "snapshot page-table delta holds " << packed.size()
+                      << " entries for " << ids.size() << " pages");
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    PageTableEntry e;
+    e.slot = static_cast<SlotIndex>(packed[i] & 0xFFFFFFFFull);
+    e.present = (packed[i] & kPresentBit) != 0;
+    e.accessed = (packed[i] & kAccessedBit) != 0;
+    e.preloaded = (packed[i] & kPreloadedBit) != 0;
+    const PageNum page = ids[i];
+    if (entries_[page].present && !e.present) {
+      SGXPL_CHECK(resident_ > 0);
+      --resident_;
+    } else if (!entries_[page].present && e.present) {
+      ++resident_;
+    }
+    entries_[page] = e;
+    mark_dirty(page);
+  }
+  SGXPL_CHECK_MSG(resident_ == resident,
+                  "snapshot page-table delta is inconsistent: replay yields "
+                      << resident_ << " resident pages, the frame recorded "
+                      << resident);
+}
+
+void PageTable::clear_dirty() {
+  for (const std::uint64_t page : dirty_list_) dirty_flag_[page] = false;
+  dirty_list_.clear();
 }
 
 }  // namespace sgxpl::sgxsim

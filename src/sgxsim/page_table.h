@@ -60,15 +60,30 @@ class PageTable {
   void save(snapshot::Writer& w) const;
   void load(snapshot::Reader& r);
 
+  /// Delta checkpointing (snapshot format v2). Mutations since the last
+  /// clear_dirty() are tracked per page; save_delta writes only those
+  /// entries as sparse [start, len] runs, apply_delta replays them on top of
+  /// a previously restored table. generation() increments on every mutation
+  /// so the Snapshotter can skip the section when nothing changed.
+  std::uint64_t generation() const noexcept { return gen_; }
+  void save_delta(snapshot::Writer& w) const;
+  void apply_delta(snapshot::Reader& r);
+  void clear_dirty();
+
  private:
   PageTableEntry& mutable_entry(PageNum page) {
     SGXPL_DCHECK(page < size_);
     return entries_[page];
   }
 
+  void mark_dirty(PageNum page);
+
   PageNum size_;
   std::vector<PageTableEntry> entries_;
   std::uint64_t resident_ = 0;
+  std::uint64_t gen_ = 0;
+  std::vector<std::uint64_t> dirty_list_;
+  std::vector<bool> dirty_flag_;
 };
 
 }  // namespace sgxpl::sgxsim

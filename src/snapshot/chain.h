@@ -1,0 +1,238 @@
+// Checkpoint chains (snapshot format v2).
+//
+// A chain is one full base frame plus zero or more delta frames stacked on
+// it. The Snapshotter decides per checkpoint whether to emit a base or a
+// delta (CheckpointOptions::full_every bounds the chain length), stamps the
+// CHNH chain header, and tracks the per-structure generation counters that
+// let a delta skip sections whose state did not move. restore_chain()
+// replays a chain and enforces its linkage invariants:
+//
+//   - frame 0 must be a full base,
+//   - every later frame must be a delta of the SAME chain id,
+//   - delta seq numbers must run 1, 2, ... with no gap or reorder,
+//   - each delta's prev_crc must equal the CRC32C of the complete previous
+//     frame's bytes (so a substituted or regenerated frame is rejected even
+//     if its own CRCs are internally consistent).
+//
+// Violations throw ChainError (a CheckFailure subtype the recovery tests
+// can assert on). Everything here is a template over the run type so the
+// core library can drive chains for both SimulationRun and MultiEnclaveRun
+// without a layering inversion (this header depends only on the codec).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "snapshot/codec.h"
+#include "snapshot/fwd.h"
+
+namespace sgxpl::snapshot {
+
+/// A broken checkpoint chain: missing, reordered, mixed, or substituted
+/// frames. Distinct from plain CheckFailure so tests can tell "the chain is
+/// wrong" apart from "a frame is corrupt".
+class ChainError : public CheckFailure {
+ public:
+  explicit ChainError(const std::string& what) : CheckFailure(what) {}
+};
+
+/// File layout of an on-disk chain: the base at `base_path`, deltas beside
+/// it at `base_path`.delta-1, .delta-2, ...
+inline std::string delta_path(const std::string& base_path,
+                              std::uint64_t seq) {
+  return base_path + ".delta-" + std::to_string(seq);
+}
+
+/// Best-effort removal of delta files left behind by a previous chain after
+/// a new base was written at `base_path` (a stale delta would otherwise be
+/// picked up by the next resume scan; the chain-id check would reject it,
+/// but cleaning up keeps the directory honest).
+inline void remove_stale_deltas(const std::string& base_path) {
+  for (std::uint64_t seq = 1;; ++seq) {
+    if (std::remove(delta_path(base_path, seq).c_str()) != 0) break;
+  }
+}
+
+/// One emitted checkpoint frame.
+struct ChainFrame {
+  std::vector<std::uint8_t> bytes;
+  ChainHeader header;
+};
+
+/// Emits the checkpoint stream for one run: a full base every `full_every`
+/// checkpoints, deltas in between. Owns the chain bookkeeping (chain id,
+/// sequence numbers, previous-frame CRC, last-checkpoint generation
+/// counters) and clears the run's dirty tracking after every frame.
+///
+/// Requires of `Run`: save(Writer&, const ChainHeader&),
+/// save_delta(Writer&, const ChainHeader&, const SectionGens&),
+/// section_gens(), clear_dirty(), meta().
+template <class Run>
+class Snapshotter {
+ public:
+  /// `full_every` = 1 means every checkpoint is a full snapshot (the v1
+  /// behaviour); N > 1 stacks N-1 deltas on each base. 0 is treated as 1.
+  explicit Snapshotter(std::uint64_t full_every = 1)
+      : full_every_(full_every == 0 ? 1 : full_every) {}
+
+  ChainFrame checkpoint(Run& run) {
+    const bool full = emitted_ % full_every_ == 0;
+    ChainFrame f;
+    Writer w;
+    if (full) {
+      seq_ = 0;
+      chain_id_ = derive_chain_id(run);
+      f.header = ChainHeader{
+          .kind = FrameKind::kFull, .chain_id = chain_id_, .seq = 0,
+          .prev_crc = 0};
+      run.save(w, f.header);
+    } else {
+      f.header = ChainHeader{
+          .kind = FrameKind::kDelta, .chain_id = chain_id_, .seq = ++seq_,
+          .prev_crc = prev_crc_};
+      run.save_delta(w, f.header, last_gens_);
+    }
+    f.bytes = w.finish();
+    prev_crc_ = crc32c(f.bytes.data(), f.bytes.size());
+    last_gens_ = run.section_gens();
+    run.clear_dirty();
+    ++emitted_;
+    if (full) {
+      ++full_frames_;
+      full_bytes_ += f.bytes.size();
+    } else {
+      ++delta_frames_;
+      delta_bytes_ += f.bytes.size();
+    }
+    return f;
+  }
+
+  std::uint64_t frames() const noexcept { return emitted_; }
+  std::uint64_t full_frames() const noexcept { return full_frames_; }
+  std::uint64_t delta_frames() const noexcept { return delta_frames_; }
+  std::uint64_t full_bytes() const noexcept { return full_bytes_; }
+  std::uint64_t delta_bytes() const noexcept { return delta_bytes_; }
+  std::uint64_t bytes_written() const noexcept {
+    return full_bytes_ + delta_bytes_;
+  }
+
+ private:
+  /// Content-derived chain identity: CRC of the serialized META frame mixed
+  /// with the cut cursor. Deterministic (no clock, no randomness) so chain
+  /// goldens are byte-stable, yet distinct across bases of the same run.
+  std::uint64_t derive_chain_id(const Run& run) const {
+    const RunMeta m = run.meta();
+    Writer w;
+    write_meta(w, m);
+    const std::vector<std::uint8_t> bytes = w.finish();
+    const std::uint64_t h = crc32c(bytes.data(), bytes.size());
+    return (h << 32) ^ (m.cursor + 1);  // +1: never 0, the standalone id
+  }
+
+  std::uint64_t full_every_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t chain_id_ = 0;
+  std::uint32_t prev_crc_ = 0;
+  SectionGens last_gens_{};
+  std::uint64_t full_frames_ = 0;
+  std::uint64_t delta_frames_ = 0;
+  std::uint64_t full_bytes_ = 0;
+  std::uint64_t delta_bytes_ = 0;
+};
+
+/// Restore `run` from a chain given as in-memory frames (base first).
+/// Throws ChainError on linkage violations and CheckFailure on corrupt
+/// frames. Requires of `Run`: load_bytes(), apply_delta_bytes().
+template <class Run>
+void restore_chain(Run& run,
+                   const std::vector<std::vector<std::uint8_t>>& frames) {
+  if (frames.empty()) {
+    throw ChainError("checkpoint chain is empty — nothing to restore");
+  }
+  for (const auto& f : frames) validate_frame(f);
+  const ChainHeader base = read_chain_header_bytes(frames[0]);
+  if (base.kind != FrameKind::kFull) {
+    throw ChainError(
+        "checkpoint chain does not start with a full base frame (found "
+        "delta " +
+        std::to_string(base.seq) +
+        ") — the base is missing or the frames are reordered");
+  }
+  run.load_bytes(frames[0]);
+  std::uint32_t prev = crc32c(frames[0].data(), frames[0].size());
+  std::uint64_t expect_seq = 1;
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    const ChainHeader h = read_chain_header_bytes(frames[i]);
+    if (h.kind != FrameKind::kDelta) {
+      throw ChainError("frame " + std::to_string(i) +
+                       " of the checkpoint chain is a full base — chains "
+                       "hold one base followed by deltas only");
+    }
+    if (h.chain_id != base.chain_id) {
+      throw ChainError("delta " + std::to_string(h.seq) +
+                       " belongs to a different checkpoint chain (id " +
+                       std::to_string(h.chain_id) + ", base chain is " +
+                       std::to_string(base.chain_id) +
+                       ") — frames from separate chains were mixed");
+    }
+    if (h.seq != expect_seq) {
+      throw ChainError("expected delta seq " + std::to_string(expect_seq) +
+                       " but found " + std::to_string(h.seq) +
+                       " — the checkpoint chain is missing a frame or "
+                       "reordered");
+    }
+    if (h.prev_crc != prev) {
+      throw ChainError("delta " + std::to_string(h.seq) +
+                       " does not link to the preceding frame (prev-CRC "
+                       "mismatch) — a frame was substituted or reordered");
+    }
+    run.apply_delta_bytes(frames[i]);
+    prev = crc32c(frames[i].data(), frames[i].size());
+    ++expect_seq;
+  }
+}
+
+/// Resume `run` from the on-disk chain rooted at `base_path`: the base file
+/// plus every consecutive `.delta-N` beside it that belongs to the same
+/// chain (stale deltas left over from an older chain stop the scan and are
+/// ignored). Returns false — leaving the run untouched — when the base file
+/// is absent or identifies a different run configuration; still throws on
+/// corrupt frames or a broken chain. Format-v1 files restore through the
+/// migration shim (they are always chainless full snapshots).
+template <class Run>
+bool restore_chain_from_files(Run& run, const std::string& base_path) {
+  if (!file_readable(base_path)) return false;
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.push_back(read_file(base_path));
+  validate_frame(frames[0]);
+  Reader probe(frames[0]);
+  if (probe.version() < 2) {
+    return run.restore_if_compatible(frames[0]);
+  }
+  const ChainHeader base = read_chain_header(probe);
+  if (base.kind != FrameKind::kFull) {
+    throw ChainError("'" + base_path +
+                     "' holds a delta frame, not a chain base — restore "
+                     "from the chain's base file");
+  }
+  const RunMeta stored = read_meta(probe);
+  if (!stored.incompatibility(run.meta()).empty()) return false;
+  for (std::uint64_t seq = 1;; ++seq) {
+    const std::string path = delta_path(base_path, seq);
+    if (!file_readable(path)) break;
+    std::vector<std::uint8_t> bytes = read_file(path);
+    validate_frame(bytes);
+    const ChainHeader h = read_chain_header_bytes(bytes);
+    if (h.kind != FrameKind::kDelta || h.chain_id != base.chain_id) break;
+    frames.push_back(std::move(bytes));
+  }
+  restore_chain(run, frames);
+  return true;
+}
+
+}  // namespace sgxpl::snapshot

@@ -171,6 +171,35 @@ void Writer::u64_vec(std::string_view label,
   for (std::uint64_t x : v) put_u64(x);
 }
 
+void Writer::field(const FieldView& f) {
+  switch (f.type) {
+    case FieldType::kU64:
+      u64(f.label, f.u64v);
+      return;
+    case FieldType::kF64:
+      f64(f.label, f.f64v);
+      return;
+    case FieldType::kBool:
+      boolean(f.label, f.boolv);
+      return;
+    case FieldType::kString:
+      str(f.label, f.strv);
+      return;
+    case FieldType::kU64Vec:
+      u64_vec(f.label, f.vecv);
+      return;
+  }
+  SGXPL_CHECK_MSG(false, "snapshot field " + quoted(f.label) +
+                             " has an unknown type");
+}
+
+void Writer::raw_section(std::string_view tag, const std::uint8_t* payload,
+                         std::size_t len) {
+  begin_section(tag);
+  for (std::size_t i = 0; i < len; ++i) put_u8(payload[i]);
+  end_section();
+}
+
 std::vector<std::uint8_t> Writer::finish() {
   SGXPL_CHECK_MSG(!in_section_,
                   "snapshot finish() with a section still open");
@@ -254,13 +283,23 @@ Reader::Reader(const std::uint8_t* data, std::size_t size)
   }
   pos_ = kMagic.size();
   version_ = take_u32();
-  if (version_ != kFormatVersion) {
+  if (version_ < kMinReadVersion || version_ > kFormatVersion) {
     std::ostringstream os;
     os << "unsupported format version " << version_ << " (this build reads "
-       << kFormatVersion << "); re-create the snapshot with a matching build";
+       << kMinReadVersion << ".." << kFormatVersion
+       << "); re-create the snapshot with a matching build";
     corrupt(os.str());
   }
   section_count_ = take_u32();
+}
+
+std::string Reader::peek_section_tag() const {
+  SGXPL_CHECK_MSG(section_tag_.empty(),
+                  "peek_section_tag() while section '" + section_tag_ +
+                      "' is still open");
+  if (sections_entered_ >= section_count_) return {};
+  need(4, "a section tag");
+  return std::string(reinterpret_cast<const char*>(data_ + pos_), 4);
 }
 
 std::string Reader::enter_any_section() {
@@ -574,6 +613,124 @@ std::vector<SectionSpan> section_spans(
     pos += spans.back().size;
   }
   return spans;
+}
+
+void validate_frame(const std::vector<std::uint8_t>& bytes) {
+  Reader header_probe(bytes);  // magic + version checks
+  const std::vector<SectionSpan> spans = section_spans(bytes);
+  if (spans.size() != header_probe.section_count()) {
+    std::ostringstream os;
+    os << "snapshot: the header declares " << header_probe.section_count()
+       << " sections but the section table holds " << spans.size()
+       << " — the frame is corrupt";
+    throw CheckFailure(os.str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chain header
+// ---------------------------------------------------------------------------
+
+const char* to_string(FrameKind k) noexcept {
+  switch (k) {
+    case FrameKind::kFull:
+      return "full";
+    case FrameKind::kDelta:
+      return "delta";
+  }
+  return "?";
+}
+
+void write_chain_header(Writer& w, const ChainHeader& h) {
+  w.begin_section("CHNH");
+  w.str("chain.kind", to_string(h.kind));
+  w.u64("chain.id", h.chain_id);
+  w.u64("chain.seq", h.seq);
+  w.u64("chain.prev_crc", h.prev_crc);
+  w.end_section();
+}
+
+ChainHeader read_chain_header(Reader& r) {
+  r.enter_section("CHNH");
+  ChainHeader h;
+  const std::string kind = r.str("chain.kind");
+  if (kind == "full") {
+    h.kind = FrameKind::kFull;
+  } else if (kind == "delta") {
+    h.kind = FrameKind::kDelta;
+  } else {
+    throw CheckFailure("snapshot: chain header holds unknown frame kind '" +
+                       kind + "'");
+  }
+  h.chain_id = r.u64("chain.id");
+  h.seq = r.u64("chain.seq");
+  const std::uint64_t prev = r.u64("chain.prev_crc");
+  SGXPL_CHECK_MSG(prev <= 0xFFFFFFFFull,
+                  "snapshot: chain.prev_crc out of CRC32 range");
+  h.prev_crc = static_cast<std::uint32_t>(prev);
+  r.leave_section();
+  if (h.kind == FrameKind::kFull) {
+    SGXPL_CHECK_MSG(h.seq == 0 && h.prev_crc == 0,
+                    "snapshot: a full frame must carry seq 0 and prev_crc 0");
+  } else {
+    SGXPL_CHECK_MSG(h.seq > 0,
+                    "snapshot: a delta frame must carry a nonzero seq");
+  }
+  return h;
+}
+
+ChainHeader read_chain_header_bytes(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.version() < 2) {
+    throw CheckFailure(
+        "snapshot: format v1 frames predate checkpoint chains; upgrade the "
+        "file first (snapshot_tool upgrade)");
+  }
+  return read_chain_header(r);
+}
+
+std::vector<std::uint64_t> encode_runs(const std::vector<std::uint64_t>& ids) {
+  std::vector<std::uint64_t> runs;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) {
+      SGXPL_CHECK_MSG(ids[i] > ids[i - 1],
+                      "encode_runs: ids must be sorted and duplicate-free");
+    }
+    if (!runs.empty() &&
+        runs[runs.size() - 2] + runs.back() == ids[i]) {
+      ++runs.back();
+    } else {
+      runs.push_back(ids[i]);
+      runs.push_back(1);
+    }
+  }
+  return runs;
+}
+
+std::vector<std::uint64_t> decode_runs(const std::vector<std::uint64_t>& runs,
+                                       std::uint64_t limit,
+                                       std::string_view what) {
+  const std::string name(what);
+  SGXPL_CHECK_MSG(runs.size() % 2 == 0,
+                  "snapshot: " + name +
+                      " delta runs must be [start, len] pairs");
+  std::vector<std::uint64_t> ids;
+  std::uint64_t next_min = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < runs.size(); i += 2) {
+    const std::uint64_t start = runs[i];
+    const std::uint64_t len = runs[i + 1];
+    SGXPL_CHECK_MSG(len > 0, "snapshot: " + name + " delta run of length 0");
+    SGXPL_CHECK_MSG(first || start >= next_min,
+                    "snapshot: " + name +
+                        " delta runs overlap or are out of order");
+    SGXPL_CHECK_MSG(start <= limit && len <= limit - start,
+                    "snapshot: " + name + " delta run overruns the id space");
+    for (std::uint64_t k = 0; k < len; ++k) ids.push_back(start + k);
+    next_min = start + len + 1;  // adjacent runs must have been merged
+    first = false;
+  }
+  return ids;
 }
 
 // ---------------------------------------------------------------------------

@@ -32,7 +32,10 @@
 
 namespace sgxpl::snapshot {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
+/// Oldest version the Reader still accepts (v1 frames are readable for
+/// migration; run-state loads require v2 — see migrate.h).
+inline constexpr std::uint32_t kMinReadVersion = 1;
 inline constexpr std::string_view kMagic = "SGXPLSNP";
 
 /// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected), software table.
@@ -48,6 +51,8 @@ enum class FieldType : std::uint8_t {
 
 const char* to_string(FieldType t) noexcept;
 
+struct FieldView;
+
 /// Serializes sections of labeled fields into a framed snapshot.
 class Writer {
  public:
@@ -61,6 +66,14 @@ class Writer {
   void boolean(std::string_view label, bool v);
   void str(std::string_view label, std::string_view v);
   void u64_vec(std::string_view label, const std::vector<std::uint64_t>& v);
+
+  /// Re-emit a generically decoded field byte-identically (the migration
+  /// shim routes v1 fields into v2 sections through this).
+  void field(const FieldView& f);
+  /// Emit a whole section with a verbatim payload copied from another frame
+  /// (CRC is recomputed, which yields the same value for the same bytes).
+  void raw_section(std::string_view tag, const std::uint8_t* payload,
+                   std::size_t len);
 
   /// Finalize the snapshot (patches the section count). The writer must
   /// not be reused afterwards.
@@ -122,6 +135,11 @@ class Reader {
   /// Leave the current section; throws if any payload bytes were unread.
   void leave_section();
 
+  /// Tag of the next section without entering it; empty string when the
+  /// section table is exhausted. Lets a loader probe for the optional delta
+  /// sections of a v2 frame.
+  std::string peek_section_tag() const;
+
   /// True while fields remain in the current section.
   bool more_fields() const noexcept;
   /// Decode the next field generically. Requires more_fields().
@@ -176,6 +194,55 @@ struct SectionSpan {
 
 /// Table of section spans. Validates framing but not payload CRCs.
 std::vector<SectionSpan> section_spans(const std::vector<std::uint8_t>& bytes);
+
+/// Cheap whole-frame structural check run before any load path touches a
+/// frame: the section table must walk exactly to end-of-file and its length
+/// must match the header's declared section count (the count field itself is
+/// outside any CRC, so this closes the one hole per-section CRCs leave).
+void validate_frame(const std::vector<std::uint8_t>& bytes);
+
+// ---------------------------------------------------------------------------
+// Chain header (format v2)
+// ---------------------------------------------------------------------------
+
+enum class FrameKind : std::uint8_t {
+  kFull = 1,   // complete state; the base of a chain
+  kDelta = 2,  // changed sections only; applies on top of the previous frame
+};
+
+const char* to_string(FrameKind k) noexcept;
+
+/// First section ("CHNH") of every v2 frame: identifies the checkpoint chain
+/// the frame belongs to and its position within it. CRC-protected like any
+/// other section.
+struct ChainHeader {
+  FrameKind kind = FrameKind::kFull;
+  /// Chain identity: deterministic content-derived id shared by a base and
+  /// all deltas stacked on it (0 for standalone full snapshots).
+  std::uint64_t chain_id = 0;
+  /// 0 for the base; deltas count 1, 2, ... with no gaps.
+  std::uint64_t seq = 0;
+  /// CRC32C of the complete previous frame's bytes (0 for the base); restore
+  /// refuses a delta whose predecessor does not hash to this.
+  std::uint32_t prev_crc = 0;
+};
+
+/// Write `h` as the "CHNH" section (must be the frame's first section).
+void write_chain_header(Writer& w, const ChainHeader& h);
+/// Read the "CHNH" section (must be the next section of `r`).
+ChainHeader read_chain_header(Reader& r);
+/// Decode just the chain header of a framed v2 snapshot.
+ChainHeader read_chain_header_bytes(const std::vector<std::uint8_t>& bytes);
+
+/// Run-length encode a sorted, duplicate-free id list as flattened
+/// [start, len] pairs (the sparse-delta encoding for page ids / slot ids /
+/// word indices). Checks the precondition.
+std::vector<std::uint64_t> encode_runs(const std::vector<std::uint64_t>& ids);
+/// Inverse of encode_runs; validates pair structure, monotonicity, and that
+/// every id is < `limit`. `what` names the id space for diagnostics.
+std::vector<std::uint64_t> decode_runs(const std::vector<std::uint64_t>& runs,
+                                       std::uint64_t limit,
+                                       std::string_view what);
 
 /// Identifying metadata written as a snapshot's first section ("META") so a
 /// restore can verify it is being applied to a compatible run before any

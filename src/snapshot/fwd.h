@@ -3,8 +3,21 @@
 // codec header.
 #pragma once
 
+#include <cstdint>
+
 namespace sgxpl::snapshot {
 class Writer;
 class Reader;
 struct RunMeta;
+struct ChainHeader;
+
+/// Generation counters of the four bulk driver structures as of some
+/// checkpoint. A later delta checkpoint skips a structure's section when its
+/// generation has not moved (format v2 delta frames).
+struct SectionGens {
+  std::uint64_t page_table = 0;
+  std::uint64_t epc = 0;
+  std::uint64_t bitmap = 0;
+  std::uint64_t backing = 0;
+};
 }  // namespace sgxpl::snapshot

@@ -1,0 +1,226 @@
+#include "snapshot/migrate.h"
+
+#include <cstddef>
+#include <utility>
+
+#include "common/check.h"
+#include "snapshot/codec.h"
+
+namespace sgxpl::snapshot {
+
+namespace {
+
+/// One fully decoded v1 section: generic field views for re-emission plus
+/// the raw payload span for verbatim copies.
+struct DecodedSection {
+  std::string tag;
+  std::vector<FieldView> fields;
+  const std::uint8_t* payload = nullptr;
+  std::size_t len = 0;
+};
+
+std::vector<DecodedSection> decode_sections(
+    const std::vector<std::uint8_t>& bytes) {
+  const std::vector<SectionSpan> spans = section_spans(bytes);
+  Reader r(bytes);
+  std::vector<DecodedSection> secs;
+  secs.reserve(spans.size());
+  for (const SectionSpan& span : spans) {
+    DecodedSection s;
+    s.tag = r.enter_any_section();
+    while (r.more_fields()) s.fields.push_back(r.next_field());
+    r.leave_section();
+    s.payload = bytes.data() + span.offset + 16;
+    s.len = span.size - 16;
+    secs.push_back(std::move(s));
+  }
+  return secs;
+}
+
+const FieldView& field_of(const DecodedSection& s, const std::string& label) {
+  for (const FieldView& f : s.fields) {
+    if (f.label == label) return f;
+  }
+  throw CheckFailure("snapshot upgrade: section '" + s.tag +
+                     "' lacks field '" + label + "'");
+}
+
+bool has_prefix(const std::string& label, const char* prefix) {
+  return label.rfind(prefix, 0) == 0;
+}
+
+/// Which v2 section a v1 DRVR field belongs to ("" = stays in DRVR).
+const char* route_drvr_field(const std::string& label) {
+  if (has_prefix(label, "pt.")) return "PGTB";
+  if (has_prefix(label, "epc.")) return "EPCC";
+  if (has_prefix(label, "bitmap.")) return "BMAP";
+  if (has_prefix(label, "backing.")) return "BSTR";
+  return "";
+}
+
+/// Split a v1 combined DRVR section into the five v2 sections, preserving
+/// field order within each (which matches what the v2 writer emits: the v1
+/// order was scalars/tenants/stats, pt, epc, bitmap, backing, channel,
+/// eviction — a stable partition of that order is exactly the v2 layout).
+void emit_drvr_split(Writer& w, const DecodedSection& drvr) {
+  w.begin_section("DRVR");
+  for (const FieldView& f : drvr.fields) {
+    if (route_drvr_field(f.label)[0] == '\0') w.field(f);
+  }
+  w.end_section();
+  for (const char* tag : {"PGTB", "EPCC", "BMAP", "BSTR"}) {
+    w.begin_section(tag);
+    for (const FieldView& f : drvr.fields) {
+      if (route_drvr_field(f.label) == std::string_view(tag)) w.field(f);
+    }
+    w.end_section();
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+std::uint32_t frame_version(const std::vector<std::uint8_t>& bytes) {
+  SGXPL_CHECK_MSG(bytes.size() >= kMagic.size() + 8,
+                  "snapshot: file too small to hold a snapshot header");
+  SGXPL_CHECK_MSG(
+      std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                       kMagic.size()) == kMagic,
+      "snapshot: bad magic (not a snapshot file)");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes[kMagic.size() +
+                                          static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+bool scheme_runs_dfp(const std::string& s) {
+  // Mirrors core::SimConfig::uses_dfp() over core::to_string(Scheme); the
+  // golden corpus test pins the two against each other.
+  if (s == "DFP" || s == "DFP-stop" || s == "SIP+DFP") return true;
+  if (s == "native" || s == "baseline" || s == "SIP") return false;
+  throw CheckFailure("snapshot upgrade: unknown scheme name '" + s +
+                     "' in META");
+}
+
+std::vector<std::uint8_t> upgrade_v1_to_v2(
+    const std::vector<std::uint8_t>& bytes) {
+  validate_frame(bytes);
+  const std::uint32_t version = frame_version(bytes);
+  SGXPL_CHECK_MSG(version == 1, "snapshot upgrade: frame has format version "
+                                    << version << ", expected 1");
+  const std::vector<DecodedSection> secs = decode_sections(bytes);
+  SGXPL_CHECK_MSG(!secs.empty() && secs[0].tag == "META",
+                  "snapshot upgrade: frame does not start with a META "
+                  "section");
+  const DecodedSection& meta = secs[0];
+  const std::string kind = field_of(meta, "meta.kind").strv;
+
+  Writer w;
+  write_chain_header(w, ChainHeader{});  // a standalone full base
+  w.raw_section("META", meta.payload, meta.len);
+
+  if (kind == "enclave-sim") {
+    // v1 order: META, RUNS, DRVR, [DFPE], [INJC] — v2 keeps it, with DRVR
+    // split in place.
+    for (std::size_t i = 1; i < secs.size(); ++i) {
+      const DecodedSection& s = secs[i];
+      if (s.tag == "DRVR") {
+        emit_drvr_split(w, s);
+      } else if (s.tag == "RUNS" || s.tag == "DFPE" || s.tag == "INJC") {
+        w.raw_section(s.tag, s.payload, s.len);
+      } else {
+        throw CheckFailure("snapshot upgrade: unexpected section '" + s.tag +
+                           "' in an enclave-sim frame");
+      }
+    }
+    return w.finish();
+  }
+
+  if (kind == "multi-enclave") {
+    // v1 order: META, APPS×K, DRVR, DFPE×M, [INJC]. v2 groups per tenant:
+    // [ENCM, APPS, DFPE?]×K, then the split driver, then INJC.
+    const std::vector<std::string> schemes =
+        split_csv(field_of(meta, "meta.scheme").strv);
+    const std::vector<std::string> traces =
+        split_csv(field_of(meta, "meta.trace").strv);
+    SGXPL_CHECK_MSG(schemes.size() == traces.size(),
+                    "snapshot upgrade: META scheme/trace lists disagree ("
+                        << schemes.size() << " vs " << traces.size() << ")");
+    std::vector<const DecodedSection*> apps;
+    std::vector<const DecodedSection*> engines;
+    const DecodedSection* drvr = nullptr;
+    const DecodedSection* injc = nullptr;
+    for (std::size_t i = 1; i < secs.size(); ++i) {
+      const DecodedSection& s = secs[i];
+      if (s.tag == "APPS") {
+        apps.push_back(&s);
+      } else if (s.tag == "DFPE") {
+        engines.push_back(&s);
+      } else if (s.tag == "DRVR") {
+        SGXPL_CHECK_MSG(drvr == nullptr,
+                        "snapshot upgrade: duplicate DRVR section");
+        drvr = &s;
+      } else if (s.tag == "INJC") {
+        injc = &s;
+      } else {
+        throw CheckFailure("snapshot upgrade: unexpected section '" + s.tag +
+                           "' in a multi-enclave frame");
+      }
+    }
+    SGXPL_CHECK_MSG(drvr != nullptr,
+                    "snapshot upgrade: multi-enclave frame lacks DRVR");
+    SGXPL_CHECK_MSG(apps.size() == schemes.size(),
+                    "snapshot upgrade: frame holds "
+                        << apps.size() << " APPS sections but META names "
+                        << schemes.size() << " enclaves");
+    std::size_t want_engines = 0;
+    for (const std::string& s : schemes) {
+      if (scheme_runs_dfp(s)) ++want_engines;
+    }
+    SGXPL_CHECK_MSG(engines.size() == want_engines,
+                    "snapshot upgrade: frame holds "
+                        << engines.size() << " DFPE sections but the schemes "
+                        << "own " << want_engines);
+    std::size_t next_engine = 0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      const bool has_dfp = scheme_runs_dfp(schemes[i]);
+      w.begin_section("ENCM");
+      w.u64("enc.index", i);
+      w.str("enc.scheme", schemes[i]);
+      w.str("enc.trace", traces[i]);
+      w.boolean("enc.has_dfp", has_dfp);
+      w.end_section();
+      w.raw_section("APPS", apps[i]->payload, apps[i]->len);
+      if (has_dfp) {
+        w.raw_section("DFPE", engines[next_engine]->payload,
+                      engines[next_engine]->len);
+        ++next_engine;
+      }
+    }
+    emit_drvr_split(w, *drvr);
+    if (injc != nullptr) {
+      w.raw_section("INJC", injc->payload, injc->len);
+    }
+    return w.finish();
+  }
+
+  throw CheckFailure("snapshot upgrade: unknown run kind '" + kind + "'");
+}
+
+}  // namespace sgxpl::snapshot

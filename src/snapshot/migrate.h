@@ -1,0 +1,47 @@
+// v1 -> v2 migration shim.
+//
+// Format v1 framed a run as META, RUNS/APPS*, one combined DRVR section
+// holding the whole driver (scan cursors, stats, page table, EPC, bitmap,
+// backing store, channel, eviction policy), then DFPE*/INJC. Format v2
+// prepends a CHNH chain header, splits DRVR into DRVR + PGTB + EPCC + BMAP
+// + BSTR, and groups multi-enclave state per tenant (ENCM/APPS/DFPE per
+// enclave). The upgrader rewrites a v1 frame into the v2 base it would have
+// been, field for field:
+//
+//   - every field value is re-emitted byte-identically (same codec), so
+//     upgrading a v1 golden reproduces the v2 golden exactly;
+//   - DRVR fields are routed into the v2 sections by label prefix (pt.*,
+//     epc.*, bitmap.*, backing.* move out; everything else stays, order
+//     preserved);
+//   - multi-enclave DFPE sections are assigned to tenants by scheme (only
+//     DFP-running schemes serialize an engine);
+//   - RunMeta/hardening-spec gating carries over unchanged because META is
+//     copied verbatim.
+//
+// Lives in the codec-level library (no core dependency): the scheme-name ->
+// runs-DFP mapping is duplicated here as a string table, checked against
+// core::to_string(Scheme) by the golden tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgxpl::snapshot {
+
+/// Format version of a framed snapshot (magic + header check only; throws
+/// CheckFailure when `bytes` is not a snapshot at all). Unlike constructing
+/// a Reader, this also returns versions the build cannot read.
+std::uint32_t frame_version(const std::vector<std::uint8_t>& bytes);
+
+/// True if scheme name `s` (as serialized in META, e.g. "DFP-stop") runs a
+/// DFP engine and therefore owns a DFPE section. Throws on unknown names.
+bool scheme_runs_dfp(const std::string& s);
+
+/// Rewrite a v1 frame as the standalone v2 full frame (chain id 0) holding
+/// the same state. Throws CheckFailure if `bytes` is not a well-formed v1
+/// run snapshot.
+std::vector<std::uint8_t> upgrade_v1_to_v2(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace sgxpl::snapshot

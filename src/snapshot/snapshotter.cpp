@@ -1,7 +1,9 @@
 #include "snapshot/snapshotter.h"
 
 #include <chrono>
+#include <utility>
 
+#include "common/check.h"
 #include "obs/metrics.h"
 
 namespace sgxpl::snapshot {
@@ -94,6 +96,165 @@ bool restore_from_file(core::MultiEnclaveRun& run, const std::string& path,
     reg->histogram("snapshot.load_cycles").record(elapsed_ns(t0));
   }
   return restored;
+}
+
+namespace {
+
+/// A section decoded generically (for field inspection) alongside its raw
+/// payload span (for verbatim re-emission into the extracted frame).
+struct RawSection {
+  std::string tag;
+  std::vector<FieldView> fields;
+  const std::uint8_t* payload = nullptr;
+  std::size_t len = 0;
+};
+
+std::vector<RawSection> decode_raw_sections(
+    const std::vector<std::uint8_t>& bytes) {
+  const std::vector<SectionSpan> spans = section_spans(bytes);
+  Reader r(bytes);
+  std::vector<RawSection> secs;
+  secs.reserve(spans.size());
+  for (const SectionSpan& span : spans) {
+    RawSection s;
+    s.tag = r.enter_any_section();
+    while (r.more_fields()) s.fields.push_back(r.next_field());
+    r.leave_section();
+    s.payload = bytes.data() + span.offset + 16;
+    s.len = span.size - 16;
+    secs.push_back(std::move(s));
+  }
+  return secs;
+}
+
+const FieldView& raw_field(const RawSection& s, const std::string& label) {
+  for (const FieldView& f : s.fields) {
+    if (f.label == label) return f;
+  }
+  throw CheckFailure("snapshot extract: section '" + s.tag +
+                     "' lacks field '" + label + "'");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> extract_enclave(
+    const std::vector<std::uint8_t>& bytes, std::uint64_t enclave) {
+  validate_frame(bytes);
+  {
+    Reader probe(bytes);
+    SGXPL_CHECK_MSG(probe.version() >= 2,
+                    "format v1 frames have no per-enclave sections; upgrade "
+                    "the file first (snapshot_tool upgrade)");
+  }
+  const std::vector<RawSection> secs = decode_raw_sections(bytes);
+  SGXPL_CHECK_MSG(secs.size() >= 2 && secs[0].tag == "CHNH" &&
+                      secs[1].tag == "META",
+                  "snapshot extract: not a v2 run frame (missing chain "
+                  "header or META)");
+  SGXPL_CHECK_MSG(raw_field(secs[0], "chain.kind").strv == "full",
+                  "snapshot extract: delta frames hold partial state; "
+                  "extract from the chain's base frame");
+  const RawSection& meta = secs[1];
+  const std::string kind = raw_field(meta, "meta.kind").strv;
+  SGXPL_CHECK_MSG(kind == "multi-enclave",
+                  "snapshot extract: frame holds a '"
+                      << kind << "' run, not a multi-enclave co-run");
+
+  // Locate the target tenant's [ENCM, APPS, DFPE?] group.
+  const RawSection* encm = nullptr;
+  const RawSection* apps = nullptr;
+  const RawSection* dfpe = nullptr;
+  std::uint64_t enclaves = 0;
+  for (std::size_t i = 2; i < secs.size(); ++i) {
+    if (secs[i].tag != "ENCM") continue;
+    ++enclaves;
+    if (encm != nullptr || raw_field(secs[i], "enc.index").u64v != enclave) {
+      continue;
+    }
+    encm = &secs[i];
+    SGXPL_CHECK_MSG(i + 1 < secs.size() && secs[i + 1].tag == "APPS",
+                    "snapshot extract: tenant group " << enclave
+                                                      << " lacks its APPS "
+                                                         "section");
+    apps = &secs[i + 1];
+    if (raw_field(*encm, "enc.has_dfp").boolv) {
+      SGXPL_CHECK_MSG(i + 2 < secs.size() && secs[i + 2].tag == "DFPE",
+                      "snapshot extract: tenant group "
+                          << enclave << " claims a DFP engine but carries no "
+                                        "DFPE section");
+      dfpe = &secs[i + 2];
+    }
+  }
+  if (encm == nullptr) {
+    throw CheckFailure("snapshot extract: no enclave " +
+                       std::to_string(enclave) + " in this frame (it holds " +
+                       std::to_string(enclaves) + " enclaves)");
+  }
+
+  // Standalone frame: platform fields carry over from the co-run's META,
+  // identity narrows to the one tenant.
+  RunMeta em;
+  em.kind = "enclave-extract";
+  em.scheme = raw_field(*encm, "enc.scheme").strv;
+  em.trace_name = raw_field(*encm, "enc.trace").strv;
+  em.trace_accesses = raw_field(meta, "meta.trace_accesses").u64v;
+  em.elrange_pages = raw_field(meta, "meta.elrange_pages").u64v;
+  em.epc_pages = raw_field(meta, "meta.epc_pages").u64v;
+  em.chaos_spec = raw_field(meta, "meta.chaos_spec").strv;
+  em.chaos_seed = raw_field(meta, "meta.chaos_seed").u64v;
+  em.hardening_spec = raw_field(meta, "meta.hardening_spec").strv;
+  em.cursor = raw_field(*apps, "app.cursor").u64v;
+
+  Writer w;
+  write_chain_header(w, ChainHeader{});
+  write_meta(w, em);
+  w.raw_section("ENCM", encm->payload, encm->len);
+  w.raw_section("APPS", apps->payload, apps->len);
+  if (dfpe != nullptr) {
+    w.raw_section("DFPE", dfpe->payload, dfpe->len);
+  }
+  return w.finish();
+}
+
+ExtractedEnclave read_extracted(const std::vector<std::uint8_t>& bytes) {
+  validate_frame(bytes);
+  Reader r(bytes);
+  SGXPL_CHECK_MSG(r.version() >= 2,
+                  "not an extracted-enclave frame (format v1)");
+  const ChainHeader chain = read_chain_header(r);
+  SGXPL_CHECK_MSG(chain.kind == FrameKind::kFull,
+                  "extracted-enclave frames are standalone full frames");
+  const RunMeta meta = read_meta(r);
+  SGXPL_CHECK_MSG(meta.kind == "enclave-extract",
+                  "frame holds a '" << meta.kind
+                                    << "' run, not an extracted enclave");
+  ExtractedEnclave out;
+  r.enter_section("ENCM");
+  out.index = r.u64("enc.index");
+  out.scheme = r.str("enc.scheme");
+  out.trace = r.str("enc.trace");
+  out.has_dfp = r.boolean("enc.has_dfp");
+  r.leave_section();
+  r.enter_section("APPS");
+  out.cursor = r.u64("app.cursor");
+  out.now = r.u64("app.now");
+  out.done = r.boolean("app.done");
+  out.metrics.load(r);
+  r.leave_section();
+  if (out.has_dfp) {
+    const std::string tag = r.enter_any_section();
+    SGXPL_CHECK_MSG(tag == "DFPE", "extracted enclave claims a DFP engine "
+                                   "but the next section is '"
+                                       << tag << "'");
+    while (r.more_fields()) (void)r.next_field();
+    r.leave_section();
+  }
+  SGXPL_CHECK_MSG(r.sections_entered() == r.section_count(),
+                  "extracted frame holds " << r.section_count()
+                                           << " sections but decoding "
+                                              "consumed "
+                                           << r.sections_entered());
+  return out;
 }
 
 Diff diff_runs(const core::SimulationRun& a, const core::SimulationRun& b) {

@@ -53,6 +53,35 @@ bool restore_from_file(core::SimulationRun& run, const std::string& path,
 bool restore_from_file(core::MultiEnclaveRun& run, const std::string& path,
                        obs::MetricsRegistry* reg);
 
+// --- per-enclave extraction (format v2 multi-enclave frames) ---
+
+/// One tenant lifted out of a multi-enclave snapshot: identity from its
+/// ENCM section, clocks and metrics from its APPS section. The shared
+/// driver state (EPC occupancy, paging channel) stays behind — it belongs
+/// to the co-run, not to any one tenant.
+struct ExtractedEnclave {
+  std::uint64_t index = 0;
+  std::string scheme;      // core::to_string(Scheme) name, e.g. "DFP-stop"
+  std::string trace;       // trace name the tenant was running
+  bool has_dfp = false;    // tenant carried a DFPE section
+  std::uint64_t cursor = 0;
+  std::uint64_t now = 0;
+  bool done = false;
+  core::Metrics metrics;
+};
+
+/// Rewrite one tenant's sections from a v2 multi-enclave frame as a
+/// standalone v2 full frame (META kind "enclave-extract" + the tenant's
+/// ENCM/APPS and DFPE when present), so one tenant can be shipped or
+/// inspected without the co-run. v1 frames must be upgraded first. Throws
+/// CheckFailure when `bytes` is not a multi-enclave full frame or `enclave`
+/// is out of range (the refusal the recovery tests pin).
+std::vector<std::uint8_t> extract_enclave(const std::vector<std::uint8_t>& bytes,
+                                          std::uint64_t enclave);
+
+/// Decode a frame produced by extract_enclave.
+ExtractedEnclave read_extracted(const std::vector<std::uint8_t>& bytes);
+
 /// Serialize both runs' states and localize the first diverging field —
 /// the divergence reporter behind the kill-restore differential harness.
 Diff diff_runs(const core::SimulationRun& a, const core::SimulationRun& b);

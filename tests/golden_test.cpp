@@ -1,0 +1,199 @@
+// Golden-corpus battery: pins the on-disk snapshot format against silent
+// drift (tests/golden/README.md). SGXPL_GOLDEN_DIR points at the corpus.
+//
+//   - era acceptance: every checked-in file still loads — v1 through the
+//     migration shim, v2 directly — and restores the exact state the
+//     recipe's fresh run holds at the cut point;
+//   - shim fidelity: upgrade(v1 golden) is byte-identical to the
+//     independently captured v2 golden;
+//   - writer determinism: a fresh capture of the recipe state equals the
+//     v2 golden byte for byte (two invocations of the writer);
+//   - chain golden: the base+2-delta chain restores bit-identically to the
+//     full-snapshot restore at the final cut;
+//   - the codec-level scheme table (migrate.cpp duplicates it to avoid a
+//     core dependency) matches core's to_string/uses_dfp ground truth.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "golden_recipe.h"
+#include "snapshot/chain.h"
+#include "snapshot/codec.h"
+#include "snapshot/migrate.h"
+#include "snapshot/snapshotter.h"
+
+using namespace sgxpl;
+
+namespace {
+
+std::string golden_path(const std::string& rel) {
+  return std::string(SGXPL_GOLDEN_DIR) + "/" + rel;
+}
+
+std::vector<std::uint8_t> read_golden(const std::string& rel) {
+  const std::string path = golden_path(rel);
+  EXPECT_TRUE(snapshot::file_readable(path)) << path << " missing";
+  return snapshot::read_file(path);
+}
+
+class GoldenSingle : public ::testing::TestWithParam<std::string> {};
+
+// --- era acceptance ---------------------------------------------------------
+
+TEST_P(GoldenSingle, V1LoadsThroughShimWithIdenticalState) {
+  const std::string name = GetParam();
+  const trace::Trace t = golden::single_trace();
+  const sip::InstrumentationPlan plan = golden::single_plan();
+  core::SimulationRun restored(golden::single_config(name), t, &plan);
+  restored.load_bytes(read_golden("v1/single-" + name + ".snap"));
+  // The restored state must serialize to exactly what a fresh run of the
+  // recipe holds at the cut — same cursor, same driver, same engine.
+  EXPECT_EQ(restored.save_bytes(), golden::make_single(name));
+  EXPECT_EQ(restored.cursor(), golden::kSingleCut);
+}
+
+TEST_P(GoldenSingle, V2LoadsDirectly) {
+  const std::string name = GetParam();
+  const trace::Trace t = golden::single_trace();
+  const sip::InstrumentationPlan plan = golden::single_plan();
+  core::SimulationRun restored(golden::single_config(name), t, &plan);
+  restored.load_bytes(read_golden("v2/single-" + name + ".snap"));
+  EXPECT_EQ(restored.cursor(), golden::kSingleCut);
+  // And the run must be resumable: finish it without error.
+  restored.run_to_end();
+}
+
+TEST_P(GoldenSingle, UpgradedV1EqualsV2GoldenByteForByte) {
+  const std::string name = GetParam();
+  EXPECT_EQ(snapshot::upgrade_v1_to_v2(
+                read_golden("v1/single-" + name + ".snap")),
+            read_golden("v2/single-" + name + ".snap"));
+}
+
+TEST_P(GoldenSingle, V2GoldenIsByteStable) {
+  // Two independent writer invocations of the same recipe state — here and
+  // when the corpus was generated — must agree byte for byte.
+  const std::string name = GetParam();
+  EXPECT_EQ(golden::make_single(name),
+            read_golden("v2/single-" + name + ".snap"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenSingle,
+                         ::testing::ValuesIn(golden::single_case_names()));
+
+// --- multi-enclave ----------------------------------------------------------
+
+TEST(GoldenMulti, V1LoadsThroughShimWithIdenticalState) {
+  const trace::Trace a = golden::multi_trace(11);
+  const trace::Trace b = golden::multi_trace(12);
+  core::MultiEnclaveRun restored(golden::multi_config(),
+                                 golden::multi_apps(a, b));
+  restored.load_bytes(read_golden("v1/multi.snap"));
+  EXPECT_EQ(restored.save_bytes(), golden::make_multi());
+  EXPECT_EQ(restored.steps(), golden::kMultiCut);
+}
+
+TEST(GoldenMulti, UpgradedV1EqualsV2GoldenByteForByte) {
+  EXPECT_EQ(snapshot::upgrade_v1_to_v2(read_golden("v1/multi.snap")),
+            read_golden("v2/multi.snap"));
+}
+
+TEST(GoldenMulti, V2GoldenIsByteStable) {
+  EXPECT_EQ(golden::make_multi(), read_golden("v2/multi.snap"));
+}
+
+TEST(GoldenMulti, V2LoadsAndFinishes) {
+  const trace::Trace a = golden::multi_trace(11);
+  const trace::Trace b = golden::multi_trace(12);
+  core::MultiEnclaveRun restored(golden::multi_config(),
+                                 golden::multi_apps(a, b));
+  restored.load_bytes(read_golden("v2/multi.snap"));
+  EXPECT_EQ(restored.steps(), golden::kMultiCut);
+  restored.run_to_end();
+}
+
+TEST(GoldenMulti, ExtractionWorksOnUpgradedV1) {
+  // v1 frames have no per-enclave sections; extraction must refuse them
+  // with upgrade guidance, and work on the shim's output.
+  const auto v1 = read_golden("v1/multi.snap");
+  try {
+    snapshot::extract_enclave(v1, 0);
+    FAIL() << "extraction from a v1 frame accepted";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("upgrade"), std::string::npos)
+        << e.what();
+  }
+  const auto upgraded = snapshot::upgrade_v1_to_v2(v1);
+  const snapshot::ExtractedEnclave e =
+      snapshot::read_extracted(snapshot::extract_enclave(upgraded, 0));
+  EXPECT_EQ(e.index, 0u);
+  EXPECT_EQ(e.scheme, "DFP-stop");
+  EXPECT_EQ(e.trace, "golden-a");
+  EXPECT_TRUE(e.has_dfp);
+}
+
+// --- chain golden -----------------------------------------------------------
+
+TEST(GoldenChain, ChainGoldenIsByteStable) {
+  const auto frames = golden::make_chain();
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], read_golden("v2/chain-dfpstop.snap"));
+  EXPECT_EQ(frames[1], read_golden("v2/chain-dfpstop.snap.delta-1"));
+  EXPECT_EQ(frames[2], read_golden("v2/chain-dfpstop.snap.delta-2"));
+}
+
+TEST(GoldenChain, RestoresBitIdenticallyToFullSnapshot) {
+  const trace::Trace t = golden::single_trace();
+  const sip::InstrumentationPlan plan = golden::single_plan();
+
+  // Restore the checked-in chain...
+  core::SimulationRun from_chain(golden::single_config("dfpstop"), t, &plan);
+  std::vector<std::vector<std::uint8_t>> frames = {
+      read_golden("v2/chain-dfpstop.snap"),
+      read_golden("v2/chain-dfpstop.snap.delta-1"),
+      read_golden("v2/chain-dfpstop.snap.delta-2")};
+  snapshot::restore_chain(from_chain, frames);
+
+  // ...and independently step a fresh run to the chain's last cut.
+  core::SimulationRun reference(golden::single_config("dfpstop"), t, &plan);
+  const std::uint64_t last_cut =
+      golden::kChainCuts[std::size(golden::kChainCuts) - 1];
+  while (!reference.done() && reference.cursor() < last_cut) {
+    reference.step();
+  }
+  EXPECT_EQ(from_chain.save_bytes(), reference.save_bytes());
+
+  // Both must finish identically too.
+  EXPECT_EQ(from_chain.run_to_end().total_cycles,
+            reference.run_to_end().total_cycles);
+}
+
+TEST(GoldenChain, RestoreChainFromFilesFindsTheDeltas) {
+  const trace::Trace t = golden::single_trace();
+  const sip::InstrumentationPlan plan = golden::single_plan();
+  core::SimulationRun run(golden::single_config("dfpstop"), t, &plan);
+  ASSERT_TRUE(snapshot::restore_chain_from_files(
+      run, golden_path("v2/chain-dfpstop.snap")));
+  EXPECT_EQ(run.cursor(), golden::kChainCuts[std::size(golden::kChainCuts) - 1]);
+}
+
+// --- codec-level scheme table -----------------------------------------------
+
+TEST(GoldenSchemeTable, MigrateTableMatchesCore) {
+  // migrate.cpp duplicates the scheme-name -> runs-DFP mapping to stay free
+  // of a core dependency; this is the pin that keeps the copies in sync.
+  for (const core::Scheme s :
+       {core::Scheme::kNative, core::Scheme::kBaseline, core::Scheme::kDfp,
+        core::Scheme::kDfpStop, core::Scheme::kSip, core::Scheme::kHybrid}) {
+    core::SimConfig cfg;
+    cfg.scheme = s;
+    EXPECT_EQ(snapshot::scheme_runs_dfp(core::to_string(s)), cfg.uses_dfp())
+        << core::to_string(s);
+  }
+  EXPECT_THROW((void)snapshot::scheme_runs_dfp("no-such-scheme"),
+               CheckFailure);
+}
+
+}  // namespace

@@ -17,6 +17,7 @@
 #include "core/multi_enclave.h"
 #include "core/simulator.h"
 #include "inject/chaos_plan.h"
+#include "snapshot/chain.h"
 #include "trace/generators.h"
 
 namespace sgxpl {
@@ -423,6 +424,98 @@ TEST(KillRestore, MultiEnclaveRefusesForeignSnapshots) {
   };
   core::MultiEnclaveRun other(cfg, swapped);
   EXPECT_FALSE(other.restore_if_compatible(snap));
+}
+
+// --- per-enclave extraction -------------------------------------------------
+
+TEST(Extraction, ExtractedTenantMatchesItsInSituState) {
+  const auto ta = mixed_trace(4);
+  const auto tb = mixed_trace(5);
+  const auto cfg = small_config(Scheme::kBaseline, 128);
+  const std::vector<core::EnclaveApp> apps = {
+      {.trace = &ta, .scheme = Scheme::kDfpStop},
+      {.trace = &tb, .scheme = Scheme::kBaseline},
+  };
+  core::MultiEnclaveRun run(cfg, apps);
+  while (!run.done() && run.steps() < (ta.size() + tb.size()) / 2) {
+    run.step();
+  }
+  const auto bytes = run.save_bytes();
+  for (std::size_t i = 0; i < run.enclave_count(); ++i) {
+    const auto frame = snapshot::extract_enclave(bytes, i);
+    const snapshot::ExtractedEnclave e = snapshot::read_extracted(frame);
+    EXPECT_EQ(e.index, i);
+    EXPECT_EQ(e.scheme, core::to_string(apps[i].scheme));
+    EXPECT_EQ(e.trace, apps[i].trace->name());
+    EXPECT_EQ(e.has_dfp, apps[i].scheme == Scheme::kDfpStop);
+    EXPECT_EQ(e.cursor, run.tenant_cursor(i));
+    const auto d = snapshot::diff_metrics(e.metrics, run.tenant_metrics(i));
+    EXPECT_TRUE(d.identical) << "enclave " << i << ": " << d.first_divergence;
+    // Writer determinism: extracting the same tenant twice is byte-stable.
+    EXPECT_EQ(frame, snapshot::extract_enclave(bytes, i));
+  }
+}
+
+TEST(Extraction, NonExistentEnclaveIdIsRefused) {
+  const auto ta = mixed_trace(4);
+  const auto tb = mixed_trace(5);
+  const auto cfg = small_config(Scheme::kBaseline, 128);
+  const std::vector<core::EnclaveApp> apps = {
+      {.trace = &ta, .scheme = Scheme::kDfpStop},
+      {.trace = &tb, .scheme = Scheme::kBaseline},
+  };
+  core::MultiEnclaveRun run(cfg, apps);
+  for (int i = 0; i < 50; ++i) {
+    run.step();
+  }
+  const auto bytes = run.save_bytes();
+  try {
+    snapshot::extract_enclave(bytes, 99);
+    FAIL() << "extraction of a non-existent enclave accepted";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no enclave 99"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 enclaves"), std::string::npos) << what;
+  }
+  // The tenant state must also refuse to restore into the wrong slot: a
+  // run composed differently rejects the whole frame at the meta gate.
+  const std::vector<core::EnclaveApp> swapped = {
+      {.trace = &ta, .scheme = Scheme::kBaseline},
+      {.trace = &tb, .scheme = Scheme::kDfpStop},
+  };
+  core::MultiEnclaveRun other(cfg, swapped);
+  EXPECT_FALSE(other.restore_if_compatible(bytes));
+}
+
+TEST(Extraction, RefusesFramesThatHoldNoTenantSections) {
+  const auto t = mixed_trace();
+  SimulationRun single(small_config(Scheme::kDfpStop), t, nullptr);
+  for (int i = 0; i < 50; ++i) {
+    single.step();
+  }
+  // A single-enclave frame has no per-enclave sections to lift.
+  EXPECT_THROW(snapshot::extract_enclave(single.save_bytes(), 0),
+               CheckFailure);
+
+  // A delta frame only carries what changed — extraction needs a full base.
+  const auto ta = mixed_trace(4);
+  const auto tb = mixed_trace(5);
+  const std::vector<core::EnclaveApp> apps = {
+      {.trace = &ta, .scheme = Scheme::kDfpStop},
+      {.trace = &tb, .scheme = Scheme::kBaseline},
+  };
+  core::MultiEnclaveRun multi(small_config(Scheme::kBaseline, 128), apps);
+  snapshot::Snapshotter<core::MultiEnclaveRun> snap(/*full_every=*/4);
+  for (int i = 0; i < 50; ++i) {
+    multi.step();
+  }
+  (void)snap.checkpoint(multi);  // full base
+  for (int i = 0; i < 50; ++i) {
+    multi.step();
+  }
+  const auto delta = snap.checkpoint(multi);
+  ASSERT_EQ(delta.header.kind, snapshot::FrameKind::kDelta);
+  EXPECT_THROW(snapshot::extract_enclave(delta.bytes, 0), CheckFailure);
 }
 
 }  // namespace
