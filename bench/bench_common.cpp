@@ -25,12 +25,14 @@ struct HarnessState {
   std::string reproduces;
   std::string json_path;
   std::string trace_path;
+  std::string profile_path;
   std::vector<RecordedTable> tables;
   std::vector<std::pair<std::string, double>> scalars;
   std::vector<std::pair<std::string, std::string>> notes;
   obs::MetricsRegistry registry;
   obs::TimeSeriesSet series;
   obs::EventLog event_log{1 << 16};
+  obs::Profiler profiler;  // disabled unless --profile was given
   inject::ChaosPlan chaos;  // nothing enabled unless --chaos was given
   core::CheckpointOptions checkpoint;  // off unless --checkpoint/--resume
   std::string fail_dir;                // empty unless --fail-dir
@@ -68,6 +70,9 @@ core::SimConfig bench_platform(core::Scheme scheme) {
     cfg.event_log = &st.event_log;
     cfg.timeseries = &st.series;
   }
+  if (!st.profile_path.empty()) {
+    cfg.profiler = &st.profiler;
+  }
   cfg.chaos = st.chaos;
   cfg.checkpoint = st.checkpoint;
   return cfg;
@@ -87,8 +92,8 @@ void init(int argc, char** argv, const std::string& bench,
   std::uint64_t chaos_seed = st.chaos.seed;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" || arg == "--trace" || arg == "--chaos" ||
-        arg == "--seed" || arg == "--checkpoint" ||
+    if (arg == "--json" || arg == "--trace" || arg == "--profile" ||
+        arg == "--chaos" || arg == "--seed" || arg == "--checkpoint" ||
         arg == "--checkpoint-every" || arg == "--full-every" ||
         arg == "--resume" || arg == "--fail-dir") {
       if (i + 1 >= argc) {
@@ -100,6 +105,9 @@ void init(int argc, char** argv, const std::string& bench,
         st.json_path = value;
       } else if (arg == "--trace") {
         st.trace_path = value;
+      } else if (arg == "--profile") {
+        st.profile_path = value;
+        st.profiler.set_enabled(true);
       } else if (arg == "--chaos") {
         chaos_spec = value;
       } else if (arg == "--checkpoint") {
@@ -134,10 +142,14 @@ void init(int argc, char** argv, const std::string& bench,
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << bench
                 << " [--json <out.json>] [--trace <out-trace.json>]\n"
+                   "       [--profile <out-profile.json>]\n"
                    "       [--chaos <spec>] [--seed <n>]\n"
                    "       [--checkpoint <snap>] [--checkpoint-every <n>]\n"
                    "       [--full-every <n>] [--resume <snap>]\n"
                    "       [--fail-dir <dir>]\n"
+                   "--profile writes the merged phase-profile JSON (also\n"
+                   "  embedded in --json under \"profile\" and as a flame\n"
+                   "  track in --trace output; see docs/OBSERVABILITY.md).\n"
                    "--chaos spec: \"all\", \"none\", or comma-separated\n"
                    "  name[:probability[:magnitude]] entries (see\n"
                    "  docs/ROBUSTNESS.md); --seed replays a schedule.\n"
@@ -217,6 +229,8 @@ void add_note(const std::string& name, const std::string& text) {
 
 obs::MetricsRegistry& registry() { return state().registry; }
 
+obs::Profiler& profiler() { return state().profiler; }
+
 const inject::ChaosPlan& chaos_plan() { return state().chaos; }
 
 const core::CheckpointOptions& checkpoint_options() {
@@ -228,7 +242,11 @@ const std::string& fail_dir() { return state().fail_dir; }
 namespace {
 
 std::string result_document() {
-  const auto& st = state();
+  auto& st = state();
+  // Ring-buffer overflow is otherwise invisible: surface it as a counter
+  // so a truncated --trace event stream can be detected from the JSON.
+  // Always written (0 without --trace) so the key is predictable.
+  st.registry.counter("obs.events_dropped").add(st.event_log.dropped());
   obs::JsonWriter w;
   w.begin_object();
   w.kv("schema", "sgxpl-bench-result/v1")
@@ -273,6 +291,10 @@ std::string result_document() {
   w.end_object();
   w.key("metrics");
   st.registry.write_json(w);
+  if (st.profiler.enabled()) {
+    w.key("profile");
+    st.profiler.profile().write_json(w);
+  }
   w.end_object();
   return w.take();
 }
@@ -291,10 +313,23 @@ int finish() {
       rc = 1;
     }
   }
+  if (!st.profile_path.empty()) {
+    obs::JsonWriter w;
+    st.profiler.profile().write_json(w);
+    if (obs::write_file(st.profile_path, w.take(), &err)) {
+      std::cout << "[wrote phase profile to " << st.profile_path << "]\n";
+    } else {
+      std::cerr << "error: " << err << '\n';
+      rc = 1;
+    }
+  }
   if (!st.trace_path.empty()) {
     obs::TraceExporter exp;
     exp.add_events(st.event_log, /*pid=*/0, st.bench);
     exp.add_time_series(st.series);
+    if (st.profiler.enabled()) {
+      exp.add_profile(st.profiler.profile());
+    }
     if (exp.write(st.trace_path, &err)) {
       std::cout << "[wrote Perfetto trace (" << exp.size() << " events) to "
                 << st.trace_path << "]\n";

@@ -14,6 +14,11 @@
 //   --trace <path>  attach an event log + time-series sampler to the runs
 //                   and write a Chrome/Perfetto trace of the *last*
 //                   simulation on finish()
+//   --profile <path> attach the cycle-attribution profiler to the runs and
+//                   write the merged phase-profile JSON to <path> on
+//                   finish(); the same profile also lands in the --json
+//                   document (under "profile") and as a flame track in the
+//                   --trace output when those flags are given too
 //   --chaos <spec>  run every simulation under the given fault-injection
 //                   plan ("all", "none", or "name[:prob[:mag]],..." — see
 //                   inject/chaos_plan.h and docs/ROBUSTNESS.md)
@@ -78,6 +83,10 @@ void add_note(const std::string& name, const std::string& text);
 
 /// The harness metrics registry (always usable; only exported with --json).
 obs::MetricsRegistry& registry();
+
+/// The harness profiler (enabled only when --profile was given; attached to
+/// every bench_platform() config when enabled, null-detached otherwise).
+obs::Profiler& profiler();
 
 /// The --chaos plan (nothing enabled unless the flag was given). Already
 /// applied to every bench_platform() config; exposed for benches that build

@@ -1,0 +1,247 @@
+// Perf trajectory suite: pinned benchmark cells whose results are
+// committed at the repo root as BENCH_<pr>.json, one point per PR, and
+// gated by scripts/bench_gate.py in CI.
+//
+// Two metric domains, split by name prefix:
+//   cycles.*  simulated-cycle scalars — deterministic (same code + seed =
+//             byte-identical values on any machine). These are the gated
+//             regression surface.
+//   wall.*    host wall-clock throughput — machine-dependent, reported for
+//             trend-watching but never gated.
+//
+// Noise controls: every wall-clock cell runs kReps repetitions and reports
+// the median; every cell pins its own scale and seeds, ignoring SGXPL_SCALE,
+// so a committed baseline is comparable across environments.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/simulator.h"
+#include "dfp/stream_predictor.h"
+#include "inject/chaos_plan.h"
+#include "sgxsim/bitmap.h"
+#include "sgxsim/driver.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+namespace {
+
+/// Cell scale, pinned independently of SGXPL_SCALE: the committed baseline
+/// must not depend on the environment the run happened in.
+constexpr double kCellScale = 0.05;
+constexpr int kReps = 5;
+
+/// Keep the compiler from deleting a measured loop.
+volatile std::uint64_t g_sink = 0;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// paper_platform with the EPC scaled to the pinned cell scale (same ratio
+/// rule as bench_platform, but immune to SGXPL_SCALE), plus the harness
+/// profiler when --profile asked for one.
+core::SimConfig cell_platform(core::Scheme scheme) {
+  core::SimConfig cfg = core::paper_platform(scheme);
+  cfg.enclave.epc_pages = static_cast<PageNum>(
+      static_cast<double>(sgxsim::kDefaultEpcPages) * kCellScale);
+  if (bench::profiler().enabled()) {
+    cfg.profiler = &bench::profiler();
+  }
+  return cfg;
+}
+
+/// Cell A: resident fast path. Warm a small enclave completely, then time
+/// sequential resident accesses — the page-table-lookup path every scheme
+/// shares. Cycle domain: the warmup's fault/eviction counts.
+void cell_resident_fast_path(TextTable& tbl) {
+  constexpr PageNum kPages = 4096;
+  constexpr std::uint64_t kAccesses = 1'000'000;
+  sgxsim::EnclaveConfig ecfg;
+  ecfg.elrange_pages = kPages;
+  ecfg.epc_pages = kPages;
+  const sgxsim::CostModel costs;
+  sgxsim::Driver driver(ecfg, costs);
+  if (bench::profiler().enabled()) {
+    driver.set_profiler(&bench::profiler());
+  }
+  Cycles now = 0;
+  for (PageNum p = 0; p < kPages; ++p) {
+    now = driver.access(p, now).completion + 1;
+  }
+  std::vector<double> rates;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < kAccesses; ++i) {
+      const auto out = driver.access(i % kPages, now);
+      acc += out.completion;
+      now = out.completion + 1;
+    }
+    const double secs = seconds_since(t0);
+    g_sink = acc;
+    rates.push_back(static_cast<double>(kAccesses) / secs);
+  }
+  const double rate = median(rates);
+  bench::add_scalar("wall.micro.resident_accesses_per_sec", rate);
+  bench::add_scalar("cycles.micro.warm_faults",
+                    static_cast<double>(driver.stats().faults));
+  bench::add_scalar("cycles.micro.warm_evictions",
+                    static_cast<double>(driver.stats().evictions));
+  tbl.add_row({"resident fast path", TextTable::fmt(rate / 1e6, 2) + " M/s",
+               std::to_string(driver.stats().faults) + " warm faults"});
+}
+
+/// Cell B (fig8): baseline vs DFP-stop on one regular (lbm) and one
+/// irregular (deepsjeng) workload at pinned scale/seed. Cycle domain:
+/// total cycles, faults, preload accounting. Wall domain: simulation
+/// throughput (accesses simulated per second), median of kReps.
+void cell_fig8(TextTable& tbl) {
+  for (const char* name : {"lbm", "deepsjeng"}) {
+    const auto* w = trace::find_workload(name);
+    const auto t = w->make(trace::WorkloadParams{.scale = kCellScale,
+                                                 .seed = 42});
+    const auto base = core::simulate(t, cell_platform(core::Scheme::kBaseline));
+    const auto stop = core::simulate(t, cell_platform(core::Scheme::kDfpStop));
+    const std::string p = std::string("cycles.fig8.") + name;
+    bench::add_scalar(p + ".baseline_total_cycles",
+                      static_cast<double>(base.total_cycles));
+    bench::add_scalar(p + ".dfpstop_total_cycles",
+                      static_cast<double>(stop.total_cycles));
+    bench::add_scalar(p + ".dfpstop_faults",
+                      static_cast<double>(stop.driver.faults));
+    bench::add_scalar(p + ".dfpstop_preloads_used",
+                      static_cast<double>(stop.driver.preloads_used));
+    std::vector<double> rates;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto m = core::simulate(t, cell_platform(core::Scheme::kDfpStop));
+      const double secs = seconds_since(t0);
+      g_sink = m.total_cycles;
+      rates.push_back(static_cast<double>(t.size()) / secs);
+    }
+    bench::add_scalar(std::string("wall.fig8.") + name +
+                          ".sim_accesses_per_sec",
+                      median(rates));
+    tbl.add_row({std::string("fig8 ") + name,
+                 TextTable::fmt(median(rates) / 1e6, 2) + " M/s",
+                 std::to_string(stop.total_cycles) + " cycles (dfp-stop)"});
+  }
+}
+
+/// Cell C: the hardened paging path under completion-fault chaos — the
+/// retry sweep, duplicate suppression, and admission ladder all active.
+/// Entirely cycle-domain (chaos schedules are seeded).
+void cell_overload(TextTable& tbl) {
+  const auto* w = trace::find_workload("mcf");
+  const auto t = w->make(trace::WorkloadParams{.scale = 0.04, .seed = 7});
+  core::SimConfig cfg = cell_platform(core::Scheme::kDfp);
+  cfg.enclave.channel.max_queued = 64;
+  cfg.enclave.channel.preload_high_water = 48;
+  cfg.enclave.channel.max_retries = 3;
+  cfg.enclave.admission.enabled = true;
+  std::string err;
+  const auto plan =
+      inject::ChaosPlan::parse("drop-completion:0.2,dup-completion:0.1", &err);
+  SGXPL_CHECK_MSG(plan.has_value(), "chaos spec: " << err);
+  cfg.chaos = *plan;
+  cfg.chaos.seed = 0x5eed;
+  const auto m = core::simulate(t, cfg);
+  bench::add_scalar("cycles.overload.total_cycles",
+                    static_cast<double>(m.total_cycles));
+  bench::add_scalar("cycles.overload.lost_completions",
+                    static_cast<double>(m.driver.lost_completions));
+  bench::add_scalar("cycles.overload.retries",
+                    static_cast<double>(m.driver.retries));
+  bench::add_scalar("cycles.overload.permanent_faults",
+                    static_cast<double>(m.driver.permanent_faults));
+  bench::add_scalar("cycles.overload.preloads_shed",
+                    static_cast<double>(m.driver.preloads_shed));
+  tbl.add_row({"overload (mcf, chaos)",
+               std::to_string(m.total_cycles) + " cycles",
+               std::to_string(m.driver.retries) + " retries, " +
+                   std::to_string(m.driver.preloads_shed) + " shed"});
+}
+
+/// Cell D: hot-loop building blocks, wall-clock only (their cycle-domain
+/// behaviour is covered by the cells above).
+void cell_micro_ops(TextTable& tbl) {
+  {
+    std::vector<double> rates;
+    for (int rep = 0; rep < kReps; ++rep) {
+      dfp::StreamPredictor sp(dfp::StreamPredictorParams{});
+      constexpr std::uint64_t kOps = 2'000'000;
+      PageNum page = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      std::uint64_t acc = 0;
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        acc += sp.on_fault(ProcessId{0}, page++).size();
+      }
+      const double secs = seconds_since(t0);
+      g_sink = acc;
+      rates.push_back(static_cast<double>(kOps) / secs);
+    }
+    bench::add_scalar("wall.micro.predictor_updates_per_sec", median(rates));
+    tbl.add_row({"predictor update",
+                 TextTable::fmt(median(rates) / 1e6, 2) + " M/s", ""});
+  }
+  {
+    constexpr std::uint64_t kBits = 1u << 18;
+    sgxsim::PresenceBitmap bm(kBits);
+    for (PageNum p = 0; p < kBits; p += 3) {
+      bm.set(p);
+    }
+    std::vector<double> rates;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Rng rng(2);
+      constexpr std::uint64_t kOps = 8'000'000;
+      const auto t0 = std::chrono::steady_clock::now();
+      std::uint64_t acc = 0;
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        acc += bm.test(rng.bounded(kBits)) ? 1u : 0u;
+      }
+      const double secs = seconds_since(t0);
+      g_sink = acc;
+      rates.push_back(static_cast<double>(kOps) / secs);
+    }
+    bench::add_scalar("wall.micro.bitmap_checks_per_sec", median(rates));
+    tbl.add_row({"bitmap check",
+                 TextTable::fmt(median(rates) / 1e6, 2) + " M/s", ""});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "perf_suite",
+              "Perf trajectory cells (pinned scale/seed; cycles.* gated by "
+              "scripts/bench_gate.py)");
+  bench::add_note("perf_schema", "sgxpl-perf-cells/v1");
+  bench::add_note(
+      "domains",
+      "cycles.* scalars are deterministic and gated; wall.* scalars are "
+      "machine-dependent and reported only");
+
+  TextTable tbl({"cell", "rate", "detail"});
+  cell_resident_fast_path(tbl);
+  cell_fig8(tbl);
+  cell_overload(tbl);
+  cell_micro_ops(tbl);
+  bench::print_table("cells", tbl);
+
+  std::cout << "\nCommit the --json output as BENCH_<pr>.json at the repo "
+               "root; scripts/bench_gate.py compares cycles.* against the "
+               "last committed baseline.\n";
+  return bench::finish();
+}

@@ -177,6 +177,14 @@ struct MultiEnclaveRun::Impl {
       cfg.timeseries->clear();
       driver->set_time_series(cfg.timeseries);
     }
+    if (cfg.profiler != nullptr) {
+      driver->set_profiler(cfg.profiler);
+      for (std::size_t i = 0; i < apps.size(); ++i) {
+        if (auto* eng = policy->mutable_engine(i)) {
+          eng->set_profiler(cfg.profiler);
+        }
+      }
+    }
     state.resize(apps.size());
   }
 
@@ -310,6 +318,8 @@ void MultiEnclaveRun::step() {
   const auto& a = app.trace->accesses()[st.cursor];
   const PageNum page = im.offset[next] + a.page;
 
+  obs::ScopedSpan step_span(im.cfg.profiler, obs::Phase::kStep);
+  const Cycles step_start = st.now;
   st.now += a.gap;
   st.metrics.compute_cycles += a.gap;
   ++st.metrics.accesses;
@@ -334,6 +344,7 @@ void MultiEnclaveRun::step() {
   if (outcome.faulted) {
     ++st.metrics.enclave_faults;
   }
+  step_span.add_cycles(st.now - step_start);
 
   if (++st.cursor >= app.trace->size()) {
     st.done = true;
@@ -594,6 +605,7 @@ MultiEnclaveResult MultiEnclaveSimulator::run(
     // Meta-gated, same contract as EnclaveSimulator::run: a snapshot of a
     // different configuration is skipped; corrupt snapshots or broken
     // chains still throw. `.delta-N` files beside the base are replayed.
+    obs::ScopedSpan span(config_.profiler, obs::Phase::kSnapshotLoad);
     const auto t0 = std::chrono::steady_clock::now();
     if (snapshot::restore_chain_from_files(run, ck.resume_path) &&
         config_.registry != nullptr) {
@@ -605,6 +617,7 @@ MultiEnclaveResult MultiEnclaveSimulator::run(
   while (!run.done()) {
     run.step();
     if (checkpointing && run.steps() % ck.every_accesses == 0) {
+      obs::ScopedSpan span(config_.profiler, obs::Phase::kSnapshotSave);
       const auto t0 = std::chrono::steady_clock::now();
       const snapshot::ChainFrame frame = snap.checkpoint(run);
       const bool full = frame.header.kind == snapshot::FrameKind::kFull;

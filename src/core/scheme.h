@@ -8,6 +8,7 @@
 #include "inject/chaos_plan.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/time_series.h"
 #include "sgxsim/cost_model.h"
 #include "sgxsim/driver.h"
@@ -86,6 +87,7 @@ struct SimConfig {
   obs::MetricsRegistry* registry = nullptr;
   obs::TimeSeriesSet* timeseries = nullptr;
   obs::EventLog* event_log = nullptr;
+  obs::Profiler* profiler = nullptr;
 
   /// Whether this scheme runs a DFP engine, and with the stop valve.
   bool uses_dfp() const noexcept {

@@ -73,6 +73,12 @@ SimulationRun::SimulationRun(const SimConfig& config, const trace::Trace& t,
       (cfg_.registry != nullptr || cfg_.timeseries != nullptr)) {
     engine_->set_observability(cfg_.registry, cfg_.timeseries);
   }
+  if (cfg_.profiler != nullptr) {
+    driver_->set_profiler(cfg_.profiler);
+    if (engine_ != nullptr) {
+      engine_->set_profiler(cfg_.profiler);
+    }
+  }
 
   sip_on_ = cfg_.uses_sip() && plan_ != nullptr && !plan_->empty();
 }
@@ -90,6 +96,8 @@ void SimulationRun::hoist(std::size_t idx) {
   if (!plan_->instrumented(target.site)) {
     return;
   }
+  obs::ScopedSpan span(cfg_.profiler, obs::Phase::kSipCheck);
+  const Cycles before = now_;
   now_ += cfg_.costs.bitmap_check;
   m_.sip_check_cycles += cfg_.costs.bitmap_check;
   ++m_.sip_checks;
@@ -99,6 +107,7 @@ void SimulationRun::hoist(std::size_t idx) {
     ++m_.sip_requests;
     driver_->sip_prefetch(target.page, now_);
   }
+  span.add_cycles(now_ - before);
 }
 
 void SimulationRun::ensure_started() {
@@ -121,6 +130,8 @@ void SimulationRun::step() {
   SGXPL_CHECK_MSG(!done(), "stepping past the end of the trace");
   ensure_started();
 
+  obs::ScopedSpan step_span(cfg_.profiler, obs::Phase::kStep);
+  const Cycles step_start = now_;
   const auto& accesses = trace_->accesses();
   const std::size_t i = cursor_;
   const auto& a = accesses[i];
@@ -148,6 +159,8 @@ void SimulationRun::step() {
       if (plan_->instrumented(a.site)) {
         // Conservative mode: BIT_MAP_CHECK right before the access, then
         // a blocking page_loadin_function on a miss.
+        obs::ScopedSpan sip_span(cfg_.profiler, obs::Phase::kSipCheck);
+        const Cycles before = now_;
         now_ += cfg_.costs.bitmap_check;
         m_.sip_check_cycles += cfg_.costs.bitmap_check;
         ++m_.sip_checks;
@@ -157,6 +170,7 @@ void SimulationRun::step() {
           m_.sip_notification_cycles += cfg_.costs.sip_notification;
           ++m_.sip_requests;
         }
+        sip_span.add_cycles(now_ - before);
       }
     } else if (i + lookahead < accesses.size()) {
       hoist(i + lookahead);
@@ -168,6 +182,7 @@ void SimulationRun::step() {
   if (outcome.faulted) {
     ++m_.enclave_faults;
   }
+  step_span.add_cycles(now_ - step_start);
   ++cursor_;
 }
 
@@ -425,6 +440,7 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
     // that simulate several schemes overwrite one file per run) is skipped
     // and this run starts fresh. Corrupt snapshots or broken chains still
     // throw. Any `.delta-N` files beside the base are replayed on top.
+    obs::ScopedSpan span(config_.profiler, obs::Phase::kSnapshotLoad);
     const auto t0 = std::chrono::steady_clock::now();
     if (snapshot::restore_chain_from_files(run, ck.resume_path) &&
         config_.registry != nullptr) {
@@ -436,6 +452,7 @@ Metrics EnclaveSimulator::run(const trace::Trace& t,
   while (!run.done()) {
     run.step();
     if (checkpointing && run.cursor() % ck.every_accesses == 0) {
+      obs::ScopedSpan span(config_.profiler, obs::Phase::kSnapshotSave);
       const auto t0 = std::chrono::steady_clock::now();
       const snapshot::ChainFrame frame = snap.checkpoint(run);
       const bool full = frame.header.kind == snapshot::FrameKind::kFull;

@@ -91,6 +91,7 @@ std::vector<PageNum> DfpEngine::on_fault(ProcessId pid, PageNum page,
   if (stopped_) {
     return {};
   }
+  obs::ScopedSpan span(prof_, obs::Phase::kPredictorUpdate);
   auto pages = predictor_->on_fault(pid, page);
   if (params_.adaptive_load_length && pages.size() > depth_) {
     pages.resize(depth_);
@@ -125,6 +126,7 @@ void DfpEngine::on_state_lost(Cycles /*now*/) {
 }
 
 void DfpEngine::on_scan(const sgxsim::PageTable& pt, Cycles now) {
+  obs::ScopedSpan span(prof_, obs::Phase::kDfpScan);
   list_.scan(pt);
   if (params_.adaptive_load_length) {
     adapt_depth();

@@ -15,6 +15,7 @@
 #include "dfp/preloaded_page_list.h"
 #include "dfp/stream_predictor.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/time_series.h"
 #include "sgxsim/preload_policy.h"
 
@@ -116,6 +117,10 @@ class DfpEngine final : public sgxsim::PreloadPolicy {
   void set_observability(obs::MetricsRegistry* reg,
                          obs::TimeSeriesSet* ts) noexcept;
 
+  /// Attach a cycle-attribution profiler (not owned; nullptr detaches).
+  /// Predictor updates and per-scan engine work record as spans.
+  void set_profiler(obs::Profiler* p) noexcept { prof_ = p; }
+
   /// Flush end-of-run counters into `reg` under the "dfp." prefix.
   void publish(obs::MetricsRegistry& reg) const;
 
@@ -149,6 +154,7 @@ class DfpEngine final : public sgxsim::PreloadPolicy {
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Counter* stop_counter_ = nullptr;
   obs::TimeSeriesSet* series_ = nullptr;  // not owned; may be null
+  obs::Profiler* prof_ = nullptr;         // not owned; may be null
 };
 
 }  // namespace sgxpl::dfp

@@ -7,6 +7,25 @@
 
 namespace sgxpl::obs {
 
+void TimeSeries::compact() {
+  // Keep every other retained sample. Retained offered-indices are the
+  // multiples of stride_, so after this the survivors are exactly the
+  // multiples of the doubled stride — consistent with future add() calls.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < samples_.size(); i += 2) {
+    samples_[out++] = samples_[i];
+  }
+  samples_.resize(out);
+  stride_ <<= 1;
+}
+
+void TimeSeries::set_sample_cap(std::size_t cap) {
+  cap_ = cap < 2 ? 2 : cap;
+  while (samples_.size() >= cap_) {
+    compact();
+  }
+}
+
 double TimeSeries::mean() const noexcept {
   if (samples_.empty()) {
     return 0.0;
@@ -30,11 +49,18 @@ TimeSeries& TimeSeriesSet::series(std::string_view name) {
   auto it = series_.find(name);
   if (it == series_.end()) {
     it = series_
-             .emplace(std::string(name),
-                      std::make_unique<TimeSeries>(std::string(name)))
+             .emplace(std::string(name), std::make_unique<TimeSeries>(
+                                             std::string(name), sample_cap_))
              .first;
   }
   return *it->second;
+}
+
+void TimeSeriesSet::set_sample_cap(std::size_t cap) {
+  sample_cap_ = cap < 2 ? 2 : cap;
+  for (const auto& [name, s] : series_) {
+    s->set_sample_cap(sample_cap_);
+  }
 }
 
 const TimeSeries* TimeSeriesSet::find(std::string_view name) const {

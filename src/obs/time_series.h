@@ -30,14 +30,42 @@ struct Sample {
 
 class TimeSeries {
  public:
-  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+  /// Default per-series sample cap. When a series fills, it compacts to
+  /// half by keeping every other retained sample and doubles its stride —
+  /// long runs keep bounded memory at progressively coarser resolution.
+  static constexpr std::size_t kDefaultSampleCap = 65536;
 
-  void add(Cycles at, double value) { samples_.push_back({at, value}); }
+  explicit TimeSeries(std::string name, std::size_t sample_cap = kDefaultSampleCap)
+      : name_(std::move(name)), cap_(sample_cap < 2 ? 2 : sample_cap) {}
+
+  void add(Cycles at, double value) {
+    // Stride-doubling downsample: record every stride_-th offered sample.
+    // stride_ is always a power of two, so the modulo is a mask.
+    if ((seen_++ & (stride_ - 1)) != 0) {
+      return;
+    }
+    samples_.push_back({at, value});
+    if (samples_.size() >= cap_) {
+      compact();
+    }
+  }
 
   const std::string& name() const noexcept { return name_; }
   const std::vector<Sample>& samples() const noexcept { return samples_; }
   bool empty() const noexcept { return samples_.empty(); }
-  void clear() { samples_.clear(); }
+  void clear() {
+    samples_.clear();
+    seen_ = 0;
+    stride_ = 1;
+  }
+
+  /// Total samples offered via add(), including downsampled-away ones.
+  std::uint64_t seen() const noexcept { return seen_; }
+  /// Current downsampling stride (1 until the cap is first hit).
+  std::uint64_t stride() const noexcept { return stride_; }
+  std::size_t sample_cap() const noexcept { return cap_; }
+  /// Tighten (or relax) the cap; compacts immediately if already over.
+  void set_sample_cap(std::size_t cap);
 
   /// Mean of the sample values (0 when empty).
   double mean() const noexcept;
@@ -45,7 +73,12 @@ class TimeSeries {
   double max() const noexcept;
 
  private:
+  void compact();
+
   std::string name_;
+  std::size_t cap_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t stride_ = 1;
   std::vector<Sample> samples_;
 };
 
@@ -60,6 +93,11 @@ class TimeSeriesSet {
   TimeSeries& series(std::string_view name);
   const TimeSeries* find(std::string_view name) const;
 
+  /// Per-series sample cap applied to existing series now and to series
+  /// created later (10k-tenant runs drop this well below the default).
+  void set_sample_cap(std::size_t cap);
+  std::size_t sample_cap() const noexcept { return sample_cap_; }
+
   void for_each(const std::function<void(const TimeSeries&)>& fn) const;
   std::size_t size() const noexcept { return series_.size(); }
   void clear();
@@ -72,6 +110,7 @@ class TimeSeriesSet {
   std::string to_csv() const;
 
  private:
+  std::size_t sample_cap_ = TimeSeries::kDefaultSampleCap;
   std::map<std::string, std::unique_ptr<TimeSeries>, std::less<>> series_;
 };
 

@@ -13,6 +13,10 @@ std::uint32_t tid_of(EventTrack t) noexcept {
   return static_cast<std::uint32_t>(t) + 1;
 }
 
+/// Dedicated track for the aggregated phase-profile flame graph (the
+/// EventTrack tracks occupy tids 1..6).
+constexpr std::uint32_t kProfileTid = 7;
+
 constexpr EventTrack kAllTracks[] = {
     EventTrack::kApp,           EventTrack::kFaultHandler,
     EventTrack::kChannel,       EventTrack::kServiceThread,
@@ -107,6 +111,49 @@ void write_process(JsonWriter& w, std::uint32_t pid, const std::string& pname,
   }
 }
 
+/// Lay the aggregate tree out as nested "X" slices starting at `ts`.
+/// A parent's duration must contain its children, so it is the larger of
+/// its own aggregated wall time and the sum of its children's laid-out
+/// durations. Returns the duration used. ts here is *nanoseconds* of
+/// aggregated wall time, not virtual cycles — the track is a flame graph.
+std::uint64_t laid_out_dur(const PhaseProfile::Node& n) {
+  std::uint64_t child_total = 0;
+  for (const auto& c : n.children) {
+    child_total += laid_out_dur(c);
+  }
+  const std::uint64_t own = n.wall_ns < 1 ? 1 : n.wall_ns;
+  return own < child_total ? child_total : own;
+}
+
+std::uint64_t write_profile_node(JsonWriter& w, const PhaseProfile::Node& n,
+                                 std::uint64_t ts, std::uint32_t pid) {
+  const std::uint64_t dur = laid_out_dur(n);
+  w.begin_object();
+  write_common(w, to_string(n.phase), "X", static_cast<Cycles>(ts), pid,
+               kProfileTid);
+  w.kv("dur", dur);
+  w.key("args")
+      .begin_object()
+      .kv("count", n.count)
+      .kv("wall_ns", n.wall_ns)
+      .kv("cycles", n.sim_cycles)
+      .end_object();
+  w.end_object();
+  std::uint64_t cursor = ts;
+  for (const auto& c : n.children) {
+    cursor += write_profile_node(w, c, cursor, pid);
+  }
+  return dur;
+}
+
+std::uint64_t count_profile_nodes(const std::vector<PhaseProfile::Node>& v) {
+  std::uint64_t n = 0;
+  for (const auto& node : v) {
+    n += 1 + count_profile_nodes(node.children);
+  }
+  return n;
+}
+
 }  // namespace
 
 void TraceExporter::add_events(const EventLog& log, std::uint32_t pid,
@@ -125,6 +172,11 @@ void TraceExporter::add_time_series(const TimeSeriesSet& set,
   });
 }
 
+void TraceExporter::add_profile(const PhaseProfile& profile,
+                                std::uint32_t pid) {
+  profiles_.push_back(ProfileTrack{pid, profile});
+}
+
 std::size_t TraceExporter::size() const noexcept {
   std::size_t n = 0;
   for (const auto& p : processes_) {
@@ -132,6 +184,9 @@ std::size_t TraceExporter::size() const noexcept {
   }
   for (const auto& c : counters_) {
     n += c.samples.size();
+  }
+  for (const auto& p : profiles_) {
+    n += count_profile_nodes(p.profile.roots);
   }
   return n;
 }
@@ -149,6 +204,13 @@ std::string TraceExporter::to_json() const {
       write_common(w, c.name.c_str(), "C", s.at, c.pid, 0);
       w.key("args").begin_object().kv("value", s.value).end_object();
       w.end_object();
+    }
+  }
+  for (const auto& p : profiles_) {
+    write_metadata(w, p.pid, kProfileTid, "thread_name", "phase-profile");
+    std::uint64_t cursor = 0;
+    for (const auto& root : p.profile.roots) {
+      cursor += write_profile_node(w, root, cursor, p.pid);
     }
   }
   w.end_array();

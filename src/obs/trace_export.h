@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/event_log.h"
+#include "obs/profiler.h"
 #include "obs/time_series.h"
 
 namespace sgxpl::obs {
@@ -30,6 +31,13 @@ class TraceExporter {
 
   /// Append each series of `set` as a counter ("C") track under `pid`.
   void add_time_series(const TimeSeriesSet& set, std::uint32_t pid = 0);
+
+  /// Append a merged phase profile as a flame-graph of "X" slices on a
+  /// dedicated "phase-profile" thread track under `pid`. Durations are the
+  /// aggregated wall-clock nanoseconds per node; timestamps are a synthetic
+  /// sequential layout (the profile is an aggregate, not a timeline), so
+  /// the track reads as a flame graph of where time went.
+  void add_profile(const PhaseProfile& profile, std::uint32_t pid = 0);
 
   /// Number of trace events accumulated so far (excluding metadata).
   std::size_t size() const noexcept;
@@ -51,9 +59,14 @@ class TraceExporter {
     std::string name;
     std::vector<Sample> samples;
   };
+  struct ProfileTrack {
+    std::uint32_t pid = 0;
+    PhaseProfile profile;
+  };
 
   std::vector<ProcessEvents> processes_;
   std::vector<CounterTrack> counters_;
+  std::vector<ProfileTrack> profiles_;
 };
 
 }  // namespace sgxpl::obs

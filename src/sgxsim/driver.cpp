@@ -178,17 +178,21 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
   advance_to(now);
   ++stats_.accesses;
 
-  if (page_table_.present(page)) {
-    if (page_table_.touch(page)) {
-      ++stats_.preloads_used;
+  {
+    obs::ScopedSpan lookup(prof_, obs::Phase::kPageTableLookup);
+    if (page_table_.present(page)) {
+      if (page_table_.touch(page)) {
+        ++stats_.preloads_used;
+      }
+      eviction_->on_access(page);
+      return AccessOutcome{.completion = now, .faulted = false,
+                           .hit_inflight = false};
     }
-    eviction_->on_access(page);
-    return AccessOutcome{.completion = now, .faulted = false,
-                         .hit_inflight = false};
   }
 
   // --- Enclave page fault: AEX out of the enclave. ---
   ++stats_.faults;
+  obs::ScopedSpan fault_span(prof_, obs::Phase::kFault);
   if (log_ != nullptr) {
     log_->record({.at = now, .type = EventType::kFault, .page = page});
   }
@@ -211,6 +215,7 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
     if (fault_stall_hist_ != nullptr) {
       fault_stall_hist_->record(done - now);
     }
+    fault_span.add_cycles(done - now);
     return AccessOutcome{.completion = done, .faulted = true,
                          .hit_inflight = true};
   }
@@ -266,6 +271,8 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
   // layer when a queue bound or the degradation ladder is configured).
   if (policy_ != nullptr) {
     const auto predicted = policy_->on_fault(pid, page, after_aex);
+    obs::ScopedSpan issue_span(predicted.empty() ? nullptr : prof_,
+                               obs::Phase::kPreloadIssue);
     std::uint64_t scheduled = 0;
     std::vector<PageNum> shed;
     for (const PageNum p : predicted) {
@@ -330,6 +337,7 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
   if (fault_stall_hist_ != nullptr) {
     fault_stall_hist_->record(done - now);
   }
+  fault_span.add_cycles(done - now);
   return AccessOutcome{.completion = done, .faulted = true,
                        .hit_inflight = hit_inflight};
 }
@@ -337,6 +345,7 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
 Cycles Driver::sip_load(PageNum page, Cycles now) {
   SGXPL_CHECK_MSG(page < config_.elrange_pages,
                   "sip_load outside ELRANGE: page " << page);
+  obs::ScopedSpan span(prof_, obs::Phase::kSipLoad);
   if (log_ != nullptr) {
     log_->record({.at = now, .type = EventType::kSipRequest, .page = page});
   }
@@ -379,12 +388,14 @@ Cycles Driver::sip_load(PageNum page, Cycles now) {
   if (sip_stall_hist_ != nullptr) {
     sip_stall_hist_->record(end - now);
   }
+  span.add_cycles(end - now);
   return end;
 }
 
 bool Driver::sip_bitmap_check(PageNum page, Cycles now) {
   SGXPL_CHECK_MSG(page < config_.elrange_pages,
                   "bitmap check outside ELRANGE: page " << page);
+  obs::ScopedSpan span(prof_, obs::Phase::kBitmapCheck);
   const bool actual = bitmap_.test(page);
   if (chaos_ == nullptr) {
     return actual;
@@ -400,6 +411,7 @@ bool Driver::sip_bitmap_check(PageNum page, Cycles now) {
 void Driver::sip_prefetch(PageNum page, Cycles now) {
   SGXPL_CHECK_MSG(page < config_.elrange_pages,
                   "sip_prefetch outside ELRANGE: page " << page);
+  obs::ScopedSpan span(prof_, obs::Phase::kSipPrefetch);
   advance_to(now);
   if (page_table_.present(page) || channel_.find(page).has_value()) {
     return;
@@ -455,6 +467,7 @@ void Driver::advance_to(Cycles now) {
         continue;
       }
     }
+    obs::ScopedSpan scan_span(prof_, obs::Phase::kScan);
     for (const auto& op : channel_.collect_completed(next_scan_)) {
       if (!hard || op.kind != OpKind::kDfpPreload) {
         commit_load(op);
@@ -710,6 +723,7 @@ void Driver::sweep_lost_ops(Cycles now) {
   if (lost_ops_.empty()) {
     return;
   }
+  obs::ScopedSpan span(prof_, obs::Phase::kRetrySweep);
   std::vector<LostOp> keep;
   keep.reserve(lost_ops_.size());
   for (const LostOp& lo : lost_ops_) {
@@ -920,6 +934,7 @@ void Driver::commit_load(const ChannelOp& op) {
 }
 
 void Driver::evict_one(PageNum pinned) {
+  obs::ScopedSpan span(prof_, obs::Phase::kEviction);
   const PageNum victim = eviction_->victim(page_table_, pinned);
   eviction_->on_unload(victim);
   const PageTableEntry prior = page_table_.unmap(victim);

@@ -22,6 +22,7 @@
 #include "common/types.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/time_series.h"
 #include "sgxsim/admission.h"
 #include "sgxsim/backing_store.h"
@@ -261,6 +262,15 @@ class Driver {
   /// accuracy — are sampled on every service-thread scan tick.
   void set_time_series(obs::TimeSeriesSet* ts) noexcept;
 
+  /// Attach a cycle-attribution profiler (not owned; nullptr detaches).
+  /// Scoped spans wrap the fault path, resident fast path, preload issue,
+  /// SIP entry points, scan/retry/eviction work, and the paging channel's
+  /// completion harvesting (forwarded to the channel).
+  void set_profiler(obs::Profiler* p) noexcept {
+    prof_ = p;
+    channel_.set_profiler(p);
+  }
+
  private:
   /// Duration of one load: ELDU + EWB share when the EPC will be full +
   /// the preload worker's dispatch overhead for asynchronous preloads,
@@ -388,6 +398,7 @@ class Driver {
   obs::Histogram* dfp_batch_hist_ = nullptr;
   obs::Gauge* degrade_gauge_ = nullptr;  // worst tenant ladder level
   obs::TimeSeriesSet* series_ = nullptr;  // not owned; may be null
+  obs::Profiler* prof_ = nullptr;         // not owned; may be null
   /// Total channel-busy cycles committed so far (for windowed utilization).
   Cycles channel_busy_total_ = 0;
   // Snapshots from the previous sample, for windowed deltas.

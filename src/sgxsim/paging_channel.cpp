@@ -169,6 +169,10 @@ Cycles PagingChannel::next_free(Cycles earliest) const noexcept {
 }
 
 const std::vector<ChannelOp>& PagingChannel::collect_completed(Cycles now) {
+  // Guard on queue_.empty() so the hottest path (every clock advance with
+  // an idle channel) never pays the span's steady_clock read.
+  obs::ScopedSpan span(queue_.empty() ? nullptr : prof_,
+                       obs::Phase::kChannelService);
   completed_.clear();
   if (serial_) {
     while (!queue_.empty() && queue_.front().end <= now) {

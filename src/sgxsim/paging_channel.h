@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/profiler.h"
 #include "snapshot/fwd.h"
 
 namespace sgxpl::sgxsim {
@@ -203,11 +204,16 @@ class PagingChannel {
   void save(snapshot::Writer& w) const;
   void load(snapshot::Reader& r);
 
+  /// Attach a cycle-attribution profiler (not owned; nullptr detaches);
+  /// completion harvesting records under Phase::kChannelService.
+  void set_profiler(obs::Profiler* p) noexcept { prof_ = p; }
+
  private:
   /// Re-pack not-yet-started ops back-to-back after an insertion/removal
   /// (the kernel worker issues the next request as soon as one retires).
   void repack(Cycles now);
 
+  obs::Profiler* prof_ = nullptr;  // not owned; may be null
   bool serial_;
   ChannelConfig config_;
   std::deque<ChannelOp> queue_;  // ascending by start

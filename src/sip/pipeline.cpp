@@ -7,10 +7,12 @@ namespace sgxpl::sip {
 PipelineResult compile_workload(const trace::Workload& workload,
                                 const InstrumenterParams& params,
                                 const trace::WorkloadParams& train,
-                                obs::MetricsRegistry* registry) {
+                                obs::MetricsRegistry* registry,
+                                obs::Profiler* profiler) {
   SGXPL_CHECK_MSG(workload.info.sip_supported,
                   "SIP cannot instrument " << workload.info.name
                                            << " (tool limitation)");
+  obs::ScopedSpan span(profiler, obs::Phase::kSipCompile);
   const trace::Trace profiling_trace = workload.make(train);
   PipelineResult result;
   result.profile = profile_trace(profiling_trace);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sip/instrumenter.h"
 #include "trace/workloads.h"
 
@@ -19,11 +20,13 @@ struct PipelineResult {
 /// `registry` is non-null the pipeline publishes compile-time statistics
 /// under the "sip." prefix: profiled sites/accesses, instrumentation
 /// points, and the per-site irregular-percent histogram that the Fig. 9
-/// threshold acts on.
+/// threshold acts on. When `profiler` is non-null the whole compile
+/// records under Phase::kSipCompile.
 PipelineResult compile_workload(
     const trace::Workload& workload,
     const InstrumenterParams& params = InstrumenterParams{},
     const trace::WorkloadParams& train = trace::train_params(),
-    obs::MetricsRegistry* registry = nullptr);
+    obs::MetricsRegistry* registry = nullptr,
+    obs::Profiler* profiler = nullptr);
 
 }  // namespace sgxpl::sip

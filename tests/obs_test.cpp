@@ -385,6 +385,68 @@ TEST(TimeSeries, DriverSamplesOnServiceThreadCadence) {
   ASSERT_NE(set.find("dfp.depth"), nullptr);
 }
 
+TEST(TimeSeries, StrideDoublesWhenCapIsHit) {
+  TimeSeries s("x", /*sample_cap=*/8);
+  EXPECT_EQ(s.sample_cap(), 8u);
+  EXPECT_EQ(s.stride(), 1u);
+  // Below the cap every offered sample is retained verbatim.
+  for (Cycles i = 0; i < 7; ++i) {
+    s.add(i, static_cast<double>(i));
+  }
+  EXPECT_EQ(s.samples().size(), 7u);
+  EXPECT_EQ(s.stride(), 1u);
+  // The 8th sample fills the cap: compact to every other sample, stride 2.
+  s.add(7, 7.0);
+  EXPECT_EQ(s.samples().size(), 4u);
+  EXPECT_EQ(s.stride(), 2u);
+  EXPECT_EQ(s.seen(), 8u);
+  const std::vector<Cycles> kept = {0, 2, 4, 6};
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(s.samples()[i].at, kept[i]);
+  }
+}
+
+TEST(TimeSeries, LongRunKeepsBoundedMemoryAndStrideAlignment) {
+  TimeSeries s("x", /*sample_cap=*/16);
+  constexpr std::uint64_t kOffered = 100'000;
+  for (std::uint64_t i = 0; i < kOffered; ++i) {
+    s.add(i, static_cast<double>(i));
+    ASSERT_LT(s.samples().size(), 16u);
+  }
+  EXPECT_EQ(s.seen(), kOffered);
+  // Stride is a power of two and every retained sample sits on a stride
+  // boundary of the offered sequence, so the curve stays evenly spaced.
+  EXPECT_EQ(s.stride() & (s.stride() - 1), 0u);
+  EXPECT_GT(s.stride(), 1u);
+  for (const auto& smp : s.samples()) {
+    EXPECT_EQ(smp.at % s.stride(), 0u);
+  }
+  // First offered sample survives every compaction.
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.samples().front().at, 0u);
+
+  s.clear();
+  EXPECT_EQ(s.seen(), 0u);
+  EXPECT_EQ(s.stride(), 1u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TimeSeries, SetSampleCapCompactsExistingSeries) {
+  TimeSeriesSet set;
+  TimeSeries& a = set.series("a");
+  for (Cycles i = 0; i < 1000; ++i) {
+    a.add(i, 1.0);
+  }
+  EXPECT_EQ(a.samples().size(), 1000u);
+
+  set.set_sample_cap(64);
+  EXPECT_EQ(set.sample_cap(), 64u);
+  EXPECT_LT(a.samples().size(), 64u);
+  EXPECT_GT(a.stride(), 1u);
+  // New series inherit the tightened cap.
+  EXPECT_EQ(set.series("b").sample_cap(), 64u);
+}
+
 // ---------------------------------------------------------------------------
 // Metrics ratio guards (satellite: divide-by-zero regression test)
 // ---------------------------------------------------------------------------
