@@ -1,0 +1,244 @@
+// Migration suite: live tenant migration at bench scale (docs/ROBUSTNESS.md,
+// "Live migration & torn-chain salvage").
+//
+// A sole-tenant co-run (DFP-stop on the mcf reference trace) is migrated
+// onto a fresh host through fleet::MigrationController and the suite
+// measures what the operator cares about: stop-and-copy downtime (cycles),
+// bytes on the wire per warm round (iterative delta decay), and the success
+// rate under every link chaos class (drop / dup / truncate / bit-flip /
+// combined), each trialed over several link seeds.
+//
+// Two differentials gate the suite (non-zero exit on violation):
+//   - completed migrations: the destination finishes the trace with metrics
+//     AND final serialized state bit-identical to an uninterrupted run
+//     (the identity carve is byte-verbatim, so nothing may drift);
+//   - aborted migrations: the source resumes and finishes bit-identical to
+//     an uninterrupted run — an abort must cost zero state.
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/multi_enclave.h"
+#include "fleet/migration.h"
+#include "snapshot/snapshotter.h"
+#include "trace/workloads.h"
+
+using namespace sgxpl;
+
+namespace {
+
+constexpr const char* kWorkload = "mcf";
+
+struct Host {
+  explicit Host(const core::SimConfig& cfg, const trace::Trace& t) {
+    apps = {{.trace = &t, .scheme = core::Scheme::kDfpStop}};
+    run = std::make_unique<core::MultiEnclaveRun>(cfg, apps);
+  }
+  void step_to(std::uint64_t cut) {
+    while (!run->done() && run->steps() < cut) {
+      run->step();
+    }
+  }
+  std::vector<core::EnclaveApp> apps;
+  std::unique_ptr<core::MultiEnclaveRun> run;
+};
+
+struct LinkClass {
+  const char* name;
+  const char* spec;  // seed is appended per trial
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "migration_suite",
+              "live tenant migration: downtime, iterative-copy decay, "
+              "success rate under link chaos, abort conservation");
+
+  const double scale = bench::bench_scale();
+  const core::SimConfig cfg = bench::bench_platform();
+  const trace::Trace t =
+      trace::find_workload(kWorkload)->make(trace::ref_params(scale));
+  const std::uint64_t n = t.size();
+
+  // The oracle both differentials compare against: one uninterrupted run.
+  std::vector<std::uint8_t> want_bytes;
+  core::Metrics want_metrics;
+  {
+    Host ref(cfg, t);
+    ref.step_to(~0ull);
+    want_metrics = ref.run->tenant_metrics(0);
+    want_bytes = ref.run->save_bytes();
+  }
+
+  std::uint64_t failures = 0;
+  const auto check_same = [&](const core::MultiEnclaveRun& run,
+                              const std::string& context) {
+    const auto d = snapshot::diff_metrics(run.tenant_metrics(0), want_metrics);
+    if (!d.identical) {
+      std::cerr << "FAIL " << context << ": " << d.first_divergence << "\n";
+      ++failures;
+      return;
+    }
+    if (run.save_bytes() != want_bytes) {
+      std::cerr << "FAIL " << context
+                << ": final serialized state diverged from the "
+                   "uninterrupted run\n";
+      ++failures;
+    }
+  };
+
+  // --- cut sweep: clean link, downtime and wire cost vs migration point ---
+  {
+    TextTable tbl({"cut", "warm legs", "wire bytes", "final-leg bytes",
+                   "downtime cycles", "differential"});
+    double downtime_sum = 0;
+    const std::vector<std::uint64_t> cuts = {1, n / 4, n / 2, (3 * n) / 4,
+                                             n - 1};
+    for (const std::uint64_t cut : cuts) {
+      Host src(cfg, t);
+      src.step_to(cut);
+      Host dst(cfg, t);
+      fleet::MigrationPolicy policy;
+      policy.warm_rounds = 3;
+      policy.round_steps = std::max<std::uint64_t>(8, n / 64);
+      const fleet::MigrationReport rep =
+          fleet::MigrationController(policy).migrate(*src.run, 0, *dst.run);
+      bool ok = rep.completed();
+      if (!ok) {
+        std::cerr << "FAIL cut " << cut
+                  << ": clean-link migration aborted: " << rep.detail << "\n";
+        ++failures;
+      } else {
+        const std::uint64_t before = failures;
+        dst.step_to(~0ull);
+        check_same(*dst.run, "cut " + std::to_string(cut));
+        ok = failures == before;
+      }
+      downtime_sum += static_cast<double>(rep.downtime_cycles);
+      tbl.add_row({std::to_string(cut), std::to_string(rep.warm_rounds),
+                   std::to_string(rep.bytes_on_wire),
+                   std::to_string(rep.leg_stats.empty()
+                                      ? 0
+                                      : rep.leg_stats.back().bytes_on_wire),
+                   std::to_string(rep.downtime_cycles),
+                   ok ? "identical" : "DIVERGED"});
+    }
+    bench::print_table("cut_sweep", tbl);
+    bench::add_scalar("avg_downtime_cycles",
+                      downtime_sum / static_cast<double>(cuts.size()));
+  }
+
+  // --- iterative copy decay: bytes per warm round on a clean link ---
+  {
+    Host src(cfg, t);
+    src.step_to(n / 2);
+    Host dst(cfg, t);
+    fleet::MigrationPolicy policy;
+    policy.warm_rounds = 4;
+    policy.round_steps = std::max<std::uint64_t>(8, n / 64);
+    const fleet::MigrationReport rep =
+        fleet::MigrationController(policy).migrate(*src.run, 0, *dst.run);
+    TextTable tbl({"leg", "kind", "bytes delivered", "attempts"});
+    for (std::size_t i = 0; i < rep.leg_stats.size(); ++i) {
+      const fleet::LegStats& leg = rep.leg_stats[i];
+      tbl.add_row({std::to_string(i), leg.final_leg ? "stop-and-copy" : "warm",
+                   std::to_string(leg.bytes_delivered),
+                   std::to_string(leg.attempts)});
+    }
+    bench::print_table("copy_decay", tbl);
+    if (rep.leg_stats.size() >= 2) {
+      const double first =
+          static_cast<double>(rep.leg_stats.front().bytes_delivered);
+      const double last =
+          static_cast<double>(rep.leg_stats.back().bytes_delivered);
+      bench::add_scalar("delta_copy_reduction",
+                        first > 0 ? 1.0 - last / first : 0.0);
+    }
+    if (rep.completed()) {
+      dst.step_to(~0ull);
+      check_same(*dst.run, "copy-decay run");
+    } else {
+      std::cerr << "FAIL copy-decay: " << rep.detail << "\n";
+      ++failures;
+    }
+  }
+
+  // --- link chaos grid: success rate + abort conservation per class ---
+  {
+    constexpr std::uint64_t kTrials = 5;
+    const std::vector<LinkClass> classes = {
+        {"clean", ""},
+        {"drop", "drop=0.3"},
+        {"dup", "dup=0.3"},
+        {"truncate", "truncate=0.3"},
+        {"bitflip", "bitflip=0.3"},
+        {"combined", "drop=0.2,dup=0.2,truncate=0.15,bitflip=0.15"},
+        // Mostly-dead link: most trials abort, exercising the
+        // abort-conservation differential inside the suite itself.
+        {"hostile", "drop=0.85"},
+    };
+    TextTable tbl({"link", "trials", "completed", "success", "avg attempts",
+                   "avg wire bytes", "avg downtime"});
+    for (const LinkClass& lc : classes) {
+      std::uint64_t completed = 0;
+      double attempts = 0, wire = 0, downtime = 0;
+      for (std::uint64_t trial = 0; trial < kTrials; ++trial) {
+        fleet::MigrationPolicy policy;
+        policy.warm_rounds = 2;
+        policy.round_steps = std::max<std::uint64_t>(8, n / 64);
+        policy.max_attempts = 6;
+        const std::string spec =
+            std::string(lc.spec) +
+            (lc.spec[0] == '\0' ? "seed=" : ",seed=") +
+            std::to_string(1000 + trial);
+        policy.link = fleet::LinkChaos::parse(spec);
+
+        Host src(cfg, t);
+        src.step_to(n / 2);
+        Host dst(cfg, t);
+        const fleet::MigrationReport rep =
+            fleet::MigrationController(policy).migrate(*src.run, 0, *dst.run);
+        attempts += static_cast<double>(rep.attempts);
+        wire += static_cast<double>(rep.bytes_on_wire);
+        downtime += static_cast<double>(rep.downtime_cycles);
+        if (rep.completed()) {
+          ++completed;
+          dst.step_to(~0ull);
+          check_same(*dst.run, std::string(lc.name) + " trial " +
+                                   std::to_string(trial) + " (completed)");
+        } else {
+          // Abort conservation: the source must finish bit-identically to
+          // an uninterrupted run — an abandoned migration costs nothing.
+          src.step_to(~0ull);
+          check_same(*src.run, std::string(lc.name) + " trial " +
+                                   std::to_string(trial) + " (aborted)");
+        }
+      }
+      const double rate =
+          static_cast<double>(completed) / static_cast<double>(kTrials);
+      tbl.add_row({lc.name, std::to_string(kTrials), std::to_string(completed),
+                   TextTable::pct(rate),
+                   TextTable::fmt(attempts / kTrials, 1),
+                   TextTable::fmt(wire / kTrials, 0),
+                   TextTable::fmt(downtime / kTrials, 0)});
+      bench::add_scalar(std::string("success_rate_") + lc.name, rate);
+    }
+    bench::print_table("link_chaos", tbl);
+    std::cout << "\nEvery completed migration is checked bit-identical to an "
+                 "uninterrupted run; every aborted\nmigration's source must "
+                 "finish bit-identically too (abort conservation). A lossy "
+                 "link lowers\nthe success rate; it must never corrupt "
+                 "state.\n";
+  }
+
+  bench::add_scalar("migration_failures", static_cast<double>(failures));
+  const int rc = bench::finish();
+  if (failures > 0) {
+    std::cerr << "migration_suite: " << failures << " differential(s) FAILED\n";
+    return 1;
+  }
+  return rc;
+}

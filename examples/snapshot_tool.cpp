@@ -7,18 +7,37 @@
 //   snapshot_tool extract <n> <in> <out>      lift enclave <n> out of a v2
 //                                             multi-enclave frame as a
 //                                             standalone snapshot
+//   snapshot_tool migrate <in> <n> <out> [<lo> <pages> <accesses>]
+//                                             carve enclave <n> as a
+//                                             *resumable* single-tenant
+//                                             frame (the live-migration
+//                                             payload); the optional triple
+//                                             gives a co-tenant's placement,
+//                                             default is a sole occupant
 //   snapshot_tool diff <a> <b>                first diverging field of two
 //                                             frames (exit 1 when they
 //                                             differ)
 //   snapshot_tool verify-chain <base>         validate the delta chain
 //                                             rooted at <base> (the
 //                                             `<base>.delta-N` files):
-//                                             headers, CRC linkage, ordering
+//                                             headers, CRC linkage,
+//                                             ordering; a bad frame is
+//                                             reported with its seq number
+//                                             and byte offset
+//   snapshot_tool salvage <base> <out-base>   copy the longest valid prefix
+//                                             of a torn chain to <out-base>
+//                                             (+ .delta-N) and report what
+//                                             was dropped; exit 1 when
+//                                             nothing is restorable
 //
 // Every command works on files alone — no simulation run is needed, so a
 // snapshot from a dead service can be examined on any machine with this
-// build. See docs/ROBUSTNESS.md, "Snapshot format v2".
+// build. Every failure (unreadable file, corrupt frame, wrong version, bad
+// argument) exits nonzero with a one-line `error:` diagnostic; no input
+// may abort or crash the process. See docs/ROBUSTNESS.md, "Snapshot format
+// v2" and "Live migration & torn-chain salvage".
 #include <cstdio>
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -38,9 +57,28 @@ int usage() {
       << "usage: snapshot_tool info <file>\n"
          "       snapshot_tool upgrade <in.v1> <out.v2>\n"
          "       snapshot_tool extract <enclave> <in> <out>\n"
+         "       snapshot_tool migrate <in> <enclave> <out> [<lo> <pages> "
+         "<accesses>]\n"
          "       snapshot_tool diff <a> <b>\n"
-         "       snapshot_tool verify-chain <base>\n";
+         "       snapshot_tool verify-chain <base>\n"
+         "       snapshot_tool salvage <base> <out-base>\n";
   return 2;
+}
+
+/// Strict decimal parse with a typed failure (std::stoull would abort the
+/// command with an unhelpful std::invalid_argument).
+std::uint64_t parse_u64(const std::string& what, const std::string& text) {
+  SGXPL_CHECK_MSG(!text.empty(), what << " is empty, want an integer");
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    SGXPL_CHECK_MSG(c >= '0' && c <= '9',
+                    what << " '" << text << "' is not a decimal integer");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    SGXPL_CHECK_MSG(v <= (~0ull - digit) / 10,
+                    what << " '" << text << "' overflows 64 bits");
+    v = v * 10 + digit;
+  }
+  return v;
 }
 
 int cmd_info(const std::string& path) {
@@ -86,7 +124,8 @@ int cmd_upgrade(const std::string& in, const std::string& out) {
   const auto bytes = snapshot::read_file(in);
   const std::uint32_t version = snapshot::frame_version(bytes);
   if (version >= 2) {
-    std::cerr << in << ": already format v" << version << "; nothing to do\n";
+    std::cerr << "error: " << in << ": already format v" << version
+              << "; nothing to do\n";
     return 1;
   }
   const auto upgraded = snapshot::upgrade_v1_to_v2(bytes);
@@ -98,7 +137,7 @@ int cmd_upgrade(const std::string& in, const std::string& out) {
 
 int cmd_extract(const std::string& index, const std::string& in,
                 const std::string& out) {
-  const std::uint64_t enclave = std::stoull(index);
+  const std::uint64_t enclave = parse_u64("enclave index", index);
   auto bytes = snapshot::read_file(in);
   if (snapshot::frame_version(bytes) < 2) {
     bytes = snapshot::upgrade_v1_to_v2(bytes);
@@ -109,6 +148,38 @@ int cmd_extract(const std::string& index, const std::string& in,
   std::cout << "wrote " << out << ": enclave " << e.index << " (" << e.scheme
             << " on " << e.trace << "), cursor " << e.cursor << ", "
             << frame.size() << " bytes\n";
+  return 0;
+}
+
+int cmd_migrate(const std::vector<std::string>& args) {
+  const std::string& in = args[1];
+  const std::uint64_t enclave = parse_u64("enclave index", args[2]);
+  const std::string& out = args[3];
+  const auto bytes = snapshot::read_file(in);
+  snapshot::validate_frame(bytes);
+  snapshot::TenantGeometry geo;
+  if (args.size() == 7) {
+    geo.lo = parse_u64("tenant lo page", args[4]);
+    geo.pages = parse_u64("tenant page count", args[5]);
+    geo.trace_accesses = parse_u64("tenant trace accesses", args[6]);
+  } else {
+    // Sole occupant: the tenant owns the whole combined space described by
+    // the frame's META (the identity carve — byte-exact).
+    snapshot::Reader r(bytes);
+    SGXPL_CHECK_MSG(r.version() >= 2,
+                    "format v1 frames have no per-enclave sections; upgrade "
+                    "the file first (snapshot_tool upgrade)");
+    (void)snapshot::read_chain_header(r);
+    const snapshot::RunMeta meta = snapshot::read_meta(r);
+    geo.lo = 0;
+    geo.pages = meta.elrange_pages;
+    geo.trace_accesses = meta.trace_accesses;
+  }
+  const auto frame = snapshot::extract_resumable(bytes, enclave, geo);
+  snapshot::write_file_atomic(out, frame);
+  std::cout << "wrote " << out << ": resumable enclave " << enclave
+            << " at pages [" << geo.lo << ", " << (geo.lo + geo.pages)
+            << "), " << frame.size() << " bytes\n";
   return 0;
 }
 
@@ -123,48 +194,76 @@ int cmd_diff(const std::string& a, const std::string& b) {
   return 1;
 }
 
-int cmd_verify_chain(const std::string& base) {
-  const auto base_bytes = snapshot::read_file(base);
-  snapshot::validate_frame(base_bytes);
-  const snapshot::ChainHeader head =
-      snapshot::read_chain_header_bytes(base_bytes);
-  SGXPL_CHECK_MSG(head.kind == snapshot::FrameKind::kFull,
-                  base << " is delta " << head.seq
-                       << ", not a chain base; point verify-chain at the "
-                          "base frame");
-  std::cout << base << ": full base, chain id " << head.chain_id << ", "
-            << base_bytes.size() << " bytes\n";
-  std::uint32_t prev_crc =
-      snapshot::crc32c(base_bytes.data(), base_bytes.size());
-  std::uint64_t frames = 1;
+/// Read the chain rooted at `base`: the base plus every consecutive
+/// `.delta-N` file beside it. Unreadable files stop the scan; corrupt
+/// *content* does not (the walk classifies it).
+std::vector<std::vector<std::uint8_t>> read_chain_files(
+    const std::string& base, std::vector<std::string>* paths) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.push_back(snapshot::read_file(base));
+  paths->push_back(base);
   for (std::uint64_t seq = 1;; ++seq) {
     const std::string path = snapshot::delta_path(base, seq);
     if (!snapshot::file_readable(path)) {
       break;
     }
-    const auto bytes = snapshot::read_file(path);
-    snapshot::validate_frame(bytes);
-    const snapshot::ChainHeader h = snapshot::read_chain_header_bytes(bytes);
-    SGXPL_CHECK_MSG(h.kind == snapshot::FrameKind::kDelta,
-                    path << " is a full frame where delta " << seq
-                         << " was expected");
-    if (h.chain_id != head.chain_id) {
-      std::cout << path << ": different chain (id " << h.chain_id
-                << ") — stale leftover, chain ends at seq " << (seq - 1)
-                << "\n";
-      break;
-    }
-    SGXPL_CHECK_MSG(h.seq == seq, path << " carries seq " << h.seq
-                                       << " but its filename says " << seq);
-    SGXPL_CHECK_MSG(h.prev_crc == prev_crc,
-                    path << ": prev-CRC mismatch — a frame was substituted "
-                            "or reordered");
-    std::cout << path << ": delta " << seq << ", " << bytes.size()
-              << " bytes, linkage OK\n";
-    prev_crc = snapshot::crc32c(bytes.data(), bytes.size());
-    ++frames;
+    frames.push_back(snapshot::read_file(path));
+    paths->push_back(path);
   }
-  std::cout << "chain OK: " << frames << " frame(s)\n";
+  return frames;
+}
+
+int cmd_verify_chain(const std::string& base) {
+  std::vector<std::string> paths;
+  const auto frames = read_chain_files(base, &paths);
+  const snapshot::ChainSalvageReport rep = snapshot::probe_chain(frames);
+  for (std::uint64_t i = 0; i < rep.frames_restored; ++i) {
+    const snapshot::ChainHeader h =
+        snapshot::read_chain_header_bytes(frames[i]);
+    if (i == 0) {
+      std::cout << paths[i] << ": full base, chain id " << h.chain_id << ", "
+                << frames[i].size() << " bytes\n";
+    } else {
+      std::cout << paths[i] << ": delta " << h.seq << ", "
+                << frames[i].size() << " bytes, linkage OK\n";
+    }
+  }
+  if (!rep.complete()) {
+    // A stale delta of an older chain is a benign leftover, not corruption
+    // (the resume scan ignores it); everything else fails the chain.
+    if (rep.fault == snapshot::ChainFault::kChainIdMismatch) {
+      std::cout << paths[rep.first_bad_index]
+                << ": different chain — stale leftover, chain ends at seq "
+                << (rep.first_bad_index - 1) << "\n";
+      std::cout << "chain OK: " << rep.frames_restored << " frame(s)\n";
+      return 0;
+    }
+    std::cerr << "error: " << paths[rep.first_bad_index] << ": frame "
+              << rep.first_bad_index << " (seq " << rep.first_bad_seq
+              << "), byte offset " << rep.byte_offset << ": "
+              << snapshot::to_string(rep.fault) << " — " << rep.detail
+              << "\n";
+    return 1;
+  }
+  std::cout << "chain OK: " << rep.frames_restored << " frame(s)\n";
+  return 0;
+}
+
+int cmd_salvage(const std::string& base, const std::string& out_base) {
+  std::vector<std::string> paths;
+  const auto frames = read_chain_files(base, &paths);
+  const snapshot::ChainSalvageReport rep = snapshot::probe_chain(frames);
+  std::cout << rep.describe() << "\n";
+  if (!rep.restored_any()) {
+    std::cerr << "error: nothing restorable: " << rep.detail << "\n";
+    return 1;
+  }
+  for (std::uint64_t i = 0; i < rep.frames_restored; ++i) {
+    const std::string out =
+        i == 0 ? out_base : snapshot::delta_path(out_base, i);
+    snapshot::write_file_atomic(out, frames[i]);
+    std::cout << "wrote " << out << " (" << frames[i].size() << " bytes)\n";
+  }
   return 0;
 }
 
@@ -182,13 +281,22 @@ int main(int argc, char** argv) {
     if (args.size() == 4 && args[0] == "extract") {
       return cmd_extract(args[1], args[2], args[3]);
     }
+    if ((args.size() == 4 || args.size() == 7) && args[0] == "migrate") {
+      return cmd_migrate(args);
+    }
     if (args.size() == 3 && args[0] == "diff") {
       return cmd_diff(args[1], args[2]);
     }
     if (args.size() == 2 && args[0] == "verify-chain") {
       return cmd_verify_chain(args[1]);
     }
+    if (args.size() == 3 && args[0] == "salvage") {
+      return cmd_salvage(args[1], args[2]);
+    }
   } catch (const CheckFailure& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }

@@ -102,6 +102,10 @@ struct AppState {
   std::size_t cursor = 0;
   Cycles now = 0;
   bool done = false;
+  /// Clock frozen for a migration stop-and-copy. Control-plane state only:
+  /// never serialized (a carved tenant resumes unpaused on its destination,
+  /// and the frozen host frame format cannot grow a field).
+  bool paused = false;
   Metrics metrics;
 };
 
@@ -305,13 +309,14 @@ void MultiEnclaveRun::step() {
   std::size_t next = im.apps.size();
   Cycles min_clock = std::numeric_limits<Cycles>::max();
   for (std::size_t i = 0; i < im.apps.size(); ++i) {
-    if (!im.state[i].done && im.state[i].now < min_clock) {
+    if (!im.state[i].done && !im.state[i].paused &&
+        im.state[i].now < min_clock) {
       min_clock = im.state[i].now;
       next = i;
     }
   }
   SGXPL_CHECK_MSG(next != im.apps.size(),
-                  "stepping a finished multi-enclave run");
+                  "stepping a finished (or fully paused) multi-enclave run");
 
   AppState& st = im.state[next];
   const EnclaveApp& app = im.apps[next];
@@ -584,6 +589,64 @@ std::uint64_t MultiEnclaveRun::tenant_cursor(std::size_t enclave) const {
   SGXPL_CHECK_MSG(enclave < impl_->state.size(),
                   "no enclave " << enclave << " in this co-run");
   return impl_->state[enclave].cursor;
+}
+
+snapshot::TenantGeometry MultiEnclaveRun::tenant_geometry(
+    std::size_t enclave) const {
+  const Impl& im = *impl_;
+  SGXPL_CHECK_MSG(enclave < im.apps.size(),
+                  "no enclave " << enclave << " in this co-run");
+  return snapshot::TenantGeometry{
+      .lo = im.offset[enclave],
+      .pages = im.apps[enclave].trace->elrange_pages(),
+      .trace_accesses = im.apps[enclave].trace->size()};
+}
+
+void MultiEnclaveRun::set_tenant_paused(std::size_t enclave, bool paused) {
+  SGXPL_CHECK_MSG(enclave < impl_->state.size(),
+                  "no enclave " << enclave << " in this co-run");
+  impl_->state[enclave].paused = paused;
+}
+
+bool MultiEnclaveRun::tenant_paused(std::size_t enclave) const {
+  SGXPL_CHECK_MSG(enclave < impl_->state.size(),
+                  "no enclave " << enclave << " in this co-run");
+  return impl_->state[enclave].paused;
+}
+
+bool MultiEnclaveRun::steppable() const noexcept {
+  for (const auto& st : impl_->state) {
+    if (!st.done && !st.paused) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MultiEnclaveRun::begin_tenant_drain(std::size_t enclave) {
+  SGXPL_CHECK_MSG(enclave < impl_->state.size(),
+                  "no enclave " << enclave << " in this co-run");
+  impl_->driver->begin_drain(ProcessId{static_cast<std::uint32_t>(enclave)});
+}
+
+void MultiEnclaveRun::end_tenant_drain(std::size_t enclave) {
+  SGXPL_CHECK_MSG(enclave < impl_->state.size(),
+                  "no enclave " << enclave << " in this co-run");
+  impl_->driver->end_drain(ProcessId{static_cast<std::uint32_t>(enclave)});
+}
+
+void MultiEnclaveRun::retire_tenant(std::size_t enclave) {
+  Impl& im = *impl_;
+  SGXPL_CHECK_MSG(enclave < im.state.size(),
+                  "no enclave " << enclave << " in this co-run");
+  AppState& st = im.state[enclave];
+  SGXPL_CHECK_MSG(st.paused,
+                  "retire_tenant() requires the tenant to be paused (the "
+                  "stop-and-copy must have frozen its clock)");
+  if (!st.done) {
+    st.done = true;
+    st.metrics.total_cycles = st.now;
+  }
 }
 
 MultiEnclaveSimulator::MultiEnclaveSimulator(const SimConfig& config)

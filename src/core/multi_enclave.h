@@ -95,6 +95,29 @@ class MultiEnclaveRun {
   Metrics tenant_metrics(std::size_t enclave) const;
   std::uint64_t tenant_cursor(std::size_t enclave) const;
 
+  // --- live-migration hooks (fleet::MigrationController) ---
+  /// Placement of one tenant's ELRANGE in the combined page space, plus its
+  /// trace length — the inputs snapshot::extract_resumable needs.
+  snapshot::TenantGeometry tenant_geometry(std::size_t enclave) const;
+  /// Freeze/unfreeze one tenant's virtual clock: a paused tenant is skipped
+  /// by step()'s min-clock scheduler (the stop-and-copy window of a live
+  /// migration). Pausing is control-plane state — never serialized.
+  void set_tenant_paused(std::size_t enclave, bool paused);
+  bool tenant_paused(std::size_t enclave) const;
+  /// True while some unfinished tenant is not paused (done() stays false
+  /// during a stop-and-copy, so the scheduler needs this weaker guard).
+  bool steppable() const noexcept;
+  /// Enter/leave the migration drain on the shared driver: the tenant's
+  /// preloads are shed (demand loads still served) and, when admission
+  /// control is active, its ladder freezes at kDraining.
+  void begin_tenant_drain(std::size_t enclave);
+  void end_tenant_drain(std::size_t enclave);
+  /// Commit the source side of a completed migration: mark the tenant done
+  /// at its current clock so the co-run continues without it. Requires the
+  /// tenant to be paused (it must not consume accesses after the final
+  /// copy).
+  void retire_tenant(std::size_t enclave);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

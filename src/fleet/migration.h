@@ -1,0 +1,136 @@
+// Live tenant migration between simulated hosts (fleet operations on
+// snapshot format v2).
+//
+// A migration moves one tenant of a source co-run onto a destination host
+// (a freshly constructed single-tenant run over the same trace, scheme and
+// platform config) without stopping the source for the whole copy:
+//
+//   1. warm rounds — the tenant's resumable slice is carved
+//      (snapshot::extract_resumable) and shipped while the source keeps
+//      stepping; each round only the sections that changed since the last
+//      delivered copy are paid for on the wire (iterative delta copy);
+//   2. stop-and-copy — the tenant's clock is paused and its preloads
+//      drained (Driver::begin_drain), one final carve ships, and the
+//      accumulated transfer cost of that final leg is the migration's
+//      downtime;
+//   3. commit — the destination restores the final carve and the source
+//      retires the tenant; or abort — on a dead link, an exhausted byte
+//      budget, or a destination that rejects the frame, the drain is
+//      lifted and the tenant resumes at the source exactly where it
+//      paused (no lost pages, no lost progress).
+//
+// Every transfer leg retries under a deterministic lossy-link model
+// (drop / duplicate / truncate / bit-flip, seeded), and every received
+// frame is integrity-checked (snapshot::probe_frame) before it is
+// acknowledged — a corrupted leg is a retry, never silently-wrong state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/multi_enclave.h"
+
+namespace sgxpl::fleet {
+
+/// Deterministic lossy-link fault model, applied independently per
+/// transfer attempt. Probabilities in [0, 1]; all zero = a perfect link.
+struct LinkChaos {
+  double drop = 0.0;      // leg lost entirely
+  double dup = 0.0;       // leg delivered twice (doubles wire cost)
+  double truncate = 0.0;  // leg arrives cut short
+  double bitflip = 0.0;   // leg arrives with one bit flipped
+  std::uint64_t seed = 1;
+
+  bool any() const noexcept {
+    return drop > 0 || dup > 0 || truncate > 0 || bitflip > 0;
+  }
+
+  /// Parse "drop=0.3,dup=0.1,truncate=0.2,bitflip=0.05,seed=7" (any subset,
+  /// any order; empty = perfect link). Throws CheckFailure on unknown keys
+  /// or out-of-range probabilities.
+  static LinkChaos parse(const std::string& spec);
+  /// Canonical spec string (inverse of parse for set fields).
+  std::string spec() const;
+};
+
+struct MigrationPolicy {
+  /// Iterative pre-copy rounds before the stop-and-copy (0 = pure
+  /// stop-and-copy).
+  std::uint64_t warm_rounds = 3;
+  /// Source accesses consumed between consecutive warm rounds.
+  std::uint64_t round_steps = 64;
+  /// Transfer attempts per leg before the leg (and the migration) fails.
+  std::uint64_t max_attempts = 4;
+  /// Total on-wire byte budget across all legs and retries; 0 = unlimited.
+  std::uint64_t byte_budget = 0;
+  /// Fixed control-plane cost of one transfer attempt, in cycles.
+  std::uint64_t leg_latency = 2000;
+  /// Wire cost per byte, in cycles (scales the downtime of the final leg).
+  std::uint64_t cycles_per_byte = 1;
+  LinkChaos link;
+};
+
+enum class MigrationOutcome : std::uint8_t {
+  kCompleted,        // tenant resumed on the destination; source retired it
+  kAbortedLink,      // a leg exhausted max_attempts; resumed at source
+  kAbortedBudget,    // byte budget exhausted; resumed at source
+  kAbortedRejected,  // destination refused the final frame; resumed at source
+};
+
+const char* to_string(MigrationOutcome o) noexcept;
+
+/// One transfer leg's accounting (warm rounds and the final stop-and-copy
+/// leg alike).
+struct LegStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t bytes_on_wire = 0;  // paid bytes incl. retries and dups
+  std::uint64_t bytes_delivered = 0;  // the acknowledged copy's wire size
+  bool delivered = false;
+  bool final_leg = false;
+};
+
+struct MigrationReport {
+  MigrationOutcome outcome = MigrationOutcome::kAbortedLink;
+  std::uint64_t warm_rounds = 0;  // warm legs actually delivered
+  std::uint64_t legs = 0;         // transfer legs attempted
+  std::uint64_t attempts = 0;     // attempts across all legs
+  std::uint64_t bytes_on_wire = 0;
+  /// Control-plane cycles the tenant spent paused: the summed cost of every
+  /// final-leg attempt (leg_latency + bytes * cycles_per_byte). Virtual
+  /// tenant clocks are never advanced by this — downtime is reported, not
+  /// injected, so migrated runs stay cycle-comparable to uninterrupted
+  /// ones.
+  std::uint64_t downtime_cycles = 0;
+  std::vector<LegStats> leg_stats;
+  std::string detail;  // typed one-liner on abort, empty on success
+
+  bool completed() const noexcept {
+    return outcome == MigrationOutcome::kCompleted;
+  }
+};
+
+/// Drives one live migration between two in-process runs. Stateless across
+/// migrations apart from the policy; safe to reuse.
+class MigrationController {
+ public:
+  explicit MigrationController(MigrationPolicy policy)
+      : policy_(policy) {}
+
+  /// Migrate `enclave` of `source` onto `destination` (a compatible,
+  /// freshly constructed single-tenant run). On success the tenant is
+  /// retired at the source and live on the destination; on any abort the
+  /// source tenant resumes exactly where it paused and the destination is
+  /// untouched. Throws CheckFailure only on caller errors (bad enclave
+  /// index, uncarvable tenant); link and destination failures are reported,
+  /// not thrown.
+  MigrationReport migrate(core::MultiEnclaveRun& source, std::size_t enclave,
+                          core::MultiEnclaveRun& destination);
+
+  const MigrationPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  MigrationPolicy policy_;
+};
+
+}  // namespace sgxpl::fleet

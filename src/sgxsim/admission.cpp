@@ -18,6 +18,8 @@ const char* to_string(DegradeLevel level) noexcept {
       return "demand-only";
     case DegradeLevel::kQuarantined:
       return "quarantined";
+    case DegradeLevel::kDraining:
+      return "draining";
   }
   return "?";
 }
@@ -26,7 +28,8 @@ std::optional<DegradeLevel> parse_degrade_level(
     std::string_view name) noexcept {
   for (const DegradeLevel l :
        {DegradeLevel::kFullPreload, DegradeLevel::kDfpOnly,
-        DegradeLevel::kDemandOnly, DegradeLevel::kQuarantined}) {
+        DegradeLevel::kDemandOnly, DegradeLevel::kQuarantined,
+        DegradeLevel::kDraining}) {
     if (name == to_string(l)) {
       return l;
     }
@@ -49,6 +52,14 @@ std::size_t AdmissionController::preload_quota(
 }
 
 int AdmissionController::on_window() noexcept {
+  if (level_ == DegradeLevel::kDraining) {
+    // Ladder frozen during a migration drain: the window is neither judged
+    // nor reset — evidence accumulated before and during the drain is held
+    // for the first window after end_drain(). A draining tenant must not
+    // demote (its shed preloads are self-inflicted) and must not promote
+    // (kDraining is not a ladder rung).
+    return 0;
+  }
   const std::uint64_t bad =
       window_rejected_ + window_retries_ + window_permanent_;
   const std::uint64_t total = window_admitted_ + bad;
@@ -88,7 +99,13 @@ int AdmissionController::on_window() noexcept {
 }
 
 void AdmissionController::save(snapshot::Writer& w) const {
-  w.u64("admit.level", static_cast<std::uint64_t>(level_));
+  // A drain is transient operational state, not ladder position: snapshots
+  // record the level the tenant will resume at, so a restored run never
+  // wakes up inside a half-finished migration (and the serialized bytes of
+  // a non-draining controller are unchanged from the pre-drain format).
+  const DegradeLevel effective =
+      level_ == DegradeLevel::kDraining ? resume_level_ : level_;
+  w.u64("admit.level", static_cast<std::uint64_t>(effective));
   w.u64("admit.healthy_streak", healthy_streak_);
   w.u64("admit.window_admitted", window_admitted_);
   w.u64("admit.window_rejected", window_rejected_);
@@ -105,6 +122,7 @@ void AdmissionController::load(snapshot::Reader& r) {
       level <= static_cast<std::uint64_t>(DegradeLevel::kQuarantined),
       "snapshot admission level " << level << " is not on the ladder");
   level_ = static_cast<DegradeLevel>(level);
+  resume_level_ = level_;
   healthy_streak_ = static_cast<std::uint32_t>(r.u64("admit.healthy_streak"));
   window_admitted_ = r.u64("admit.window_admitted");
   window_rejected_ = r.u64("admit.window_rejected");

@@ -30,12 +30,15 @@
 namespace sgxpl::sgxsim {
 
 /// The degradation ladder, best to worst. Each level keeps strictly fewer
-/// privileges than the one above it.
+/// privileges than the one above it. kDraining sits outside the ladder
+/// arithmetic: it is the transient migration state (begin_drain /
+/// end_drain), never reached or left by on_window().
 enum class DegradeLevel : std::uint8_t {
   kFullPreload,  // DFP preloads and SIP prefetches admitted
   kDfpOnly,      // DFP preloads admitted (halved quota); SIP prefetches shed
   kDemandOnly,   // no speculative work admitted at all
   kQuarantined,  // demand loads lose channel priority too (FIFO behind all)
+  kDraining,     // tenant under migration: demand served, preloads shed
 };
 
 const char* to_string(DegradeLevel level) noexcept;
@@ -79,9 +82,29 @@ class AdmissionController {
     return level_ == DegradeLevel::kFullPreload;
   }
   /// Quarantined tenants' demand loads queue FIFO instead of jumping ahead.
+  /// A draining tenant keeps demand priority — migration must not slow the
+  /// tenant's own forward progress, only shed its speculative work.
   bool demand_priority() const noexcept {
     return level_ != DegradeLevel::kQuarantined;
   }
+
+  // --- migration drain (transient; not serialized as a level) ---
+  /// Enter kDraining, remembering the ladder level to resume at. The ladder
+  /// is frozen while draining: on_window() judges nothing and the level
+  /// cannot move. Idempotent.
+  void begin_drain() noexcept {
+    if (level_ != DegradeLevel::kDraining) {
+      resume_level_ = level_;
+      level_ = DegradeLevel::kDraining;
+    }
+  }
+  /// Leave kDraining, restoring the remembered ladder level. Idempotent.
+  void end_drain() noexcept {
+    if (level_ == DegradeLevel::kDraining) {
+      level_ = resume_level_;
+    }
+  }
+  bool draining() const noexcept { return level_ == DegradeLevel::kDraining; }
   /// This tenant's queued-preload quota against a channel bounded at
   /// `max_queued`; 0 = no quota.
   std::size_t preload_quota(std::size_t max_queued) const noexcept;
@@ -109,6 +132,11 @@ class AdmissionController {
  private:
   AdmissionParams params_;
   DegradeLevel level_ = DegradeLevel::kFullPreload;
+  /// Ladder level to restore on end_drain(). Meaningful only while
+  /// level_ == kDraining; the drain is transient operational state, so
+  /// save() writes this (the effective ladder position) instead of
+  /// kDraining — snapshots never restore into a half-finished migration.
+  DegradeLevel resume_level_ = DegradeLevel::kFullPreload;
   std::uint32_t healthy_streak_ = 0;
   std::uint64_t window_admitted_ = 0;
   std::uint64_t window_rejected_ = 0;

@@ -416,6 +416,16 @@ void Driver::sip_prefetch(PageNum page, Cycles now) {
   if (page_table_.present(page) || channel_.find(page).has_value()) {
     return;
   }
+  if (draining(ProcessId{0})) {
+    // Prefetches are speculative; a draining tenant sheds them like any
+    // other preload-class submission (see submit_preload).
+    ++stats_.preloads_shed;
+    if (log_ != nullptr) {
+      log_->record({.at = now, .type = EventType::kAdmission, .page = page,
+                    .detail = to_string(AdmissionResult::kRejectedDegraded)});
+    }
+    return;
+  }
   // Prefetches are speculative, so the admission layer may shed them: a
   // degraded tenant loses prefetch privileges first, and a full bounded
   // queue rejects them like any other preload-class submission.
@@ -628,6 +638,18 @@ const ChannelOp& Driver::schedule_load_priority(PageNum page, Cycles earliest,
 
 AdmissionResult Driver::submit_preload(ProcessId pid, PageNum page,
                                        Cycles earliest) {
+  if (draining(pid)) {
+    // Stop-and-copy window: the tenant's speculative work is shed so the
+    // final migration delta stops growing. Self-inflicted, so no window
+    // evidence — exactly like a degraded-level rejection.
+    ++stats_.preloads_shed;
+    if (log_ != nullptr) {
+      log_->record({.at = std::max(earliest, bookkept_until_),
+                    .type = EventType::kAdmission, .page = page,
+                    .detail = to_string(AdmissionResult::kRejectedDegraded)});
+    }
+    return AdmissionResult::kRejectedDegraded;
+  }
   if (!admission_active() && !channel_.bounded()) {
     // Seed fast path: no admission layer configured at all.
     schedule_load(page, earliest, OpKind::kDfpPreload, pid);
@@ -808,6 +830,34 @@ AdmissionController& Driver::tenant(ProcessId pid) {
 DegradeLevel Driver::degrade_level(ProcessId pid) const noexcept {
   return pid < tenants_.size() ? tenants_[pid].level()
                                : DegradeLevel::kFullPreload;
+}
+
+void Driver::begin_drain(ProcessId pid) {
+  if (drain_flags_.size() <= pid) {
+    drain_flags_.resize(pid + 1, 0);
+  }
+  if (drain_flags_[pid] == 0) {
+    drain_flags_[pid] = 1;
+    ++draining_count_;
+  }
+  if (admission_active()) {
+    tenant(pid).begin_drain();
+  }
+}
+
+void Driver::end_drain(ProcessId pid) {
+  if (pid < drain_flags_.size() && drain_flags_[pid] != 0) {
+    drain_flags_[pid] = 0;
+    --draining_count_;
+  }
+  if (admission_active() && pid < tenants_.size()) {
+    tenants_[pid].end_drain();
+  }
+}
+
+bool Driver::draining(ProcessId pid) const noexcept {
+  return draining_count_ != 0 && pid < drain_flags_.size() &&
+         drain_flags_[pid] != 0;
 }
 
 bool Driver::already_completed(std::uint64_t op_id) const noexcept {

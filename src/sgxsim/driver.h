@@ -212,6 +212,18 @@ class Driver {
   /// admission control is off or the tenant has never been seen).
   DegradeLevel degrade_level(ProcessId pid) const noexcept;
 
+  /// Migration drain control for `pid` (fleet::MigrationController's
+  /// stop-and-copy window): while a tenant drains, its new preload and
+  /// prefetch submissions are shed — demand loads are served with their
+  /// usual priority — and, when admission control is active, its ladder
+  /// controller is frozen at kDraining (see AdmissionController). Drain is
+  /// transient operational state: it is never serialized, and with zero
+  /// tenants draining the only cost anywhere is one integer test on the
+  /// preload-submission paths. Both calls are idempotent.
+  void begin_drain(ProcessId pid);
+  void end_drain(ProcessId pid);
+  bool draining(ProcessId pid) const noexcept;
+
   /// Attach a chaos fault injector (not owned; nullptr detaches). Hooks
   /// perturb channel timing, bitmap reads, completion notifications, scan
   /// scheduling, and effective EPC capacity — never the driver's
@@ -390,6 +402,13 @@ class Driver {
   std::size_t completed_pos_ = 0;
   /// Per-tenant ladder controllers, indexed by ProcessId, grown lazily.
   std::vector<AdmissionController> tenants_;
+  /// Tenants currently draining for migration (indexed by ProcessId; kept
+  /// separate from tenants_ so admission-off runs can drain without growing
+  /// the serialized controller vector). Not serialized — a snapshot taken
+  /// mid-drain restores as not-draining, matching AdmissionController.
+  std::vector<std::uint8_t> drain_flags_;
+  /// Count of set drain_flags_ — the one word the fast path tests.
+  std::uint32_t draining_count_ = 0;
 
   // --- observability (all null/zero when disabled) ---
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null

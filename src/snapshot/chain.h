@@ -20,6 +20,7 @@
 // without a layering inversion (this header depends only on the codec).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -195,6 +196,219 @@ void restore_chain(Run& run,
     prev = crc32c(frames[i].data(), frames[i].size());
     ++expect_seq;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Chain salvage: restore the longest valid prefix of a torn chain
+// ---------------------------------------------------------------------------
+
+/// Why a salvage walk stopped before the end of the offered chain.
+enum class ChainFault : std::uint8_t {
+  kNone,             // whole chain valid and restored
+  kEmptyChain,       // no frames offered
+  kNoBase,           // frame 0 is not a full base frame
+  kCorruptFrame,     // truncation / bit flip / undecodable header
+  kWrongKind,        // a full base appeared mid-chain
+  kChainIdMismatch,  // frame belongs to a different chain
+  kSeqGap,           // delta sequence skipped or reordered
+  kPrevCrcMismatch,  // frame does not link to its predecessor
+  kApplyFailed,      // structurally valid but semantically unloadable
+};
+
+inline const char* to_string(ChainFault f) noexcept {
+  switch (f) {
+    case ChainFault::kNone:
+      return "none";
+    case ChainFault::kEmptyChain:
+      return "empty-chain";
+    case ChainFault::kNoBase:
+      return "no-base";
+    case ChainFault::kCorruptFrame:
+      return "corrupt-frame";
+    case ChainFault::kWrongKind:
+      return "wrong-kind";
+    case ChainFault::kChainIdMismatch:
+      return "chain-id-mismatch";
+    case ChainFault::kSeqGap:
+      return "seq-gap";
+    case ChainFault::kPrevCrcMismatch:
+      return "prev-crc-mismatch";
+    case ChainFault::kApplyFailed:
+      return "apply-failed";
+  }
+  return "?";
+}
+
+/// Typed result of a salvage walk: how much of the chain survives, and the
+/// exact position and nature of the first fault. `first_bad_index` is the
+/// 0-based frame position (== the delta seq for a well-formed chain) and
+/// `byte_offset` the fault's offset within that frame (0 for pure linkage
+/// faults, which have no single corrupt byte).
+struct ChainSalvageReport {
+  std::uint64_t frames_offered = 0;
+  /// Longest structurally valid prefix (probe_chain) / frames actually
+  /// restored into the run (restore_chain_salvage).
+  std::uint64_t frames_restored = 0;
+  ChainFault fault = ChainFault::kNone;
+  std::uint64_t first_bad_index = 0;
+  std::uint64_t first_bad_seq = 0;  // declared seq if decodable, else expected
+  std::uint64_t byte_offset = 0;
+  std::string detail;  // typed one-liner, empty when fault == kNone
+
+  bool complete() const noexcept { return fault == ChainFault::kNone; }
+  bool restored_any() const noexcept { return frames_restored > 0; }
+
+  /// "salvage: 2/3 frame(s) valid; dropped at frame 2 (seq 2), byte 117:
+  /// prev-crc-mismatch — ..." — the one-line report the tool prints.
+  std::string describe() const {
+    std::string s = "salvage: " + std::to_string(frames_restored) + "/" +
+                    std::to_string(frames_offered) + " frame(s) valid";
+    if (fault != ChainFault::kNone) {
+      s += "; dropped at frame " + std::to_string(first_bad_index) +
+           " (seq " + std::to_string(first_bad_seq) + "), byte " +
+           std::to_string(byte_offset) + ": " +
+           std::string(to_string(fault));
+      if (!detail.empty()) {
+        s += " — " + detail;
+      }
+    }
+    return s;
+  }
+};
+
+/// Pure structural walk of an in-memory chain: compute the longest valid
+/// prefix (frame integrity + kind + chain id + seq + prev-CRC linkage)
+/// without touching any run. Never throws; every corruption maps to a typed
+/// fault with its frame index and byte offset.
+inline ChainSalvageReport probe_chain(
+    const std::vector<std::vector<std::uint8_t>>& frames) {
+  ChainSalvageReport rep;
+  rep.frames_offered = frames.size();
+  const auto stop = [&rep](std::uint64_t index, std::uint64_t seq,
+                           ChainFault fault, std::uint64_t offset,
+                           std::string detail) {
+    rep.fault = fault;
+    rep.first_bad_index = index;
+    rep.first_bad_seq = seq;
+    rep.byte_offset = offset;
+    rep.detail = std::move(detail);
+  };
+  if (frames.empty()) {
+    stop(0, 0, ChainFault::kEmptyChain, 0,
+         "checkpoint chain is empty — nothing to restore");
+    return rep;
+  }
+  std::uint32_t prev = 0;
+  std::uint64_t base_id = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const std::uint64_t expect_seq = i;  // base 0, deltas 1, 2, ...
+    const FrameProbe probe = probe_frame(frames[i]);
+    if (!probe.ok) {
+      stop(i, expect_seq, ChainFault::kCorruptFrame, probe.offset,
+           probe.reason);
+      return rep;
+    }
+    ChainHeader h;
+    try {
+      h = read_chain_header_bytes(frames[i]);
+    } catch (const CheckFailure& e) {
+      stop(i, expect_seq, ChainFault::kCorruptFrame, 0, e.what());
+      return rep;
+    }
+    if (i == 0) {
+      if (h.kind != FrameKind::kFull) {
+        stop(0, h.seq, ChainFault::kNoBase, 0,
+             "chain does not start with a full base frame (found delta " +
+                 std::to_string(h.seq) + ")");
+        return rep;
+      }
+      base_id = h.chain_id;
+    } else {
+      if (h.kind != FrameKind::kDelta) {
+        stop(i, h.seq, ChainFault::kWrongKind, 0,
+             "a full base frame appeared mid-chain");
+        return rep;
+      }
+      if (h.chain_id != base_id) {
+        stop(i, h.seq, ChainFault::kChainIdMismatch, 0,
+             "frame belongs to chain " + std::to_string(h.chain_id) +
+                 ", base chain is " + std::to_string(base_id));
+        return rep;
+      }
+      if (h.seq != expect_seq) {
+        stop(i, h.seq, ChainFault::kSeqGap, 0,
+             "expected delta seq " + std::to_string(expect_seq) +
+                 " but found " + std::to_string(h.seq));
+        return rep;
+      }
+      if (h.prev_crc != prev) {
+        stop(i, h.seq, ChainFault::kPrevCrcMismatch, 0,
+             "frame does not link to the preceding frame (prev-CRC "
+             "mismatch)");
+        return rep;
+      }
+    }
+    prev = crc32c(frames[i].data(), frames[i].size());
+    rep.frames_restored = i + 1;
+  }
+  return rep;
+}
+
+/// Salvage-restore: restore the longest valid prefix of `frames` into `run`
+/// instead of aborting on the first bad frame (the torn-chain recovery path;
+/// contrast restore_chain, which throws). The prefix is computed up front
+/// (probe_chain), so a torn tail never touches the run; if a structurally
+/// valid frame still fails to load (e.g. a bit flip in an un-CRC'd section
+/// tag), the walk backs off one frame at a time and re-restores the shorter
+/// prefix from scratch, reporting kApplyFailed. When nothing is restorable
+/// (frames_restored == 0) the run is untouched — unless the base itself
+/// failed mid-load, in which case the run's state is unspecified and the
+/// report says so; callers must treat restored_any() == false as fatal.
+template <class Run>
+ChainSalvageReport restore_chain_salvage(
+    Run& run, const std::vector<std::vector<std::uint8_t>>& frames) {
+  ChainSalvageReport rep = probe_chain(frames);
+  std::uint64_t want = rep.frames_restored;
+  rep.frames_restored = 0;
+  while (want > 0) {
+    try {
+      const std::vector<std::vector<std::uint8_t>> prefix(
+          frames.begin(), frames.begin() + static_cast<std::ptrdiff_t>(want));
+      restore_chain(run, prefix);
+      rep.frames_restored = want;
+      return rep;
+    } catch (const CheckFailure& e) {
+      // A frame the structural probe accepted still refused to load; drop
+      // it (and everything after) and replay the shorter prefix so the run
+      // never keeps a half-applied frame's state.
+      rep.fault = ChainFault::kApplyFailed;
+      rep.first_bad_index = want - 1;
+      rep.first_bad_seq = want - 1;
+      rep.byte_offset = 0;
+      rep.detail = e.what();
+      --want;
+    }
+  }
+  return rep;
+}
+
+/// Salvage the on-disk chain rooted at `base_path`: reads the base plus
+/// every consecutive `.delta-N` file beside it (unlike the strict resume
+/// scan, corrupt tail files are read and offered to the salvage walk rather
+/// than aborting the read loop) and restores the longest valid prefix.
+template <class Run>
+ChainSalvageReport salvage_chain_from_files(Run& run,
+                                            const std::string& base_path) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  if (file_readable(base_path)) {
+    frames.push_back(read_file(base_path));
+    for (std::uint64_t seq = 1;; ++seq) {
+      const std::string path = delta_path(base_path, seq);
+      if (!file_readable(path)) break;
+      frames.push_back(read_file(path));
+    }
+  }
+  return restore_chain_salvage(run, frames);
 }
 
 /// Resume `run` from the on-disk chain rooted at `base_path`: the base file

@@ -615,6 +615,80 @@ std::vector<SectionSpan> section_spans(
   return spans;
 }
 
+FrameProbe probe_frame(const std::vector<std::uint8_t>& bytes) noexcept {
+  FrameProbe p;
+  const auto le32 = [&bytes](std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[at + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    return v;
+  };
+  const std::size_t header = kMagic.size() + 8;
+  if (bytes.size() < header) {
+    p.reason = "file too small to hold a snapshot header";
+    p.offset = bytes.size();
+    return p;
+  }
+  if (std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                       kMagic.size()) != kMagic) {
+    p.reason = "bad magic (not a snapshot file)";
+    p.offset = 0;
+    return p;
+  }
+  const std::uint32_t version = le32(kMagic.size());
+  if (version < kMinReadVersion || version > kFormatVersion) {
+    p.reason = "unsupported format version " + std::to_string(version);
+    p.offset = kMagic.size();
+    return p;
+  }
+  const std::uint32_t declared = le32(kMagic.size() + 4);
+  std::size_t pos = header;
+  std::uint32_t walked = 0;
+  while (pos < bytes.size()) {
+    if (pos + 16 > bytes.size()) {
+      p.reason = "truncated section header";
+      p.offset = pos;
+      return p;
+    }
+    const std::string tag(reinterpret_cast<const char*>(bytes.data() + pos),
+                          4);
+    std::uint64_t len = 0;
+    for (int i = 0; i < 8; ++i) {
+      len |= static_cast<std::uint64_t>(
+                 bytes[pos + 4 + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    if (len > bytes.size() - (pos + 16)) {
+      p.reason = "section " + quoted(tag) + " overruns the file";
+      p.section = tag;
+      p.offset = pos + 4;
+      return p;
+    }
+    const std::uint32_t stored = le32(pos + 12);
+    const std::uint32_t actual =
+        crc32c(bytes.data() + pos + 16, static_cast<std::size_t>(len));
+    if (stored != actual) {
+      p.reason = "section " + quoted(tag) + " payload CRC mismatch";
+      p.section = tag;
+      p.offset = pos + 16;
+      return p;
+    }
+    ++walked;
+    pos += 16 + static_cast<std::size_t>(len);
+  }
+  if (walked != declared) {
+    p.reason = "header declares " + std::to_string(declared) +
+               " sections but the section table holds " +
+               std::to_string(walked);
+    p.offset = kMagic.size() + 4;
+    return p;
+  }
+  p.ok = true;
+  return p;
+}
+
 void validate_frame(const std::vector<std::uint8_t>& bytes) {
   Reader header_probe(bytes);  // magic + version checks
   const std::vector<SectionSpan> spans = section_spans(bytes);

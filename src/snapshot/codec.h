@@ -201,6 +201,34 @@ std::vector<SectionSpan> section_spans(const std::vector<std::uint8_t>& bytes);
 /// outside any CRC, so this closes the one hole per-section CRCs leave).
 void validate_frame(const std::vector<std::uint8_t>& bytes);
 
+/// Verdict of probe_frame: where (byte offset) and why a frame is bad, so
+/// chain tooling (verify-chain, salvage) can report the fault position
+/// instead of just failing.
+struct FrameProbe {
+  bool ok = false;
+  std::string reason;   // typed one-liner; empty when ok
+  std::string section;  // 4-char tag when the fault is section-scoped
+  std::uint64_t offset = 0;  // byte offset within the frame where detected
+};
+
+/// Non-throwing structural + integrity probe of a framed snapshot: magic,
+/// version range, section-table walk, declared-count match, and every
+/// section's payload CRC32C (validate_frame leaves CRCs to the decoder;
+/// this checks them up front). Catches every truncation and every payload
+/// bit flip; the only corruption it cannot see is a flip inside a section
+/// header's tag bytes, which the typed decode path rejects instead.
+FrameProbe probe_frame(const std::vector<std::uint8_t>& bytes) noexcept;
+
+/// Placement of one tenant's ELRANGE inside a multi-enclave co-run's
+/// combined page space, plus the tenant's own trace length — the inputs the
+/// resumable carve (snapshot::extract_resumable) needs to rebase shared
+/// driver state into a standalone single-tenant frame.
+struct TenantGeometry {
+  std::uint64_t lo = 0;     // first combined page of the tenant's ELRANGE
+  std::uint64_t pages = 0;  // tenant ELRANGE size in pages
+  std::uint64_t trace_accesses = 0;
+};
+
 // ---------------------------------------------------------------------------
 // Chain header (format v2)
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@ class Writer;
 class Reader;
 struct RunMeta;
 struct ChainHeader;
+struct TenantGeometry;
 
 /// Generation counters of the four bulk driver structures as of some
 /// checkpoint. A later delta checkpoint skips a structure's section when its

@@ -82,6 +82,40 @@ std::vector<std::uint8_t> extract_enclave(const std::vector<std::uint8_t>& bytes
 /// Decode a frame produced by extract_enclave.
 ExtractedEnclave read_extracted(const std::vector<std::uint8_t>& bytes);
 
+// --- resumable extraction (the live-migration carve) ---
+
+/// Carve one tenant's *resumable* slice out of a v2 multi-enclave full
+/// frame. Unlike extract_enclave (inspection only), the result is a
+/// standalone single-tenant frame of kind "multi-enclave" that a freshly
+/// constructed one-tenant MultiEnclaveRun over the same trace/scheme/config
+/// will load_bytes(): the shared driver state — paging-channel ops in
+/// flight, lost-op retry ledger, page table, EPC occupancy and CLOCK hand,
+/// presence bitmap, backing-store versions, admission-ladder state — is
+/// filtered to the tenant's ELRANGE [geo.lo, geo.lo + geo.pages) and
+/// rebased so the tenant's first page becomes page 0.
+///
+/// A sole tenant occupying the whole combined space (geo.lo == 0,
+/// geo.pages == the frame's elrange) carves verbatim: every section except
+/// the chain header is copied byte-identically, so a migrated sole tenant
+/// resumes bit-exactly where the source stopped. Co-tenant carves are
+/// best-effort on shared platform counters (channel serial numbers, global
+/// eviction/scan statistics carry over whole) but exact on all per-page
+/// state.
+///
+/// Typed refusals (CheckFailure): delta frames, v1 frames, out-of-range
+/// enclave or geometry, a non-CLOCK eviction policy on a co-tenant carve
+/// (other policies serialize global page lists this carve cannot rebase),
+/// and a DFP tenant placed above offset 0 (its engine state is keyed to
+/// combined page numbers).
+std::vector<std::uint8_t> extract_resumable(
+    const std::vector<std::uint8_t>& bytes, std::uint64_t enclave,
+    const TenantGeometry& geo);
+
+/// Convenience: carve `enclave` out of `run`'s current state using the
+/// run's own tenant layout (run.tenant_geometry(enclave)).
+std::vector<std::uint8_t> extract_resumable(const core::MultiEnclaveRun& run,
+                                            std::size_t enclave);
+
 /// Serialize both runs' states and localize the first diverging field —
 /// the divergence reporter behind the kill-restore differential harness.
 Diff diff_runs(const core::SimulationRun& a, const core::SimulationRun& b);

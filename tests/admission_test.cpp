@@ -203,12 +203,97 @@ TEST(Admission, SaveLoadRoundTripsMidWindow) {
 TEST(Admission, DegradeLevelNamesRoundTrip) {
   for (const DegradeLevel l :
        {DegradeLevel::kFullPreload, DegradeLevel::kDfpOnly,
-        DegradeLevel::kDemandOnly, DegradeLevel::kQuarantined}) {
+        DegradeLevel::kDemandOnly, DegradeLevel::kQuarantined,
+        DegradeLevel::kDraining}) {
     const auto parsed = parse_degrade_level(to_string(l));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, l);
   }
   EXPECT_FALSE(parse_degrade_level("melted").has_value());
+}
+
+// --- migration drain (kDraining sits outside the ladder) --------------------
+
+TEST(Admission, DrainShedsPreloadsButKeepsDemandPriority) {
+  AdmissionController c(test_params());
+  c.begin_drain();
+  EXPECT_EQ(c.level(), DegradeLevel::kDraining);
+  EXPECT_TRUE(c.draining());
+  EXPECT_FALSE(c.preloads_allowed());
+  EXPECT_FALSE(c.prefetches_allowed());
+  EXPECT_TRUE(c.demand_priority());
+}
+
+TEST(Admission, DrainResumesAtTheRememberedLadderLevel) {
+  AdmissionController c(test_params());
+  feed_bad_window(c);
+  c.on_window();
+  ASSERT_EQ(c.level(), DegradeLevel::kDfpOnly);
+  c.begin_drain();
+  EXPECT_EQ(c.level(), DegradeLevel::kDraining);
+  c.end_drain();
+  EXPECT_EQ(c.level(), DegradeLevel::kDfpOnly);
+  EXPECT_FALSE(c.draining());
+}
+
+TEST(Admission, DrainIsIdempotentBothWays) {
+  AdmissionController c(test_params());
+  feed_bad_window(c);
+  feed_bad_window(c);
+  c.on_window();
+  c.on_window();  // window evidence was consumed by the first call
+  ASSERT_EQ(c.level(), DegradeLevel::kDfpOnly);
+  c.begin_drain();
+  c.begin_drain();  // double-enter must not overwrite the resume level
+  c.end_drain();
+  EXPECT_EQ(c.level(), DegradeLevel::kDfpOnly);
+  c.end_drain();  // double-leave is a no-op
+  EXPECT_EQ(c.level(), DegradeLevel::kDfpOnly);
+}
+
+TEST(Admission, LadderIsFrozenWhileDraining) {
+  AdmissionController c(test_params());
+  c.begin_drain();
+  const std::uint64_t windows_before = c.windows();
+  feed_bad_window(c);
+  EXPECT_EQ(c.on_window(), 0);  // judged nothing, moved nothing
+  EXPECT_EQ(c.level(), DegradeLevel::kDraining);
+  EXPECT_EQ(c.windows(), windows_before);
+  // The evidence is held, not discarded: the first window after the drain
+  // lifts judges it.
+  c.end_drain();
+  EXPECT_EQ(c.on_window(), -1);
+  EXPECT_EQ(c.level(), DegradeLevel::kDfpOnly);
+}
+
+TEST(Admission, DrainIsNeverSerializedAsALevel) {
+  AdmissionController a(test_params());
+  feed_bad_window(a);
+  a.on_window();
+  ASSERT_EQ(a.level(), DegradeLevel::kDfpOnly);
+
+  const auto save = [](const AdmissionController& c) {
+    snapshot::Writer w;
+    w.begin_section("ADMT");
+    c.save(w);
+    w.end_section();
+    return w.finish();
+  };
+  const auto undrained = save(a);
+  a.begin_drain();
+  const auto drained = save(a);
+  // A drained controller serializes its resume level byte-identically to
+  // the undrained one (the frozen host frame format cannot carry a
+  // transient state).
+  EXPECT_EQ(drained, undrained);
+
+  AdmissionController b(test_params());
+  snapshot::Reader r(drained);
+  r.enter_section("ADMT");
+  b.load(r);
+  r.leave_section();
+  EXPECT_EQ(b.level(), DegradeLevel::kDfpOnly);
+  EXPECT_FALSE(b.draining());
 }
 
 }  // namespace
