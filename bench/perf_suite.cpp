@@ -20,6 +20,7 @@
 #include "bench_common.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/multi_enclave.h"
 #include "core/simulator.h"
 #include "dfp/stream_predictor.h"
 #include "inject/chaos_plan.h"
@@ -174,6 +175,54 @@ void cell_overload(TextTable& tbl) {
                    std::to_string(m.driver.preloads_shed) + " shed"});
 }
 
+/// Cell E: elastic EPC rebalance on a skewed multi-tenant co-run — the
+/// quota-aware eviction path plus the AIMD rebalance tick, both on the
+/// hot path when elasticity is engaged. Entirely cycle-domain (pinned
+/// geometry and seeds).
+void cell_elastic(TextTable& tbl) {
+  const struct {
+    const char* workload;
+    double weight;
+  } tenants[] = {{"mcf", 1.0}, {"microbenchmark", 0.4},
+                 {"microbenchmark", 0.3}};
+  std::vector<trace::Trace> traces;
+  PageNum total_elrange = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const trace::WorkloadParams p{.scale = kCellScale * tenants[i].weight,
+                                  .seed = 42 + i};
+    traces.push_back(trace::find_workload(tenants[i].workload)->make(p));
+    total_elrange += traces.back().elrange_pages();
+  }
+  core::SimConfig cfg = cell_platform(core::Scheme::kBaseline);
+  cfg.enclave.epc_pages = std::max<PageNum>(total_elrange / 2, 64);
+  cfg.enclave.elastic.enabled = true;
+  std::vector<core::EnclaveApp> apps;
+  apps.reserve(traces.size());
+  for (const auto& t : traces) {
+    apps.push_back(core::EnclaveApp{&t, core::Scheme::kDfpStop, nullptr});
+  }
+  core::MultiEnclaveSimulator multi(cfg);
+  const auto r = multi.run(apps);
+  bench::add_scalar("cycles.elastic.makespan",
+                    static_cast<double>(r.makespan));
+  bench::add_scalar("cycles.elastic.hot_total_cycles",
+                    static_cast<double>(r.per_enclave[0].total_cycles));
+  bench::add_scalar("cycles.elastic.rebalance_ticks",
+                    static_cast<double>(r.elastic.rebalance_ticks));
+  bench::add_scalar("cycles.elastic.grows",
+                    static_cast<double>(r.elastic.grows));
+  bench::add_scalar("cycles.elastic.shrinks",
+                    static_cast<double>(r.elastic.shrinks));
+  bench::add_scalar("cycles.elastic.quota_evictions",
+                    static_cast<double>(r.elastic.quota_evictions));
+  tbl.add_row({"elastic rebalance (3 tenants)",
+               std::to_string(r.makespan) + " cycles makespan",
+               std::to_string(r.elastic.grows) + " grows, " +
+                   std::to_string(r.elastic.shrinks) + " shrinks, " +
+                   std::to_string(r.elastic.quota_evictions) +
+                   " quota evictions"});
+}
+
 /// Cell D: hot-loop building blocks, wall-clock only (their cycle-domain
 /// behaviour is covered by the cells above).
 void cell_micro_ops(TextTable& tbl) {
@@ -237,6 +286,7 @@ int main(int argc, char** argv) {
   cell_resident_fast_path(tbl);
   cell_fig8(tbl);
   cell_overload(tbl);
+  cell_elastic(tbl);
   cell_micro_ops(tbl);
   bench::print_table("cells", tbl);
 

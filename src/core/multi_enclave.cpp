@@ -164,6 +164,18 @@ struct MultiEnclaveRun::Impl {
     if (injector != nullptr) {
       driver->set_chaos(injector.get());
     }
+    // Elastic EPC engages only here: the controller needs the tenant layout,
+    // which single-enclave runs do not have. Engagement is deterministic
+    // from config + apps, so both sides of a save/load agree on whether the
+    // DRVR section carries elastic fields.
+    if (cfg.enclave.elastic.enabled) {
+      std::vector<std::pair<PageNum, PageNum>> geometry;
+      geometry.reserve(apps.size());
+      for (std::size_t i = 0; i < apps.size(); ++i) {
+        geometry.emplace_back(offset[i], apps[i].trace->elrange_pages());
+      }
+      driver->set_elastic_geometry(geometry);
+    }
     // Observability attach. Only the shared driver gets live sinks: the
     // per-enclave DFP engines would all write the same "dfp.depth" gauge,
     // so their counters are published (additively) at finish() instead.
@@ -394,9 +406,20 @@ MultiEnclaveResult MultiEnclaveRun::finish() {
   if (im.injector != nullptr) {
     result.inject = im.injector->stats();
   }
+  if (im.driver->elastic_engaged()) {
+    const auto& el = im.driver->elastic();
+    result.elastic = el.stats();
+    result.elastic_quotas.reserve(el.tenant_count());
+    for (std::size_t t = 0; t < el.tenant_count(); ++t) {
+      result.elastic_quotas.push_back(el.quota(t));
+    }
+  }
   if (im.cfg.registry != nullptr) {
     auto& reg = *im.cfg.registry;
     result.driver.publish(reg);
+    if (im.driver->elastic_engaged()) {
+      im.driver->elastic().publish(reg);
+    }
     for (std::size_t i = 0; i < im.apps.size(); ++i) {
       if (const auto* engine = im.policy->engine(i)) {
         engine->publish(reg);  // counters add across enclaves

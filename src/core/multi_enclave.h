@@ -46,6 +46,11 @@ struct MultiEnclaveResult {
   std::vector<sgxsim::DegradeLevel> degrade_levels;
   /// Shared fault-injection activity (all zero when no chaos plan ran).
   inject::InjectStats inject;
+  /// Final per-tenant elastic EPC quotas (empty unless
+  /// config.enclave.elastic is enabled).
+  std::vector<PageNum> elastic_quotas;
+  /// Elastic controller decision counters (all zero when elastic is off).
+  sgxsim::ElasticStats elastic;
 };
 
 /// One in-progress co-simulation, steppable one access at a time so it can

@@ -44,6 +44,8 @@ const char* to_string(Phase p) noexcept {
       return "snapshot_save";
     case Phase::kSnapshotLoad:
       return "snapshot_load";
+    case Phase::kElasticRebalance:
+      return "elastic_rebalance";
   }
   return "?";
 }

@@ -56,9 +56,10 @@ enum class Phase : std::uint8_t {
   kSipCompile,       // SIP offline compile pipeline (train + plan)
   kSnapshotSave,     // checkpoint frame serialization + atomic write
   kSnapshotLoad,     // resume: restore a snapshot chain
+  kElasticRebalance, // elastic EPC AIMD quota rebalance on the scan tick
 };
 
-inline constexpr std::size_t kPhaseCount = 17;
+inline constexpr std::size_t kPhaseCount = 18;
 
 const char* to_string(Phase p) noexcept;
 

@@ -63,6 +63,17 @@ int AdmissionController::on_window() noexcept {
   const std::uint64_t bad =
       window_rejected_ + window_retries_ + window_permanent_;
   const std::uint64_t total = window_admitted_ + bad;
+  if (params_.target_window_events > 0 && window_permanent_ == 0 &&
+      total < params_.target_window_events &&
+      window_span_ + 1 < params_.max_window_span) {
+    // Load-adaptive window: not enough evidence to judge yet — hold it open
+    // and fold in the next tick. A permanent fault always forces judgment
+    // (losing a page after max_retries must never be deferred), and
+    // max_window_span bounds how long a near-idle tenant can stay unjudged.
+    ++window_span_;
+    return 0;
+  }
+  window_span_ = 0;
   const bool unhealthy =
       window_permanent_ > 0 ||
       (total >= params_.min_window_events &&
@@ -107,6 +118,7 @@ void AdmissionController::save(snapshot::Writer& w) const {
       level_ == DegradeLevel::kDraining ? resume_level_ : level_;
   w.u64("admit.level", static_cast<std::uint64_t>(effective));
   w.u64("admit.healthy_streak", healthy_streak_);
+  w.u64("admit.window_span", window_span_);
   w.u64("admit.window_admitted", window_admitted_);
   w.u64("admit.window_rejected", window_rejected_);
   w.u64("admit.window_retries", window_retries_);
@@ -124,6 +136,7 @@ void AdmissionController::load(snapshot::Reader& r) {
   level_ = static_cast<DegradeLevel>(level);
   resume_level_ = level_;
   healthy_streak_ = static_cast<std::uint32_t>(r.u64("admit.healthy_streak"));
+  window_span_ = static_cast<std::uint32_t>(r.u64("admit.window_span"));
   window_admitted_ = r.u64("admit.window_admitted");
   window_rejected_ = r.u64("admit.window_rejected");
   window_retries_ = r.u64("admit.window_retries");

@@ -66,6 +66,16 @@ struct AdmissionParams {
   /// queued preloads (halved at kDfpOnly); <= 0 disables the quota. Only
   /// meaningful when the channel is bounded.
   double preload_quota_fraction = 0.5;
+  /// Load-adaptive evidence windows: when > 0, a window holding fewer than
+  /// this many total events is *deferred* — folded into the next scan tick's
+  /// window instead of being judged on thin evidence — so quiet tenants
+  /// produce verdicts at the cadence their load supports rather than the
+  /// wall-clock scan rate. 0 (default) keeps the fixed per-scan windows.
+  std::uint64_t target_window_events = 0;
+  /// Upper bound on how many scan ticks one adaptive window may span before
+  /// it is judged regardless of volume (keeps verdict latency bounded for
+  /// near-idle tenants). Only meaningful with target_window_events > 0.
+  std::uint32_t max_window_span = 8;
 };
 
 class AdmissionController {
@@ -138,6 +148,9 @@ class AdmissionController {
   /// kDraining — snapshots never restore into a half-finished migration.
   DegradeLevel resume_level_ = DegradeLevel::kFullPreload;
   std::uint32_t healthy_streak_ = 0;
+  /// Scan ticks the current adaptive window has spanned so far (always 0
+  /// with fixed windows).
+  std::uint32_t window_span_ = 0;
   std::uint64_t window_admitted_ = 0;
   std::uint64_t window_rejected_ = 0;
   std::uint64_t window_retries_ = 0;

@@ -44,7 +44,7 @@ std::string overload_spec(const EnclaveConfig& cfg) {
       ch.retry_backoff == def.retry_backoff &&
       ch.deadline_slack == def.deadline_slack &&
       ch.retry_seed == def.retry_seed;
-  if (channel_default && !cfg.admission.enabled) {
+  if (channel_default && !cfg.admission.enabled && !cfg.elastic.enabled) {
     return {};
   }
   std::ostringstream oss;
@@ -57,6 +57,16 @@ std::string overload_spec(const EnclaveConfig& cfg) {
         << ",minw=" << a.min_window_events << ",recw=" << a.recover_windows
         << ",recthr=" << a.recover_threshold
         << ",quota=" << a.preload_quota_fraction;
+    if (a.target_window_events > 0) {
+      // Load-adaptive windows change the ladder's verdict cadence, so they
+      // are identity too; appended only when engaged to keep every existing
+      // admission spec (and snapshot) byte-identical.
+      oss << ",target=" << a.target_window_events
+          << ",maxspan=" << a.max_window_span;
+    }
+  }
+  if (cfg.elastic.enabled) {
+    oss << ";elastic=1," << elastic_spec(cfg.elastic);
   }
   return oss.str();
 }
@@ -185,6 +195,12 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
         ++stats_.preloads_used;
       }
       eviction_->on_access(page);
+      if (elastic_engaged_) {
+        // Liveness evidence (EDMM accessed-bit sampling): a fully-resident
+        // tenant never faults or maps, and without this the idle shrink
+        // would mistake it for a dead one and evict its working set.
+        elastic_.note_access(elastic_.owner(page));
+      }
       return AccessOutcome{.completion = now, .faulted = false,
                            .hit_inflight = false};
     }
@@ -192,6 +208,11 @@ AccessOutcome Driver::access(PageNum page, Cycles now, ProcessId pid) {
 
   // --- Enclave page fault: AEX out of the enclave. ---
   ++stats_.faults;
+  if (elastic_engaged_) {
+    // Pressure evidence for the AIMD grow; only the primary fault counts
+    // (re-fault retries below are the channel's problem, not demand).
+    elastic_.note_fault(elastic_.owner(page));
+  }
   obs::ScopedSpan fault_span(prof_, obs::Phase::kFault);
   if (log_ != nullptr) {
     log_->record({.at = now, .type = EventType::kFault, .page = page});
@@ -506,6 +527,9 @@ void Driver::advance_to(Cycles now) {
     if (admission_active()) {
       admission_windows(next_scan_);
     }
+    if (elastic_engaged_) {
+      elastic_rebalance(next_scan_);
+    }
     next_scan_ += costs_.scan_period;
   }
   for (const auto& op : channel_.collect_completed(now)) {
@@ -805,6 +829,11 @@ void Driver::admission_windows(Cycles now) {
     const int delta = t.on_window();
     if (delta < 0) {
       ++stats_.degrade_demotions;
+      if (elastic_engaged_ && pid < elastic_.tenant_count()) {
+        // The ladder judged this tenant overloaded: that verdict doubles as
+        // the elastic controller's multiplicative-decrease signal.
+        elastic_.note_demotion(pid);
+      }
     } else if (delta > 0) {
       ++stats_.degrade_promotions;
     }
@@ -858,6 +887,41 @@ void Driver::end_drain(ProcessId pid) {
 bool Driver::draining(ProcessId pid) const noexcept {
   return draining_count_ != 0 && pid < drain_flags_.size() &&
          drain_flags_[pid] != 0;
+}
+
+void Driver::set_elastic_geometry(
+    const std::vector<std::pair<PageNum, PageNum>>& tenants) {
+  SGXPL_CHECK_MSG(config_.elastic.enabled,
+                  "set_elastic_geometry without elastic.enabled");
+  SGXPL_CHECK_MSG(config_.eviction == EvictionKind::kClock,
+                  "elastic quota enforcement requires the CLOCK policy "
+                  "(its sweep is what the range-restricted reclaim reuses)");
+  SGXPL_CHECK_MSG(stats_.accesses == 0,
+                  "elastic geometry must be declared before the first access");
+  SGXPL_CHECK_MSG(!tenants.empty(), "elastic geometry with zero tenants");
+  elastic_.configure(config_.elastic, epc_.capacity());
+  for (const auto& [lo, pages] : tenants) {
+    elastic_.add_tenant(lo, pages);
+  }
+  elastic_.finalize();
+  elastic_engaged_ = true;
+}
+
+void Driver::elastic_rebalance(Cycles now) {
+  obs::ScopedSpan span(prof_, obs::Phase::kElasticRebalance);
+  double utilization = 0.0;
+  if (now > el_last_at_) {
+    utilization = std::min(
+        1.0, static_cast<double>(channel_busy_total_ - el_last_busy_) /
+                 static_cast<double>(now - el_last_at_));
+  }
+  el_last_at_ = now;
+  el_last_busy_ = channel_busy_total_;
+  elastic_.rebalance(utilization, drain_flags_);
+  if (series_ != nullptr) {
+    series_->series("epc.elastic.free_pool")
+        .add(now, static_cast<double>(elastic_.free_pool()));
+  }
 }
 
 bool Driver::already_completed(std::uint64_t op_id) const noexcept {
@@ -924,6 +988,24 @@ void Driver::commit_load(const ChannelOp& op) {
   SGXPL_CHECK_MSG(!page_table_.present(op.page),
                   "load committed for already-resident page " << op.page);
   channel_busy_total_ += op.end - op.start;
+  if (elastic_engaged_) {
+    // Elastic quota enforcement — EDMM's lazy EACCEPT of a removal: a
+    // shrink only moved the quota; the pages above it are reclaimed here,
+    // from the owner's own ELRANGE slice, as its next load commits. One
+    // iteration per page keeps a deep multiplicative decrease incremental.
+    const std::size_t t = elastic_.owner(op.page);
+    while (elastic_.resident(t) >= elastic_.quota(t) &&
+           elastic_.resident(t) > 0) {
+      obs::ScopedSpan span(prof_, obs::Phase::kEviction);
+      const PageNum victim = epc_.choose_victim_in(
+          page_table_, elastic_.lo(t), elastic_.hi(t), op.page);
+      if (victim == kInvalidPage) {
+        break;  // nothing evictable in range (all in flight/pinned)
+      }
+      elastic_.note_quota_eviction();
+      evict_page(victim);
+    }
+  }
   // A transient EPC squeeze (co-tenant pressure via the chaos hooks) can
   // demand more than one eviction to get under the shrunken capacity; the
   // loop degenerates to the single full-EPC eviction without chaos.
@@ -949,6 +1031,9 @@ void Driver::commit_load(const ChannelOp& op) {
   // ELDU: verify against the anti-replay version from the last EWB.
   (void)backing_.load(op.page);
   bitmap_.set(op.page);
+  if (elastic_engaged_) {
+    elastic_.note_mapped(op.page);
+  }
   if (log_ != nullptr) {
     log_->record({.at = op.end, .type = EventType::kLoadCommitted,
                   .page = op.page, .detail = to_string(op.kind)});
@@ -985,12 +1070,30 @@ void Driver::commit_load(const ChannelOp& op) {
 
 void Driver::evict_one(PageNum pinned) {
   obs::ScopedSpan span(prof_, obs::Phase::kEviction);
-  const PageNum victim = eviction_->victim(page_table_, pinned);
+  PageNum victim = kInvalidPage;
+  if (elastic_engaged_) {
+    // Capacity pressure reclaims deferred-shrink debt first: the tenant
+    // furthest over its quota pays before anyone under quota loses a page.
+    if (const auto over = elastic_.most_over_quota()) {
+      victim = epc_.choose_victim_in(page_table_, elastic_.lo(*over),
+                                     elastic_.hi(*over), pinned);
+    }
+  }
+  if (victim == kInvalidPage) {
+    victim = eviction_->victim(page_table_, pinned);
+  }
+  evict_page(victim);
+}
+
+void Driver::evict_page(PageNum victim) {
   eviction_->on_unload(victim);
   const PageTableEntry prior = page_table_.unmap(victim);
   epc_.release(prior.slot);
   backing_.evict(victim);
   bitmap_.clear(victim);
+  if (elastic_engaged_) {
+    elastic_.note_unmapped(victim);
+  }
   ++stats_.evictions;
   if (log_ != nullptr) {
     log_->record({.at = bookkept_until_, .type = EventType::kEviction,
@@ -1009,6 +1112,8 @@ void Driver::check_invariants() const {
   SGXPL_CHECK(page_table_.resident_count() == epc_.used());
   SGXPL_CHECK(bitmap_.popcount() == epc_.used());
   std::uint64_t present = 0;
+  std::vector<PageNum> resident_by_tenant(
+      elastic_engaged_ ? elastic_.tenant_count() : 0, 0);
   for (PageNum p = 0; p < config_.elrange_pages; ++p) {
     const auto& e = page_table_.entry(p);
     if (e.present) {
@@ -1017,11 +1122,24 @@ void Driver::check_invariants() const {
       SGXPL_CHECK_MSG(epc_.page_at(e.slot) == p,
                       "slot " << e.slot << " does not hold page " << p);
       SGXPL_CHECK(bitmap_.test(p));
+      if (elastic_engaged_) {
+        ++resident_by_tenant[elastic_.owner(p)];
+      }
     } else {
       SGXPL_CHECK(!bitmap_.test(p));
     }
   }
   SGXPL_CHECK(present == epc_.used());
+  if (elastic_engaged_) {
+    for (std::size_t t = 0; t < resident_by_tenant.size(); ++t) {
+      SGXPL_CHECK_MSG(resident_by_tenant[t] == elastic_.resident(t),
+                      "elastic resident count for tenant "
+                          << t << " is " << elastic_.resident(t)
+                          << " but the page table holds "
+                          << resident_by_tenant[t]);
+    }
+    elastic_.check_conservation();
+  }
 }
 
 void DriverStats::save(snapshot::Writer& w) const {
@@ -1130,6 +1248,13 @@ void Driver::save_drvr_fields(snapshot::Writer& w) const {
   stats_.save(w);
   channel_.save(w);
   eviction_->save(w);
+  if (elastic_engaged_) {
+    // Gated on engagement (part of the snapshot identity via overload_spec):
+    // default-config frames stay byte-identical to the seed.
+    w.u64("driver.el_last_at", el_last_at_);
+    w.u64("driver.el_last_busy", el_last_busy_);
+    elastic_.save(w);
+  }
 }
 
 void Driver::load_drvr_fields(snapshot::Reader& r) {
@@ -1194,6 +1319,11 @@ void Driver::load_drvr_fields(snapshot::Reader& r) {
   stats_.load(r);
   channel_.load(r);
   eviction_->load(r);
+  if (elastic_engaged_) {
+    el_last_at_ = r.u64("driver.el_last_at");
+    el_last_busy_ = r.u64("driver.el_last_busy");
+    elastic_.load(r);
+  }
 }
 
 void Driver::save_sections(snapshot::Writer& w) const {

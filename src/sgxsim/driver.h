@@ -15,6 +15,7 @@
 
 #include <optional>
 #include <string_view>
+#include <utility>
 
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "sgxsim/bitmap.h"
 #include "sgxsim/chaos_hooks.h"
 #include "sgxsim/cost_model.h"
+#include "sgxsim/elastic_epc.h"
 #include "sgxsim/epc.h"
 #include "sgxsim/eviction.h"
 #include "sgxsim/page_table.h"
@@ -79,6 +81,10 @@ struct EnclaveConfig {
   ChannelConfig channel;
   /// Per-tenant admission control / degradation ladder (default off).
   AdmissionParams admission;
+  /// Elastic EPC: EDMM-style dynamic per-tenant quotas (default off). Only
+  /// engages when the multi-enclave host also declares the tenant geometry
+  /// via set_elastic_geometry(); single-enclave runs ignore it.
+  ElasticParams elastic;
 };
 
 /// Compact textual fingerprint of the overload-hardening configuration
@@ -224,6 +230,18 @@ class Driver {
   void end_drain(ProcessId pid);
   bool draining(ProcessId pid) const noexcept;
 
+  /// Engage the elastic EPC controller for a multi-enclave run: declare
+  /// each tenant's [lo, lo+pages) ELRANGE slice (in address order, tiling
+  /// the combined range from 0). Requires config().elastic.enabled, the
+  /// CLOCK eviction policy (quota enforcement reuses its sweep), and must
+  /// be called before the first access. Quotas are seeded by
+  /// ElasticEpcController::finalize() and rebalanced on every service-
+  /// thread scan tick.
+  void set_elastic_geometry(
+      const std::vector<std::pair<PageNum, PageNum>>& tenants);
+  bool elastic_engaged() const noexcept { return elastic_engaged_; }
+  const ElasticEpcController& elastic() const noexcept { return elastic_; }
+
   /// Attach a chaos fault injector (not owned; nullptr detaches). Hooks
   /// perturb channel timing, bitmap reads, completion notifications, scan
   /// scheduling, and effective EPC capacity — never the driver's
@@ -358,6 +376,12 @@ class Driver {
   void commit_load(const ChannelOp& op);
 
   void evict_one(PageNum pinned);
+  /// Evict exactly `victim` (already selected): unload, unmap, release the
+  /// slot, version the backing copy, clear the bitmap bit.
+  void evict_page(PageNum victim);
+  /// One elastic AIMD window, run on the scan tick: feeds the channel's
+  /// windowed utilization to the controller.
+  void elastic_rebalance(Cycles now);
 
   EnclaveConfig config_;
   CostModel costs_;
@@ -409,6 +433,13 @@ class Driver {
   std::vector<std::uint8_t> drain_flags_;
   /// Count of set drain_flags_ — the one word the fast path tests.
   std::uint32_t draining_count_ = 0;
+
+  // --- elastic EPC (inert until set_elastic_geometry) ---
+  ElasticEpcController elastic_;
+  bool elastic_engaged_ = false;
+  /// Channel-busy anchors for the per-window utilization fed to rebalance().
+  Cycles el_last_at_ = 0;
+  Cycles el_last_busy_ = 0;
 
   // --- observability (all null/zero when disabled) ---
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null

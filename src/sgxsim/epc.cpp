@@ -76,6 +76,33 @@ PageNum Epc::choose_victim(PageTable& pt, PageNum pinned) {
   return kInvalidPage;  // unreachable
 }
 
+PageNum Epc::choose_victim_in(PageTable& pt, PageNum lo, PageNum hi,
+                              PageNum pinned) {
+  SGXPL_CHECK_MSG(used_ > 0, "no occupied EPC slot to evict");
+  // Same two-sweep bound as choose_victim: the first pass may clear every
+  // in-range access bit, the second must then find an in-range victim — or
+  // prove the range holds nothing evictable.
+  const std::uint64_t limit = 2 * capacity_ + 1;
+  ++gen_;  // the sweep moves the CLOCK hand even when no slot changes
+  bool any_candidate = false;
+  for (std::uint64_t step = 0; step < limit; ++step) {
+    const SlotIndex slot = clock_hand_;
+    clock_hand_ = static_cast<SlotIndex>((clock_hand_ + 1) % capacity_);
+    const PageNum page = slot_to_page_[slot];
+    if (page == kInvalidPage || page == pinned || page < lo || page >= hi) {
+      continue;
+    }
+    any_candidate = true;
+    if (!pt.test_and_clear_accessed(page)) {
+      return page;
+    }
+  }
+  SGXPL_CHECK_MSG(!any_candidate,
+                  "range-restricted CLOCK sweep cleared every bit twice "
+                  "without finding a victim");
+  return kInvalidPage;
+}
+
 void Epc::save(snapshot::Writer& w) const {
   w.u64("epc.capacity", capacity_);
   w.u64("epc.used", used_);

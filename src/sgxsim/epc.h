@@ -44,6 +44,16 @@ class Epc {
   /// Never selects `pinned` (the page a load is being performed for).
   PageNum choose_victim(PageTable& pt, PageNum pinned = kInvalidPage);
 
+  /// Range-restricted CLOCK sweep for elastic per-tenant quotas: like
+  /// choose_victim, but only pages in [lo, hi) are candidates — and pages
+  /// outside the range are passed over *without* losing their access bits,
+  /// so enforcing one tenant's quota never ages another tenant's working
+  /// set. Shares the hand with choose_victim. Returns kInvalidPage when the
+  /// range holds no evictable page (the caller falls back to the global
+  /// sweep).
+  PageNum choose_victim_in(PageTable& pt, PageNum lo, PageNum hi,
+                           PageNum pinned = kInvalidPage);
+
   /// Checkpoint/restore (slot map, free list order, CLOCK hand). load()
   /// requires an EPC constructed with the same capacity as the one saved.
   void save(snapshot::Writer& w) const;

@@ -296,5 +296,84 @@ TEST(Admission, DrainIsNeverSerializedAsALevel) {
   EXPECT_FALSE(b.draining());
 }
 
+// --- load-adaptive evidence windows -----------------------------------------
+
+AdmissionParams adaptive_params(std::uint64_t target, std::uint32_t span) {
+  AdmissionParams p = test_params();
+  p.target_window_events = target;
+  p.max_window_span = span;
+  return p;
+}
+
+TEST(Admission, AdaptiveWindowDefersThinEvidence) {
+  AdmissionController c(adaptive_params(8, 8));
+  // One fixed-cadence window's worth of bad traffic (4 events) is below the
+  // 8-event target: the window is held open, nothing judged.
+  feed_bad_window(c);
+  EXPECT_EQ(c.on_window(), 0);
+  EXPECT_EQ(c.windows(), 0u);
+  EXPECT_EQ(c.level(), DegradeLevel::kFullPreload);
+  // The next tick folds in the second half; the combined window reaches the
+  // target and its accumulated 6/8 bad fraction demotes.
+  feed_bad_window(c);
+  EXPECT_EQ(c.on_window(), -1);
+  EXPECT_EQ(c.windows(), 1u);
+  EXPECT_EQ(c.level(), DegradeLevel::kDfpOnly);
+}
+
+TEST(Admission, AdaptiveWindowSpanBoundsVerdictLatency) {
+  AdmissionController c(adaptive_params(100, 3));
+  // A near-idle tenant never reaches the target; the span cap forces a
+  // judgment on the third tick with whatever evidence exists.
+  c.note_admitted();
+  EXPECT_EQ(c.on_window(), 0);
+  EXPECT_EQ(c.windows(), 0u);
+  c.note_admitted();
+  EXPECT_EQ(c.on_window(), 0);
+  EXPECT_EQ(c.windows(), 0u);
+  c.note_admitted();
+  EXPECT_EQ(c.on_window(), 0);  // judged (calm, already at the top)
+  EXPECT_EQ(c.windows(), 1u);
+}
+
+TEST(Admission, PermanentFaultForcesAdaptiveJudgment) {
+  // Losing a page after max_retries must never wait for volume: a single
+  // permanent fault judges (and demotes) no matter how far the window is
+  // from its event target.
+  AdmissionController c(adaptive_params(100, 8));
+  c.note_permanent();
+  EXPECT_EQ(c.on_window(), -1);
+  EXPECT_EQ(c.windows(), 1u);
+  EXPECT_EQ(c.level(), DegradeLevel::kDfpOnly);
+}
+
+TEST(Admission, AdaptiveSpanSurvivesSaveLoad) {
+  AdmissionController a(adaptive_params(100, 3));
+  a.note_admitted();
+  ASSERT_EQ(a.on_window(), 0);  // one deferred tick in flight
+
+  snapshot::Writer w;
+  w.begin_section("ADMT");
+  a.save(w);
+  w.end_section();
+  const auto bytes = w.finish();
+
+  AdmissionController b(adaptive_params(100, 3));
+  snapshot::Reader r(bytes);
+  r.enter_section("ADMT");
+  b.load(r);
+  r.leave_section();
+
+  // Both controllers defer exactly one more tick, then the span cap judges.
+  for (AdmissionController* c : {&a, &b}) {
+    c->note_admitted();
+    EXPECT_EQ(c->on_window(), 0);
+    EXPECT_EQ(c->windows(), 0u);
+    c->note_admitted();
+    EXPECT_EQ(c->on_window(), 0);
+    EXPECT_EQ(c->windows(), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace sgxpl::sgxsim

@@ -426,6 +426,91 @@ TEST(KillRestore, MultiEnclaveRefusesForeignSnapshots) {
   EXPECT_FALSE(other.restore_if_compatible(snap));
 }
 
+TEST(KillRestore, ElasticMultiEnclaveResumesBitIdenticallyAtEveryCut) {
+  // A long pressured tenant next to a short one that finishes early and
+  // goes idle: the elastic controller shrinks the idle tenant and grows the
+  // pressured one, so the cuts below land in the middle of live resizes —
+  // quotas, window evidence, cooldowns and the grant cursor all in flight.
+  const auto ta = mixed_trace(4);
+  trace::Trace tb("short", 4'096);
+  {
+    Rng rng(5);
+    trace::seq_scan(tb, rng, trace::Region{0, 192}, 1,
+                    trace::GapModel{.mean = 2'000, .jitter_pct = 0});
+  }
+  auto cfg = small_config(Scheme::kBaseline, 128);
+  cfg.enclave.elastic.enabled = true;
+  cfg.enclave.elastic.floor_pages = 8;
+  cfg.enclave.elastic.grow_streak = 1;
+  cfg.enclave.elastic.idle_windows = 2;
+  cfg.enclave.elastic.cooldown_windows = 2;
+  const std::vector<core::EnclaveApp> apps = {
+      {.trace = &ta, .scheme = Scheme::kDfpStop},
+      {.trace = &tb, .scheme = Scheme::kBaseline},
+  };
+  core::MultiEnclaveRun ref(cfg, apps);
+  const auto want = ref.run_to_end();
+  // The controller really moved quotas in this run; otherwise the sweep
+  // degenerates to the static multi-enclave test above.
+  EXPECT_GT(want.elastic.grows + want.elastic.shrinks, 0u);
+  const std::uint64_t n = ta.size() + tb.size();
+  for (const std::uint64_t cut : {std::uint64_t{1}, n / 4, n / 2, n - 1}) {
+    std::vector<std::uint8_t> snap;
+    {
+      core::MultiEnclaveRun victim(cfg, apps);
+      while (!victim.done() && victim.steps() < cut) {
+        victim.step();
+      }
+      snap = snapshot::capture(victim);
+    }
+    core::MultiEnclaveRun resumed(cfg, apps);
+    snapshot::restore(resumed, snap);
+    const auto got = resumed.run_to_end();
+    EXPECT_EQ(want.makespan, got.makespan) << "cut=" << cut;
+    ASSERT_EQ(want.per_enclave.size(), got.per_enclave.size());
+    for (std::size_t i = 0; i < want.per_enclave.size(); ++i) {
+      const auto d =
+          snapshot::diff_metrics(want.per_enclave[i], got.per_enclave[i]);
+      EXPECT_TRUE(d.identical)
+          << "cut=" << cut << " enclave " << i << ": " << d.first_divergence;
+    }
+    EXPECT_EQ(want.elastic_quotas, got.elastic_quotas) << "cut=" << cut;
+    EXPECT_EQ(want.elastic.grows, got.elastic.grows) << "cut=" << cut;
+    EXPECT_EQ(want.elastic.shrinks, got.elastic.shrinks) << "cut=" << cut;
+    EXPECT_EQ(want.elastic.quota_evictions, got.elastic.quota_evictions)
+        << "cut=" << cut;
+    EXPECT_EQ(want.driver.evictions, got.driver.evictions) << "cut=" << cut;
+  }
+}
+
+TEST(KillRestore, ElasticConfigAndPlainConfigRefuseEachOthersSnapshots) {
+  // The elastic geometry is part of the snapshot identity (overload spec):
+  // a plain snapshot must not restore into an elastic run — whose quota
+  // state would silently start from the initial split — and vice versa.
+  const auto ta = mixed_trace(4);
+  const auto tb = mixed_trace(5);
+  const auto plain_cfg = small_config(Scheme::kBaseline, 128);
+  auto elastic_cfg = plain_cfg;
+  elastic_cfg.enclave.elastic.enabled = true;
+  const std::vector<core::EnclaveApp> apps = {
+      {.trace = &ta, .scheme = Scheme::kDfpStop},
+      {.trace = &tb, .scheme = Scheme::kBaseline},
+  };
+  const auto snapshot_of = [&apps](const SimConfig& cfg) {
+    core::MultiEnclaveRun run(cfg, apps);
+    for (int i = 0; i < 200; ++i) {
+      run.step();
+    }
+    return snapshot::capture(run);
+  };
+  const auto plain_snap = snapshot_of(plain_cfg);
+  core::MultiEnclaveRun elastic_run(elastic_cfg, apps);
+  EXPECT_FALSE(elastic_run.restore_if_compatible(plain_snap));
+  const auto elastic_snap = snapshot_of(elastic_cfg);
+  core::MultiEnclaveRun plain_run(plain_cfg, apps);
+  EXPECT_FALSE(plain_run.restore_if_compatible(elastic_snap));
+}
+
 // --- per-enclave extraction -------------------------------------------------
 
 TEST(Extraction, ExtractedTenantMatchesItsInSituState) {
