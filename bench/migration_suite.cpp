@@ -73,6 +73,30 @@ int main(int argc, char** argv) {
     want_bytes = ref.run->save_bytes();
   }
 
+  // Fleet-facing accounting, shared with soak_suite's incident schema:
+  // every migration the suite performs is tallied per typed outcome, and
+  // the retry cost (attempts beyond the first per leg, each costing one
+  // control-plane leg_latency plus its wasted wire bytes) is summed.
+  std::uint64_t outcome_counts[4] = {0, 0, 0, 0};
+  std::uint64_t total_migrations = 0;
+  std::uint64_t total_retry_attempts = 0;
+  std::uint64_t total_retry_cycles = 0;
+  const auto tally = [&](const fleet::MigrationReport& rep,
+                         const fleet::MigrationPolicy& policy) {
+    ++total_migrations;
+    ++outcome_counts[static_cast<std::size_t>(rep.outcome)];
+    std::uint64_t wasted_bytes = 0;
+    std::uint64_t retries = 0;
+    for (const fleet::LegStats& leg : rep.leg_stats) {
+      if (leg.attempts > 1) retries += leg.attempts - 1;
+      wasted_bytes += leg.bytes_on_wire -
+                      (leg.delivered ? leg.bytes_delivered : 0);
+    }
+    total_retry_attempts += retries;
+    total_retry_cycles +=
+        retries * policy.leg_latency + wasted_bytes * policy.cycles_per_byte;
+  };
+
   std::uint64_t failures = 0;
   const auto check_same = [&](const core::MultiEnclaveRun& run,
                               const std::string& context) {
@@ -106,6 +130,7 @@ int main(int argc, char** argv) {
       policy.round_steps = std::max<std::uint64_t>(8, n / 64);
       const fleet::MigrationReport rep =
           fleet::MigrationController(policy).migrate(*src.run, 0, *dst.run);
+      tally(rep, policy);
       bool ok = rep.completed();
       if (!ok) {
         std::cerr << "FAIL cut " << cut
@@ -141,6 +166,7 @@ int main(int argc, char** argv) {
     policy.round_steps = std::max<std::uint64_t>(8, n / 64);
     const fleet::MigrationReport rep =
         fleet::MigrationController(policy).migrate(*src.run, 0, *dst.run);
+    tally(rep, policy);
     TextTable tbl({"leg", "kind", "bytes delivered", "attempts"});
     for (std::size_t i = 0; i < rep.leg_stats.size(); ++i) {
       const fleet::LegStats& leg = rep.leg_stats[i];
@@ -201,6 +227,7 @@ int main(int argc, char** argv) {
         Host dst(cfg, t);
         const fleet::MigrationReport rep =
             fleet::MigrationController(policy).migrate(*src.run, 0, *dst.run);
+        tally(rep, policy);
         attempts += static_cast<double>(rep.attempts);
         wire += static_cast<double>(rep.bytes_on_wire);
         downtime += static_cast<double>(rep.downtime_cycles);
@@ -232,6 +259,27 @@ int main(int argc, char** argv) {
                  "finish bit-identically too (abort conservation). A lossy "
                  "link lowers\nthe success rate; it must never corrupt "
                  "state.\n";
+  }
+
+  // --- outcome ledger: every migration the suite ran, by typed outcome ---
+  {
+    TextTable tbl({"outcome", "count"});
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto o = static_cast<fleet::MigrationOutcome>(i);
+      tbl.add_row({fleet::to_string(o), std::to_string(outcome_counts[i])});
+      bench::add_scalar(std::string("outcome_") + fleet::to_string(o),
+                        static_cast<double>(outcome_counts[i]));
+    }
+    bench::print_table("outcome_ledger", tbl);
+    bench::add_scalar("total_migrations",
+                      static_cast<double>(total_migrations));
+    bench::add_scalar("total_retry_attempts",
+                      static_cast<double>(total_retry_attempts));
+    bench::add_scalar("total_retry_cycles",
+                      static_cast<double>(total_retry_cycles));
+    std::cout << "\nRetry cost across the suite: " << total_retry_attempts
+              << " retried leg attempt(s), " << total_retry_cycles
+              << " cycles (control-plane latency + wasted wire bytes).\n";
   }
 
   bench::add_scalar("migration_failures", static_cast<double>(failures));

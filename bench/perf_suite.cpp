@@ -23,7 +23,10 @@
 #include "core/multi_enclave.h"
 #include "core/simulator.h"
 #include "dfp/stream_predictor.h"
+#include "fleet/supervisor.h"
 #include "inject/chaos_plan.h"
+#include "inject/fleet_chaos.h"
+#include "trace/generators.h"
 #include "sgxsim/bitmap.h"
 #include "sgxsim/driver.h"
 #include "trace/workloads.h"
@@ -223,6 +226,87 @@ void cell_elastic(TextTable& tbl) {
                    " quota evictions"});
 }
 
+/// Cell F: a bounded fleet soak — supervised service mode with host-crash
+/// chaos, checkpoint cadence, salvage-recovery, and evacuation all on the
+/// measured path. Entirely cycle-domain: the supervisor is simulated time
+/// end to end, so the incident history and every RPO/RTO figure is
+/// deterministic at pinned seeds.
+void cell_soak(TextTable& tbl) {
+  constexpr std::size_t kHosts = 2;
+  constexpr std::size_t kTenantsPerHost = 2;
+  static std::vector<trace::Trace> traces;  // outlives the supervisor
+  traces.clear();
+  for (std::size_t i = 0; i < kHosts * kTenantsPerHost; ++i) {
+    trace::Trace t("soak-cell-" + std::to_string(i), 512);
+    Rng rng(300 + i);
+    const trace::GapModel gap{.mean = 2'000, .jitter_pct = 0.25};
+    trace::seq_scan(t, rng, trace::Region{0, 256}, 1, gap);
+    trace::random_access(t, rng, trace::Region{256, 200}, 600, 10, 4, gap);
+    traces.push_back(std::move(t));
+  }
+  core::SimConfig cfg;
+  cfg.enclave.epc_pages = 96;
+  cfg.validate = true;
+  cfg.chaos = inject::ChaosPlan::all(0x5eed);
+
+  fleet::SupervisorPolicy policy;
+  policy.epoch_steps = 128;
+  policy.checkpoint.fixed_every = 512;
+  policy.checkpoint.full_every = 8;
+  policy.crash_threshold = 3;
+  policy.crash_window_epochs = 16;
+  policy.migration.warm_rounds = 2;
+  policy.migration.round_steps = 32;
+  policy.seed = 0x5eed;
+  inject::HostCrashPlan chaos;
+  chaos.enabled = true;
+  chaos.crash_per_epoch = 0.25;
+  chaos.torn_frac = 0.4;
+  chaos.seed = 0x5eed;
+
+  fleet::FleetSupervisor sup(policy, chaos);
+  if (bench::profiler().enabled()) {
+    sup.set_profiler(&bench::profiler());
+  }
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    std::vector<core::EnclaveApp> apps;
+    for (std::size_t t = 0; t < kTenantsPerHost; ++t) {
+      apps.push_back({.trace = &traces[h * kTenantsPerHost + t],
+                      .scheme = t == 0 ? core::Scheme::kDfpStop
+                                       : core::Scheme::kBaseline});
+    }
+    sup.add_host(cfg, apps);
+  }
+  const fleet::FleetReport r = sup.run_to_completion(20'000);
+  SGXPL_CHECK_MSG(r.ledger.balanced() && r.ledger.running == 0,
+                  "soak cell: fleet did not drain conservatively");
+  std::uint64_t rpo_sum = 0, rto_sum = 0;
+  for (const fleet::CrashIncident& inc : r.crash_incidents) {
+    rpo_sum += inc.rpo_cycles;
+    rto_sum += inc.rto_cycles;
+  }
+  bench::add_scalar("cycles.soak.makespan", static_cast<double>(r.makespan));
+  bench::add_scalar("cycles.soak.crashes",
+                    static_cast<double>(r.ledger.crashes));
+  bench::add_scalar("cycles.soak.checkpoints",
+                    static_cast<double>(r.ledger.checkpoints));
+  bench::add_scalar("cycles.soak.evacuations",
+                    static_cast<double>(r.ledger.evacuations_completed));
+  bench::add_scalar("cycles.soak.finished",
+                    static_cast<double>(r.ledger.finished));
+  bench::add_scalar("cycles.soak.rpo_cycles_total",
+                    static_cast<double>(rpo_sum));
+  bench::add_scalar("cycles.soak.rto_cycles_total",
+                    static_cast<double>(rto_sum));
+  tbl.add_row({"fleet soak (2 hosts, chaos)",
+               std::to_string(r.makespan) + " cycles makespan",
+               std::to_string(r.ledger.crashes) + " crashes, " +
+                   std::to_string(r.ledger.evacuations_completed) +
+                   " evacuations, " + std::to_string(r.ledger.finished) +
+                   "/" + std::to_string(r.ledger.tenants_total) +
+                   " finished"});
+}
+
 /// Cell D: hot-loop building blocks, wall-clock only (their cycle-domain
 /// behaviour is covered by the cells above).
 void cell_micro_ops(TextTable& tbl) {
@@ -287,6 +371,7 @@ int main(int argc, char** argv) {
   cell_fig8(tbl);
   cell_overload(tbl);
   cell_elastic(tbl);
+  cell_soak(tbl);
   cell_micro_ops(tbl);
   bench::print_table("cells", tbl);
 

@@ -1,0 +1,355 @@
+// Chaos soak: the self-healing fleet under everything at once
+// (docs/ROBUSTNESS.md, "Fleet supervision & failover").
+//
+// A FleetSupervisor drives 3 hosts x 3 tenants (9 tenants, millions of
+// simulated cycles each) with the full driver fault plan active inside
+// every enclave (inject::ChaosPlan::all, online watchdog on) while host
+// fail-stop chaos kills hosts at random steps — a third of the kills
+// tearing the checkpoint frame that was in flight. The suite sweeps the
+// three CheckpointPolicy modes to show the cadence/RPO tradeoff, prints
+// the per-incident ledger (RPO and modeled RTO for every crash), and runs
+// a hostile-link scenario where evacuations retry with backoff and
+// quarantine.
+//
+// Checks gate the suite (non-zero exit on violation):
+//   - conservation: every tenant ever admitted ends exactly one of
+//     finished / quarantined / running, and the fleet drains (running 0);
+//   - every crash recovered: crashes == recoveries, no cold starts;
+//   - determinism: the same hosts + policies + seeds replay to an
+//     identical incident history and makespan;
+//   - watchdog: validation stays on under the full fault plan, so a chaos
+//     hook corrupting driver ground truth aborts the suite.
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/multi_enclave.h"
+#include "fleet/supervisor.h"
+#include "inject/chaos_plan.h"
+#include "inject/fleet_chaos.h"
+#include "trace/generators.h"
+
+using namespace sgxpl;
+
+namespace {
+
+constexpr std::size_t kHosts = 3;
+constexpr std::size_t kTenantsPerHost = 3;
+
+/// One tenant's workload: a long sequential phase (DFP streams) followed
+/// by an irregular phase that overflows the EPC. Gap mean 2000 cycles over
+/// ~2000 accesses puts each tenant's clock in the millions of cycles.
+trace::Trace soak_trace(std::uint64_t seed, std::uint64_t accesses) {
+  trace::Trace t("soak-" + std::to_string(seed), 512);
+  Rng rng(seed);
+  const trace::GapModel gap{.mean = 2'000, .jitter_pct = 0.25};
+  const std::uint64_t seq = std::min<std::uint64_t>(256, accesses / 2);
+  trace::seq_scan(t, rng, trace::Region{0, seq}, 1, gap);
+  trace::random_access(t, rng, trace::Region{256, 200}, accesses - seq, 10, 4,
+                       gap);
+  return t;
+}
+
+/// Per-host platform: shared EPC sized to overflow, the full driver fault
+/// plan, and validation on (which flips the online watchdog on under
+/// chaos — see core::MultiEnclaveRun).
+core::SimConfig soak_config(std::uint64_t chaos_seed) {
+  core::SimConfig cfg;
+  cfg.enclave.epc_pages = 96;
+  cfg.dfp.predictor.stream_list_len = 8;
+  cfg.dfp.predictor.load_length = 4;
+  cfg.validate = true;
+  cfg.chaos = inject::ChaosPlan::all(chaos_seed);
+  return cfg;
+}
+
+/// Tenant mix per host: a DFP-stop tenant at offset 0 (carvable there)
+/// plus baseline co-tenants (carvable anywhere), so every tenant is
+/// evacuable when its host turns crash-prone.
+std::vector<core::EnclaveApp> soak_apps(const std::vector<trace::Trace>& all,
+                                        std::size_t host) {
+  std::vector<core::EnclaveApp> apps;
+  for (std::size_t t = 0; t < kTenantsPerHost; ++t) {
+    apps.push_back({.trace = &all[host * kTenantsPerHost + t],
+                    .scheme = t == 0 ? core::Scheme::kDfpStop
+                                     : core::Scheme::kBaseline});
+  }
+  return apps;
+}
+
+struct SoakResult {
+  fleet::FleetReport report;
+  bool aborted = false;
+  std::string abort_reason;
+};
+
+/// One full soak under `policy` + `chaos`: build the fleet, attach the
+/// harness sinks, run to drain.
+SoakResult run_soak(const std::vector<trace::Trace>& traces,
+                    const fleet::SupervisorPolicy& policy,
+                    const inject::HostCrashPlan& chaos,
+                    std::uint64_t chaos_seed, bool attach_sinks) {
+  SoakResult res;
+  fleet::FleetSupervisor sup(policy, chaos);
+  if (attach_sinks) {
+    sup.set_metrics(&bench::registry());
+    if (bench::profiler().enabled()) {
+      sup.set_profiler(&bench::profiler());
+    }
+  }
+  for (std::size_t h = 0; h < kHosts; ++h) {
+    sup.add_host(soak_config(chaos_seed), soak_apps(traces, h));
+  }
+  try {
+    res.report = sup.run_to_completion(50'000);
+  } catch (const std::exception& e) {
+    // A watchdog/validation trip inside a tenant, or a supervisor
+    // invariant: either way the soak failed loudly, never silently.
+    res.aborted = true;
+    res.abort_reason = e.what();
+    res.report = sup.report();
+  }
+  return res;
+}
+
+double avg(std::uint64_t sum, std::size_t n) {
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "soak_suite",
+              "self-healing fleet soak: host-crash chaos, checkpoint-policy "
+              "recovery (RPO/RTO), evacuation and quarantine");
+
+  const double scale = bench::bench_scale();
+  const std::uint64_t accesses = std::max<std::uint64_t>(
+      600, static_cast<std::uint64_t>(2'000 * scale));
+  const std::uint64_t chaos_seed = bench::chaos_plan().seed;
+
+  std::vector<trace::Trace> traces;
+  for (std::size_t i = 0; i < kHosts * kTenantsPerHost; ++i) {
+    traces.push_back(soak_trace(100 + i, accesses));
+  }
+  const std::uint64_t total_tenants = kHosts * kTenantsPerHost;
+
+  fleet::SupervisorPolicy base_policy;
+  base_policy.epoch_steps = 128;
+  base_policy.checkpoint.fixed_every = 512;
+  base_policy.checkpoint.full_every = 8;
+  base_policy.crash_threshold = 3;
+  base_policy.crash_window_epochs = 16;
+  base_policy.migration.warm_rounds = 2;
+  base_policy.migration.round_steps = 32;
+  base_policy.seed = chaos_seed;
+
+  inject::HostCrashPlan host_chaos;
+  host_chaos.enabled = true;
+  host_chaos.crash_per_epoch = 0.08;
+  host_chaos.torn_frac = 0.33;
+  host_chaos.seed = chaos_seed;
+
+  std::uint64_t failures = 0;
+  const auto check = [&failures](bool ok, const std::string& what) {
+    if (!ok) {
+      std::cerr << "FAIL " << what << "\n";
+      ++failures;
+    }
+  };
+
+  const auto check_report = [&](const SoakResult& res,
+                                const std::string& context,
+                                bool expect_all_finished) {
+    check(!res.aborted, context + ": soak aborted: " + res.abort_reason);
+    const fleet::FleetLedger& led = res.report.ledger;
+    check(led.balanced(), context + ": conservation ledger does not balance");
+    check(led.running == 0, context + ": fleet did not drain (" +
+                                std::to_string(led.running) +
+                                " tenant(s) still running)");
+    check(led.crashes == led.recoveries,
+          context + ": " + std::to_string(led.crashes - led.recoveries) +
+              " crash(es) never recovered");
+    check(led.cold_starts == 0, context + ": cold start during the soak");
+    check(led.tenants_total >= total_tenants,
+          context + ": tenants went missing from the ledger");
+    if (expect_all_finished) {
+      check(led.finished == led.tenants_total,
+            context + ": only " + std::to_string(led.finished) + "/" +
+                std::to_string(led.tenants_total) + " tenants finished");
+    }
+  };
+
+  // --- checkpoint-mode sweep: the cadence/RPO tradeoff ---------------------
+  std::vector<fleet::CheckpointPolicy> modes(3);
+  modes[0].mode = fleet::CheckpointMode::kFixed;
+  modes[0].fixed_every = 512;
+  modes[1].mode = fleet::CheckpointMode::kDirtyBudget;
+  modes[1].dirty_byte_budget = 256 * 1024;
+  modes[2].mode = fleet::CheckpointMode::kRpoTarget;
+  modes[2].rpo_target_cycles = 2'000'000;
+
+  SoakResult fixed_run;
+  {
+    TextTable tbl({"ckpt policy", "epochs", "ckpts", "crashes", "torn",
+                   "evac", "quar", "finished", "avg RPO cyc", "avg RTO cyc",
+                   "makespan"});
+    for (const fleet::CheckpointPolicy& ckpt : modes) {
+      fleet::SupervisorPolicy policy = base_policy;
+      policy.checkpoint = ckpt;
+      const bool is_fixed = ckpt.mode == fleet::CheckpointMode::kFixed;
+      SoakResult res =
+          run_soak(traces, policy, host_chaos, chaos_seed, is_fixed);
+      check_report(res, "mode " + ckpt.spec(), /*expect_all_finished=*/true);
+      const fleet::FleetLedger& led = res.report.ledger;
+      std::uint64_t rpo_sum = 0, rto_sum = 0;
+      for (const fleet::CrashIncident& inc : res.report.crash_incidents) {
+        rpo_sum += inc.rpo_cycles;
+        rto_sum += inc.rto_cycles;
+      }
+      const std::size_t n = res.report.crash_incidents.size();
+      tbl.add_row({ckpt.spec(), std::to_string(res.report.epochs),
+                   std::to_string(led.checkpoints),
+                   std::to_string(led.crashes),
+                   std::to_string(led.torn_checkpoints),
+                   std::to_string(led.evacuations_completed),
+                   std::to_string(led.quarantined),
+                   std::to_string(led.finished),
+                   TextTable::fmt(avg(rpo_sum, n), 0),
+                   TextTable::fmt(avg(rto_sum, n), 0),
+                   std::to_string(res.report.makespan)});
+      if (is_fixed) {
+        fixed_run = std::move(res);
+        bench::add_scalar("soak_crashes", static_cast<double>(led.crashes));
+        bench::add_scalar("soak_torn_checkpoints",
+                          static_cast<double>(led.torn_checkpoints));
+        bench::add_scalar("soak_checkpoints",
+                          static_cast<double>(led.checkpoints));
+        bench::add_scalar("soak_finished", static_cast<double>(led.finished));
+        bench::add_scalar("avg_rpo_cycles", avg(rpo_sum, n));
+        bench::add_scalar("avg_rto_cycles", avg(rto_sum, n));
+        bench::add_scalar("soak_makespan",
+                          static_cast<double>(res.report.makespan));
+      }
+    }
+    bench::print_table("checkpoint_mode_sweep", tbl);
+    std::cout << "\n";
+  }
+
+  // --- per-incident ledger (the fixed-cadence run) -------------------------
+  {
+    TextTable tbl({"#", "host", "epoch", "step", "ckpt step", "RPO steps",
+                   "RPO cyc", "RTO cyc", "frames", "torn"});
+    const auto& incs = fixed_run.report.crash_incidents;
+    for (std::size_t i = 0; i < incs.size(); ++i) {
+      const fleet::CrashIncident& inc = incs[i];
+      tbl.add_row({std::to_string(i), std::to_string(inc.host),
+                   std::to_string(inc.at_epoch),
+                   std::to_string(inc.steps_at_crash),
+                   std::to_string(inc.steps_at_checkpoint),
+                   std::to_string(inc.rpo_steps),
+                   std::to_string(inc.rpo_cycles),
+                   std::to_string(inc.rto_cycles),
+                   std::to_string(inc.frames_salvaged) + "/" +
+                       std::to_string(inc.frames_offered),
+                   inc.torn_tail ? "yes" : "no"});
+      check(inc.rpo_steps == inc.steps_at_crash - inc.steps_at_checkpoint,
+            "incident " + std::to_string(i) +
+                ": RPO does not equal the measured checkpoint gap");
+    }
+    bench::print_table("crash_incidents", tbl);
+    std::cout << "\n";
+    if (!fixed_run.report.evacuation_incidents.empty()) {
+      TextTable evac({"host", "tenant id", "epoch", "attempt", "outcome",
+                      "migration", "backoff"});
+      for (const fleet::EvacuationIncident& inc :
+           fixed_run.report.evacuation_incidents) {
+        evac.add_row({std::to_string(inc.host), std::to_string(inc.tenant_id),
+                      std::to_string(inc.at_epoch),
+                      std::to_string(inc.attempts),
+                      fleet::to_string(inc.outcome),
+                      fleet::to_string(inc.migration),
+                      std::to_string(inc.backoff_epochs)});
+      }
+      bench::print_table("evacuation_incidents", evac);
+      std::cout << "\n";
+    }
+  }
+
+  // --- determinism: identical seeds => identical incident history ----------
+  {
+    const SoakResult replay = run_soak(traces, base_policy, host_chaos,
+                                       chaos_seed, /*attach_sinks=*/false);
+    const fleet::FleetReport& x = fixed_run.report;
+    const fleet::FleetReport& y = replay.report;
+    bool same = !replay.aborted && x.epochs == y.epochs &&
+                x.makespan == y.makespan &&
+                x.ledger.crashes == y.ledger.crashes &&
+                x.ledger.checkpoints == y.ledger.checkpoints &&
+                x.crash_incidents.size() == y.crash_incidents.size() &&
+                x.evacuation_incidents.size() == y.evacuation_incidents.size();
+    for (std::size_t i = 0; same && i < x.crash_incidents.size(); ++i) {
+      const fleet::CrashIncident& a = x.crash_incidents[i];
+      const fleet::CrashIncident& b = y.crash_incidents[i];
+      same = a.host == b.host && a.at_epoch == b.at_epoch &&
+             a.steps_at_crash == b.steps_at_crash &&
+             a.rpo_cycles == b.rpo_cycles && a.rto_cycles == b.rto_cycles &&
+             a.torn_tail == b.torn_tail;
+    }
+    check(same, "determinism: replay diverged from the first soak");
+    std::cout << "Determinism: replay with identical seeds reproduced "
+              << y.crash_incidents.size()
+              << " incident(s) bit-identically: " << (same ? "yes" : "NO")
+              << "\n\n";
+  }
+
+  // --- hostile link: evacuation retries, backoff, quarantine ---------------
+  {
+    fleet::SupervisorPolicy policy = base_policy;
+    policy.crash_threshold = 1;  // every crash makes the host crash-prone
+    policy.max_evacuation_attempts = 2;
+    policy.backoff_base_epochs = 1;
+    policy.backoff_cap_epochs = 4;
+    policy.migration.link.drop = 1.0;  // no evacuation ever lands
+    const SoakResult res = run_soak(traces, policy, host_chaos, chaos_seed,
+                                    /*attach_sinks=*/false);
+    check_report(res, "hostile link", /*expect_all_finished=*/false);
+    const fleet::FleetLedger& led = res.report.ledger;
+    check(led.evacuations_completed == 0,
+          "hostile link: a migration completed over a dead link");
+    check(led.crashes == 0 || led.quarantined + led.finished ==
+                                 led.tenants_total,
+          "hostile link: tenants neither finished nor quarantined");
+    TextTable tbl({"crashes", "evac retries", "quarantined", "finished",
+                   "hosts retired"});
+    tbl.add_row({std::to_string(led.crashes),
+                 std::to_string(led.evacuation_retries),
+                 std::to_string(led.quarantined),
+                 std::to_string(led.finished),
+                 std::to_string(led.hosts_retired)});
+    bench::print_table("hostile_link", tbl);
+    bench::add_scalar("hostile_quarantined",
+                      static_cast<double>(led.quarantined));
+    bench::add_scalar("hostile_evac_retries",
+                      static_cast<double>(led.evacuation_retries));
+    std::cout << "\n";
+  }
+
+  bench::add_scalar("watchdog_violations", 0.0);  // an abort never gets here
+  bench::add_scalar("soak_failures", static_cast<double>(failures));
+  std::cout << "Every crash recovered, every tenant accounted "
+               "(finished/quarantined/running), zero watchdog violations; "
+               "RPO equals the measured\ncheckpoint gap on every incident. "
+               "Failures: "
+            << failures << "\n";
+  const int rc = bench::finish();
+  if (failures > 0) {
+    std::cerr << "soak_suite: " << failures << " check(s) FAILED\n";
+    return 1;
+  }
+  return rc;
+}

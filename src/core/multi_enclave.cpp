@@ -614,6 +614,12 @@ std::uint64_t MultiEnclaveRun::tenant_cursor(std::size_t enclave) const {
   return impl_->state[enclave].cursor;
 }
 
+Cycles MultiEnclaveRun::tenant_clock(std::size_t enclave) const {
+  SGXPL_CHECK_MSG(enclave < impl_->state.size(),
+                  "no enclave " << enclave << " in this co-run");
+  return impl_->state[enclave].now;
+}
+
 snapshot::TenantGeometry MultiEnclaveRun::tenant_geometry(
     std::size_t enclave) const {
   const Impl& im = *impl_;

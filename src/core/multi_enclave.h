@@ -99,6 +99,10 @@ class MultiEnclaveRun {
   std::size_t enclave_count() const noexcept;
   Metrics tenant_metrics(std::size_t enclave) const;
   std::uint64_t tenant_cursor(std::size_t enclave) const;
+  /// One tenant's virtual clock (its current simulated time; frozen while
+  /// the tenant is paused or done). The fleet supervisor charges RPO/RTO
+  /// in these cycles.
+  Cycles tenant_clock(std::size_t enclave) const;
 
   // --- live-migration hooks (fleet::MigrationController) ---
   /// Placement of one tenant's ELRANGE in the combined page space, plus its

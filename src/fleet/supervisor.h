@@ -1,0 +1,315 @@
+// Self-healing fleet supervision (the service-mode control plane).
+//
+// A FleetSupervisor runs N simulated hosts — each a core::MultiEnclaveRun —
+// as a persistent service in simulated time, and spends the robustness
+// substrate the earlier layers built whenever something breaks:
+//
+//   - host fail-stop chaos (inject::HostChaos) kills a host at an
+//     arbitrary step inside an epoch, optionally tearing the checkpoint
+//     frame that was in flight;
+//   - recovery salvages the longest valid prefix of the host's checkpoint
+//     chain (snapshot::restore_chain_salvage) and replays the trace
+//     deterministically up to the crash point, charging the incident's
+//     RPO (work between the last durable checkpoint and the crash) and a
+//     modeled RTO (restart + restore + replay cost, reported in cycles —
+//     never injected into tenant clocks, so supervised runs stay
+//     cycle-comparable to unsupervised ones);
+//   - hosts that crash repeatedly are evacuated tenant-by-tenant through
+//     fleet::MigrationController onto freshly spawned replacement hosts,
+//     with capped+jittered retry backoff and a typed EvacuationOutcome;
+//     a tenant is quarantined (parked, clock frozen) only after
+//     max_evacuation_attempts, or immediately when its state cannot be
+//     carved (snapshot::extract_resumable refusals);
+//   - checkpoint cadence is driven by a CheckpointPolicy: fixed step
+//     interval, dirty-byte budget (estimated from observed delta sizes),
+//     or an RPO target in cycles.
+//
+// Everything is deterministic: same hosts + policies + chaos seed =>
+// bit-identical incident history. Replay correctness rests on two rules
+// the implementation enforces: (1) a barrier checkpoint (fresh full base)
+// is taken immediately after every control-plane mutation that is not
+// serialized into host frames (tenant retirement after a migration,
+// quarantine pausing), and (2) quarantine pause flags are re-applied
+// after every restore before any replay step. Host checkpoint frames stay
+// byte-identical to unsupervised runs — supervisor bookkeeping lives in
+// its own manifest frame, never inside host frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/multi_enclave.h"
+#include "fleet/migration.h"
+#include "inject/fleet_chaos.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/time_series.h"
+#include "snapshot/chain.h"
+
+namespace sgxpl::fleet {
+
+/// Host lifecycle (see docs/ROBUSTNESS.md, "Fleet supervision & failover").
+enum class HostState : std::uint8_t {
+  kHealthy,     // running (or all tenants finished)
+  kCrashed,     // fail-stop fired; volatile state gone, chain on disk
+  kRecovering,  // salvage + replay in progress (transient within an epoch)
+  kEvacuating,  // crash rate over threshold; tenants being migrated off
+  kRetired,     // no runnable tenants remain; run torn down
+};
+
+const char* to_string(HostState s) noexcept;
+
+/// What drives the distance between checkpoints.
+enum class CheckpointMode : std::uint8_t {
+  kFixed,        // every fixed_every steps
+  kDirtyBudget,  // when estimated dirty bytes exceed dirty_byte_budget
+  kRpoTarget,    // when the host clock is rpo_target_cycles past the last one
+};
+
+const char* to_string(CheckpointMode m) noexcept;
+
+/// Checkpoint cadence policy. The soak sweeps these modes to show the
+/// cadence/RPO tradeoff: tighter cadence costs checkpoint bytes, looser
+/// cadence costs replayed work per crash.
+struct CheckpointPolicy {
+  CheckpointMode mode = CheckpointMode::kFixed;
+  /// kFixed: steps between checkpoints.
+  std::uint64_t fixed_every = 2048;
+  /// kDirtyBudget: estimated-dirty-byte threshold. The estimate is the
+  /// observed bytes-per-step rate of the host's previous frame (a full
+  /// base seeds the rate), so it tracks each workload's real write rate.
+  std::uint64_t dirty_byte_budget = 64 * 1024;
+  /// kRpoTarget: max cycles of work at risk between checkpoints.
+  std::uint64_t rpo_target_cycles = 4'000'000;
+  /// Chain length bound handed to the Snapshotter (a full base every
+  /// full_every checkpoints, deltas in between).
+  std::uint64_t full_every = 8;
+
+  /// Parse "fixed:2048[:full8]", "dirty:65536[:full8]" or
+  /// "rpo:4000000[:full8]". Returns nullopt and fills `err` (when
+  /// non-null) on malformed input.
+  static std::optional<CheckpointPolicy> parse(const std::string& spec,
+                                               std::string* err = nullptr);
+  /// Canonical spec string (inverse of parse).
+  std::string spec() const;
+};
+
+/// How one evacuation attempt resolved.
+enum class EvacuationOutcome : std::uint8_t {
+  kMoved,           // tenant live on a fresh replacement host
+  kRetryScheduled,  // migration aborted; retry queued with backoff
+  kQuarantined,     // attempts exhausted; tenant parked (clock frozen)
+  kUncarvable,      // extract_resumable refused; quarantined immediately
+};
+
+const char* to_string(EvacuationOutcome o) noexcept;
+
+/// Everything the supervisor is configured by. All defaults are
+/// seed-identical: SupervisorPolicy{}.spec() is the empty string, and the
+/// manifest's identity guard (RunMeta::hardening_spec) refuses to load
+/// supervisor state across a policy change.
+struct SupervisorPolicy {
+  CheckpointPolicy checkpoint;
+  /// Steps each host advances per supervision epoch.
+  std::uint64_t epoch_steps = 256;
+  /// Crashes within crash_window_epochs that flip a host to kEvacuating.
+  std::uint64_t crash_threshold = 2;
+  std::uint64_t crash_window_epochs = 64;
+  /// Evacuation retry budget per tenant; then quarantine.
+  std::uint64_t max_evacuation_attempts = 3;
+  /// Retry backoff: base doubles per failed attempt, capped, plus a
+  /// deterministic jitter of up to backoff_jitter_pct percent.
+  std::uint64_t backoff_base_epochs = 2;
+  std::uint64_t backoff_cap_epochs = 32;
+  std::uint64_t backoff_jitter_pct = 25;
+  /// Modeled RTO components: fixed restart cost plus per-restored-byte
+  /// restore cost (reported, never injected into tenant clocks).
+  std::uint64_t restart_cycles = 50'000;
+  std::uint64_t restore_cycles_per_byte = 1;
+  /// Transfer policy for evacuation migrations.
+  MigrationPolicy migration;
+  /// Seeds the backoff-jitter stream (host chaos has its own seed).
+  std::uint64_t seed = 0x5eed;
+
+  /// Fingerprint of every non-default knob; empty for all defaults (the
+  /// seed-identical guard). Stored as the manifest's hardening_spec.
+  std::string spec() const;
+};
+
+/// One host crash, fully accounted.
+struct CrashIncident {
+  std::size_t host = 0;
+  std::uint64_t at_epoch = 0;
+  std::uint64_t steps_at_crash = 0;
+  std::uint64_t steps_at_checkpoint = 0;  // last durable checkpoint
+  /// RPO: work between the last durable checkpoint and the crash —
+  /// exactly what recovery replays.
+  std::uint64_t rpo_steps = 0;
+  std::uint64_t rpo_cycles = 0;  // host-clock span of the replayed work
+  /// Modeled downtime: restart + restore (per restored byte) + replay.
+  std::uint64_t rto_cycles = 0;
+  std::uint64_t frames_offered = 0;   // chain frames found after the crash
+  std::uint64_t frames_salvaged = 0;  // longest valid prefix restored
+  bool torn_tail = false;   // crash landed mid-checkpoint (frame torn)
+  bool cold_start = false;  // nothing salvageable; replayed from step 0
+};
+
+/// One evacuation attempt's resolution.
+struct EvacuationIncident {
+  std::size_t host = 0;
+  std::size_t tenant = 0;        // tenant index on the source host
+  std::uint64_t tenant_id = 0;   // fleet-wide stable id
+  std::uint64_t at_epoch = 0;
+  std::uint64_t attempts = 0;    // attempts consumed so far (this one incl.)
+  EvacuationOutcome outcome = EvacuationOutcome::kRetryScheduled;
+  /// Outcome of the underlying migration (meaningless for kUncarvable).
+  MigrationOutcome migration = MigrationOutcome::kAbortedLink;
+  std::uint64_t backoff_epochs = 0;  // wait before the next try (retry only)
+  std::string detail;
+};
+
+/// Tenant conservation ledger: every tenant ever admitted is exactly one
+/// of running, finished, or quarantined — the soak's "no tenant silently
+/// lost" check.
+struct FleetLedger {
+  std::uint64_t tenants_total = 0;
+  std::uint64_t running = 0;
+  std::uint64_t finished = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t torn_checkpoints = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t evacuations_completed = 0;
+  std::uint64_t evacuation_retries = 0;
+  std::uint64_t hosts_retired = 0;
+  std::uint64_t hosts_spawned = 0;  // replacement hosts only
+
+  bool balanced() const noexcept {
+    return tenants_total == running + finished + quarantined;
+  }
+};
+
+/// End-of-run summary (the soak's incident ledger).
+struct FleetReport {
+  FleetLedger ledger;
+  std::vector<CrashIncident> crash_incidents;
+  std::vector<EvacuationIncident> evacuation_incidents;
+  std::uint64_t epochs = 0;
+  /// Max tenant clock across the fleet at the end.
+  Cycles makespan = 0;
+};
+
+/// The control plane. Hosts are added up front (traces and plans referenced
+/// by their apps must outlive the supervisor); run_epoch() then advances
+/// the whole fleet one supervision epoch at a time, injecting crashes,
+/// recovering, checkpointing, and evacuating as the policies dictate.
+class FleetSupervisor {
+ public:
+  FleetSupervisor(const SupervisorPolicy& policy,
+                  const inject::HostCrashPlan& chaos);
+  ~FleetSupervisor();
+  FleetSupervisor(const FleetSupervisor&) = delete;
+  FleetSupervisor& operator=(const FleetSupervisor&) = delete;
+
+  /// Add a host running `apps` under `config`. Returns the host index.
+  std::size_t add_host(const core::SimConfig& config,
+                       const std::vector<core::EnclaveApp>& apps);
+
+  // Observability sinks; null is off (the layer-wide convention).
+  void set_metrics(obs::MetricsRegistry* m) noexcept { metrics_ = m; }
+  void set_time_series(obs::TimeSeriesSet* s) noexcept { series_ = s; }
+  void set_event_log(obs::EventLog* e) noexcept { events_ = e; }
+  void set_profiler(obs::Profiler* p) noexcept { profiler_ = p; }
+
+  /// Mirror every host's checkpoint chain to `<dir>/host-<n>.snap` (+
+  /// .delta-N). Required for `snapshot_tool fleet-info`; recovery itself
+  /// salvages from the in-memory chain (same bytes).
+  void set_chain_dir(const std::string& dir) { chain_dir_ = dir; }
+
+  /// True when no host has a runnable tenant left.
+  bool done() const noexcept;
+  /// Advance the fleet one supervision epoch.
+  void run_epoch();
+  /// run_epoch() until done() or `max_epochs`; returns the final report.
+  FleetReport run_to_completion(std::uint64_t max_epochs = ~0ull);
+
+  // --- test knobs: the crash-at-every-cut differential tests drive these
+  // directly instead of waiting for the chaos plan ---
+  /// Kill `host` now (as the chaos plan would); `torn` tears the in-flight
+  /// checkpoint frame. Requires a live host.
+  void crash_host(std::size_t host, bool torn);
+  /// Salvage + replay `host` back to its crash point. Requires kCrashed.
+  CrashIncident recover_host(std::size_t host);
+  /// Take a checkpoint of `host` now (policy cadence also calls this).
+  void checkpoint_host(std::size_t host);
+
+  std::size_t host_count() const noexcept;
+  HostState host_state(std::size_t host) const;
+  /// The live run of `host`; null while kCrashed/kRetired.
+  const core::MultiEnclaveRun* host_run(std::size_t host) const;
+  std::uint64_t epoch() const noexcept;
+
+  FleetLedger ledger() const;
+  FleetReport report() const;
+
+  // --- supervisor state in a snapshot frame (gated sections) ---
+  /// Serialize the supervisor's own bookkeeping (ledger, host states,
+  /// evacuation attempt counters) as a v2 frame. META.hardening_spec
+  /// carries policy().spec(), so defaults stay seed-identical and a
+  /// mismatched policy refuses to load.
+  std::vector<std::uint8_t> save_manifest() const;
+  /// Restore bookkeeping saved by save_manifest(). Throws CheckFailure on
+  /// corrupt frames or a policy-spec mismatch. Host runs are not restored
+  /// here — they resume from their own chains.
+  void load_manifest(const std::vector<std::uint8_t>& bytes);
+
+  const SupervisorPolicy& policy() const noexcept { return policy_; }
+  const inject::HostChaos& chaos() const noexcept { return chaos_; }
+
+ private:
+  struct Host;
+
+  bool checkpoint_due(const Host& h) const;
+  void write_frame_to_disk(Host& h, const snapshot::ChainFrame& f,
+                           bool torn) const;
+  void take_checkpoint(Host& h, bool barrier);
+  void do_crash(Host& h, bool torn);
+  CrashIncident do_recover(Host& h);
+  void step_host_through_epoch(Host& h);
+  void evacuation_scan();
+  void evacuate_tenant(Host& h, std::size_t tenant);
+  void quarantine_tenant(Host& h, std::size_t tenant);
+  void maybe_retire(Host& h);
+  void refresh_gauges();
+  void emit_event(std::size_t host, const char* action);
+  Cycles host_clock(const Host& h) const;
+  std::uint64_t backoff_epochs(std::uint64_t attempt, Rng& rng) const;
+
+  SupervisorPolicy policy_;
+  inject::HostChaos chaos_;
+  Rng backoff_rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_tenant_id_ = 0;
+  /// Sticky max tenant clock ever observed (retired hosts keep counting).
+  Cycles makespan_ = 0;
+  FleetLedger counters_;  // monotonic counters (occupancy derived on demand)
+  std::vector<CrashIncident> crash_incidents_;
+  std::vector<EvacuationIncident> evacuation_incidents_;
+  std::string chain_dir_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TimeSeriesSet* series_ = nullptr;
+  obs::EventLog* events_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
+};
+
+}  // namespace sgxpl::fleet

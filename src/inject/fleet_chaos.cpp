@@ -1,0 +1,134 @@
+#include "inject/fleet_chaos.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sgxpl::inject {
+
+namespace {
+
+/// Same per-stream seed derivation as FaultInjector: the golden-gamma
+/// multiplier spreads consecutive stream indices across the seed space.
+constexpr std::uint64_t kStreamGamma = 0x9e3779b97f4a7c15ull;
+
+bool parse_prob(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  *out = v;
+  return true;
+}
+
+std::string fmt_prob(double v) {
+  std::ostringstream oss;
+  oss << v;
+  return oss.str();
+}
+
+}  // namespace
+
+const char* to_string(HostFaultKind k) noexcept {
+  switch (k) {
+    case HostFaultKind::kHostCrash:
+      return "host-crash";
+  }
+  return "?";
+}
+
+std::optional<HostCrashPlan> HostCrashPlan::parse(const std::string& spec,
+                                                  std::string* err) {
+  const auto fail = [err](const std::string& why) -> std::optional<HostCrashPlan> {
+    if (err != nullptr) *err = why;
+    return std::nullopt;
+  };
+  HostCrashPlan plan;
+  if (spec.empty() || spec == "none") {
+    return plan;
+  }
+  // name[:prob[:torn]]
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts[0] != to_string(HostFaultKind::kHostCrash)) {
+    return fail("unknown host fault class '" + parts[0] +
+                "' (want 'host-crash' or 'none')");
+  }
+  if (parts.size() > 3) {
+    return fail("too many ':' fields in '" + spec +
+                "' (want host-crash[:prob[:torn]])");
+  }
+  plan.enabled = true;
+  plan.crash_per_epoch = 0.01;  // default when enabled bare
+  if (parts.size() >= 2 && !parse_prob(parts[1], &plan.crash_per_epoch)) {
+    return fail("bad crash probability '" + parts[1] +
+                "' (want a value in [0, 1])");
+  }
+  if (parts.size() >= 3 && !parse_prob(parts[2], &plan.torn_frac)) {
+    return fail("bad torn-checkpoint fraction '" + parts[2] +
+                "' (want a value in [0, 1])");
+  }
+  return plan;
+}
+
+std::string HostCrashPlan::spec() const {
+  if (!any_enabled()) return "none";
+  std::string s(to_string(HostFaultKind::kHostCrash));
+  s += ":";
+  s += fmt_prob(crash_per_epoch);
+  if (torn_frac > 0.0) {
+    s += ":";
+    s += fmt_prob(torn_frac);
+  }
+  return s;
+}
+
+std::string HostCrashPlan::describe() const {
+  if (!any_enabled()) return "host chaos disabled";
+  std::ostringstream oss;
+  oss << "host-crash p=" << crash_per_epoch << "/epoch";
+  if (torn_frac > 0.0) {
+    oss << ", torn checkpoint " << torn_frac << " of crashes";
+  }
+  oss << " (seed " << seed << ")";
+  return oss.str();
+}
+
+HostChaos::HostChaos(const HostCrashPlan& plan, std::size_t hosts)
+    : plan_(plan) {
+  ensure_hosts(hosts);
+}
+
+void HostChaos::ensure_hosts(std::size_t hosts) {
+  while (rngs_.size() < hosts) {
+    const std::uint64_t stream = rngs_.size() + 1;
+    rngs_.emplace_back(plan_.seed + kStreamGamma * stream);
+  }
+}
+
+std::optional<HostCrashDecision> HostChaos::crash_this_epoch(
+    std::size_t host, std::uint64_t epoch_steps) {
+  if (!plan_.any_enabled() || host >= rngs_.size()) {
+    return std::nullopt;
+  }
+  ++stats_.epochs_examined;
+  Rng& rng = rngs_[host];
+  if (!rng.chance(plan_.crash_per_epoch)) {
+    return std::nullopt;
+  }
+  HostCrashDecision d;
+  d.step_offset = epoch_steps == 0 ? 0 : rng.bounded(epoch_steps);
+  d.torn_tail = rng.chance(plan_.torn_frac);
+  ++stats_.crashes;
+  if (d.torn_tail) {
+    ++stats_.torn_checkpoints;
+  }
+  return d;
+}
+
+}  // namespace sgxpl::inject

@@ -1,0 +1,108 @@
+// Host-level fail-stop chaos for the fleet supervisor.
+//
+// The driver-level ChaosPlan (chaos_plan.h) perturbs the paging path of one
+// running enclave; a host crash is a different beast — the whole simulated
+// host (its MultiEnclaveRun, its in-flight checkpoint, its supervisor-side
+// bookkeeping) disappears at an arbitrary cycle and must be rebuilt from
+// durable state. That class therefore lives here as its own fleet-level
+// plan rather than as a tenth FaultKind: the 9-class FaultKind enum, its
+// fixed-size InjectStats arrays, and ChaosPlan::all()'s spec string are all
+// frozen into checked-in golden snapshots (tests/golden/), so extending the
+// enum would invalidate artifacts that can never be regenerated.
+//
+// Determinism contract (same as FaultInjector): each host draws from its
+// own xoshiro256** stream derived from `seed`, so a fleet's crash schedule
+// is a pure function of (plan, seed, host count) — soak runs replay
+// bit-identically and CI failures reproduce locally.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sgxpl::inject {
+
+/// The fleet-level fault class. A scoped enum (not a FaultKind) on purpose;
+/// see the header comment.
+enum class HostFaultKind : std::uint8_t {
+  kHostCrash,  // fail-stop: the host vanishes at an arbitrary cycle
+};
+
+const char* to_string(HostFaultKind k) noexcept;
+
+/// When and how hosts fail. `crash_per_epoch` is the per-host probability
+/// that the host dies somewhere inside a given supervisor epoch;
+/// `torn_frac` is the conditional probability that the crash lands
+/// mid-checkpoint, leaving a torn (truncated) frame at the chain tail for
+/// salvage to drop.
+struct HostCrashPlan {
+  bool enabled = false;
+  double crash_per_epoch = 0.0;  // in [0, 1]
+  double torn_frac = 0.0;        // in [0, 1]
+  std::uint64_t seed = 0x5eed;
+
+  bool any_enabled() const noexcept {
+    return enabled && crash_per_epoch > 0.0;
+  }
+
+  /// Parse "host-crash[:prob[:torn]]" (or "none"); e.g.
+  /// "host-crash:0.02:0.5". Returns nullopt and fills `err` (when non-null)
+  /// on malformed input.
+  static std::optional<HostCrashPlan> parse(const std::string& spec,
+                                            std::string* err = nullptr);
+  /// Canonical spec string (inverse of parse; "none" when disabled).
+  std::string spec() const;
+  std::string describe() const;
+};
+
+/// Crash activity counters (fleet-level analogue of InjectStats).
+struct HostChaosStats {
+  std::uint64_t crashes = 0;            // hosts killed
+  std::uint64_t torn_checkpoints = 0;   // crashes that tore the chain tail
+  std::uint64_t epochs_examined = 0;    // host-epochs the plan was consulted
+
+  void merge(const HostChaosStats& other) noexcept {
+    crashes += other.crashes;
+    torn_checkpoints += other.torn_checkpoints;
+    epochs_examined += other.epochs_examined;
+  }
+};
+
+/// One crash decision: where inside the epoch the host dies, and whether
+/// the in-flight checkpoint frame is torn.
+struct HostCrashDecision {
+  std::uint64_t step_offset = 0;  // steps into the epoch at which it dies
+  bool torn_tail = false;         // crash landed mid-checkpoint
+};
+
+/// Per-host seeded crash scheduler. Streams are derived exactly like the
+/// FaultInjector's per-class streams (seed + golden-gamma * (host + 1)), so
+/// adding hosts never perturbs existing hosts' schedules.
+class HostChaos {
+ public:
+  HostChaos() = default;
+  HostChaos(const HostCrashPlan& plan, std::size_t hosts);
+
+  const HostCrashPlan& plan() const noexcept { return plan_; }
+  const HostChaosStats& stats() const noexcept { return stats_; }
+  std::size_t hosts() const noexcept { return rngs_.size(); }
+
+  /// Grow the scheduler to cover `hosts` streams (replacement hosts spawned
+  /// mid-run get their own deterministic stream).
+  void ensure_hosts(std::size_t hosts);
+
+  /// Consult the plan for `host` over one epoch of `epoch_steps` steps.
+  /// Returns a decision when the host dies this epoch, nullopt otherwise.
+  std::optional<HostCrashDecision> crash_this_epoch(std::size_t host,
+                                                    std::uint64_t epoch_steps);
+
+ private:
+  HostCrashPlan plan_;
+  std::vector<Rng> rngs_;
+  HostChaosStats stats_;
+};
+
+}  // namespace sgxpl::inject

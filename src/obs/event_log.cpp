@@ -34,6 +34,8 @@ const char* to_string(EventType t) noexcept {
       return "RETRY";
     case EventType::kDegrade:
       return "DEGRADE";
+    case EventType::kFleet:
+      return "FLEET";
   }
   return "?";
 }
@@ -44,7 +46,7 @@ std::optional<EventType> parse_event_type(std::string_view name) noexcept {
         EventType::kLoadsAborted, EventType::kEviction, EventType::kResume,
         EventType::kSipRequest, EventType::kSipPrefetch, EventType::kScan,
         EventType::kChaos, EventType::kWatchdog, EventType::kAdmission,
-        EventType::kRetry, EventType::kDegrade}) {
+        EventType::kRetry, EventType::kDegrade, EventType::kFleet}) {
     if (name == to_string(t)) {
       return t;
     }
@@ -90,6 +92,7 @@ EventTrack track_of(EventType t) noexcept {
     case EventType::kChaos:
     case EventType::kWatchdog:
     case EventType::kDegrade:
+    case EventType::kFleet:
       return EventTrack::kChaos;
   }
   return EventTrack::kFaultHandler;

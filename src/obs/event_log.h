@@ -34,6 +34,7 @@ enum class EventType : std::uint8_t {
   kAdmission,      // preload shed by admission control (detail = reason)
   kRetry,          // lost-completion sweep acted on `page` (detail = action)
   kDegrade,        // tenant stepped on the ladder (page = pid, detail=level)
+  kFleet,          // supervisor action (page = host, detail = action)
 };
 
 const char* to_string(EventType t) noexcept;

@@ -46,6 +46,10 @@ const char* to_string(Phase p) noexcept {
       return "snapshot_load";
     case Phase::kElasticRebalance:
       return "elastic_rebalance";
+    case Phase::kFleetRecover:
+      return "fleet_recover";
+    case Phase::kFleetEvacuate:
+      return "fleet_evacuate";
   }
   return "?";
 }

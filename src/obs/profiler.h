@@ -57,9 +57,11 @@ enum class Phase : std::uint8_t {
   kSnapshotSave,     // checkpoint frame serialization + atomic write
   kSnapshotLoad,     // resume: restore a snapshot chain
   kElasticRebalance, // elastic EPC AIMD quota rebalance on the scan tick
+  kFleetRecover,     // supervisor: salvage-restore + replay of a crashed host
+  kFleetEvacuate,    // supervisor: tenant evacuation off a failing host
 };
 
-inline constexpr std::size_t kPhaseCount = 18;
+inline constexpr std::size_t kPhaseCount = 20;
 
 const char* to_string(Phase p) noexcept;
 

@@ -5,6 +5,10 @@
 #include <cstdio>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/check.h"
 
 namespace sgxpl::snapshot {
@@ -885,26 +889,83 @@ RunMeta read_meta(Reader& r) {
 // File IO
 // ---------------------------------------------------------------------------
 
-void write_file_atomic(const std::string& path,
-                       const std::vector<std::uint8_t>& bytes) {
+namespace {
+
+/// Size-capped failing sink for tests (0 = off): writes larger than the cap
+/// fail as if the disk filled mid-write.
+std::uint64_t g_io_write_cap = 0;
+
+}  // namespace
+
+const char* to_string(IoResult r) noexcept {
+  switch (r) {
+    case IoResult::kOk:
+      return "ok";
+    case IoResult::kIoError:
+      return "io-error";
+  }
+  return "?";
+}
+
+void set_io_write_cap_for_testing(std::uint64_t cap) { g_io_write_cap = cap; }
+
+IoResult try_write_file_atomic(const std::string& path,
+                               const std::vector<std::uint8_t>& bytes,
+                               std::string* detail) {
+  const auto fail = [detail](const std::string& why) {
+    if (detail != nullptr) *detail = why;
+    return IoResult::kIoError;
+  };
   const std::string tmp = path + ".tmp";
+  std::size_t writable = bytes.size();
+  bool sink_full = false;
+  if (g_io_write_cap != 0 && bytes.size() > g_io_write_cap) {
+    writable = static_cast<std::size_t>(g_io_write_cap);
+    sink_full = true;
+  }
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  SGXPL_CHECK_MSG(f != nullptr,
-                  "snapshot: cannot open '" + tmp + "' for writing");
+  if (f == nullptr) {
+    return fail("snapshot: cannot open '" + tmp + "' for writing");
+  }
   std::size_t written = 0;
-  if (!bytes.empty()) {
-    written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  if (writable > 0) {
+    written = std::fwrite(bytes.data(), 1, writable, f);
   }
   const bool flushed = std::fflush(f) == 0;
+  // Push the data to the disk before publishing the name: renaming a file
+  // whose blocks are still only in the page cache re-opens the torn-write
+  // window the temp-and-rename dance exists to close.
+  bool synced = flushed;
+#if defined(__unix__) || defined(__APPLE__)
+  if (flushed) {
+    synced = ::fsync(fileno(f)) == 0;
+  }
+#endif
   std::fclose(f);
-  if (written != bytes.size() || !flushed) {
+  if (sink_full || written != bytes.size() || !flushed || !synced) {
     std::remove(tmp.c_str());
-    throw CheckFailure("snapshot: short write to '" + tmp + "'");
+    if (sink_full) {
+      return fail("snapshot: short write to '" + tmp + "' (sink full after " +
+                  std::to_string(writable) + " of " +
+                  std::to_string(bytes.size()) + " bytes)");
+    }
+    if (!synced && flushed && written == bytes.size()) {
+      return fail("snapshot: cannot fsync '" + tmp + "'");
+    }
+    return fail("snapshot: short write to '" + tmp + "'");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw CheckFailure("snapshot: cannot rename '" + tmp + "' to '" + path +
-                       "'");
+    return fail("snapshot: cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return IoResult::kOk;
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  std::string why;
+  if (try_write_file_atomic(path, bytes, &why) != IoResult::kOk) {
+    throw CheckFailure(why);
   }
 }
 

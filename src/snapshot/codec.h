@@ -300,11 +300,34 @@ void write_meta(Writer& w, const RunMeta& meta);
 /// Read the "META" section (must be the next section of `r`).
 RunMeta read_meta(Reader& r);
 
-/// Write `bytes` to `path` atomically (temp file + rename), so a crash
-/// mid-checkpoint never leaves a torn snapshot. Throws CheckFailure on IO
-/// errors.
+/// Typed outcome of a non-throwing atomic file write.
+enum class IoResult : std::uint8_t {
+  kOk,
+  kIoError,  // open / short-write / fsync / rename failure
+};
+
+const char* to_string(IoResult r) noexcept;
+
+/// Write `bytes` to `path` atomically: temp file, fsync, then rename. The
+/// fsync before the rename closes the torn-write window — without it a
+/// power cut after the rename could publish a file whose data blocks never
+/// reached the disk. On kIoError the temp file is removed, any previous
+/// file at `path` is untouched, and `detail` (when non-null) gets a typed
+/// one-liner (disk-full and short-write failures land here rather than as
+/// CHECK failures).
+IoResult try_write_file_atomic(const std::string& path,
+                               const std::vector<std::uint8_t>& bytes,
+                               std::string* detail = nullptr);
+
+/// Throwing wrapper around try_write_file_atomic (CheckFailure on IO
+/// errors) for call sites where a failed checkpoint write is fatal.
 void write_file_atomic(const std::string& path,
                        const std::vector<std::uint8_t>& bytes);
+
+/// Testing hook for the size-capped failing sink: any single write whose
+/// payload exceeds `cap` bytes fails with kIoError as if the disk filled
+/// mid-write. 0 (the default) disables the cap.
+void set_io_write_cap_for_testing(std::uint64_t cap);
 
 /// Read a whole file. Throws CheckFailure if it cannot be opened/read.
 std::vector<std::uint8_t> read_file(const std::string& path);

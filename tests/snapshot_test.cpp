@@ -629,5 +629,42 @@ TEST(SnapshotFile, AtomicWriteAndReadBack) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotFile, SizeCappedSinkFailsTypedAndLeavesTargetIntact) {
+  // The disk-full regression rig: a sink that can only absorb a few bytes
+  // must surface a typed kIoError — never a CHECK crash, never a torn or
+  // half-replaced target, never a leftover temp file.
+  const std::string path = testing::TempDir() + "sgxpl-codec-capped.snap";
+  std::remove(path.c_str());
+  const auto frame = sample_frame();
+  snapshot::write_file_atomic(path, frame);  // a good file is already there
+
+  snapshot::set_io_write_cap_for_testing(8);
+  std::string detail;
+  EXPECT_EQ(snapshot::try_write_file_atomic(path, frame, &detail),
+            snapshot::IoResult::kIoError);
+  EXPECT_NE(detail.find("sink full"), std::string::npos) << detail;
+  // The failed write is invisible: previous contents intact, no droppings.
+  EXPECT_EQ(snapshot::read_file(path), frame);
+  EXPECT_FALSE(snapshot::file_readable(path + ".tmp"));
+  // The throwing wrapper reports the same typed failure.
+  try {
+    snapshot::write_file_atomic(path, frame);
+    snapshot::set_io_write_cap_for_testing(0);
+    FAIL() << "size-capped write did not fail";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("sink full"), std::string::npos)
+        << e.what();
+  }
+  snapshot::set_io_write_cap_for_testing(0);
+
+  // With the cap lifted the same write goes through atomically again.
+  snapshot::write_file_atomic(path, frame);
+  EXPECT_EQ(snapshot::read_file(path), frame);
+  EXPECT_EQ(std::string(snapshot::to_string(snapshot::IoResult::kOk)), "ok");
+  EXPECT_EQ(std::string(snapshot::to_string(snapshot::IoResult::kIoError)),
+            "io-error");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace sgxpl

@@ -232,5 +232,64 @@ TEST(Tool, InfoAndExtractStillWorkOnRealFrames) {
   EXPECT_EQ(run_tool("info " + out).exit_code, 0);
 }
 
+/// A fresh empty directory under TempDir for the fleet-info cases.
+std::string fleet_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "tool-fleet-" + name;
+  EXPECT_EQ(std::system(("rm -rf '" + dir + "' && mkdir -p '" + dir + "'")
+                            .c_str()),
+            0);
+  return dir;
+}
+
+TEST(Tool, FleetInfoRejectsADirectoryWithoutChainsTyped) {
+  const std::string empty = fleet_dir("empty");
+  expect_typed_failure(run_tool("fleet-info " + empty),
+                       "fleet-info on an empty dir");
+  const std::string ghost = testing::TempDir() + "tool-fleet-ghost-missing";
+  std::system(("rm -rf '" + ghost + "'").c_str());
+  expect_typed_failure(run_tool("fleet-info " + ghost),
+                       "fleet-info on a missing dir");
+}
+
+TEST(Tool, FleetInfoFlagsAnUnrecoverableHostTyped) {
+  const std::string dir = fleet_dir("garbage");
+  write_garbage(dir + "/host-0.snap");
+  const ToolResult res = run_tool("fleet-info " + dir);
+  expect_typed_failure(res, "fleet-info with a garbage host chain");
+  EXPECT_NE(res.output.find("UNRECOVERABLE"), std::string::npos)
+      << res.output;
+}
+
+TEST(Tool, FleetInfoReportsHealthyAndTornHostsAndStopsAtTheGap) {
+  const std::string dir = fleet_dir("mixed");
+  const auto frames = golden::make_chain();
+  // Host 0: a clean base + 2 deltas. Host 1: clean base with a torn delta
+  // tail (salvageable). Host 3 exists but host 2 does not, so the
+  // consecutive scan must stop at 2 and never report host 3.
+  write_bytes(dir + "/host-0.snap", frames[0]);
+  write_bytes(snapshot::delta_path(dir + "/host-0.snap", 1), frames[1]);
+  write_bytes(snapshot::delta_path(dir + "/host-0.snap", 2), frames[2]);
+  write_bytes(dir + "/host-1.snap", frames[0]);
+  std::vector<std::uint8_t> torn = frames[1];
+  torn.resize(torn.size() / 3);
+  write_bytes(snapshot::delta_path(dir + "/host-1.snap", 1), torn);
+  write_bytes(dir + "/host-3.snap", frames[0]);
+
+  const ToolResult res = run_tool("fleet-info " + dir);
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("host 0: 3/3 frame(s) valid"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("host 1: 1/2 frame(s) valid"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("torn: dropped at"), std::string::npos)
+      << res.output;
+  EXPECT_NE(
+      res.output.find("fleet: 2 host(s), 1 healthy, 1 torn (salvageable), "
+                      "0 unrecoverable"),
+      std::string::npos)
+      << res.output;
+  EXPECT_EQ(res.output.find("host 3"), std::string::npos) << res.output;
+}
+
 }  // namespace
 }  // namespace sgxpl
