@@ -4,10 +4,12 @@
 // other threads' streams live in, and interleaved faults from different
 // threads never look sequential.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/rng.h"
 #include "core/multi_thread.h"
+#include "core/sharding.h"
 #include "trace/generators.h"
 
 using namespace sgxpl;
@@ -62,16 +64,39 @@ int main(int argc, char** argv) {
                   static_cast<double>(baseline.per_thread[i].total_cycles));
   };
 
+  // The six ablation cells are independent simulations; --shards fans them
+  // out across a worker pool and the rows print in cell order regardless.
+  struct Cell {
+    std::size_t len;
+    bool per_thread;
+  };
+  std::vector<Cell> cells;
   for (const std::size_t len : {2u, 4u, 30u}) {
     for (const bool per_thread : {true, false}) {
-      auto cfg = bench::bench_platform(core::Scheme::kDfpStop);
-      cfg.dfp.predictor.stream_list_len = len;
-      const auto r = core::run_threads(cfg, threads, per_thread);
-      tbl.add_row({std::to_string(len),
-                   per_thread ? "per-thread (paper)" : "pooled", gain(r, 0),
-                   gain(r, 1), gain(r, 2),
-                   std::to_string(r.driver.preloads_used)});
+      cells.push_back({len, per_thread});
     }
+  }
+  std::vector<core::ThreadedRunResult> results(cells.size());
+  core::ShardPool pool(static_cast<std::size_t>(bench::shards()));
+  pool.run(cells.size(), [&](std::size_t i) {
+    auto cfg = bench::bench_platform(core::Scheme::kDfpStop);
+    cfg.dfp.predictor.stream_list_len = cells[i].len;
+    if (pool.threads() > 1) {
+      // Cells run concurrently: detach the single-threaded sinks and the
+      // shared checkpoint path (the thread-safe profiler stays attached).
+      cfg.registry = nullptr;
+      cfg.event_log = nullptr;
+      cfg.timeseries = nullptr;
+      cfg.checkpoint = core::CheckpointOptions{};
+    }
+    results[i] = core::run_threads(cfg, threads, cells[i].per_thread);
+  });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& r = results[i];
+    tbl.add_row({std::to_string(cells[i].len),
+                 cells[i].per_thread ? "per-thread (paper)" : "pooled",
+                 gain(r, 0), gain(r, 1), gain(r, 2),
+                 std::to_string(r.driver.preloads_used)});
   }
   bench::print_table("results", tbl);
   std::cout << "\nThe scanning threads are the beneficiaries; the random "

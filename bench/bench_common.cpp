@@ -36,6 +36,7 @@ struct HarnessState {
   inject::ChaosPlan chaos;  // nothing enabled unless --chaos was given
   core::CheckpointOptions checkpoint;  // off unless --checkpoint/--resume
   std::string fail_dir;                // empty unless --fail-dir
+  std::uint64_t shards = 1;            // --shards: step-phase worker threads
 };
 
 HarnessState& state() {
@@ -95,7 +96,7 @@ void init(int argc, char** argv, const std::string& bench,
     if (arg == "--json" || arg == "--trace" || arg == "--profile" ||
         arg == "--chaos" || arg == "--seed" || arg == "--checkpoint" ||
         arg == "--checkpoint-every" || arg == "--full-every" ||
-        arg == "--resume" || arg == "--fail-dir") {
+        arg == "--resume" || arg == "--fail-dir" || arg == "--shards") {
       if (i + 1 >= argc) {
         std::cerr << "error: " << arg << " requires a value\n";
         std::exit(2);
@@ -136,6 +137,13 @@ void init(int argc, char** argv, const std::string& bench,
         st.checkpoint.resume_path = value;
       } else if (arg == "--fail-dir") {
         st.fail_dir = value;
+      } else if (arg == "--shards") {
+        st.shards = std::strtoull(value.c_str(), nullptr, 0);
+        if (st.shards == 0) {
+          std::cerr << "error: --shards wants a positive worker count, got '"
+                    << value << "'\n";
+          std::exit(2);
+        }
       } else {
         chaos_seed = std::strtoull(value.c_str(), nullptr, 0);
       }
@@ -146,7 +154,9 @@ void init(int argc, char** argv, const std::string& bench,
                    "       [--chaos <spec>] [--seed <n>]\n"
                    "       [--checkpoint <snap>] [--checkpoint-every <n>]\n"
                    "       [--full-every <n>] [--resume <snap>]\n"
-                   "       [--fail-dir <dir>]\n"
+                   "       [--fail-dir <dir>] [--shards <k>]\n"
+                   "--shards runs sharded/fleet phases on k worker threads\n"
+                   "  (results are bit-identical for every k; default 1).\n"
                    "--profile writes the merged phase-profile JSON (also\n"
                    "  embedded in --json under \"profile\" and as a flame\n"
                    "  track in --trace output; see docs/OBSERVABILITY.md).\n"
@@ -238,6 +248,8 @@ const core::CheckpointOptions& checkpoint_options() {
 }
 
 const std::string& fail_dir() { return state().fail_dir; }
+
+std::uint64_t shards() { return state().shards; }
 
 namespace {
 

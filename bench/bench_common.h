@@ -36,6 +36,8 @@
 //                   frames beside the base are replayed automatically)
 //   --fail-dir <dir>          drop reproduction artifacts (e.g. diverging
 //                   delta chains) into <dir> on failure, for CI upload
+//   --shards <k>    run sharded/fleet phases on k step-phase worker threads
+//                   (bit-identical results for every k; default 1)
 //
 // Environment:
 //   SGXPL_SCALE  scale factor for workload footprints/lengths (default 1.0,
@@ -102,6 +104,11 @@ const core::CheckpointOptions& checkpoint_options();
 /// drops reproduction artifacts — e.g. recovery_suite writes the frames of
 /// any delta chain whose restore diverged, so CI can upload them.
 const std::string& fail_dir();
+
+/// The --shards worker count (default 1 = sequential). Sharded/fleet
+/// phases run their step phase on this many OS threads; results are
+/// bit-identical for every value (core/sharding.h's invariance contract).
+std::uint64_t shards();
 
 /// Flush --json/--trace outputs. Benches end with `return bench::finish();`.
 int finish();

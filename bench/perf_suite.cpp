@@ -21,6 +21,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "core/multi_enclave.h"
+#include "core/sharding.h"
 #include "core/simulator.h"
 #include "dfp/stream_predictor.h"
 #include "fleet/supervisor.h"
@@ -307,6 +308,96 @@ void cell_soak(TextTable& tbl) {
                    " finished"});
 }
 
+/// Cell G: sharded fleet execution — 64 independent tenant lanes under the
+/// full driver fault plan, coupled through the barrier contention
+/// controller and the shared elastic pool. The cycle domain comes from one
+/// K=1 run (every K is bit-identical by the sharding invariance contract,
+/// so gating K=1 gates them all); wall.shard.k{1,2,4,8} reports the
+/// wall-clock scaling of the same fleet across worker counts.
+void cell_shard(TextTable& tbl) {
+  constexpr std::size_t kLanes = 64;
+  static std::vector<trace::Trace> traces;  // outlives the runs
+  traces.clear();
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    trace::Trace t("shard-cell-" + std::to_string(i), 512);
+    Rng rng(700 + i);
+    const trace::GapModel gap{.mean = 2'000, .jitter_pct = 0.25};
+    trace::seq_scan(t, rng, trace::Region{0, 512}, 1, gap);
+    trace::random_access(t, rng, trace::Region{256, 200}, 3'500, 10, 4, gap);
+    traces.push_back(std::move(t));
+  }
+  core::SimConfig cfg;
+  cfg.enclave.epc_pages = 96;
+  cfg.validate = true;
+  cfg.chaos = inject::ChaosPlan::all(0x5eed);
+  constexpr core::Scheme kMix[] = {core::Scheme::kBaseline,
+                                   core::Scheme::kDfpStop, core::Scheme::kDfp};
+  std::vector<core::ShardLane> lanes;
+  lanes.reserve(kLanes);
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    lanes.push_back(core::ShardLane{&traces[i], kMix[i % 3], nullptr});
+  }
+  core::ShardingSpec spec;
+  // Lane virtual time is fault-stall dominated (hundreds of millions of
+  // cycles over a few thousand accesses), so the epoch must be wide enough
+  // that each lane does real work between barriers.
+  spec.epoch_cycles = 25'000'000;
+  spec.contention_gain_milli = 400;
+  spec.pool_pages = 24 * kLanes;  // floor 16 + pressure-weighted spare
+  spec.quota_floor = 16;
+
+  const auto run_fleet = [&](std::size_t k) {
+    core::ShardingSpec s = spec;
+    s.threads = k;
+    core::ShardedFleetRun run(cfg, lanes, s);
+    auto out = run.run_to_end();
+    return std::make_pair(std::move(out), run.epochs_run());
+  };
+
+  // Cycle domain (gated): the sequential reference.
+  const auto [metrics, epochs] = run_fleet(1);
+  std::uint64_t cycles_sum = 0, faults_sum = 0, fired_sum = 0;
+  Cycles makespan = 0;
+  for (const core::Metrics& m : metrics) {
+    cycles_sum += m.total_cycles;
+    faults_sum += m.enclave_faults;
+    fired_sum += m.inject.total_fired();
+    makespan = std::max<Cycles>(makespan, m.total_cycles);
+  }
+  bench::add_scalar("cycles.shard.epochs", static_cast<double>(epochs));
+  bench::add_scalar("cycles.shard.makespan", static_cast<double>(makespan));
+  bench::add_scalar("cycles.shard.total_cycles_sum",
+                    static_cast<double>(cycles_sum));
+  bench::add_scalar("cycles.shard.faults_sum",
+                    static_cast<double>(faults_sum));
+  bench::add_scalar("cycles.shard.chaos_fired_sum",
+                    static_cast<double>(fired_sum));
+
+  // Wall domain (reported only): the same fleet across worker counts.
+  double k1_secs = 0.0;
+  double k4_speedup = 0.0;
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    std::vector<double> secs;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto out = run_fleet(k);
+      g_sink = out.second;
+      secs.push_back(seconds_since(t0));
+    }
+    const double med = median(secs);
+    bench::add_scalar("wall.shard.k" + std::to_string(k) + "_secs", med);
+    if (k == 1) {
+      k1_secs = med;
+    } else if (k == 4) {
+      k4_speedup = k1_secs / med;
+    }
+  }
+  tbl.add_row({"sharded fleet (64 lanes)",
+               TextTable::fmt(k4_speedup, 2) + "x @ K=4",
+               std::to_string(makespan) + " cycles makespan, " +
+                   std::to_string(epochs) + " epochs"});
+}
+
 /// Cell D: hot-loop building blocks, wall-clock only (their cycle-domain
 /// behaviour is covered by the cells above).
 void cell_micro_ops(TextTable& tbl) {
@@ -372,6 +463,7 @@ int main(int argc, char** argv) {
   cell_overload(tbl);
   cell_elastic(tbl);
   cell_soak(tbl);
+  cell_shard(tbl);
   cell_micro_ops(tbl);
   bench::print_table("cells", tbl);
 

@@ -147,6 +147,9 @@ int main(int argc, char** argv) {
   base_policy.migration.warm_rounds = 2;
   base_policy.migration.round_steps = 32;
   base_policy.seed = chaos_seed;
+  // --shards parallelizes the epoch step phase; every K is bit-identical
+  // (the determinism replay below holds at any worker count).
+  base_policy.shard_threads = bench::shards();
 
   inject::HostCrashPlan host_chaos;
   host_chaos.enabled = true;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/sharding.h"
 
 namespace sgxpl::fleet {
 
@@ -277,7 +278,12 @@ struct FleetSupervisor::Host {
 
 FleetSupervisor::FleetSupervisor(const SupervisorPolicy& policy,
                                  const inject::HostCrashPlan& chaos)
-    : policy_(policy), chaos_(chaos, 0), backoff_rng_(policy.seed) {}
+    : policy_(policy),
+      chaos_(chaos, 0),
+      backoff_rng_(policy.seed),
+      pool_(std::make_unique<core::ShardPool>(
+          static_cast<std::size_t>(std::max<std::uint64_t>(
+              policy.shard_threads, 1)))) {}
 
 FleetSupervisor::~FleetSupervisor() = default;
 
@@ -344,7 +350,8 @@ void FleetSupervisor::write_frame_to_disk(Host& h,
   }
 }
 
-void FleetSupervisor::take_checkpoint(Host& h, bool barrier) {
+void FleetSupervisor::take_checkpoint(Host& h, bool barrier,
+                                      EpochStaging* stage) {
   SGXPL_CHECK_MSG(h.run != nullptr,
                   "fleet: checkpoint of a host with no live run");
   if (barrier || !h.snapshotter) {
@@ -372,6 +379,13 @@ void FleetSupervisor::take_checkpoint(Host& h, bool barrier) {
                      static_cast<double>(covered);
   h.steps_at_last_ckpt = steps;
   h.clock_at_last_ckpt = clock;
+  if (stage != nullptr) {
+    // Parallel step phase: the fleet counter and registry are shared;
+    // stage the writes for the serial barrier flush.
+    ++stage->checkpoints;
+    stage->checkpoint_bytes.push_back(h.marks.back().bytes);
+    return;
+  }
   ++counters_.checkpoints;
   if (metrics_) {
     metrics_->counter("fleet.checkpoints").add();
@@ -388,12 +402,17 @@ void FleetSupervisor::checkpoint_host(std::size_t host) {
 // Crash and recovery
 // ---------------------------------------------------------------------------
 
-void FleetSupervisor::do_crash(Host& h, bool torn) {
+void FleetSupervisor::do_crash(Host& h, bool torn, EpochStaging* stage) {
   SGXPL_CHECK_MSG(h.run != nullptr, "fleet: crash of a host with no live run");
   h.crash_steps = h.run->steps();
   h.crash_clock = host_clock(h);
   h.crash_torn = torn;
-  makespan_ = std::max(makespan_, h.crash_clock);
+  if (stage == nullptr) {
+    makespan_ = std::max(makespan_, h.crash_clock);
+  } else {
+    stage->crashed = true;
+    stage->crash_clock = h.crash_clock;
+  }
   if (torn && h.snapshotter) {
     // The crash lands mid-checkpoint: the frame being written is truncated
     // and left at the chain tail — exactly what salvage must drop.
@@ -402,16 +421,22 @@ void FleetSupervisor::do_crash(Host& h, bool torn) {
     write_frame_to_disk(h, f, /*torn=*/true);
     h.marks.push_back({h.crash_steps, h.crash_clock, 0});
     h.chain.push_back(std::move(f.bytes));
-    ++counters_.torn_checkpoints;
-    emit_event(h.index, "torn-checkpoint");
+    if (stage == nullptr) {
+      ++counters_.torn_checkpoints;
+      emit_event(h.index, "torn-checkpoint");
+    } else {
+      stage->torn = true;
+    }
   }
   h.run.reset();  // volatile state gone; the chain is all that survives
   h.snapshotter.reset();
   h.state = HostState::kCrashed;
   h.crash_epochs.push_back(epoch_);
-  ++counters_.crashes;
-  if (metrics_) metrics_->counter("fleet.crashes").add();
-  emit_event(h.index, "crash");
+  if (stage == nullptr) {
+    ++counters_.crashes;
+    if (metrics_) metrics_->counter("fleet.crashes").add();
+    emit_event(h.index, "crash");
+  }
 }
 
 void FleetSupervisor::crash_host(std::size_t host, bool torn) {
@@ -520,31 +545,74 @@ CrashIncident FleetSupervisor::recover_host(std::size_t host) {
 // The epoch loop
 // ---------------------------------------------------------------------------
 
-void FleetSupervisor::step_host_through_epoch(Host& h) {
+void FleetSupervisor::step_host_through_epoch(Host& h, EpochStaging& stage) {
+  // Runs on a worker thread when shard_threads > 1: everything it touches
+  // is host-local (the run, the chain, the host's chaos stream and stats
+  // slot, its own disk files) except the writes routed into `stage`.
   const std::optional<inject::HostCrashDecision> decision =
       chaos_.crash_this_epoch(h.index, policy_.epoch_steps);
   for (std::uint64_t i = 0; i < policy_.epoch_steps; ++i) {
     if (decision && i == decision->step_offset) {
-      do_crash(h, decision->torn_tail);
+      do_crash(h, decision->torn_tail, &stage);
       return;
     }
     if (!h.run->steppable()) break;
     h.run->step();
-    if (checkpoint_due(h)) take_checkpoint(h, /*barrier=*/false);
+    if (checkpoint_due(h)) take_checkpoint(h, /*barrier=*/false, &stage);
   }
-  makespan_ = std::max(makespan_, host_clock(h));
+  stage.end_clock = host_clock(h);
+}
+
+void FleetSupervisor::flush_staging(Host& h, const EpochStaging& stage) {
+  // Replays the exact shared-state mutation order of the sequential path
+  // for this host; callers flush in host index order, which is the order
+  // the sequential loop visits hosts — so counters, event timestamps
+  // (emit_event reads makespan_), and event order are bit-identical.
+  counters_.checkpoints += stage.checkpoints;
+  if (metrics_ && stage.checkpoints > 0) {
+    for (std::uint64_t i = 0; i < stage.checkpoints; ++i) {
+      metrics_->counter("fleet.checkpoints").add();
+    }
+    for (const std::uint64_t bytes : stage.checkpoint_bytes) {
+      metrics_->histogram("fleet.checkpoint_bytes").record(bytes);
+    }
+  }
+  if (stage.crashed) {
+    makespan_ = std::max(makespan_, stage.crash_clock);
+    if (stage.torn) {
+      ++counters_.torn_checkpoints;
+      emit_event(h.index, "torn-checkpoint");
+    }
+    ++counters_.crashes;
+    if (metrics_) metrics_->counter("fleet.crashes").add();
+    emit_event(h.index, "crash");
+  } else {
+    makespan_ = std::max(makespan_, stage.end_clock);
+  }
 }
 
 void FleetSupervisor::run_epoch() {
   // Step phase: hosts spawned by this epoch's evacuations start stepping
-  // next epoch, so the step set is fixed up front.
+  // next epoch, so the step set is fixed up front. Eligible hosts advance
+  // independently — in parallel across the shard pool when the policy asks
+  // for it — with shared-state writes staged per host and flushed serially
+  // in host order below (the shard barrier).
   const std::size_t live = hosts_.size();
+  std::vector<std::size_t> eligible;
+  eligible.reserve(live);
   for (std::size_t i = 0; i < live; ++i) {
     Host& h = *hosts_[i];
     if ((h.state == HostState::kHealthy || h.state == HostState::kEvacuating) &&
         h.run && h.run->steppable()) {
-      step_host_through_epoch(h);
+      eligible.push_back(i);
     }
+  }
+  std::vector<EpochStaging> staged(eligible.size());
+  pool_->run(eligible.size(), [this, &eligible, &staged](std::size_t j) {
+    step_host_through_epoch(*hosts_[eligible[j]], staged[j]);
+  });
+  for (std::size_t j = 0; j < eligible.size(); ++j) {
+    flush_staging(*hosts_[eligible[j]], staged[j]);
   }
   // Recovery phase: no host leaves an epoch crashed.
   for (std::size_t i = 0; i < hosts_.size(); ++i) {

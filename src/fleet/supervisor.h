@@ -52,6 +52,10 @@
 #include "obs/time_series.h"
 #include "snapshot/chain.h"
 
+namespace sgxpl::core {
+class ShardPool;  // core/sharding.h (the step-phase worker pool)
+}
+
 namespace sgxpl::fleet {
 
 /// Host lifecycle (see docs/ROBUSTNESS.md, "Fleet supervision & failover").
@@ -136,9 +140,20 @@ struct SupervisorPolicy {
   MigrationPolicy migration;
   /// Seeds the backoff-jitter stream (host chaos has its own seed).
   std::uint64_t seed = 0x5eed;
+  /// OS worker threads for the epoch step phase (1 = sequential). Pure
+  /// execution mechanics — hosts share nothing during the step phase and
+  /// all shared-state writes are staged and flushed serially in host
+  /// order at the epoch barrier — so every value of K produces
+  /// bit-identical reports, events, chains, and manifests. Deliberately
+  /// excluded from spec(): a manifest taken at K=8 loads into a K=1 run.
+  /// With K > 1, host SimConfigs must not share single-threaded sinks
+  /// (registry / event log / time series); the supervisor-level sinks are
+  /// fine — the step phase never touches them, only the serial flush does.
+  std::uint64_t shard_threads = 1;
 
   /// Fingerprint of every non-default knob; empty for all defaults (the
   /// seed-identical guard). Stored as the manifest's hardening_spec.
+  /// shard_threads is excluded (see its comment).
   std::string spec() const;
 };
 
@@ -276,14 +291,31 @@ class FleetSupervisor {
 
  private:
   struct Host;
+  /// Shared-state writes a host would perform while stepping through an
+  /// epoch, captured per host during the (possibly parallel) step phase
+  /// and flushed serially in host order at the barrier — reproducing the
+  /// sequential path's mutation order bit-for-bit (see docs/ROBUSTNESS.md,
+  /// "Sharded execution").
+  struct EpochStaging {
+    std::uint64_t checkpoints = 0;
+    std::vector<std::uint64_t> checkpoint_bytes;  // histogram records, in order
+    bool crashed = false;
+    bool torn = false;
+    Cycles crash_clock = 0;
+    Cycles end_clock = 0;  // host clock at epoch end (unset when crashed)
+  };
 
   bool checkpoint_due(const Host& h) const;
   void write_frame_to_disk(Host& h, const snapshot::ChainFrame& f,
                            bool torn) const;
-  void take_checkpoint(Host& h, bool barrier);
-  void do_crash(Host& h, bool torn);
+  /// `stage` non-null routes shared-state writes (fleet counters, metrics,
+  /// events, makespan) into the staging record instead of applying them;
+  /// host-local state is always mutated directly.
+  void take_checkpoint(Host& h, bool barrier, EpochStaging* stage = nullptr);
+  void do_crash(Host& h, bool torn, EpochStaging* stage = nullptr);
   CrashIncident do_recover(Host& h);
-  void step_host_through_epoch(Host& h);
+  void step_host_through_epoch(Host& h, EpochStaging& stage);
+  void flush_staging(Host& h, const EpochStaging& stage);
   void evacuation_scan();
   void evacuate_tenant(Host& h, std::size_t tenant);
   void quarantine_tenant(Host& h, std::size_t tenant);
@@ -297,6 +329,8 @@ class FleetSupervisor {
   inject::HostChaos chaos_;
   Rng backoff_rng_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  /// Step-phase worker pool (inline when policy_.shard_threads <= 1).
+  std::unique_ptr<core::ShardPool> pool_;
   std::uint64_t epoch_ = 0;
   std::uint64_t next_tenant_id_ = 0;
   /// Sticky max tenant clock ever observed (retired hosts keep counting).

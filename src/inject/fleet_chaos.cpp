@@ -108,7 +108,16 @@ void HostChaos::ensure_hosts(std::size_t hosts) {
   while (rngs_.size() < hosts) {
     const std::uint64_t stream = rngs_.size() + 1;
     rngs_.emplace_back(plan_.seed + kStreamGamma * stream);
+    stats_.emplace_back();
   }
+}
+
+HostChaosStats HostChaos::stats() const noexcept {
+  HostChaosStats merged;
+  for (const auto& s : stats_) {
+    merged.merge(s);
+  }
+  return merged;
 }
 
 std::optional<HostCrashDecision> HostChaos::crash_this_epoch(
@@ -116,7 +125,8 @@ std::optional<HostCrashDecision> HostChaos::crash_this_epoch(
   if (!plan_.any_enabled() || host >= rngs_.size()) {
     return std::nullopt;
   }
-  ++stats_.epochs_examined;
+  HostChaosStats& stats = stats_[host];
+  ++stats.epochs_examined;
   Rng& rng = rngs_[host];
   if (!rng.chance(plan_.crash_per_epoch)) {
     return std::nullopt;
@@ -124,9 +134,9 @@ std::optional<HostCrashDecision> HostChaos::crash_this_epoch(
   HostCrashDecision d;
   d.step_offset = epoch_steps == 0 ? 0 : rng.bounded(epoch_steps);
   d.torn_tail = rng.chance(plan_.torn_frac);
-  ++stats_.crashes;
+  ++stats.crashes;
   if (d.torn_tail) {
-    ++stats_.torn_checkpoints;
+    ++stats.torn_checkpoints;
   }
   return d;
 }

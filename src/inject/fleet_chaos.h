@@ -87,7 +87,8 @@ class HostChaos {
   HostChaos(const HostCrashPlan& plan, std::size_t hosts);
 
   const HostCrashPlan& plan() const noexcept { return plan_; }
-  const HostChaosStats& stats() const noexcept { return stats_; }
+  /// Fleet-wide counters, merged over the per-host slots in host order.
+  HostChaosStats stats() const noexcept;
   std::size_t hosts() const noexcept { return rngs_.size(); }
 
   /// Grow the scheduler to cover `hosts` streams (replacement hosts spawned
@@ -96,13 +97,18 @@ class HostChaos {
 
   /// Consult the plan for `host` over one epoch of `epoch_steps` steps.
   /// Returns a decision when the host dies this epoch, nullopt otherwise.
+  /// Touches only `host`'s RNG stream and stats slot, so the supervisor's
+  /// sharded step phase may consult different hosts from different worker
+  /// threads concurrently (ensure_hosts must not run at the same time).
   std::optional<HostCrashDecision> crash_this_epoch(std::size_t host,
                                                     std::uint64_t epoch_steps);
 
  private:
   HostCrashPlan plan_;
   std::vector<Rng> rngs_;
-  HostChaosStats stats_;
+  /// One slot per host (parallel consults never share a counter); stats()
+  /// merges them.
+  std::vector<HostChaosStats> stats_;
 };
 
 }  // namespace sgxpl::inject

@@ -2,12 +2,19 @@
 // (workload, scheme) combination, swept with TEST_P.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/experiment.h"
+#include "core/sharding.h"
 #include "core/simulator.h"
 #include "inject/chaos_plan.h"
+#include "snapshot/codec.h"
 #include "trace/workloads.h"
 
 namespace sgxpl::core {
@@ -347,6 +354,85 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return n;
     });
+
+// --- Shard-count invariance over randomized fleets ---------------------------
+// The sharded-execution analogue of ChaosSweep: each iteration draws a
+// random tenant mix (lane count, traces, schemes), a random coupling
+// configuration, a random chaos toggle, and a random worker count K > 1,
+// then demands the whole fleet finish bit-identically to the sequential
+// K=1 run — per-lane metrics compared as serialized snapshot fields, so a
+// divergence anywhere in the driver/DFP/injection state fails.
+
+std::vector<std::uint8_t> serialized(const Metrics& m) {
+  snapshot::Writer w;
+  w.begin_section("METR");
+  m.save(w);
+  w.end_section();
+  return w.finish();
+}
+
+class ShardCountInvariance : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Workload traces are iteration-independent; build each once.
+  static const trace::Trace& workload(std::size_t which) {
+    static const std::array<trace::Trace, 3> kTraces = {
+        trace::find_workload("microbenchmark")->make(trace::ref_params(kScale)),
+        trace::find_workload("deepsjeng")->make(trace::ref_params(kScale)),
+        trace::find_workload("mcf")->make(trace::ref_params(kScale)),
+    };
+    return kTraces[which % kTraces.size()];
+  }
+};
+
+TEST_P(ShardCountInvariance, RandomFleetMatchesSequentialBitForBit) {
+  Rng draw(GetParam() * 0x9e3779b97f4a7c15ull + 17);
+  const std::size_t lane_count = 2 + draw.bounded(4);  // 2..5 tenants
+  std::vector<ShardLane> lanes;
+  constexpr Scheme kSchemes[] = {Scheme::kBaseline, Scheme::kDfp,
+                                 Scheme::kDfpStop};
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    lanes.push_back(ShardLane{&workload(draw.bounded(3)),
+                              kSchemes[draw.bounded(3)], nullptr});
+  }
+
+  SimConfig base = tiny_platform(Scheme::kBaseline);
+  if (draw.chance(0.5)) {
+    base.chaos = inject::ChaosPlan::all(draw.bounded(1 << 20));
+  }
+
+  ShardingSpec spec;
+  spec.epoch_cycles = draw.chance(0.5) ? 120'000 : 400'000;
+  spec.contention_gain_milli =
+      draw.chance(0.5) ? 0 : 300 + static_cast<std::uint32_t>(
+                                       draw.bounded(1200));
+  if (draw.chance(0.5)) {
+    spec.pool_pages = static_cast<PageNum>(lane_count) * 20;
+    spec.quota_floor = 8;
+  }
+  constexpr std::size_t kWorkerDraws[] = {2, 3, 4, 8};
+  const std::size_t k = kWorkerDraws[draw.bounded(4)];
+
+  const auto run_at = [&](std::size_t threads) {
+    ShardingSpec s = spec;
+    s.threads = threads;
+    ShardedFleetRun run(base, lanes, s);
+    std::vector<std::vector<std::uint8_t>> out;
+    for (const Metrics& m : run.run_to_end()) {
+      out.push_back(serialized(m));
+    }
+    return std::make_pair(std::move(out), run.epochs_run());
+  };
+  const auto [ref, ref_epochs] = run_at(1);
+  const auto [got, got_epochs] = run_at(k);
+  EXPECT_EQ(got_epochs, ref_epochs) << "K=" << k;
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(got[i], ref[i]) << "lane " << i << " K=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Iterations, ShardCountInvariance,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace sgxpl::core
